@@ -1,0 +1,57 @@
+// Ablation — capacity factor: the efficiency/quality trade at the heart of
+// capacity-limited MoE routing (DESIGN.md design-choice ablation).
+//
+// Small capacity keeps expert batches uniform (good for step time: the
+// synchronous step waits for the fullest expert) but drops tokens (bad for
+// quality); balanced re-dispatch recovers the drops. We train the tiny MoE
+// LM at several capacity factors and report drop rate, load imbalance and
+// final loss.
+#include <iostream>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "model/trainer.hpp"
+#include "model/transformer.hpp"
+#include "train/data.hpp"
+#include "train/optimizer.hpp"
+
+int main() {
+  using namespace bgl;
+
+  std::cout << "Ablation: capacity factor sweep (tiny MoE LM, 40 steps)\n\n";
+  TextTable table({"capacity factor", "balanced", "dropped (last step)",
+                   "imbalance", "final loss"});
+
+  for (const double cf : {0.5, 1.0, 1.5, 4.0}) {
+    for (const bool balanced : {false, true}) {
+      model::MoEModelConfig config = model::MoEModelConfig::tiny();
+      config.capacity_factor = cf;
+      config.balanced_redispatch = balanced;
+      Rng rng(99);
+      model::MoETransformerLM lm(config, rng);
+      train::Adam adam(3e-3);
+      model::Trainer trainer(lm, adam);
+      train::MarkovTokenStream stream(config.vocab, 0.05, 17);
+      const model::TrainReport report = trainer.train(stream, 40, 4);
+
+      // Routing stats of the last step, layer 0.
+      const moe::DispatchPlan& plan = lm.moe_layer(0).last_plan();
+      std::vector<double> load;
+      for (const auto v : plan.actual_load())
+        load.push_back(static_cast<double>(v));
+      const double total_assign =
+          static_cast<double>(plan.assignments.size() + plan.dropped);
+      table.add_row(
+          {strf("%.1f", cf), balanced ? "yes" : "no",
+           strf("%.1f%%", 100.0 * static_cast<double>(plan.dropped) /
+                              total_assign),
+           strf("%.2f", summarize(load).imbalance()),
+           strf("%.3f", report.tail_mean(8))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nshape: tight capacity without re-dispatch drops tokens and "
+               "hurts loss;\nbalanced re-dispatch keeps the load bound AND "
+               "the quality.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation — gate cost vs expert count: flat softmax gating is O(d·E) per
+// token and becomes the bottleneck in the 174T regime (hundreds of
+// thousands of experts); two-level routing with lazy in-group evaluation is
+// O(d·(G + E/G)).
+//
+// Three columns, measured for real:
+//   flat          — Linear [d,E] + softmax (what small-E systems do)
+//   two-level     — our exact TwoLevelGate (materializes all probabilities
+//                   for exact gradients: same O(d·E) matmul ⇒ no win; this
+//                   column is the honesty check)
+//   lazy 2-level  — the production evaluation order: group gate [d,G] then
+//                   one in-group block [d, E/G] per token (proxy kernel)
+#include <cmath>
+#include <iostream>
+
+#include "core/stopwatch.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "moe/two_level_gate.hpp"
+#include "nn/linear.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace bgl;
+
+  constexpr std::int64_t kDModel = 64;
+  constexpr std::int64_t kTokens = 256;
+  constexpr int kIters = 5;
+
+  std::cout << "Ablation: gate forward cost vs expert count (d=" << kDModel
+            << ", " << kTokens << " tokens)\n\n";
+  TextTable table(
+      {"experts", "groups", "flat", "two-level (exact)", "lazy 2-level",
+       "lazy speedup"});
+
+  Rng data_rng(3);
+  const Tensor x = Tensor::randn({kTokens, kDModel}, data_rng);
+  for (const int experts : {64, 256, 1024, 4096, 16384}) {
+    Rng rng(7);
+    const int groups = static_cast<int>(std::sqrt(experts));
+    nn::Linear flat(kDModel, experts, rng, /*bias=*/false);
+    moe::TwoLevelGate exact(kDModel, experts, groups, rng);
+    // Lazy proxy: the two matmuls the production order actually executes.
+    nn::Linear group_gate(kDModel, groups, rng, /*bias=*/false);
+    nn::Linear in_group(kDModel, experts / groups, rng, /*bias=*/false);
+
+    Stopwatch watch;
+    for (int i = 0; i < kIters; ++i)
+      (void)ops::row_softmax(flat.forward(x));
+    const double t_flat = watch.lap() / kIters;
+    for (int i = 0; i < kIters; ++i) (void)exact.forward(x);
+    const double t_exact = watch.lap() / kIters;
+    for (int i = 0; i < kIters; ++i) {
+      (void)ops::row_softmax(group_gate.forward(x));
+      (void)ops::row_softmax(in_group.forward(x));
+    }
+    const double t_lazy = watch.lap() / kIters;
+
+    table.add_row({strf("%d", experts), strf("%d", groups),
+                   format_duration(t_flat), format_duration(t_exact),
+                   format_duration(t_lazy),
+                   strf("%.1fx", t_flat / t_lazy)});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape: the lazy evaluation order turns routing cost from "
+               "O(d*E) into\nO(d*(G+E/G)) — mandatory at the 174T scale "
+               "where E reaches 216,000/layer\n(the performance model's "
+               "two_level_gating switch captures this at scale).\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Kernel microbenchmarks (google-benchmark): the measured rates that
+// calibrate the performance model's compute terms, plus the cost of the
+// framework's hot paths (dtype conversion, softmax, dispatch planning).
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "moe/gating.hpp"
+#include "tensor/dtype.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace bgl;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul_tn(a, b));
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(128);
+
+void BM_HalfConversion(benchmark::State& state) {
+  Rng rng(3);
+  Tensor t = Tensor::randn({1 << 16}, rng);
+  for (auto _ : state) {
+    ops::quantize_(t, DType::kF16);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_HalfConversion);
+
+void BM_Bf16Conversion(benchmark::State& state) {
+  Rng rng(4);
+  Tensor t = Tensor::randn({1 << 16}, rng);
+  for (auto _ : state) {
+    ops::quantize_(t, DType::kBF16);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_Bf16Conversion);
+
+void BM_RowSoftmax(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor t = Tensor::randn({256, 512}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::row_softmax(t));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RowSoftmax);
+
+void BM_DispatchPlan(benchmark::State& state) {
+  const std::int64_t experts = state.range(0);
+  Rng rng(6);
+  const Tensor probs =
+      ops::row_softmax(Tensor::randn({4096, experts}, rng));
+  moe::GateConfig config;
+  config.num_experts = static_cast<int>(experts);
+  config.top_k = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moe::build_dispatch_plan(probs, config));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DispatchPlan)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BalancedDispatchPlan(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor probs = ops::row_softmax(Tensor::randn({4096, 64}, rng));
+  moe::GateConfig config;
+  config.num_experts = 64;
+  config.top_k = 2;
+  config.capacity_factor = 1.0;
+  config.balanced_redispatch = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moe::build_dispatch_plan(probs, config));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BalancedDispatchPlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E9 — Per-node memory footprint vs model size, precision recipe and
+// sharding.
+//
+// Paper shape: brain-scale models only fit when expert parameters shard
+// across the expert-parallel dimension; mixed precision (16-bit weights +
+// FP32 masters) and optimizer-state sharding buy further headroom.
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "model/config.hpp"
+#include "topology/machine.hpp"
+
+int main() {
+  using namespace bgl;
+
+  const auto machine = topo::MachineSpec::sunway_new_generation();
+  const int full_ep = static_cast<int>(machine.total_processes());
+  std::cout << "E9: memory per node (6 ranks/node, 96 GiB/node)\n\n";
+
+  struct RecipeRow {
+    const char* name;
+    train::PrecisionRecipe recipe;
+  };
+  const RecipeRow recipes[] = {
+      {"fp32 + Adam", {DType::kF32, false, true, false}},
+      {"f16 + masters + Adam", {DType::kF16, true, true, false}},
+      {"f16 + masters + sharded Adam (dp=8)", {DType::kF16, true, true, true}},
+  };
+
+  for (const auto& config : {model::MoEModelConfig::brain_scale_1_93t(),
+                             model::MoEModelConfig::brain_scale_14_5t(),
+                             model::MoEModelConfig::brain_scale_174t()}) {
+    std::cout << config.name << " ("
+              << format_count(static_cast<double>(config.total_params()))
+              << " params):\n";
+    TextTable table({"recipe", "EP width", "params+opt / node", "activations",
+                     "total / node", "fits"});
+    for (const auto& row : recipes) {
+      for (const int ep : {full_ep / 8, full_ep}) {
+        const int dp = row.recipe.shard_optimizer ? 8 : 1;
+        const auto fp =
+            per_rank_footprint(config, ep, dp, row.recipe, 4096);
+        const double params_node =
+            (fp.param_bytes + fp.optimizer_bytes) * machine.processes_per_node;
+        const double act_node =
+            fp.activation_bytes * machine.processes_per_node;
+        const double total = params_node + act_node;
+        table.add_row({row.name, strf("%d", ep), format_bytes(params_node),
+                       format_bytes(act_node), format_bytes(total),
+                       total < machine.node_memory_bytes ? "yes" : "NO"});
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

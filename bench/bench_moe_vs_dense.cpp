@@ -1,0 +1,63 @@
+// Baseline — MoE vs dense at matched active compute.
+//
+// The premise of the whole paper: mixture-of-experts grows parameter count
+// (model capacity) without growing per-token compute. We train a dense
+// model (1 expert, always on) and MoE models with 8 experts (top-1: same
+// active FLOPs as dense; top-2: 2x) on the same synthetic language for the
+// same number of steps and report quality.
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "model/trainer.hpp"
+#include "model/transformer.hpp"
+#include "train/data.hpp"
+#include "train/optimizer.hpp"
+
+int main() {
+  using namespace bgl;
+
+  std::cout << "Baseline: MoE vs dense, matched active compute\n"
+            << "(vocab 128, d_model 32, 2 layers, 80 steps of batch 4)\n\n";
+
+  TextTable table({"model", "total params", "active/token", "first loss",
+                   "final loss"});
+  struct Variant {
+    const char* name;
+    int experts;
+    int top_k;
+  };
+  for (const auto& [name, experts, top_k] :
+       {Variant{"dense (1 expert)", 1, 1}, Variant{"MoE 8x top-1", 8, 1},
+        Variant{"MoE 8x top-2", 8, 2}}) {
+    model::MoEModelConfig config;
+    config.name = name;
+    config.vocab = 128;
+    config.d_model = 32;
+    config.n_layers = 2;
+    config.n_heads = 4;
+    config.seq_len = 8;
+    config.d_ffn = 64;
+    config.num_experts = experts;
+    config.top_k = top_k;
+    config.capacity_factor = 2.0;
+    config.aux_loss_weight = experts > 1 ? 1e-2 : 0.0;
+
+    Rng rng(2023);
+    model::MoETransformerLM lm(config, rng);
+    train::Adam adam(3e-3);
+    model::Trainer trainer(lm, adam);
+    train::MarkovTokenStream stream(config.vocab, 0.05, 11);
+    const model::TrainReport report = trainer.train(stream, 80, 4);
+    table.add_row(
+        {name, format_count(static_cast<double>(config.total_params())),
+         format_count(static_cast<double>(config.active_params_per_token())),
+         strf("%.3f", report.first_loss()),
+         strf("%.3f", report.tail_mean(10))});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape: MoE buys capacity (total params) at near-constant "
+               "active\ncompute — the reason brain-scale parameter counts "
+               "are reachable at all.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E10 — Communication/computation overlap in the MoE layer.
+//
+// Paper shape: pipelining the dispatch/combine all-to-all (and the gradient
+// allreduce) against expert/backward compute hides a large fraction of
+// communication; the benefit peaks when compute and communication are
+// balanced and fades when either strongly dominates. We sweep the expert
+// compute intensity (d_ffn) to trace that curve.
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "perf/perf_model.hpp"
+
+int main() {
+  using namespace bgl;
+
+  std::cout << "E10: comm/comp overlap benefit vs expert compute intensity\n"
+            << "(96,000 nodes, 1.93T-shape model, f16; d_ffn sweep)\n\n";
+
+  TextTable table({"d_ffn", "comm (a2a+ar)", "compute", "step (no overlap)",
+                   "step (overlap)", "saved", "speedup"});
+  for (const std::int64_t d_ffn : {1024, 2048, 4096, 8192, 16384, 32768}) {
+    perf::TrainSetup setup;
+    setup.model = model::MoEModelConfig::brain_scale_1_93t();
+    setup.model.d_ffn = d_ffn;
+    setup.machine = topo::MachineSpec::sunway_new_generation();
+    setup.nodes_used = 96000;
+    setup.ep_size = static_cast<int>(setup.ranks());
+    setup.model.num_experts = static_cast<int>(setup.ranks());
+    setup.tokens_per_rank = 4096;
+
+    setup.overlap_dispatch = false;
+    const perf::StepBreakdown off = perf::model_step(setup);
+    setup.overlap_dispatch = true;
+    const perf::StepBreakdown on = perf::model_step(setup);
+
+    table.add_row(
+        {strf("%lld", (long long)d_ffn),
+         format_duration(off.dispatch_s + off.combine_s + off.allreduce_s),
+         format_duration(off.dense_s + off.expert_s + off.gate_s),
+         format_duration(off.total_s), format_duration(on.total_s),
+         format_duration(on.overlap_saved_s),
+         strf("%.2fx", off.total_s / on.total_s)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — expert placement: blocked vs load-aware assignment of experts
+// to ranks under skewed routing (the straggler-rank problem).
+//
+// Load trace comes from the real gate: zipf-skewed tokens through a top-2
+// gate produce per-expert demanded loads; we compare the max-rank-load
+// (the synchronous step's critical path) under both placements.
+#include <iostream>
+
+#include "core/table.hpp"
+#include "moe/gating.hpp"
+#include "moe/placement.hpp"
+#include "tensor/ops.hpp"
+#include "train/data.hpp"
+
+int main() {
+  using namespace bgl;
+
+  constexpr int kExperts = 64;
+  constexpr int kRanks = 16;
+  constexpr std::int64_t kDModel = 32;
+  constexpr std::int64_t kTokens = 8192;
+
+  std::cout << "Ablation: expert placement (" << kExperts << " experts over "
+            << kRanks << " ranks, " << kTokens << " tokens, top-2 gate)\n\n";
+
+  TextTable table({"zipf s", "placement", "max rank load", "imbalance",
+                   "step speedup"});
+  for (const double skew : {0.0, 0.8, 1.6}) {
+    // Produce a load trace with the real gate on skewed tokens.
+    Rng rng(5);
+    train::SkewedTokenGenerator gen(kDModel, kExperts, skew, 17);
+    const auto rows = gen.next_tokens(kTokens);
+    Tensor x = Tensor::empty({kTokens, kDModel});
+    std::copy(rows.begin(), rows.end(), x.f32().begin());
+    // Random (but fixed) gate weights; logits = x·W.
+    const Tensor w = Tensor::randn({kDModel, kExperts}, rng, 0.0f, 0.5f);
+    const Tensor probs = ops::row_softmax(ops::matmul(x, w));
+    moe::GateConfig config;
+    config.num_experts = kExperts;
+    config.top_k = 2;
+    config.capacity_factor = 1e9;  // measure raw demand
+    const moe::DispatchPlan plan = moe::build_dispatch_plan(probs, config);
+
+    const auto& loads = plan.demanded_load;
+    const auto blocked = moe::blocked_placement(kExperts, kRanks);
+    const auto aware = moe::load_aware_placement(loads, kRanks);
+    const auto max_blocked = moe::max_rank_load(blocked, loads, kRanks);
+    const auto max_aware = moe::max_rank_load(aware, loads, kRanks);
+    table.add_row({strf("%.1f", skew), "blocked",
+                   strf("%lld", (long long)max_blocked),
+                   strf("%.2f", moe::placement_imbalance(blocked, loads, kRanks)),
+                   "1.00x"});
+    table.add_row({strf("%.1f", skew), "load-aware",
+                   strf("%lld", (long long)max_aware),
+                   strf("%.2f", moe::placement_imbalance(aware, loads, kRanks)),
+                   strf("%.2fx", static_cast<double>(max_blocked) /
+                                     static_cast<double>(max_aware))});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape: the step waits for the fullest rank; load-aware "
+               "placement\nflattens rank loads and recovers the skew-induced "
+               "slowdown.\n";
+  return 0;
+}

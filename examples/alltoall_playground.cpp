@@ -1,0 +1,84 @@
+// All-to-all playground: run the three dispatch algorithms for real on an
+// in-process world and compare with the network simulator's prediction for
+// the same pattern on a modelled cluster.
+//
+//   ./alltoall_playground
+#include <iostream>
+
+#include "collectives/coll.hpp"
+#include "collectives/coll_cost.hpp"
+#include "core/stopwatch.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "runtime/comm.hpp"
+#include "simnet/patterns.hpp"
+#include "simnet/simnet.hpp"
+
+int main() {
+  using namespace bgl;
+
+  constexpr int kRanks = 16;
+  constexpr std::size_t kChunk = 4096;  // floats per rank pair
+  constexpr int kIters = 20;
+
+  std::cout << "real execution: " << kRanks << " ranks, "
+            << format_bytes(kChunk * sizeof(float)) << " per pair, "
+            << kIters << " iterations\n\n";
+
+  TextTable real({"algorithm", "wall time / op", "msgs per rank"});
+  for (const auto algo :
+       {coll::AlltoallAlgo::kPairwise, coll::AlltoallAlgo::kBruck,
+        coll::AlltoallAlgo::kHierarchical}) {
+    double elapsed = 0.0;
+    rt::World::run(kRanks, [&](rt::Communicator& comm) {
+      std::vector<float> send(kChunk * kRanks);
+      for (std::size_t i = 0; i < send.size(); ++i)
+        send[i] = static_cast<float>(comm.rank() * 1000 + i);
+      comm.barrier();
+      Stopwatch watch;
+      for (int it = 0; it < kIters; ++it) {
+        const auto got =
+            coll::alltoall<float>(comm, send, kChunk, algo, /*group=*/4);
+        BGL_CHECK(got.size() == send.size());
+      }
+      comm.barrier();
+      if (comm.rank() == 0) elapsed = watch.elapsed() / kIters;
+    });
+    real.add_row({coll::alltoall_algo_name(algo), format_duration(elapsed),
+                  strf("%lld", (long long)coll::alltoall_messages_per_rank(
+                                   kRanks, algo, 4))});
+  }
+  real.print(std::cout);
+
+  // Simulated behaviour of the same algorithms on a modelled 64-node
+  // cluster with 8-node supernodes.
+  const auto spec = topo::MachineSpec::test_cluster(64, 8, 2);
+  simnet::NetworkSim sim(spec);
+  const std::int64_t ranks = spec.total_processes();
+  const double bytes = kChunk * sizeof(float);
+  std::cout << "\nsimulated on " << spec.name << " (" << ranks
+            << " ranks, 8-node supernodes):\n";
+  TextTable simulated({"algorithm", "simulated time", "cost model"});
+  simulated.add_row(
+      {"pairwise",
+       format_duration(
+           sim.run(simnet::pairwise_alltoall_pattern(ranks, bytes)).total_time_s),
+       format_duration(coll::alltoall_cost(spec, ranks, bytes,
+                                           coll::AlltoallAlgo::kPairwise))});
+  simulated.add_row(
+      {"bruck",
+       format_duration(
+           sim.run(simnet::bruck_alltoall_pattern(ranks, bytes)).total_time_s),
+       format_duration(coll::alltoall_cost(spec, ranks, bytes,
+                                           coll::AlltoallAlgo::kBruck))});
+  simulated.add_row(
+      {"hierarchical",
+       format_duration(sim.run(simnet::hierarchical_alltoall_pattern(
+                                   ranks, bytes, spec.ranks_per_supernode()))
+                           .total_time_s),
+       format_duration(coll::alltoall_cost(spec, ranks, bytes,
+                                           coll::AlltoallAlgo::kHierarchical,
+                                           spec.ranks_per_supernode()))});
+  simulated.print(std::cout);
+  return 0;
+}

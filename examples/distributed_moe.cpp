@@ -1,0 +1,96 @@
+// Distributed MoE training with MoDa parallelism on an in-process world.
+//
+// Demonstrates the paper's core mechanism at example scale: 8 ranks arranged
+// as 4 expert-parallel ranks x 2 data-parallel replicas. Tokens are gated
+// locally, dispatched to their experts by all-to-all, and gradients are
+// synchronized along the correct dimensions. Prints per-rank routing
+// statistics and step timings.
+//
+//   ./distributed_moe
+#include <iostream>
+#include <mutex>
+
+#include "collectives/coll.hpp"
+#include "core/stopwatch.hpp"
+#include "core/table.hpp"
+#include "parallel/moda.hpp"
+#include "runtime/comm.hpp"
+#include "tensor/ops.hpp"
+#include "train/data.hpp"
+#include "train/optimizer.hpp"
+
+int main() {
+  using namespace bgl;
+
+  constexpr int kWorld = 8;
+  constexpr int kEp = 4;
+  constexpr std::int64_t kDModel = 32;
+  constexpr std::int64_t kDHidden = 64;
+  constexpr std::int64_t kTokensPerRank = 64;
+  constexpr int kSteps = 5;
+
+  std::cout << "MoDa layout: " << kWorld << " ranks = " << kEp
+            << " expert-parallel x " << kWorld / kEp
+            << " data-parallel replicas\n"
+            << "experts: 8 global, 2 per EP rank; tokens/rank: "
+            << kTokensPerRank << "\n\n";
+
+  std::mutex print_mutex;
+  TextTable table({"rank", "ep", "dp", "recv tokens", "step time"});
+
+  rt::World::run(kWorld, [&](rt::Communicator& world) {
+    const parallel::MoDaLayout layout = parallel::MoDaLayout::make(kWorld, kEp);
+
+    moe::GateConfig gate;
+    gate.num_experts = 8;
+    gate.top_k = 2;
+    gate.capacity_factor = 1.5;
+    gate.balanced_redispatch = true;  // BaGuaLu-style bounded load
+
+    Rng rng(99);  // same seed everywhere: replicated gate
+    parallel::MoDaMoE moda(world, layout, kDModel, kDHidden, gate, rng);
+
+    // Skewed synthetic tokens: some experts are "hot", exercising the
+    // balanced re-dispatch.
+    train::SkewedTokenGenerator gen(kDModel, 8, /*zipf_s=*/1.0,
+                                    1000 + static_cast<std::uint64_t>(world.rank()));
+
+    train::Sgd sgd(1e-2);
+    Stopwatch watch;
+    double step_time = 0.0;
+    for (int step = 0; step < kSteps; ++step) {
+      const auto rows = gen.next_tokens(kTokensPerRank);
+      Tensor x = Tensor::empty({kTokensPerRank, kDModel});
+      std::copy(rows.begin(), rows.end(), x.f32().begin());
+
+      watch.reset();
+      const Tensor y = moda.forward(x);
+      // Toy objective: L = 0.5 * ||y||^2, so dL/dy = y.
+      for (nn::Parameter* p : moda.layer().parameters()) p->zero_grad();
+      (void)moda.backward(y);
+      moda.sync_gradients();
+      const auto params = moda.layer().parameters();
+      sgd.step(params);
+      step_time = watch.elapsed();
+      world.barrier();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(print_mutex);
+      table.add_row({strf("%d", world.rank()),
+                     strf("%d", layout.ep_index(world.rank())),
+                     strf("%d", layout.dp_index(world.rank())),
+                     strf("%lld", (long long)moda.layer().last_recv_tokens()),
+                     strf("%.2f ms", step_time * 1e3)});
+    }
+    world.barrier();
+  });
+
+  table.print(std::cout);
+  std::cout << "\nNote: the zipf-skewed input makes some experts hot. The\n"
+               "capacity limit + balanced re-dispatch caps each expert rank's\n"
+               "load at (sources x capacity) instead of letting the hottest\n"
+               "expert absorb every token — the load bound BaGuaLu needs to\n"
+               "keep the all-to-all and expert compute balanced.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// End-to-end distributed training: the full BaGuaLu stack at example scale.
+//
+// 4 ranks as 2 expert-parallel x 2 data-parallel, training a small MoE
+// transformer LM on a synthetic learnable language with bf16 mixed
+// precision, hierarchical dispatch all-to-all and a ZeRO-sharded optimizer.
+//
+//   ./distributed_training
+#include <iostream>
+#include <mutex>
+
+#include "core/table.hpp"
+#include "parallel/dist_trainer.hpp"
+#include "parallel/dist_transformer.hpp"
+#include "parallel/sharded_optimizer.hpp"
+#include "runtime/comm.hpp"
+#include "train/data.hpp"
+
+int main() {
+  using namespace bgl;
+
+  model::MoEModelConfig config;
+  config.name = "example-moe-lm";
+  config.vocab = 64;
+  config.d_model = 32;
+  config.n_layers = 2;
+  config.n_heads = 4;
+  config.seq_len = 8;
+  config.d_ffn = 64;
+  config.num_experts = 8;
+  config.top_k = 2;
+  config.capacity_factor = 1.5;
+  config.balanced_redispatch = true;
+  config.aux_loss_weight = 1e-2;
+
+  std::cout << "distributed training: 4 ranks = 2 EP x 2 DP\n"
+            << "model: " << config.total_params() << " params, "
+            << config.num_experts << " experts/layer (4 per EP rank)\n"
+            << "precision: bf16 compute, fp32 masters; dispatch: "
+               "hierarchical a2a; optimizer: ZeRO-sharded Adam\n\n";
+
+  std::mutex print_mutex;
+  TextTable table({"step", "global loss", "aux loss", "recv tokens r0"});
+
+  rt::World::run(4, [&](rt::Communicator& world) {
+    const auto layout = parallel::MoDaLayout::make(4, 2);
+    parallel::DistMoETransformerLM lm(world, layout, config, Rng(2022));
+    lm.set_dispatch_algo(coll::AlltoallvAlgo::kHierarchical, /*group=*/2);
+
+    parallel::ShardedAdam adam(world, 3e-3);
+    parallel::DistTrainerOptions options;
+    options.compute_dtype = DType::kBF16;
+    parallel::DistTrainer trainer(world, lm, adam, options);
+
+    train::MarkovTokenStream stream(
+        config.vocab, 0.05, 7 + static_cast<std::uint64_t>(world.rank()));
+
+    for (int step = 1; step <= 40; ++step) {
+      const auto batch = stream.next_batch(4, config.seq_len);
+      const auto stats = trainer.train_step(batch);
+      if (world.rank() == 0 && step % 8 == 0) {
+        std::lock_guard<std::mutex> lock(print_mutex);
+        table.add_row({strf("%d", step), strf("%.4f", stats.global_loss),
+                       strf("%.4f", stats.aux_loss),
+                       strf("%lld", (long long)lm.moe_layer(0).last_recv_tokens())});
+      }
+    }
+  });
+
+  table.print(std::cout);
+  std::cout << "\nloss falls on every replica in lock-step: dense params are\n"
+               "world-synced, expert shards dp-synced, optimizer state\n"
+               "sharded — the MoDa recipe end to end.\n";
+  return 0;
+}

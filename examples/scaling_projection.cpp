@@ -1,0 +1,64 @@
+// Scaling projection: what would this training run look like on the New
+// Generation Sunway machine?
+//
+// Uses the calibrated performance model to project step time, throughput
+// and sustained FLOPS for the paper's three brain-scale models from 1,536
+// nodes out to the full 96,000-node / 37.44M-core machine.
+//
+//   ./scaling_projection
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "perf/perf_model.hpp"
+
+int main() {
+  using namespace bgl;
+
+  const auto machine = topo::MachineSpec::sunway_new_generation();
+  std::cout << "machine: " << machine.name << " — " << machine.nodes
+            << " nodes, " << machine.total_cores() << " cores, "
+            << machine.supernodes() << " supernodes\n\n";
+
+  for (const auto& config : {model::MoEModelConfig::brain_scale_1_93t(),
+                             model::MoEModelConfig::brain_scale_14_5t(),
+                             model::MoEModelConfig::brain_scale_174t()}) {
+    perf::TrainSetup setup;
+    setup.model = config;
+    setup.machine = machine;
+    setup.nodes_used = 96000;
+    // Largest EP width the expert count allows; the rest becomes DP.
+    setup.ep_size = static_cast<int>(
+        perf::feasible_ep(setup.ranks(), config.num_experts));
+    setup.tokens_per_rank = 4096;
+    setup.compute = DType::kF16;
+    setup.overlap_dispatch = true;
+
+    const perf::StepBreakdown b = perf::model_step(setup);
+    std::cout << config.name << " ("
+              << format_count(static_cast<double>(config.total_params()))
+              << " params):\n";
+    TextTable table({"phase", "time", "share"});
+    const auto row = [&](const char* name, double seconds) {
+      table.add_row({name, format_duration(seconds),
+                     strf("%.1f%%", 100.0 * seconds / b.total_s)});
+    };
+    row("dense compute", b.dense_s);
+    row("expert compute", b.expert_s);
+    row("gate", b.gate_s);
+    row("dispatch a2a", b.dispatch_s);
+    row("combine a2a", b.combine_s);
+    row("grad allreduce", b.allreduce_s);
+    row("optimizer", b.optimizer_s);
+    row("(hidden by overlap)", -b.overlap_saved_s);
+    table.print(std::cout);
+    std::cout << "  step time:      " << format_duration(b.total_s) << '\n'
+              << "  throughput:     "
+              << format_count(static_cast<double>(setup.tokens_per_rank) *
+                              static_cast<double>(setup.ranks()) / b.total_s)
+              << " tokens/s\n"
+              << "  sustained:      " << format_flops(b.achieved_flops())
+              << " (paper reports ~1.002 EFLOPS mixed precision)\n\n";
+  }
+  return 0;
+}

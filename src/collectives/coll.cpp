@@ -1,0 +1,30 @@
+#include "collectives/coll.hpp"
+
+namespace bgl::coll {
+
+const char* allreduce_algo_name(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
+  }
+  return "?";
+}
+
+const char* alltoallv_algo_name(AlltoallvAlgo algo) {
+  switch (algo) {
+    case AlltoallvAlgo::kPairwise: return "pairwise";
+    case AlltoallvAlgo::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+const char* alltoall_algo_name(AlltoallAlgo algo) {
+  switch (algo) {
+    case AlltoallAlgo::kPairwise: return "pairwise";
+    case AlltoallAlgo::kBruck: return "bruck";
+    case AlltoallAlgo::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+}  // namespace bgl::coll

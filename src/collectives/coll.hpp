@@ -1,0 +1,560 @@
+// Collective communication algorithms, implemented over Communicator p2p.
+//
+// These are the communication kernels BaGuaLu's MoE training step is built
+// from: allreduce for data-parallel gradients, all-to-all for expert
+// dispatch/combine. Each collective offers multiple algorithms; the
+// hierarchical variants exploit a two-level (supernode) machine layout and
+// are the reproduction of the paper's topology-aware communication
+// optimization. Closed-form cost models for every algorithm live in
+// coll_cost.hpp, used by bgl::perf for full-machine projection.
+//
+// All functions are collective: every rank of `comm` must call with
+// compatible arguments. T must be trivially copyable.
+#pragma once
+
+#include <cstring>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::coll {
+
+/// Algorithm selector for allreduce.
+enum class AllreduceAlgo {
+  kRing,              // bandwidth-optimal reduce-scatter + allgather ring
+  kRecursiveDoubling  // latency-optimal for power-of-two sizes
+};
+
+/// Algorithm selector for all-to-all.
+enum class AlltoallAlgo {
+  kPairwise,     // P-1 rounds of sendrecv, one chunk per peer
+  kBruck,        // ceil(log2 P) rounds, good for small chunks
+  kHierarchical  // two-phase supernode-aware aggregation (BaGuaLu-style)
+};
+
+/// Human-readable algorithm names for bench output.
+const char* allreduce_algo_name(AllreduceAlgo algo);
+const char* alltoall_algo_name(AlltoallAlgo algo);
+
+namespace tags {
+// Tag bases per collective so concurrent collectives on one communicator
+// with different tags cannot cross-match. Each collective uses
+// base + round for its internal messages.
+inline constexpr int kBcast = 1 << 20;
+inline constexpr int kGather = 2 << 20;
+inline constexpr int kAllgather = 3 << 20;
+inline constexpr int kReduceScatter = 4 << 20;
+inline constexpr int kAllreduce = 5 << 20;
+inline constexpr int kAlltoall = 6 << 20;
+inline constexpr int kAlltoallv = 7 << 20;
+}  // namespace tags
+
+/// --- broadcast / gather ----------------------------------------------------
+
+/// Binomial-tree broadcast: after the call every rank holds root's data.
+/// Non-root ranks pass a buffer that is resized/overwritten.
+template <typename T>
+void broadcast(const rt::Communicator& comm, std::vector<T>& data, int root) {
+  const int p = comm.size();
+  if (p == 1) return;
+  // Re-index so the root is virtual rank 0. A node whose lowest set bit is
+  // 2^k receives from vrank - 2^k, then forwards to vrank + 2^j for j < k.
+  const int vrank = (comm.rank() - root + p) % p;
+  int recv_mask = 1;
+  if (vrank != 0) {
+    while ((vrank & recv_mask) == 0) recv_mask <<= 1;
+    const int vparent = vrank - recv_mask;
+    data = comm.recv<T>((vparent + root) % p, tags::kBcast);
+  } else {
+    while (recv_mask < p) recv_mask <<= 1;
+  }
+  for (int m = recv_mask >> 1; m >= 1; m >>= 1) {
+    if (vrank + m < p) {
+      comm.send<T>(((vrank + m) + root) % p, tags::kBcast,
+                   std::span<const T>(data));
+    }
+  }
+}
+
+/// Gather to root: returns the concatenation (rank order) at root, empty
+/// elsewhere. Contributions may differ in length.
+template <typename T>
+std::vector<T> gather(const rt::Communicator& comm, std::span<const T> mine,
+                      int root) {
+  if (comm.rank() != root) {
+    comm.send<T>(root, tags::kGather, mine);
+    return {};
+  }
+  std::vector<T> out;
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == root) {
+      out.insert(out.end(), mine.begin(), mine.end());
+    } else {
+      const std::vector<T> part = comm.recv<T>(r, tags::kGather);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+/// Ring allgather of equal-size contributions; returns P * count elements in
+/// rank order on every rank.
+template <typename T>
+std::vector<T> allgather(const rt::Communicator& comm,
+                         std::span<const T> mine) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t count = mine.size();
+  std::vector<T> out(count * static_cast<std::size_t>(p));
+  std::copy(mine.begin(), mine.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(count) * me);
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  // Round k: pass along the block that originated k hops upstream.
+  for (int k = 0; k < p - 1; ++k) {
+    const int send_block = (me - k + p) % p;
+    const int recv_block = (me - k - 1 + p) % p;
+    std::span<const T> chunk(out.data() + count * static_cast<std::size_t>(send_block), count);
+    const std::vector<T> incoming =
+        comm.sendrecv<T>(right, chunk, left, tags::kAllgather + k);
+    BGL_CHECK(incoming.size() == count);
+    std::copy(incoming.begin(), incoming.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(count) * recv_block);
+  }
+  return out;
+}
+
+/// Ring reduce-scatter (sum): input has P equal blocks of `block` elements;
+/// returns this rank's fully reduced block.
+template <typename T>
+std::vector<T> reduce_scatter_sum(const rt::Communicator& comm,
+                                  std::span<const T> input,
+                                  std::size_t block) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  BGL_ENSURE(input.size() == block * static_cast<std::size_t>(p),
+             "reduce_scatter input size " << input.size() << " != P*block");
+  if (p == 1) return std::vector<T>(input.begin(), input.end());
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  // Working copy; accumulate into the travelling block each round.
+  std::vector<T> work(input.begin(), input.end());
+  std::vector<T> acc;
+  for (int k = 0; k < p - 1; ++k) {
+    const int send_block = (me - k - 1 + p) % p;
+    std::span<const T> chunk =
+        k == 0 ? std::span<const T>(work.data() + block * static_cast<std::size_t>(send_block), block)
+               : std::span<const T>(acc);
+    const std::vector<T> incoming =
+        comm.sendrecv<T>(right, chunk, left, tags::kReduceScatter + k);
+    const int recv_block = (me - k - 2 + p) % p;
+    BGL_CHECK(incoming.size() == block);
+    acc.assign(incoming.begin(), incoming.end());
+    const T* local = work.data() + block * static_cast<std::size_t>(recv_block);
+    for (std::size_t i = 0; i < block; ++i) acc[i] += local[i];
+  }
+  return acc;
+}
+
+namespace detail {
+
+template <typename T>
+void ring_allreduce(const rt::Communicator& comm, std::span<T> inout) {
+  const int p = comm.size();
+  const std::size_t n = inout.size();
+  const std::size_t block = static_cast<std::size_t>(ceil_div(
+      static_cast<std::int64_t>(n), p));
+  // Pad to P equal blocks, reduce-scatter, then allgather.
+  std::vector<T> padded(block * static_cast<std::size_t>(p), T{});
+  std::copy(inout.begin(), inout.end(), padded.begin());
+  const std::vector<T> my_block =
+      reduce_scatter_sum<T>(comm, padded, block);
+  const std::vector<T> all = allgather<T>(comm, std::span<const T>(my_block));
+  std::copy(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n),
+            inout.begin());
+}
+
+template <typename T>
+void recursive_doubling_allreduce(const rt::Communicator& comm,
+                                  std::span<T> inout) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  BGL_CHECK(is_pow2(static_cast<std::uint64_t>(p)));
+  for (int mask = 1, round = 0; mask < p; mask <<= 1, ++round) {
+    const int partner = me ^ mask;
+    const std::vector<T> incoming = comm.sendrecv<T>(
+        partner, std::span<const T>(inout.data(), inout.size()), partner,
+        tags::kAllreduce + round);
+    BGL_CHECK(incoming.size() == inout.size());
+    for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += incoming[i];
+  }
+}
+
+}  // namespace detail
+
+/// In-place sum-allreduce over all ranks.
+template <typename T>
+void allreduce_sum(const rt::Communicator& comm, std::span<T> inout,
+                   AllreduceAlgo algo = AllreduceAlgo::kRing) {
+  if (comm.size() == 1 || inout.empty()) return;
+  switch (algo) {
+    case AllreduceAlgo::kRing:
+      detail::ring_allreduce(comm, inout);
+      return;
+    case AllreduceAlgo::kRecursiveDoubling:
+      if (is_pow2(static_cast<std::uint64_t>(comm.size()))) {
+        detail::recursive_doubling_allreduce(comm, inout);
+      } else {
+        detail::ring_allreduce(comm, inout);  // graceful fallback
+      }
+      return;
+  }
+  BGL_FAIL("unknown allreduce algorithm");
+}
+
+namespace detail {
+
+template <typename T>
+std::vector<T> pairwise_alltoall(const rt::Communicator& comm,
+                                 std::span<const T> send, std::size_t chunk) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  std::vector<T> out(chunk * static_cast<std::size_t>(p));
+  // Self block.
+  std::copy(send.begin() + static_cast<std::ptrdiff_t>(chunk) * me,
+            send.begin() + static_cast<std::ptrdiff_t>(chunk) * (me + 1),
+            out.begin() + static_cast<std::ptrdiff_t>(chunk) * me);
+  for (int k = 1; k < p; ++k) {
+    const int dst = (me + k) % p;
+    const int src = (me - k + p) % p;
+    std::span<const T> to_send(send.data() + chunk * static_cast<std::size_t>(dst), chunk);
+    const std::vector<T> incoming =
+        comm.sendrecv<T>(dst, to_send, src, tags::kAlltoall + k);
+    BGL_CHECK(incoming.size() == chunk);
+    std::copy(incoming.begin(), incoming.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(chunk) * src);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> bruck_alltoall(const rt::Communicator& comm,
+                              std::span<const T> send, std::size_t chunk) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  // Phase 1: local rotation so block i is destined to rank (me + i) % p.
+  std::vector<T> work(send.size());
+  for (int i = 0; i < p; ++i) {
+    const int src_block = (me + i) % p;
+    std::copy(send.begin() + static_cast<std::ptrdiff_t>(chunk) * src_block,
+              send.begin() + static_cast<std::ptrdiff_t>(chunk) * (src_block + 1),
+              work.begin() + static_cast<std::ptrdiff_t>(chunk) * i);
+  }
+  // Phase 2: log rounds; in round k send all blocks whose index has bit k.
+  for (int mask = 1, round = 0; mask < p; mask <<= 1, ++round) {
+    const int dst = (me + mask) % p;
+    const int src = (me - mask + p) % p;
+    std::vector<T> packed;
+    std::vector<int> blocks;
+    for (int i = 0; i < p; ++i) {
+      if (i & mask) {
+        blocks.push_back(i);
+        packed.insert(packed.end(),
+                      work.begin() + static_cast<std::ptrdiff_t>(chunk) * i,
+                      work.begin() + static_cast<std::ptrdiff_t>(chunk) * (i + 1));
+      }
+    }
+    const std::vector<T> incoming = comm.sendrecv<T>(
+        dst, std::span<const T>(packed), src, tags::kAlltoall + 64 + round);
+    BGL_CHECK(incoming.size() == packed.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      std::copy(incoming.begin() + static_cast<std::ptrdiff_t>(chunk * b),
+                incoming.begin() + static_cast<std::ptrdiff_t>(chunk * (b + 1)),
+                work.begin() + static_cast<std::ptrdiff_t>(chunk) * blocks[b]);
+    }
+  }
+  // Phase 3: inverse rotation into final rank order.
+  std::vector<T> out(send.size());
+  for (int i = 0; i < p; ++i) {
+    const int src_rank = (me - i + p) % p;
+    std::copy(work.begin() + static_cast<std::ptrdiff_t>(chunk) * i,
+              work.begin() + static_cast<std::ptrdiff_t>(chunk) * (i + 1),
+              out.begin() + static_cast<std::ptrdiff_t>(chunk) * src_rank);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> hierarchical_alltoall(const rt::Communicator& comm,
+                                     std::span<const T> send,
+                                     std::size_t chunk, int group_size) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  BGL_ENSURE(group_size >= 1 && p % group_size == 0,
+             "group size " << group_size << " must divide P=" << p);
+  const int g = group_size;
+  const int ngroups = p / g;
+  const int my_group = me / g;
+  const int my_local = me % g;
+
+  // Phase 1 (intra-supernode): local alltoall so that local rank l ends up
+  // holding, for every destination rank with local index l, the chunks from
+  // all g members of this group. Message to local peer l': all chunks
+  // destined to ranks (H, l') for every group H, ordered by H.
+  std::vector<T> phase1(chunk * static_cast<std::size_t>(g) *
+                        static_cast<std::size_t>(ngroups));
+  // phase1 layout: [dst_group H][src_local s] -> chunk from (my_group, s)
+  //                destined to (H, my_local).
+  for (int step = 0; step < g; ++step) {
+    const int dst_local = (my_local + step) % g;
+    const int src_local = (my_local - step + g) % g;
+    std::vector<T> packed;
+    packed.reserve(chunk * static_cast<std::size_t>(ngroups));
+    for (int h = 0; h < ngroups; ++h) {
+      const int dst_rank = h * g + dst_local;
+      packed.insert(packed.end(),
+                    send.begin() + static_cast<std::ptrdiff_t>(chunk) * dst_rank,
+                    send.begin() + static_cast<std::ptrdiff_t>(chunk) * (dst_rank + 1));
+    }
+    std::vector<T> incoming;
+    if (dst_local == my_local) {
+      incoming = std::move(packed);
+    } else {
+      incoming = comm.sendrecv<T>(
+          my_group * g + dst_local, std::span<const T>(packed),
+          my_group * g + src_local, tags::kAlltoall + 128 + step);
+    }
+    BGL_CHECK(incoming.size() == chunk * static_cast<std::size_t>(ngroups));
+    for (int h = 0; h < ngroups; ++h) {
+      std::copy(
+          incoming.begin() + static_cast<std::ptrdiff_t>(chunk) * h,
+          incoming.begin() + static_cast<std::ptrdiff_t>(chunk) * (h + 1),
+          phase1.begin() +
+              static_cast<std::ptrdiff_t>(chunk) * (h * g + src_local));
+    }
+  }
+
+  // Phase 2 (inter-supernode): exchange aggregated g-chunk messages among
+  // ranks with the same local index. Result indexed [src_group][src_local].
+  std::vector<T> out(chunk * static_cast<std::size_t>(p));
+  for (int step = 0; step < ngroups; ++step) {
+    const int dst_group = (my_group + step) % ngroups;
+    const int src_group = (my_group - step + ngroups) % ngroups;
+    std::span<const T> packed(
+        phase1.data() + chunk * static_cast<std::size_t>(dst_group * g),
+        chunk * static_cast<std::size_t>(g));
+    std::vector<T> incoming;
+    if (dst_group == my_group) {
+      incoming.assign(packed.begin(), packed.end());
+    } else {
+      incoming = comm.sendrecv<T>(
+          dst_group * g + my_local, packed, src_group * g + my_local,
+          tags::kAlltoall + 256 + step);
+    }
+    BGL_CHECK(incoming.size() == chunk * static_cast<std::size_t>(g));
+    for (int s = 0; s < g; ++s) {
+      const int src_rank = src_group * g + s;
+      std::copy(incoming.begin() + static_cast<std::ptrdiff_t>(chunk) * s,
+                incoming.begin() + static_cast<std::ptrdiff_t>(chunk) * (s + 1),
+                out.begin() + static_cast<std::ptrdiff_t>(chunk) * src_rank);
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Equal-count all-to-all: `send` holds P chunks of `chunk` elements, chunk i
+/// destined to rank i; returns P chunks where chunk i came from rank i.
+/// `group_size` is only used by the hierarchical algorithm (supernode width;
+/// must divide P).
+template <typename T>
+std::vector<T> alltoall(const rt::Communicator& comm, std::span<const T> send,
+                        std::size_t chunk,
+                        AlltoallAlgo algo = AlltoallAlgo::kPairwise,
+                        int group_size = 1) {
+  BGL_ENSURE(send.size() == chunk * static_cast<std::size_t>(comm.size()),
+             "alltoall send size " << send.size() << " != P*chunk");
+  if (comm.size() == 1) return std::vector<T>(send.begin(), send.end());
+  switch (algo) {
+    case AlltoallAlgo::kPairwise:
+      return detail::pairwise_alltoall(comm, send, chunk);
+    case AlltoallAlgo::kBruck:
+      return detail::bruck_alltoall(comm, send, chunk);
+    case AlltoallAlgo::kHierarchical:
+      return detail::hierarchical_alltoall(comm, send, chunk, group_size);
+  }
+  BGL_FAIL("unknown alltoall algorithm");
+}
+
+/// In-place elementwise max-allreduce. Implemented allgather-then-reduce;
+/// intended for small buffers (e.g. the row maxima of a distributed
+/// softmax), where latency dominates anyway.
+template <typename T>
+void allreduce_max(const rt::Communicator& comm, std::span<T> inout) {
+  if (comm.size() == 1 || inout.empty()) return;
+  const std::vector<T> all =
+      allgather<T>(comm, std::span<const T>(inout.data(), inout.size()));
+  for (std::size_t i = 0; i < inout.size(); ++i) {
+    T best = inout[i];
+    for (int r = 0; r < comm.size(); ++r) {
+      const T v = all[static_cast<std::size_t>(r) * inout.size() + i];
+      if (v > best) best = v;
+    }
+    inout[i] = best;
+  }
+}
+
+/// Algorithm selector for the variable-count all-to-all.
+enum class AlltoallvAlgo {
+  kPairwise,     // P-1 rounds of direct sendrecv
+  kHierarchical  // two-phase supernode-aware aggregation (BaGuaLu dispatch)
+};
+
+const char* alltoallv_algo_name(AlltoallvAlgo algo);
+
+namespace detail {
+
+template <typename T>
+std::vector<std::vector<T>> pairwise_alltoallv(
+    const rt::Communicator& comm, const std::vector<std::vector<T>>& send) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(me)] = send[static_cast<std::size_t>(me)];
+  for (int k = 1; k < p; ++k) {
+    const int dst = (me + k) % p;
+    const int src = (me - k + p) % p;
+    out[static_cast<std::size_t>(src)] = comm.sendrecv<T>(
+        dst, std::span<const T>(send[static_cast<std::size_t>(dst)]), src,
+        tags::kAlltoallv + k);
+  }
+  return out;
+}
+
+/// Two-phase hierarchical alltoallv, mirroring the fixed-size algorithm but
+/// with explicit length vectors. Phase 1 aggregates per-local-index traffic
+/// inside the group; phase 2 exchanges group-aggregated messages between
+/// equal local indices; each data message is preceded by its length vector.
+template <typename T>
+std::vector<std::vector<T>> hierarchical_alltoallv(
+    const rt::Communicator& comm, const std::vector<std::vector<T>>& send,
+    int group_size) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  BGL_ENSURE(group_size >= 1 && p % group_size == 0,
+             "group size " << group_size << " must divide P=" << p);
+  const int g = group_size;
+  const int ngroups = p / g;
+  const int my_group = me / g;
+  const int my_local = me % g;
+
+  // Phase 1: local peer l' receives, for every destination group H, my
+  // buffer destined to rank (H, l'). phase1[h][s] = buffer from local
+  // source s destined to (h, my_local).
+  std::vector<std::vector<std::vector<T>>> phase1(
+      static_cast<std::size_t>(ngroups),
+      std::vector<std::vector<T>>(static_cast<std::size_t>(g)));
+  for (int step = 0; step < g; ++step) {
+    const int dst_local = (my_local + step) % g;
+    const int src_local = (my_local - step + g) % g;
+    std::vector<std::int64_t> lens(static_cast<std::size_t>(ngroups));
+    std::vector<T> packed;
+    for (int h = 0; h < ngroups; ++h) {
+      const auto& buf = send[static_cast<std::size_t>(h * g + dst_local)];
+      lens[static_cast<std::size_t>(h)] = static_cast<std::int64_t>(buf.size());
+      packed.insert(packed.end(), buf.begin(), buf.end());
+    }
+    std::vector<std::int64_t> in_lens;
+    std::vector<T> in_data;
+    if (dst_local == my_local) {
+      in_lens = std::move(lens);
+      in_data = std::move(packed);
+    } else {
+      const int dst = my_group * g + dst_local;
+      const int src = my_group * g + src_local;
+      comm.send<std::int64_t>(dst, tags::kAlltoallv + 512 + step, lens);
+      comm.send<T>(dst, tags::kAlltoallv + 1024 + step,
+                   std::span<const T>(packed));
+      in_lens = comm.recv<std::int64_t>(src, tags::kAlltoallv + 512 + step);
+      in_data = comm.recv<T>(src, tags::kAlltoallv + 1024 + step);
+    }
+    BGL_CHECK(in_lens.size() == static_cast<std::size_t>(ngroups));
+    std::size_t off = 0;
+    for (int h = 0; h < ngroups; ++h) {
+      const auto len = static_cast<std::size_t>(in_lens[static_cast<std::size_t>(h)]);
+      auto& slot = phase1[static_cast<std::size_t>(h)][static_cast<std::size_t>(src_local)];
+      slot.assign(in_data.begin() + static_cast<std::ptrdiff_t>(off),
+                  in_data.begin() + static_cast<std::ptrdiff_t>(off + len));
+      off += len;
+    }
+    BGL_CHECK(off == in_data.size());
+  }
+
+  // Phase 2: forward the aggregated per-group bundle to (H, my_local);
+  // receive bundles whose sub-buffers come from sources (G_src, s).
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
+  for (int step = 0; step < ngroups; ++step) {
+    const int dst_group = (my_group + step) % ngroups;
+    const int src_group = (my_group - step + ngroups) % ngroups;
+    std::vector<std::int64_t> lens(static_cast<std::size_t>(g));
+    std::vector<T> packed;
+    for (int s = 0; s < g; ++s) {
+      const auto& buf = phase1[static_cast<std::size_t>(dst_group)][static_cast<std::size_t>(s)];
+      lens[static_cast<std::size_t>(s)] = static_cast<std::int64_t>(buf.size());
+      packed.insert(packed.end(), buf.begin(), buf.end());
+    }
+    std::vector<std::int64_t> in_lens;
+    std::vector<T> in_data;
+    if (dst_group == my_group) {
+      in_lens = std::move(lens);
+      in_data = std::move(packed);
+    } else {
+      const int dst = dst_group * g + my_local;
+      const int src = src_group * g + my_local;
+      comm.send<std::int64_t>(dst, tags::kAlltoallv + 2048 + step, lens);
+      comm.send<T>(dst, tags::kAlltoallv + 4096 + step,
+                   std::span<const T>(packed));
+      in_lens = comm.recv<std::int64_t>(src, tags::kAlltoallv + 2048 + step);
+      in_data = comm.recv<T>(src, tags::kAlltoallv + 4096 + step);
+    }
+    BGL_CHECK(in_lens.size() == static_cast<std::size_t>(g));
+    std::size_t off = 0;
+    for (int s = 0; s < g; ++s) {
+      const auto len = static_cast<std::size_t>(in_lens[static_cast<std::size_t>(s)]);
+      auto& slot = out[static_cast<std::size_t>(src_group * g + s)];
+      slot.assign(in_data.begin() + static_cast<std::ptrdiff_t>(off),
+                  in_data.begin() + static_cast<std::ptrdiff_t>(off + len));
+      off += len;
+    }
+    BGL_CHECK(off == in_data.size());
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Variable-count all-to-all: element i of `send` goes to rank i; returns a
+/// vector whose element i holds the data received from rank i. Message
+/// sizes are carried by the transport (pairwise) or explicit length headers
+/// (hierarchical; `group_size` must divide P).
+template <typename T>
+std::vector<std::vector<T>> alltoallv(
+    const rt::Communicator& comm, const std::vector<std::vector<T>>& send,
+    AlltoallvAlgo algo = AlltoallvAlgo::kPairwise, int group_size = 1) {
+  BGL_ENSURE(static_cast<int>(send.size()) == comm.size(),
+             "alltoallv needs one buffer per rank");
+  switch (algo) {
+    case AlltoallvAlgo::kPairwise:
+      return detail::pairwise_alltoallv(comm, send);
+    case AlltoallvAlgo::kHierarchical:
+      return detail::hierarchical_alltoallv(comm, send, group_size);
+  }
+  BGL_FAIL("unknown alltoallv algorithm");
+}
+
+}  // namespace bgl::coll

@@ -1,0 +1,269 @@
+#include "collectives/coll_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+
+namespace bgl::coll {
+namespace {
+
+using topo::MachineSpec;
+
+/// Aggregate trunk bandwidth of one supernode.
+double trunk_bw(const MachineSpec& spec) {
+  return spec.inter_super.bandwidth_bps * spec.supernode_size *
+         spec.trunk_taper;
+}
+
+/// Time of one synchronous round in which, per supernode, `cross_flows`
+/// rank-flows of `bytes` cross the trunk and up to `nic_flows` flows share
+/// each node NIC. The round is gated by its slowest shared resource.
+double cross_round(const MachineSpec& spec, double bytes, double nic_flows,
+                   double cross_flows) {
+  const double flow = bytes / spec.inter_super.bandwidth_bps;
+  const double nic = nic_flows * bytes / spec.intra_super.bandwidth_bps;
+  const double trunk = cross_flows * bytes / trunk_bw(spec);
+  return spec.inter_super.latency_s + std::max({flow, nic, trunk});
+}
+
+/// Round entirely within supernodes: flows share node NICs only.
+double super_round(const MachineSpec& spec, double bytes, double nic_flows) {
+  const double flow = bytes / spec.intra_super.bandwidth_bps;
+  const double nic = nic_flows * bytes / spec.intra_super.bandwidth_bps;
+  return spec.intra_super.latency_s + std::max(flow, nic);
+}
+
+/// Round entirely within nodes (shared-memory exchange).
+double node_round(const MachineSpec& spec, double bytes, double flows) {
+  return spec.intra_node.latency_s +
+         flows * bytes / spec.intra_node.bandwidth_bps;
+}
+
+double pairwise_cost(const MachineSpec& spec, std::int64_t ranks,
+                     double bytes) {
+  const std::int64_t ppn = spec.processes_per_node;
+  const std::int64_t rps = spec.ranks_per_supernode();
+  double total = 0.0;
+  for (std::int64_t k = 1; k < ranks; ++k) {
+    if (ranks <= ppn) {
+      total += node_round(spec, bytes, std::min<std::int64_t>(k, ppn));
+    } else if (ranks <= rps) {
+      total += super_round(spec, bytes,
+                           static_cast<double>(std::min<std::int64_t>(k, ppn)));
+    } else {
+      // Shift k pushes min(k, rps) ranks per supernode across the trunk
+      // (per side; symmetric), and min(k, ppn) flows off each node.
+      total += cross_round(
+          spec, bytes, static_cast<double>(std::min<std::int64_t>(k, ppn)),
+          static_cast<double>(std::min<std::int64_t>(k, rps)));
+    }
+  }
+  return total;
+}
+
+double bruck_cost(const MachineSpec& spec, std::int64_t ranks, double bytes) {
+  const std::int64_t ppn = spec.processes_per_node;
+  const std::int64_t rps = spec.ranks_per_supernode();
+  double total = 0.0;
+  for (std::int64_t mask = 1; mask < ranks; mask <<= 1) {
+    // Each rank ships roughly half the buffer in one message.
+    std::int64_t blocks = 0;
+    for (std::int64_t i = 0; i < ranks; ++i)
+      if (i & mask) ++blocks;
+    const double msg = bytes * static_cast<double>(blocks);
+    if (ranks <= ppn) {
+      total += node_round(spec, msg, ppn);
+    } else if (ranks <= rps || mask < rps) {
+      // Distance-mask shifts stay inside a supernode only if mask < rps
+      // never wraps a boundary — conservatively treat small masks as
+      // boundary-crossing too when the machine has multiple supernodes.
+      if (ranks > rps) {
+        total += cross_round(spec, msg, static_cast<double>(ppn),
+                             static_cast<double>(std::min(mask, rps)));
+      } else {
+        total += super_round(spec, msg, static_cast<double>(ppn));
+      }
+    } else {
+      total += cross_round(spec, msg, static_cast<double>(ppn),
+                           static_cast<double>(rps));
+    }
+  }
+  return total;
+}
+
+double hierarchical_cost(const MachineSpec& spec, std::int64_t ranks,
+                         double bytes, std::int64_t group) {
+  BGL_ENSURE(group >= 1 && ranks % group == 0,
+             "hierarchical group " << group << " must divide " << ranks);
+  const std::int64_t ngroups = ranks / group;
+  const std::int64_t ppn = spec.processes_per_node;
+  double total = 0.0;
+  // Phase 1: group-internal exchange of ngroups-aggregated chunks. With
+  // supernode-aligned groups these rounds never touch the trunk.
+  const double p1_msg = bytes * static_cast<double>(ngroups);
+  for (std::int64_t step = 1; step < group; ++step) {
+    if (group <= ppn) {
+      total += node_round(spec, p1_msg, std::min<std::int64_t>(step, ppn));
+    } else {
+      total += super_round(
+          spec, p1_msg,
+          static_cast<double>(std::min<std::int64_t>(step, ppn)));
+    }
+  }
+  // Phase 2: cross-group exchange of group-aggregated chunks. Every rank
+  // sends cross-trunk each round.
+  const double p2_msg = bytes * static_cast<double>(group);
+  const std::int64_t rps = spec.ranks_per_supernode();
+  for (std::int64_t step = 1; step < ngroups; ++step) {
+    total += cross_round(spec, p2_msg, static_cast<double>(ppn),
+                         static_cast<double>(std::min<std::int64_t>(
+                             group, rps)));
+  }
+  return total;
+}
+
+}  // namespace
+
+double alltoall_cost(const MachineSpec& spec, std::int64_t ranks,
+                     double bytes_per_pair, AlltoallAlgo algo,
+                     std::int64_t group_size) {
+  BGL_ENSURE(ranks >= 1 && ranks <= spec.total_processes(),
+             "ranks " << ranks << " exceeds machine " << spec.total_processes());
+  if (ranks == 1) return 0.0;
+  switch (algo) {
+    case AlltoallAlgo::kPairwise:
+      return pairwise_cost(spec, ranks, bytes_per_pair);
+    case AlltoallAlgo::kBruck:
+      return bruck_cost(spec, ranks, bytes_per_pair);
+    case AlltoallAlgo::kHierarchical:
+      return hierarchical_cost(spec, ranks, bytes_per_pair, group_size);
+  }
+  BGL_FAIL("unknown alltoall algorithm");
+}
+
+double allreduce_cost(const MachineSpec& spec, std::int64_t ranks,
+                      double total_bytes, AllreduceAlgo algo) {
+  BGL_ENSURE(ranks >= 1 && ranks <= spec.total_processes(),
+             "ranks " << ranks << " exceeds machine " << spec.total_processes());
+  if (ranks == 1) return 0.0;
+  const std::int64_t ppn = spec.processes_per_node;
+  const std::int64_t rps = spec.ranks_per_supernode();
+  switch (algo) {
+    case AllreduceAlgo::kRing: {
+      const double block = total_bytes / static_cast<double>(ranks);
+      // Neighbour exchange: the slowest pair gates the round. Only the 1-2
+      // boundary flows cross nodes/trunks, so no meaningful contention.
+      double round;
+      if (ranks <= ppn) {
+        round = node_round(spec, block, 2.0);
+      } else if (ranks <= rps) {
+        round = super_round(spec, block, 2.0);
+      } else {
+        round = cross_round(spec, block, 2.0, 2.0);
+      }
+      return 2.0 * static_cast<double>(ranks - 1) * round;
+    }
+    case AllreduceAlgo::kRecursiveDoubling: {
+      double total = 0.0;
+      for (std::int64_t mask = 1; mask < ranks; mask <<= 1) {
+        if (mask < ppn && ranks <= ppn) {
+          total += node_round(spec, total_bytes, static_cast<double>(ppn));
+        } else if (mask < rps && ranks <= rps) {
+          total += super_round(spec, total_bytes, static_cast<double>(ppn));
+        } else {
+          total += cross_round(spec, total_bytes, static_cast<double>(ppn),
+                               static_cast<double>(rps));
+        }
+      }
+      return total;
+    }
+  }
+  BGL_FAIL("unknown allreduce algorithm");
+}
+
+double hierarchical_allreduce_cost(const topo::MachineSpec& spec,
+                                   std::int64_t ranks, double total_bytes,
+                                   std::int64_t group_size) {
+  BGL_ENSURE(group_size >= 1 && ranks % group_size == 0,
+             "group " << group_size << " must divide " << ranks);
+  const std::int64_t ngroups = ranks / group_size;
+  const std::int64_t ppn = spec.processes_per_node;
+  double total = 0.0;
+  // Binomial reduce + broadcast within groups (2 * log2(g) rounds).
+  const int levels = group_size > 1
+                         ? ilog2(static_cast<std::uint64_t>(group_size - 1)) + 1
+                         : 0;
+  for (int l = 0; l < levels; ++l) {
+    const double round =
+        group_size <= ppn
+            ? node_round(spec, total_bytes, 1.0)
+            : super_round(spec, total_bytes, 1.0);
+    total += 2.0 * round;
+  }
+  // Ring among leaders (one per group).
+  if (ngroups > 1) {
+    const double block = total_bytes / static_cast<double>(ngroups);
+    const double round = cross_round(spec, block, 1.0, 1.0);
+    total += 2.0 * static_cast<double>(ngroups - 1) * round;
+  }
+  return total;
+}
+
+double two_level_sharded_allreduce_cost(const topo::MachineSpec& spec,
+                                        std::int64_t ranks, double total_bytes,
+                                        std::int64_t group_size) {
+  BGL_ENSURE(group_size >= 1 && ranks % group_size == 0,
+             "group " << group_size << " must divide " << ranks);
+  if (ranks == 1) return 0.0;
+  const std::int64_t g = group_size;
+  const std::int64_t ngroups = ranks / g;
+  const std::int64_t ppn = spec.processes_per_node;
+  const std::int64_t rps = spec.ranks_per_supernode();
+  double total = 0.0;
+
+  // Phase 1 + 3: ring reduce-scatter then ring allgather inside the group.
+  // Every rank is active each round, so node NICs carry ppn flows.
+  if (g > 1) {
+    const double block = total_bytes / static_cast<double>(g);
+    double round;
+    if (g <= ppn) {
+      round = node_round(spec, block, static_cast<double>(ppn));
+    } else {
+      round = super_round(spec, block, static_cast<double>(ppn));
+    }
+    total += 2.0 * static_cast<double>(g - 1) * round;
+  }
+  // Phase 2: ngroups-wide rings over each rank's shard, all groups'
+  // shard-owners concurrently; cross-trunk flows per supernode = rps.
+  if (ngroups > 1) {
+    const double block2 =
+        total_bytes / static_cast<double>(g) / static_cast<double>(ngroups);
+    const double round =
+        cross_round(spec, block2, static_cast<double>(ppn),
+                    static_cast<double>(std::min<std::int64_t>(g, rps)));
+    total += 2.0 * static_cast<double>(ngroups - 1) * round;
+  }
+  return total;
+}
+
+std::int64_t alltoall_messages_per_rank(std::int64_t ranks, AlltoallAlgo algo,
+                                        std::int64_t group_size) {
+  switch (algo) {
+    case AlltoallAlgo::kPairwise:
+      return ranks - 1;
+    case AlltoallAlgo::kBruck: {
+      std::int64_t rounds = 0;
+      for (std::int64_t mask = 1; mask < ranks; mask <<= 1) ++rounds;
+      return rounds;
+    }
+    case AlltoallAlgo::kHierarchical: {
+      BGL_CHECK(group_size >= 1 && ranks % group_size == 0);
+      return (group_size - 1) + (ranks / group_size - 1);
+    }
+  }
+  BGL_FAIL("unknown alltoall algorithm");
+}
+
+}  // namespace bgl::coll

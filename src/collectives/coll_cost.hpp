@@ -1,0 +1,55 @@
+// Closed-form alpha-beta cost models for the collective algorithms in
+// coll.hpp, evaluated on a MachineSpec with block process placement.
+//
+// The models account for the two contention effects that dominate on a
+// hierarchical machine: node-NIC sharing among the processes of one node,
+// and trunk sharing among all ranks of a supernode for cross-supernode
+// traffic (with taper). They are validated against the bgl::simnet
+// event-driven simulator in tests, and consumed by bgl::perf to project
+// step times at full-machine scale where per-message simulation is
+// impractical.
+#pragma once
+
+#include <cstdint>
+
+#include "collectives/coll.hpp"
+#include "topology/machine.hpp"
+
+namespace bgl::coll {
+
+/// Time for an equal-count all-to-all of `bytes_per_pair` bytes between each
+/// ordered rank pair, over the first `ranks` processes of `spec`.
+/// `group_size` is the supernode-aligned group width used by the
+/// hierarchical algorithm (ignored by others; pass spec.ranks_per_supernode()
+/// to align groups with supernodes).
+double alltoall_cost(const topo::MachineSpec& spec, std::int64_t ranks,
+                     double bytes_per_pair, AlltoallAlgo algo,
+                     std::int64_t group_size = 1);
+
+/// Time for a sum-allreduce of `total_bytes` per rank.
+double allreduce_cost(const topo::MachineSpec& spec, std::int64_t ranks,
+                      double total_bytes, AllreduceAlgo algo);
+
+/// Time for the two-level hierarchical allreduce (binomial reduce within
+/// groups of `group_size`, ring among group leaders, broadcast back).
+/// Latency-optimized: best for small payloads.
+double hierarchical_allreduce_cost(const topo::MachineSpec& spec,
+                                   std::int64_t ranks, double total_bytes,
+                                   std::int64_t group_size);
+
+/// Time for the two-level *sharded* allreduce: ring reduce-scatter within
+/// each group, concurrent cross-group rings (one per shard owner), ring
+/// allgather within each group. Bandwidth-optimal at scale — every rank
+/// moves ~2x total_bytes through its NIC and cross-trunk traffic is divided
+/// by the group size. This is the production algorithm for large gradient
+/// buckets on hierarchical machines.
+double two_level_sharded_allreduce_cost(const topo::MachineSpec& spec,
+                                        std::int64_t ranks, double total_bytes,
+                                        std::int64_t group_size);
+
+/// Number of point-to-point messages one rank sends for the algorithm
+/// (latency-term diagnostics for benches).
+std::int64_t alltoall_messages_per_rank(std::int64_t ranks, AlltoallAlgo algo,
+                                        std::int64_t group_size = 1);
+
+}  // namespace bgl::coll

@@ -1,0 +1,60 @@
+// Error handling primitives for bagualu-sim.
+//
+// The library uses exceptions (std::runtime_error) for contract violations
+// and unrecoverable errors, per C++ Core Guidelines E.2. The BGL_CHECK /
+// BGL_ENSURE macros attach file:line context so failures inside rank threads
+// are attributable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bgl {
+
+/// Exception type thrown by all BGL_* check macros.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace bgl
+
+/// Checks a precondition; throws bgl::Error with context on failure.
+#define BGL_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::bgl::detail::fail("BGL_CHECK", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like BGL_CHECK but with a streamed message: BGL_ENSURE(x > 0, "x=" << x).
+#define BGL_ENSURE(cond, msg_stream)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream bgl_os_;                                        \
+      bgl_os_ << msg_stream;                                             \
+      ::bgl::detail::fail("BGL_ENSURE", #cond, __FILE__, __LINE__,       \
+                          bgl_os_.str());                                \
+    }                                                                    \
+  } while (0)
+
+/// Unconditional failure with a streamed message.
+#define BGL_FAIL(msg_stream)                                             \
+  do {                                                                   \
+    std::ostringstream bgl_os_;                                          \
+    bgl_os_ << msg_stream;                                               \
+    ::bgl::detail::fail("BGL_FAIL", "unreachable", __FILE__, __LINE__,   \
+                        bgl_os_.str());                                  \
+  } while (0)

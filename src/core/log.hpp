@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// Thread-safe (each log line is a single formatted write under a mutex).
+// Level is a process-global; benches and tests set it explicitly so output
+// stays deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bgl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Returns the current global level.
+LogLevel log_level();
+
+namespace detail {
+/// Emits one line "[LEVEL] msg" to stderr if level >= global threshold.
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace bgl
+
+#define BGL_LOG(level, msg_stream)                                   \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::bgl::log_level())) { \
+      std::ostringstream bgl_log_os_;                                \
+      bgl_log_os_ << msg_stream;                                     \
+      ::bgl::detail::log_line(level, bgl_log_os_.str());             \
+    }                                                                \
+  } while (0)
+
+#define BGL_DEBUG(msg) BGL_LOG(::bgl::LogLevel::kDebug, msg)
+#define BGL_INFO(msg) BGL_LOG(::bgl::LogLevel::kInfo, msg)
+#define BGL_WARN(msg) BGL_LOG(::bgl::LogLevel::kWarn, msg)
+#define BGL_ERROR(msg) BGL_LOG(::bgl::LogLevel::kError, msg)

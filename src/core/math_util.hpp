@@ -1,0 +1,35 @@
+// Small integer math helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace bgl {
+
+/// ceil(a / b) for non-negative a and positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of b that is >= a.
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v > 0.
+constexpr int ilog2(std::uint64_t v) {
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// Largest power of two <= v (v > 0).
+constexpr std::uint64_t floor_pow2(std::uint64_t v) {
+  return std::uint64_t{1} << ilog2(v);
+}
+
+}  // namespace bgl

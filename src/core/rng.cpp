@@ -1,0 +1,32 @@
+#include "core/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgl {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  BGL_ENSURE(n > 0, "ZipfSampler needs at least one item");
+  BGL_ENSURE(s >= 0.0, "Zipf exponent must be non-negative, got " << s);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  BGL_CHECK(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace bgl

@@ -1,0 +1,135 @@
+// Deterministic random number generation.
+//
+// All randomness in bagualu-sim flows through Rng so experiments are exactly
+// reproducible. Rank-local streams are derived with Rng::fork(stream_id),
+// which mixes the id into the state with SplitMix64 so streams are
+// statistically independent regardless of the id values chosen.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bgl {
+
+/// xoshiro256** seeded via SplitMix64; fast, high quality, 64-bit output.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds give equal sequences.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-seeds in place.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  /// Returns an independent generator derived from (this state, stream_id).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t x = state_[0] ^ (stream_id * 0xBF58476D1CE4E5B9ull);
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(x);
+    return child;
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    BGL_CHECK(n > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// Samples integers in [0, n) with Zipf(s) popularity: P(k) ∝ 1/(k+1)^s.
+///
+/// Used by workload generators to model skewed token→expert affinity, the
+/// regime where MoE load balancing matters.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for n items with exponent s ≥ 0 (s = 0 is uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one sample using the supplied generator.
+  std::size_t operator()(Rng& rng) const;
+
+  /// Probability mass of item k.
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace bgl

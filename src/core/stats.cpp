@@ -1,0 +1,44 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace bgl {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (const double v : samples) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    s.sum += v;
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (const double v : samples) {
+    const double d = v - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+double percentile(std::span<const double> samples, double p) {
+  BGL_ENSURE(!samples.empty(), "percentile of empty sample set");
+  BGL_ENSURE(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace bgl

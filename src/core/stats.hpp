@@ -1,0 +1,31 @@
+// Descriptive statistics over samples; used for load-imbalance reporting
+// and bench summaries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bgl {
+
+/// Summary of a sample set.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;   // population standard deviation
+  double sum = 0.0;
+  std::size_t count = 0;
+
+  /// max/mean — the classic load-imbalance factor (1.0 == perfectly even).
+  [[nodiscard]] double imbalance() const { return mean > 0 ? max / mean : 0.0; }
+  /// stddev/mean.
+  [[nodiscard]] double cv() const { return mean > 0 ? stddev / mean : 0.0; }
+};
+
+/// Computes min/max/mean/stddev of the samples (empty input -> zeros).
+Summary summarize(std::span<const double> samples);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted samples.
+double percentile(std::span<const double> samples, double p);
+
+}  // namespace bgl

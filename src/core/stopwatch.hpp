@@ -1,0 +1,39 @@
+// Wall-clock stopwatch used by benches and the trainer.
+#pragma once
+
+#include <chrono>
+
+namespace bgl {
+
+/// Steady-clock stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts and returns elapsed seconds since the previous start.
+  double lap() {
+    const auto now = Clock::now();
+    const double elapsed = to_seconds(now - start_);
+    start_ = now;
+    return elapsed;
+  }
+
+  /// Elapsed seconds since start without restarting.
+  [[nodiscard]] double elapsed() const {
+    return to_seconds(Clock::now() - start_);
+  }
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double to_seconds(Clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  }
+
+  Clock::time_point start_;
+};
+
+}  // namespace bgl

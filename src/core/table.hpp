@@ -1,0 +1,31 @@
+// Fixed-width text table printer used by all bench binaries so reproduced
+// tables/figures share one consistent format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgl {
+
+/// Accumulates rows of strings and prints them column-aligned.
+class TextTable {
+ public:
+  /// Sets the header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Writes the aligned table (header, rule, rows) to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string ("%.2f" etc.).
+std::string strf(const char* fmt, ...);
+
+}  // namespace bgl

@@ -1,0 +1,67 @@
+#include "core/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace bgl {
+namespace {
+
+std::string format_scaled(double value, double base,
+                          const std::array<const char*, 7>& suffixes) {
+  double v = value;
+  std::size_t i = 0;
+  while (std::fabs(v) >= base && i + 1 < suffixes.size()) {
+    v /= base;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", v, suffixes[i]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  return format_scaled(bytes, 1024.0,
+                       {"B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"});
+}
+
+std::string format_flops(double flops_per_sec) {
+  return format_scaled(
+      flops_per_sec, 1000.0,
+      {"FLOPS", "KFLOPS", "MFLOPS", "GFLOPS", "TFLOPS", "PFLOPS", "EFLOPS"});
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  const double mag = std::fabs(seconds);
+  if (mag < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3g ns", seconds * 1e9);
+  } else if (mag < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3g us", seconds * 1e6);
+  } else if (mag < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g s", seconds);
+  }
+  return buf;
+}
+
+std::string format_count(double count) {
+  char buf[64];
+  if (count >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.3gT", count / 1e12);
+  } else if (count >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3gB", count / 1e9);
+  } else if (count >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gM", count / 1e6);
+  } else if (count >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3gK", count / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", count);
+  }
+  return buf;
+}
+
+}  // namespace bgl

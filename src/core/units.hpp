@@ -1,0 +1,31 @@
+// Human-readable formatting for bytes, FLOP/s and durations, plus the
+// numeric constants used across the performance model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bgl {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kPeta = 1e15;
+inline constexpr double kExa = 1e18;
+
+/// "1.50 MiB", "3.2 GiB", ... (binary units).
+std::string format_bytes(double bytes);
+
+/// "123.4 GFLOPS", "1.002 EFLOPS", ... (decimal units).
+std::string format_flops(double flops_per_sec);
+
+/// "12.3 us", "4.56 ms", "7.8 s".
+std::string format_duration(double seconds);
+
+/// "1.93e+12" style compact count (for parameter counts).
+std::string format_count(double count);
+
+}  // namespace bgl

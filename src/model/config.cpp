@@ -1,0 +1,149 @@
+#include "model/config.hpp"
+
+#include <cmath>
+
+namespace bgl::model {
+
+void MoEModelConfig::validate() const {
+  BGL_ENSURE(vocab >= 2, name << ": vocab >= 2");
+  BGL_ENSURE(d_model >= 1 && n_layers >= 1 && seq_len >= 1, name << ": sizes");
+  BGL_ENSURE(n_heads >= 1 && d_model % n_heads == 0,
+             name << ": d_model " << d_model << " divisible by heads "
+                  << n_heads);
+  BGL_ENSURE(d_ffn >= 1, name << ": d_ffn >= 1");
+  gate_config().validate();
+}
+
+moe::GateConfig MoEModelConfig::gate_config() const {
+  moe::GateConfig gate;
+  gate.num_experts = num_experts;
+  gate.top_k = top_k;
+  gate.capacity_factor = capacity_factor;
+  gate.aux_loss_weight = aux_loss_weight;
+  gate.balanced_redispatch = balanced_redispatch;
+  return gate;
+}
+
+double MoEModelConfig::flops_per_token_forward() const {
+  const double d = static_cast<double>(d_model);
+  const double t = static_cast<double>(seq_len);
+  // Attention: QKVO projections 4*2*d^2, scores + weighted sum 2*2*t*d.
+  const double attn = 8.0 * d * d + 4.0 * t * d;
+  // Routed experts: top_k FFNs of 2 matmuls each.
+  const double experts = static_cast<double>(top_k) * 4.0 * d *
+                         static_cast<double>(d_ffn);
+  // Gate projection.
+  const double gate = 2.0 * d * static_cast<double>(num_experts);
+  // LM head.
+  const double head = 2.0 * d * static_cast<double>(vocab);
+  return static_cast<double>(n_layers) * (attn + experts + gate) + head;
+}
+
+MoEModelConfig MoEModelConfig::tiny() {
+  MoEModelConfig config;
+  config.name = "tiny";
+  config.vocab = 64;
+  config.d_model = 32;
+  config.n_layers = 2;
+  config.n_heads = 4;
+  config.seq_len = 8;
+  config.d_ffn = 64;
+  config.num_experts = 4;
+  config.top_k = 2;
+  config.validate();
+  return config;
+}
+
+namespace {
+
+MoEModelConfig brain_scale_base() {
+  MoEModelConfig config;
+  config.vocab = 50304;
+  config.d_model = 2048;
+  config.n_layers = 24;
+  config.n_heads = 16;
+  config.seq_len = 1024;
+  config.d_ffn = 8192;
+  config.top_k = 2;
+  config.capacity_factor = 1.25;
+  return config;
+}
+
+}  // namespace
+
+MoEModelConfig MoEModelConfig::brain_scale_1_93t() {
+  MoEModelConfig config = brain_scale_base();
+  config.name = "brain-scale-1.93T";
+  config.num_experts = 2400;  // per layer
+  config.validate();
+  return config;
+}
+
+MoEModelConfig MoEModelConfig::brain_scale_14_5t() {
+  MoEModelConfig config = brain_scale_base();
+  config.name = "brain-scale-14.5T";
+  config.num_experts = 18000;
+  config.validate();
+  return config;
+}
+
+MoEModelConfig MoEModelConfig::brain_scale_174t() {
+  MoEModelConfig config = brain_scale_base();
+  config.name = "brain-scale-174T";
+  config.num_experts = 216000;
+  config.validate();
+  return config;
+}
+
+MemoryFootprint per_rank_footprint(const MoEModelConfig& config, int ep_size,
+                                   int dp_size,
+                                   const train::PrecisionRecipe& recipe,
+                                   std::int64_t tokens_per_rank,
+                                   bool vocab_parallel) {
+  BGL_CHECK(ep_size >= 1 && dp_size >= 1 && tokens_per_rank >= 0);
+  config.validate();
+  const double bytes_per_param = recipe.bytes_per_param(dp_size);
+  const double ep = static_cast<double>(ep_size);
+
+  // Sharded over EP: experts, the gate table (it scales with the expert
+  // count, so replicating it is untenable at brain scale) and, with vocab
+  // parallelism, the embeddings/head.
+  const double sharded_params =
+      (static_cast<double>(config.n_layers) *
+           (static_cast<double>(config.num_experts) *
+                static_cast<double>(config.expert_params()) +
+            static_cast<double>(config.d_model) * config.num_experts) +
+       (vocab_parallel ? static_cast<double>(config.embedding_params())
+                       : 0.0)) /
+      ep;
+  // Replicated: the attention backbone (dense_params_per_layer minus the
+  // gate) and, without vocab parallelism, the embeddings.
+  const double replicated_params =
+      static_cast<double>(config.n_layers) *
+          (static_cast<double>(config.dense_params_per_layer()) -
+           static_cast<double>(config.d_model) * config.num_experts) +
+      (vocab_parallel ? 0.0 : static_cast<double>(config.embedding_params()));
+  const double local_params = sharded_params + replicated_params;
+
+  MemoryFootprint fp;
+  const double weight_bytes =
+      static_cast<double>(dtype_size(recipe.compute)) +
+      ((recipe.master_weights && recipe.compute != DType::kF32) ? 4.0 : 0.0);
+  fp.param_bytes = local_params * weight_bytes;
+  fp.optimizer_bytes = local_params * (bytes_per_param - weight_bytes);
+
+  // Activation working set with checkpointing: per layer, the layer input
+  // checkpoint plus the live working set (attention row, routed expert
+  // rows, two-level gate probabilities ~ 2*sqrt(E)).
+  const double act_elems_per_token =
+      static_cast<double>(config.d_model) * (6.0 + 2.0 * config.top_k) +
+      static_cast<double>(config.seq_len) +
+      2.0 * std::sqrt(static_cast<double>(config.num_experts));
+  fp.activation_bytes = static_cast<double>(tokens_per_rank) *
+                        static_cast<double>(config.n_layers) *
+                        act_elems_per_token *
+                        static_cast<double>(dtype_size(recipe.compute));
+  return fp;
+}
+
+}  // namespace bgl::model

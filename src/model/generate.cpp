@@ -1,0 +1,85 @@
+#include "model/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+
+namespace bgl::model {
+namespace {
+
+/// Samples the next token from one logits row.
+std::int32_t sample_row(std::span<const float> row,
+                        const GenerateOptions& options, Rng& rng) {
+  const std::size_t v = row.size();
+  if (options.temperature <= 0.0) {
+    return static_cast<std::int32_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  // Candidate set: all tokens or the top-k.
+  std::vector<std::int32_t> candidates(v);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  if (options.top_k > 0 && static_cast<std::size_t>(options.top_k) < v) {
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + options.top_k, candidates.end(),
+                      [&](std::int32_t a, std::int32_t b) {
+                        return row[static_cast<std::size_t>(a)] >
+                               row[static_cast<std::size_t>(b)];
+                      });
+    candidates.resize(static_cast<std::size_t>(options.top_k));
+  }
+  // Stable softmax over the candidates at the given temperature.
+  double mx = -std::numeric_limits<double>::infinity();
+  for (const auto c : candidates)
+    mx = std::max(mx, double(row[static_cast<std::size_t>(c)]));
+  std::vector<double> probs(candidates.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    probs[i] = std::exp(
+        (row[static_cast<std::size_t>(candidates[i])] - mx) /
+        options.temperature);
+    total += probs[i];
+  }
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    u -= probs[i];
+    if (u <= 0.0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+std::vector<std::int32_t> generate(MoETransformerLM& lm,
+                                   std::span<const std::int32_t> prompt,
+                                   const GenerateOptions& options, Rng& rng) {
+  const std::int64_t window = lm.config().seq_len;
+  BGL_ENSURE(!prompt.empty(), "generate() needs a non-empty prompt");
+  BGL_ENSURE(static_cast<std::int64_t>(prompt.size()) <= window,
+             "prompt length " << prompt.size() << " exceeds seq_len "
+                              << window);
+  lm.set_training(false);
+
+  std::vector<std::int32_t> out(prompt.begin(), prompt.end());
+  const std::int64_t vocab = lm.config().vocab;
+  for (std::int64_t step = 0; step < options.max_new_tokens; ++step) {
+    // Window = most recent tokens, padded at the END; causality means the
+    // row we read (the last real position) never attends to the padding.
+    const std::size_t len =
+        std::min<std::size_t>(out.size(), static_cast<std::size_t>(window));
+    std::vector<std::int32_t> input(static_cast<std::size_t>(window), 0);
+    std::copy(out.end() - static_cast<std::ptrdiff_t>(len), out.end(),
+              input.begin());
+    const Tensor logits = lm.forward(input);
+    const auto all = logits.f32();
+    const std::span<const float> row(
+        all.data() + static_cast<std::int64_t>(len - 1) * vocab,
+        static_cast<std::size_t>(vocab));
+    out.push_back(sample_row(row, options, rng));
+  }
+  lm.set_training(true);
+  return out;
+}
+
+}  // namespace bgl::model

@@ -1,0 +1,27 @@
+// Autoregressive generation from a trained MoE transformer LM.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/transformer.hpp"
+
+namespace bgl::model {
+
+struct GenerateOptions {
+  std::int64_t max_new_tokens = 16;
+  /// Softmax temperature; <= 0 means greedy argmax decoding.
+  double temperature = 1.0;
+  /// Restrict sampling to the k most likely tokens (0 = no restriction).
+  int top_k = 0;
+};
+
+/// Generates a continuation of `prompt` (non-empty, at most seq_len
+/// tokens). Uses a sliding window of the model's seq_len; padding beyond
+/// the current length is masked out by causality, so results are exact.
+/// Switches the model to eval mode for the duration.
+std::vector<std::int32_t> generate(MoETransformerLM& lm,
+                                   std::span<const std::int32_t> prompt,
+                                   const GenerateOptions& options, Rng& rng);
+
+}  // namespace bgl::model

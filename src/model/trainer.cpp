@@ -1,0 +1,90 @@
+#include "model/trainer.hpp"
+
+#include <numeric>
+
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace bgl::model {
+
+double TrainReport::tail_mean(std::size_t k) const {
+  BGL_CHECK(!losses.empty());
+  const std::size_t n = std::min(k, losses.size());
+  return std::accumulate(losses.end() - static_cast<std::ptrdiff_t>(n),
+                         losses.end(), 0.0) /
+         static_cast<double>(n);
+}
+
+Trainer::Trainer(MoETransformerLM& lm, train::Optimizer& optimizer,
+                 TrainerOptions options)
+    : lm_(lm),
+      optimizer_(optimizer),
+      options_(options),
+      emulator_(options.compute_dtype),
+      scaler_(options.initial_loss_scale),
+      params_(lm.parameters()) {}
+
+StepStats Trainer::train_step(const train::Batch& batch) {
+  StepStats stats;
+  lm_.set_training(true);
+  lm_.zero_grad();
+
+  // Low-precision compute: weights (and the gradient signal) are rounded
+  // through the compute dtype; masters stay FP32 for the update.
+  emulator_.quantize_params(params_);
+  const Tensor logits = lm_.forward(batch.tokens);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.targets);
+  stats.loss = loss.loss;
+  stats.aux_loss = lm_.aux_loss();
+
+  Tensor dlogits = loss.dlogits;
+  const bool scaling =
+      options_.compute_dtype == DType::kF16 && options_.dynamic_loss_scaling;
+  if (scaling) {
+    ops::scale_(dlogits, static_cast<float>(scaler_.scale()));
+    lm_.set_grad_scale(scaler_.scale());  // aux grads need the scale too
+  }
+  lm_.backward(dlogits);
+  if (scaling) lm_.set_grad_scale(1.0);
+  emulator_.quantize_grads(params_);
+  emulator_.restore_params(params_);
+
+  if (scaling) {
+    if (!scaler_.unscale_and_check(params_)) {
+      stats.applied = false;
+      return stats;  // overflow: skip this update
+    }
+  }
+  if (options_.clip_norm > 0.0)
+    stats.grad_norm = train::clip_grad_norm(params_, options_.clip_norm);
+  optimizer_.step(params_);
+  return stats;
+}
+
+TrainReport Trainer::train(train::MarkovTokenStream& stream,
+                           std::int64_t steps, std::int64_t batch_size) {
+  TrainReport report;
+  for (std::int64_t s = 0; s < steps; ++s) {
+    const train::Batch batch =
+        stream.next_batch(batch_size, lm_.config().seq_len);
+    const StepStats stats = train_step(batch);
+    if (stats.applied) {
+      report.losses.push_back(stats.loss);
+    } else {
+      ++report.skipped_steps;
+    }
+  }
+  BGL_ENSURE(!report.losses.empty(),
+             "every step overflowed: loss scaling diverged");
+  return report;
+}
+
+double Trainer::evaluate(const train::Batch& batch) {
+  lm_.set_training(false);
+  const Tensor logits = lm_.forward(batch.tokens);
+  const double loss = nn::softmax_cross_entropy(logits, batch.targets).loss;
+  lm_.set_training(true);
+  return loss;
+}
+
+}  // namespace bgl::model

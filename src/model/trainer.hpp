@@ -1,0 +1,65 @@
+// Training loop tying together model, loss, mixed precision and optimizer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "train/data.hpp"
+#include "train/mixed_precision.hpp"
+#include "train/optimizer.hpp"
+#include "train/schedule.hpp"
+
+namespace bgl::model {
+
+struct TrainerOptions {
+  DType compute_dtype = DType::kF32;  // f16/bf16 emulate mixed precision
+  bool dynamic_loss_scaling = true;   // used only for kF16
+  double initial_loss_scale = 65536.0;
+  double clip_norm = 1.0;             // 0 disables clipping
+  bool include_aux_loss = true;       // add MoE balance loss to the report
+};
+
+struct StepStats {
+  double loss = 0.0;       // task loss (cross-entropy)
+  double aux_loss = 0.0;   // weighted MoE balance loss
+  bool applied = true;     // false when the scaler skipped the step
+  double grad_norm = 0.0;
+};
+
+struct TrainReport {
+  std::vector<double> losses;  // per applied step
+  std::int64_t skipped_steps = 0;
+  [[nodiscard]] double first_loss() const { return losses.front(); }
+  [[nodiscard]] double last_loss() const { return losses.back(); }
+  /// Mean of the last k losses (smoother convergence signal).
+  [[nodiscard]] double tail_mean(std::size_t k) const;
+};
+
+class Trainer {
+ public:
+  Trainer(MoETransformerLM& lm, train::Optimizer& optimizer,
+          TrainerOptions options = {});
+
+  /// One optimizer step on a batch; returns its statistics.
+  StepStats train_step(const train::Batch& batch);
+
+  /// Runs `steps` batches from the stream.
+  TrainReport train(train::MarkovTokenStream& stream, std::int64_t steps,
+                    std::int64_t batch_size);
+
+  /// Evaluation loss on a batch (no gradients applied, eval mode).
+  double evaluate(const train::Batch& batch);
+
+  [[nodiscard]] const train::LossScaler& scaler() const { return scaler_; }
+
+ private:
+  MoETransformerLM& lm_;
+  train::Optimizer& optimizer_;
+  TrainerOptions options_;
+  train::PrecisionEmulator emulator_;
+  train::LossScaler scaler_;
+  std::vector<nn::Parameter*> params_;
+};
+
+}  // namespace bgl::model

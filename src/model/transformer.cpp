@@ -1,0 +1,118 @@
+#include "model/transformer.hpp"
+
+namespace bgl::model {
+
+MoETransformerLM::MoETransformerLM(const MoEModelConfig& config, Rng& rng)
+    : config_(config),
+      embedding_(config.vocab, config.d_model, rng, "tok_embedding"),
+      pos_embedding_("pos_embedding",
+                     Tensor::randn({config.seq_len, config.d_model}, rng,
+                                   0.0f, 0.02f)),
+      final_ln_(config.d_model, 1e-5f, "final_ln"),
+      head_(config.d_model, config.vocab, rng, /*bias=*/false, "lm_head") {
+  config_.validate();
+  for (std::int64_t l = 0; l < config_.n_layers; ++l) {
+    auto block = std::make_unique<Block>();
+    const std::string prefix = "block" + std::to_string(l);
+    block->ln1 = std::make_unique<nn::LayerNorm>(config_.d_model, 1e-5f,
+                                                 prefix + ".ln1");
+    block->attn = std::make_unique<nn::MultiHeadAttention>(
+        config_.d_model, config_.n_heads, config_.seq_len, rng,
+        prefix + ".attn");
+    block->ln2 = std::make_unique<nn::LayerNorm>(config_.d_model, 1e-5f,
+                                                 prefix + ".ln2");
+    block->moe = std::make_unique<moe::MoELayer>(
+        config_.d_model, config_.d_ffn, config_.gate_config(), rng,
+        prefix + ".moe");
+    blocks_.push_back(std::move(block));
+  }
+}
+
+Tensor MoETransformerLM::forward(std::span<const std::int32_t> tokens) {
+  BGL_ENSURE(!tokens.empty() &&
+                 static_cast<std::int64_t>(tokens.size()) % config_.seq_len == 0,
+             "token count " << tokens.size() << " must be a multiple of seq_len "
+                            << config_.seq_len);
+  cached_tokens_ = static_cast<std::int64_t>(tokens.size());
+
+  Tensor x = embedding_.forward(tokens);
+  // Add positional embedding (broadcast over sequences).
+  {
+    auto px = x.f32();
+    auto pp = pos_embedding_.value.f32();
+    const std::int64_t d = config_.d_model;
+    for (std::int64_t r = 0; r < cached_tokens_; ++r) {
+      const std::int64_t pos = r % config_.seq_len;
+      for (std::int64_t c = 0; c < d; ++c) px[r * d + c] += pp[pos * d + c];
+    }
+  }
+  for (const auto& block : blocks_) {
+    ops::add_(x, block->attn->forward(block->ln1->forward(x)));
+    ops::add_(x, block->moe->forward(block->ln2->forward(x)));
+  }
+  return head_.forward(final_ln_.forward(x));
+}
+
+void MoETransformerLM::backward(const Tensor& dlogits) {
+  BGL_CHECK(cached_tokens_ > 0);
+  Tensor dx = final_ln_.backward(head_.backward(dlogits));
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    Block& block = **it;
+    // x := x + moe(ln2(x)): grad splits into identity + branch paths.
+    ops::add_(dx, block.ln2->backward(block.moe->backward(dx)));
+    ops::add_(dx, block.ln1->backward(block.attn->backward(dx)));
+  }
+  // Positional embedding grad: sum rows by position.
+  {
+    auto pd = dx.f32();
+    auto pg = pos_embedding_.grad.f32();
+    const std::int64_t d = config_.d_model;
+    for (std::int64_t r = 0; r < cached_tokens_; ++r) {
+      const std::int64_t pos = r % config_.seq_len;
+      for (std::int64_t c = 0; c < d; ++c) pg[pos * d + c] += pd[r * d + c];
+    }
+  }
+  embedding_.backward(dx);
+}
+
+std::vector<nn::Parameter*> MoETransformerLM::parameters() {
+  std::vector<nn::Parameter*> out{&embedding_.table(), &pos_embedding_};
+  for (const auto& block : blocks_) {
+    for (nn::Parameter* p : block->ln1->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->attn->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->ln2->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->moe->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : final_ln_.parameters()) out.push_back(p);
+  for (nn::Parameter* p : head_.parameters()) out.push_back(p);
+  return out;
+}
+
+void MoETransformerLM::zero_grad() {
+  for (nn::Parameter* p : parameters()) p->zero_grad();
+}
+
+void MoETransformerLM::set_grad_scale(double scale) {
+  for (const auto& block : blocks_) block->moe->set_grad_scale(scale);
+}
+
+void MoETransformerLM::set_training(bool training) {
+  for (const auto& block : blocks_) {
+    block->attn->set_training(training);
+    block->moe->set_training(training);
+  }
+}
+
+double MoETransformerLM::aux_loss() const {
+  double total = 0.0;
+  for (const auto& block : blocks_) total += block->moe->last_aux_loss();
+  return total;
+}
+
+std::int64_t MoETransformerLM::num_params() {
+  std::int64_t n = 0;
+  for (nn::Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace bgl::model

@@ -1,0 +1,71 @@
+// Runnable MoE transformer language model (serial reference scale).
+//
+// Architecture (pre-norm GPT-style with MoE FFNs, as in the M6/CPM line of
+// models BaGuaLu trained):
+//   tokens -> embedding + positional
+//   N x [ x += Attn(LN(x));  x += MoE(LN(x)) ]
+//   LN -> LM head -> logits
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "model/config.hpp"
+#include "moe/moe_layer.hpp"
+#include "nn/attention.hpp"
+#include "nn/embedding.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+
+namespace bgl::model {
+
+class MoETransformerLM {
+ public:
+  MoETransformerLM(const MoEModelConfig& config, Rng& rng);
+
+  /// tokens.size() must be a multiple of config.seq_len. Returns logits
+  /// [tokens, vocab].
+  Tensor forward(std::span<const std::int32_t> tokens);
+
+  /// Backpropagates dL/dlogits through the whole stack, accumulating all
+  /// parameter gradients.
+  void backward(const Tensor& dlogits);
+
+  /// All trainable parameters, stable order.
+  std::vector<nn::Parameter*> parameters();
+
+  void zero_grad();
+  void set_training(bool training);
+
+  /// Forwards to every MoE layer (mixed-precision aux-grad scaling).
+  void set_grad_scale(double scale);
+
+  /// Sum of the MoE layers' weighted aux losses from the last forward.
+  [[nodiscard]] double aux_loss() const;
+
+  [[nodiscard]] const MoEModelConfig& config() const { return config_; }
+  [[nodiscard]] std::int64_t num_params();
+  [[nodiscard]] moe::MoELayer& moe_layer(std::size_t i) {
+    return *blocks_.at(i)->moe;
+  }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<nn::LayerNorm> ln1;
+    std::unique_ptr<nn::MultiHeadAttention> attn;
+    std::unique_ptr<nn::LayerNorm> ln2;
+    std::unique_ptr<moe::MoELayer> moe;
+  };
+
+  MoEModelConfig config_;
+  nn::Embedding embedding_;
+  nn::Parameter pos_embedding_;  // [seq_len, d_model]
+  std::vector<std::unique_ptr<Block>> blocks_;
+  nn::LayerNorm final_ln_;
+  nn::Linear head_;
+
+  std::int64_t cached_tokens_ = 0;  // rows of the last forward
+};
+
+}  // namespace bgl::model

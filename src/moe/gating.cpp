@@ -1,0 +1,220 @@
+#include "moe/gating.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+
+namespace bgl::moe {
+
+void GateConfig::validate() const {
+  BGL_ENSURE(num_experts >= 1, "num_experts >= 1, got " << num_experts);
+  BGL_ENSURE(top_k >= 1 && top_k <= num_experts,
+             "top_k " << top_k << " out of range for " << num_experts
+                      << " experts");
+  BGL_ENSURE(capacity_factor > 0.0, "capacity_factor must be positive");
+  BGL_ENSURE(aux_loss_weight >= 0.0, "aux_loss_weight must be >= 0");
+  BGL_ENSURE(noise_std >= 0.0, "noise_std must be >= 0");
+  BGL_ENSURE(two_level_groups >= 0 &&
+                 (two_level_groups == 0 ||
+                  num_experts % two_level_groups == 0),
+             "two_level_groups " << two_level_groups << " must divide "
+                                 << num_experts);
+  BGL_ENSURE(!(two_level_groups > 0 && noisy_gating),
+             "noisy gating is not supported with the two-level gate");
+}
+
+std::span<const Assignment> DispatchPlan::for_expert(int e) const {
+  BGL_CHECK(e >= 0 && e < num_experts());
+  const auto b = static_cast<std::size_t>(expert_offsets[e]);
+  const auto n = static_cast<std::size_t>(expert_offsets[e + 1]) - b;
+  return {assignments.data() + b, n};
+}
+
+std::vector<std::int64_t> DispatchPlan::actual_load() const {
+  std::vector<std::int64_t> load(static_cast<std::size_t>(num_experts()));
+  for (int e = 0; e < num_experts(); ++e)
+    load[static_cast<std::size_t>(e)] =
+        expert_offsets[e + 1] - expert_offsets[e];
+  return load;
+}
+
+DispatchPlan build_dispatch_plan(const Tensor& probs,
+                                 const GateConfig& config) {
+  config.validate();
+  BGL_CHECK(probs.ndim() == 2);
+  const std::int64_t n = probs.dim(0);
+  const std::int64_t e_count = probs.dim(1);
+  BGL_ENSURE(e_count == config.num_experts,
+             "probs have " << e_count << " experts, config says "
+                           << config.num_experts);
+
+  DispatchPlan plan;
+  plan.demanded_load.assign(static_cast<std::size_t>(e_count), 0);
+  // capacity = max(1, ceil(cf * N * k / E)).
+  plan.capacity = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(config.capacity_factor * static_cast<double>(n) *
+                              config.top_k / static_cast<double>(e_count))));
+
+  auto pp = probs.f32();
+  std::vector<std::int64_t> used(static_cast<std::size_t>(e_count), 0);
+  std::vector<std::vector<Assignment>> per_expert(
+      static_cast<std::size_t>(e_count));
+  std::vector<std::int32_t> order(static_cast<std::size_t>(e_count));
+
+  for (std::int64_t t = 0; t < n; ++t) {
+    const float* row = pp.data() + t * e_count;
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return row[a] > row[b];
+                     });
+    // Demanded load counts the un-capacitated top-k routing.
+    for (int k = 0; k < config.top_k; ++k)
+      ++plan.demanded_load[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])];
+
+    // Combine weights over the selected experts.
+    float norm = 1.0f;
+    if (config.normalize_topk && config.top_k > 1) {
+      float s = 0.0f;
+      for (int k = 0; k < config.top_k; ++k)
+        s += row[order[static_cast<std::size_t>(k)]];
+      norm = s > 0.0f ? 1.0f / s : 1.0f;
+    }
+
+    for (int k = 0; k < config.top_k; ++k) {
+      const std::int32_t expert = order[static_cast<std::size_t>(k)];
+      if (used[static_cast<std::size_t>(expert)] < plan.capacity) {
+        ++used[static_cast<std::size_t>(expert)];
+        per_expert[static_cast<std::size_t>(expert)].push_back(
+            {static_cast<std::int32_t>(t), expert, row[expert] * norm});
+        continue;
+      }
+      if (config.balanced_redispatch) {
+        // BaGuaLu-style bounded load: walk the remaining experts in
+        // preference order and take the first with free capacity.
+        bool placed = false;
+        for (std::size_t j = static_cast<std::size_t>(config.top_k);
+             j < order.size(); ++j) {
+          const std::int32_t alt = order[j];
+          if (used[static_cast<std::size_t>(alt)] < plan.capacity) {
+            ++used[static_cast<std::size_t>(alt)];
+            per_expert[static_cast<std::size_t>(alt)].push_back(
+                {static_cast<std::int32_t>(t), alt, row[alt] * norm});
+            placed = true;
+            break;
+          }
+        }
+        if (placed) continue;
+      }
+      ++plan.dropped;
+    }
+  }
+
+  plan.expert_offsets.assign(static_cast<std::size_t>(e_count) + 1, 0);
+  for (std::int64_t e = 0; e < e_count; ++e) {
+    plan.expert_offsets[static_cast<std::size_t>(e) + 1] =
+        plan.expert_offsets[static_cast<std::size_t>(e)] +
+        static_cast<std::int32_t>(per_expert[static_cast<std::size_t>(e)].size());
+    for (const Assignment& a : per_expert[static_cast<std::size_t>(e)])
+      plan.assignments.push_back(a);
+  }
+  plan.aux_loss = aux_balance_loss(probs);
+  return plan;
+}
+
+double aux_balance_loss(const Tensor& probs) {
+  BGL_CHECK(probs.ndim() == 2);
+  const std::int64_t n = probs.dim(0);
+  const std::int64_t e_count = probs.dim(1);
+  BGL_CHECK(n > 0);
+  auto pp = probs.f32();
+  std::vector<double> mean_prob(static_cast<std::size_t>(e_count), 0.0);
+  std::vector<double> top1_frac(static_cast<std::size_t>(e_count), 0.0);
+  for (std::int64_t t = 0; t < n; ++t) {
+    const float* row = pp.data() + t * e_count;
+    std::int64_t best = 0;
+    for (std::int64_t e = 1; e < e_count; ++e)
+      if (row[e] > row[best]) best = e;
+    top1_frac[static_cast<std::size_t>(best)] += 1.0;
+    for (std::int64_t e = 0; e < e_count; ++e)
+      mean_prob[static_cast<std::size_t>(e)] += row[e];
+  }
+  double loss = 0.0;
+  for (std::int64_t e = 0; e < e_count; ++e) {
+    loss += (top1_frac[static_cast<std::size_t>(e)] / n) *
+            (mean_prob[static_cast<std::size_t>(e)] / n);
+  }
+  return loss * static_cast<double>(e_count);
+}
+
+void add_aux_loss_grad(const Tensor& probs, double weight, Tensor& dprobs) {
+  BGL_CHECK(probs.same_shape(dprobs));
+  const std::int64_t n = probs.dim(0);
+  const std::int64_t e_count = probs.dim(1);
+  auto pp = probs.f32();
+  auto pd = dprobs.f32();
+  std::vector<double> top1_frac(static_cast<std::size_t>(e_count), 0.0);
+  for (std::int64_t t = 0; t < n; ++t) {
+    const float* row = pp.data() + t * e_count;
+    std::int64_t best = 0;
+    for (std::int64_t e = 1; e < e_count; ++e)
+      if (row[e] > row[best]) best = e;
+    top1_frac[static_cast<std::size_t>(best)] += 1.0;
+  }
+  for (auto& f : top1_frac) f /= static_cast<double>(n);
+  // d/dp_te of E * Σ_e f_e * meanprob_e (f treated constant, straight-through
+  // for the argmax) = E * f_e / N.
+  for (std::int64_t t = 0; t < n; ++t) {
+    for (std::int64_t e = 0; e < e_count; ++e) {
+      pd[t * e_count + e] += static_cast<float>(
+          weight * static_cast<double>(e_count) *
+          top1_frac[static_cast<std::size_t>(e)] / static_cast<double>(n));
+    }
+  }
+}
+
+void accumulate_combine_grad(const Tensor& probs, const DispatchPlan& plan,
+                             std::span<const float> dL_dw,
+                             const GateConfig& config, Tensor& dprobs) {
+  BGL_CHECK(probs.same_shape(dprobs));
+  BGL_CHECK(dL_dw.size() == plan.assignments.size());
+  const std::int64_t n = probs.dim(0);
+  const std::int64_t e_count = probs.dim(1);
+  auto pp = probs.f32();
+  auto pd = dprobs.f32();
+
+  if (!(config.normalize_topk && config.top_k > 1)) {
+    for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+      const Assignment& a = plan.assignments[i];
+      pd[a.token * e_count + a.expert] += dL_dw[i];
+    }
+    return;
+  }
+
+  // Recover s_t = p/w from any surviving assignment of token t.
+  std::vector<float> token_norm(static_cast<std::size_t>(n), 0.0f);
+  std::vector<double> cross(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    const Assignment& a = plan.assignments[i];
+    if (a.gate_weight > 0.0f) {
+      token_norm[static_cast<std::size_t>(a.token)] =
+          pp[a.token * e_count + a.expert] / a.gate_weight;
+    }
+    cross[static_cast<std::size_t>(a.token)] +=
+        static_cast<double>(dL_dw[i]) * a.gate_weight;
+  }
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    const Assignment& a = plan.assignments[i];
+    const float s = token_norm[static_cast<std::size_t>(a.token)];
+    if (s <= 0.0f) continue;
+    pd[a.token * e_count + a.expert] += static_cast<float>(
+        (static_cast<double>(dL_dw[i]) -
+         cross[static_cast<std::size_t>(a.token)]) /
+        s);
+  }
+}
+
+}  // namespace bgl::moe

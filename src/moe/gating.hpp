@@ -1,0 +1,93 @@
+// MoE gating and dispatch planning.
+//
+// This reproduces the routing machinery BaGuaLu's MoE layer is built on:
+// top-k softmax gating (GShard/Switch style) with a capacity limit per
+// expert, an auxiliary load-balancing loss, and — the BaGuaLu-specific
+// piece — a *balanced re-dispatch* pass that reroutes capacity-overflow
+// tokens to their next-best expert with free slots instead of dropping
+// them, bounding per-expert load and hence the all-to-all skew.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bgl::moe {
+
+/// Gate behaviour knobs.
+struct GateConfig {
+  int num_experts = 8;
+  int top_k = 2;                   // experts per token (1 or 2 typical)
+  double capacity_factor = 1.25;   // capacity = ceil(cf * N * k / E)
+  double aux_loss_weight = 1e-2;   // weight of the load-balancing loss
+  bool normalize_topk = true;      // renormalize the k selected gate probs
+  bool balanced_redispatch = false;  // reroute overflow instead of dropping
+  bool noisy_gating = false;       // add N(0, noise_std) to logits pre-softmax
+  double noise_std = 1.0;
+  /// > 0 selects the hierarchical two-level gate with this many expert
+  /// groups (must divide num_experts; incompatible with noisy_gating).
+  /// 0 = flat softmax gate.
+  int two_level_groups = 0;
+
+  void validate() const;
+};
+
+/// One surviving (token, expert) route.
+struct Assignment {
+  std::int32_t token = 0;    // row in the layer input
+  std::int32_t expert = 0;   // destination expert
+  float gate_weight = 0.0f;  // combine coefficient
+};
+
+/// Routing decision for one batch of tokens.
+struct DispatchPlan {
+  /// Assignments grouped by expert: expert e owns
+  /// [expert_offsets[e], expert_offsets[e+1]).
+  std::vector<Assignment> assignments;
+  std::vector<std::int32_t> expert_offsets;  // size num_experts + 1
+
+  std::vector<std::int64_t> demanded_load;  // pre-capacity load per expert
+  std::int64_t capacity = 0;                // slots per expert
+  std::int64_t dropped = 0;                 // assignments lost to capacity
+  double aux_loss = 0.0;                    // load-balancing loss value
+
+  [[nodiscard]] int num_experts() const {
+    return static_cast<int>(expert_offsets.size()) - 1;
+  }
+  /// Assignments routed to expert e.
+  [[nodiscard]] std::span<const Assignment> for_expert(int e) const;
+  /// Post-capacity load per expert.
+  [[nodiscard]] std::vector<std::int64_t> actual_load() const;
+};
+
+/// Builds a dispatch plan from gate probabilities probs:[N, E].
+/// `noise_rng` is unused here (noise applies to logits in Gate); kept for
+/// deterministic tie-breaking extensions.
+DispatchPlan build_dispatch_plan(const Tensor& probs, const GateConfig& config);
+
+/// The GShard/Switch auxiliary balance loss: E * Σ_e f_e * P_e, where f_e is
+/// the fraction of tokens whose top-1 expert is e and P_e the mean gate
+/// probability of e. Returns the unweighted value.
+double aux_balance_loss(const Tensor& probs);
+
+/// Adds the aux-loss gradient (weight * E * f_e / N per element) into
+/// dprobs, with f taken from the plan's demanded top-1 fractions.
+void add_aux_loss_grad(const Tensor& probs, double weight, Tensor& dprobs);
+
+/// Accumulates the combine-weight gradient into dprobs.
+///
+/// `dL_dw` holds dL/d(gate_weight) for every assignment in plan order
+/// (grouped by expert, as stored in plan.assignments). Handles the optional
+/// top-k renormalization (w = p/s): direct term dL_dw/s at the assignment's
+/// own prob plus the -Σ(dL_dw·w)/s cross term on the token's surviving
+/// assignments (straight-through across capacity drops). Shared by the
+/// serial MoELayer and the distributed layers so their gate gradients are
+/// bit-identical.
+void accumulate_combine_grad(const Tensor& probs, const DispatchPlan& plan,
+                             std::span<const float> dL_dw,
+                             const GateConfig& config, Tensor& dprobs);
+
+}  // namespace bgl::moe

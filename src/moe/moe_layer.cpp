@@ -1,0 +1,139 @@
+#include "moe/moe_layer.hpp"
+
+#include <algorithm>
+
+namespace bgl::moe {
+
+MoELayer::MoELayer(std::int64_t d_model, std::int64_t d_hidden,
+                   GateConfig config, Rng& rng, const std::string& name)
+    : config_(config),
+      gate_(d_model, config.num_experts, rng, /*bias=*/false, name + ".gate"),
+      noise_rng_(rng.fork(0x6F15E)) {
+  config_.validate();
+  if (config_.two_level_groups > 0) {
+    two_gate_ = std::make_unique<TwoLevelGate>(
+        d_model, config_.num_experts, config_.two_level_groups, rng,
+        name + ".gate2");
+  }
+  experts_.reserve(static_cast<std::size_t>(config_.num_experts));
+  for (int e = 0; e < config_.num_experts; ++e) {
+    experts_.push_back(std::make_unique<nn::FeedForward>(
+        d_model, d_hidden, rng, name + ".expert" + std::to_string(e)));
+  }
+}
+
+Tensor MoELayer::forward(const Tensor& x) {
+  BGL_CHECK(x.ndim() == 2);
+  cached_x_ = x;
+  if (two_gate_) {
+    cached_probs_ = two_gate_->forward(x);
+  } else {
+    Tensor logits = gate_.forward(x);
+    if (config_.noisy_gating && training()) {
+      for (float& v : logits.f32())
+        v += static_cast<float>(noise_rng_.normal(0.0, config_.noise_std));
+    }
+    cached_probs_ = ops::row_softmax(logits);
+  }
+  plan_ = build_dispatch_plan(cached_probs_, config_);
+
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  Tensor y = Tensor::zeros({n, d});
+  expert_inputs_.assign(static_cast<std::size_t>(config_.num_experts), {});
+  expert_outputs_.assign(static_cast<std::size_t>(config_.num_experts), {});
+
+  for (int e = 0; e < config_.num_experts; ++e) {
+    const auto routed = plan_.for_expert(e);
+    std::vector<std::int32_t> rows;
+    std::vector<float> weights;
+    rows.reserve(routed.size());
+    weights.reserve(routed.size());
+    for (const Assignment& a : routed) {
+      rows.push_back(a.token);
+      weights.push_back(a.gate_weight);
+    }
+    Tensor in = ops::gather_rows(x, rows);
+    expert_inputs_[static_cast<std::size_t>(e)] = in;
+    if (in.dim(0) == 0) continue;
+    Tensor out = experts_[static_cast<std::size_t>(e)]->forward(in);
+    ops::scatter_add_rows(y, rows, out, weights);
+    expert_outputs_[static_cast<std::size_t>(e)] = std::move(out);
+  }
+  return y;
+}
+
+Tensor MoELayer::backward(const Tensor& dy) {
+  BGL_CHECK(cached_x_.defined());
+  const std::int64_t n = cached_x_.dim(0);
+  const std::int64_t d = cached_x_.dim(1);
+  BGL_CHECK(dy.dim(0) == n && dy.dim(1) == d);
+
+  Tensor dx = Tensor::zeros({n, d});
+  Tensor dprobs = Tensor::zeros(cached_probs_.shape());
+  const std::int64_t e_count = config_.num_experts;
+  auto pdy = dy.f32();
+
+  // dL/d(gate_weight) per assignment, in plan order.
+  std::vector<float> dws(plan_.assignments.size(), 0.0f);
+
+  for (int e = 0; e < e_count; ++e) {
+    const auto routed = plan_.for_expert(e);
+    if (routed.empty()) continue;
+    const std::size_t base =
+        static_cast<std::size_t>(plan_.expert_offsets[e]);
+    const Tensor& out = expert_outputs_[static_cast<std::size_t>(e)];
+    // dL/d(expert output row i) = w_i * dy[token_i]; also accumulate
+    // dL/dw_i = dy[token_i] · out_i.
+    Tensor dout = Tensor::empty(out.shape());
+    auto pdout = dout.f32();
+    auto pout = out.f32();
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+      const Assignment& a = routed[i];
+      const float* gy = pdy.data() + static_cast<std::int64_t>(a.token) * d;
+      const float* po = pout.data() + static_cast<std::int64_t>(i) * d;
+      float* pdo = pdout.data() + static_cast<std::int64_t>(i) * d;
+      double dw = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        pdo[c] = a.gate_weight * gy[c];
+        dw += double(gy[c]) * po[c];
+      }
+      dws[base + i] = static_cast<float>(dw);
+    }
+    const Tensor din = experts_[static_cast<std::size_t>(e)]->backward(dout);
+    // Scatter expert input grads back to tokens.
+    auto pdin = din.f32();
+    auto pdx = dx.f32();
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+      const Assignment& a = routed[i];
+      const float* gi = pdin.data() + static_cast<std::int64_t>(i) * d;
+      float* gx = pdx.data() + static_cast<std::int64_t>(a.token) * d;
+      for (std::int64_t c = 0; c < d; ++c) gx[c] += gi[c];
+    }
+  }
+
+  accumulate_combine_grad(cached_probs_, plan_, dws, config_, dprobs);
+
+  if (config_.aux_loss_weight > 0.0) {
+    add_aux_loss_grad(cached_probs_, config_.aux_loss_weight * grad_scale_,
+                      dprobs);
+  }
+
+  if (two_gate_) {
+    ops::add_(dx, two_gate_->backward(dprobs));
+  } else {
+    const Tensor dlogits = ops::row_softmax_backward(cached_probs_, dprobs);
+    ops::add_(dx, gate_.backward(dlogits));
+  }
+  return dx;
+}
+
+std::vector<nn::Parameter*> MoELayer::parameters() {
+  std::vector<nn::Parameter*> out =
+      two_gate_ ? two_gate_->parameters() : gate_.parameters();
+  for (const auto& expert : experts_)
+    for (nn::Parameter* p : expert->parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace bgl::moe

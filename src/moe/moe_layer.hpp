@@ -1,0 +1,83 @@
+// Serial (single-process) MoE layer: softmax gate over E expert FFNs with
+// capacity-limited top-k dispatch and weighted combine.
+//
+// This is the numerical reference implementation. The distributed versions
+// in bgl::parallel (ExpertParallel / MoDaParallel) must produce the same
+// outputs for the same inputs and gate state — tests enforce that
+// equivalence, which is how we know the dispatch collectives are wired
+// correctly.
+#pragma once
+
+#include <memory>
+
+#include "moe/gating.hpp"
+#include "moe/two_level_gate.hpp"
+#include "nn/feedforward.hpp"
+#include "nn/linear.hpp"
+
+namespace bgl::moe {
+
+class MoELayer : public nn::Layer {
+ public:
+  /// `d_hidden` is the expert FFN width. Each expert is an independent
+  /// FeedForward; the gate is a bias-free Linear [d_model, E].
+  MoELayer(std::int64_t d_model, std::int64_t d_hidden, GateConfig config,
+           Rng& rng, const std::string& name = "moe");
+
+  /// Routes x:[N, d_model] through experts; tokens whose assignments were
+  /// all dropped pass through as zero (the transformer residual carries
+  /// them, as in GShard).
+  Tensor forward(const Tensor& x) override;
+
+  Tensor backward(const Tensor& dy) override;
+
+  std::vector<nn::Parameter*> parameters() override;
+
+  /// Routing of the last forward (for load statistics / tests).
+  [[nodiscard]] const DispatchPlan& last_plan() const { return plan_; }
+
+  /// Weighted aux loss of the last forward. Add to the task loss for
+  /// reporting; its gradient is already injected in backward().
+  [[nodiscard]] double last_aux_loss() const {
+    return config_.aux_loss_weight * plan_.aux_loss;
+  }
+
+  /// Scales the aux-loss gradient injected during backward. Mixed-precision
+  /// trainers set this to the loss scale so the aux gradient survives the
+  /// global unscale exactly like the task-loss gradient (which arrives
+  /// pre-scaled through dy).
+  void set_grad_scale(double scale) {
+    BGL_CHECK(scale > 0.0);
+    grad_scale_ = scale;
+  }
+
+  [[nodiscard]] const GateConfig& config() const { return config_; }
+  /// Flat gate accessor; only valid when two_level_groups == 0.
+  [[nodiscard]] nn::Linear& gate() {
+    BGL_CHECK(!two_gate_);
+    return gate_;
+  }
+  /// Two-level gate accessor; only valid when two_level_groups > 0.
+  [[nodiscard]] TwoLevelGate& two_level_gate() {
+    BGL_CHECK(two_gate_);
+    return *two_gate_;
+  }
+  [[nodiscard]] nn::FeedForward& expert(int e) { return *experts_.at(static_cast<std::size_t>(e)); }
+
+ private:
+  GateConfig config_;
+  double grad_scale_ = 1.0;
+  nn::Linear gate_;                       // flat gate (two_level_groups == 0)
+  std::unique_ptr<TwoLevelGate> two_gate_;  // hierarchical gate (else)
+  std::vector<std::unique_ptr<nn::FeedForward>> experts_;
+  Rng noise_rng_;
+
+  // Forward caches.
+  Tensor cached_x_;
+  Tensor cached_probs_;                  // [N, E]
+  DispatchPlan plan_;
+  std::vector<Tensor> expert_inputs_;    // gathered rows per expert
+  std::vector<Tensor> expert_outputs_;   // FFN outputs per expert
+};
+
+}  // namespace bgl::moe

@@ -1,0 +1,82 @@
+#include "moe/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace bgl::moe {
+
+Placement blocked_placement(int num_experts, int ranks) {
+  BGL_ENSURE(ranks >= 1 && num_experts >= ranks &&
+                 num_experts % ranks == 0,
+             "experts " << num_experts << " must divide over " << ranks);
+  const int per_rank = num_experts / ranks;
+  Placement placement(static_cast<std::size_t>(num_experts));
+  for (int e = 0; e < num_experts; ++e)
+    placement[static_cast<std::size_t>(e)] = e / per_rank;
+  return placement;
+}
+
+Placement load_aware_placement(std::span<const std::int64_t> expert_loads,
+                               int ranks) {
+  const int num_experts = static_cast<int>(expert_loads.size());
+  BGL_ENSURE(ranks >= 1 && num_experts >= ranks &&
+                 num_experts % ranks == 0,
+             "experts " << num_experts << " must divide over " << ranks);
+  const int per_rank = num_experts / ranks;
+
+  std::vector<int> order(static_cast<std::size_t>(num_experts));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return expert_loads[static_cast<std::size_t>(a)] >
+           expert_loads[static_cast<std::size_t>(b)];
+  });
+
+  Placement placement(static_cast<std::size_t>(num_experts), -1);
+  std::vector<std::int64_t> rank_load(static_cast<std::size_t>(ranks), 0);
+  std::vector<int> rank_count(static_cast<std::size_t>(ranks), 0);
+  for (const int e : order) {
+    // Least-loaded rank with free slots.
+    int best = -1;
+    for (int r = 0; r < ranks; ++r) {
+      if (rank_count[static_cast<std::size_t>(r)] >= per_rank) continue;
+      if (best < 0 || rank_load[static_cast<std::size_t>(r)] <
+                          rank_load[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    BGL_CHECK(best >= 0);
+    placement[static_cast<std::size_t>(e)] = best;
+    rank_load[static_cast<std::size_t>(best)] +=
+        expert_loads[static_cast<std::size_t>(e)];
+    ++rank_count[static_cast<std::size_t>(best)];
+  }
+  return placement;
+}
+
+std::int64_t max_rank_load(const Placement& placement,
+                           std::span<const std::int64_t> expert_loads,
+                           int ranks) {
+  BGL_CHECK(placement.size() == expert_loads.size());
+  std::vector<std::int64_t> rank_load(static_cast<std::size_t>(ranks), 0);
+  for (std::size_t e = 0; e < placement.size(); ++e) {
+    const int r = placement[e];
+    BGL_CHECK(r >= 0 && r < ranks);
+    rank_load[static_cast<std::size_t>(r)] += expert_loads[e];
+  }
+  return *std::max_element(rank_load.begin(), rank_load.end());
+}
+
+double placement_imbalance(const Placement& placement,
+                           std::span<const std::int64_t> expert_loads,
+                           int ranks) {
+  double total = 0.0;
+  for (const auto load : expert_loads) total += static_cast<double>(load);
+  if (total <= 0.0) return 0.0;
+  const double mean = total / ranks;
+  return static_cast<double>(max_rank_load(placement, expert_loads, ranks)) /
+         mean;
+}
+
+}  // namespace bgl::moe

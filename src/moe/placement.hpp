@@ -1,0 +1,41 @@
+// Expert placement: assigning experts to ranks under observed load.
+//
+// With skewed routing, the default blocked placement (expert e on rank
+// e/EPR) can put several hot experts on one rank, making that rank the
+// straggler of every synchronous MoE step. Load-aware placement spreads
+// hot experts across ranks (and across supernodes, where the trunk is the
+// scarce resource). This module provides the placement algorithms and
+// their quality metrics; bench_placement evaluates them against observed
+// load traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bgl::moe {
+
+/// A placement maps global expert id -> rank.
+using Placement = std::vector<int>;
+
+/// Blocked default: expert e -> e / (experts/ranks).
+Placement blocked_placement(int num_experts, int ranks);
+
+/// Greedy LPT (longest processing time): sort experts by load descending,
+/// place each on the currently least-loaded rank, capacity experts/ranks
+/// per rank. Near-optimal makespan for balanced assignment.
+Placement load_aware_placement(std::span<const std::int64_t> expert_loads,
+                               int ranks);
+
+/// Max per-rank load under the placement (the synchronous step's critical
+/// path is proportional to this).
+std::int64_t max_rank_load(const Placement& placement,
+                           std::span<const std::int64_t> expert_loads,
+                           int ranks);
+
+/// Load imbalance factor (max/mean) of the placement; 1.0 is perfect.
+double placement_imbalance(const Placement& placement,
+                           std::span<const std::int64_t> expert_loads,
+                           int ranks);
+
+}  // namespace bgl::moe

@@ -1,0 +1,143 @@
+#include "moe/two_level_gate.hpp"
+
+#include <cmath>
+
+namespace bgl::moe {
+namespace {
+
+/// Softmax over each group's contiguous column block, in place layout:
+/// for every row and every group g, columns [g*w, (g+1)*w) are normalized.
+Tensor blockwise_softmax(const Tensor& logits, int groups) {
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t e = logits.dim(1);
+  const std::int64_t w = e / groups;
+  Tensor out = Tensor::empty({n, e});
+  auto pin = logits.f32();
+  auto pout = out.f32();
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (int g = 0; g < groups; ++g) {
+      const float* in = pin.data() + r * e + g * w;
+      float* o = pout.data() + r * e + g * w;
+      float mx = in[0];
+      for (std::int64_t c = 1; c < w; ++c) mx = std::max(mx, in[c]);
+      double denom = 0.0;
+      for (std::int64_t c = 0; c < w; ++c) {
+        o[c] = std::exp(in[c] - mx);
+        denom += o[c];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (std::int64_t c = 0; c < w; ++c) o[c] *= inv;
+    }
+  }
+  return out;
+}
+
+/// Backward of blockwise_softmax: standard softmax Jacobian per block.
+Tensor blockwise_softmax_backward(const Tensor& probs, const Tensor& dprobs,
+                                  int groups) {
+  const std::int64_t n = probs.dim(0);
+  const std::int64_t e = probs.dim(1);
+  const std::int64_t w = e / groups;
+  Tensor dx = Tensor::empty({n, e});
+  auto pp = probs.f32();
+  auto pd = dprobs.f32();
+  auto px = dx.f32();
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (int g = 0; g < groups; ++g) {
+      const float* y = pp.data() + r * e + g * w;
+      const float* dy = pd.data() + r * e + g * w;
+      float* o = px.data() + r * e + g * w;
+      double dot = 0.0;
+      for (std::int64_t c = 0; c < w; ++c) dot += double(y[c]) * dy[c];
+      for (std::int64_t c = 0; c < w; ++c)
+        o[c] = y[c] * (dy[c] - static_cast<float>(dot));
+    }
+  }
+  return dx;
+}
+
+}  // namespace
+
+TwoLevelGate::TwoLevelGate(std::int64_t d_model, int num_experts, int groups,
+                           Rng& rng, const std::string& name)
+    : d_model_(d_model),
+      num_experts_(num_experts),
+      groups_(groups),
+      group_gate_(d_model, groups, rng, /*bias=*/false, name + ".group"),
+      expert_gate_(d_model, num_experts, rng, /*bias=*/false,
+                   name + ".expert") {
+  BGL_ENSURE(groups >= 1 && num_experts >= 1 && num_experts % groups == 0,
+             "experts " << num_experts << " must divide into " << groups
+                        << " groups");
+}
+
+Tensor TwoLevelGate::forward(const Tensor& x) {
+  BGL_CHECK(x.ndim() == 2 && x.dim(1) == d_model_);
+  cached_group_probs_ = ops::row_softmax(group_gate_.forward(x));
+  cached_expert_probs_ =
+      blockwise_softmax(expert_gate_.forward(x), groups_);
+
+  // p(e) = p_group(g(e)) * p(e | g(e)).
+  const std::int64_t n = x.dim(0);
+  const std::int64_t w = experts_per_group();
+  Tensor probs = Tensor::empty({n, static_cast<std::int64_t>(num_experts_)});
+  auto pg = cached_group_probs_.f32();
+  auto pe = cached_expert_probs_.f32();
+  auto pp = probs.f32();
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (int g = 0; g < groups_; ++g) {
+      const float group_p = pg[r * groups_ + g];
+      for (std::int64_t c = 0; c < w; ++c) {
+        const std::int64_t e = g * w + c;
+        pp[r * num_experts_ + e] = group_p * pe[r * num_experts_ + e];
+      }
+    }
+  }
+  return probs;
+}
+
+Tensor TwoLevelGate::backward(const Tensor& dprobs) {
+  BGL_CHECK(cached_group_probs_.defined());
+  const std::int64_t n = dprobs.dim(0);
+  BGL_CHECK(dprobs.dim(1) == num_experts_);
+  const std::int64_t w = experts_per_group();
+
+  // Product rule: dL/dp_group[g] = Σ_{e∈g} dL/dp_e * p_in(e);
+  //               dL/dp_in(e)   = dL/dp_e * p_group(g(e)).
+  Tensor dgroup = Tensor::zeros({n, static_cast<std::int64_t>(groups_)});
+  Tensor dexpert = Tensor::empty(cached_expert_probs_.shape());
+  auto pd = dprobs.f32();
+  auto pg = cached_group_probs_.f32();
+  auto pe = cached_expert_probs_.f32();
+  auto pdg = dgroup.f32();
+  auto pde = dexpert.f32();
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (int g = 0; g < groups_; ++g) {
+      double acc = 0.0;
+      for (std::int64_t c = 0; c < w; ++c) {
+        const std::int64_t e = g * w + c;
+        acc += double(pd[r * num_experts_ + e]) * pe[r * num_experts_ + e];
+        pde[r * num_experts_ + e] =
+            pd[r * num_experts_ + e] * pg[r * groups_ + g];
+      }
+      pdg[r * groups_ + g] = static_cast<float>(acc);
+    }
+  }
+
+  const Tensor dgroup_logits =
+      ops::row_softmax_backward(cached_group_probs_, dgroup);
+  const Tensor dexpert_logits =
+      blockwise_softmax_backward(cached_expert_probs_, dexpert, groups_);
+
+  Tensor dx = group_gate_.backward(dgroup_logits);
+  ops::add_(dx, expert_gate_.backward(dexpert_logits));
+  return dx;
+}
+
+std::vector<nn::Parameter*> TwoLevelGate::parameters() {
+  std::vector<nn::Parameter*> out = group_gate_.parameters();
+  for (nn::Parameter* p : expert_gate_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace bgl::moe

@@ -1,0 +1,54 @@
+// Two-level (hierarchical) gate: route to a group of experts, then to an
+// expert inside the group.
+//
+// Flat softmax gating costs O(d·E) per token, which at the 174T regime
+// (hundreds of thousands of experts per layer) rivals the expert compute
+// itself. The two-level factorization p(e) = p_group(g(e)) · p(e | g(e))
+// reduces routing cost to O(d·(G + E/G)) when expert logits are evaluated
+// lazily for the selected groups.
+//
+// This implementation materializes the full [N, E] probability tensor (the
+// product distribution) so it plugs into the existing dispatch-plan and
+// gradient machinery unchanged — exact numerics, library-scale cost; the
+// asymptotic FLOP win is captured by the performance model
+// (perf::TrainSetup::two_level_gating).
+#pragma once
+
+#include "nn/linear.hpp"
+
+namespace bgl::moe {
+
+class TwoLevelGate {
+ public:
+  /// E experts in `groups` groups of E/groups each (must divide evenly).
+  /// With groups == 1 this degenerates to exactly the flat softmax gate.
+  TwoLevelGate(std::int64_t d_model, int num_experts, int groups, Rng& rng,
+               const std::string& name = "two_level_gate");
+
+  /// Full gate probabilities [N, E]; rows sum to 1.
+  Tensor forward(const Tensor& x);
+
+  /// Backpropagates dL/dprobs through both softmaxes and both linear
+  /// gates; accumulates parameter gradients; returns dL/dx.
+  Tensor backward(const Tensor& dprobs);
+
+  std::vector<nn::Parameter*> parameters();
+
+  [[nodiscard]] int num_experts() const { return num_experts_; }
+  [[nodiscard]] int groups() const { return groups_; }
+  [[nodiscard]] int experts_per_group() const {
+    return num_experts_ / groups_;
+  }
+
+ private:
+  std::int64_t d_model_;
+  int num_experts_;
+  int groups_;
+  nn::Linear group_gate_;   // [d, G]
+  nn::Linear expert_gate_;  // [d, E] (softmax within each group's block)
+
+  Tensor cached_group_probs_;   // [N, G]
+  Tensor cached_expert_probs_;  // [N, E], block-normalized within groups
+};
+
+}  // namespace bgl::moe

@@ -1,0 +1,77 @@
+// Stateless activation layers and dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace bgl::nn {
+
+/// tanh-approximation GELU.
+class Gelu : public Layer {
+ public:
+  Gelu() = default;
+  Tensor forward(const Tensor& x) override {
+    cached_x_ = x;
+    return ops::gelu(x);
+  }
+  Tensor backward(const Tensor& dy) override {
+    BGL_CHECK(cached_x_.defined());
+    return ops::gelu_backward(cached_x_, dy);
+  }
+  std::vector<Parameter*> parameters() override { return {}; }
+
+ private:
+  Tensor cached_x_;
+};
+
+/// ReLU.
+class Relu : public Layer {
+ public:
+  Relu() = default;
+  Tensor forward(const Tensor& x) override {
+    cached_x_ = x;
+    return ops::relu(x);
+  }
+  Tensor backward(const Tensor& dy) override {
+    BGL_CHECK(cached_x_.defined());
+    return ops::relu_backward(cached_x_, dy);
+  }
+  std::vector<Parameter*> parameters() override { return {}; }
+
+ private:
+  Tensor cached_x_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) in training mode,
+/// identity in eval mode.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, Rng rng) : p_(p), rng_(rng) {
+    BGL_ENSURE(p >= 0.0f && p < 1.0f, "dropout p in [0,1), got " << p);
+  }
+
+  Tensor forward(const Tensor& x) override {
+    if (!training() || p_ == 0.0f) {
+      mask_ = Tensor();
+      return x.clone();
+    }
+    mask_ = Tensor::empty(x.shape());
+    const float keep_scale = 1.0f / (1.0f - p_);
+    for (float& m : mask_.f32())
+      m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    return ops::mul(x, mask_);
+  }
+
+  Tensor backward(const Tensor& dy) override {
+    if (!mask_.defined()) return dy.clone();
+    return ops::mul(dy, mask_);
+  }
+
+  std::vector<Parameter*> parameters() override { return {}; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace bgl::nn

@@ -1,0 +1,141 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace bgl::nn {
+namespace {
+
+/// Copies the [rows x cols] block at (row0, col0) out of a rank-2 tensor.
+Tensor extract_block(const Tensor& src, std::int64_t row0, std::int64_t rows,
+                     std::int64_t col0, std::int64_t cols) {
+  Tensor out = Tensor::empty({rows, cols});
+  const std::int64_t stride = src.dim(1);
+  auto ps = src.f32();
+  auto po = out.f32();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = ps.data() + (row0 + r) * stride + col0;
+    std::copy(in, in + cols, po.data() + r * cols);
+  }
+  return out;
+}
+
+/// Adds `block` into dst at (row0, col0).
+void add_block(Tensor& dst, std::int64_t row0, std::int64_t col0,
+               const Tensor& block) {
+  const std::int64_t stride = dst.dim(1);
+  const std::int64_t rows = block.dim(0);
+  const std::int64_t cols = block.dim(1);
+  auto pd = dst.f32();
+  auto pb = block.f32();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* out = pd.data() + (row0 + r) * stride + col0;
+    const float* in = pb.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) out[c] += in[c];
+  }
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
+                                       std::int64_t num_heads,
+                                       std::int64_t seq_len, Rng& rng,
+                                       const std::string& name)
+    : d_model_(d_model),
+      heads_(num_heads),
+      d_head_(d_model / num_heads),
+      seq_len_(seq_len),
+      wq_(d_model, d_model, rng, true, name + ".wq"),
+      wk_(d_model, d_model, rng, true, name + ".wk"),
+      wv_(d_model, d_model, rng, true, name + ".wv"),
+      wo_(d_model, d_model, rng, true, name + ".wo") {
+  BGL_ENSURE(d_model % num_heads == 0,
+             "d_model " << d_model << " not divisible by heads " << num_heads);
+  BGL_CHECK(seq_len > 0);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) {
+  BGL_ENSURE(x.ndim() == 2 && x.dim(1) == d_model_,
+             "attention expects [B*T, " << d_model_ << "]");
+  BGL_ENSURE(x.dim(0) % seq_len_ == 0,
+             "rows " << x.dim(0) << " not a multiple of seq_len " << seq_len_);
+  cached_batch_ = x.dim(0) / seq_len_;
+
+  cached_q_ = wq_.forward(x);
+  cached_k_ = wk_.forward(x);
+  cached_v_ = wv_.forward(x);
+  cached_probs_.clear();
+  cached_probs_.reserve(
+      static_cast<std::size_t>(cached_batch_ * heads_));
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Tensor concat = Tensor::zeros({x.dim(0), d_model_});
+  for (std::int64_t b = 0; b < cached_batch_; ++b) {
+    const std::int64_t row0 = b * seq_len_;
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col0 = h * d_head_;
+      const Tensor q = extract_block(cached_q_, row0, seq_len_, col0, d_head_);
+      const Tensor k = extract_block(cached_k_, row0, seq_len_, col0, d_head_);
+      const Tensor v = extract_block(cached_v_, row0, seq_len_, col0, d_head_);
+      Tensor scores = ops::matmul_nt(q, k);
+      ops::scale_(scores, scale);
+      // Causal mask: position i may not attend to j > i.
+      auto ps = scores.f32();
+      for (std::int64_t i = 0; i < seq_len_; ++i)
+        for (std::int64_t j = i + 1; j < seq_len_; ++j)
+          ps[i * seq_len_ + j] = -std::numeric_limits<float>::infinity();
+      Tensor probs = ops::row_softmax(scores);
+      const Tensor out = ops::matmul(probs, v);
+      add_block(concat, row0, col0, out);
+      cached_probs_.push_back(std::move(probs));
+    }
+  }
+  return wo_.forward(concat);
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& dy) {
+  BGL_CHECK(cached_batch_ > 0);
+  const Tensor dconcat = wo_.backward(dy);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  Tensor dq_all = Tensor::zeros(cached_q_.shape());
+  Tensor dk_all = Tensor::zeros(cached_k_.shape());
+  Tensor dv_all = Tensor::zeros(cached_v_.shape());
+
+  for (std::int64_t b = 0; b < cached_batch_; ++b) {
+    const std::int64_t row0 = b * seq_len_;
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col0 = h * d_head_;
+      const Tensor& probs =
+          cached_probs_[static_cast<std::size_t>(b * heads_ + h)];
+      const Tensor q = extract_block(cached_q_, row0, seq_len_, col0, d_head_);
+      const Tensor k = extract_block(cached_k_, row0, seq_len_, col0, d_head_);
+      const Tensor v = extract_block(cached_v_, row0, seq_len_, col0, d_head_);
+      const Tensor dout = extract_block(dconcat, row0, seq_len_, col0, d_head_);
+
+      const Tensor dprobs = ops::matmul_nt(dout, v);       // [T, T]
+      const Tensor dv = ops::matmul_tn(probs, dout);       // [T, d_head]
+      Tensor dscores = ops::row_softmax_backward(probs, dprobs);
+      ops::scale_(dscores, scale);
+      const Tensor dq = ops::matmul(dscores, k);            // [T, d_head]
+      const Tensor dk = ops::matmul_tn(dscores, q);         // [T, d_head]
+
+      add_block(dq_all, row0, col0, dq);
+      add_block(dk_all, row0, col0, dk);
+      add_block(dv_all, row0, col0, dv);
+    }
+  }
+  Tensor dx = wq_.backward(dq_all);
+  ops::add_(dx, wk_.backward(dk_all));
+  ops::add_(dx, wv_.backward(dv_all));
+  return dx;
+}
+
+std::vector<Parameter*> MultiHeadAttention::parameters() {
+  std::vector<Parameter*> out;
+  for (Linear* l : {&wq_, &wk_, &wv_, &wo_})
+    for (Parameter* p : l->parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace bgl::nn

@@ -1,0 +1,37 @@
+// Multi-head causal self-attention.
+//
+// Input is [batch * seq_len, d_model] with sequences stored contiguously;
+// the layer is told seq_len at construction and infers the batch size. The
+// causal mask makes position t attend to positions <= t only.
+#pragma once
+
+#include "nn/linear.hpp"
+
+namespace bgl::nn {
+
+class MultiHeadAttention : public Layer {
+ public:
+  MultiHeadAttention(std::int64_t d_model, std::int64_t num_heads,
+                     std::int64_t seq_len, Rng& rng,
+                     const std::string& name = "attn");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Parameter*> parameters() override;
+
+  [[nodiscard]] std::int64_t num_heads() const { return heads_; }
+
+ private:
+  std::int64_t d_model_;
+  std::int64_t heads_;
+  std::int64_t d_head_;
+  std::int64_t seq_len_;
+  Linear wq_, wk_, wv_, wo_;
+
+  // Cached activations of the last forward (per batch element x head).
+  Tensor cached_q_, cached_k_, cached_v_;  // [B*T, d_model] post-projection
+  std::vector<Tensor> cached_probs_;       // per (b, h): [T, T] softmax
+  std::int64_t cached_batch_ = 0;
+};
+
+}  // namespace bgl::nn

@@ -1,0 +1,41 @@
+#include "nn/embedding.hpp"
+
+namespace bgl::nn {
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t dim, Rng& rng,
+                     const std::string& name)
+    : vocab_(vocab), dim_(dim) {
+  BGL_CHECK(vocab > 0 && dim > 0);
+  table_ = Parameter(name + ".table",
+                     Tensor::randn({vocab_, dim_}, rng, 0.0f, 0.02f));
+}
+
+Tensor Embedding::forward(std::span<const std::int32_t> tokens) {
+  cached_tokens_.assign(tokens.begin(), tokens.end());
+  const std::int64_t n = static_cast<std::int64_t>(tokens.size());
+  Tensor out = Tensor::empty({n, dim_});
+  auto pt = table_.value.f32();
+  auto po = out.f32();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t tok = tokens[static_cast<std::size_t>(i)];
+    BGL_ENSURE(tok >= 0 && tok < vocab_, "token id " << tok << " out of range");
+    std::copy(pt.begin() + tok * dim_, pt.begin() + (tok + 1) * dim_,
+              po.begin() + i * dim_);
+  }
+  return out;
+}
+
+void Embedding::backward(const Tensor& dy) {
+  const std::int64_t n = static_cast<std::int64_t>(cached_tokens_.size());
+  BGL_ENSURE(dy.ndim() == 2 && dy.dim(0) == n && dy.dim(1) == dim_,
+             "Embedding backward shape " << shape_str(dy.shape()));
+  auto pg = table_.grad.f32();
+  auto pd = dy.f32();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t tok = cached_tokens_[static_cast<std::size_t>(i)];
+    for (std::int64_t c = 0; c < dim_; ++c)
+      pg[tok * dim_ + c] += pd[i * dim_ + c];
+  }
+}
+
+}  // namespace bgl::nn

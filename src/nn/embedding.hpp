@@ -1,0 +1,33 @@
+// Token embedding table with gather forward / scatter-add backward.
+#pragma once
+
+#include <span>
+
+#include "nn/layer.hpp"
+
+namespace bgl::nn {
+
+class Embedding {
+ public:
+  /// vocab x dim table, N(0, 0.02) init (GPT-style).
+  Embedding(std::int64_t vocab, std::int64_t dim, Rng& rng,
+            const std::string& name = "embedding");
+
+  /// Rows of the table for each token id.
+  Tensor forward(std::span<const std::int32_t> tokens);
+
+  /// Scatter-adds dy rows into the table gradient.
+  void backward(const Tensor& dy);
+
+  [[nodiscard]] Parameter& table() { return table_; }
+  [[nodiscard]] std::int64_t vocab() const { return vocab_; }
+  [[nodiscard]] std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t vocab_;
+  std::int64_t dim_;
+  Parameter table_;  // [vocab, dim]
+  std::vector<std::int32_t> cached_tokens_;
+};
+
+}  // namespace bgl::nn

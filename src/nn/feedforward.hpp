@@ -1,0 +1,42 @@
+// Position-wise feed-forward block: Linear -> GELU -> Linear.
+//
+// This is also the *expert* network of the MoE layer: BaGuaLu's experts are
+// standard transformer FFNs selected per token by the gate.
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+
+namespace bgl::nn {
+
+class FeedForward : public Layer {
+ public:
+  FeedForward(std::int64_t d_model, std::int64_t d_hidden, Rng& rng,
+              const std::string& name = "ffn")
+      : fc1_(d_model, d_hidden, rng, true, name + ".fc1"),
+        fc2_(d_hidden, d_model, rng, true, name + ".fc2") {}
+
+  Tensor forward(const Tensor& x) override {
+    return fc2_.forward(act_.forward(fc1_.forward(x)));
+  }
+
+  Tensor backward(const Tensor& dy) override {
+    return fc1_.backward(act_.backward(fc2_.backward(dy)));
+  }
+
+  std::vector<Parameter*> parameters() override {
+    std::vector<Parameter*> out = fc1_.parameters();
+    for (Parameter* p : fc2_.parameters()) out.push_back(p);
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t d_model() const { return fc1_.in_features(); }
+  [[nodiscard]] std::int64_t d_hidden() const { return fc1_.out_features(); }
+
+ private:
+  Linear fc1_;
+  Gelu act_;
+  Linear fc2_;
+};
+
+}  // namespace bgl::nn

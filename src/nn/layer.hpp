@@ -1,0 +1,119 @@
+// Layer framework: explicit forward/backward modules with named parameters.
+//
+// This is an "autograd-lite": each layer caches what its backward pass needs
+// during forward, and backward() returns dL/dx while accumulating dL/dθ into
+// Parameter::grad. Explicit backward keeps the dataflow visible — the same
+// style the production MoE frameworks BaGuaLu builds on use for their fused
+// distributed layers, where the dispatch/combine collectives sit exactly at
+// the forward/backward boundary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bgl::nn {
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;  // f32 master copy
+  Tensor grad;   // same shape, accumulated by backward()
+
+  Parameter() = default;
+  Parameter(std::string name_, Tensor value_)
+      : name(std::move(name_)),
+        value(std::move(value_)),
+        grad(Tensor::zeros(value.shape())) {}
+
+  /// Clears the gradient accumulator.
+  void zero_grad() { ops::zero_(grad); }
+};
+
+/// Base class of all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output, caching activations for backward().
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dL/dy of the last forward(), accumulates parameter gradients and
+  /// returns dL/dx.
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// All trainable parameters of this layer (and sublayers).
+  virtual std::vector<Parameter*> parameters() = 0;
+
+  /// Switches train/eval behaviour (dropout etc.). Default: no-op.
+  virtual void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const { return training_; }
+
+  /// Zeroes every parameter gradient.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::int64_t num_params() {
+    std::int64_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.numel();
+    return n;
+  }
+
+ protected:
+  Layer() = default;
+  bool training_ = true;
+};
+
+/// Runs layers in order; owns them.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (builder style).
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& x) override {
+    Tensor h = x;
+    for (const auto& layer : layers_) h = layer->forward(h);
+    return h;
+  }
+
+  Tensor backward(const Tensor& dy) override {
+    Tensor g = dy;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+      g = (*it)->backward(g);
+    return g;
+  }
+
+  std::vector<Parameter*> parameters() override {
+    std::vector<Parameter*> out;
+    for (const auto& layer : layers_)
+      for (Parameter* p : layer->parameters()) out.push_back(p);
+    return out;
+  }
+
+  void set_training(bool training) override {
+    Layer::set_training(training);
+    for (const auto& layer : layers_) layer->set_training(training);
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& at(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace bgl::nn

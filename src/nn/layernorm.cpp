@@ -1,0 +1,89 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+
+namespace bgl::nn {
+
+LayerNorm::LayerNorm(std::int64_t features, float eps, const std::string& name)
+    : features_(features), eps_(eps) {
+  BGL_CHECK(features > 0);
+  gamma_ = Parameter(name + ".gamma", Tensor::full({features_}, 1.0f));
+  beta_ = Parameter(name + ".beta", Tensor::zeros({features_}));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  BGL_ENSURE(x.ndim() == 2 && x.dim(1) == features_,
+             "LayerNorm expects [N, " << features_ << "], got "
+                                      << shape_str(x.shape()));
+  const std::int64_t rows = x.dim(0);
+  Tensor y = Tensor::empty({rows, features_});
+  cached_xhat_ = Tensor::empty({rows, features_});
+  cached_inv_std_ = Tensor::empty({rows});
+  auto px = x.f32();
+  auto py = y.f32();
+  auto ph = cached_xhat_.f32();
+  auto pinv = cached_inv_std_.f32();
+  auto pg = gamma_.value.f32();
+  auto pb = beta_.value.f32();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = px.data() + r * features_;
+    double mean = 0.0;
+    for (std::int64_t c = 0; c < features_; ++c) mean += in[c];
+    mean /= static_cast<double>(features_);
+    double var = 0.0;
+    for (std::int64_t c = 0; c < features_; ++c) {
+      const double d = in[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(features_);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    pinv[r] = inv;
+    float* h = ph.data() + r * features_;
+    float* o = py.data() + r * features_;
+    for (std::int64_t c = 0; c < features_; ++c) {
+      h[c] = (in[c] - static_cast<float>(mean)) * inv;
+      o[c] = h[c] * pg[c] + pb[c];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy) {
+  BGL_CHECK(cached_xhat_.defined());
+  BGL_CHECK(dy.same_shape(cached_xhat_));
+  const std::int64_t rows = dy.dim(0);
+  Tensor dx = Tensor::empty({rows, features_});
+  auto pdy = dy.f32();
+  auto ph = cached_xhat_.f32();
+  auto pinv = cached_inv_std_.f32();
+  auto pg = gamma_.value.f32();
+  auto pdg = gamma_.grad.f32();
+  auto pdb = beta_.grad.f32();
+  auto pdx = dx.f32();
+  const double n = static_cast<double>(features_);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* g = pdy.data() + r * features_;
+    const float* h = ph.data() + r * features_;
+    float* o = pdx.data() + r * features_;
+    // dgamma/dbeta accumulate over rows.
+    double sum_gh = 0.0, sum_g = 0.0;
+    for (std::int64_t c = 0; c < features_; ++c) {
+      pdg[c] += g[c] * h[c];
+      pdb[c] += g[c];
+      const double gs = double(g[c]) * pg[c];  // dL/dxhat
+      sum_gh += gs * h[c];
+      sum_g += gs;
+    }
+    // dx = inv_std/n * (n*gs - Σgs - xhat*Σ(gs*xhat))
+    for (std::int64_t c = 0; c < features_; ++c) {
+      const double gs = double(g[c]) * pg[c];
+      o[c] = static_cast<float>(pinv[r] / n *
+                                (n * gs - sum_g - double(h[c]) * sum_gh));
+    }
+  }
+  return dx;
+}
+
+std::vector<Parameter*> LayerNorm::parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace bgl::nn

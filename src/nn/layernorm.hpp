@@ -1,0 +1,26 @@
+// LayerNorm over the last dimension with learnable gamma/beta.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace bgl::nn {
+
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::int64_t features, float eps = 1e-5f,
+                     const std::string& name = "layernorm");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  std::int64_t features_;
+  float eps_;
+  Parameter gamma_;  // [features], init 1
+  Parameter beta_;   // [features], init 0
+  Tensor cached_xhat_;     // normalized input
+  Tensor cached_inv_std_;  // [rows]
+};
+
+}  // namespace bgl::nn

@@ -1,0 +1,52 @@
+#include "nn/linear.hpp"
+
+namespace bgl::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias, const std::string& name)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  BGL_CHECK(in_features > 0 && out_features > 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+  weight_ = Parameter(name + ".weight",
+                      Tensor::uniform({in_, out_}, rng, -bound, bound));
+  if (has_bias_) {
+    bias_ = Parameter(name + ".bias", Tensor::zeros({out_}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  BGL_ENSURE(x.ndim() == 2 && x.dim(1) == in_,
+             "Linear expects [N, " << in_ << "], got " << shape_str(x.shape()));
+  cached_x_ = x;
+  Tensor y = ops::matmul(x, weight_.value);
+  if (has_bias_) {
+    auto py = y.f32();
+    auto pb = bias_.value.f32();
+    const std::int64_t rows = y.dim(0);
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t c = 0; c < out_; ++c) py[r * out_ + c] += pb[c];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  BGL_CHECK(cached_x_.defined());
+  BGL_ENSURE(dy.ndim() == 2 && dy.dim(1) == out_ && dy.dim(0) == cached_x_.dim(0),
+             "Linear backward shape " << shape_str(dy.shape()));
+  // dW = xᵀ·dy, db = column sums, dx = dy·Wᵀ.
+  const Tensor dw = ops::matmul_tn(cached_x_, dy);
+  ops::add_(weight_.grad, dw);
+  if (has_bias_) {
+    Tensor db = Tensor::zeros({out_});
+    ops::col_sum(dy, db);
+    ops::add_(bias_.grad, db);
+  }
+  return ops::matmul_nt(dy, weight_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace bgl::nn

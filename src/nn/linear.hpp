@@ -1,0 +1,35 @@
+// Linear (dense) layer: y = x·W + b, with W:[in, out].
+#pragma once
+
+#include <cmath>
+
+#include "nn/layer.hpp"
+
+namespace bgl::nn {
+
+class Linear : public Layer {
+ public:
+  /// Kaiming-uniform initialization; `bias` controls the additive term.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true, const std::string& name = "linear");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Parameter*> parameters() override;
+
+  [[nodiscard]] std::int64_t in_features() const { return in_; }
+  [[nodiscard]] std::int64_t out_features() const { return out_; }
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  [[nodiscard]] Parameter& bias() { return bias_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  bool has_bias_;
+  Parameter weight_;  // [in, out]
+  Parameter bias_;    // [out]
+  Tensor cached_x_;   // input of the last forward
+};
+
+}  // namespace bgl::nn

@@ -1,0 +1,41 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace bgl::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> targets) {
+  BGL_CHECK(logits.ndim() == 2);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t v = logits.dim(1);
+  BGL_ENSURE(static_cast<std::int64_t>(targets.size()) == n,
+             "targets size " << targets.size() << " != batch " << n);
+  BGL_CHECK(n > 0);
+
+  LossResult result;
+  result.dlogits = ops::row_softmax(logits);
+  auto pd = result.dlogits.f32();
+  auto pl = logits.f32();
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int32_t t = targets[static_cast<std::size_t>(r)];
+    BGL_ENSURE(t >= 0 && t < v, "target " << t << " out of vocab " << v);
+    // loss row = log-sum-exp(logits) - logit[t]; recompute the stabilized
+    // log-sum-exp from the softmax row for numerical cleanliness.
+    const float p = pd[r * v + t];
+    total += -std::log(std::max(p, 1e-30f));
+    // dL/dlogits = (softmax - onehot) / N.
+    for (std::int64_t c = 0; c < v; ++c) pd[r * v + c] *= inv_n;
+    pd[r * v + t] -= inv_n;
+    (void)pl;
+  }
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace bgl::nn

@@ -1,0 +1,21 @@
+// Softmax cross-entropy loss over logits.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace bgl::nn {
+
+/// Result of a cross-entropy evaluation.
+struct LossResult {
+  double loss = 0.0;    // mean negative log-likelihood
+  Tensor dlogits;       // dL/dlogits, already divided by batch size
+};
+
+/// Mean softmax cross-entropy of logits [N, V] against integer targets [N].
+/// Numerically stabilized; returns both the scalar loss and its gradient.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> targets);
+
+}  // namespace bgl::nn

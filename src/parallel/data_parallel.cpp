@@ -1,0 +1,56 @@
+#include "parallel/data_parallel.hpp"
+
+#include <vector>
+
+namespace bgl::parallel {
+
+void DataParallel::sync_gradients(
+    const rt::Communicator& comm,
+    std::span<nn::Parameter* const> params) const {
+  if (comm.size() == 1) return;
+  const float inv = 1.0f / static_cast<float>(comm.size());
+
+  std::vector<float> bucket;
+  bucket.reserve(bucket_elems_);
+  std::vector<nn::Parameter*> in_bucket;
+
+  auto flush = [&] {
+    if (bucket.empty()) return;
+    coll::allreduce_sum<float>(comm, bucket, algo_);
+    std::size_t off = 0;
+    for (nn::Parameter* p : in_bucket) {
+      auto g = p->grad.f32();
+      for (float& v : g) v = bucket[off++] * inv;
+    }
+    bucket.clear();
+    in_bucket.clear();
+  };
+
+  for (nn::Parameter* p : params) {
+    const auto g = p->grad.f32();
+    // A parameter larger than the bucket gets its own fused transfer.
+    if (bucket.size() + g.size() > bucket_elems_ && !bucket.empty()) flush();
+    bucket.insert(bucket.end(), g.begin(), g.end());
+    in_bucket.push_back(p);
+    if (bucket.size() >= bucket_elems_) flush();
+  }
+  flush();
+}
+
+void DataParallel::broadcast_parameters(
+    const rt::Communicator& comm,
+    std::span<nn::Parameter* const> params) const {
+  if (comm.size() == 1) return;
+  for (nn::Parameter* p : params) {
+    std::vector<float> data;
+    if (comm.rank() == 0) {
+      const auto v = p->value.f32();
+      data.assign(v.begin(), v.end());
+    }
+    coll::broadcast(comm, data, /*root=*/0);
+    BGL_CHECK(data.size() == p->value.f32().size());
+    std::copy(data.begin(), data.end(), p->value.f32().begin());
+  }
+}
+
+}  // namespace bgl::parallel

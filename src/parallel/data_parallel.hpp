@@ -1,0 +1,39 @@
+// Data-parallel gradient synchronization: bucketed allreduce + averaging,
+// plus initial parameter broadcast.
+#pragma once
+
+#include <span>
+
+#include "collectives/coll.hpp"
+#include "nn/layer.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::parallel {
+
+class DataParallel {
+ public:
+  /// `bucket_elems` controls gradient bucketing: parameters are fused into
+  /// buckets of roughly this many floats before each allreduce, amortizing
+  /// per-collective latency exactly like production DDP implementations.
+  explicit DataParallel(coll::AllreduceAlgo algo = coll::AllreduceAlgo::kRing,
+                        std::size_t bucket_elems = 1 << 16)
+      : algo_(algo), bucket_elems_(bucket_elems) {
+    BGL_CHECK(bucket_elems_ > 0);
+  }
+
+  /// Averages every parameter gradient across the ranks of `comm`.
+  void sync_gradients(const rt::Communicator& comm,
+                      std::span<nn::Parameter* const> params) const;
+
+  /// Copies rank 0's parameter values to all ranks (initialization sync).
+  void broadcast_parameters(const rt::Communicator& comm,
+                            std::span<nn::Parameter* const> params) const;
+
+  [[nodiscard]] coll::AllreduceAlgo algo() const { return algo_; }
+
+ private:
+  coll::AllreduceAlgo algo_;
+  std::size_t bucket_elems_;
+};
+
+}  // namespace bgl::parallel

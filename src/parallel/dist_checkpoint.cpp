@@ -1,0 +1,56 @@
+#include "parallel/dist_checkpoint.hpp"
+
+#include <unordered_map>
+
+#include "train/checkpoint.hpp"
+
+namespace bgl::parallel {
+namespace {
+
+std::string rank_path(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".ckpt";
+}
+
+}  // namespace
+
+void save_dist_checkpoint(const std::string& prefix,
+                          const rt::Communicator& world,
+                          DistMoETransformerLM& lm) {
+  BGL_ENSURE(!lm.vocab_parallel(),
+             "dist checkpoint does not support vocab-parallel models");
+  const auto params = lm.parameters();
+  train::save_checkpoint(rank_path(prefix, world.rank()), params);
+  world.barrier();
+}
+
+void load_dist_checkpoint(const std::string& prefix, int old_world_size,
+                          const rt::Communicator& world,
+                          DistMoETransformerLM& lm) {
+  BGL_ENSURE(!lm.vocab_parallel(),
+             "dist checkpoint does not support vocab-parallel models");
+  BGL_CHECK(old_world_size >= 1);
+
+  // Index every entry of every old file by name; first occurrence wins
+  // (replicated dense params and DP-replicated experts are identical).
+  std::unordered_map<std::string, Tensor> index;
+  for (int r = 0; r < old_world_size; ++r) {
+    for (auto& entry : train::read_checkpoint_entries(rank_path(prefix, r))) {
+      index.try_emplace(std::move(entry.name), std::move(entry.value));
+    }
+  }
+
+  for (nn::Parameter* p : lm.parameters()) {
+    const auto it = index.find(p->name);
+    BGL_ENSURE(it != index.end(),
+               "checkpoint is missing parameter '" << p->name << "'");
+    BGL_ENSURE(it->second.same_shape(p->value),
+               "shape mismatch for '" << p->name << "': checkpoint "
+                                      << shape_str(it->second.shape())
+                                      << " vs model "
+                                      << shape_str(p->value.shape()));
+    p->value = it->second.clone();
+  }
+  world.barrier();
+}
+
+}  // namespace bgl::parallel

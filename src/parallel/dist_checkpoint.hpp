@@ -1,0 +1,35 @@
+// Distributed checkpointing with elastic re-sharding.
+//
+// Brain-scale training runs move between machine allocations (the paper's
+// models ran at several scales), so a checkpoint written under one MoDa
+// layout must restore under another. Parameter names carry the global
+// identity (experts are named by global expert id), so the loader can
+// reshard by name: each new rank scans the old per-rank files and pulls
+// exactly the parameters it owns now, wherever they used to live.
+//
+// Vocab-parallel models are excluded (their shard contents are positional,
+// not name-distinguished); save/load those with a fixed layout via the
+// plain train::save_checkpoint on lm.parameters().
+#pragma once
+
+#include <string>
+
+#include "parallel/dist_transformer.hpp"
+
+namespace bgl::parallel {
+
+/// Writes "<prefix>.rank<R>.ckpt" per rank with that rank's parameters.
+/// Collective (barrier at the end so readers see complete files).
+void save_dist_checkpoint(const std::string& prefix,
+                          const rt::Communicator& world,
+                          DistMoETransformerLM& lm);
+
+/// Restores `lm` (any layout) from a checkpoint written by
+/// save_dist_checkpoint under a world of `old_world_size` ranks. Every
+/// parameter is matched by name across the old files; missing or
+/// shape-mismatched parameters throw. Collective.
+void load_dist_checkpoint(const std::string& prefix, int old_world_size,
+                          const rt::Communicator& world,
+                          DistMoETransformerLM& lm);
+
+}  // namespace bgl::parallel

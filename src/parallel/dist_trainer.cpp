@@ -1,0 +1,84 @@
+#include "parallel/dist_trainer.hpp"
+
+#include "collectives/coll.hpp"
+#include "tensor/ops.hpp"
+
+namespace bgl::parallel {
+
+DistTrainer::DistTrainer(const rt::Communicator& world,
+                         DistMoETransformerLM& lm, train::Optimizer& optimizer,
+                         DistTrainerOptions options)
+    : world_(world),
+      lm_(lm),
+      optimizer_(optimizer),
+      options_(options),
+      emulator_(options.compute_dtype),
+      scaler_(options.initial_loss_scale),
+      params_(lm.parameters()) {}
+
+DistStepStats DistTrainer::train_step(const train::Batch& batch) {
+  return train_step_accumulated({&batch, 1});
+}
+
+DistStepStats DistTrainer::train_step_accumulated(
+    std::span<const train::Batch> micro_batches) {
+  BGL_CHECK(!micro_batches.empty());
+  DistStepStats stats;
+  lm_.set_training(true);
+  lm_.zero_grad();
+
+  emulator_.quantize_params(params_);
+  const bool scaling =
+      options_.compute_dtype == DType::kF16 && options_.dynamic_loss_scaling;
+  // Each micro-batch contributes 1/k of the step gradient.
+  const double micro_weight =
+      1.0 / static_cast<double>(micro_batches.size());
+  const double grad_scale =
+      (scaling ? scaler_.scale() : 1.0) * micro_weight;
+  lm_.set_grad_scale(grad_scale);
+  for (const train::Batch& batch : micro_batches) {
+    double micro_loss;
+    if (lm_.vocab_parallel()) {
+      // Fused head + distributed cross-entropy: logits never materialize.
+      micro_loss = lm_.forward_loss(batch.tokens, batch.targets,
+                                    static_cast<float>(grad_scale));
+      lm_.backward_from_loss();
+    } else {
+      const Tensor logits = lm_.forward(batch.tokens);
+      const nn::LossResult loss =
+          nn::softmax_cross_entropy(logits, batch.targets);
+      micro_loss = loss.loss;
+      Tensor dlogits = loss.dlogits;
+      ops::scale_(dlogits, static_cast<float>(grad_scale));
+      lm_.backward(dlogits);
+    }
+    stats.local_loss += micro_loss * micro_weight;
+    stats.aux_loss += lm_.aux_loss() * micro_weight;
+  }
+  lm_.set_grad_scale(1.0);
+  emulator_.quantize_grads(params_);
+  emulator_.restore_params(params_);
+
+  // Synchronize BEFORE the overflow check: NaN/inf anywhere poisons the
+  // averaged gradients everywhere, so the skip decision is global.
+  lm_.sync_gradients();
+
+  if (scaling) {
+    if (!scaler_.unscale_and_check(params_)) {
+      stats.applied = false;
+    }
+  }
+  if (stats.applied) {
+    if (options_.clip_norm > 0.0)
+      (void)train::clip_grad_norm(params_, options_.clip_norm);
+    optimizer_.step(params_);
+  }
+
+  // Report the global mean loss.
+  std::vector<double> acc{stats.local_loss};
+  coll::allreduce_sum<double>(world_, acc);
+  stats.global_loss = acc[0] / world_.size();
+  return stats;
+}
+
+}  // namespace bgl::parallel

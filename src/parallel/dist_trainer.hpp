@@ -1,0 +1,59 @@
+// Distributed training loop for the MoDa transformer.
+//
+// The gradient allreduce happens BEFORE the loss-scaler check: an overflow
+// anywhere propagates to every rank through the sum, so all ranks take the
+// same skip/apply decision and the replicated parameters stay consistent
+// without extra coordination.
+#pragma once
+
+#include "nn/loss.hpp"
+#include "parallel/dist_transformer.hpp"
+#include "train/data.hpp"
+#include "train/mixed_precision.hpp"
+#include "train/optimizer.hpp"
+
+namespace bgl::parallel {
+
+struct DistTrainerOptions {
+  DType compute_dtype = DType::kF32;
+  bool dynamic_loss_scaling = true;  // used only for kF16
+  double initial_loss_scale = 65536.0;
+  double clip_norm = 1.0;  // 0 disables
+};
+
+struct DistStepStats {
+  double local_loss = 0.0;   // this rank's shard loss
+  double global_loss = 0.0;  // mean over all ranks (allreduced)
+  double aux_loss = 0.0;     // local weighted MoE balance loss
+  bool applied = true;
+};
+
+class DistTrainer {
+ public:
+  /// Every rank constructs its own trainer around the shared collective
+  /// model; the optimizer is rank-local (deterministic ⇒ replicas agree).
+  DistTrainer(const rt::Communicator& world, DistMoETransformerLM& lm,
+              train::Optimizer& optimizer, DistTrainerOptions options = {});
+
+  /// One synchronous training step on this rank's batch shard. Collective.
+  DistStepStats train_step(const train::Batch& local_batch);
+
+  /// One optimizer step over several micro-batches with gradient
+  /// accumulation: forward/backward per micro-batch, one gradient sync and
+  /// one update at the end. The effective gradient equals the mean over all
+  /// micro-batch tokens — how the huge global batches of brain-scale
+  /// pretraining are assembled per rank. Collective.
+  DistStepStats train_step_accumulated(
+      std::span<const train::Batch> micro_batches);
+
+ private:
+  rt::Communicator world_;
+  DistMoETransformerLM& lm_;
+  train::Optimizer& optimizer_;
+  DistTrainerOptions options_;
+  train::PrecisionEmulator emulator_;
+  train::LossScaler scaler_;
+  std::vector<nn::Parameter*> params_;
+};
+
+}  // namespace bgl::parallel

@@ -1,0 +1,232 @@
+#include "parallel/dist_transformer.hpp"
+
+namespace bgl::parallel {
+
+DistMoETransformerLM::DistMoETransformerLM(const rt::Communicator& world,
+                                           const MoDaLayout& layout,
+                                           const model::MoEModelConfig& config,
+                                           Rng rng, bool vocab_parallel,
+                                           moe::Placement expert_placement)
+    : config_(config),
+      layout_(layout),
+      world_(world),
+      ep_comm_(layout.ep_comm(world)),
+      dp_comm_(layout.dp_comm(world)),
+      dp_(),
+      embedding_(config.vocab, config.d_model, rng, "tok_embedding"),
+      pos_embedding_("pos_embedding",
+                     Tensor::randn({config.seq_len, config.d_model}, rng,
+                                   0.0f, 0.02f)),
+      final_ln_(config.d_model, 1e-5f, "final_ln"),
+      head_(config.d_model, config.vocab, rng, /*bias=*/false, "lm_head") {
+  config_.validate();
+  BGL_CHECK(world.size() == layout.world_size);
+  BGL_ENSURE(config.num_experts % layout.ep_size == 0,
+             "experts " << config.num_experts << " not divisible by ep_size "
+                        << layout.ep_size);
+  for (std::int64_t l = 0; l < config_.n_layers; ++l) {
+    auto block = std::make_unique<Block>();
+    const std::string prefix = "block" + std::to_string(l);
+    block->ln1 = std::make_unique<nn::LayerNorm>(config_.d_model, 1e-5f,
+                                                 prefix + ".ln1");
+    block->attn = std::make_unique<nn::MultiHeadAttention>(
+        config_.d_model, config_.n_heads, config_.seq_len, rng,
+        prefix + ".attn");
+    block->ln2 = std::make_unique<nn::LayerNorm>(config_.d_model, 1e-5f,
+                                                 prefix + ".ln2");
+    // ExpertParallelMoE consumes the shared rng identically on every rank
+    // (gate draws; expert streams are forked, not drawn), so the dense
+    // layers that follow stay replicated.
+    block->moe = std::make_unique<ExpertParallelMoE>(
+        ep_comm_, config_.d_model, config_.d_ffn, config_.gate_config(), rng,
+        prefix + ".moe", expert_placement);
+    blocks_.push_back(std::move(block));
+  }
+  if (vocab_parallel) {
+    // Shard the already-initialized embedding/head over the EP group. The
+    // replicated members keep the rng consumption pattern identical to the
+    // non-parallel construction; only the sharded copies are used/trained.
+    BGL_ENSURE(config.vocab % layout.ep_size == 0,
+               "vocab " << config.vocab << " not divisible by ep_size "
+                        << layout.ep_size);
+    vp_embedding_ = std::make_unique<VocabParallelEmbedding>(
+        VocabParallelEmbedding::from_full(ep_comm_, embedding_.table().value,
+                                          "tok_embedding"));
+    vp_head_ = std::make_unique<VocabParallelHead>(
+        VocabParallelHead::from_full(ep_comm_, head_.weight().value,
+                                     "lm_head"));
+  }
+  // Replicas of an expert shard must start identical across DP.
+  const auto experts = expert_parameters();
+  dp_.broadcast_parameters(dp_comm_, experts);
+}
+
+Tensor DistMoETransformerLM::forward_hidden(
+    std::span<const std::int32_t> tokens) {
+  BGL_ENSURE(!tokens.empty() &&
+                 static_cast<std::int64_t>(tokens.size()) % config_.seq_len == 0,
+             "token count " << tokens.size()
+                            << " must be a multiple of seq_len "
+                            << config_.seq_len);
+  cached_tokens_ = static_cast<std::int64_t>(tokens.size());
+
+  Tensor x = vp_embedding_ ? vp_embedding_->forward(tokens)
+                           : embedding_.forward(tokens);
+  {
+    auto px = x.f32();
+    auto pp = pos_embedding_.value.f32();
+    const std::int64_t d = config_.d_model;
+    for (std::int64_t r = 0; r < cached_tokens_; ++r) {
+      const std::int64_t pos = r % config_.seq_len;
+      for (std::int64_t c = 0; c < d; ++c) px[r * d + c] += pp[pos * d + c];
+    }
+  }
+  for (const auto& block : blocks_) {
+    ops::add_(x, block->attn->forward(block->ln1->forward(x)));
+    ops::add_(x, block->moe->forward(block->ln2->forward(x)));
+  }
+  return final_ln_.forward(x);
+}
+
+void DistMoETransformerLM::backward_hidden(const Tensor& dhidden) {
+  BGL_CHECK(cached_tokens_ > 0);
+  Tensor dx = final_ln_.backward(dhidden);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    Block& block = **it;
+    ops::add_(dx, block.ln2->backward(block.moe->backward(dx)));
+    ops::add_(dx, block.ln1->backward(block.attn->backward(dx)));
+  }
+  {
+    auto pd = dx.f32();
+    auto pg = pos_embedding_.grad.f32();
+    const std::int64_t d = config_.d_model;
+    for (std::int64_t r = 0; r < cached_tokens_; ++r) {
+      const std::int64_t pos = r % config_.seq_len;
+      for (std::int64_t c = 0; c < d; ++c) pg[pos * d + c] += pd[r * d + c];
+    }
+  }
+  if (vp_embedding_) {
+    vp_embedding_->backward(dx);
+  } else {
+    embedding_.backward(dx);
+  }
+}
+
+Tensor DistMoETransformerLM::forward(std::span<const std::int32_t> tokens) {
+  const Tensor hidden = forward_hidden(tokens);
+  if (vp_head_) return vp_head_->full_logits(hidden);  // evaluation only
+  return head_.forward(hidden);
+}
+
+void DistMoETransformerLM::backward(const Tensor& dlogits) {
+  BGL_ENSURE(!vp_head_,
+             "vocab-parallel model: use forward_loss/backward_from_loss");
+  backward_hidden(head_.backward(dlogits));
+}
+
+double DistMoETransformerLM::forward_loss(
+    std::span<const std::int32_t> tokens,
+    std::span<const std::int32_t> targets, float grad_scale) {
+  BGL_ENSURE(vp_head_ != nullptr,
+             "forward_loss requires vocab_parallel construction");
+  const Tensor hidden = forward_hidden(tokens);
+  VocabParallelLoss result =
+      vp_head_->forward_loss(hidden, targets, grad_scale);
+  cached_dhidden_ = std::move(result.dhidden);
+  return result.loss;
+}
+
+void DistMoETransformerLM::backward_from_loss() {
+  BGL_CHECK(cached_dhidden_.defined());
+  backward_hidden(cached_dhidden_);
+  cached_dhidden_ = Tensor();
+}
+
+void DistMoETransformerLM::sync_gradients() {
+  const auto experts = expert_parameters();
+  dp_.sync_gradients(dp_comm_, experts);
+  const auto replicated = replicated_parameters();
+  dp_.sync_gradients(world_, replicated);
+}
+
+std::vector<nn::Parameter*> DistMoETransformerLM::replicated_parameters() {
+  std::vector<nn::Parameter*> out{&pos_embedding_};
+  if (!vp_embedding_) out.push_back(&embedding_.table());
+  for (const auto& block : blocks_) {
+    for (nn::Parameter* p : block->ln1->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->attn->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->ln2->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->moe->gate_parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : final_ln_.parameters()) out.push_back(p);
+  if (!vp_head_) {
+    for (nn::Parameter* p : head_.parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<nn::Parameter*> DistMoETransformerLM::expert_parameters() {
+  // Everything sharded over the EP dimension (and therefore replicated only
+  // across DP): experts, plus the vocab-parallel embedding/head shards.
+  std::vector<nn::Parameter*> out;
+  for (const auto& block : blocks_)
+    for (nn::Parameter* p : block->moe->expert_parameters()) out.push_back(p);
+  if (vp_embedding_) out.push_back(&vp_embedding_->table());
+  if (vp_head_) out.push_back(&vp_head_->weight());
+  return out;
+}
+
+std::vector<nn::Parameter*> DistMoETransformerLM::parameters() {
+  // Order matches the serial MoETransformerLM so positional weight copies
+  // between the two work (tested).
+  std::vector<nn::Parameter*> out{
+      vp_embedding_ ? &vp_embedding_->table() : &embedding_.table(),
+      &pos_embedding_};
+  for (const auto& block : blocks_) {
+    for (nn::Parameter* p : block->ln1->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->attn->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->ln2->parameters()) out.push_back(p);
+    for (nn::Parameter* p : block->moe->parameters()) out.push_back(p);
+  }
+  for (nn::Parameter* p : final_ln_.parameters()) out.push_back(p);
+  if (vp_head_) {
+    out.push_back(&vp_head_->weight());
+  } else {
+    for (nn::Parameter* p : head_.parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+void DistMoETransformerLM::zero_grad() {
+  for (nn::Parameter* p : parameters()) p->zero_grad();
+}
+
+void DistMoETransformerLM::set_grad_scale(double scale) {
+  for (const auto& block : blocks_) block->moe->set_grad_scale(scale);
+}
+
+void DistMoETransformerLM::set_training(bool training) {
+  for (const auto& block : blocks_) {
+    block->attn->set_training(training);
+    block->moe->set_training(training);
+  }
+}
+
+double DistMoETransformerLM::aux_loss() const {
+  double total = 0.0;
+  for (const auto& block : blocks_) total += block->moe->last_aux_loss();
+  return total;
+}
+
+std::int64_t DistMoETransformerLM::num_local_params() {
+  std::int64_t n = 0;
+  for (nn::Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+void DistMoETransformerLM::set_dispatch_algo(coll::AlltoallvAlgo algo,
+                                             int group) {
+  for (const auto& block : blocks_) block->moe->set_dispatch_algo(algo, group);
+}
+
+}  // namespace bgl::parallel

@@ -1,0 +1,132 @@
+// Distributed MoE transformer language model under MoDa parallelism — the
+// full BaGuaLu training stack.
+//
+// Parameter placement:
+//   * dense backbone (embeddings, attention, layernorms, head): replicated
+//     on every rank — identical initialization (same seed) plus world-wide
+//     gradient averaging keeps replicas bit-consistent;
+//   * gate of each MoE layer: replicated (synced over the world);
+//   * experts: sharded across the EP dimension, replicated across DP, with
+//     expert gradients averaged over the DP communicator.
+// Every rank processes its own batch shard; MoE layers dispatch tokens by
+// all-to-all within the rank's EP group.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "model/config.hpp"
+#include "nn/attention.hpp"
+#include "nn/embedding.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "parallel/data_parallel.hpp"
+#include "parallel/expert_parallel.hpp"
+#include "parallel/layout.hpp"
+#include "parallel/vocab_parallel.hpp"
+
+namespace bgl::parallel {
+
+class DistMoETransformerLM {
+ public:
+  /// Collective constructor: all ranks of `world` must call with identical
+  /// layout/config/seed (the shared seed is what replicates the dense
+  /// stack). config.num_experts must be divisible by layout.ep_size.
+  /// With `vocab_parallel`, the token embedding and LM head shard over the
+  /// EP group (config.vocab must divide by ep_size); use
+  /// forward_loss()/backward_from_loss() instead of forward()/backward().
+  /// `expert_placement` maps global expert id -> EP rank for every MoE
+  /// layer (empty = blocked default; see moe/placement.hpp).
+  DistMoETransformerLM(const rt::Communicator& world, const MoDaLayout& layout,
+                       const model::MoEModelConfig& config, Rng rng,
+                       bool vocab_parallel = false,
+                       moe::Placement expert_placement = {});
+
+  /// Forward on this rank's token shard (size multiple of seq_len);
+  /// collective over the EP communicator. Returns logits [tokens, vocab]
+  /// (allgathered when vocab-parallel).
+  Tensor forward(std::span<const std::int32_t> tokens);
+
+  /// Collective backward from dL/dlogits of the local shard. Only valid
+  /// for the replicated-head path (vocab_parallel == false).
+  void backward(const Tensor& dlogits);
+
+  /// Vocab-parallel training path: fused head + cross-entropy. Returns the
+  /// mean NLL of the local shard; caches nothing beyond what
+  /// backward_from_loss() needs. Collective.
+  double forward_loss(std::span<const std::int32_t> tokens,
+                      std::span<const std::int32_t> targets,
+                      float grad_scale = 1.0f);
+
+  /// Continues backward from the fused loss of the last forward_loss().
+  void backward_from_loss();
+
+  [[nodiscard]] bool vocab_parallel() const { return vp_embedding_ != nullptr; }
+
+  /// Averages gradients along the correct dimensions: dense + gates over
+  /// the world, experts over the DP communicator. Collective.
+  void sync_gradients();
+
+  /// This rank's local parameters (dense replicas + local expert shard).
+  std::vector<nn::Parameter*> parameters();
+
+  void zero_grad();
+  void set_training(bool training);
+
+  /// Forwards to every MoE layer (mixed-precision aux-grad scaling).
+  void set_grad_scale(double scale);
+
+  /// Sum of the MoE layers' weighted aux losses from the last forward
+  /// (local shard's value).
+  [[nodiscard]] double aux_loss() const;
+
+  [[nodiscard]] const model::MoEModelConfig& config() const { return config_; }
+  [[nodiscard]] const MoDaLayout& layout() const { return layout_; }
+  [[nodiscard]] ExpertParallelMoE& moe_layer(std::size_t i) {
+    return *blocks_.at(i)->moe;
+  }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::int64_t num_local_params();
+
+  /// Selects the dispatch all-to-all algorithm for every MoE layer.
+  void set_dispatch_algo(coll::AlltoallvAlgo algo, int group = 1);
+
+ private:
+  struct Block {
+    std::unique_ptr<nn::LayerNorm> ln1;
+    std::unique_ptr<nn::MultiHeadAttention> attn;
+    std::unique_ptr<nn::LayerNorm> ln2;
+    std::unique_ptr<ExpertParallelMoE> moe;
+  };
+
+  /// Dense (world-replicated) parameters, including gates.
+  std::vector<nn::Parameter*> replicated_parameters();
+  /// EP-sharded expert parameters.
+  std::vector<nn::Parameter*> expert_parameters();
+
+  model::MoEModelConfig config_;
+  MoDaLayout layout_;
+  rt::Communicator world_;
+  rt::Communicator ep_comm_;
+  rt::Communicator dp_comm_;
+  DataParallel dp_;
+
+  /// Runs the embedded-through-final-layernorm stack; shared by both paths.
+  Tensor forward_hidden(std::span<const std::int32_t> tokens);
+  /// Backward through the same stack from dL/d(final hidden).
+  void backward_hidden(const Tensor& dhidden);
+
+  nn::Embedding embedding_;
+  nn::Parameter pos_embedding_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  nn::LayerNorm final_ln_;
+  nn::Linear head_;
+  // Vocab-parallel replacements for embedding_/head_ (non-null together).
+  std::unique_ptr<VocabParallelEmbedding> vp_embedding_;
+  std::unique_ptr<VocabParallelHead> vp_head_;
+  Tensor cached_dhidden_;  // from the fused loss, for backward_from_loss
+
+  std::int64_t cached_tokens_ = 0;
+};
+
+}  // namespace bgl::parallel

@@ -1,0 +1,289 @@
+#include "parallel/expert_parallel.hpp"
+
+#include <algorithm>
+
+#include "collectives/coll.hpp"
+#include "tensor/ops.hpp"
+
+namespace bgl::parallel {
+
+ExpertParallelMoE::ExpertParallelMoE(const rt::Communicator& comm,
+                                     std::int64_t d_model,
+                                     std::int64_t d_hidden,
+                                     moe::GateConfig config, Rng& rng,
+                                     const std::string& name,
+                                     moe::Placement placement)
+    : comm_(comm),
+      config_(config),
+      experts_per_rank_(config.num_experts / comm.size()),
+      d_model_(d_model),
+      placement_(std::move(placement)),
+      gate_(d_model, config.num_experts, rng, /*bias=*/false, name + ".gate"),
+      noise_rng_(rng.fork(0xDA7A + static_cast<std::uint64_t>(comm.rank()))) {
+  config_.validate();
+  BGL_ENSURE(config.num_experts % comm.size() == 0,
+             "experts " << config.num_experts << " not divisible by EP size "
+                        << comm.size());
+  if (placement_.empty()) {
+    placement_ = moe::blocked_placement(config.num_experts, comm.size());
+  }
+  BGL_ENSURE(placement_.size() == static_cast<std::size_t>(config.num_experts),
+             "placement has " << placement_.size() << " entries for "
+                              << config.num_experts << " experts");
+  local_index_.assign(static_cast<std::size_t>(config.num_experts), -1);
+  for (int e = 0; e < config.num_experts; ++e) {
+    const int owner = placement_[static_cast<std::size_t>(e)];
+    BGL_ENSURE(owner >= 0 && owner < comm.size(),
+               "placement of expert " << e << " is rank " << owner);
+    if (owner == comm.rank()) {
+      local_index_[static_cast<std::size_t>(e)] =
+          static_cast<int>(local_ids_.size());
+      local_ids_.push_back(e);
+    }
+  }
+  BGL_ENSURE(static_cast<int>(local_ids_.size()) == experts_per_rank_,
+             "placement gives rank " << comm.rank() << " "
+                                     << local_ids_.size() << " experts, need "
+                                     << experts_per_rank_);
+  // Expert weights are rank-local: derive per-expert streams from the
+  // *global* expert id so a placement change does not change the weights.
+  for (const int global_id : local_ids_) {
+    Rng expert_rng = rng.fork(0xE0 + static_cast<std::uint64_t>(global_id));
+    experts_.push_back(std::make_unique<nn::FeedForward>(
+        d_model, d_hidden, expert_rng,
+        name + ".expert" + std::to_string(global_id)));
+  }
+}
+
+Tensor ExpertParallelMoE::forward(const Tensor& x) {
+  BGL_CHECK(x.ndim() == 2 && x.dim(1) == d_model_);
+  const int p = comm_.size();
+  cached_x_ = x;
+
+  Tensor logits = gate_.forward(x);
+  if (config_.noisy_gating && training_) {
+    for (float& v : logits.f32())
+      v += static_cast<float>(noise_rng_.normal(0.0, config_.noise_std));
+  }
+  cached_probs_ = ops::row_softmax(logits);
+  plan_ = build_dispatch_plan(cached_probs_, config_);
+
+  // Build per-destination send buffers: token rows + global expert ids, in
+  // plan order (grouped by expert, so per-destination order is by expert).
+  auto px = x.f32();
+  std::vector<std::vector<float>> send_rows(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::int32_t>> send_experts(
+      static_cast<std::size_t>(p));
+  send_idx_.assign(static_cast<std::size_t>(p), {});
+  for (std::size_t i = 0; i < plan_.assignments.size(); ++i) {
+    const moe::Assignment& a = plan_.assignments[i];
+    const int dst = placement_[static_cast<std::size_t>(a.expert)];
+    const float* row = px.data() + static_cast<std::int64_t>(a.token) * d_model_;
+    auto& buf = send_rows[static_cast<std::size_t>(dst)];
+    buf.insert(buf.end(), row, row + d_model_);
+    send_experts[static_cast<std::size_t>(dst)].push_back(a.expert);
+    send_idx_[static_cast<std::size_t>(dst)].push_back(i);
+  }
+
+  const auto recv_rows = coll::alltoallv<float>(comm_, send_rows, a2a_algo_, a2a_group_);
+  const auto recv_experts = coll::alltoallv<std::int32_t>(comm_, send_experts, a2a_algo_, a2a_group_);
+
+  // Group received rows per local expert.
+  std::vector<std::vector<float>> expert_rows(
+      static_cast<std::size_t>(experts_per_rank_));
+  std::vector<std::int32_t> expert_counts(
+      static_cast<std::size_t>(experts_per_rank_), 0);
+  recv_slots_.assign(static_cast<std::size_t>(p), {});
+  recv_tokens_ = 0;
+  for (int src = 0; src < p; ++src) {
+    const auto& ids = recv_experts[static_cast<std::size_t>(src)];
+    const auto& rows = recv_rows[static_cast<std::size_t>(src)];
+    BGL_CHECK(rows.size() ==
+              ids.size() * static_cast<std::size_t>(d_model_));
+    recv_tokens_ += static_cast<std::int64_t>(ids.size());
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      BGL_ENSURE(ids[r] >= 0 && ids[r] < config_.num_experts,
+                 "bad expert id " << ids[r]);
+      const int local = local_index_[static_cast<std::size_t>(ids[r])];
+      BGL_ENSURE(local >= 0,
+                 "expert " << ids[r] << " not owned by rank " << comm_.rank());
+      auto& buf = expert_rows[static_cast<std::size_t>(local)];
+      buf.insert(buf.end(),
+                 rows.begin() + static_cast<std::ptrdiff_t>(r * d_model_),
+                 rows.begin() + static_cast<std::ptrdiff_t>((r + 1) * d_model_));
+      recv_slots_[static_cast<std::size_t>(src)].push_back(
+          {static_cast<std::int32_t>(local), expert_counts[static_cast<std::size_t>(local)]++});
+    }
+  }
+
+  // Run local experts; keep their inputs for backward.
+  expert_inputs_.assign(static_cast<std::size_t>(experts_per_rank_), {});
+  std::vector<Tensor> expert_out(static_cast<std::size_t>(experts_per_rank_));
+  for (int l = 0; l < experts_per_rank_; ++l) {
+    const std::int64_t n_l = expert_counts[static_cast<std::size_t>(l)];
+    Tensor in = Tensor::empty({n_l, d_model_});
+    std::copy(expert_rows[static_cast<std::size_t>(l)].begin(),
+              expert_rows[static_cast<std::size_t>(l)].end(),
+              in.f32().begin());
+    expert_inputs_[static_cast<std::size_t>(l)] = in;
+    if (n_l > 0)
+      expert_out[static_cast<std::size_t>(l)] =
+          experts_[static_cast<std::size_t>(l)]->forward(in);
+  }
+
+  // Route outputs back in each source's original row order.
+  std::vector<std::vector<float>> send_back(static_cast<std::size_t>(p));
+  for (int src = 0; src < p; ++src) {
+    auto& buf = send_back[static_cast<std::size_t>(src)];
+    for (const RecvSlot& slot : recv_slots_[static_cast<std::size_t>(src)]) {
+      const auto out =
+          expert_out[static_cast<std::size_t>(slot.local_expert)].f32();
+      const float* row = out.data() + static_cast<std::int64_t>(slot.row) * d_model_;
+      buf.insert(buf.end(), row, row + d_model_);
+    }
+  }
+  const auto got_back = coll::alltoallv<float>(comm_, send_back, a2a_algo_, a2a_group_);
+
+  // Combine: y[token] += w * returned row. Cache returned rows for dw.
+  Tensor y = Tensor::zeros(x.shape());
+  auto py = y.f32();
+  returned_out_.assign(static_cast<std::size_t>(p), {});
+  for (int dst = 0; dst < p; ++dst) {
+    const auto& rows = got_back[static_cast<std::size_t>(dst)];
+    const auto& idx = send_idx_[static_cast<std::size_t>(dst)];
+    BGL_CHECK(rows.size() == idx.size() * static_cast<std::size_t>(d_model_));
+    Tensor cache = Tensor::empty(
+        {static_cast<std::int64_t>(idx.size()), d_model_});
+    std::copy(rows.begin(), rows.end(), cache.f32().begin());
+    returned_out_[static_cast<std::size_t>(dst)] = cache;
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      const moe::Assignment& a = plan_.assignments[idx[r]];
+      const float* row = rows.data() + r * static_cast<std::size_t>(d_model_);
+      float* out = py.data() + static_cast<std::int64_t>(a.token) * d_model_;
+      for (std::int64_t c = 0; c < d_model_; ++c)
+        out[c] += a.gate_weight * row[c];
+    }
+  }
+  return y;
+}
+
+Tensor ExpertParallelMoE::backward(const Tensor& dy) {
+  BGL_CHECK(cached_x_.defined());
+  BGL_CHECK(dy.same_shape(cached_x_));
+  const int p = comm_.size();
+  auto pdy = dy.f32();
+
+  // dL/dw per assignment and dL/d(expert output) rows per destination.
+  std::vector<float> dws(plan_.assignments.size(), 0.0f);
+  std::vector<std::vector<float>> send_dout(static_cast<std::size_t>(p));
+  for (int dst = 0; dst < p; ++dst) {
+    const auto& idx = send_idx_[static_cast<std::size_t>(dst)];
+    const auto out = returned_out_[static_cast<std::size_t>(dst)].f32();
+    auto& buf = send_dout[static_cast<std::size_t>(dst)];
+    buf.reserve(idx.size() * static_cast<std::size_t>(d_model_));
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      const moe::Assignment& a = plan_.assignments[idx[r]];
+      const float* gy = pdy.data() + static_cast<std::int64_t>(a.token) * d_model_;
+      const float* po = out.data() + r * static_cast<std::size_t>(d_model_);
+      double dw = 0.0;
+      for (std::int64_t c = 0; c < d_model_; ++c) {
+        buf.push_back(a.gate_weight * gy[c]);
+        dw += double(gy[c]) * po[c];
+      }
+      dws[idx[r]] = static_cast<float>(dw);
+    }
+  }
+
+  const auto recv_dout = coll::alltoallv<float>(comm_, send_dout, a2a_algo_, a2a_group_);
+
+  // Regroup incoming dout rows per local expert, in forward input order.
+  std::vector<Tensor> expert_dout(static_cast<std::size_t>(experts_per_rank_));
+  for (int l = 0; l < experts_per_rank_; ++l) {
+    expert_dout[static_cast<std::size_t>(l)] =
+        Tensor::zeros(expert_inputs_[static_cast<std::size_t>(l)].shape());
+  }
+  for (int src = 0; src < p; ++src) {
+    const auto& rows = recv_dout[static_cast<std::size_t>(src)];
+    const auto& slots = recv_slots_[static_cast<std::size_t>(src)];
+    BGL_CHECK(rows.size() == slots.size() * static_cast<std::size_t>(d_model_));
+    for (std::size_t r = 0; r < slots.size(); ++r) {
+      auto dst = expert_dout[static_cast<std::size_t>(slots[r].local_expert)].f32();
+      std::copy(rows.begin() + static_cast<std::ptrdiff_t>(r * d_model_),
+                rows.begin() + static_cast<std::ptrdiff_t>((r + 1) * d_model_),
+                dst.begin() + static_cast<std::int64_t>(slots[r].row) * d_model_);
+    }
+  }
+
+  // Local expert backward; produce din rows.
+  std::vector<Tensor> expert_din(static_cast<std::size_t>(experts_per_rank_));
+  for (int l = 0; l < experts_per_rank_; ++l) {
+    if (expert_inputs_[static_cast<std::size_t>(l)].dim(0) > 0) {
+      expert_din[static_cast<std::size_t>(l)] =
+          experts_[static_cast<std::size_t>(l)]->backward(
+              expert_dout[static_cast<std::size_t>(l)]);
+    } else {
+      expert_din[static_cast<std::size_t>(l)] = Tensor::zeros({0, d_model_});
+    }
+  }
+
+  // Return din rows to sources in their original order.
+  std::vector<std::vector<float>> send_din(static_cast<std::size_t>(p));
+  for (int src = 0; src < p; ++src) {
+    auto& buf = send_din[static_cast<std::size_t>(src)];
+    for (const RecvSlot& slot : recv_slots_[static_cast<std::size_t>(src)]) {
+      const auto din =
+          expert_din[static_cast<std::size_t>(slot.local_expert)].f32();
+      const float* row = din.data() + static_cast<std::int64_t>(slot.row) * d_model_;
+      buf.insert(buf.end(), row, row + d_model_);
+    }
+  }
+  const auto got_din = coll::alltoallv<float>(comm_, send_din, a2a_algo_, a2a_group_);
+
+  // Accumulate input gradients per token (no gate-weight scaling: experts
+  // consumed the raw token rows).
+  Tensor dx = Tensor::zeros(cached_x_.shape());
+  auto pdx = dx.f32();
+  for (int dst = 0; dst < p; ++dst) {
+    const auto& rows = got_din[static_cast<std::size_t>(dst)];
+    const auto& idx = send_idx_[static_cast<std::size_t>(dst)];
+    BGL_CHECK(rows.size() == idx.size() * static_cast<std::size_t>(d_model_));
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      const moe::Assignment& a = plan_.assignments[idx[r]];
+      const float* row = rows.data() + r * static_cast<std::size_t>(d_model_);
+      float* out = pdx.data() + static_cast<std::int64_t>(a.token) * d_model_;
+      for (std::int64_t c = 0; c < d_model_; ++c) out[c] += row[c];
+    }
+  }
+
+  // Gate gradients (combine weights + aux loss), exactly as the serial layer.
+  Tensor dprobs = Tensor::zeros(cached_probs_.shape());
+  moe::accumulate_combine_grad(cached_probs_, plan_, dws, config_, dprobs);
+  if (config_.aux_loss_weight > 0.0) {
+    moe::add_aux_loss_grad(cached_probs_,
+                           config_.aux_loss_weight * grad_scale_, dprobs);
+  }
+  const Tensor dlogits = ops::row_softmax_backward(cached_probs_, dprobs);
+  ops::add_(dx, gate_.backward(dlogits));
+  return dx;
+}
+
+std::vector<nn::Parameter*> ExpertParallelMoE::gate_parameters() {
+  return gate_.parameters();
+}
+
+std::vector<nn::Parameter*> ExpertParallelMoE::expert_parameters() {
+  std::vector<nn::Parameter*> out;
+  for (const auto& expert : experts_)
+    for (nn::Parameter* p : expert->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<nn::Parameter*> ExpertParallelMoE::parameters() {
+  std::vector<nn::Parameter*> out = gate_parameters();
+  for (nn::Parameter* p : expert_parameters()) out.push_back(p);
+  return out;
+}
+
+void ExpertParallelMoE::set_training(bool training) { training_ = training; }
+
+}  // namespace bgl::parallel

@@ -1,0 +1,130 @@
+// Expert-parallel MoE layer: experts sharded across the ranks of a
+// communicator, tokens exchanged by all-to-all.
+//
+// This is the distributed heart of the reproduction. Each rank gates its
+// local tokens with a replicated gate, dispatches token rows to the ranks
+// owning their experts (alltoallv), runs the local experts, and returns
+// outputs to the source ranks which combine them with the gate weights.
+// Backward retraces the same routes in reverse. The serial MoELayer is the
+// numerical reference: with identical weights and ample capacity the
+// distributed layer produces identical outputs and gradients (tested).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collectives/coll.hpp"
+#include "moe/gating.hpp"
+#include "moe/placement.hpp"
+#include "nn/feedforward.hpp"
+#include "nn/linear.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::parallel {
+
+class ExpertParallelMoE {
+ public:
+  /// `config.num_experts` is the *global* expert count and must be divisible
+  /// by comm.size(). The gate is seeded from `rng` identically on every rank
+  /// (callers pass the same-seeded rng); expert weights are rank-local
+  /// (streams derive from the global expert id, so the weights of expert e
+  /// do not depend on which rank hosts it).
+  ///
+  /// `placement` maps global expert id -> rank (see moe/placement.hpp);
+  /// empty selects the blocked default. Every rank must pass the same
+  /// placement, and each rank must receive exactly num_experts/P experts.
+  ExpertParallelMoE(const rt::Communicator& comm, std::int64_t d_model,
+                    std::int64_t d_hidden, moe::GateConfig config, Rng& rng,
+                    const std::string& name = "ep_moe",
+                    moe::Placement placement = {});
+
+  /// Routes the rank-local batch x:[N, d_model]; collective over the
+  /// communicator (all ranks must call with their own shard).
+  Tensor forward(const Tensor& x);
+
+  /// Collective backward; returns dL/dx for the local shard.
+  Tensor backward(const Tensor& dy);
+
+  /// Replicated parameters (the gate): synchronize across *all* ranks.
+  std::vector<nn::Parameter*> gate_parameters();
+
+  /// Sharded parameters (local experts): synchronize across replicas only.
+  std::vector<nn::Parameter*> expert_parameters();
+
+  /// All parameters (for zero_grad etc.).
+  std::vector<nn::Parameter*> parameters();
+
+  void set_training(bool training);
+
+  [[nodiscard]] const moe::DispatchPlan& last_plan() const { return plan_; }
+  [[nodiscard]] double last_aux_loss() const {
+    return config_.aux_loss_weight * plan_.aux_loss;
+  }
+  /// Tokens this rank's experts processed in the last forward.
+  [[nodiscard]] std::int64_t last_recv_tokens() const { return recv_tokens_; }
+
+  /// Selects the dispatch all-to-all algorithm (default pairwise). For the
+  /// hierarchical variant, `group` must divide the communicator size;
+  /// align it with the supernode width for the topology win.
+  void set_dispatch_algo(coll::AlltoallvAlgo algo, int group = 1) {
+    BGL_ENSURE(group >= 1 && comm_.size() % group == 0,
+               "dispatch group " << group << " must divide EP size "
+                                 << comm_.size());
+    a2a_algo_ = algo;
+    a2a_group_ = group;
+  }
+  [[nodiscard]] coll::AlltoallvAlgo dispatch_algo() const { return a2a_algo_; }
+
+  /// Scales the aux-loss gradient injected during backward (see
+  /// moe::MoELayer::set_grad_scale).
+  void set_grad_scale(double scale) {
+    BGL_CHECK(scale > 0.0);
+    grad_scale_ = scale;
+  }
+
+  [[nodiscard]] int experts_per_rank() const { return experts_per_rank_; }
+  [[nodiscard]] nn::Linear& gate() { return gate_; }
+  [[nodiscard]] nn::FeedForward& local_expert(int i) {
+    return *experts_.at(static_cast<std::size_t>(i));
+  }
+  /// Global id of the i-th locally hosted expert.
+  [[nodiscard]] int global_expert_id(int i) const {
+    return local_ids_.at(static_cast<std::size_t>(i));
+  }
+  /// The expert -> rank mapping in effect.
+  [[nodiscard]] const moe::Placement& placement() const { return placement_; }
+
+ private:
+  /// Receiver-side row bookkeeping: where an incoming row went.
+  struct RecvSlot {
+    std::int32_t local_expert;
+    std::int32_t row;  // row index inside that expert's batch
+  };
+
+  rt::Communicator comm_;
+  moe::GateConfig config_;
+  int experts_per_rank_;
+  std::int64_t d_model_;
+  moe::Placement placement_;        // global expert -> rank
+  std::vector<int> local_ids_;      // local slot -> global expert
+  std::vector<int> local_index_;    // global expert -> local slot (or -1)
+  nn::Linear gate_;
+  std::vector<std::unique_ptr<nn::FeedForward>> experts_;
+  Rng noise_rng_;
+  bool training_ = true;
+  coll::AlltoallvAlgo a2a_algo_ = coll::AlltoallvAlgo::kPairwise;
+  int a2a_group_ = 1;
+  double grad_scale_ = 1.0;
+
+  // Forward caches (consumed by backward).
+  Tensor cached_x_;
+  Tensor cached_probs_;
+  moe::DispatchPlan plan_;
+  std::vector<std::vector<std::size_t>> send_idx_;   // per dst: plan indices
+  std::vector<std::vector<RecvSlot>> recv_slots_;    // per src: row routing
+  std::vector<Tensor> expert_inputs_;                // per local expert
+  std::vector<Tensor> returned_out_;                 // per dst: outputs back
+  std::int64_t recv_tokens_ = 0;
+};
+
+}  // namespace bgl::parallel

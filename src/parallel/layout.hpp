@@ -1,0 +1,50 @@
+// MoDa process-grid layout.
+//
+// BaGuaLu's MoDa parallelism factors the world of P ranks into
+// `ep_size` expert-parallel ranks x `dp_size` data-parallel replicas
+// (P = ep_size * dp_size). Experts are sharded across the EP dimension;
+// each EP group holds a full copy of the model and processes its own data
+// shard; expert gradients are averaged across the DP dimension. This
+// decouples the expert count from the machine size — the property that let
+// the paper scale one model from thousands to 96,000 nodes.
+//
+// Rank mapping is EP-contiguous: rank = dp_index * ep_size + ep_index, so
+// with block process placement an EP group sits close together on the
+// machine hierarchy (dispatch all-to-all stays as local as possible).
+#pragma once
+
+#include "core/error.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::parallel {
+
+struct MoDaLayout {
+  int world_size = 1;
+  int ep_size = 1;  // ranks an expert set is sharded over
+  int dp_size = 1;  // replicas of each expert shard
+
+  /// Builds a layout; ep_size must divide world.
+  static MoDaLayout make(int world, int ep_size) {
+    BGL_ENSURE(world >= 1 && ep_size >= 1 && world % ep_size == 0,
+               "ep_size " << ep_size << " must divide world " << world);
+    return {world, ep_size, world / ep_size};
+  }
+
+  [[nodiscard]] int ep_index(int rank) const { return rank % ep_size; }
+  [[nodiscard]] int dp_index(int rank) const { return rank / ep_size; }
+  [[nodiscard]] int rank_of(int dp, int ep) const { return dp * ep_size + ep; }
+
+  /// Splits `world` into the EP communicator (ranks of one replica).
+  [[nodiscard]] rt::Communicator ep_comm(const rt::Communicator& world) const {
+    BGL_CHECK(world.size() == world_size);
+    return world.split(dp_index(world.rank()), ep_index(world.rank()));
+  }
+
+  /// Splits `world` into the DP communicator (replicas of one expert shard).
+  [[nodiscard]] rt::Communicator dp_comm(const rt::Communicator& world) const {
+    BGL_CHECK(world.size() == world_size);
+    return world.split(ep_index(world.rank()), dp_index(world.rank()));
+  }
+};
+
+}  // namespace bgl::parallel

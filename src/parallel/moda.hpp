@@ -1,0 +1,66 @@
+// MoDa parallelism: MoE (expert) parallelism x data parallelism.
+//
+// The world is factored as dp_size replicas of an ep_size-wide expert shard
+// group (see layout.hpp). Forward/backward run expert-parallel inside each
+// replica; sync_gradients() then averages
+//   * expert gradients across the DP dimension (replicas of the same shard),
+//   * gate gradients across the entire world (the gate is replicated
+//     everywhere).
+// This is the paper's recipe for growing the machine without growing the
+// expert count: throughput scales with dp_size while the model is fixed.
+#pragma once
+
+#include "parallel/data_parallel.hpp"
+#include "parallel/expert_parallel.hpp"
+#include "parallel/layout.hpp"
+
+namespace bgl::parallel {
+
+class MoDaMoE {
+ public:
+  /// Collective constructor: every rank of `world` must call with the same
+  /// layout/config/seed. `rng` seeds the gate identically everywhere.
+  MoDaMoE(const rt::Communicator& world, const MoDaLayout& layout,
+          std::int64_t d_model, std::int64_t d_hidden, moe::GateConfig config,
+          Rng& rng)
+      : world_(world),
+        layout_(layout),
+        ep_comm_(layout.ep_comm(world)),
+        dp_comm_(layout.dp_comm(world)),
+        layer_(ep_comm_, d_model, d_hidden, config, rng),
+        dp_() {
+    BGL_CHECK(world.size() == layout.world_size);
+    // Replicas must start from identical expert weights: broadcast shard 0's.
+    const auto experts = layer_.expert_parameters();
+    dp_.broadcast_parameters(dp_comm_, experts);
+  }
+
+  /// Expert-parallel forward over this rank's batch shard.
+  Tensor forward(const Tensor& x) { return layer_.forward(x); }
+
+  /// Expert-parallel backward; returns local dL/dx.
+  Tensor backward(const Tensor& dy) { return layer_.backward(dy); }
+
+  /// Averages gradients along the correct dimensions (see file comment).
+  void sync_gradients() {
+    const auto experts = layer_.expert_parameters();
+    dp_.sync_gradients(dp_comm_, experts);
+    const auto gate = layer_.gate_parameters();
+    dp_.sync_gradients(world_, gate);
+  }
+
+  [[nodiscard]] ExpertParallelMoE& layer() { return layer_; }
+  [[nodiscard]] const MoDaLayout& layout() const { return layout_; }
+  [[nodiscard]] const rt::Communicator& ep_comm() const { return ep_comm_; }
+  [[nodiscard]] const rt::Communicator& dp_comm() const { return dp_comm_; }
+
+ private:
+  rt::Communicator world_;
+  MoDaLayout layout_;
+  rt::Communicator ep_comm_;
+  rt::Communicator dp_comm_;
+  ExpertParallelMoE layer_;
+  DataParallel dp_;
+};
+
+}  // namespace bgl::parallel

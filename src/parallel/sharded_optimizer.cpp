@@ -1,0 +1,88 @@
+#include "parallel/sharded_optimizer.hpp"
+
+#include <cmath>
+
+#include "core/math_util.hpp"
+
+namespace bgl::parallel {
+
+ShardedAdam::ShardedAdam(const rt::Communicator& comm, double lr, double beta1,
+                         double beta2, double eps, double weight_decay)
+    : Optimizer(lr),
+      comm_(comm),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  BGL_CHECK(lr > 0.0);
+  BGL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  BGL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  BGL_CHECK(eps > 0.0);
+}
+
+void ShardedAdam::step(std::span<nn::Parameter* const> params) {
+  const int p = comm_.size();
+  std::int64_t total = 0;
+  for (const nn::Parameter* param : params) total += param->value.numel();
+  const std::size_t shard =
+      static_cast<std::size_t>(ceil_div(total, p));
+  if (shard_elems_ == 0) {
+    shard_elems_ = shard;
+    m_.assign(shard_elems_, 0.0f);
+    v_.assign(shard_elems_, 0.0f);
+  }
+  BGL_ENSURE(shard == shard_elems_,
+             "parameter set changed size across steps: shard " << shard
+                                                               << " vs "
+                                                               << shard_elems_);
+
+  // Gather this rank's shard of (w, g) from the flattened parameter space.
+  const std::size_t begin = shard_elems_ * static_cast<std::size_t>(comm_.rank());
+  std::vector<float> w_shard(shard_elems_, 0.0f);
+  std::vector<float> g_shard(shard_elems_, 0.0f);
+  {
+    std::size_t offset = 0;  // global flattened position of current param
+    for (const nn::Parameter* param : params) {
+      const auto w = param->value.f32();
+      const auto g = param->grad.f32();
+      // Overlap of [offset, offset+n) with [begin, begin+shard).
+      const std::size_t n = w.size();
+      const std::size_t lo = std::max(offset, begin);
+      const std::size_t hi = std::min(offset + n, begin + shard_elems_);
+      for (std::size_t i = lo; i < hi; ++i) {
+        w_shard[i - begin] = w[i - offset];
+        g_shard[i - begin] = g[i - offset];
+      }
+      offset += n;
+    }
+  }
+
+  // Adam on the shard.
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < shard_elems_; ++i) {
+    const float g = g_shard[i];
+    m_[i] = static_cast<float>(beta1_ * m_[i] + (1.0 - beta1_) * g);
+    v_[i] = static_cast<float>(beta2_ * v_[i] + (1.0 - beta2_) * double(g) * g);
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    w_shard[i] -= static_cast<float>(
+        lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w_shard[i]));
+  }
+
+  // Allgather updated shards and scatter back into the parameters.
+  const std::vector<float> all =
+      coll::allgather<float>(comm_, std::span<const float>(w_shard));
+  BGL_CHECK(all.size() == shard_elems_ * static_cast<std::size_t>(p));
+  {
+    std::size_t offset = 0;
+    for (nn::Parameter* param : params) {
+      auto w = param->value.f32();
+      for (std::size_t i = 0; i < w.size(); ++i) w[i] = all[offset + i];
+      offset += w.size();
+    }
+  }
+}
+
+}  // namespace bgl::parallel

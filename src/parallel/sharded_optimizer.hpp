@@ -1,0 +1,46 @@
+// ZeRO-1-style sharded Adam: optimizer state partitioned across ranks.
+//
+// The Adam moments (8 bytes/param in FP32) are the single largest memory
+// line item at brain scale (see bench_memory / E9). ShardedAdam keeps only
+// 1/P of them per rank: the flattened parameter space is split into P equal
+// shards; each rank updates its shard and the updated values are allgathered
+// back so every rank ends with the full, identical parameter set.
+//
+// Precondition: gradients are already synchronized (identical) across the
+// communicator — exactly what DistTrainer's sync_gradients() establishes —
+// so no reduce-scatter is needed here, only the allgather of updated
+// parameter shards. Numerics match plain bgl::train::Adam exactly (tested).
+#pragma once
+
+#include "collectives/coll.hpp"
+#include "runtime/comm.hpp"
+#include "train/optimizer.hpp"
+
+namespace bgl::parallel {
+
+class ShardedAdam : public train::Optimizer {
+ public:
+  /// Shards over the ranks of `comm`. Hyperparameters as train::Adam.
+  ShardedAdam(const rt::Communicator& comm, double lr, double beta1 = 0.9,
+              double beta2 = 0.999, double eps = 1e-8,
+              double weight_decay = 0.0);
+
+  /// Collective: every rank of the communicator must call with the same
+  /// parameter list (same shapes, same order, identical gradients).
+  void step(std::span<nn::Parameter* const> params) override;
+
+  /// Bytes of optimizer state held by this rank (for memory accounting).
+  [[nodiscard]] std::size_t state_bytes() const {
+    return (m_.size() + v_.size()) * sizeof(float);
+  }
+
+ private:
+  rt::Communicator comm_;
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::size_t shard_elems_ = 0;  // fixed after first step
+  std::vector<float> m_;         // this rank's moment shard
+  std::vector<float> v_;
+};
+
+}  // namespace bgl::parallel

@@ -1,0 +1,199 @@
+#include "parallel/vocab_parallel.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+
+namespace bgl::parallel {
+
+VocabParallelEmbedding::VocabParallelEmbedding(const rt::Communicator& comm,
+                                               std::int64_t vocab,
+                                               std::int64_t dim, Rng& rng,
+                                               const std::string& name)
+    : comm_(comm), vocab_(vocab), dim_(dim) {
+  BGL_ENSURE(vocab % comm.size() == 0,
+             "vocab " << vocab << " not divisible by " << comm.size());
+  const std::int64_t shard = vocab / comm.size();
+  begin_ = shard * comm.rank();
+  end_ = begin_ + shard;
+  // Draw the full table to stay bit-identical with the serial Embedding,
+  // keep only the owned rows.
+  Tensor full = Tensor::randn({vocab_, dim_}, rng, 0.0f, 0.02f);
+  table_ = nn::Parameter(name + ".table", ops::copy_rows(full, begin_, end_));
+}
+
+VocabParallelEmbedding VocabParallelEmbedding::from_full(
+    const rt::Communicator& comm, const Tensor& full_table,
+    const std::string& name) {
+  BGL_CHECK(full_table.ndim() == 2);
+  // Construct with a throwaway rng, then overwrite the shard.
+  Rng scratch(0);
+  VocabParallelEmbedding emb(comm, full_table.dim(0), full_table.dim(1),
+                             scratch, name);
+  emb.table_.value = ops::copy_rows(full_table, emb.begin_, emb.end_);
+  return emb;
+}
+
+Tensor VocabParallelEmbedding::forward(std::span<const std::int32_t> tokens) {
+  cached_tokens_.assign(tokens.begin(), tokens.end());
+  const std::int64_t n = static_cast<std::int64_t>(tokens.size());
+  Tensor out = Tensor::zeros({n, dim_});
+  auto pt = table_.value.f32();
+  auto po = out.f32();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t tok = tokens[static_cast<std::size_t>(i)];
+    BGL_ENSURE(tok >= 0 && tok < vocab_, "token id " << tok << " out of range");
+    if (tok >= begin_ && tok < end_) {
+      const std::int64_t local = tok - begin_;
+      std::copy(pt.begin() + local * dim_, pt.begin() + (local + 1) * dim_,
+                po.begin() + i * dim_);
+    }
+  }
+  // Exactly one rank contributed each row; the sum completes the lookup.
+  coll::allreduce_sum<float>(comm_, out.f32());
+  return out;
+}
+
+void VocabParallelEmbedding::backward(const Tensor& dy) {
+  const std::int64_t n = static_cast<std::int64_t>(cached_tokens_.size());
+  BGL_CHECK(dy.ndim() == 2 && dy.dim(0) == n && dy.dim(1) == dim_);
+  auto pg = table_.grad.f32();
+  auto pd = dy.f32();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t tok = cached_tokens_[static_cast<std::size_t>(i)];
+    if (tok >= begin_ && tok < end_) {
+      const std::int64_t local = tok - begin_;
+      for (std::int64_t c = 0; c < dim_; ++c)
+        pg[local * dim_ + c] += pd[i * dim_ + c];
+    }
+  }
+}
+
+VocabParallelHead::VocabParallelHead(const rt::Communicator& comm,
+                                     std::int64_t d_model, std::int64_t vocab,
+                                     Rng& rng, const std::string& name)
+    : comm_(comm), d_model_(d_model), vocab_(vocab) {
+  BGL_ENSURE(vocab % comm.size() == 0,
+             "vocab " << vocab << " not divisible by " << comm.size());
+  const std::int64_t shard = vocab / comm.size();
+  begin_ = shard * comm.rank();
+  end_ = begin_ + shard;
+  // Draw the full weight (Kaiming-uniform, matching nn::Linear) and slice
+  // the owned columns so initialization matches the serial head exactly.
+  const float bound = std::sqrt(6.0f / static_cast<float>(d_model));
+  Tensor full = Tensor::uniform({d_model_, vocab_}, rng, -bound, bound);
+  Tensor local = Tensor::empty({d_model_, shard});
+  auto pf = full.f32();
+  auto pl = local.f32();
+  for (std::int64_t r = 0; r < d_model_; ++r)
+    std::copy(pf.begin() + r * vocab_ + begin_,
+              pf.begin() + r * vocab_ + end_, pl.begin() + r * shard);
+  weight_ = nn::Parameter(name + ".weight", std::move(local));
+}
+
+VocabParallelHead VocabParallelHead::from_full(const rt::Communicator& comm,
+                                               const Tensor& full_weight,
+                                               const std::string& name) {
+  BGL_CHECK(full_weight.ndim() == 2);
+  Rng scratch(0);
+  VocabParallelHead head(comm, full_weight.dim(0), full_weight.dim(1),
+                         scratch, name);
+  const std::int64_t shard = head.end_ - head.begin_;
+  auto pf = full_weight.f32();
+  auto pl = head.weight_.value.f32();
+  for (std::int64_t r = 0; r < head.d_model_; ++r)
+    std::copy(pf.begin() + r * head.vocab_ + head.begin_,
+              pf.begin() + r * head.vocab_ + head.end_,
+              pl.begin() + r * shard);
+  return head;
+}
+
+VocabParallelLoss VocabParallelHead::forward_loss(
+    const Tensor& hidden, std::span<const std::int32_t> targets,
+    float grad_scale) {
+  BGL_CHECK(hidden.ndim() == 2 && hidden.dim(1) == d_model_);
+  const std::int64_t n = hidden.dim(0);
+  BGL_ENSURE(static_cast<std::int64_t>(targets.size()) == n,
+             "targets size " << targets.size() << " != batch " << n);
+  const std::int64_t shard = end_ - begin_;
+
+  Tensor logits = ops::matmul(hidden, weight_.value);  // [N, V/P]
+  auto pl = logits.f32();
+
+  // Distributed numerically-stable softmax: global row max, then global
+  // sum of exponentials, then the target logit from its owner.
+  std::vector<float> row_max(static_cast<std::size_t>(n),
+                             -std::numeric_limits<float>::infinity());
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < shard; ++c)
+      row_max[static_cast<std::size_t>(r)] =
+          std::max(row_max[static_cast<std::size_t>(r)], pl[r * shard + c]);
+  coll::allreduce_max<float>(comm_, row_max);
+
+  std::vector<double> sum_exp(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> target_logit(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < shard; ++c)
+      sum_exp[static_cast<std::size_t>(r)] +=
+          std::exp(pl[r * shard + c] - row_max[static_cast<std::size_t>(r)]);
+    const std::int32_t t = targets[static_cast<std::size_t>(r)];
+    BGL_ENSURE(t >= 0 && t < vocab_, "target " << t << " out of vocab");
+    if (t >= begin_ && t < end_)
+      target_logit[static_cast<std::size_t>(r)] = pl[r * shard + (t - begin_)];
+  }
+  coll::allreduce_sum<double>(comm_, sum_exp);
+  coll::allreduce_sum<double>(comm_, target_logit);
+
+  VocabParallelLoss result;
+  double total = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    total += row_max[static_cast<std::size_t>(r)] +
+             std::log(sum_exp[static_cast<std::size_t>(r)]) -
+             target_logit[static_cast<std::size_t>(r)];
+  }
+  result.loss = total / static_cast<double>(n);
+
+  // dlogits (local shard) = (softmax - onehot) * grad_scale / N.
+  Tensor dlogits = Tensor::empty({n, shard});
+  auto pd = dlogits.f32();
+  const float inv_n = grad_scale / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const double z = sum_exp[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < shard; ++c) {
+      pd[r * shard + c] = static_cast<float>(
+          std::exp(pl[r * shard + c] - row_max[static_cast<std::size_t>(r)]) /
+          z * inv_n);
+    }
+    const std::int32_t t = targets[static_cast<std::size_t>(r)];
+    if (t >= begin_ && t < end_) pd[r * shard + (t - begin_)] -= inv_n;
+  }
+
+  // Weight gradient is local; hidden gradient sums over the shards.
+  ops::add_(weight_.grad, ops::matmul_tn(hidden, dlogits));
+  result.dhidden = ops::matmul_nt(dlogits, weight_.value);
+  coll::allreduce_sum<float>(comm_, result.dhidden.f32());
+  return result;
+}
+
+Tensor VocabParallelHead::full_logits(const Tensor& hidden) {
+  BGL_CHECK(hidden.ndim() == 2 && hidden.dim(1) == d_model_);
+  const std::int64_t n = hidden.dim(0);
+  const std::int64_t shard = end_ - begin_;
+  const Tensor local = ops::matmul(hidden, weight_.value);
+  const std::vector<float> all =
+      coll::allgather<float>(comm_, local.f32());
+  Tensor out = Tensor::empty({n, vocab_});
+  auto po = out.f32();
+  for (int rank = 0; rank < comm_.size(); ++rank) {
+    const float* src =
+        all.data() + static_cast<std::size_t>(rank) *
+                         static_cast<std::size_t>(n * shard);
+    for (std::int64_t r = 0; r < n; ++r)
+      std::copy(src + r * shard, src + (r + 1) * shard,
+                po.begin() + r * vocab_ + rank * shard);
+  }
+  return out;
+}
+
+}  // namespace bgl::parallel

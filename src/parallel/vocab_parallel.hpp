@@ -1,0 +1,105 @@
+// Vocab-parallel embedding and LM head (Megatron-style tensor parallelism
+// over the vocabulary dimension).
+//
+// At brain scale the token embedding and the untied LM head are among the
+// largest *replicated* tensors; sharding them over the expert-parallel
+// group removes them from the world-wide gradient allreduce and from every
+// rank's memory (the assumption behind perf::TrainSetup::
+// vocab_parallel_embedding and the E9 memory accounting). The head fuses
+// the softmax cross-entropy: logits never materialize globally — each rank
+// computes its vocabulary slice and the loss reduces with one max- and one
+// sum-allreduce, exactly the production formulation.
+//
+// Initialization draws the FULL table/weight from the shared rng on every
+// rank and keeps the local shard, so a vocab-parallel model is initialized
+// bit-identically to its serial counterpart (used by the equivalence tests).
+#pragma once
+
+#include <span>
+
+#include "collectives/coll.hpp"
+#include "nn/layer.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::parallel {
+
+/// Embedding table row-sharded over the communicator.
+class VocabParallelEmbedding {
+ public:
+  /// vocab must be divisible by comm.size(). `rng` must be identically
+  /// seeded on every rank.
+  VocabParallelEmbedding(const rt::Communicator& comm, std::int64_t vocab,
+                         std::int64_t dim, Rng& rng,
+                         const std::string& name = "vp_embedding");
+
+  /// Builds the shard by slicing an existing full [vocab, dim] table —
+  /// used to convert a replicated model to vocab-parallel form in place.
+  static VocabParallelEmbedding from_full(const rt::Communicator& comm,
+                                          const Tensor& full_table,
+                                          const std::string& name);
+
+  /// Gathers rows for the tokens: local lookup for owned ids, zeros
+  /// elsewhere, then sum-allreduce. Collective.
+  Tensor forward(std::span<const std::int32_t> tokens);
+
+  /// Scatter-adds dy rows into the local shard's gradient (rows owned by
+  /// other ranks are ignored; their owners handle them). No communication.
+  void backward(const Tensor& dy);
+
+  [[nodiscard]] nn::Parameter& table() { return table_; }
+  [[nodiscard]] std::int64_t vocab_begin() const { return begin_; }
+  [[nodiscard]] std::int64_t vocab_end() const { return end_; }
+
+ private:
+  rt::Communicator comm_;
+  std::int64_t vocab_;
+  std::int64_t dim_;
+  std::int64_t begin_;
+  std::int64_t end_;
+  nn::Parameter table_;  // [vocab/P, dim]
+  std::vector<std::int32_t> cached_tokens_;
+};
+
+/// Result of the fused vocab-parallel head + cross-entropy.
+struct VocabParallelLoss {
+  double loss = 0.0;  // mean NLL over the local batch (identical per rank)
+  Tensor dhidden;     // dL/d(hidden states), [N, d]
+};
+
+/// LM head column-sharded over the communicator, with fused distributed
+/// softmax cross-entropy.
+class VocabParallelHead {
+ public:
+  VocabParallelHead(const rt::Communicator& comm, std::int64_t d_model,
+                    std::int64_t vocab, Rng& rng,
+                    const std::string& name = "vp_head");
+
+  /// Builds the shard by slicing an existing full [d, vocab] weight.
+  static VocabParallelHead from_full(const rt::Communicator& comm,
+                                     const Tensor& full_weight,
+                                     const std::string& name);
+
+  /// Computes the cross-entropy of the sharded logits against `targets`,
+  /// returning the loss and dL/dhidden (already divided by batch size,
+  /// scaled by `grad_scale`), and accumulating the local weight gradient.
+  /// Collective over the communicator.
+  VocabParallelLoss forward_loss(const Tensor& hidden,
+                                 std::span<const std::int32_t> targets,
+                                 float grad_scale = 1.0f);
+
+  /// Full (allgathered) logits for evaluation/generation: [N, vocab].
+  Tensor full_logits(const Tensor& hidden);
+
+  [[nodiscard]] nn::Parameter& weight() { return weight_; }
+  [[nodiscard]] std::int64_t vocab_begin() const { return begin_; }
+
+ private:
+  rt::Communicator comm_;
+  std::int64_t d_model_;
+  std::int64_t vocab_;
+  std::int64_t begin_;
+  std::int64_t end_;
+  nn::Parameter weight_;  // [d, vocab/P]
+};
+
+}  // namespace bgl::parallel

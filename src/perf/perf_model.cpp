@@ -1,0 +1,246 @@
+#include "perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "collectives/coll_cost.hpp"
+#include "core/math_util.hpp"
+
+namespace bgl::perf {
+namespace {
+
+/// Fraction of overlappable communication actually hidden when overlap is
+/// on (pipelining is never perfect: the first/last chunks expose latency).
+constexpr double kOverlapEfficiency = 0.7;
+
+/// Bytes of optimizer state traffic per parameter for the update step
+/// (read w/g/m/v, write w/m/v in FP32-ish units).
+constexpr double kOptimizerBytesPerParam = 24.0;
+
+double node_flops(const topo::MachineSpec& machine, DType compute) {
+  const double peak = compute == DType::kF32 ? machine.node_peak_flops_f32
+                                             : machine.node_peak_flops_f16;
+  return peak * machine.gemm_efficiency;
+}
+
+}  // namespace
+
+void TrainSetup::validate() const {
+  model.validate();
+  machine.validate();
+  BGL_ENSURE(nodes_used >= 1 && nodes_used <= machine.nodes,
+             "nodes_used " << nodes_used << " exceeds machine " << machine.nodes);
+  BGL_ENSURE(ep_size >= 1 && ranks() % ep_size == 0,
+             "ep_size " << ep_size << " must divide ranks " << ranks());
+  BGL_ENSURE(model.num_experts % ep_size == 0,
+             "experts " << model.num_experts << " must divide over ep_size "
+                        << ep_size);
+  BGL_ENSURE(tokens_per_rank >= 1, "tokens_per_rank >= 1");
+}
+
+std::int64_t aligned_group(std::int64_t ranks, std::int64_t limit) {
+  BGL_CHECK(ranks >= 1 && limit >= 1);
+  for (std::int64_t g = std::min(ranks, limit); g >= 1; --g) {
+    if (ranks % g == 0) return g;
+  }
+  return 1;
+}
+
+std::int64_t feasible_ep(std::int64_t ranks, std::int64_t experts) {
+  BGL_CHECK(ranks >= 1 && experts >= 1);
+  for (std::int64_t ep = std::min(ranks, experts); ep >= 1; --ep) {
+    if (ranks % ep == 0 && experts % ep == 0) return ep;
+  }
+  return 1;
+}
+
+StepBreakdown model_step(const TrainSetup& setup) {
+  setup.validate();
+  const auto& m = setup.model;
+  const auto& mach = setup.machine;
+  StepBreakdown b;
+
+  const double tokens = static_cast<double>(setup.tokens_per_rank);
+  const double d = static_cast<double>(m.d_model);
+  const double per_rank_flops_rate =
+      node_flops(mach, setup.compute) / mach.processes_per_node;
+
+  // --- compute ---------------------------------------------------------------
+  // Forward+backward (3x forward) FLOPs executed by one rank. Expert work is
+  // balanced across the EP group, so per-rank expert FLOPs equal the local
+  // tokens' routed work.
+  const double expert_flops =
+      3.0 * tokens * static_cast<double>(m.n_layers) * m.top_k * 4.0 * d *
+      static_cast<double>(m.d_ffn);
+  // Gate: flat softmax is 2dE per token; two-level routing (pick a group,
+  // then an expert inside it) reduces that to 2d(G + E/G) with G ≈ √E —
+  // mandatory once E reaches the 174T regime's hundreds of thousands.
+  const double e_count = static_cast<double>(m.num_experts);
+  double gate_cols = e_count;
+  if (setup.two_level_gating && e_count > 1.0) {
+    const double groups = std::ceil(std::sqrt(e_count));
+    gate_cols = groups + std::ceil(e_count / groups);
+  }
+  const double gate_flops = 3.0 * tokens * static_cast<double>(m.n_layers) *
+                            2.0 * d * gate_cols;
+  // Dense backbone: attention per layer + LM head (head is executed
+  // (vocab-)sharded or not, the FLOPs are the same).
+  const double attn_per_token =
+      8.0 * d * d + 4.0 * static_cast<double>(m.seq_len) * d;
+  const double head_per_token = 2.0 * d * static_cast<double>(m.vocab);
+  const double dense_flops =
+      3.0 * tokens *
+      (static_cast<double>(m.n_layers) * attn_per_token + head_per_token);
+
+  b.expert_s = expert_flops / per_rank_flops_rate;
+  b.gate_s = gate_flops / per_rank_flops_rate;
+  b.dense_s = dense_flops / per_rank_flops_rate;
+  b.flops_per_rank = expert_flops + gate_flops + dense_flops;
+  b.total_flops = b.flops_per_rank * static_cast<double>(setup.ranks());
+
+  // --- dispatch / combine all-to-all ------------------------------------------
+  // Per MoE layer: forward dispatch + forward combine, backward dout +
+  // backward din — four a2a passes of the routed token rows.
+  const double bytes_per_a2a =
+      tokens * m.top_k * d * static_cast<double>(dtype_size(setup.compute));
+  const std::int64_t ep = setup.ep_size;
+  double a2a_each = 0.0;
+  if (ep > 1) {
+    const double per_pair = bytes_per_a2a / static_cast<double>(ep);
+    const std::int64_t group =
+        aligned_group(ep, mach.ranks_per_supernode());
+    a2a_each = coll::alltoall_cost(mach, ep, per_pair, setup.a2a_algo, group);
+  }
+  b.dispatch_s = 2.0 * static_cast<double>(m.n_layers) * a2a_each;
+  b.combine_s = 2.0 * static_cast<double>(m.n_layers) * a2a_each;
+
+  // --- gradient allreduce ------------------------------------------------------
+  // Experts (and the gate, which shards with them) sync across replicas.
+  const std::int64_t dp = setup.dp_size();
+  const double gate_params =
+      static_cast<double>(m.n_layers) * d * e_count / ep;
+  const double expert_grad_bytes =
+      (static_cast<double>(m.n_layers) * (e_count / ep) *
+           static_cast<double>(m.expert_params()) +
+       gate_params) *
+      4.0;
+  double ar = 0.0;
+  if (dp > 1) {
+    // DP groups are strided by ep_size: ring rounds cross supernodes.
+    const double block = expert_grad_bytes / static_cast<double>(dp);
+    const double round =
+        mach.inter_super.latency_s +
+        block / mach.inter_super.bandwidth_bps;
+    ar += 2.0 * static_cast<double>(dp - 1) * round;
+  }
+  // The replicated dense backbone syncs over all ranks. Embeddings/head are
+  // vocab-sharded when vocab_parallel_embedding is on.
+  double dense_params_repl =
+      static_cast<double>(m.n_layers) *
+      (static_cast<double>(m.dense_params_per_layer()) -
+       d * e_count);  // gate excluded: sharded with the experts
+  if (!setup.vocab_parallel_embedding) {
+    dense_params_repl += static_cast<double>(m.embedding_params());
+  }
+  const double dense_grad_bytes = dense_params_repl * 4.0;
+  const std::int64_t all = setup.ranks();
+  if (all > 1 && dense_grad_bytes > 0.0) {
+    const double flat = coll::allreduce_cost(mach, all, dense_grad_bytes,
+                                             coll::AllreduceAlgo::kRing);
+    if (setup.hierarchical_allreduce) {
+      // Autotune between the latency-optimized and bandwidth-optimized
+      // two-level schemes, as the production framework would.
+      const std::int64_t group =
+          aligned_group(all, mach.ranks_per_supernode());
+      const double sharded = coll::two_level_sharded_allreduce_cost(
+          mach, all, dense_grad_bytes, group);
+      const double tree = coll::hierarchical_allreduce_cost(
+          mach, all, dense_grad_bytes, group);
+      ar += std::min({flat, sharded, tree});
+    } else {
+      ar += flat;
+    }
+  }
+  b.allreduce_s = ar;
+
+  // --- optimizer ---------------------------------------------------------------
+  const double local_params =
+      dense_params_repl +
+      (setup.vocab_parallel_embedding
+           ? static_cast<double>(m.embedding_params()) / ep
+           : 0.0) +
+      gate_params +
+      static_cast<double>(m.n_layers) * (e_count / ep) *
+          static_cast<double>(m.expert_params());
+  b.optimizer_s = local_params * kOptimizerBytesPerParam /
+                  (mach.intra_node.bandwidth_bps);
+
+  // --- compose -----------------------------------------------------------------
+  double total = b.dense_s + b.expert_s + b.gate_s + b.dispatch_s +
+                 b.combine_s + b.allreduce_s + b.optimizer_s;
+  if (setup.overlap_dispatch) {
+    // Dispatch/combine pipeline against expert compute; the gradient
+    // allreduce pipelines against backward compute (DDP-style bucketing).
+    const double overlappable = b.dispatch_s + b.combine_s + b.allreduce_s;
+    b.overlap_saved_s = kOverlapEfficiency *
+                        std::min(overlappable, b.expert_s + b.dense_s);
+    total -= b.overlap_saved_s;
+  }
+  b.total_s = total;
+  return b;
+}
+
+std::vector<ScalingPoint> weak_scaling(
+    const TrainSetup& base, std::span<const std::int64_t> node_counts,
+    bool grow_experts) {
+  BGL_CHECK(!node_counts.empty());
+  std::vector<ScalingPoint> points;
+  points.reserve(node_counts.size());
+
+  for (const std::int64_t nodes : node_counts) {
+    TrainSetup setup = base;
+    setup.nodes_used = nodes;
+    if (grow_experts) {
+      // Paper recipe: one expert shard per rank; expert count grows with
+      // the machine, EP spans everything.
+      const std::int64_t ranks = setup.ranks();
+      const std::int64_t experts_per_rank = std::max<std::int64_t>(
+          1, base.model.num_experts /
+                 std::max<std::int64_t>(base.ranks(), 1));
+      setup.model.num_experts =
+          static_cast<int>(ranks * experts_per_rank);
+      setup.ep_size = static_cast<int>(ranks);
+    } else {
+      // Fixed model: EP stays put, extra nodes become replicas. ep_size
+      // must divide both the rank count and the expert count.
+      std::int64_t ep = aligned_group(setup.ranks(), base.ep_size);
+      while (ep > 1 && setup.model.num_experts % ep != 0) {
+        ep = aligned_group(setup.ranks(), ep - 1);
+      }
+      setup.ep_size = static_cast<int>(ep);
+    }
+    const StepBreakdown b = model_step(setup);
+    ScalingPoint point;
+    point.nodes = nodes;
+    point.ranks = setup.ranks();
+    point.experts = setup.model.num_experts;
+    point.step_s = b.total_s;
+    point.tokens_per_s =
+        static_cast<double>(setup.tokens_per_rank) *
+        static_cast<double>(setup.ranks()) / b.total_s;
+    point.achieved_flops = b.achieved_flops();
+    point.breakdown = b;
+    points.push_back(point);
+  }
+  // Efficiency vs linear extrapolation of the first point.
+  const double base_rate =
+      points.front().tokens_per_s / static_cast<double>(points.front().ranks);
+  for (ScalingPoint& point : points) {
+    point.efficiency =
+        point.tokens_per_s /
+        (base_rate * static_cast<double>(point.ranks));
+  }
+  return points;
+}
+
+}  // namespace bgl::perf

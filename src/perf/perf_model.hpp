@@ -1,0 +1,98 @@
+// Analytic performance model for MoDa MoE training at machine scale.
+//
+// Composes the collective cost models (collectives/coll_cost.hpp, validated
+// against the bgl::simnet simulator) with a roofline compute model of the
+// MachineSpec to predict per-step time, its breakdown, throughput and
+// sustained FLOPS for configurations up to the full 96,000-node / 37M-core
+// machine — the regime the paper reports and no host can execute. The
+// *shape* of its outputs (scaling efficiency, algorithm crossovers,
+// who-wins-where) is the reproduction target; absolute numbers depend on
+// the MachineSpec calibration knobs.
+#pragma once
+
+#include <vector>
+
+#include "collectives/coll.hpp"
+#include "model/config.hpp"
+#include "topology/machine.hpp"
+
+namespace bgl::perf {
+
+/// A complete training configuration to model.
+struct TrainSetup {
+  model::MoEModelConfig model;
+  topo::MachineSpec machine;
+  std::int64_t nodes_used = 1;      // <= machine.nodes
+  int ep_size = 1;                  // ranks one expert set shards over
+  std::int64_t tokens_per_rank = 1024;
+  DType compute = DType::kF16;      // matmul precision
+  coll::AlltoallAlgo a2a_algo = coll::AlltoallAlgo::kHierarchical;
+  bool hierarchical_allreduce = true;
+  bool overlap_dispatch = false;    // overlap comm with backward compute
+  /// Two-level gate (group selection then expert-in-group), the trick that
+  /// keeps routing cost sublinear when the expert count reaches the
+  /// hundreds of thousands (174T regime). Off = flat softmax over E.
+  bool two_level_gating = true;
+  /// Shard token embedding + LM head over the EP group (vocab parallel)
+  /// instead of replicating them — removes them from the global allreduce.
+  bool vocab_parallel_embedding = true;
+
+  [[nodiscard]] std::int64_t ranks() const {
+    return nodes_used * machine.processes_per_node;
+  }
+  [[nodiscard]] std::int64_t dp_size() const { return ranks() / ep_size; }
+  void validate() const;
+};
+
+/// Per-step time decomposition (seconds) and derived rates.
+struct StepBreakdown {
+  double dense_s = 0.0;      // attention + embeddings + head compute
+  double expert_s = 0.0;     // expert FFN compute (fwd+bwd)
+  double gate_s = 0.0;       // gate projection + plan building
+  double dispatch_s = 0.0;   // token a2a: forward dispatch + backward din
+  double combine_s = 0.0;    // token a2a: forward combine + backward dout
+  double allreduce_s = 0.0;  // gradient synchronization
+  double optimizer_s = 0.0;  // parameter update (memory bound)
+  double overlap_saved_s = 0.0;  // time hidden by comm/comp overlap
+
+  double flops_per_rank = 0.0;   // useful training FLOPs per rank per step
+  double total_flops = 0.0;      // across all ranks
+  double total_s = 0.0;          // end-to-end step time
+
+  [[nodiscard]] double achieved_flops() const { return total_flops / total_s; }
+  [[nodiscard]] double comm_fraction() const {
+    return (dispatch_s + combine_s + allreduce_s) / total_s;
+  }
+};
+
+/// Models one training step of the setup.
+StepBreakdown model_step(const TrainSetup& setup);
+
+/// One point of a scaling curve.
+struct ScalingPoint {
+  std::int64_t nodes = 0;
+  std::int64_t ranks = 0;
+  std::int64_t experts = 0;        // global experts per layer at this scale
+  double step_s = 0.0;
+  double tokens_per_s = 0.0;
+  double achieved_flops = 0.0;
+  double efficiency = 0.0;         // vs linear scaling from the first point
+  StepBreakdown breakdown;
+};
+
+/// Weak scaling sweep: fixed tokens_per_rank. When `grow_experts` is set the
+/// expert count (and ep_size) grows with the machine — the paper's recipe —
+/// otherwise the model is fixed and extra ranks become DP replicas.
+std::vector<ScalingPoint> weak_scaling(const TrainSetup& base,
+                                       std::span<const std::int64_t> node_counts,
+                                       bool grow_experts);
+
+/// Largest divisor of `ranks` that is <= `limit` (used to pick the
+/// hierarchical a2a group width aligned with supernodes).
+std::int64_t aligned_group(std::int64_t ranks, std::int64_t limit);
+
+/// Largest EP width that divides both the rank count and the per-layer
+/// expert count — how a deployment picks ep_size for a fixed model.
+std::int64_t feasible_ep(std::int64_t ranks, std::int64_t experts);
+
+}  // namespace bgl::perf

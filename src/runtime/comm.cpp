@@ -1,0 +1,223 @@
+#include "runtime/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+namespace bgl::rt {
+namespace detail {
+
+/// Shared state for one World: per-rank mailboxes, a phased barrier, a
+/// rendezvous board used by split(), and poison propagation for errors.
+class Fabric {
+ public:
+  explicit Fabric(int size) : size_(size), boxes_(size), board_(size) {}
+
+  [[nodiscard]] int size() const { return size_; }
+
+  void send(std::uint64_t comm_id, int src_world, int dst_world, int tag,
+            std::span<const std::byte> data) {
+    Mailbox& box = boxes_.at(static_cast<std::size_t>(dst_world));
+    std::vector<std::byte> payload(data.begin(), data.end());
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queues[Key{comm_id, src_world, tag}].push_back(std::move(payload));
+    }
+    box.cv.notify_all();
+  }
+
+  std::vector<std::byte> recv(std::uint64_t comm_id, int src_world,
+                              int self_world, int tag) {
+    Mailbox& box = boxes_.at(static_cast<std::size_t>(self_world));
+    std::unique_lock<std::mutex> lock(box.mutex);
+    const Key key{comm_id, src_world, tag};
+    box.cv.wait(lock, [&] {
+      if (poisoned_.load()) return true;
+      const auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+    throw_if_poisoned();
+    auto it = box.queues.find(key);
+    std::vector<std::byte> msg = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) box.queues.erase(it);
+    return msg;
+  }
+
+  /// Phased sense-reversing barrier over an arbitrary subset of world ranks.
+  /// All ranks of the subset must pass the same (comm_id, subset size).
+  void barrier(std::uint64_t comm_id, int participants) {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    BarrierState& st = barriers_[comm_id];
+    const std::uint64_t my_phase = st.phase;
+    if (++st.arrived == participants) {
+      st.arrived = 0;
+      ++st.phase;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] {
+        return poisoned_.load() || st.phase != my_phase;
+      });
+    }
+    throw_if_poisoned();
+  }
+
+  /// Rendezvous board used by split(): rank writes a value, then after a
+  /// barrier all ranks read everyone's value. Caller supplies the barrier.
+  void board_put(int world_rank, std::int64_t value) {
+    std::lock_guard<std::mutex> lock(board_mutex_);
+    board_.at(static_cast<std::size_t>(world_rank)) = value;
+  }
+
+  [[nodiscard]] std::int64_t board_get(int world_rank) const {
+    std::lock_guard<std::mutex> lock(board_mutex_);
+    return board_.at(static_cast<std::size_t>(world_rank));
+  }
+
+  void poison() {
+    poisoned_.store(true);
+    for (Mailbox& box : boxes_) box.cv.notify_all();
+    barrier_cv_.notify_all();
+  }
+
+  void throw_if_poisoned() const {
+    if (poisoned_.load())
+      throw Error("runtime poisoned: another rank raised an error");
+  }
+
+ private:
+  using Key = std::tuple<std::uint64_t, int, int>;  // (comm, src, tag)
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<Key, std::deque<std::vector<std::byte>>> queues;
+  };
+
+  struct BarrierState {
+    int arrived = 0;
+    std::uint64_t phase = 0;
+  };
+
+  int size_;
+  std::vector<Mailbox> boxes_;
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  std::map<std::uint64_t, BarrierState> barriers_;
+  mutable std::mutex board_mutex_;
+  std::vector<std::int64_t> board_;
+  std::atomic<bool> poisoned_{false};
+};
+
+namespace {
+
+std::uint64_t mix_id(std::uint64_t a, std::uint64_t b) {
+  // SplitMix-style combiner; deterministic across ranks.
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ull + b * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+}  // namespace detail
+
+Communicator::Communicator(std::shared_ptr<detail::Fabric> fabric,
+                           std::uint64_t comm_id, std::vector<int> group,
+                           int rank)
+    : fabric_(std::move(fabric)),
+      comm_id_(comm_id),
+      group_(std::move(group)),
+      rank_(rank) {}
+
+void Communicator::send_bytes(int dst, int tag,
+                              std::span<const std::byte> data) const {
+  BGL_ENSURE(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  fabric_->send(comm_id_, world_rank(rank_), world_rank(dst), tag, data);
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
+  BGL_ENSURE(src >= 0 && src < size(), "recv from invalid rank " << src);
+  return fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag);
+}
+
+void Communicator::barrier() const {
+  fabric_->barrier(comm_id_, size());
+}
+
+Communicator Communicator::split(int color, int key) const {
+  // Publish (color, key) on the board, then read everyone's entry. Two
+  // barriers bracket the board usage so writes and reads cannot race with a
+  // subsequent split on the same communicator.
+  const std::uint64_t seq = ++split_seq_;
+  const std::int64_t packed =
+      (static_cast<std::int64_t>(color) << 32) | static_cast<std::uint32_t>(key);
+  fabric_->board_put(world_rank(rank_), packed);
+  fabric_->barrier(detail::mix_id(comm_id_, seq * 2), size());
+
+  struct Entry {
+    int color;
+    int key;
+    int old_rank;
+    int wrank;
+  };
+  std::vector<Entry> mine;
+  for (int r = 0; r < size(); ++r) {
+    const std::int64_t v = fabric_->board_get(world_rank(r));
+    const int c = static_cast<int>(v >> 32);
+    const int k = static_cast<int>(static_cast<std::uint32_t>(v));
+    if (c == color) mine.push_back({c, k, r, world_rank(r)});
+  }
+  fabric_->barrier(detail::mix_id(comm_id_, seq * 2 + 1), size());
+
+  std::stable_sort(mine.begin(), mine.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
+  });
+  std::vector<int> group;
+  group.reserve(mine.size());
+  int new_rank = -1;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    group.push_back(mine[i].wrank);
+    if (mine[i].old_rank == rank_) new_rank = static_cast<int>(i);
+  }
+  BGL_CHECK(new_rank >= 0);
+  const std::uint64_t child_id =
+      detail::mix_id(detail::mix_id(comm_id_, seq),
+                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(color)) + 1);
+  return Communicator(fabric_, child_id, std::move(group), new_rank);
+}
+
+void World::run(int size, const RankFn& fn) {
+  BGL_ENSURE(size >= 1, "world size must be >= 1, got " << size);
+  auto fabric = std::make_shared<detail::Fabric>(size);
+
+  std::vector<int> world_group(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) world_group[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(fabric, /*comm_id=*/1, world_group, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        fabric->poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace bgl::rt

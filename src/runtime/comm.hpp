@@ -1,0 +1,125 @@
+// In-process message-passing runtime.
+//
+// This is the substitution for MPI on the Sunway machine (see DESIGN.md §1):
+// ranks are threads of one process, point-to-point messages are buffered
+// byte vectors moved through per-rank mailboxes. Collective *algorithms*
+// (bgl::coll) are implemented on top of this p2p layer exactly as they would
+// be on a real interconnect, so their communication structure — not just
+// their result — is executed for real.
+//
+// Semantics:
+//  * send() is buffered and never blocks (like MPI_Bsend), which makes
+//    pairwise exchange patterns deadlock-free.
+//  * recv() blocks until a matching (communicator, source, tag) message
+//    arrives.
+//  * If any rank throws, the world is poisoned: blocked receivers throw too,
+//    and World::run rethrows the first error on the caller thread.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bgl::rt {
+
+namespace detail {
+class Fabric;  // shared mailboxes + barrier; defined in comm.cpp
+}
+
+/// A group of ranks that can exchange messages and run collectives.
+///
+/// Communicators are value-ish handles: copying one refers to the same
+/// group. split() creates disjoint sub-communicators, MPI_Comm_split-style.
+class Communicator {
+ public:
+  /// Rank of the calling thread within this communicator, in [0, size()).
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Number of ranks in this communicator.
+  [[nodiscard]] int size() const { return static_cast<int>(group_.size()); }
+
+  /// World rank of local rank r (identity for the world communicator).
+  [[nodiscard]] int world_rank(int r) const {
+    BGL_CHECK(r >= 0 && r < size());
+    return group_[static_cast<std::size_t>(r)];
+  }
+
+  /// --- point to point -----------------------------------------------------
+
+  /// Buffered send of raw bytes to rank `dst` with tag `tag`. Never blocks.
+  void send_bytes(int dst, int tag, std::span<const std::byte> data) const;
+
+  /// Blocking receive of one message from `src` with tag `tag`.
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int src, int tag) const;
+
+  /// Typed span send (T must be trivially copyable).
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag,
+               {reinterpret_cast<const std::byte*>(data.data()),
+                data.size() * sizeof(T)});
+  }
+
+  /// Typed receive; the message length must be a multiple of sizeof(T).
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int src, int tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = recv_bytes(src, tag);
+    BGL_ENSURE(raw.size() % sizeof(T) == 0,
+               "message size " << raw.size() << " not multiple of element");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Combined exchange: sends to `dst`, then receives from `src`.
+  /// Safe because send is buffered.
+  template <typename T>
+  [[nodiscard]] std::vector<T> sendrecv(int dst, std::span<const T> data,
+                                        int src, int tag) const {
+    send(dst, tag, data);
+    return recv<T>(src, tag);
+  }
+
+  /// --- synchronization & topology ----------------------------------------
+
+  /// Blocks until every rank of this communicator has entered.
+  void barrier() const;
+
+  /// Splits into sub-communicators: ranks with equal `color` form one group,
+  /// ordered by (`key`, old rank). Collective: every rank must call.
+  [[nodiscard]] Communicator split(int color, int key) const;
+
+ private:
+  friend class World;
+
+  Communicator(std::shared_ptr<detail::Fabric> fabric, std::uint64_t comm_id,
+               std::vector<int> group, int rank);
+
+  std::shared_ptr<detail::Fabric> fabric_;
+  std::uint64_t comm_id_ = 0;
+  std::vector<int> group_;  // local rank -> world rank
+  int rank_ = -1;
+  // Number of split() calls issued so far; identical across ranks of the
+  // communicator because split is collective. Used to derive child ids.
+  mutable std::uint64_t split_seq_ = 0;
+};
+
+/// Spawns `size` rank threads, runs `fn(comm)` on each, joins, and rethrows
+/// the first rank error (if any) on the calling thread.
+class World {
+ public:
+  using RankFn = std::function<void(Communicator&)>;
+
+  /// Runs a parallel region. `size` must be >= 1.
+  static void run(int size, const RankFn& fn);
+};
+
+}  // namespace bgl::rt

@@ -1,0 +1,158 @@
+#include "simnet/patterns.hpp"
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+
+namespace bgl::simnet {
+
+std::vector<Message> pairwise_alltoall_pattern(std::int64_t ranks,
+                                               double bytes_per_pair) {
+  BGL_CHECK(ranks >= 1);
+  std::vector<Message> msgs;
+  msgs.reserve(static_cast<std::size_t>(ranks * (ranks - 1)));
+  for (std::int64_t k = 1; k < ranks; ++k) {
+    for (std::int64_t r = 0; r < ranks; ++r) {
+      msgs.push_back({r, (r + k) % ranks, bytes_per_pair,
+                      static_cast<int>(k - 1)});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> bruck_alltoall_pattern(std::int64_t ranks,
+                                            double bytes_per_pair) {
+  BGL_CHECK(ranks >= 1);
+  std::vector<Message> msgs;
+  int round = 0;
+  for (std::int64_t mask = 1; mask < ranks; mask <<= 1, ++round) {
+    // Number of block indices in [0, ranks) with this bit set.
+    std::int64_t blocks = 0;
+    for (std::int64_t i = 0; i < ranks; ++i)
+      if (i & mask) ++blocks;
+    const double bytes = bytes_per_pair * static_cast<double>(blocks);
+    for (std::int64_t r = 0; r < ranks; ++r) {
+      msgs.push_back({r, (r + mask) % ranks, bytes, round});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> hierarchical_alltoall_pattern(std::int64_t ranks,
+                                                   double bytes_per_pair,
+                                                   std::int64_t group_size) {
+  BGL_CHECK(ranks >= 1 && group_size >= 1);
+  BGL_ENSURE(ranks % group_size == 0,
+             "group size " << group_size << " must divide " << ranks);
+  const std::int64_t g = group_size;
+  const std::int64_t ngroups = ranks / g;
+  std::vector<Message> msgs;
+
+  // Phase 1: intra-group exchange; each step moves ngroups chunks.
+  for (std::int64_t step = 1; step < g; ++step) {
+    for (std::int64_t r = 0; r < ranks; ++r) {
+      const std::int64_t grp = r / g;
+      const std::int64_t local = r % g;
+      const std::int64_t dst = grp * g + (local + step) % g;
+      msgs.push_back({r, dst, bytes_per_pair * static_cast<double>(ngroups),
+                      static_cast<int>(step - 1)});
+    }
+  }
+  // Phase 2: inter-group exchange among equal local indices; each step
+  // moves g aggregated chunks.
+  const int phase2_base = static_cast<int>(g > 1 ? g - 1 : 0);
+  for (std::int64_t step = 1; step < ngroups; ++step) {
+    for (std::int64_t r = 0; r < ranks; ++r) {
+      const std::int64_t grp = r / g;
+      const std::int64_t local = r % g;
+      const std::int64_t dst = ((grp + step) % ngroups) * g + local;
+      msgs.push_back({r, dst, bytes_per_pair * static_cast<double>(g),
+                      phase2_base + static_cast<int>(step - 1)});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> ring_allreduce_pattern(std::int64_t ranks,
+                                            double total_bytes) {
+  BGL_CHECK(ranks >= 1);
+  std::vector<Message> msgs;
+  if (ranks == 1) return msgs;
+  const double block = total_bytes / static_cast<double>(ranks);
+  // reduce-scatter: P-1 rounds, then allgather: P-1 rounds.
+  for (std::int64_t k = 0; k < 2 * (ranks - 1); ++k) {
+    for (std::int64_t r = 0; r < ranks; ++r) {
+      msgs.push_back({r, (r + 1) % ranks, block, static_cast<int>(k)});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> recursive_doubling_allreduce_pattern(std::int64_t ranks,
+                                                          double total_bytes) {
+  BGL_CHECK(ranks >= 1);
+  BGL_ENSURE(is_pow2(static_cast<std::uint64_t>(ranks)),
+             "recursive doubling needs power-of-two ranks, got " << ranks);
+  std::vector<Message> msgs;
+  int round = 0;
+  for (std::int64_t mask = 1; mask < ranks; mask <<= 1, ++round) {
+    for (std::int64_t r = 0; r < ranks; ++r) {
+      msgs.push_back({r, r ^ mask, total_bytes, round});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> hierarchical_allreduce_pattern(std::int64_t ranks,
+                                                    double total_bytes,
+                                                    std::int64_t group_size) {
+  BGL_CHECK(ranks >= 1 && group_size >= 1);
+  BGL_ENSURE(ranks % group_size == 0,
+             "group size " << group_size << " must divide " << ranks);
+  const std::int64_t g = group_size;
+  const std::int64_t ngroups = ranks / g;
+  std::vector<Message> msgs;
+
+  // Phase 1: members send to the group leader (binomial tree flattened to
+  // one round per tree level).
+  int round = 0;
+  for (std::int64_t mask = 1; mask < g; mask <<= 1) ++round;
+  int level = 0;
+  for (std::int64_t mask = 1; mask < g; mask <<= 1, ++level) {
+    for (std::int64_t grp = 0; grp < ngroups; ++grp) {
+      for (std::int64_t local = 0; local < g; ++local) {
+        // Receiver at this level: local % (2*mask) == 0 with partner local+mask.
+        if (local % (2 * mask) == 0 && local + mask < g) {
+          msgs.push_back({grp * g + local + mask, grp * g + local, total_bytes,
+                          level});
+        }
+      }
+    }
+  }
+  // Phase 2: ring allreduce among leaders.
+  const double block = ngroups > 1
+                           ? total_bytes / static_cast<double>(ngroups)
+                           : total_bytes;
+  for (std::int64_t k = 0; ngroups > 1 && k < 2 * (ngroups - 1); ++k) {
+    for (std::int64_t grp = 0; grp < ngroups; ++grp) {
+      msgs.push_back({grp * g, ((grp + 1) % ngroups) * g, block,
+                      round + static_cast<int>(k)});
+    }
+  }
+  const int bcast_base = round + static_cast<int>(ngroups > 1 ? 2 * (ngroups - 1) : 0);
+  // Phase 3: broadcast back down the binomial tree.
+  level = 0;
+  for (std::int64_t mask = floor_pow2(static_cast<std::uint64_t>(g));
+       mask >= 1; mask >>= 1, ++level) {
+    for (std::int64_t grp = 0; grp < ngroups; ++grp) {
+      for (std::int64_t local = 0; local < g; ++local) {
+        if (local % (2 * mask) == 0 && local + mask < g) {
+          msgs.push_back({grp * g + local, grp * g + local + mask, total_bytes,
+                          bcast_base + level});
+        }
+      }
+    }
+  }
+  return msgs;
+}
+
+}  // namespace bgl::simnet

@@ -1,0 +1,50 @@
+// Message-pattern generators for the network simulator.
+//
+// Each generator emits exactly the (src, dst, bytes, round) messages that
+// the corresponding real algorithm in collectives/coll.hpp would send, so
+// simulating the pattern measures the algorithm's network behaviour at
+// scales where in-process execution is infeasible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/simnet.hpp"
+
+namespace bgl::simnet {
+
+/// Pairwise all-to-all: P-1 rounds, in round k rank r sends `bytes` to
+/// (r+k) mod P.
+std::vector<Message> pairwise_alltoall_pattern(std::int64_t ranks,
+                                               double bytes_per_pair);
+
+/// Bruck all-to-all: ceil(log2 P) rounds; in round k rank r sends the
+/// blocks whose index has bit k set (about half the buffer) to r + 2^k.
+std::vector<Message> bruck_alltoall_pattern(std::int64_t ranks,
+                                            double bytes_per_pair);
+
+/// Two-phase hierarchical all-to-all with groups of `group_size` ranks
+/// (must divide `ranks`): phase 1 is an intra-group exchange of
+/// ngroups*bytes chunks, phase 2 an inter-group exchange of
+/// group_size*bytes chunks between ranks of equal local index.
+std::vector<Message> hierarchical_alltoall_pattern(std::int64_t ranks,
+                                                   double bytes_per_pair,
+                                                   std::int64_t group_size);
+
+/// Ring allreduce on `total_bytes` per rank: 2(P-1) rounds of
+/// total_bytes/P-sized neighbour exchanges.
+std::vector<Message> ring_allreduce_pattern(std::int64_t ranks,
+                                            double total_bytes);
+
+/// Recursive-doubling allreduce (P must be a power of two): log2 P rounds
+/// of full-buffer pairwise exchanges.
+std::vector<Message> recursive_doubling_allreduce_pattern(std::int64_t ranks,
+                                                          double total_bytes);
+
+/// Hierarchical allreduce: reduce within each group to a leader, ring
+/// allreduce among leaders, broadcast back inside each group.
+std::vector<Message> hierarchical_allreduce_pattern(std::int64_t ranks,
+                                                    double total_bytes,
+                                                    std::int64_t group_size);
+
+}  // namespace bgl::simnet

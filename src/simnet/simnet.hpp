@@ -1,0 +1,76 @@
+// Event-driven store-and-forward network simulator.
+//
+// Estimates communication time for explicit message lists on a MachineSpec
+// hierarchy, including contention: every message occupies shared resources
+// (node memory bus, NIC injection/ejection, supernode trunk up/down) for its
+// serialization time, FIFO per resource. Collective algorithms at scales too
+// large to execute in-process are simulated by generating their exact
+// message pattern (patterns.hpp) and running it here; the closed-form models
+// in collectives/coll_cost.hpp are validated against these simulations.
+//
+// The model is deliberately store-and-forward-with-cut-through-cost:
+//   start(m)  = max(round_start, avail(r) for r on path)
+//   finish(m) = start + Σ hop latencies + bytes / min bandwidth on path
+//   avail(r) ← start + bytes / bandwidth(r)   for each r on path
+// Rounds are barriers: messages of round k start no earlier than the finish
+// of round k-1, mirroring the round structure of the real algorithms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/machine.hpp"
+
+namespace bgl::simnet {
+
+/// One point-to-point message between process ranks.
+struct Message {
+  std::int64_t src = 0;   // source process rank (block placement)
+  std::int64_t dst = 0;   // destination process rank
+  double bytes = 0.0;
+  int round = 0;          // barrier round index (non-decreasing preferred)
+};
+
+/// Simulation outcome.
+struct SimResult {
+  double total_time_s = 0.0;        // completion time of the last message
+  double total_bytes = 0.0;         // traffic volume injected
+  std::int64_t message_count = 0;
+  double max_trunk_busy_s = 0.0;    // busiest supernode trunk occupation
+};
+
+/// Simulates a message list on the given machine.
+class NetworkSim {
+ public:
+  explicit NetworkSim(topo::MachineSpec spec);
+
+  /// Runs the messages (grouped by their `round` field) and returns timing.
+  /// Messages may appear in any order; rounds are processed ascending and
+  /// each round starts when the previous one fully completed.
+  SimResult run(std::span<const Message> messages);
+
+  /// Pipelined (LogP-style actor-clock) mode: no global barriers. Each
+  /// message starts when its *source rank* is ready (its previous sends
+  /// injected and expected data arrived) and its path resources free up;
+  /// the destination rank's clock advances to the delivery time. Rounds
+  /// order each rank's own messages but do not synchronize ranks, so
+  /// chunked algorithms (ring allreduce, hierarchical a2a) pipeline across
+  /// rounds exactly as the real implementations do. Reports <= run() for
+  /// the same traffic.
+  SimResult run_pipelined(std::span<const Message> messages);
+
+  [[nodiscard]] const topo::MachineSpec& spec() const { return spec_; }
+
+ private:
+  enum ResourceKind { kMemBus, kNicOut, kNicIn, kTrunkUp, kTrunkDown };
+
+  /// Dense resource id; lazily sized vectors hold availability times.
+  std::size_t resource_id(ResourceKind kind, std::int64_t index) const;
+  double resource_bw(ResourceKind kind) const;
+
+  topo::MachineSpec spec_;
+  std::vector<double> avail_;  // availability time per resource id
+};
+
+}  // namespace bgl::simnet

@@ -1,0 +1,107 @@
+#include "tensor/dtype.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace bgl {
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kF16: return "f16";
+    case DType::kBF16: return "bf16";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::uint16_t f32_to_f16_bits(float f) {
+  const std::uint32_t u = bits_of(f);
+  const std::uint32_t sign = (u >> 16) & 0x8000u;
+  const std::uint32_t abs = u & 0x7FFFFFFFu;
+
+  if (abs > 0x7F800000u) {  // NaN
+    return static_cast<std::uint16_t>(sign | 0x7E00u);
+  }
+  if (abs >= 0x47800000u) {  // >= 65536: overflow to inf (also maps +inf)
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs >= 0x38800000u) {  // normal half range [2^-14, 65504]
+    // Re-bias exponent from 127 to 15 and round mantissa 23 -> 10 bits.
+    const std::uint32_t mant = abs & 0x7FFFFFu;
+    const std::uint32_t exp = (abs >> 23) - 127 + 15;
+    std::uint32_t half = (exp << 10) | (mant >> 13);
+    const std::uint32_t rem = mant & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  if (abs >= 0x33000000u) {  // subnormal half range
+    // value = (0x800000|f) * 2^(e-150); subnormal half = mant_h * 2^-24,
+    // so mant_h = mant >> (126 - e) with round-to-nearest-even.
+    const int drop = 126 - static_cast<int>(abs >> 23);  // in [14, 24]
+    const std::uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+    std::uint32_t half = mant >> drop;
+    const std::uint32_t rem = mant & ((1u << drop) - 1);
+    const std::uint32_t halfway = 1u << (drop - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflow to zero
+}
+
+float f16_bits_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  if (exp == 0x1Fu) {  // inf / NaN
+    return float_of(sign | 0x7F800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return float_of(sign);  // signed zero
+    // Subnormal: value = mant * 2^-24.
+    const float mag = std::ldexp(static_cast<float>(mant), -24);
+    return sign ? -mag : mag;
+  }
+  return float_of(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+}  // namespace detail
+
+float quantize(float x, DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return x;
+    case DType::kF16: return static_cast<float>(Half(x));
+    case DType::kBF16: return static_cast<float>(BFloat16(x));
+  }
+  return x;
+}
+
+float dtype_max(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return std::numeric_limits<float>::max();
+    case DType::kF16: return 65504.0f;
+    case DType::kBF16: return detail::bf16_bits_to_f32(0x7F7Fu);
+  }
+  return 0.0f;
+}
+
+float dtype_min_normal(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return std::numeric_limits<float>::min();
+    case DType::kF16: return 6.103515625e-05f;  // 2^-14
+    case DType::kBF16: return std::numeric_limits<float>::min();
+  }
+  return 0.0f;
+}
+
+float dtype_epsilon(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return std::numeric_limits<float>::epsilon();
+    case DType::kF16: return 0.0009765625f;  // 2^-10
+    case DType::kBF16: return 0.0078125f;    // 2^-7
+  }
+  return 0.0f;
+}
+
+}  // namespace bgl

@@ -1,0 +1,98 @@
+// Numeric data types used by the tensor library.
+//
+// The New Generation Sunway hardware BaGuaLu targets provides FP16 and BF16
+// arithmetic on the CPE clusters. On commodity hosts we reproduce the
+// *numerics* of those formats in software: Half and BFloat16 are 16-bit
+// storage types with exact IEEE-style conversion to/from float, including
+// round-to-nearest-even, so precision experiments (loss scaling, master
+// weights) behave like the real thing.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace bgl {
+
+/// Element type of a Tensor.
+enum class DType : std::uint8_t { kF32 = 0, kF16 = 1, kBF16 = 2 };
+
+/// Size in bytes of one element.
+constexpr std::size_t dtype_size(DType dtype) {
+  return dtype == DType::kF32 ? 4 : 2;
+}
+
+/// Short display name ("f32", "f16", "bf16").
+const char* dtype_name(DType dtype);
+
+namespace detail {
+
+inline std::uint32_t bits_of(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, 4);
+  return u;
+}
+
+inline float float_of(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, 4);
+  return f;
+}
+
+/// float -> IEEE binary16 bits, round-to-nearest-even, with proper
+/// handling of overflow (-> inf), subnormals and NaN.
+std::uint16_t f32_to_f16_bits(float f);
+
+/// IEEE binary16 bits -> float (exact).
+float f16_bits_to_f32(std::uint16_t h);
+
+/// float -> bfloat16 bits, round-to-nearest-even.
+inline std::uint16_t f32_to_bf16_bits(float f) {
+  std::uint32_t u = bits_of(f);
+  if ((u & 0x7FFFFFFFu) > 0x7F800000u) {  // NaN: keep payload's top bit set
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  const std::uint32_t rounding = 0x7FFFu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>((u + rounding) >> 16);
+}
+
+/// bfloat16 bits -> float (exact).
+inline float bf16_bits_to_f32(std::uint16_t b) {
+  return float_of(static_cast<std::uint32_t>(b) << 16);
+}
+
+}  // namespace detail
+
+/// IEEE binary16 value with float conversions. Storage-only type: arithmetic
+/// happens in float, mirroring accelerator accumulate-in-higher-precision.
+struct Half {
+  std::uint16_t bits = 0;
+
+  Half() = default;
+  explicit Half(float f) : bits(detail::f32_to_f16_bits(f)) {}
+  explicit operator float() const { return detail::f16_bits_to_f32(bits); }
+};
+
+/// bfloat16 value with float conversions (same exponent range as float).
+struct BFloat16 {
+  std::uint16_t bits = 0;
+
+  BFloat16() = default;
+  explicit BFloat16(float f) : bits(detail::f32_to_bf16_bits(f)) {}
+  explicit operator float() const { return detail::bf16_bits_to_f32(bits); }
+};
+
+/// Rounds a float through the given storage format and back.
+/// quantize(x, kF32) is the identity.
+float quantize(float x, DType dtype);
+
+/// Largest finite value representable in the format.
+float dtype_max(DType dtype);
+
+/// Smallest positive *normal* value of the format.
+float dtype_min_normal(DType dtype);
+
+/// Machine epsilon of the format (spacing at 1.0).
+float dtype_epsilon(DType dtype);
+
+}  // namespace bgl

@@ -1,0 +1,350 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgl::ops {
+namespace {
+
+void check_same(const Tensor& a, const Tensor& b, const char* what) {
+  BGL_ENSURE(a.same_shape(b), what << ": shape mismatch "
+                                   << shape_str(a.shape()) << " vs "
+                                   << shape_str(b.shape()));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "add");
+  Tensor out = a.clone();
+  add_(out, b);
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same(a, b, "add_");
+  auto pa = a.f32();
+  auto pb = b.f32();
+  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] += pb[i];
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "sub");
+  Tensor out = a.clone();
+  auto po = out.f32();
+  auto pb = b.f32();
+  for (std::size_t i = 0; i < po.size(); ++i) po[i] -= pb[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "mul");
+  Tensor out = a.clone();
+  auto po = out.f32();
+  auto pb = b.f32();
+  for (std::size_t i = 0; i < po.size(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+void scale_(Tensor& a, float s) {
+  for (float& v : a.f32()) v *= s;
+}
+
+void axpy_(Tensor& y, float alpha, const Tensor& x) {
+  check_same(y, x, "axpy_");
+  auto py = y.f32();
+  auto px = x.f32();
+  for (std::size_t i = 0; i < py.size(); ++i) py[i] += alpha * px[i];
+}
+
+void zero_(Tensor& a) { a.fill(0.0f); }
+
+void quantize_(Tensor& a, DType dtype) {
+  if (dtype == DType::kF32) return;
+  for (float& v : a.f32()) v = quantize(v, dtype);
+}
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  for (const float v : a.f32()) acc += v;
+  return acc;
+}
+
+double mean(const Tensor& a) {
+  BGL_CHECK(a.numel() > 0);
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+float abs_max(const Tensor& a) {
+  float m = 0.0f;
+  for (const float v : a.f32()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool has_nonfinite(const Tensor& a) {
+  for (const float v : a.f32())
+    if (!std::isfinite(v)) return true;
+  return false;
+}
+
+void col_sum(const Tensor& a, Tensor& out) {
+  BGL_CHECK(a.ndim() == 2 && out.ndim() == 1);
+  BGL_CHECK(out.dim(0) == a.dim(1));
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  auto pa = a.f32();
+  auto po = out.f32();
+  std::fill(po.begin(), po.end(), 0.0f);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = pa.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) po[c] += row[c];
+  }
+}
+
+namespace {
+
+// Cache-blocked GEMM core: C[m,n] += A[m,k] * B[k,n], all row-major.
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::int64_t i1 = std::min(i0 + kBlock, m);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::int64_t p1 = std::min(p0 + kBlock, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float aval = a[i * k + p];
+          if (aval == 0.0f) continue;
+          const float* brow = b + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  BGL_ENSURE(a.dim(1) == b.dim(0), "matmul " << shape_str(a.shape()) << " x "
+                                             << shape_str(b.shape()));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::zeros({m, n});
+  gemm_nn(a.f32().data(), b.f32().data(), c.f32().data(), m, k, n);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  BGL_ENSURE(a.dim(0) == b.dim(0), "matmul_tn " << shape_str(a.shape())
+                                                << " x " << shape_str(b.shape()));
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::zeros({m, n});
+  const float* pa = a.f32().data();
+  const float* pb = b.f32().data();
+  float* pc = c.f32().data();
+  // C[i,j] = sum_p A[p,i] * B[p,j]; iterate p outermost for streaming reads.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  BGL_ENSURE(a.dim(1) == b.dim(1), "matmul_nt " << shape_str(a.shape())
+                                                << " x " << shape_str(b.shape()));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c = Tensor::zeros({m, n});
+  const float* pa = a.f32().data();
+  const float* pb = b.f32().data();
+  float* pc = c.f32().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  BGL_CHECK(a.ndim() == 2);
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out = Tensor::empty({n, m});
+  auto pa = a.f32();
+  auto po = out.f32();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  return out;
+}
+
+Tensor row_softmax(const Tensor& logits) {
+  BGL_CHECK(logits.ndim() == 2);
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out = Tensor::empty({rows, cols});
+  auto pin = logits.f32();
+  auto pout = out.f32();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = pin.data() + r * cols;
+    float* o = pout.data() + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Tensor row_softmax_backward(const Tensor& y, const Tensor& dy) {
+  BGL_CHECK(y.ndim() == 2);
+  BGL_CHECK(y.same_shape(dy));
+  const std::int64_t rows = y.dim(0), cols = y.dim(1);
+  Tensor dx = Tensor::empty({rows, cols});
+  auto py = y.f32();
+  auto pdy = dy.f32();
+  auto pdx = dx.f32();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yr = py.data() + r * cols;
+    const float* dyr = pdy.data() + r * cols;
+    float* dxr = pdx.data() + r * cols;
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) dot += double(yr[c]) * dyr[c];
+    for (std::int64_t c = 0; c < cols; ++c)
+      dxr[c] = yr[c] * (dyr[c] - static_cast<float>(dot));
+  }
+  return dx;
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+float gelu_scalar(float x) {
+  const float inner = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float gelu_grad_scalar(float x) {
+  const float x3 = x * x * x;
+  const float inner = kGeluC * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+}  // namespace
+
+Tensor gelu(const Tensor& x) {
+  Tensor out = x.clone();
+  for (float& v : out.f32()) v = gelu_scalar(v);
+  return out;
+}
+
+Tensor gelu_backward(const Tensor& x, const Tensor& dy) {
+  check_same(x, dy, "gelu_backward");
+  Tensor dx = Tensor::empty(x.shape());
+  auto px = x.f32();
+  auto pdy = dy.f32();
+  auto pdx = dx.f32();
+  for (std::size_t i = 0; i < px.size(); ++i)
+    pdx[i] = pdy[i] * gelu_grad_scalar(px[i]);
+  return dx;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor out = x.clone();
+  for (float& v : out.f32()) v = std::max(v, 0.0f);
+  return out;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& dy) {
+  check_same(x, dy, "relu_backward");
+  Tensor dx = dy.clone();
+  auto px = x.f32();
+  auto pdx = dx.f32();
+  for (std::size_t i = 0; i < px.size(); ++i)
+    if (px[i] <= 0.0f) pdx[i] = 0.0f;
+  return dx;
+}
+
+Tensor copy_rows(const Tensor& src, std::int64_t r0, std::int64_t r1) {
+  BGL_CHECK(src.ndim() == 2);
+  BGL_ENSURE(r0 >= 0 && r0 <= r1 && r1 <= src.dim(0),
+             "copy_rows [" << r0 << "," << r1 << ") of " << src.dim(0));
+  const std::int64_t cols = src.dim(1);
+  Tensor out = Tensor::empty({std::max<std::int64_t>(r1 - r0, 0), cols});
+  if (r1 > r0) {
+    auto ps = src.f32();
+    std::copy(ps.begin() + r0 * cols, ps.begin() + r1 * cols,
+              out.f32().begin());
+  }
+  return out;
+}
+
+Tensor gather_rows(const Tensor& src, std::span<const std::int32_t> rows) {
+  BGL_CHECK(src.ndim() == 2);
+  const std::int64_t cols = src.dim(1);
+  const std::int64_t n = static_cast<std::int64_t>(rows.size());
+  Tensor out = Tensor::empty({n, cols});
+  auto ps = src.f32();
+  auto po = out.f32();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t r = rows[static_cast<std::size_t>(i)];
+    BGL_ENSURE(r >= 0 && r < src.dim(0), "gather_rows row " << r);
+    std::copy(ps.begin() + r * cols, ps.begin() + (r + 1) * cols,
+              po.begin() + i * cols);
+  }
+  return out;
+}
+
+void set_rows(Tensor& dst, std::int64_t r0, const Tensor& src) {
+  BGL_CHECK(dst.ndim() == 2 && src.ndim() == 2);
+  BGL_CHECK(dst.dim(1) == src.dim(1));
+  BGL_ENSURE(r0 >= 0 && r0 + src.dim(0) <= dst.dim(0),
+             "set_rows at " << r0 << " size " << src.dim(0));
+  const std::int64_t cols = dst.dim(1);
+  auto ps = src.f32();
+  auto pd = dst.f32();
+  std::copy(ps.begin(), ps.end(), pd.begin() + r0 * cols);
+}
+
+void scatter_add_rows(Tensor& dst, std::span<const std::int32_t> rows,
+                      const Tensor& src, std::span<const float> alpha) {
+  BGL_CHECK(dst.ndim() == 2 && src.ndim() == 2);
+  BGL_CHECK(dst.dim(1) == src.dim(1));
+  BGL_CHECK(static_cast<std::int64_t>(rows.size()) == src.dim(0));
+  BGL_CHECK(alpha.empty() || alpha.size() == rows.size());
+  const std::int64_t cols = dst.dim(1);
+  auto ps = src.f32();
+  auto pd = dst.f32();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::int32_t r = rows[i];
+    BGL_ENSURE(r >= 0 && r < dst.dim(0), "scatter_add row " << r);
+    const float a = alpha.empty() ? 1.0f : alpha[i];
+    const float* in = ps.data() + static_cast<std::int64_t>(i) * cols;
+    float* out = pd.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) out[c] += a * in[c];
+  }
+}
+
+}  // namespace bgl::ops

@@ -1,0 +1,109 @@
+// Dense f32 kernels: elementwise ops, reductions, GEMM, softmax, layernorm.
+//
+// Naming: a trailing underscore means in-place mutation of the first
+// argument (ops::add_(a, b) does a += b), mirroring common tensor-library
+// convention. All kernels require f32 storage and assert shapes.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace bgl::ops {
+
+/// --- elementwise ----------------------------------------------------------
+
+/// Returns a + b (same shape).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// a += b.
+void add_(Tensor& a, const Tensor& b);
+
+/// Returns a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Returns a ⊙ b (Hadamard product).
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// a *= s.
+void scale_(Tensor& a, float s);
+
+/// y += alpha * x.
+void axpy_(Tensor& y, float alpha, const Tensor& x);
+
+/// Sets every element to zero.
+void zero_(Tensor& a);
+
+/// Rounds every element through `dtype` storage and back, in place.
+/// This is the low-precision *compute* emulation primitive.
+void quantize_(Tensor& a, DType dtype);
+
+/// --- reductions -----------------------------------------------------------
+
+/// Sum of all elements (accumulated in double).
+double sum(const Tensor& a);
+
+/// Mean of all elements.
+double mean(const Tensor& a);
+
+/// Maximum |x| over all elements (0 for empty).
+float abs_max(const Tensor& a);
+
+/// True if any element is NaN or ±inf.
+bool has_nonfinite(const Tensor& a);
+
+/// Per-column sums of a rank-2 tensor: out[j] = Σ_i a[i,j]. Used for bias
+/// gradients. out must be rank-1 of length a.dim(1).
+void col_sum(const Tensor& a, Tensor& out);
+
+/// --- linear algebra -------------------------------------------------------
+
+/// C = A·B for A:[m,k], B:[k,n]. Blocked i-k-j loop, f32 accumulate.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ·B for A:[k,m], B:[k,n] (gradient w.r.t. weights).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A·Bᵀ for A:[m,k], B:[n,k] (gradient w.r.t. inputs).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Rank-2 transpose copy.
+Tensor transpose(const Tensor& a);
+
+/// --- neural-net primitives --------------------------------------------------
+
+/// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+Tensor row_softmax(const Tensor& logits);
+
+/// Given y = row_softmax(x) and dL/dy, returns dL/dx.
+Tensor row_softmax_backward(const Tensor& y, const Tensor& dy);
+
+/// tanh-approximation GELU, elementwise.
+Tensor gelu(const Tensor& x);
+
+/// dL/dx for y = gelu(x) given x and dL/dy.
+Tensor gelu_backward(const Tensor& x, const Tensor& dy);
+
+/// ReLU, elementwise.
+Tensor relu(const Tensor& x);
+
+/// dL/dx for y = relu(x).
+Tensor relu_backward(const Tensor& x, const Tensor& dy);
+
+/// --- row gather/scatter (dispatch primitives) -------------------------------
+
+/// Copies rows [r0, r1) of a rank-2 tensor into a new tensor.
+Tensor copy_rows(const Tensor& src, std::int64_t r0, std::int64_t r1);
+
+/// Gathers the listed rows of a rank-2 tensor (duplicates allowed).
+Tensor gather_rows(const Tensor& src, std::span<const std::int32_t> rows);
+
+/// dst.rows(r0...) = src; src row count determines the range.
+void set_rows(Tensor& dst, std::int64_t r0, const Tensor& src);
+
+/// dst[rows[i]] += alpha[i] * src[i] for each row i of src (scatter-add).
+/// `alpha` may be empty for unit scaling.
+void scatter_add_rows(Tensor& dst, std::span<const std::int32_t> rows,
+                      const Tensor& src, std::span<const float> alpha = {});
+
+}  // namespace bgl::ops

@@ -1,0 +1,176 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace bgl {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = shape.empty() ? 0 : 1;
+  for (const auto d : shape) {
+    // Zero-sized dims are allowed (e.g. an expert that received no tokens);
+    // negative dims are always a bug.
+    BGL_ENSURE(d >= 0, "negative dim in shape " << shape_str(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, DType dtype, std::shared_ptr<std::byte[]> buf)
+    : buf_(std::move(buf)),
+      shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      dtype_(dtype) {}
+
+Tensor Tensor::empty(Shape shape, DType dtype) {
+  const std::int64_t n = shape_numel(shape);
+  auto buf = std::shared_ptr<std::byte[]>(
+      new std::byte[static_cast<std::size_t>(n) * dtype_size(dtype)]);
+  return Tensor(std::move(shape), dtype, std::move(buf));
+}
+
+Tensor Tensor::zeros(Shape shape, DType dtype) {
+  Tensor t = empty(std::move(shape), dtype);
+  std::memset(t.buf_.get(), 0, t.nbytes());
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t = empty(std::move(shape), DType::kF32);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t = empty(std::move(shape), DType::kF32);
+  for (float& v : t.f32())
+    v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t = empty(std::move(shape), DType::kF32);
+  for (float& v : t.f32()) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from(std::initializer_list<float> values, Shape shape) {
+  Tensor t = empty(std::move(shape), DType::kF32);
+  BGL_ENSURE(static_cast<std::int64_t>(values.size()) == t.numel(),
+             "value count " << values.size() << " != numel " << t.numel());
+  std::copy(values.begin(), values.end(), t.f32().begin());
+  return t;
+}
+
+std::span<float> Tensor::f32() {
+  BGL_ENSURE(dtype_ == DType::kF32, "f32() on " << dtype_name(dtype_));
+  return {reinterpret_cast<float*>(buf_.get()),
+          static_cast<std::size_t>(numel_)};
+}
+
+std::span<const float> Tensor::f32() const {
+  BGL_ENSURE(dtype_ == DType::kF32, "f32() on " << dtype_name(dtype_));
+  return {reinterpret_cast<const float*>(buf_.get()),
+          static_cast<std::size_t>(numel_)};
+}
+
+std::span<std::byte> Tensor::raw() { return {buf_.get(), nbytes()}; }
+
+std::span<const std::byte> Tensor::raw() const { return {buf_.get(), nbytes()}; }
+
+float& Tensor::at(std::int64_t r, std::int64_t c) {
+  BGL_CHECK(ndim() == 2 && dtype_ == DType::kF32);
+  BGL_CHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+  return reinterpret_cast<float*>(buf_.get())[r * shape_[1] + c];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  BGL_CHECK(ndim() == 2 && dtype_ == DType::kF32);
+  BGL_CHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+  return reinterpret_cast<const float*>(buf_.get())[r * shape_[1] + c];
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return {};
+  Tensor t = empty(shape_, dtype_);
+  std::memcpy(t.buf_.get(), buf_.get(), nbytes());
+  return t;
+}
+
+Tensor Tensor::reshape(Shape shape) const {
+  BGL_ENSURE(shape_numel(shape) == numel_,
+             "reshape " << shape_str(shape_) << " -> " << shape_str(shape));
+  return Tensor(std::move(shape), dtype_, buf_);
+}
+
+Tensor Tensor::cast(DType dtype) const {
+  if (dtype == dtype_) return clone();
+  Tensor out = empty(shape_, dtype);
+  const std::size_t n = static_cast<std::size_t>(numel_);
+
+  auto load = [&](std::size_t i) -> float {
+    switch (dtype_) {
+      case DType::kF32:
+        return reinterpret_cast<const float*>(buf_.get())[i];
+      case DType::kF16:
+        return detail::f16_bits_to_f32(
+            reinterpret_cast<const std::uint16_t*>(buf_.get())[i]);
+      case DType::kBF16:
+        return detail::bf16_bits_to_f32(
+            reinterpret_cast<const std::uint16_t*>(buf_.get())[i]);
+    }
+    return 0.0f;
+  };
+  auto store = [&](std::size_t i, float v) {
+    switch (dtype) {
+      case DType::kF32:
+        reinterpret_cast<float*>(out.buf_.get())[i] = v;
+        break;
+      case DType::kF16:
+        reinterpret_cast<std::uint16_t*>(out.buf_.get())[i] =
+            detail::f32_to_f16_bits(v);
+        break;
+      case DType::kBF16:
+        reinterpret_cast<std::uint16_t*>(out.buf_.get())[i] =
+            detail::f32_to_bf16_bits(v);
+        break;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) store(i, load(i));
+  return out;
+}
+
+void Tensor::fill(float value) {
+  const std::size_t n = static_cast<std::size_t>(numel_);
+  switch (dtype_) {
+    case DType::kF32: {
+      auto* p = reinterpret_cast<float*>(buf_.get());
+      std::fill(p, p + n, value);
+      break;
+    }
+    case DType::kF16: {
+      auto* p = reinterpret_cast<std::uint16_t*>(buf_.get());
+      std::fill(p, p + n, detail::f32_to_f16_bits(value));
+      break;
+    }
+    case DType::kBF16: {
+      auto* p = reinterpret_cast<std::uint16_t*>(buf_.get());
+      std::fill(p, p + n, detail::f32_to_bf16_bits(value));
+      break;
+    }
+  }
+}
+
+}  // namespace bgl

@@ -1,0 +1,116 @@
+// Tensor: a contiguous, shape-annotated, reference-counted buffer.
+//
+// Design notes
+//  * Views (reshape) share the underlying buffer, torch-style; `clone()`
+//    makes deep copies explicit.
+//  * Compute kernels operate on f32. The 16-bit formats (f16/bf16) are
+//    storage formats: `cast()` converts storage, and ops::quantize_()
+//    round-trips values in place to emulate low-precision compute, which is
+//    exactly what mixed-precision training needs to reproduce (see
+//    bgl::train::LossScaler).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "tensor/dtype.hpp"
+
+namespace bgl {
+
+/// Tensor shape; dims are positive. Rank 0 is an empty tensor.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements of a shape (1 for rank-0 by convention of empty()).
+std::int64_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" for diagnostics.
+std::string shape_str(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor (numel() == 0, no buffer).
+  Tensor() = default;
+
+  /// Uninitialized tensor of the given shape/dtype (values unspecified).
+  static Tensor empty(Shape shape, DType dtype = DType::kF32);
+
+  /// Zero-filled tensor.
+  static Tensor zeros(Shape shape, DType dtype = DType::kF32);
+
+  /// Constant-filled f32 tensor.
+  static Tensor full(Shape shape, float value);
+
+  /// f32 tensor with i.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+
+  /// f32 tensor with i.i.d. U[lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  /// f32 tensor from a flat list, reshaped to `shape`.
+  static Tensor from(std::initializer_list<float> values, Shape shape);
+
+  /// --- shape & type -------------------------------------------------------
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return numel_; }
+  [[nodiscard]] std::size_t ndim() const { return shape_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const {
+    BGL_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+  [[nodiscard]] DType dtype() const { return dtype_; }
+  [[nodiscard]] bool defined() const { return static_cast<bool>(buf_); }
+  [[nodiscard]] std::size_t nbytes() const {
+    return static_cast<std::size_t>(numel_) * dtype_size(dtype_);
+  }
+
+  /// --- data access --------------------------------------------------------
+
+  /// Typed span over f32 storage. Requires dtype() == kF32.
+  [[nodiscard]] std::span<float> f32();
+  [[nodiscard]] std::span<const float> f32() const;
+
+  /// Raw byte view of the storage.
+  [[nodiscard]] std::span<std::byte> raw();
+  [[nodiscard]] std::span<const std::byte> raw() const;
+
+  /// Element accessors for rank-2 f32 tensors (row, col).
+  [[nodiscard]] float& at(std::int64_t r, std::int64_t c);
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c) const;
+
+  /// --- transforms ---------------------------------------------------------
+
+  /// Deep copy.
+  [[nodiscard]] Tensor clone() const;
+
+  /// New view sharing this buffer; numel must match.
+  [[nodiscard]] Tensor reshape(Shape shape) const;
+
+  /// Storage conversion (f32 <-> f16/bf16) with round-to-nearest-even.
+  /// Returns a new tensor; casting to the current dtype clones.
+  [[nodiscard]] Tensor cast(DType dtype) const;
+
+  /// Fills every element with `value` (any dtype; value is quantized).
+  void fill(float value);
+
+  /// True if shapes are identical.
+  [[nodiscard]] bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  Tensor(Shape shape, DType dtype, std::shared_ptr<std::byte[]> buf);
+
+  std::shared_ptr<std::byte[]> buf_;
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  DType dtype_ = DType::kF32;
+};
+
+}  // namespace bgl

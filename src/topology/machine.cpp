@@ -1,0 +1,90 @@
+#include "topology/machine.hpp"
+
+namespace bgl::topo {
+
+Level MachineSpec::level_between(std::int64_t a, std::int64_t b) const {
+  if (a == b) return Level::kSelf;
+  if (node_of(a) == node_of(b)) return Level::kIntraNode;
+  if (supernode_of(a) == supernode_of(b)) return Level::kIntraSuper;
+  return Level::kInterSuper;
+}
+
+const LinkSpec& MachineSpec::link(Level level) const {
+  switch (level) {
+    case Level::kIntraNode: return intra_node;
+    case Level::kIntraSuper: return intra_super;
+    case Level::kInterSuper: return inter_super;
+    case Level::kSelf: break;
+  }
+  BGL_FAIL("link() called with Level::kSelf");
+}
+
+double MachineSpec::p2p_time(std::int64_t a, std::int64_t b,
+                             double bytes) const {
+  const Level level = level_between(a, b);
+  if (level == Level::kSelf) return 0.0;
+  return link(level).time(bytes);
+}
+
+void MachineSpec::validate() const {
+  BGL_ENSURE(nodes >= 1, name << ": nodes must be >= 1");
+  BGL_ENSURE(supernode_size >= 1, name << ": supernode_size must be >= 1");
+  BGL_ENSURE(processes_per_node >= 1, name << ": processes_per_node >= 1");
+  BGL_ENSURE(cores_per_node >= 1, name << ": cores_per_node >= 1");
+  BGL_ENSURE(trunk_taper > 0.0 && trunk_taper <= 1.0,
+             name << ": trunk_taper in (0,1]");
+  for (const LinkSpec* l : {&intra_node, &intra_super, &inter_super}) {
+    BGL_ENSURE(l->bandwidth_bps > 0.0, name << ": bandwidth must be positive");
+    BGL_ENSURE(l->latency_s >= 0.0, name << ": latency must be >= 0");
+  }
+  BGL_ENSURE(node_peak_flops_f32 > 0.0, name << ": f32 peak must be positive");
+  BGL_ENSURE(node_peak_flops_f16 > 0.0, name << ": f16 peak must be positive");
+  BGL_ENSURE(node_memory_bytes > 0.0, name << ": memory must be positive");
+  BGL_ENSURE(gemm_efficiency > 0.0 && gemm_efficiency <= 1.0,
+             name << ": gemm_efficiency in (0,1]");
+}
+
+MachineSpec MachineSpec::sunway_new_generation() {
+  MachineSpec spec;
+  spec.name = "sunway-new-generation";
+  spec.nodes = 96000;
+  spec.supernode_size = 256;
+  spec.processes_per_node = 6;  // one rank per core group
+  spec.cores_per_node = 390;    // 6 x (1 MPE + 64 CPE)
+  // Shared-memory exchange between core groups of one node.
+  spec.intra_node = {/*latency_s=*/2e-7, /*bandwidth_bps=*/40e9};
+  // Node injection within a supernode.
+  spec.intra_super = {/*latency_s=*/1e-6, /*bandwidth_bps=*/16e9};
+  // Per-node share of the cross-supernode path (tapered fat tree).
+  spec.inter_super = {/*latency_s=*/3e-6, /*bandwidth_bps=*/8e9};
+  spec.trunk_taper = 0.5;
+  // ~14 TFLOPS f32 per node, 4x that in half precision on the CPE arrays.
+  spec.node_peak_flops_f32 = 14.0e12;
+  spec.node_peak_flops_f16 = 56.0e12;
+  spec.node_memory_bytes = 96.0 * 1024 * 1024 * 1024;
+  spec.gemm_efficiency = 0.45;
+  spec.validate();
+  return spec;
+}
+
+MachineSpec MachineSpec::test_cluster(std::int64_t nodes_, int supernode_size_,
+                                      int processes_per_node_) {
+  MachineSpec spec;
+  spec.name = "test-cluster";
+  spec.nodes = nodes_;
+  spec.supernode_size = supernode_size_;
+  spec.processes_per_node = processes_per_node_;
+  spec.cores_per_node = 4;
+  spec.intra_node = {1e-7, 10e9};
+  spec.intra_super = {1e-6, 2e9};
+  spec.inter_super = {5e-6, 1e9};
+  spec.trunk_taper = 0.5;
+  spec.node_peak_flops_f32 = 1.0e12;
+  spec.node_peak_flops_f16 = 4.0e12;
+  spec.node_memory_bytes = 16.0 * 1024 * 1024 * 1024;
+  spec.gemm_efficiency = 0.5;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace bgl::topo

@@ -1,0 +1,116 @@
+// Machine topology model.
+//
+// BaGuaLu's target, the New Generation Sunway supercomputer, is a two-level
+// hierarchy: SW26010-Pro nodes (6 core groups of 1 MPE + 64 CPEs = 390
+// cores, ~96 GB) grouped into 256-node supernodes, connected by a tapered
+// global network. Since that machine is not available (repro band 2/5), we
+// model it parametrically: MachineSpec captures the per-level alpha-beta
+// link characteristics, per-node compute rates and memory, and placement
+// arithmetic. Both the closed-form collective cost models
+// (collectives/coll_cost.hpp) and the network simulator (bgl::simnet)
+// consume this description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace bgl::topo {
+
+/// Alpha-beta characteristics of one link class.
+struct LinkSpec {
+  double latency_s = 0.0;        // alpha: per-message latency (seconds)
+  double bandwidth_bps = 0.0;    // beta⁻¹: bytes per second
+
+  /// Time to move `bytes` across this link, uncontended.
+  [[nodiscard]] double time(double bytes) const {
+    return latency_s + bytes / bandwidth_bps;
+  }
+};
+
+/// Distance classes between two processes.
+enum class Level : int {
+  kSelf = -1,        // same process
+  kIntraNode = 0,    // same node, different process
+  kIntraSuper = 1,   // same supernode, different node
+  kInterSuper = 2    // different supernodes
+};
+
+/// Parametric description of a hierarchical machine.
+struct MachineSpec {
+  std::string name;
+
+  std::int64_t nodes = 1;
+  int supernode_size = 1;      // nodes per supernode
+  int processes_per_node = 1;  // MPI ranks per node (1 per core group)
+  int cores_per_node = 1;
+
+  LinkSpec intra_node;   // shared-memory transfers between local ranks
+  LinkSpec intra_super;  // node NIC within a supernode
+  LinkSpec inter_super;  // per-node share of the cross-supernode path
+
+  /// Fraction of full supernode injection bandwidth available on the global
+  /// trunk (1.0 = full bisection, <1 = tapered fat-tree).
+  double trunk_taper = 1.0;
+
+  double node_peak_flops_f32 = 1.0;  // dense f32 peak per node
+  double node_peak_flops_f16 = 1.0;  // dense f16/bf16 peak per node
+  double node_memory_bytes = 1.0;
+
+  /// GEMM efficiency: fraction of peak a well-blocked kernel sustains.
+  double gemm_efficiency = 0.5;
+
+  /// --- derived quantities ---------------------------------------------------
+
+  [[nodiscard]] std::int64_t total_processes() const {
+    return nodes * processes_per_node;
+  }
+  [[nodiscard]] std::int64_t total_cores() const {
+    return nodes * cores_per_node;
+  }
+  [[nodiscard]] std::int64_t supernodes() const {
+    return (nodes + supernode_size - 1) / supernode_size;
+  }
+  /// Ranks hosted by one supernode (block placement).
+  [[nodiscard]] std::int64_t ranks_per_supernode() const {
+    return static_cast<std::int64_t>(supernode_size) * processes_per_node;
+  }
+
+  /// Node hosting process `rank` under block placement.
+  [[nodiscard]] std::int64_t node_of(std::int64_t rank) const {
+    return rank / processes_per_node;
+  }
+  /// Supernode hosting process `rank`.
+  [[nodiscard]] std::int64_t supernode_of(std::int64_t rank) const {
+    return node_of(rank) / supernode_size;
+  }
+
+  /// Distance class between two process ranks.
+  [[nodiscard]] Level level_between(std::int64_t a, std::int64_t b) const;
+
+  /// Link spec of a distance class (kSelf not allowed).
+  [[nodiscard]] const LinkSpec& link(Level level) const;
+
+  /// Uncontended point-to-point time between two ranks.
+  [[nodiscard]] double p2p_time(std::int64_t a, std::int64_t b,
+                                double bytes) const;
+
+  /// Validates internal consistency (positive sizes, bandwidths, ...).
+  void validate() const;
+
+  /// --- presets --------------------------------------------------------------
+
+  /// The New Generation Sunway machine BaGuaLu ran on: 96,000 nodes of 390
+  /// cores (37.44M cores), 256-node supernodes, 6 ranks (core groups) per
+  /// node. Rates are public-order-of-magnitude estimates; absolute numbers
+  /// are calibration knobs, shapes are what we reproduce.
+  static MachineSpec sunway_new_generation();
+
+  /// A small two-supernode machine for tests and real-execution benches.
+  static MachineSpec test_cluster(std::int64_t nodes_ = 8,
+                                  int supernode_size_ = 4,
+                                  int processes_per_node_ = 2);
+};
+
+}  // namespace bgl::topo

@@ -1,0 +1,105 @@
+#include "train/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace bgl::train {
+namespace {
+
+constexpr std::uint64_t kMagic = 0xBA61A1000000CAFEull;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  BGL_ENSURE(static_cast<bool>(is), "checkpoint truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     std::span<nn::Parameter* const> params) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  BGL_ENSURE(os.is_open(), "cannot open checkpoint for writing: " << path);
+  write_pod(os, kMagic);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    write_pod(os, static_cast<std::uint32_t>(p->name.size()));
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod(os, static_cast<std::uint32_t>(p->value.ndim()));
+    for (std::size_t i = 0; i < p->value.ndim(); ++i)
+      write_pod(os, static_cast<std::int64_t>(p->value.dim(i)));
+    const auto raw = p->value.raw();
+    os.write(reinterpret_cast<const char*>(raw.data()),
+             static_cast<std::streamsize>(raw.size()));
+  }
+  BGL_ENSURE(static_cast<bool>(os), "checkpoint write failed: " << path);
+}
+
+std::vector<NamedTensor> read_checkpoint_entries(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  BGL_ENSURE(is.is_open(), "cannot open checkpoint: " << path);
+  BGL_ENSURE(read_pod<std::uint64_t>(is) == kMagic,
+             "bad checkpoint magic in " << path);
+  const auto count = read_pod<std::uint64_t>(is);
+  std::vector<NamedTensor> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NamedTensor entry;
+    const auto name_len = read_pod<std::uint32_t>(is);
+    entry.name.resize(name_len);
+    is.read(entry.name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(is);
+    Shape shape;
+    for (std::uint32_t d = 0; d < rank; ++d)
+      shape.push_back(read_pod<std::int64_t>(is));
+    entry.value = Tensor::empty(shape);
+    auto raw = entry.value.raw();
+    is.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    BGL_ENSURE(static_cast<bool>(is), "checkpoint truncated in " << entry.name);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void load_checkpoint(const std::string& path,
+                     std::span<nn::Parameter* const> params) {
+  std::ifstream is(path, std::ios::binary);
+  BGL_ENSURE(is.is_open(), "cannot open checkpoint: " << path);
+  BGL_ENSURE(read_pod<std::uint64_t>(is) == kMagic,
+             "bad checkpoint magic in " << path);
+  const auto count = read_pod<std::uint64_t>(is);
+  BGL_ENSURE(count == params.size(),
+             "checkpoint has " << count << " params, model has "
+                               << params.size());
+  for (nn::Parameter* p : params) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    BGL_ENSURE(name == p->name,
+               "parameter order mismatch: file has '" << name
+                                                      << "', model expects '"
+                                                      << p->name << "'");
+    const auto rank = read_pod<std::uint32_t>(is);
+    BGL_ENSURE(rank == p->value.ndim(), "rank mismatch for " << name);
+    for (std::size_t i = 0; i < rank; ++i) {
+      const auto dim = read_pod<std::int64_t>(is);
+      BGL_ENSURE(dim == p->value.dim(i), "shape mismatch for " << name);
+    }
+    auto raw = p->value.raw();
+    is.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    BGL_ENSURE(static_cast<bool>(is), "checkpoint truncated in " << name);
+  }
+}
+
+}  // namespace bgl::train

@@ -1,0 +1,33 @@
+// Binary parameter checkpointing.
+//
+// Format: magic, count, then per parameter: name length + name, rank + dims,
+// raw f32 data. Loading matches by position and validates name + shape, so
+// a checkpoint can only be restored into an identically-built model.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace bgl::train {
+
+/// Writes all parameter values to `path` (overwrites).
+void save_checkpoint(const std::string& path,
+                     std::span<nn::Parameter* const> params);
+
+/// Restores parameter values from `path`; throws on any mismatch.
+void load_checkpoint(const std::string& path,
+                     std::span<nn::Parameter* const> params);
+
+/// One named tensor from a checkpoint file.
+struct NamedTensor {
+  std::string name;
+  Tensor value;
+};
+
+/// Reads every (name, tensor) entry of a checkpoint — order preserved.
+/// Used by the distributed loader to reshard parameters by name.
+std::vector<NamedTensor> read_checkpoint_entries(const std::string& path);
+
+}  // namespace bgl::train

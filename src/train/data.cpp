@@ -1,0 +1,87 @@
+#include "train/data.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace bgl::train {
+
+MarkovTokenStream::MarkovTokenStream(std::int64_t vocab, double noise,
+                                     std::uint64_t seed)
+    : vocab_(vocab), noise_(noise), rng_(seed) {
+  BGL_CHECK(vocab >= 2);
+  BGL_ENSURE(noise >= 0.0 && noise <= 1.0, "noise in [0,1], got " << noise);
+  successor_.resize(static_cast<std::size_t>(vocab));
+  Rng table_rng = rng_.fork(1);
+  for (auto& s : successor_)
+    s = static_cast<std::int32_t>(table_rng.uniform_index(
+        static_cast<std::uint64_t>(vocab)));
+}
+
+Batch MarkovTokenStream::next_batch(std::int64_t batch, std::int64_t seq_len) {
+  BGL_CHECK(batch > 0 && seq_len > 0);
+  Batch out;
+  out.tokens.reserve(static_cast<std::size_t>(batch * seq_len));
+  out.targets.reserve(static_cast<std::size_t>(batch * seq_len));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::int32_t cur = static_cast<std::int32_t>(
+        rng_.uniform_index(static_cast<std::uint64_t>(vocab_)));
+    for (std::int64_t t = 0; t < seq_len; ++t) {
+      out.tokens.push_back(cur);
+      std::int32_t next = successor_[static_cast<std::size_t>(cur)];
+      if (noise_ > 0.0 && rng_.bernoulli(noise_)) {
+        next = static_cast<std::int32_t>(
+            rng_.uniform_index(static_cast<std::uint64_t>(vocab_)));
+      }
+      out.targets.push_back(next);
+      cur = next;
+    }
+  }
+  return out;
+}
+
+double MarkovTokenStream::entropy_floor() const {
+  // Mixture: with prob (1-e)+e/V the deterministic successor, each other
+  // token with prob e/V.
+  const double v = static_cast<double>(vocab_);
+  const double p_main = (1.0 - noise_) + noise_ / v;
+  const double p_other = noise_ / v;
+  double h = -p_main * std::log(p_main);
+  if (p_other > 0.0) h += -(v - 1.0) * p_other * std::log(p_other);
+  return h;
+}
+
+SkewedTokenGenerator::SkewedTokenGenerator(std::int64_t d_model, int experts,
+                                           double zipf_s, std::uint64_t seed)
+    : d_model_(d_model),
+      experts_(experts),
+      zipf_(static_cast<std::size_t>(experts), zipf_s),
+      rng_(seed) {
+  BGL_CHECK(d_model > 0 && experts > 0);
+  Rng center_rng = rng_.fork(2);
+  class_centers_.resize(static_cast<std::size_t>(experts));
+  for (auto& center : class_centers_) {
+    center.resize(static_cast<std::size_t>(d_model));
+    for (float& v : center) v = static_cast<float>(center_rng.normal(0.0, 1.0));
+  }
+}
+
+std::vector<float> SkewedTokenGenerator::next_tokens(std::int64_t n) {
+  BGL_CHECK(n > 0);
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(n * d_model_));
+  classes_.clear();
+  classes_.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(zipf_(rng_));
+    classes_.push_back(cls);
+    const auto& center = class_centers_[static_cast<std::size_t>(cls)];
+    for (std::int64_t c = 0; c < d_model_; ++c) {
+      out.push_back(center[static_cast<std::size_t>(c)] +
+                    0.3f * static_cast<float>(rng_.normal(0.0, 1.0)));
+    }
+  }
+  return out;
+}
+
+}  // namespace bgl::train

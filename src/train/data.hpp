@@ -1,0 +1,71 @@
+// Synthetic workload generators.
+//
+// The paper's multimodal pretraining corpus is proprietary; per the
+// substitution rule we generate synthetic streams that exercise the same
+// code paths: a learnable Markov token stream for convergence experiments
+// (the model can actually reduce loss on it), and a skewed token generator
+// for MoE load-balance experiments (controllable expert-affinity zipf skew).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace bgl::train {
+
+/// One LM training batch: inputs and next-token targets.
+struct Batch {
+  std::vector<std::int32_t> tokens;   // batch * seq_len
+  std::vector<std::int32_t> targets;  // same size
+};
+
+/// Learnable synthetic language: a random deterministic successor table with
+/// an epsilon of uniform noise. Perplexity floor is known, so convergence
+/// (loss decreasing toward it) is a meaningful signal.
+class MarkovTokenStream {
+ public:
+  /// `noise` is the probability a successor is resampled uniformly.
+  MarkovTokenStream(std::int64_t vocab, double noise, std::uint64_t seed);
+
+  /// Draws a batch of `batch` sequences of `seq_len` tokens.
+  Batch next_batch(std::int64_t batch, std::int64_t seq_len);
+
+  [[nodiscard]] std::int64_t vocab() const { return vocab_; }
+
+  /// Entropy floor of the stream in nats (best achievable LM loss).
+  [[nodiscard]] double entropy_floor() const;
+
+ private:
+  std::int64_t vocab_;
+  double noise_;
+  std::vector<std::int32_t> successor_;
+  Rng rng_;
+};
+
+/// Embedding-like vectors whose gate affinity follows a Zipf law: token
+/// class k prefers expert (k mod experts) with strength `skew`. Used to
+/// stress MoE load balancing exactly where the paper's corpus did.
+class SkewedTokenGenerator {
+ public:
+  SkewedTokenGenerator(std::int64_t d_model, int experts, double zipf_s,
+                       std::uint64_t seed);
+
+  /// Returns n token vectors [n, d_model] (as a flat row-major vector).
+  std::vector<float> next_tokens(std::int64_t n);
+
+  /// Expert class of the i-th token of the last call.
+  [[nodiscard]] const std::vector<int>& last_classes() const {
+    return classes_;
+  }
+
+ private:
+  std::int64_t d_model_;
+  int experts_;
+  ZipfSampler zipf_;
+  Rng rng_;
+  std::vector<std::vector<float>> class_centers_;
+  std::vector<int> classes_;
+};
+
+}  // namespace bgl::train

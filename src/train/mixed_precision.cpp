@@ -1,0 +1,88 @@
+#include "train/mixed_precision.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace bgl::train {
+
+LossScaler::LossScaler(double initial, double growth_factor,
+                       double backoff_factor, int growth_interval,
+                       double min_scale)
+    : scale_(initial),
+      growth_factor_(growth_factor),
+      backoff_factor_(backoff_factor),
+      growth_interval_(growth_interval),
+      min_scale_(min_scale) {
+  BGL_CHECK(initial >= min_scale && min_scale > 0.0);
+  BGL_CHECK(growth_factor > 1.0 && backoff_factor > 0.0 && backoff_factor < 1.0);
+  BGL_CHECK(growth_interval > 0);
+}
+
+bool LossScaler::unscale_and_check(std::span<nn::Parameter* const> params) {
+  bool finite = true;
+  for (const nn::Parameter* p : params) {
+    if (ops::has_nonfinite(p->grad)) {
+      finite = false;
+      break;
+    }
+  }
+  if (!finite) {
+    for (nn::Parameter* p : params) ops::zero_(p->grad);
+    scale_ = std::max(scale_ * backoff_factor_, min_scale_);
+    streak_ = 0;
+    ++overflows_;
+    return false;
+  }
+  const float inv = static_cast<float>(1.0 / scale_);
+  for (nn::Parameter* p : params) ops::scale_(p->grad, inv);
+  ++good_steps_;
+  if (++streak_ >= growth_interval_) {
+    scale_ *= growth_factor_;
+    streak_ = 0;
+  }
+  return true;
+}
+
+void PrecisionEmulator::quantize_params(
+    std::span<nn::Parameter* const> params) {
+  BGL_ENSURE(!holding_, "quantize_params called twice without restore");
+  if (dtype_ == DType::kF32) return;
+  masters_.clear();
+  masters_.reserve(params.size());
+  for (nn::Parameter* p : params) {
+    masters_.push_back(p->value.clone());
+    ops::quantize_(p->value, dtype_);
+  }
+  holding_ = true;
+}
+
+void PrecisionEmulator::restore_params(
+    std::span<nn::Parameter* const> params) {
+  if (dtype_ == DType::kF32) return;
+  BGL_ENSURE(holding_, "restore_params without matching quantize_params");
+  BGL_CHECK(masters_.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(masters_[i]);
+  }
+  masters_.clear();
+  holding_ = false;
+}
+
+void PrecisionEmulator::quantize_grads(
+    std::span<nn::Parameter* const> params) const {
+  if (dtype_ == DType::kF32) return;
+  for (nn::Parameter* p : params) ops::quantize_(p->grad, dtype_);
+}
+
+double PrecisionRecipe::bytes_per_param(int dp_size) const {
+  BGL_CHECK(dp_size >= 1);
+  double bytes = static_cast<double>(dtype_size(compute));
+  if (master_weights && compute != DType::kF32) bytes += 4.0;
+  double opt = 0.0;
+  if (adam_moments) opt += 8.0;  // m + v in FP32
+  if (shard_optimizer) opt /= static_cast<double>(dp_size);
+  return bytes + opt;
+}
+
+}  // namespace bgl::train

@@ -1,0 +1,94 @@
+// Mixed-precision training machinery.
+//
+// BaGuaLu runs forward/backward in 16-bit (FP16 or BF16) with FP32 master
+// weights and, for FP16, dynamic loss scaling. We reproduce the numerics in
+// software: PrecisionEmulator round-trips parameter values through the
+// compute dtype for the duration of forward/backward (so every matmul sees
+// quantized weights) while the optimizer always updates the FP32 masters;
+// LossScaler implements the standard dynamic scale (grow on a streak of
+// finite steps, halve on overflow, skip the update that overflowed).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/dtype.hpp"
+
+namespace bgl::train {
+
+/// Dynamic loss scaler (GradScaler-style).
+class LossScaler {
+ public:
+  /// `initial` is the starting scale; growth doubles it after
+  /// `growth_interval` consecutive finite steps; overflow halves it.
+  explicit LossScaler(double initial = 65536.0, double growth_factor = 2.0,
+                      double backoff_factor = 0.5, int growth_interval = 200,
+                      double min_scale = 1.0);
+
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Checks gradients for inf/NaN. If finite: unscales them (divides by the
+  /// current scale), registers a good step, and returns true. If not:
+  /// zeroes the gradients, backs the scale off, and returns false — the
+  /// caller must skip the optimizer step.
+  bool unscale_and_check(std::span<nn::Parameter* const> params);
+
+  [[nodiscard]] std::int64_t overflow_count() const { return overflows_; }
+  [[nodiscard]] std::int64_t good_steps() const { return good_steps_; }
+
+ private:
+  double scale_;
+  double growth_factor_;
+  double backoff_factor_;
+  int growth_interval_;
+  double min_scale_;
+  int streak_ = 0;
+  std::int64_t overflows_ = 0;
+  std::int64_t good_steps_ = 0;
+};
+
+/// Emulates low-precision compute on an FP32 layer stack.
+///
+/// Usage per step:
+///   emulator.quantize_params(params);   // params now hold dtype-rounded values
+///   ... forward / backward (kernels see quantized weights; caller quantizes
+///       activations where it wants full fidelity) ...
+///   emulator.restore_params(params);    // masters restored for the optimizer
+class PrecisionEmulator {
+ public:
+  explicit PrecisionEmulator(DType compute_dtype)
+      : dtype_(compute_dtype) {}
+
+  [[nodiscard]] DType dtype() const { return dtype_; }
+
+  /// Snapshots masters and rounds parameter values through the compute dtype.
+  /// No-op for kF32.
+  void quantize_params(std::span<nn::Parameter* const> params);
+
+  /// Restores the FP32 master values saved by quantize_params.
+  void restore_params(std::span<nn::Parameter* const> params);
+
+  /// Rounds gradients through the compute dtype (the backward pass produced
+  /// them with quantized inputs; this models their 16-bit storage).
+  void quantize_grads(std::span<nn::Parameter* const> params) const;
+
+ private:
+  DType dtype_;
+  std::vector<Tensor> masters_;
+  bool holding_ = false;
+};
+
+/// Bytes of optimizer + parameter state per parameter for a given recipe —
+/// used by the memory-footprint experiment (E9).
+struct PrecisionRecipe {
+  DType compute = DType::kF32;
+  bool master_weights = false;   // extra FP32 copy alongside 16-bit weights
+  bool adam_moments = true;      // m and v, FP32
+  bool shard_optimizer = false;  // ZeRO-style: moments divided by dp_size
+
+  /// Bytes per parameter on one rank (dp_size matters only when sharding).
+  [[nodiscard]] double bytes_per_param(int dp_size = 1) const;
+};
+
+}  // namespace bgl::train

@@ -1,0 +1,148 @@
+#include "train/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgl::train {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  BGL_CHECK(lr > 0.0);
+  BGL_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void Sgd::step(std::span<nn::Parameter* const> params) {
+  for (nn::Parameter* p : params) {
+    auto w = p->value.f32();
+    auto g = p->grad.f32();
+    if (momentum_ > 0.0) {
+      auto [it, inserted] = velocity_.try_emplace(p);
+      if (inserted) it->second = Tensor::zeros(p->value.shape());
+      auto v = it->second.f32();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        v[i] = static_cast<float>(momentum_) * v[i] + g[i];
+        w[i] -= static_cast<float>(lr_) *
+                (v[i] + static_cast<float>(weight_decay_) * w[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] -= static_cast<float>(lr_) *
+                (g[i] + static_cast<float>(weight_decay_) * w[i]);
+      }
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : Optimizer(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  BGL_CHECK(lr > 0.0);
+  BGL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  BGL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  BGL_CHECK(eps > 0.0);
+}
+
+void Adam::step(std::span<nn::Parameter* const> params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (nn::Parameter* p : params) {
+    auto [it, inserted] = state_.try_emplace(p);
+    if (inserted) {
+      it->second.m = Tensor::zeros(p->value.shape());
+      it->second.v = Tensor::zeros(p->value.shape());
+    }
+    auto w = p->value.f32();
+    auto g = p->grad.f32();
+    auto m = it->second.m.f32();
+    auto v = it->second.v.f32();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g[i]);
+      v[i] = static_cast<float>(beta2_ * v[i] +
+                                (1.0 - beta2_) * double(g[i]) * g[i]);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= static_cast<float>(
+          lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[i]));
+    }
+  }
+}
+
+Lamb::Lamb(double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : Optimizer(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  BGL_CHECK(lr > 0.0);
+  BGL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  BGL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  BGL_CHECK(eps > 0.0);
+}
+
+void Lamb::step(std::span<nn::Parameter* const> params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (nn::Parameter* p : params) {
+    auto [it, inserted] = state_.try_emplace(p);
+    if (inserted) {
+      it->second.m = Tensor::zeros(p->value.shape());
+      it->second.v = Tensor::zeros(p->value.shape());
+    }
+    auto w = p->value.f32();
+    auto g = p->grad.f32();
+    auto m = it->second.m.f32();
+    auto v = it->second.v.f32();
+    // Adam-style update direction with decoupled weight decay.
+    std::vector<float> update(w.size());
+    double w_norm_sq = 0.0, u_norm_sq = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g[i]);
+      v[i] = static_cast<float>(beta2_ * v[i] +
+                                (1.0 - beta2_) * double(g[i]) * g[i]);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      update[i] = static_cast<float>(mhat / (std::sqrt(vhat) + eps_) +
+                                     weight_decay_ * w[i]);
+      w_norm_sq += double(w[i]) * w[i];
+      u_norm_sq += double(update[i]) * update[i];
+    }
+    // Per-layer trust ratio: ||w|| / ||update||, clamped to [0, 10].
+    const double w_norm = std::sqrt(w_norm_sq);
+    const double u_norm = std::sqrt(u_norm_sq);
+    double ratio = 1.0;
+    if (w_norm > 0.0 && u_norm > 0.0) {
+      ratio = std::min(w_norm / u_norm, 10.0);
+    }
+    it->second.trust_ratio = ratio;
+    const float scale = static_cast<float>(lr_ * ratio);
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= scale * update[i];
+  }
+}
+
+double Lamb::last_trust_ratio(const nn::Parameter* p) const {
+  const auto it = state_.find(p);
+  return it == state_.end() ? 0.0 : it->second.trust_ratio;
+}
+
+double clip_grad_norm(std::span<nn::Parameter* const> params,
+                      double max_norm) {
+  BGL_CHECK(max_norm > 0.0);
+  double sq = 0.0;
+  for (const nn::Parameter* p : params)
+    for (const float g : p->grad.f32()) sq += double(g) * g;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (nn::Parameter* p : params) ops::scale_(p->grad, scale);
+  }
+  return norm;
+}
+
+}  // namespace bgl::train

@@ -1,0 +1,91 @@
+// Optimizers over nn::Parameter lists. State (momentum, Adam moments) is
+// kept per parameter pointer, FP32 throughout — these are the "master"
+// quantities of mixed-precision training.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace bgl::train {
+
+/// Base optimizer interface.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each parameter's current .grad.
+  virtual void step(std::span<nn::Parameter* const> params) = 0;
+
+  /// Current learning rate (mutable for schedules).
+  [[nodiscard]] double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0);
+  void step(std::span<nn::Parameter* const> params) override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::unordered_map<const nn::Parameter*, Tensor> velocity_;
+};
+
+/// Adam with bias correction and decoupled (AdamW-style) weight decay.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+  void step(std::span<nn::Parameter* const> params) override;
+
+  [[nodiscard]] std::int64_t steps() const { return t_; }
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::unordered_map<const nn::Parameter*, State> state_;
+};
+
+/// LAMB (You et al.): Adam preconditioning with per-layer trust-ratio
+/// scaling, the optimizer of record for very large batch pretraining —
+/// the regime brain-scale training on 37M cores lives in, where the global
+/// batch reaches millions of tokens.
+class Lamb : public Optimizer {
+ public:
+  explicit Lamb(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-6, double weight_decay = 0.01);
+  void step(std::span<nn::Parameter* const> params) override;
+
+  /// Trust ratio applied to the named parameter in the last step (for
+  /// diagnostics; 0 if unseen).
+  [[nodiscard]] double last_trust_ratio(const nn::Parameter* p) const;
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+    double trust_ratio = 0.0;
+  };
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::unordered_map<const nn::Parameter*, State> state_;
+};
+
+/// Clips the global L2 norm of all gradients to `max_norm`; returns the norm
+/// before clipping.
+double clip_grad_norm(std::span<nn::Parameter* const> params, double max_norm);
+
+}  // namespace bgl::train

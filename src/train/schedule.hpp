@@ -1,0 +1,45 @@
+// Learning-rate schedules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace bgl::train {
+
+/// Linear warmup to `peak` over `warmup_steps`, then cosine decay to
+/// `final_lr` at `total_steps` (standard large-model pretraining schedule).
+class WarmupCosineSchedule {
+ public:
+  WarmupCosineSchedule(double peak, std::int64_t warmup_steps,
+                       std::int64_t total_steps, double final_lr = 0.0)
+      : peak_(peak),
+        warmup_(warmup_steps),
+        total_(total_steps),
+        final_(final_lr) {
+    BGL_CHECK(peak > 0.0 && final_lr >= 0.0);
+    BGL_CHECK(warmup_steps >= 0 && total_steps > warmup_steps);
+  }
+
+  /// LR at (0-indexed) step.
+  [[nodiscard]] double at(std::int64_t step) const {
+    if (warmup_ > 0 && step < warmup_) {
+      return peak_ * static_cast<double>(step + 1) /
+             static_cast<double>(warmup_);
+    }
+    const double progress =
+        static_cast<double>(std::min(step, total_) - warmup_) /
+        static_cast<double>(total_ - warmup_);
+    const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979323846 * progress));
+    return final_ + (peak_ - final_) * cosine;
+  }
+
+ private:
+  double peak_;
+  std::int64_t warmup_;
+  std::int64_t total_;
+  double final_;
+};
+
+}  // namespace bgl::train

@@ -1,0 +1,373 @@
+// Correctness tests for every collective algorithm across rank counts and
+// payload sizes, plus cost-model sanity (monotonicity, hierarchical
+// advantage at scale).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "collectives/coll.hpp"
+#include "collectives/coll_cost.hpp"
+#include "core/rng.hpp"
+#include "runtime/comm.hpp"
+#include "topology/machine.hpp"
+
+namespace bgl::coll {
+namespace {
+
+using rt::Communicator;
+using rt::World;
+
+TEST(Broadcast, AllRanksReceiveRootData) {
+  for (const int p : {1, 2, 3, 5, 8}) {
+    for (const int root : {0, p - 1}) {
+      World::run(p, [&](Communicator& comm) {
+        std::vector<std::int64_t> data;
+        if (comm.rank() == root) data = {10, 20, 30};
+        broadcast(comm, data, root);
+        ASSERT_EQ(data.size(), 3u) << "p=" << p << " root=" << root;
+        EXPECT_EQ(data[1], 20);
+      });
+    }
+  }
+}
+
+TEST(Gather, ConcatenatesInRankOrder) {
+  World::run(4, [](Communicator& comm) {
+    // Rank r contributes r+1 copies of its id: variable lengths.
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                          comm.rank());
+    const std::vector<int> all = gather<int>(comm, mine, /*root=*/2);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(all.size(), 1u + 2 + 3 + 4);
+      EXPECT_EQ(all[0], 0);
+      EXPECT_EQ(all[1], 1);
+      EXPECT_EQ(all[2], 1);
+      EXPECT_EQ(all.back(), 3);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+class RankCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankCountTest, AllgatherCollectsAllBlocks) {
+  const int p = GetParam();
+  World::run(p, [&](Communicator& comm) {
+    const std::vector<int> mine{comm.rank() * 10, comm.rank() * 10 + 1};
+    const std::vector<int> all = allgather<int>(comm, mine);
+    ASSERT_EQ(all.size(), 2u * static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[2 * r], r * 10);
+      EXPECT_EQ(all[2 * r + 1], r * 10 + 1);
+    }
+  });
+}
+
+TEST_P(RankCountTest, ReduceScatterSumsBlocks) {
+  const int p = GetParam();
+  World::run(p, [&](Communicator& comm) {
+    // input block b on rank r = r + b*100; reduced block b = Σ_r (r + b*100).
+    const std::size_t block = 3;
+    std::vector<double> input(block * static_cast<std::size_t>(p));
+    for (int b = 0; b < p; ++b)
+      for (std::size_t i = 0; i < block; ++i)
+        input[static_cast<std::size_t>(b) * block + i] =
+            comm.rank() + b * 100 + static_cast<int>(i);
+    const std::vector<double> mine =
+        reduce_scatter_sum<double>(comm, input, block);
+    ASSERT_EQ(mine.size(), block);
+    double rank_sum = 0;
+    for (int r = 0; r < p; ++r) rank_sum += r;
+    for (std::size_t i = 0; i < block; ++i) {
+      EXPECT_DOUBLE_EQ(mine[i],
+                       rank_sum + p * (comm.rank() * 100.0 + static_cast<double>(i)));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankCountTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 13, 16));
+
+struct AllreduceCase {
+  int ranks;
+  std::size_t elems;
+  AllreduceAlgo algo;
+};
+
+class AllreduceTest : public ::testing::TestWithParam<AllreduceCase> {};
+
+TEST_P(AllreduceTest, SumsAcrossRanks) {
+  const auto [p, n, algo] = GetParam();
+  World::run(p, [&](Communicator& comm) {
+    std::vector<float> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = static_cast<float>(comm.rank() + 1) * static_cast<float>(i % 7);
+    allreduce_sum<float>(comm, data, algo);
+    float rank_factor = 0;
+    for (int r = 0; r < p; ++r) rank_factor += static_cast<float>(r + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FLOAT_EQ(data[i], rank_factor * static_cast<float>(i % 7))
+          << "i=" << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllreduceTest,
+    ::testing::Values(AllreduceCase{1, 5, AllreduceAlgo::kRing},
+                      AllreduceCase{2, 16, AllreduceAlgo::kRing},
+                      AllreduceCase{3, 7, AllreduceAlgo::kRing},
+                      AllreduceCase{5, 1, AllreduceAlgo::kRing},
+                      AllreduceCase{8, 1000, AllreduceAlgo::kRing},
+                      AllreduceCase{2, 9, AllreduceAlgo::kRecursiveDoubling},
+                      AllreduceCase{4, 64, AllreduceAlgo::kRecursiveDoubling},
+                      AllreduceCase{8, 31, AllreduceAlgo::kRecursiveDoubling},
+                      // non-power-of-two falls back to ring
+                      AllreduceCase{6, 10, AllreduceAlgo::kRecursiveDoubling}));
+
+struct A2aCase {
+  int ranks;
+  std::size_t chunk;
+  AlltoallAlgo algo;
+  int group;
+};
+
+class AlltoallTest : public ::testing::TestWithParam<A2aCase> {};
+
+TEST_P(AlltoallTest, PermutesChunksCorrectly) {
+  const auto [p, chunk, algo, group] = GetParam();
+  World::run(p, [&](Communicator& comm) {
+    // Element e of the chunk from src to dst encodes (src, dst, e).
+    std::vector<std::int64_t> send(chunk * static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst)
+      for (std::size_t e = 0; e < chunk; ++e)
+        send[static_cast<std::size_t>(dst) * chunk + e] =
+            comm.rank() * 1000000 + dst * 1000 + static_cast<std::int64_t>(e);
+    const std::vector<std::int64_t> got =
+        alltoall<std::int64_t>(comm, send, chunk, algo, group);
+    ASSERT_EQ(got.size(), send.size());
+    for (int src = 0; src < p; ++src)
+      for (std::size_t e = 0; e < chunk; ++e)
+        EXPECT_EQ(got[static_cast<std::size_t>(src) * chunk + e],
+                  src * 1000000 + comm.rank() * 1000 +
+                      static_cast<std::int64_t>(e))
+            << "src=" << src << " e=" << e;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AlltoallTest,
+    ::testing::Values(
+        A2aCase{1, 4, AlltoallAlgo::kPairwise, 1},
+        A2aCase{2, 1, AlltoallAlgo::kPairwise, 1},
+        A2aCase{5, 3, AlltoallAlgo::kPairwise, 1},
+        A2aCase{8, 16, AlltoallAlgo::kPairwise, 1},
+        A2aCase{2, 2, AlltoallAlgo::kBruck, 1},
+        A2aCase{3, 5, AlltoallAlgo::kBruck, 1},
+        A2aCase{7, 2, AlltoallAlgo::kBruck, 1},
+        A2aCase{8, 8, AlltoallAlgo::kBruck, 1},
+        A2aCase{16, 1, AlltoallAlgo::kBruck, 1},
+        A2aCase{4, 3, AlltoallAlgo::kHierarchical, 2},
+        A2aCase{8, 2, AlltoallAlgo::kHierarchical, 2},
+        A2aCase{8, 5, AlltoallAlgo::kHierarchical, 4},
+        A2aCase{12, 1, AlltoallAlgo::kHierarchical, 3},
+        A2aCase{16, 4, AlltoallAlgo::kHierarchical, 4},
+        A2aCase{9, 2, AlltoallAlgo::kHierarchical, 3},
+        // group == P degenerates to a single local phase
+        A2aCase{6, 2, AlltoallAlgo::kHierarchical, 6},
+        // group == 1 degenerates to pure inter-group exchange
+        A2aCase{6, 2, AlltoallAlgo::kHierarchical, 1}));
+
+TEST(Alltoall, HierarchicalRejectsNonDividingGroup) {
+  World::run(4, [](Communicator& comm) {
+    const std::vector<int> send(8, 0);
+    EXPECT_THROW(
+        alltoall<int>(comm, send, 2, AlltoallAlgo::kHierarchical, 3),
+        Error);
+  });
+}
+
+TEST(Alltoallv, VariableSizesRouteCorrectly) {
+  World::run(4, [](Communicator& comm) {
+    const int me = comm.rank();
+    // Rank r sends (r + dst) ints of value r*10+dst to dst.
+    std::vector<std::vector<int>> send(4);
+    for (int dst = 0; dst < 4; ++dst)
+      send[static_cast<std::size_t>(dst)].assign(
+          static_cast<std::size_t>(me + dst), me * 10 + dst);
+    const auto got = alltoallv<int>(comm, send);
+    ASSERT_EQ(got.size(), 4u);
+    for (int src = 0; src < 4; ++src) {
+      EXPECT_EQ(got[static_cast<std::size_t>(src)].size(),
+                static_cast<std::size_t>(src + me));
+      for (const int v : got[static_cast<std::size_t>(src)])
+        EXPECT_EQ(v, src * 10 + me);
+    }
+  });
+}
+
+struct VCase {
+  int ranks;
+  int group;
+};
+
+class AlltoallvAlgoTest : public ::testing::TestWithParam<VCase> {};
+
+TEST_P(AlltoallvAlgoTest, HierarchicalMatchesPairwise) {
+  const auto [p, group] = GetParam();
+  World::run(p, [&](Communicator& comm) {
+    // Variable sizes incl. zero: rank r sends (r*dst) % 5 ints to dst.
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 77);
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst) {
+      const std::size_t n =
+          static_cast<std::size_t>((comm.rank() * 3 + dst * 7) % 5);
+      for (std::size_t i = 0; i < n; ++i)
+        send[static_cast<std::size_t>(dst)].push_back(
+            comm.rank() * 1000 + dst * 10 + static_cast<int>(i));
+    }
+    const auto ref = alltoallv<int>(comm, send, AlltoallvAlgo::kPairwise);
+    const auto hier =
+        alltoallv<int>(comm, send, AlltoallvAlgo::kHierarchical, group);
+    ASSERT_EQ(ref.size(), hier.size());
+    for (std::size_t src = 0; src < ref.size(); ++src)
+      EXPECT_EQ(ref[src], hier[src]) << "src " << src;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AlltoallvAlgoTest,
+                         ::testing::Values(VCase{1, 1}, VCase{4, 2},
+                                           VCase{6, 3}, VCase{8, 4},
+                                           VCase{8, 2}, VCase{9, 3},
+                                           VCase{8, 8}, VCase{8, 1},
+                                           VCase{12, 4}));
+
+TEST(Alltoallv, HierarchicalRejectsBadGroup) {
+  World::run(4, [](Communicator& comm) {
+    std::vector<std::vector<int>> send(4);
+    EXPECT_THROW(
+        alltoallv<int>(comm, send, AlltoallvAlgo::kHierarchical, 3), Error);
+  });
+}
+
+TEST(Alltoallv, EmptyBuffersAllowed) {
+  World::run(3, [](Communicator& comm) {
+    std::vector<std::vector<int>> send(3);  // all empty
+    const auto got = alltoallv<int>(comm, send);
+    for (const auto& v : got) EXPECT_TRUE(v.empty());
+  });
+}
+
+TEST(Broadcast, EmptyPayloadPropagates) {
+  World::run(4, [](Communicator& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 0) data = {};
+    broadcast(comm, data, 0);
+    EXPECT_TRUE(data.empty());
+  });
+}
+
+TEST(AllreduceMax, ElementwiseMaximum) {
+  World::run(5, [](Communicator& comm) {
+    // Element i is maximized by rank (i % 5).
+    std::vector<float> data(10);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = (static_cast<int>(i) % 5 == comm.rank()) ? 100.0f + i
+                                                         : static_cast<float>(i);
+    }
+    allreduce_max<float>(comm, data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      EXPECT_EQ(data[i], 100.0f + i);
+  });
+}
+
+TEST(AllreduceMax, NegativeValuesAndSingleRank) {
+  World::run(1, [](Communicator& comm) {
+    std::vector<float> data{-5.0f, -1.0f};
+    allreduce_max<float>(comm, data);
+    EXPECT_EQ(data[0], -5.0f);
+  });
+  World::run(3, [](Communicator& comm) {
+    std::vector<float> data{-10.0f - comm.rank()};
+    allreduce_max<float>(comm, data);
+    EXPECT_EQ(data[0], -10.0f);  // max of {-10,-11,-12}
+  });
+}
+
+TEST(AlgoNames, AreStable) {
+  EXPECT_STREQ(allreduce_algo_name(AllreduceAlgo::kRing), "ring");
+  EXPECT_STREQ(alltoall_algo_name(AlltoallAlgo::kHierarchical),
+               "hierarchical");
+}
+
+/// --- cost models -----------------------------------------------------------
+
+TEST(CostModel, AlltoallCostGrowsWithRanksAndBytes) {
+  const auto spec = topo::MachineSpec::sunway_new_generation();
+  const double c1 =
+      alltoall_cost(spec, 1024, 4096, AlltoallAlgo::kPairwise);
+  const double c2 =
+      alltoall_cost(spec, 2048, 4096, AlltoallAlgo::kPairwise);
+  const double c3 =
+      alltoall_cost(spec, 1024, 8192, AlltoallAlgo::kPairwise);
+  EXPECT_GT(c2, c1);
+  EXPECT_GT(c3, c1);
+  EXPECT_GT(c1, 0.0);
+}
+
+TEST(CostModel, HierarchicalBeatsPairwiseAtScaleSmallMessages) {
+  // The BaGuaLu observation: at large scale with latency-dominated chunk
+  // sizes, supernode aggregation wins by reducing message count per rank.
+  const auto spec = topo::MachineSpec::sunway_new_generation();
+  const std::int64_t ranks = spec.ranks_per_supernode() * 64;  // 64 supernodes
+  const double bytes = 256.0;  // small per-pair payload
+  const double pairwise =
+      alltoall_cost(spec, ranks, bytes, AlltoallAlgo::kPairwise);
+  const double hier = alltoall_cost(spec, ranks, bytes,
+                                    AlltoallAlgo::kHierarchical,
+                                    spec.ranks_per_supernode());
+  EXPECT_LT(hier, pairwise);
+  EXPECT_LT(hier, pairwise / 4) << "expected a multi-x win at this scale";
+}
+
+TEST(CostModel, MessageCountsPerRank) {
+  EXPECT_EQ(alltoall_messages_per_rank(1024, AlltoallAlgo::kPairwise), 1023);
+  EXPECT_EQ(alltoall_messages_per_rank(1024, AlltoallAlgo::kBruck), 10);
+  EXPECT_EQ(alltoall_messages_per_rank(1024, AlltoallAlgo::kHierarchical, 64),
+            63 + 15);
+}
+
+TEST(CostModel, AllreduceRingScalesWithBytes) {
+  const auto spec = topo::MachineSpec::sunway_new_generation();
+  const double small =
+      allreduce_cost(spec, 4096, 1e6, AllreduceAlgo::kRing);
+  const double big = allreduce_cost(spec, 4096, 1e8, AllreduceAlgo::kRing);
+  EXPECT_GT(big, small);
+}
+
+TEST(CostModel, HierarchicalAllreduceBeatsFlatRingAtScale) {
+  const auto spec = topo::MachineSpec::sunway_new_generation();
+  const std::int64_t ranks = 6LL * 96000;  // full machine
+  const double bytes = 64e6;               // 64 MB gradient bucket
+  const double ring = allreduce_cost(spec, ranks, bytes, AllreduceAlgo::kRing);
+  const double hier =
+      hierarchical_allreduce_cost(spec, ranks, bytes, spec.ranks_per_supernode());
+  EXPECT_LT(hier, ring);
+}
+
+TEST(CostModel, ZeroAtOneRank) {
+  const auto spec = topo::MachineSpec::test_cluster();
+  EXPECT_EQ(alltoall_cost(spec, 1, 100, AlltoallAlgo::kPairwise), 0.0);
+  EXPECT_EQ(allreduce_cost(spec, 1, 100, AllreduceAlgo::kRing), 0.0);
+}
+
+TEST(CostModel, RejectsMoreRanksThanMachine) {
+  const auto spec = topo::MachineSpec::test_cluster(2, 2, 2);  // 4 processes
+  EXPECT_THROW(alltoall_cost(spec, 8, 100, AlltoallAlgo::kPairwise), Error);
+}
+
+}  // namespace
+}  // namespace bgl::coll

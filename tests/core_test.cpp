@@ -1,0 +1,235 @@
+// Unit tests for bgl_core: error macros, RNG determinism and distributions,
+// zipf sampling, statistics, units formatting, math helpers, text tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/stopwatch.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+namespace bgl {
+namespace {
+
+TEST(Error, CheckThrowsWithContext) {
+  EXPECT_NO_THROW(BGL_CHECK(1 + 1 == 2));
+  try {
+    BGL_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("BGL_CHECK"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("core_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsureIncludesMessage) {
+  try {
+    const int x = 7;
+    BGL_ENSURE(x == 8, "x=" << x);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("x=7"), std::string::npos);
+  }
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(BGL_FAIL("boom"), Error);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng root(7);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  Rng a2 = Rng(7).fork(1);
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_index(n), n);
+  }
+}
+
+TEST(Rng, UniformIndexRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / 8, draws / 8 * 0.1);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfSampler zipf(4, 0.0);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(zipf.pmf(k), 0.25, 1e-12);
+}
+
+TEST(Zipf, SkewOrdersProbabilities) {
+  ZipfSampler zipf(8, 1.2);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_LT(zipf.pmf(k), zipf.pmf(k - 1));
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(5, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(5, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, zipf.pmf(k), 0.01);
+  }
+}
+
+TEST(Zipf, RejectsEmptyAndNegative) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), Error);
+  EXPECT_THROW(ZipfSampler(4, -0.5), Error);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 4.0 / 2.5);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), Error);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, 101), Error);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2 KiB");
+  EXPECT_EQ(format_bytes(1.5 * kMiB), "1.5 MiB");
+}
+
+TEST(Units, FormatFlops) {
+  EXPECT_EQ(format_flops(1.002e18), "1 EFLOPS");
+  EXPECT_EQ(format_flops(2.5e12), "2.5 TFLOPS");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(0.5), "500 ms");
+  EXPECT_EQ(format_duration(2.0), "2 s");
+  EXPECT_EQ(format_duration(3e-6), "3 us");
+}
+
+TEST(Units, FormatCount) {
+  EXPECT_EQ(format_count(1.93e12), "1.93T");
+  EXPECT_EQ(format_count(2.6e9), "2.6B");
+}
+
+TEST(MathUtil, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(8, 4), 8);
+}
+
+TEST(MathUtil, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(floor_pow2(100), 64u);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink += i;
+  EXPECT_GE(sw.elapsed(), 0.0);
+  const double lap = sw.lap();
+  EXPECT_GE(lap, 0.0);
+  EXPECT_LE(sw.elapsed(), lap + 1.0);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, StrfFormats) {
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("%d/%d", 3, 4), "3/4");
+}
+
+}  // namespace
+}  // namespace bgl

@@ -1,0 +1,222 @@
+// Tests for model configs (including the paper's brain-scale parameter
+// counts — experiment E1's arithmetic), the runnable MoE transformer, the
+// trainer (loss must actually fall), and memory footprints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "model/config.hpp"
+#include "model/trainer.hpp"
+#include "model/transformer.hpp"
+#include "nn/loss.hpp"
+#include "topology/machine.hpp"
+
+namespace bgl::model {
+namespace {
+
+TEST(Config, TinyValidates) {
+  const MoEModelConfig config = MoEModelConfig::tiny();
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_GT(config.total_params(), 0);
+  EXPECT_LT(config.active_params_per_token(), config.total_params());
+}
+
+TEST(Config, BrainScaleParameterCounts) {
+  // The paper's three model sizes. We require the reconstruction to land
+  // within 2% of the reported totals.
+  const double t1 =
+      static_cast<double>(MoEModelConfig::brain_scale_1_93t().total_params());
+  EXPECT_NEAR(t1 / 1.93e12, 1.0, 0.02) << "got " << t1;
+  const double t2 =
+      static_cast<double>(MoEModelConfig::brain_scale_14_5t().total_params());
+  EXPECT_NEAR(t2 / 14.5e12, 1.0, 0.02) << "got " << t2;
+  const double t3 =
+      static_cast<double>(MoEModelConfig::brain_scale_174t().total_params());
+  EXPECT_NEAR(t3 / 174e12, 1.0, 0.02) << "got " << t3;
+}
+
+TEST(Config, BrainScaleActiveParamsAreSparse) {
+  // MoE's point: active (per-token) parameters are a tiny fraction of total.
+  const MoEModelConfig config = MoEModelConfig::brain_scale_174t();
+  const double ratio =
+      static_cast<double>(config.active_params_per_token()) /
+      static_cast<double>(config.total_params());
+  EXPECT_LT(ratio, 0.001);
+}
+
+TEST(Config, ParamArithmeticMatchesBuiltModel) {
+  // The closed-form count must equal the instantiated model exactly.
+  const MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(1);
+  MoETransformerLM lm(config, rng);
+  EXPECT_EQ(lm.num_params(), config.total_params());
+}
+
+TEST(Config, FlopsPerTokenPositiveAndOrdered) {
+  const MoEModelConfig tiny = MoEModelConfig::tiny();
+  EXPECT_GT(tiny.flops_per_token_forward(), 0.0);
+  EXPECT_DOUBLE_EQ(tiny.flops_per_token_train(),
+                   3.0 * tiny.flops_per_token_forward());
+  // Bigger model, more flops.
+  EXPECT_GT(MoEModelConfig::brain_scale_1_93t().flops_per_token_forward(),
+            tiny.flops_per_token_forward());
+}
+
+TEST(Config, ValidationCatchesBadShapes) {
+  MoEModelConfig config = MoEModelConfig::tiny();
+  config.n_heads = 5;  // 32 % 5 != 0
+  EXPECT_THROW(config.validate(), Error);
+  config = MoEModelConfig::tiny();
+  config.vocab = 1;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(Footprint, ShardingReducesPerRankMemory) {
+  const MoEModelConfig config = MoEModelConfig::brain_scale_1_93t();
+  train::PrecisionRecipe recipe{DType::kF16, true, true, false};
+  const MemoryFootprint one = per_rank_footprint(config, 1, 1, recipe, 0);
+  const MemoryFootprint sharded =
+      per_rank_footprint(config, 1024, 1, recipe, 0);
+  EXPECT_LT(sharded.total(), one.total() / 100);
+}
+
+TEST(Footprint, BrainScaleFitsSunwayOnlySharded) {
+  // The point of the machine: 1.93T params cannot fit one node, but fit
+  // when experts shard across the EP dimension.
+  const MoEModelConfig config = MoEModelConfig::brain_scale_1_93t();
+  const auto machine = topo::MachineSpec::sunway_new_generation();
+  train::PrecisionRecipe recipe{DType::kF16, true, true, false};
+  const double node_mem = machine.node_memory_bytes;
+  const MemoryFootprint unsharded = per_rank_footprint(config, 1, 1, recipe, 0);
+  EXPECT_GT(unsharded.total(), node_mem);
+  // Full-machine EP: 96000*6 ranks.
+  const MemoryFootprint full =
+      per_rank_footprint(config, 96000 * 6, 1, recipe, 1024);
+  EXPECT_LT(full.total() * machine.processes_per_node, node_mem);
+}
+
+TEST(Footprint, OptimizerShardingHelps) {
+  const MoEModelConfig config = MoEModelConfig::tiny();
+  train::PrecisionRecipe plain{DType::kF16, true, true, false};
+  train::PrecisionRecipe zero{DType::kF16, true, true, true};
+  const double a = per_rank_footprint(config, 1, 8, plain, 0).total();
+  const double b = per_rank_footprint(config, 1, 8, zero, 0).total();
+  EXPECT_LT(b, a);
+}
+
+TEST(Transformer, ForwardShapesAndDeterminism) {
+  const MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(2);
+  MoETransformerLM lm(config, rng);
+  lm.set_training(false);
+  std::vector<std::int32_t> tokens(static_cast<std::size_t>(2 * config.seq_len));
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    tokens[i] = static_cast<std::int32_t>(i % config.vocab);
+  const Tensor logits1 = lm.forward(tokens);
+  EXPECT_EQ(logits1.dim(0), 2 * config.seq_len);
+  EXPECT_EQ(logits1.dim(1), config.vocab);
+  const Tensor logits2 = lm.forward(tokens);
+  for (std::size_t i = 0; i < logits1.f32().size(); ++i)
+    EXPECT_EQ(logits1.f32()[i], logits2.f32()[i]);
+}
+
+TEST(Transformer, RejectsPartialSequence) {
+  Rng rng(3);
+  MoETransformerLM lm(MoEModelConfig::tiny(), rng);
+  std::vector<std::int32_t> tokens(3);  // not a multiple of seq_len=8
+  EXPECT_THROW(lm.forward(tokens), Error);
+}
+
+TEST(Transformer, BackwardFillsAllGradients) {
+  const MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(4);
+  MoETransformerLM lm(config, rng);
+  std::vector<std::int32_t> tokens(static_cast<std::size_t>(config.seq_len));
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    tokens[i] = static_cast<std::int32_t>((i * 7) % config.vocab);
+  lm.zero_grad();
+  const Tensor logits = lm.forward(tokens);
+  const auto loss = nn::softmax_cross_entropy(logits, tokens);
+  lm.backward(loss.dlogits);
+  // Most parameters should have received gradient signal (experts that saw
+  // no tokens legitimately have zero grads).
+  int nonzero = 0, total = 0;
+  for (nn::Parameter* p : lm.parameters()) {
+    ++total;
+    if (ops::abs_max(p->grad) > 0.0f) ++nonzero;
+  }
+  EXPECT_GT(nonzero, total / 2);
+}
+
+TEST(Transformer, AuxLossAggregatesAcrossLayers) {
+  const MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(5);
+  MoETransformerLM lm(config, rng);
+  std::vector<std::int32_t> tokens(static_cast<std::size_t>(config.seq_len), 1);
+  (void)lm.forward(tokens);
+  // Two MoE layers, each with aux >= 1 * weight.
+  EXPECT_GE(lm.aux_loss(), 2 * config.aux_loss_weight * 0.99);
+}
+
+TEST(Trainer, LossDecreasesOnLearnableStream) {
+  // The end-to-end sanity check: the full stack (embedding, attention, MoE
+  // routing, optimizer) must learn a synthetic Markov language.
+  MoEModelConfig config = MoEModelConfig::tiny();
+  config.aux_loss_weight = 1e-2;
+  Rng rng(6);
+  MoETransformerLM lm(config, rng);
+  train::Adam adam(3e-3);
+  Trainer trainer(lm, adam);
+  train::MarkovTokenStream stream(config.vocab, 0.05, 77);
+  const TrainReport report = trainer.train(stream, /*steps=*/30,
+                                           /*batch_size=*/4);
+  EXPECT_EQ(report.skipped_steps, 0);
+  EXPECT_LT(report.tail_mean(5), report.first_loss() * 0.7)
+      << "first=" << report.first_loss() << " tail=" << report.tail_mean(5);
+}
+
+TEST(Trainer, MixedPrecisionAlsoConverges) {
+  MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(7);
+  MoETransformerLM lm(config, rng);
+  train::Adam adam(3e-3);
+  TrainerOptions options;
+  options.compute_dtype = DType::kBF16;
+  Trainer trainer(lm, adam, options);
+  train::MarkovTokenStream stream(config.vocab, 0.05, 78);
+  const TrainReport report = trainer.train(stream, 30, 4);
+  EXPECT_LT(report.tail_mean(5), report.first_loss() * 0.75);
+}
+
+TEST(Trainer, F16UsesLossScalingAndSurvives) {
+  MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(8);
+  MoETransformerLM lm(config, rng);
+  train::Adam adam(1e-3);
+  TrainerOptions options;
+  options.compute_dtype = DType::kF16;
+  options.initial_loss_scale = 1024.0;
+  Trainer trainer(lm, adam, options);
+  train::MarkovTokenStream stream(config.vocab, 0.05, 79);
+  const TrainReport report = trainer.train(stream, 20, 2);
+  EXPECT_GT(trainer.scaler().good_steps(), 0);
+  EXPECT_LT(report.last_loss(), report.first_loss() * 1.1);
+}
+
+TEST(Trainer, EvaluateRunsInEvalMode) {
+  MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(9);
+  MoETransformerLM lm(config, rng);
+  train::Adam adam(1e-3);
+  Trainer trainer(lm, adam);
+  train::MarkovTokenStream stream(config.vocab, 0.0, 80);
+  const train::Batch batch = stream.next_batch(2, config.seq_len);
+  const double l1 = trainer.evaluate(batch);
+  const double l2 = trainer.evaluate(batch);
+  EXPECT_EQ(l1, l2);
+  EXPECT_GT(l1, 0.0);
+}
+
+}  // namespace
+}  // namespace bgl::model

@@ -1,0 +1,558 @@
+// Tests for MoE gating and the serial MoE layer: plan invariants across
+// configurations (property-style sweeps), capacity/dropping semantics,
+// balanced re-dispatch bounds, aux-loss behaviour, and gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "moe/gating.hpp"
+#include "moe/moe_layer.hpp"
+#include "moe/placement.hpp"
+#include "moe/two_level_gate.hpp"
+#include "tensor/ops.hpp"
+
+namespace bgl::moe {
+namespace {
+
+Tensor random_probs(std::int64_t n, std::int64_t experts, Rng& rng,
+                    double skew = 0.0) {
+  Tensor logits = Tensor::randn({n, experts}, rng);
+  if (skew > 0.0) {
+    // Bias a few experts to create hot spots.
+    auto pl = logits.f32();
+    for (std::int64_t t = 0; t < n; ++t)
+      pl[t * experts + (t % 2)] += static_cast<float>(skew);
+  }
+  return ops::row_softmax(logits);
+}
+
+struct PlanCase {
+  int n;
+  int experts;
+  int top_k;
+  double cf;
+  bool balanced;
+};
+
+class PlanPropertyTest : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanPropertyTest, InvariantsHold) {
+  const auto [n, experts, top_k, cf, balanced] = GetParam();
+  Rng rng(n * 31 + experts * 7 + top_k);
+  const Tensor probs = random_probs(n, experts, rng, 2.0);
+  GateConfig config;
+  config.num_experts = experts;
+  config.top_k = top_k;
+  config.capacity_factor = cf;
+  config.balanced_redispatch = balanced;
+  const DispatchPlan plan = build_dispatch_plan(probs, config);
+
+  // 1. Offsets are a monotone prefix covering all assignments.
+  ASSERT_EQ(plan.expert_offsets.size(), static_cast<std::size_t>(experts) + 1);
+  EXPECT_EQ(plan.expert_offsets.front(), 0);
+  EXPECT_EQ(plan.expert_offsets.back(),
+            static_cast<std::int32_t>(plan.assignments.size()));
+  for (int e = 0; e < experts; ++e)
+    EXPECT_LE(plan.expert_offsets[e], plan.expert_offsets[e + 1]);
+
+  // 2. No expert exceeds capacity.
+  for (const std::int64_t load : plan.actual_load())
+    EXPECT_LE(load, plan.capacity);
+
+  // 3. Conservation: assignments + dropped == N * k.
+  EXPECT_EQ(static_cast<std::int64_t>(plan.assignments.size()) + plan.dropped,
+            static_cast<std::int64_t>(n) * top_k);
+
+  // 4. Every token appears at most top_k times (redispatch included) and
+  //    assignment groups match their expert index.
+  std::vector<int> per_token(static_cast<std::size_t>(n), 0);
+  for (int e = 0; e < experts; ++e) {
+    for (const Assignment& a : plan.for_expert(e)) {
+      EXPECT_EQ(a.expert, e);
+      EXPECT_GE(a.token, 0);
+      EXPECT_LT(a.token, n);
+      EXPECT_GE(a.gate_weight, 0.0f);
+      EXPECT_LE(a.gate_weight, 1.0f + 1e-5f);
+      ++per_token[static_cast<std::size_t>(a.token)];
+    }
+  }
+  for (const int c : per_token) EXPECT_LE(c, top_k);
+
+  // 5. Demanded load sums to N * k.
+  std::int64_t demanded = 0;
+  for (const std::int64_t d : plan.demanded_load) demanded += d;
+  EXPECT_EQ(demanded, static_cast<std::int64_t>(n) * top_k);
+
+  // 6. Aux loss is at least 1 (its minimum under perfect balance).
+  EXPECT_GE(plan.aux_loss, 1.0 - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanPropertyTest,
+    ::testing::Values(PlanCase{16, 4, 1, 1.0, false},
+                      PlanCase{16, 4, 2, 1.25, false},
+                      PlanCase{64, 8, 2, 1.0, false},
+                      PlanCase{64, 8, 2, 0.5, false},
+                      PlanCase{64, 8, 1, 0.25, false},
+                      PlanCase{64, 8, 2, 0.5, true},
+                      PlanCase{128, 16, 2, 1.25, true},
+                      PlanCase{7, 3, 2, 2.0, false},
+                      PlanCase{1, 2, 1, 1.0, false},
+                      PlanCase{256, 32, 2, 1.0, true}));
+
+TEST(DispatchPlan, AmpleCapacityDropsNothing) {
+  Rng rng(1);
+  const Tensor probs = random_probs(32, 4, rng);
+  GateConfig config;
+  config.num_experts = 4;
+  config.top_k = 2;
+  config.capacity_factor = 100.0;  // effectively unlimited
+  const DispatchPlan plan = build_dispatch_plan(probs, config);
+  EXPECT_EQ(plan.dropped, 0);
+  EXPECT_EQ(plan.assignments.size(), 64u);
+}
+
+TEST(DispatchPlan, TightCapacityDropsWithoutRedispatch) {
+  Rng rng(2);
+  // All tokens prefer expert 0 strongly.
+  Tensor logits = Tensor::zeros({32, 4});
+  for (std::int64_t t = 0; t < 32; ++t) logits.at(t, 0) = 10.0f;
+  const Tensor probs = ops::row_softmax(logits);
+  GateConfig config;
+  config.num_experts = 4;
+  config.top_k = 1;
+  config.capacity_factor = 0.5;  // capacity = 4
+  const DispatchPlan plan = build_dispatch_plan(probs, config);
+  EXPECT_EQ(plan.capacity, 4);
+  EXPECT_EQ(plan.actual_load()[0], 4);
+  EXPECT_EQ(plan.dropped, 28);
+}
+
+TEST(DispatchPlan, BalancedRedispatchEliminatesDrops) {
+  Rng rng(3);
+  Tensor logits = Tensor::zeros({32, 4});
+  for (std::int64_t t = 0; t < 32; ++t) logits.at(t, 0) = 10.0f;
+  const Tensor probs = ops::row_softmax(logits);
+  GateConfig config;
+  config.num_experts = 4;
+  config.top_k = 1;
+  config.capacity_factor = 1.0;  // capacity = 8 per expert, 32 slots total
+  config.balanced_redispatch = true;
+  const DispatchPlan plan = build_dispatch_plan(probs, config);
+  EXPECT_EQ(plan.dropped, 0);
+  // Load is perfectly bounded by capacity, i.e. perfectly flat here.
+  for (const std::int64_t load : plan.actual_load()) EXPECT_EQ(load, 8);
+}
+
+TEST(DispatchPlan, BalancedRedispatchReducesImbalanceOnSkew) {
+  Rng rng(4);
+  const Tensor probs = random_probs(256, 8, rng, /*skew=*/4.0);
+  GateConfig config;
+  config.num_experts = 8;
+  config.top_k = 2;
+  config.capacity_factor = 1.0;
+
+  const DispatchPlan plain = build_dispatch_plan(probs, config);
+  config.balanced_redispatch = true;
+  const DispatchPlan balanced = build_dispatch_plan(probs, config);
+
+  auto imbalance = [](const DispatchPlan& p) {
+    std::vector<double> load;
+    for (const std::int64_t l : p.actual_load())
+      load.push_back(static_cast<double>(l));
+    return summarize(load).imbalance();
+  };
+  EXPECT_LE(imbalance(balanced), imbalance(plain) + 1e-9);
+  EXPECT_LE(balanced.dropped, plain.dropped);
+  // At cf=1, k=2 total slots equal total demand, but a token whose only
+  // free slot is in an expert it already occupies can still drop; the bound
+  // is "almost none" rather than zero.
+  EXPECT_LE(balanced.dropped, 2);
+  EXPECT_GT(plain.dropped, balanced.dropped);  // skew makes plain drop a lot
+}
+
+TEST(DispatchPlan, Top2WeightsNormalized) {
+  Rng rng(5);
+  const Tensor probs = random_probs(16, 4, rng);
+  GateConfig config;
+  config.num_experts = 4;
+  config.top_k = 2;
+  config.capacity_factor = 100.0;
+  config.normalize_topk = true;
+  const DispatchPlan plan = build_dispatch_plan(probs, config);
+  // Each token's two weights sum to ~1.
+  std::vector<double> sums(16, 0.0);
+  for (const Assignment& a : plan.assignments)
+    sums[static_cast<std::size_t>(a.token)] += a.gate_weight;
+  for (const double s : sums) EXPECT_NEAR(s, 1.0, 1e-5);
+}
+
+TEST(DispatchPlan, ConfigValidation) {
+  GateConfig config;
+  config.num_experts = 0;
+  EXPECT_THROW(config.validate(), Error);
+  config = GateConfig{};
+  config.top_k = 3;
+  config.num_experts = 2;
+  EXPECT_THROW(config.validate(), Error);
+  config = GateConfig{};
+  config.capacity_factor = 0.0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(AuxLoss, MinimalWhenBalanced) {
+  // Perfectly uniform probs: loss = E * E * (1/E)*(1/E) = 1.
+  const std::int64_t n = 64, e = 8;
+  Tensor probs = Tensor::full({n, e}, 1.0f / e);
+  EXPECT_NEAR(aux_balance_loss(probs), 1.0, 1e-5);
+}
+
+TEST(AuxLoss, LargeWhenCollapsed) {
+  // All mass on one expert: loss = E * 1 * 1 = E.
+  const std::int64_t n = 64, e = 8;
+  Tensor probs = Tensor::zeros({n, e});
+  for (std::int64_t t = 0; t < n; ++t) probs.at(t, 0) = 1.0f;
+  EXPECT_NEAR(aux_balance_loss(probs), 8.0, 1e-5);
+}
+
+TEST(AuxLoss, GradPushesAwayFromHotExpert) {
+  const std::int64_t n = 8, e = 4;
+  Tensor probs = Tensor::zeros({n, e});
+  for (std::int64_t t = 0; t < n; ++t) {
+    probs.at(t, 0) = 0.7f;
+    for (std::int64_t j = 1; j < e; ++j) probs.at(t, j) = 0.1f;
+  }
+  Tensor dprobs = Tensor::zeros({n, e});
+  add_aux_loss_grad(probs, 1.0, dprobs);
+  // Gradient on the hot expert's prob must exceed the cold ones: pushing
+  // probs down where f is high.
+  EXPECT_GT(dprobs.at(0, 0), dprobs.at(0, 1));
+  EXPECT_GT(dprobs.at(0, 0), 0.0f);
+}
+
+/// --- MoELayer ----------------------------------------------------------------
+
+GateConfig easy_config(int experts, int top_k) {
+  GateConfig config;
+  config.num_experts = experts;
+  config.top_k = top_k;
+  config.capacity_factor = 100.0;  // no drops: gradients exact
+  config.aux_loss_weight = 0.0;
+  return config;
+}
+
+TEST(MoELayer, OutputShapeAndPlanExposed) {
+  Rng rng(6);
+  MoELayer moe(8, 16, easy_config(4, 2), rng);
+  const Tensor x = Tensor::randn({10, 8}, rng);
+  const Tensor y = moe.forward(x);
+  EXPECT_EQ(y.dim(0), 10);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(moe.last_plan().num_experts(), 4);
+  EXPECT_EQ(moe.last_plan().assignments.size(), 20u);
+}
+
+TEST(MoELayer, SingleExpertEqualsPlainFfn) {
+  // With E=1 and k=1 the gate weight is exactly 1, so the MoE layer must
+  // equal its lone expert applied directly.
+  Rng rng(7);
+  MoELayer moe(6, 12, easy_config(1, 1), rng);
+  const Tensor x = Tensor::randn({5, 6}, rng);
+  const Tensor y = moe.forward(x);
+  const Tensor direct = moe.expert(0).forward(x);
+  for (std::size_t i = 0; i < y.f32().size(); ++i)
+    EXPECT_NEAR(y.f32()[i], direct.f32()[i], 1e-5f);
+}
+
+TEST(MoELayer, ParameterCount) {
+  Rng rng(8);
+  MoELayer moe(8, 16, easy_config(4, 2), rng);
+  // gate: 8*4; each expert: (8*16+16)+(16*8+8).
+  EXPECT_EQ(moe.num_params(), 8 * 4 + 4 * ((8 * 16 + 16) + (16 * 8 + 8)));
+}
+
+struct MoeGradCase {
+  int experts;
+  int top_k;
+  bool normalize;
+};
+
+class MoeGradTest : public ::testing::TestWithParam<MoeGradCase> {};
+
+TEST_P(MoeGradTest, GradCheckAgainstFiniteDifference) {
+  const auto [experts, top_k, normalize] = GetParam();
+  Rng rng(experts * 10 + top_k);
+  GateConfig config = easy_config(experts, top_k);
+  config.normalize_topk = normalize;
+  MoELayer moe(5, 7, config, rng);
+  Tensor x = Tensor::randn({6, 5}, rng);
+
+  const Tensor coeffs = Tensor::randn({6, 5}, rng);
+  auto objective = [&]() { return ops::sum(ops::mul(moe.forward(x), coeffs)); };
+
+  (void)moe.forward(x);
+  moe.zero_grad();
+  const Tensor dx = moe.backward(coeffs);
+
+  const float eps = 1e-2f;
+  // Input gradient sample.
+  for (std::int64_t i = 0; i < x.numel(); i += 4) {
+    const float orig = x.f32()[i];
+    x.f32()[i] = orig + eps;
+    const double lp = objective();
+    x.f32()[i] = orig - eps;
+    const double lm = objective();
+    x.f32()[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx.f32()[i], numeric, 0.06 * std::max(1.0, std::fabs(numeric)))
+        << "dx at " << i;
+  }
+  // Gate weight gradient: the subtle one (softmax + top-k normalization).
+  nn::Parameter& gate_w = *moe.parameters().front();
+  ASSERT_NE(gate_w.name.find("gate"), std::string::npos);
+  for (std::int64_t i = 0; i < gate_w.value.numel(); i += 3) {
+    const float orig = gate_w.value.f32()[i];
+    gate_w.value.f32()[i] = orig + eps;
+    const double lp = objective();
+    gate_w.value.f32()[i] = orig - eps;
+    const double lm = objective();
+    gate_w.value.f32()[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(gate_w.grad.f32()[i], numeric,
+                0.08 * std::max(1.0, std::fabs(numeric)))
+        << "gate grad at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MoeGradTest,
+                         ::testing::Values(MoeGradCase{2, 1, false},
+                                           MoeGradCase{4, 1, false},
+                                           MoeGradCase{4, 2, false},
+                                           MoeGradCase{4, 2, true},
+                                           MoeGradCase{3, 2, true}));
+
+TEST(MoELayer, DroppedTokensPassThroughAsZero) {
+  Rng rng(9);
+  GateConfig config;
+  config.num_experts = 2;
+  config.top_k = 1;
+  config.capacity_factor = 0.5;  // capacity = ceil(0.5*4/2) = 1
+  config.aux_loss_weight = 0.0;
+  MoELayer moe(4, 8, config, rng);
+  // Force all tokens to expert 0 by biasing the gate weight column.
+  for (std::int64_t r = 0; r < 4; ++r) moe.gate().weight().value.at(r, 0) = 50.0f;
+  const Tensor x = Tensor::full({4, 4}, 1.0f);
+  const Tensor y = moe.forward(x);
+  EXPECT_EQ(moe.last_plan().dropped, 3);
+  // Exactly one row is non-zero.
+  int nonzero_rows = 0;
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double s = 0;
+    for (std::int64_t c = 0; c < 4; ++c) s += std::fabs(y.at(r, c));
+    if (s > 1e-9) ++nonzero_rows;
+  }
+  EXPECT_EQ(nonzero_rows, 1);
+}
+
+TEST(MoELayer, AuxLossReportedAndWeighted) {
+  Rng rng(10);
+  GateConfig config = easy_config(4, 1);
+  config.aux_loss_weight = 0.01;
+  MoELayer moe(4, 8, config, rng);
+  (void)moe.forward(Tensor::randn({16, 4}, rng));
+  EXPECT_GT(moe.last_aux_loss(), 0.0);
+  EXPECT_NEAR(moe.last_aux_loss(), 0.01 * moe.last_plan().aux_loss, 1e-12);
+}
+
+/// --- placement ----------------------------------------------------------------
+
+TEST(Placement, BlockedMapsContiguously) {
+  const Placement p = blocked_placement(8, 4);
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], 0);
+  EXPECT_EQ(p[2], 1);
+  EXPECT_EQ(p[7], 3);
+}
+
+TEST(Placement, LoadAwareRespectsCapacity) {
+  const std::vector<std::int64_t> loads{100, 90, 80, 70, 5, 4, 3, 2};
+  const Placement p = load_aware_placement(loads, 4);
+  std::vector<int> counts(4, 0);
+  for (const int r : p) ++counts[static_cast<std::size_t>(r)];
+  for (const int c : counts) EXPECT_EQ(c, 2);  // exactly 2 experts per rank
+}
+
+TEST(Placement, LoadAwareNeverWorseThanBlockedOnSortedSkew) {
+  // Hot experts adjacent (worst case for blocked placement).
+  const std::vector<std::int64_t> loads{100, 95, 2, 3, 1, 2, 2, 1};
+  const Placement blocked = blocked_placement(8, 4);
+  const Placement aware = load_aware_placement(loads, 4);
+  EXPECT_LT(max_rank_load(aware, loads, 4), max_rank_load(blocked, loads, 4));
+  // Blocked puts both hot experts on rank 0: load 195; aware separates.
+  EXPECT_EQ(max_rank_load(blocked, loads, 4), 195);
+  EXPECT_LE(max_rank_load(aware, loads, 4), 103);
+}
+
+TEST(Placement, UniformLoadIsAlreadyBalanced) {
+  const std::vector<std::int64_t> loads(16, 10);
+  const Placement aware = load_aware_placement(loads, 4);
+  EXPECT_DOUBLE_EQ(placement_imbalance(aware, loads, 4), 1.0);
+}
+
+class PlacementPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlacementPropertyTest, AwareBeatsOrTiesBlockedOnRandomLoads) {
+  const double skew = GetParam();
+  Rng rng(static_cast<std::uint64_t>(skew * 100) + 3);
+  ZipfSampler zipf(32, skew);
+  std::vector<std::int64_t> loads(32, 0);
+  for (int i = 0; i < 5000; ++i) ++loads[zipf(rng)];
+  const Placement blocked = blocked_placement(32, 8);
+  const Placement aware = load_aware_placement(loads, 8);
+  EXPECT_LE(max_rank_load(aware, loads, 8),
+            max_rank_load(blocked, loads, 8));
+  EXPECT_GE(placement_imbalance(aware, loads, 8), 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, PlacementPropertyTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+TEST(Placement, RejectsBadShapes) {
+  EXPECT_THROW(blocked_placement(7, 4), Error);
+  const std::vector<std::int64_t> loads(6, 1);
+  EXPECT_THROW(load_aware_placement(loads, 4), Error);
+}
+
+/// --- TwoLevelGate -------------------------------------------------------------
+
+TEST(TwoLevelGate, ProbabilitiesFormDistribution) {
+  Rng rng(20);
+  TwoLevelGate gate(6, /*experts=*/12, /*groups=*/3, rng);
+  const Tensor x = Tensor::randn({5, 6}, rng);
+  const Tensor probs = gate.forward(x);
+  EXPECT_EQ(probs.dim(1), 12);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double sum = 0;
+    for (std::int64_t e = 0; e < 12; ++e) {
+      EXPECT_GT(probs.at(r, e), 0.0f);
+      sum += probs.at(r, e);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(TwoLevelGate, SingleGroupStillNormalizes) {
+  // groups=1: the group factor is the constant 1, so probs equal the plain
+  // softmax of the expert gate.
+  Rng rng(21);
+  TwoLevelGate gate(4, 8, 1, rng);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  const Tensor probs = gate.forward(x);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    double sum = 0;
+    for (std::int64_t e = 0; e < 8; ++e) sum += probs.at(r, e);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(TwoLevelGate, RejectsBadGrouping) {
+  Rng rng(22);
+  EXPECT_THROW(TwoLevelGate(4, 8, 3, rng), Error);
+}
+
+TEST(TwoLevelGate, GradCheckThroughBothLevels) {
+  Rng rng(23);
+  TwoLevelGate gate(5, 6, 2, rng);
+  Tensor x = Tensor::randn({4, 5}, rng);
+  const Tensor coeffs = Tensor::randn({4, 6}, rng);
+  auto objective = [&]() {
+    return ops::sum(ops::mul(gate.forward(x), coeffs));
+  };
+
+  (void)gate.forward(x);
+  for (nn::Parameter* p : gate.parameters()) p->zero_grad();
+  const Tensor dx = gate.backward(coeffs);
+
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < x.numel(); i += 3) {
+    const float orig = x.f32()[i];
+    x.f32()[i] = orig + eps;
+    const double lp = objective();
+    x.f32()[i] = orig - eps;
+    const double lm = objective();
+    x.f32()[i] = orig;
+    EXPECT_NEAR(dx.f32()[i], (lp - lm) / (2 * eps), 5e-3) << "dx " << i;
+  }
+  for (nn::Parameter* param : gate.parameters()) {
+    for (std::int64_t i = 0; i < param->value.numel(); i += 5) {
+      const float orig = param->value.f32()[i];
+      param->value.f32()[i] = orig + eps;
+      const double lp = objective();
+      param->value.f32()[i] = orig - eps;
+      const double lm = objective();
+      param->value.f32()[i] = orig;
+      EXPECT_NEAR(param->grad.f32()[i], (lp - lm) / (2 * eps), 5e-3)
+          << param->name << " " << i;
+    }
+  }
+}
+
+TEST(MoELayer, TwoLevelGateEndToEndGradCheck) {
+  Rng rng(24);
+  GateConfig config = easy_config(6, 2);
+  config.two_level_groups = 3;
+  MoELayer moe(5, 7, config, rng);
+  Tensor x = Tensor::randn({6, 5}, rng);
+  const Tensor coeffs = Tensor::randn({6, 5}, rng);
+  auto objective = [&]() { return ops::sum(ops::mul(moe.forward(x), coeffs)); };
+
+  (void)moe.forward(x);
+  moe.zero_grad();
+  const Tensor dx = moe.backward(coeffs);
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < x.numel(); i += 4) {
+    const float orig = x.f32()[i];
+    x.f32()[i] = orig + eps;
+    const double lp = objective();
+    x.f32()[i] = orig - eps;
+    const double lm = objective();
+    x.f32()[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx.f32()[i], numeric, 0.06 * std::max(1.0, std::fabs(numeric)));
+  }
+}
+
+TEST(MoELayer, TwoLevelGateTrainsAndRoutes) {
+  Rng rng(25);
+  GateConfig config = easy_config(8, 2);
+  config.two_level_groups = 4;
+  MoELayer moe(6, 10, config, rng);
+  const Tensor x = Tensor::randn({32, 6}, rng);
+  const Tensor y = moe.forward(x);
+  EXPECT_EQ(y.dim(0), 32);
+  EXPECT_EQ(moe.last_plan().assignments.size(), 64u);
+  // Accessors enforce the active gate kind.
+  EXPECT_NO_THROW((void)moe.two_level_gate());
+  EXPECT_THROW((void)moe.gate(), Error);
+}
+
+TEST(MoELayer, NoisyGatingOnlyInTraining) {
+  Rng rng(11);
+  GateConfig config = easy_config(4, 1);
+  config.noisy_gating = true;
+  config.noise_std = 5.0;
+  MoELayer moe(4, 8, config, rng);
+  const Tensor x = Tensor::randn({32, 4}, rng);
+  moe.set_training(false);
+  (void)moe.forward(x);
+  const auto load_eval1 = moe.last_plan().actual_load();
+  (void)moe.forward(x);
+  const auto load_eval2 = moe.last_plan().actual_load();
+  EXPECT_EQ(load_eval1, load_eval2);  // eval: deterministic
+}
+
+}  // namespace
+}  // namespace bgl::moe

@@ -1,0 +1,346 @@
+// Tests for the layer framework: shape contracts, parameter registration,
+// and — the load-bearing part — finite-difference gradient checks of every
+// layer's backward pass, including attention with its causal mask.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/embedding.hpp"
+#include "nn/feedforward.hpp"
+#include "nn/layer.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+
+namespace bgl::nn {
+namespace {
+
+/// Scalar objective used by gradient checks: L = Σ c_i * y_i with fixed
+/// pseudo-random coefficients, so dL/dy is known exactly.
+struct Objective {
+  Tensor coeffs;
+  explicit Objective(const Shape& shape, Rng& rng)
+      : coeffs(Tensor::randn(shape, rng)) {}
+  [[nodiscard]] double value(const Tensor& y) const {
+    return ops::sum(ops::mul(y, coeffs));
+  }
+  [[nodiscard]] Tensor grad() const { return coeffs.clone(); }
+};
+
+/// Central-difference check of dL/dx and all dL/dθ for a layer.
+void grad_check(Layer& layer, Tensor x, double tol = 5e-2) {
+  Rng rng(999);
+  Tensor y = layer.forward(x);
+  const Objective obj(y.shape(), rng);
+  layer.zero_grad();
+  const Tensor dx = layer.backward(obj.grad());
+  ASSERT_TRUE(dx.same_shape(x));
+
+  const float eps = 1e-2f;
+  // Check input gradient on a sample of positions.
+  auto px = x.f32();
+  const std::size_t stride_x = std::max<std::size_t>(px.size() / 17, 1);
+  for (std::size_t i = 0; i < px.size(); i += stride_x) {
+    const float orig = px[i];
+    px[i] = orig + eps;
+    const double lp = obj.value(layer.forward(x));
+    px[i] = orig - eps;
+    const double lm = obj.value(layer.forward(x));
+    px[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx.f32()[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "input grad at " << i;
+  }
+  // Check parameter gradients on a sample of positions.
+  for (Parameter* param : layer.parameters()) {
+    auto pv = param->value.f32();
+    const std::size_t stride = std::max<std::size_t>(pv.size() / 11, 1);
+    for (std::size_t i = 0; i < pv.size(); i += stride) {
+      const float orig = pv[i];
+      pv[i] = orig + eps;
+      const double lp = obj.value(layer.forward(x));
+      pv[i] = orig - eps;
+      const double lm = obj.value(layer.forward(x));
+      pv[i] = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(param->grad.f32()[i], numeric,
+                  tol * std::max(1.0, std::fabs(numeric)))
+          << param->name << " grad at " << i;
+    }
+  }
+}
+
+TEST(Linear, ForwardComputesAffine) {
+  Rng rng(1);
+  Linear lin(2, 3, rng);
+  // Set known weights.
+  lin.weight().value = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+  lin.bias().value = Tensor::from({10, 20, 30}, {3});
+  const Tensor x = Tensor::from({1, 1}, {1, 2});
+  const Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 4 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2 + 5 + 20);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 3 + 6 + 30);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(2);
+  Linear lin(5, 4, rng);
+  grad_check(lin, Tensor::randn({6, 5}, rng));
+}
+
+TEST(Linear, GradCheckNoBias) {
+  Rng rng(3);
+  Linear lin(4, 4, rng, /*bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+  grad_check(lin, Tensor::randn({3, 4}, rng));
+}
+
+TEST(Linear, RejectsWrongWidth) {
+  Rng rng(4);
+  Linear lin(5, 4, rng);
+  EXPECT_THROW(lin.forward(Tensor::zeros({2, 3})), Error);
+}
+
+TEST(Linear, GradAccumulatesAcrossBackwards) {
+  Rng rng(5);
+  Linear lin(3, 2, rng);
+  const Tensor x = Tensor::randn({2, 3}, rng);
+  const Tensor dy = Tensor::full({2, 2}, 1.0f);
+  lin.zero_grad();
+  (void)lin.forward(x);
+  (void)lin.backward(dy);
+  const Tensor once = lin.weight().grad.clone();
+  (void)lin.forward(x);
+  (void)lin.backward(dy);
+  for (std::size_t i = 0; i < once.f32().size(); ++i)
+    EXPECT_NEAR(lin.weight().grad.f32()[i], 2 * once.f32()[i], 1e-5f);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(6);
+  LayerNorm ln(8);
+  const Tensor x = Tensor::randn({4, 8}, rng, 5.0f, 3.0f);
+  const Tensor y = ln.forward(x);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double mean = 0, var = 0;
+    for (std::int64_t c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8;
+    for (std::int64_t c = 0; c < 8; ++c) {
+      const double d = y.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(7);
+  LayerNorm ln(6);
+  // Perturb gamma/beta away from the identity so their grads are generic.
+  for (Parameter* p : ln.parameters())
+    for (float& v : p->value.f32()) v += static_cast<float>(rng.uniform(-0.3, 0.3));
+  grad_check(ln, Tensor::randn({5, 6}, rng));
+}
+
+TEST(Activations, GeluGradCheck) {
+  Rng rng(8);
+  Gelu gelu;
+  grad_check(gelu, Tensor::randn({4, 7}, rng));
+}
+
+TEST(Activations, ReluGradCheck) {
+  Rng rng(9);
+  Relu relu;
+  // Keep values away from the kink at 0 for a clean finite difference.
+  Tensor x = Tensor::randn({5, 5}, rng);
+  for (float& v : x.f32())
+    if (std::fabs(v) < 0.1f) v += v >= 0 ? 0.2f : -0.2f;
+  grad_check(relu, std::move(x));
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(10);
+  Dropout drop(0.5f, rng.fork(1));
+  drop.set_training(false);
+  const Tensor x = Tensor::randn({4, 4}, rng);
+  const Tensor y = drop.forward(x);
+  for (std::size_t i = 0; i < x.f32().size(); ++i)
+    EXPECT_EQ(y.f32()[i], x.f32()[i]);
+}
+
+TEST(Dropout, TrainModeZeroesAndRescales) {
+  Rng rng(11);
+  Dropout drop(0.5f, rng.fork(1));
+  const Tensor x = Tensor::full({1, 1000}, 1.0f);
+  const Tensor y = drop.forward(x);
+  int zeros = 0;
+  for (const float v : y.f32()) {
+    if (v == 0.0f) ++zeros;
+    else EXPECT_FLOAT_EQ(v, 2.0f);
+  }
+  EXPECT_NEAR(zeros, 500, 80);
+  // Backward masks the same positions.
+  const Tensor dy = Tensor::full({1, 1000}, 1.0f);
+  const Tensor dx = drop.backward(dy);
+  for (std::size_t i = 0; i < dx.f32().size(); ++i)
+    EXPECT_EQ(dx.f32()[i] == 0.0f, y.f32()[i] == 0.0f);
+}
+
+TEST(Dropout, RejectsInvalidP) {
+  Rng rng(12);
+  EXPECT_THROW(Dropout(1.0f, rng), Error);
+  EXPECT_THROW(Dropout(-0.1f, rng), Error);
+}
+
+TEST(Embedding, GatherAndScatter) {
+  Rng rng(13);
+  Embedding emb(10, 4, rng);
+  const std::vector<std::int32_t> tokens{3, 7, 3};
+  const Tensor out = emb.forward(tokens);
+  EXPECT_EQ(out.dim(0), 3);
+  // Rows 0 and 2 are the same table row.
+  for (std::int64_t c = 0; c < 4; ++c)
+    EXPECT_EQ(out.at(0, c), out.at(2, c));
+
+  Tensor dy = Tensor::full({3, 4}, 1.0f);
+  emb.table().zero_grad();
+  emb.backward(dy);
+  // Token 3 appears twice: grad 2; token 7 once: grad 1; others 0.
+  EXPECT_FLOAT_EQ(emb.table().grad.at(3, 0), 2.0f);
+  EXPECT_FLOAT_EQ(emb.table().grad.at(7, 0), 1.0f);
+  EXPECT_FLOAT_EQ(emb.table().grad.at(0, 0), 0.0f);
+}
+
+TEST(Embedding, RejectsOutOfRangeToken) {
+  Rng rng(14);
+  Embedding emb(4, 2, rng);
+  const std::vector<std::int32_t> bad{5};
+  EXPECT_THROW(emb.forward(bad), Error);
+}
+
+TEST(FeedForward, GradCheck) {
+  Rng rng(15);
+  FeedForward ffn(4, 8, rng);
+  EXPECT_EQ(ffn.parameters().size(), 4u);
+  grad_check(ffn, Tensor::randn({3, 4}, rng));
+}
+
+TEST(Attention, OutputShapeAndCausality) {
+  Rng rng(16);
+  const std::int64_t T = 6, d = 8;
+  MultiHeadAttention attn(d, 2, T, rng);
+  Tensor x = Tensor::randn({T, d}, rng);
+  const Tensor y1 = attn.forward(x);
+  EXPECT_EQ(y1.dim(0), T);
+  EXPECT_EQ(y1.dim(1), d);
+  // Causality: changing the last token must not affect earlier outputs.
+  for (std::int64_t c = 0; c < d; ++c) x.at(T - 1, c) += 1.0f;
+  const Tensor y2 = attn.forward(x);
+  for (std::int64_t t = 0; t < T - 1; ++t)
+    for (std::int64_t c = 0; c < d; ++c)
+      EXPECT_NEAR(y1.at(t, c), y2.at(t, c), 1e-5f) << "t=" << t;
+}
+
+TEST(Attention, ChangingEarlyTokenAffectsLater) {
+  Rng rng(17);
+  MultiHeadAttention attn(8, 2, 4, rng);
+  Tensor x = Tensor::randn({4, 8}, rng);
+  const Tensor y1 = attn.forward(x);
+  x.at(0, 0) += 2.0f;
+  const Tensor y2 = attn.forward(x);
+  double diff = 0;
+  for (std::int64_t c = 0; c < 8; ++c)
+    diff += std::fabs(y1.at(3, c) - y2.at(3, c));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Attention, BatchedSequencesAreIndependent) {
+  Rng rng(18);
+  const std::int64_t T = 4, d = 8;
+  MultiHeadAttention attn(d, 2, T, rng);
+  Tensor x = Tensor::randn({2 * T, d}, rng);
+  const Tensor y1 = attn.forward(x);
+  // Perturb sequence 1; sequence 0's outputs must not move.
+  x.at(T, 0) += 3.0f;
+  const Tensor y2 = attn.forward(x);
+  for (std::int64_t t = 0; t < T; ++t)
+    for (std::int64_t c = 0; c < d; ++c)
+      EXPECT_NEAR(y1.at(t, c), y2.at(t, c), 1e-6f);
+}
+
+TEST(Attention, GradCheck) {
+  Rng rng(19);
+  MultiHeadAttention attn(6, 2, 3, rng);
+  grad_check(attn, Tensor::randn({6, 6}, rng), /*tol=*/8e-2);
+}
+
+TEST(Attention, RejectsBadShapes) {
+  Rng rng(20);
+  EXPECT_THROW(MultiHeadAttention(7, 2, 4, rng), Error);  // 7 % 2 != 0
+  MultiHeadAttention attn(8, 2, 4, rng);
+  EXPECT_THROW(attn.forward(Tensor::zeros({5, 8})), Error);  // 5 % 4 != 0
+}
+
+TEST(Sequential, ChainsAndCollectsParams) {
+  Rng rng(21);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(4, 8, rng))
+      .add(std::make_unique<Gelu>())
+      .add(std::make_unique<Linear>(8, 2, rng));
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.parameters().size(), 4u);
+  EXPECT_EQ(seq.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+  grad_check(seq, Tensor::randn({5, 4}, rng));
+}
+
+TEST(Loss, CrossEntropyKnownValue) {
+  // Uniform logits over V classes: loss = log(V).
+  const Tensor logits = Tensor::zeros({2, 4});
+  const std::vector<std::int32_t> targets{1, 3};
+  const LossResult r = softmax_cross_entropy(logits, targets);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, PerfectPredictionNearZero) {
+  Tensor logits = Tensor::zeros({1, 3});
+  logits.at(0, 2) = 50.0f;
+  const std::vector<std::int32_t> targets{2};
+  const LossResult r = softmax_cross_entropy(logits, targets);
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(Loss, GradientMatchesFiniteDifference) {
+  Rng rng(22);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<std::int32_t> targets{0, 2, 4};
+  const LossResult r = softmax_cross_entropy(logits, targets);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits.f32()[i];
+    logits.f32()[i] = orig + eps;
+    const double lp = softmax_cross_entropy(logits, targets).loss;
+    logits.f32()[i] = orig - eps;
+    const double lm = softmax_cross_entropy(logits, targets).loss;
+    logits.f32()[i] = orig;
+    EXPECT_NEAR(r.dlogits.f32()[i], (lp - lm) / (2 * eps), 1e-4);
+  }
+}
+
+TEST(Loss, RejectsBadTargets) {
+  const Tensor logits = Tensor::zeros({1, 3});
+  const std::vector<std::int32_t> bad{3};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad), Error);
+  const std::vector<std::int32_t> wrong_count{0, 1};
+  EXPECT_THROW(softmax_cross_entropy(logits, wrong_count), Error);
+}
+
+}  // namespace
+}  // namespace bgl::nn

@@ -1,0 +1,484 @@
+// Unit + property tests for bgl_tensor: dtype conversions (f16/bf16
+// round-trip, rounding, overflow), Tensor lifecycle/views, elementwise ops,
+// GEMM against a naive reference, softmax/layernorm-adjacent kernels, and
+// gradient identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "tensor/dtype.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bgl {
+namespace {
+
+/// --- dtype ------------------------------------------------------------------
+
+TEST(DTypeTest, SizesAndNames) {
+  EXPECT_EQ(dtype_size(DType::kF32), 4u);
+  EXPECT_EQ(dtype_size(DType::kF16), 2u);
+  EXPECT_EQ(dtype_size(DType::kBF16), 2u);
+  EXPECT_STREQ(dtype_name(DType::kF16), "f16");
+}
+
+TEST(DTypeTest, HalfExactValuesRoundTrip) {
+  // Values exactly representable in binary16 must survive unchanged.
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, 65504.0f,
+                        -65504.0f, 0.25f, 6.103515625e-05f}) {
+    EXPECT_EQ(static_cast<float>(Half(v)), v) << "v=" << v;
+  }
+}
+
+TEST(DTypeTest, HalfOverflowGoesToInf) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half(70000.0f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half(-70000.0f))));
+  EXPECT_LT(static_cast<float>(Half(-70000.0f)), 0.0f);
+}
+
+TEST(DTypeTest, HalfSubnormalsRepresented) {
+  // Smallest positive subnormal half = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(static_cast<float>(Half(tiny)), tiny);
+  // Below half subnormal range underflows to zero.
+  EXPECT_EQ(static_cast<float>(Half(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(DTypeTest, HalfNaNPropagates) {
+  EXPECT_TRUE(std::isnan(
+      static_cast<float>(Half(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(DTypeTest, HalfRoundsToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: rounds to even (1.0).
+  const float mid = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(static_cast<float>(Half(mid)), 1.0f);
+  // Slightly above the midpoint rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -13);
+  EXPECT_EQ(static_cast<float>(Half(above)), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(DTypeTest, HalfRoundTripErrorBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float q = static_cast<float>(Half(v));
+    EXPECT_LE(std::fabs(q - v), std::fabs(v) * 0.001f + 1e-6f) << v;
+  }
+}
+
+TEST(DTypeTest, BF16KeepsExponentRange) {
+  // bf16 has float's exponent range: huge values survive (approximately).
+  const float big = 1e30f;
+  const float q = static_cast<float>(BFloat16(big));
+  EXPECT_NEAR(q / big, 1.0f, 0.01f);
+  EXPECT_FALSE(std::isinf(q));
+}
+
+TEST(DTypeTest, BF16RoundTripErrorBounded) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1e6, 1e6));
+    const float q = static_cast<float>(BFloat16(v));
+    EXPECT_LE(std::fabs(q - v), std::fabs(v) * 0.008f + 1e-30f) << v;
+  }
+}
+
+TEST(DTypeTest, BF16NaNPropagates) {
+  EXPECT_TRUE(std::isnan(static_cast<float>(
+      BFloat16(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(DTypeTest, QuantizeIdentityForF32) {
+  EXPECT_EQ(quantize(3.14159f, DType::kF32), 3.14159f);
+}
+
+TEST(DTypeTest, EpsilonOrdering) {
+  EXPECT_LT(dtype_epsilon(DType::kF32), dtype_epsilon(DType::kF16));
+  EXPECT_LT(dtype_epsilon(DType::kF16), dtype_epsilon(DType::kBF16));
+  EXPECT_LT(dtype_max(DType::kF16), dtype_max(DType::kBF16));
+}
+
+/// --- Tensor -----------------------------------------------------------------
+
+TEST(TensorTest, ZerosAndShape) {
+  const Tensor t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (const float v : t.f32()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FromAndAt) {
+  const Tensor t = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, ReshapeSharesBuffer) {
+  Tensor t = Tensor::zeros({4, 2});
+  Tensor v = t.reshape({2, 4});
+  v.f32()[0] = 42.0f;
+  EXPECT_EQ(t.f32()[0], 42.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::full({3}, 1.0f);
+  Tensor c = t.clone();
+  c.f32()[0] = 9.0f;
+  EXPECT_EQ(t.f32()[0], 1.0f);
+}
+
+TEST(TensorTest, ReshapeRejectsBadNumel) {
+  const Tensor t = Tensor::zeros({4});
+  EXPECT_THROW((void)t.reshape({3}), Error);
+}
+
+TEST(TensorTest, CastRoundTripF16) {
+  Rng rng(3);
+  const Tensor t = Tensor::randn({32}, rng);
+  const Tensor h = t.cast(DType::kF16);
+  EXPECT_EQ(h.dtype(), DType::kF16);
+  EXPECT_EQ(h.nbytes(), 64u);
+  const Tensor back = h.cast(DType::kF32);
+  auto pt = t.f32();
+  auto pb = back.f32();
+  for (std::size_t i = 0; i < pt.size(); ++i) {
+    EXPECT_NEAR(pb[i], pt[i], std::fabs(pt[i]) * 0.001f + 1e-6f);
+  }
+}
+
+TEST(TensorTest, FillQuantizesForStorage) {
+  Tensor t = Tensor::empty({4}, DType::kF16);
+  t.fill(0.1f);  // 0.1 is not representable in f16
+  const Tensor back = t.cast(DType::kF32);
+  EXPECT_NEAR(back.f32()[0], 0.1f, 1e-4f);
+  EXPECT_NE(back.f32()[0], 0.1f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(5);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f, 3.0f);
+  const double m = ops::mean(t);
+  EXPECT_NEAR(m, 2.0, 0.15);
+}
+
+TEST(TensorTest, ShapeRejectsNegativeDimsAllowsZero) {
+  EXPECT_THROW(Tensor::zeros({2, -1}), Error);
+  const Tensor empty_rows = Tensor::zeros({0, 4});
+  EXPECT_EQ(empty_rows.numel(), 0);
+  EXPECT_TRUE(empty_rows.f32().empty());
+}
+
+/// --- ops --------------------------------------------------------------------
+
+TEST(OpsTest, AddSubMul) {
+  const Tensor a = Tensor::from({1, 2, 3}, {3});
+  const Tensor b = Tensor::from({10, 20, 30}, {3});
+  EXPECT_EQ(ops::add(a, b).f32()[1], 22.0f);
+  EXPECT_EQ(ops::sub(b, a).f32()[2], 27.0f);
+  EXPECT_EQ(ops::mul(a, b).f32()[0], 10.0f);
+}
+
+TEST(OpsTest, ShapeMismatchThrows) {
+  const Tensor a = Tensor::zeros({3});
+  const Tensor b = Tensor::zeros({4});
+  EXPECT_THROW(ops::add(a, b), Error);
+}
+
+TEST(OpsTest, ScaleAndAxpy) {
+  Tensor a = Tensor::from({1, 2}, {2});
+  ops::scale_(a, 3.0f);
+  EXPECT_EQ(a.f32()[1], 6.0f);
+  const Tensor x = Tensor::from({1, 1}, {2});
+  ops::axpy_(a, 2.0f, x);
+  EXPECT_EQ(a.f32()[0], 5.0f);
+}
+
+TEST(OpsTest, SumMeanAbsMax) {
+  const Tensor t = Tensor::from({-4, 1, 3}, {3});
+  EXPECT_DOUBLE_EQ(ops::sum(t), 0.0);
+  EXPECT_DOUBLE_EQ(ops::mean(t), 0.0);
+  EXPECT_EQ(ops::abs_max(t), 4.0f);
+}
+
+TEST(OpsTest, HasNonfinite) {
+  Tensor t = Tensor::zeros({3});
+  EXPECT_FALSE(ops::has_nonfinite(t));
+  t.f32()[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(ops::has_nonfinite(t));
+  t.f32()[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(ops::has_nonfinite(t));
+}
+
+TEST(OpsTest, ColSum) {
+  const Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor out = Tensor::zeros({3});
+  ops::col_sum(a, out);
+  EXPECT_EQ(out.f32()[0], 5.0f);
+  EXPECT_EQ(out.f32()[2], 9.0f);
+}
+
+// Naive reference GEMM for property-checking the blocked kernel.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::zeros({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) acc += double(a.at(i, p)) * b.at(p, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+struct GemmShape {
+  std::int64_t m, k, n;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor c = ops::matmul(a, b);
+  const Tensor ref = naive_matmul(a, b);
+  auto pc = c.f32();
+  auto pr = ref.f32();
+  for (std::size_t i = 0; i < pc.size(); ++i)
+    EXPECT_NEAR(pc[i], pr[i], 1e-3f) << "i=" << i;
+}
+
+TEST_P(GemmParamTest, TransposedVariantsConsistent) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor c = ops::matmul(a, b);
+  // A·B == (Aᵀ)ᵀ·B via matmul_tn, and == A·(Bᵀ)ᵀ via matmul_nt.
+  const Tensor c_tn = ops::matmul_tn(ops::transpose(a), b);
+  const Tensor c_nt = ops::matmul_nt(a, ops::transpose(b));
+  auto pc = c.f32();
+  auto p1 = c_tn.f32();
+  auto p2 = c_nt.f32();
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    EXPECT_NEAR(pc[i], p1[i], 1e-3f);
+    EXPECT_NEAR(pc[i], p2[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{2, 3, 4},
+                      GemmShape{7, 5, 3}, GemmShape{16, 16, 16},
+                      GemmShape{65, 70, 33}, GemmShape{128, 64, 1},
+                      GemmShape{1, 128, 128}));
+
+TEST(OpsTest, MatmulRejectsBadShapes) {
+  const Tensor a = Tensor::zeros({2, 3});
+  const Tensor b = Tensor::zeros({4, 5});
+  EXPECT_THROW(ops::matmul(a, b), Error);
+}
+
+TEST(OpsTest, TransposeInvolution) {
+  Rng rng(9);
+  const Tensor a = Tensor::randn({5, 7}, rng);
+  const Tensor tt = ops::transpose(ops::transpose(a));
+  auto pa = a.f32();
+  auto pt = tt.f32();
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pt[i]);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(10);
+  const Tensor x = Tensor::randn({6, 9}, rng, 0.0f, 5.0f);
+  const Tensor y = ops::row_softmax(x);
+  for (std::int64_t r = 0; r < 6; ++r) {
+    double s = 0;
+    for (std::int64_t c = 0; c < 9; ++c) {
+      EXPECT_GT(y.at(r, c), 0.0f);
+      s += y.at(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, SoftmaxStableForLargeLogits) {
+  const Tensor x = Tensor::from({1000, 1001, 999}, {1, 3});
+  const Tensor y = ops::row_softmax(x);
+  EXPECT_FALSE(ops::has_nonfinite(y));
+  EXPECT_GT(y.at(0, 1), y.at(0, 0));
+}
+
+// Finite-difference check of softmax backward.
+TEST(OpsTest, SoftmaxBackwardMatchesFiniteDifference) {
+  Rng rng(11);
+  Tensor x = Tensor::randn({2, 5}, rng);
+  const Tensor dy = Tensor::randn({2, 5}, rng);
+  const Tensor y = ops::row_softmax(x);
+  const Tensor dx = ops::row_softmax_backward(y, dy);
+  const float eps = 1e-3f;
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 5; ++c) {
+      const float orig = x.at(r, c);
+      x.at(r, c) = orig + eps;
+      const Tensor yp = ops::row_softmax(x);
+      x.at(r, c) = orig - eps;
+      const Tensor ym = ops::row_softmax(x);
+      x.at(r, c) = orig;
+      // dL = sum(dy * y); numeric dL/dx.
+      double lp = 0, lm = 0;
+      for (std::int64_t cc = 0; cc < 5; ++cc) {
+        lp += double(dy.at(r, cc)) * yp.at(r, cc);
+        lm += double(dy.at(r, cc)) * ym.at(r, cc);
+      }
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(dx.at(r, c), numeric, 5e-3) << r << "," << c;
+    }
+  }
+}
+
+TEST(OpsTest, GeluValuesAndLimits) {
+  const Tensor x = Tensor::from({-10, 0, 10}, {3});
+  const Tensor y = ops::gelu(x);
+  EXPECT_NEAR(y.f32()[0], 0.0f, 1e-3f);   // large negative -> ~0
+  EXPECT_EQ(y.f32()[1], 0.0f);            // gelu(0) = 0
+  EXPECT_NEAR(y.f32()[2], 10.0f, 1e-3f);  // large positive -> identity
+}
+
+TEST(OpsTest, GeluBackwardMatchesFiniteDifference) {
+  Rng rng(12);
+  Tensor x = Tensor::randn({20}, rng);
+  Tensor dy = Tensor::full({20}, 1.0f);
+  const Tensor dx = ops::gelu_backward(x, dy);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    const float orig = x.f32()[i];
+    x.f32()[i] = orig + eps;
+    const float yp = ops::gelu(x).f32()[i];
+    x.f32()[i] = orig - eps;
+    const float ym = ops::gelu(x).f32()[i];
+    x.f32()[i] = orig;
+    EXPECT_NEAR(dx.f32()[i], (yp - ym) / (2 * eps), 5e-3f);
+  }
+}
+
+TEST(OpsTest, ReluAndBackward) {
+  const Tensor x = Tensor::from({-1, 0, 2}, {3});
+  const Tensor y = ops::relu(x);
+  EXPECT_EQ(y.f32()[0], 0.0f);
+  EXPECT_EQ(y.f32()[2], 2.0f);
+  const Tensor dy = Tensor::full({3}, 1.0f);
+  const Tensor dx = ops::relu_backward(x, dy);
+  EXPECT_EQ(dx.f32()[0], 0.0f);
+  EXPECT_EQ(dx.f32()[1], 0.0f);  // subgradient at 0 chosen as 0
+  EXPECT_EQ(dx.f32()[2], 1.0f);
+}
+
+TEST(OpsTest, QuantizeInPlaceChangesValues) {
+  Tensor t = Tensor::full({4}, 0.1f);
+  ops::quantize_(t, DType::kBF16);
+  EXPECT_NE(t.f32()[0], 0.1f);
+  EXPECT_NEAR(t.f32()[0], 0.1f, 0.001f);
+  Tensor u = Tensor::full({4}, 0.1f);
+  ops::quantize_(u, DType::kF32);
+  EXPECT_EQ(u.f32()[0], 0.1f);
+}
+
+TEST(OpsTest, CopyRowsSlicesAndHandlesEmpty) {
+  const Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}, {3, 2});
+  const Tensor mid = ops::copy_rows(a, 1, 3);
+  EXPECT_EQ(mid.dim(0), 2);
+  EXPECT_EQ(mid.at(0, 0), 3.0f);
+  EXPECT_EQ(mid.at(1, 1), 6.0f);
+  const Tensor none = ops::copy_rows(a, 2, 2);
+  EXPECT_EQ(none.dim(0), 0);
+  EXPECT_THROW(ops::copy_rows(a, 2, 5), Error);
+}
+
+TEST(OpsTest, GatherRowsWithDuplicates) {
+  const Tensor a = Tensor::from({10, 11, 20, 21, 30, 31}, {3, 2});
+  const std::vector<std::int32_t> rows{2, 0, 2};
+  const Tensor g = ops::gather_rows(a, rows);
+  EXPECT_EQ(g.dim(0), 3);
+  EXPECT_EQ(g.at(0, 0), 30.0f);
+  EXPECT_EQ(g.at(1, 1), 11.0f);
+  EXPECT_EQ(g.at(2, 0), 30.0f);
+  const std::vector<std::int32_t> empty;
+  EXPECT_EQ(ops::gather_rows(a, empty).dim(0), 0);
+  const std::vector<std::int32_t> bad{5};
+  EXPECT_THROW(ops::gather_rows(a, bad), Error);
+}
+
+TEST(OpsTest, SetRowsWritesInPlace) {
+  Tensor dst = Tensor::zeros({4, 2});
+  const Tensor src = Tensor::from({7, 8, 9, 10}, {2, 2});
+  ops::set_rows(dst, 1, src);
+  EXPECT_EQ(dst.at(0, 0), 0.0f);
+  EXPECT_EQ(dst.at(1, 0), 7.0f);
+  EXPECT_EQ(dst.at(2, 1), 10.0f);
+  EXPECT_THROW(ops::set_rows(dst, 3, src), Error);  // overruns
+}
+
+TEST(OpsTest, ScatterAddRowsAccumulatesWithWeights) {
+  Tensor dst = Tensor::zeros({3, 2});
+  const Tensor src = Tensor::from({1, 1, 2, 2, 3, 3}, {3, 2});
+  const std::vector<std::int32_t> rows{1, 1, 0};
+  const std::vector<float> alpha{1.0f, 0.5f, 2.0f};
+  ops::scatter_add_rows(dst, rows, src, alpha);
+  // Row 1 receives 1*src0 + 0.5*src1; row 0 receives 2*src2.
+  EXPECT_FLOAT_EQ(dst.at(1, 0), 1.0f + 1.0f);
+  EXPECT_FLOAT_EQ(dst.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(dst.at(2, 0), 0.0f);
+  // Unit scaling when alpha omitted.
+  Tensor dst2 = Tensor::zeros({3, 2});
+  ops::scatter_add_rows(dst2, rows, src);
+  EXPECT_FLOAT_EQ(dst2.at(1, 0), 3.0f);
+}
+
+TEST(OpsTest, MatmulWithZeroRows) {
+  const Tensor a = Tensor::zeros({0, 3});
+  const Tensor b = Tensor::zeros({3, 4});
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.dim(0), 0);
+  EXPECT_EQ(c.dim(1), 4);
+  EXPECT_EQ(c.numel(), 0);
+}
+
+class QuantizePropertyTest : public ::testing::TestWithParam<DType> {};
+
+TEST_P(QuantizePropertyTest, QuantizationIsIdempotent) {
+  const DType dtype = GetParam();
+  Rng rng(21);
+  Tensor t = Tensor::randn({256}, rng, 0.0f, 10.0f);
+  ops::quantize_(t, dtype);
+  Tensor once = t.clone();
+  ops::quantize_(t, dtype);
+  auto p1 = once.f32();
+  auto p2 = t.f32();
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+}
+
+TEST_P(QuantizePropertyTest, QuantizationIsMonotone) {
+  const DType dtype = GetParam();
+  Rng rng(22);
+  for (int i = 0; i < 500; ++i) {
+    const float a = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float b = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float qa = quantize(std::min(a, b), dtype);
+    const float qb = quantize(std::max(a, b), dtype);
+    EXPECT_LE(qa, qb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDTypes, QuantizePropertyTest,
+                         ::testing::Values(DType::kF32, DType::kF16,
+                                           DType::kBF16));
+
+}  // namespace
+}  // namespace bgl

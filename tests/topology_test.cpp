@@ -1,0 +1,94 @@
+// Tests for the machine topology model: placement arithmetic, level
+// classification, link selection, preset validity.
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "topology/machine.hpp"
+
+namespace bgl::topo {
+namespace {
+
+TEST(LinkSpec, TimeIsAlphaPlusBytesOverBeta) {
+  const LinkSpec link{1e-6, 1e9};
+  EXPECT_DOUBLE_EQ(link.time(0), 1e-6);
+  EXPECT_DOUBLE_EQ(link.time(1e9), 1.0 + 1e-6);
+}
+
+TEST(MachineSpec, SunwayPresetMatchesPaperScale) {
+  const MachineSpec spec = MachineSpec::sunway_new_generation();
+  EXPECT_EQ(spec.nodes, 96000);
+  EXPECT_EQ(spec.supernode_size, 256);
+  // The headline: over 37 million cores.
+  EXPECT_GT(spec.total_cores(), 37'000'000);
+  EXPECT_EQ(spec.total_cores(), 96000LL * 390);
+  EXPECT_EQ(spec.total_processes(), 96000LL * 6);
+  EXPECT_EQ(spec.supernodes(), 375);
+}
+
+TEST(MachineSpec, PlacementArithmetic) {
+  const MachineSpec spec = MachineSpec::test_cluster(8, 4, 2);
+  // 2 ranks per node, 4 nodes per supernode -> 8 ranks per supernode.
+  EXPECT_EQ(spec.ranks_per_supernode(), 8);
+  EXPECT_EQ(spec.node_of(0), 0);
+  EXPECT_EQ(spec.node_of(1), 0);
+  EXPECT_EQ(spec.node_of(2), 1);
+  EXPECT_EQ(spec.supernode_of(7), 0);
+  EXPECT_EQ(spec.supernode_of(8), 1);
+}
+
+TEST(MachineSpec, LevelClassification) {
+  const MachineSpec spec = MachineSpec::test_cluster(8, 4, 2);
+  EXPECT_EQ(spec.level_between(3, 3), Level::kSelf);
+  EXPECT_EQ(spec.level_between(0, 1), Level::kIntraNode);
+  EXPECT_EQ(spec.level_between(0, 2), Level::kIntraSuper);
+  EXPECT_EQ(spec.level_between(0, 9), Level::kInterSuper);
+}
+
+TEST(MachineSpec, LinkSelectionOrdersLatency) {
+  const MachineSpec spec = MachineSpec::sunway_new_generation();
+  EXPECT_LT(spec.link(Level::kIntraNode).latency_s,
+            spec.link(Level::kIntraSuper).latency_s);
+  EXPECT_LT(spec.link(Level::kIntraSuper).latency_s,
+            spec.link(Level::kInterSuper).latency_s);
+  EXPECT_GT(spec.link(Level::kIntraNode).bandwidth_bps,
+            spec.link(Level::kInterSuper).bandwidth_bps);
+}
+
+TEST(MachineSpec, P2PTimeRespectsHierarchy) {
+  const MachineSpec spec = MachineSpec::test_cluster(8, 4, 2);
+  const double bytes = 1e6;
+  EXPECT_EQ(spec.p2p_time(2, 2, bytes), 0.0);
+  EXPECT_LT(spec.p2p_time(0, 1, bytes), spec.p2p_time(0, 2, bytes));
+  EXPECT_LT(spec.p2p_time(0, 2, bytes), spec.p2p_time(0, 9, bytes));
+}
+
+TEST(MachineSpec, ValidateRejectsBadValues) {
+  MachineSpec spec = MachineSpec::test_cluster();
+  spec.nodes = 0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = MachineSpec::test_cluster();
+  spec.trunk_taper = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = MachineSpec::test_cluster();
+  spec.intra_super.bandwidth_bps = -1;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = MachineSpec::test_cluster();
+  spec.gemm_efficiency = 1.5;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST(MachineSpec, SupernodeCountRoundsUp) {
+  const MachineSpec spec = MachineSpec::test_cluster(10, 4, 1);
+  EXPECT_EQ(spec.supernodes(), 3);
+}
+
+TEST(MachineSpec, LinkOnSelfLevelThrows) {
+  const MachineSpec spec = MachineSpec::test_cluster();
+  EXPECT_THROW((void)spec.link(Level::kSelf), Error);
+}
+
+}  // namespace
+}  // namespace bgl::topo

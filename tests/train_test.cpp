@@ -1,0 +1,308 @@
+// Tests for optimizers, mixed precision (loss scaler + emulator), LR
+// schedules, synthetic data generators and checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "train/checkpoint.hpp"
+#include "train/data.hpp"
+#include "train/mixed_precision.hpp"
+#include "train/optimizer.hpp"
+#include "train/schedule.hpp"
+
+namespace bgl::train {
+namespace {
+
+/// Minimizes f(w) = 0.5*||w - target||^2 with the given optimizer; returns
+/// the final squared distance.
+double optimize_quadratic(Optimizer& opt, int steps) {
+  nn::Parameter w("w", Tensor::zeros({4}));
+  const Tensor target = Tensor::from({1, -2, 3, 0.5f}, {4});
+  nn::Parameter* params[] = {&w};
+  for (int s = 0; s < steps; ++s) {
+    auto pw = w.value.f32();
+    auto pg = w.grad.f32();
+    auto pt = target.f32();
+    for (std::size_t i = 0; i < pw.size(); ++i) pg[i] = pw[i] - pt[i];
+    opt.step(params);
+  }
+  double dist = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double diff = w.value.f32()[i] - target.f32()[i];
+    dist += diff * diff;
+  }
+  return dist;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd opt(0.1);
+  EXPECT_LT(optimize_quadratic(opt, 200), 1e-6);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+  Sgd plain(0.05);
+  Sgd momentum(0.05, 0.9);
+  EXPECT_LT(optimize_quadratic(momentum, 60), optimize_quadratic(plain, 60));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  nn::Parameter w("w", Tensor::full({2}, 10.0f));
+  w.grad.fill(0.0f);
+  nn::Parameter* params[] = {&w};
+  Sgd opt(0.1, 0.0, 0.5);
+  opt.step(params);
+  EXPECT_NEAR(w.value.f32()[0], 10.0f - 0.1f * 0.5f * 10.0f, 1e-5f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam opt(0.1);
+  EXPECT_LT(optimize_quadratic(opt, 300), 1e-4);
+}
+
+TEST(Adam, FirstStepSizeIsLr) {
+  // With bias correction, the first Adam update is ~lr in the gradient
+  // direction regardless of gradient magnitude.
+  nn::Parameter w("w", Tensor::zeros({1}));
+  w.grad.fill(1000.0f);
+  nn::Parameter* params[] = {&w};
+  Adam opt(0.01);
+  opt.step(params);
+  EXPECT_NEAR(w.value.f32()[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, StateIsPerParameter) {
+  nn::Parameter a("a", Tensor::zeros({1}));
+  nn::Parameter b("b", Tensor::zeros({1}));
+  nn::Parameter* params[] = {&a, &b};
+  Adam opt(0.1);
+  a.grad.fill(1.0f);
+  b.grad.fill(-1.0f);
+  opt.step(params);
+  EXPECT_LT(a.value.f32()[0], 0.0f);
+  EXPECT_GT(b.value.f32()[0], 0.0f);
+  EXPECT_EQ(opt.steps(), 1);
+}
+
+TEST(ClipGradNorm, ScalesOnlyWhenAbove) {
+  nn::Parameter w("w", Tensor::zeros({3}));
+  w.grad = Tensor::from({3, 4, 0}, {3});  // norm 5
+  nn::Parameter* params[] = {&w};
+  const double norm = clip_grad_norm(params, 10.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_FLOAT_EQ(w.grad.f32()[0], 3.0f);  // untouched
+
+  const double norm2 = clip_grad_norm(params, 1.0);
+  EXPECT_NEAR(norm2, 5.0, 1e-6);
+  double clipped = 0;
+  for (const float g : w.grad.f32()) clipped += double(g) * g;
+  EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-4);
+}
+
+TEST(LossScaler, UnscalesFiniteGradients) {
+  LossScaler scaler(1024.0);
+  nn::Parameter w("w", Tensor::zeros({2}));
+  w.grad.fill(1024.0f);
+  nn::Parameter* params[] = {&w};
+  EXPECT_TRUE(scaler.unscale_and_check(params));
+  EXPECT_FLOAT_EQ(w.grad.f32()[0], 1.0f);
+  EXPECT_EQ(scaler.good_steps(), 1);
+}
+
+TEST(LossScaler, BacksOffOnOverflowAndZeroesGrads) {
+  LossScaler scaler(1024.0);
+  nn::Parameter w("w", Tensor::zeros({2}));
+  w.grad.f32()[0] = std::numeric_limits<float>::infinity();
+  nn::Parameter* params[] = {&w};
+  EXPECT_FALSE(scaler.unscale_and_check(params));
+  EXPECT_EQ(scaler.scale(), 512.0);
+  EXPECT_EQ(w.grad.f32()[0], 0.0f);
+  EXPECT_EQ(scaler.overflow_count(), 1);
+}
+
+TEST(LossScaler, GrowsAfterStreak) {
+  LossScaler scaler(2.0, 2.0, 0.5, /*growth_interval=*/3);
+  nn::Parameter w("w", Tensor::zeros({1}));
+  nn::Parameter* params[] = {&w};
+  for (int i = 0; i < 3; ++i) {
+    w.grad.fill(1.0f);
+    EXPECT_TRUE(scaler.unscale_and_check(params));
+  }
+  EXPECT_EQ(scaler.scale(), 4.0);
+}
+
+TEST(LossScaler, NeverBelowMinScale) {
+  LossScaler scaler(2.0, 2.0, 0.5, 100, /*min_scale=*/1.0);
+  nn::Parameter w("w", Tensor::zeros({1}));
+  nn::Parameter* params[] = {&w};
+  for (int i = 0; i < 10; ++i) {
+    w.grad.f32()[0] = std::numeric_limits<float>::quiet_NaN();
+    scaler.unscale_and_check(params);
+  }
+  EXPECT_GE(scaler.scale(), 1.0);
+}
+
+TEST(PrecisionEmulator, QuantizeRestoreRoundTrip) {
+  nn::Parameter w("w", Tensor::full({4}, 0.1f));
+  nn::Parameter* params[] = {&w};
+  PrecisionEmulator emu(DType::kF16);
+  emu.quantize_params(params);
+  EXPECT_NE(w.value.f32()[0], 0.1f);  // quantized
+  emu.restore_params(params);
+  EXPECT_EQ(w.value.f32()[0], 0.1f);  // master restored exactly
+}
+
+TEST(PrecisionEmulator, F32IsNoop) {
+  nn::Parameter w("w", Tensor::full({4}, 0.1f));
+  nn::Parameter* params[] = {&w};
+  PrecisionEmulator emu(DType::kF32);
+  emu.quantize_params(params);
+  EXPECT_EQ(w.value.f32()[0], 0.1f);
+  emu.restore_params(params);
+}
+
+TEST(PrecisionEmulator, DoubleQuantizeThrows) {
+  nn::Parameter w("w", Tensor::zeros({1}));
+  nn::Parameter* params[] = {&w};
+  PrecisionEmulator emu(DType::kBF16);
+  emu.quantize_params(params);
+  EXPECT_THROW(emu.quantize_params(params), Error);
+  emu.restore_params(params);
+  EXPECT_THROW(emu.restore_params(params), Error);
+}
+
+TEST(PrecisionRecipe, BytesPerParam) {
+  PrecisionRecipe fp32{DType::kF32, false, true, false};
+  EXPECT_DOUBLE_EQ(fp32.bytes_per_param(), 4.0 + 8.0);
+  PrecisionRecipe mixed{DType::kF16, true, true, false};
+  EXPECT_DOUBLE_EQ(mixed.bytes_per_param(), 2.0 + 4.0 + 8.0);
+  PrecisionRecipe sharded{DType::kF16, true, true, true};
+  EXPECT_DOUBLE_EQ(sharded.bytes_per_param(4), 2.0 + 4.0 + 2.0);
+}
+
+TEST(Schedule, WarmupThenCosine) {
+  WarmupCosineSchedule schedule(1.0, 10, 110, 0.1);
+  EXPECT_NEAR(schedule.at(0), 0.1, 1e-9);   // first warmup step
+  EXPECT_NEAR(schedule.at(9), 1.0, 1e-9);   // warmup end
+  EXPECT_NEAR(schedule.at(10), 1.0, 1e-2);  // just after peak
+  EXPECT_NEAR(schedule.at(110), 0.1, 1e-9); // fully decayed
+  // Midpoint of cosine: halfway between peak and final.
+  EXPECT_NEAR(schedule.at(60), 0.55, 1e-2);
+  // Monotone decreasing after warmup.
+  for (int s = 10; s < 110; ++s)
+    EXPECT_GE(schedule.at(s) + 1e-12, schedule.at(s + 1));
+}
+
+TEST(MarkovStream, BatchShapesAndDeterminism) {
+  MarkovTokenStream a(32, 0.1, 7);
+  MarkovTokenStream b(32, 0.1, 7);
+  const Batch ba = a.next_batch(4, 8);
+  const Batch bb = b.next_batch(4, 8);
+  EXPECT_EQ(ba.tokens.size(), 32u);
+  EXPECT_EQ(ba.targets.size(), 32u);
+  EXPECT_EQ(ba.tokens, bb.tokens);
+  EXPECT_EQ(ba.targets, bb.targets);
+  for (const auto t : ba.tokens) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 32);
+  }
+}
+
+TEST(MarkovStream, TargetsFollowChain) {
+  // Zero noise: target must equal the next input within a sequence.
+  MarkovTokenStream stream(16, 0.0, 3);
+  const Batch batch = stream.next_batch(2, 10);
+  for (int b = 0; b < 2; ++b)
+    for (int t = 0; t + 1 < 10; ++t)
+      EXPECT_EQ(batch.targets[b * 10 + t], batch.tokens[b * 10 + t + 1]);
+}
+
+TEST(MarkovStream, EntropyFloor) {
+  MarkovTokenStream noiseless(16, 0.0, 1);
+  EXPECT_NEAR(noiseless.entropy_floor(), 0.0, 1e-9);
+  MarkovTokenStream uniform(16, 1.0, 1);
+  // Full noise over V tokens: floor slightly below log(V) (main token gets
+  // a tiny boost), but close.
+  EXPECT_NEAR(uniform.entropy_floor(), std::log(16.0), 0.05);
+  MarkovTokenStream mid(16, 0.2, 1);
+  EXPECT_GT(mid.entropy_floor(), 0.0);
+  EXPECT_LT(mid.entropy_floor(), std::log(16.0));
+}
+
+TEST(SkewedTokens, ClassesFollowZipf) {
+  SkewedTokenGenerator gen(8, 4, 1.5, 11);
+  (void)gen.next_tokens(4000);
+  std::vector<int> counts(4, 0);
+  for (const int c : gen.last_classes()) ++counts[static_cast<std::size_t>(c)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+}
+
+TEST(SkewedTokens, VectorsClusterByClass) {
+  SkewedTokenGenerator gen(16, 4, 0.0, 12);
+  const auto rows = gen.next_tokens(200);
+  const auto& classes = gen.last_classes();
+  // Mean distance to own-class tokens should be far below cross-class.
+  double same = 0, cross = 0;
+  int same_n = 0, cross_n = 0;
+  for (int i = 0; i < 40; ++i) {
+    for (int j = i + 1; j < 40; ++j) {
+      double dist = 0;
+      for (int c = 0; c < 16; ++c) {
+        const double diff = rows[i * 16 + c] - rows[j * 16 + c];
+        dist += diff * diff;
+      }
+      if (classes[i] == classes[j]) {
+        same += dist;
+        ++same_n;
+      } else {
+        cross += dist;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  Rng rng(13);
+  nn::Parameter a("layer.weight", Tensor::randn({3, 4}, rng));
+  nn::Parameter b("layer.bias", Tensor::randn({4}, rng));
+  nn::Parameter* params[] = {&a, &b};
+  const std::string path = "/tmp/bgl_ckpt_test.bin";
+  save_checkpoint(path, params);
+
+  const Tensor a_orig = a.value.clone();
+  a.value.fill(0.0f);
+  b.value.fill(0.0f);
+  load_checkpoint(path, params);
+  for (std::size_t i = 0; i < a.value.f32().size(); ++i)
+    EXPECT_EQ(a.value.f32()[i], a_orig.f32()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMismatchedModel) {
+  Rng rng(14);
+  nn::Parameter a("w", Tensor::randn({3}, rng));
+  nn::Parameter* params[] = {&a};
+  const std::string path = "/tmp/bgl_ckpt_mismatch.bin";
+  save_checkpoint(path, params);
+
+  nn::Parameter wrong_name("v", Tensor::zeros({3}));
+  nn::Parameter* wrong1[] = {&wrong_name};
+  EXPECT_THROW(load_checkpoint(path, wrong1), Error);
+
+  nn::Parameter wrong_shape("w", Tensor::zeros({4}));
+  nn::Parameter* wrong2[] = {&wrong_shape};
+  EXPECT_THROW(load_checkpoint(path, wrong2), Error);
+
+  EXPECT_THROW(load_checkpoint("/tmp/nonexistent_bgl.bin", params), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bgl::train
