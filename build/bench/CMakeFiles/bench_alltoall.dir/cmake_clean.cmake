@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alltoall.dir/bench_alltoall.cpp.o"
+  "CMakeFiles/bench_alltoall.dir/bench_alltoall.cpp.o.d"
+  "bench_alltoall"
+  "bench_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bucketing.dir/bench_bucketing.cpp.o"
+  "CMakeFiles/bench_bucketing.dir/bench_bucketing.cpp.o.d"
+  "bench_bucketing"
+  "bench_bucketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bucketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

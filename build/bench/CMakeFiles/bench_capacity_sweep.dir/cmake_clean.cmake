@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_sweep.dir/bench_capacity_sweep.cpp.o"
+  "CMakeFiles/bench_capacity_sweep.dir/bench_capacity_sweep.cpp.o.d"
+  "bench_capacity_sweep"
+  "bench_capacity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

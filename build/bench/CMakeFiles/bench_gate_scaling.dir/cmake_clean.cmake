@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_scaling.dir/bench_gate_scaling.cpp.o"
+  "CMakeFiles/bench_gate_scaling.dir/bench_gate_scaling.cpp.o.d"
+  "bench_gate_scaling"
+  "bench_gate_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

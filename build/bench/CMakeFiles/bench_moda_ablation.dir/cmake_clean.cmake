@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moda_ablation.dir/bench_moda_ablation.cpp.o"
+  "CMakeFiles/bench_moda_ablation.dir/bench_moda_ablation.cpp.o.d"
+  "bench_moda_ablation"
+  "bench_moda_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moda_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_configs.dir/bench_model_configs.cpp.o"
+  "CMakeFiles/bench_model_configs.dir/bench_model_configs.cpp.o.d"
+  "bench_model_configs"
+  "bench_model_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moe_vs_dense.dir/bench_moe_vs_dense.cpp.o"
+  "CMakeFiles/bench_moe_vs_dense.dir/bench_moe_vs_dense.cpp.o.d"
+  "bench_moe_vs_dense"
+  "bench_moe_vs_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moe_vs_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_moe_vs_dense.
+# This may be replaced when dependencies are built.

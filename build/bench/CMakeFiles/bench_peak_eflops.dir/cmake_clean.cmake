@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peak_eflops.dir/bench_peak_eflops.cpp.o"
+  "CMakeFiles/bench_peak_eflops.dir/bench_peak_eflops.cpp.o.d"
+  "bench_peak_eflops"
+  "bench_peak_eflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peak_eflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_peak_eflops.
+# This may be replaced when dependencies are built.

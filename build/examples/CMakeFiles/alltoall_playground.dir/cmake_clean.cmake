@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alltoall_playground.dir/alltoall_playground.cpp.o"
+  "CMakeFiles/alltoall_playground.dir/alltoall_playground.cpp.o.d"
+  "alltoall_playground"
+  "alltoall_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alltoall_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_moe.dir/distributed_moe.cpp.o"
+  "CMakeFiles/distributed_moe.dir/distributed_moe.cpp.o.d"
+  "distributed_moe"
+  "distributed_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_projection.dir/scaling_projection.cpp.o"
+  "CMakeFiles/scaling_projection.dir/scaling_projection.cpp.o.d"
+  "scaling_projection"
+  "scaling_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

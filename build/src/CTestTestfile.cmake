@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("tensor")
+subdirs("runtime")
+subdirs("topology")
+subdirs("simnet")
+subdirs("collectives")
+subdirs("nn")
+subdirs("moe")
+subdirs("parallel")
+subdirs("train")
+subdirs("model")
+subdirs("perf")

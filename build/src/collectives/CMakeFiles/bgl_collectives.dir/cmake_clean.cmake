@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_collectives.dir/coll.cpp.o"
+  "CMakeFiles/bgl_collectives.dir/coll.cpp.o.d"
+  "CMakeFiles/bgl_collectives.dir/coll_cost.cpp.o"
+  "CMakeFiles/bgl_collectives.dir/coll_cost.cpp.o.d"
+  "libbgl_collectives.a"
+  "libbgl_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

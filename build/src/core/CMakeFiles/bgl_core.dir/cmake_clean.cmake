@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_core.dir/log.cpp.o"
+  "CMakeFiles/bgl_core.dir/log.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/rng.cpp.o"
+  "CMakeFiles/bgl_core.dir/rng.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/stats.cpp.o"
+  "CMakeFiles/bgl_core.dir/stats.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/table.cpp.o"
+  "CMakeFiles/bgl_core.dir/table.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/units.cpp.o"
+  "CMakeFiles/bgl_core.dir/units.cpp.o.d"
+  "libbgl_core.a"
+  "libbgl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_model.dir/config.cpp.o"
+  "CMakeFiles/bgl_model.dir/config.cpp.o.d"
+  "CMakeFiles/bgl_model.dir/generate.cpp.o"
+  "CMakeFiles/bgl_model.dir/generate.cpp.o.d"
+  "CMakeFiles/bgl_model.dir/trainer.cpp.o"
+  "CMakeFiles/bgl_model.dir/trainer.cpp.o.d"
+  "CMakeFiles/bgl_model.dir/transformer.cpp.o"
+  "CMakeFiles/bgl_model.dir/transformer.cpp.o.d"
+  "libbgl_model.a"
+  "libbgl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

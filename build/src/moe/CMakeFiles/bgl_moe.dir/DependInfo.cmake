@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moe/gating.cpp" "src/moe/CMakeFiles/bgl_moe.dir/gating.cpp.o" "gcc" "src/moe/CMakeFiles/bgl_moe.dir/gating.cpp.o.d"
+  "/root/repo/src/moe/moe_layer.cpp" "src/moe/CMakeFiles/bgl_moe.dir/moe_layer.cpp.o" "gcc" "src/moe/CMakeFiles/bgl_moe.dir/moe_layer.cpp.o.d"
+  "/root/repo/src/moe/placement.cpp" "src/moe/CMakeFiles/bgl_moe.dir/placement.cpp.o" "gcc" "src/moe/CMakeFiles/bgl_moe.dir/placement.cpp.o.d"
+  "/root/repo/src/moe/two_level_gate.cpp" "src/moe/CMakeFiles/bgl_moe.dir/two_level_gate.cpp.o" "gcc" "src/moe/CMakeFiles/bgl_moe.dir/two_level_gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/bgl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bgl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_moe.dir/gating.cpp.o"
+  "CMakeFiles/bgl_moe.dir/gating.cpp.o.d"
+  "CMakeFiles/bgl_moe.dir/moe_layer.cpp.o"
+  "CMakeFiles/bgl_moe.dir/moe_layer.cpp.o.d"
+  "CMakeFiles/bgl_moe.dir/placement.cpp.o"
+  "CMakeFiles/bgl_moe.dir/placement.cpp.o.d"
+  "CMakeFiles/bgl_moe.dir/two_level_gate.cpp.o"
+  "CMakeFiles/bgl_moe.dir/two_level_gate.cpp.o.d"
+  "libbgl_moe.a"
+  "libbgl_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/bgl_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/bgl_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/bgl_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/bgl_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/nn/CMakeFiles/bgl_nn.dir/layernorm.cpp.o" "gcc" "src/nn/CMakeFiles/bgl_nn.dir/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/bgl_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/bgl_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/bgl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/bgl_nn.dir/loss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/bgl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

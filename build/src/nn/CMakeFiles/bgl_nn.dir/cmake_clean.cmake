@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_nn.dir/attention.cpp.o"
+  "CMakeFiles/bgl_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/bgl_nn.dir/embedding.cpp.o"
+  "CMakeFiles/bgl_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/bgl_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/bgl_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/bgl_nn.dir/linear.cpp.o"
+  "CMakeFiles/bgl_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/bgl_nn.dir/loss.cpp.o"
+  "CMakeFiles/bgl_nn.dir/loss.cpp.o.d"
+  "libbgl_nn.a"
+  "libbgl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_parallel.dir/data_parallel.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/bgl_parallel.dir/dist_checkpoint.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/dist_checkpoint.cpp.o.d"
+  "CMakeFiles/bgl_parallel.dir/dist_trainer.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/dist_trainer.cpp.o.d"
+  "CMakeFiles/bgl_parallel.dir/dist_transformer.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/dist_transformer.cpp.o.d"
+  "CMakeFiles/bgl_parallel.dir/expert_parallel.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/expert_parallel.cpp.o.d"
+  "CMakeFiles/bgl_parallel.dir/sharded_optimizer.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/sharded_optimizer.cpp.o.d"
+  "CMakeFiles/bgl_parallel.dir/vocab_parallel.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/vocab_parallel.cpp.o.d"
+  "libbgl_parallel.a"
+  "libbgl_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

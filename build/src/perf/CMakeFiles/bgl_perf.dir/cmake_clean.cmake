@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/bgl_perf.dir/perf_model.cpp.o.d"
+  "libbgl_perf.a"
+  "libbgl_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

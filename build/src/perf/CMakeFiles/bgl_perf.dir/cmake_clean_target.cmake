@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgl_perf.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_runtime.dir/comm.cpp.o"
+  "CMakeFiles/bgl_runtime.dir/comm.cpp.o.d"
+  "libbgl_runtime.a"
+  "libbgl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

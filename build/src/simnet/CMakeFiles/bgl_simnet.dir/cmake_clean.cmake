@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_simnet.dir/patterns.cpp.o"
+  "CMakeFiles/bgl_simnet.dir/patterns.cpp.o.d"
+  "CMakeFiles/bgl_simnet.dir/simnet.cpp.o"
+  "CMakeFiles/bgl_simnet.dir/simnet.cpp.o.d"
+  "libbgl_simnet.a"
+  "libbgl_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_tensor.dir/dtype.cpp.o"
+  "CMakeFiles/bgl_tensor.dir/dtype.cpp.o.d"
+  "CMakeFiles/bgl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/bgl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/bgl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/bgl_tensor.dir/tensor.cpp.o.d"
+  "libbgl_tensor.a"
+  "libbgl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

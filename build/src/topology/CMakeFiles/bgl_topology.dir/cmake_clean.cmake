@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_topology.dir/machine.cpp.o"
+  "CMakeFiles/bgl_topology.dir/machine.cpp.o.d"
+  "libbgl_topology.a"
+  "libbgl_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

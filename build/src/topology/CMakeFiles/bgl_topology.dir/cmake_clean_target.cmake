@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgl_topology.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_train.dir/checkpoint.cpp.o"
+  "CMakeFiles/bgl_train.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/bgl_train.dir/data.cpp.o"
+  "CMakeFiles/bgl_train.dir/data.cpp.o.d"
+  "CMakeFiles/bgl_train.dir/mixed_precision.cpp.o"
+  "CMakeFiles/bgl_train.dir/mixed_precision.cpp.o.d"
+  "CMakeFiles/bgl_train.dir/optimizer.cpp.o"
+  "CMakeFiles/bgl_train.dir/optimizer.cpp.o.d"
+  "libbgl_train.a"
+  "libbgl_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

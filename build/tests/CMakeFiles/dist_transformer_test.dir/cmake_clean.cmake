@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_transformer_test.dir/dist_transformer_test.cpp.o"
+  "CMakeFiles/dist_transformer_test.dir/dist_transformer_test.cpp.o.d"
+  "dist_transformer_test"
+  "dist_transformer_test.pdb"
+  "dist_transformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

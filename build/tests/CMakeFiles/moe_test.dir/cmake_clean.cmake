@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_test.dir/moe_test.cpp.o"
+  "CMakeFiles/moe_test.dir/moe_test.cpp.o.d"
+  "moe_test"
+  "moe_test.pdb"
+  "moe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

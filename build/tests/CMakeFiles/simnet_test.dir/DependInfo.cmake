@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simnet_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/bgl_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/bgl_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bgl_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bgl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

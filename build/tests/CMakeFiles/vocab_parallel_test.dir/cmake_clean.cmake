@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_parallel_test.dir/vocab_parallel_test.cpp.o"
+  "CMakeFiles/vocab_parallel_test.dir/vocab_parallel_test.cpp.o.d"
+  "vocab_parallel_test"
+  "vocab_parallel_test.pdb"
+  "vocab_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
