@@ -1,0 +1,207 @@
+#include "core/crc32.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "core/error.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define BGL_CRC32_HW 1
+#endif
+
+namespace bgl {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC-32C, reflected
+
+/// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table,
+/// table[k][b] is the CRC of byte b followed by k zero bytes. Slicing-by-8
+/// consumes 8 input bytes per iteration with 8 independent lookups.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Crc32Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? kPoly ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t k = 1; k < 8; ++k)
+        t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+  }
+};
+
+const Crc32Tables& tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+std::uint32_t crc32_sw(const unsigned char* p, std::size_t n, std::uint32_t c) {
+  const auto& t = tables().t;
+  while (n >= 8) {
+    // Fold the next 4 bytes into the running CRC, then slice all 8.
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  static_cast<std::uint32_t>(p[1]) << 8 |
+                                  static_cast<std::uint32_t>(p[2]) << 16 |
+                                  static_cast<std::uint32_t>(p[3]) << 24);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  return c;
+}
+
+#ifdef BGL_CRC32_HW
+
+// The crc32 instruction has 3-cycle latency but single-cycle throughput,
+// so one dependency chain leaves two thirds of the unit idle. Large
+// buffers are therefore processed as three interleaved streams, and the
+// streams are recombined with a precomputed "append N zero bytes"
+// operator (appending zeros to a raw CRC register is linear over GF(2),
+// so the operator is a 32x32 bit matrix, stored as 4x256 lookup tables).
+constexpr std::size_t kLongBlock = 8192;  // per-stream bytes, big buffers
+constexpr std::size_t kShortBlock = 256;  // per-stream bytes, medium buffers
+
+using ShiftTable = std::array<std::array<std::uint32_t, 256>, 4>;
+
+struct Crc32ShiftTables {
+  ShiftTable long_shift;
+  ShiftTable short_shift;
+
+  Crc32ShiftTables() {
+    build(long_shift, kLongBlock);
+    build(short_shift, kShortBlock);
+  }
+
+  static void build(ShiftTable& z, std::size_t zero_bytes) {
+    // Column i of the matrix: the raw register after feeding zero_bytes
+    // zeros starting from the single-bit state 1<<i.
+    const auto& t0 = tables().t[0];
+    std::array<std::uint32_t, 32> op;
+    for (int i = 0; i < 32; ++i) {
+      std::uint32_t c = 1u << i;
+      for (std::size_t k = 0; k < zero_bytes; ++k)
+        c = t0[c & 0xFFu] ^ (c >> 8);
+      op[static_cast<std::size_t>(i)] = c;
+    }
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      for (int k = 0; k < 4; ++k) {
+        std::uint32_t vec = b << (8 * k);
+        std::uint32_t sum = 0;
+        for (int i = 0; vec != 0; ++i, vec >>= 1)
+          if (vec & 1u) sum ^= op[static_cast<std::size_t>(i)];
+        z[static_cast<std::size_t>(k)][b] = sum;
+      }
+    }
+  }
+};
+
+const Crc32ShiftTables& shift_tables() {
+  static const Crc32ShiftTables tables;
+  return tables;
+}
+
+/// Applies the "append N zero bytes" operator to a raw register value.
+std::uint32_t shift(const ShiftTable& z, std::uint32_t c) {
+  return z[0][c & 0xFFu] ^ z[1][(c >> 8) & 0xFFu] ^ z[2][(c >> 16) & 0xFFu] ^
+         z[3][c >> 24];
+}
+
+/// SSE4.2 path: the crc32 instruction implements exactly CRC-32C. Compiled
+/// with a per-function target attribute so the rest of the binary stays
+/// baseline-ISA; only called after the cpuid check below.
+__attribute__((target("sse4.2"))) std::uint32_t crc32_hw(
+    const unsigned char* p, std::size_t n, std::uint32_t c) {
+  const Crc32ShiftTables& st = shift_tables();
+  std::uint64_t c0 = c;
+  while (n >= 3 * kLongBlock) {
+    std::uint64_t c1 = 0, c2 = 0;
+    for (std::size_t i = 0; i < kLongBlock; i += 8) {
+      std::uint64_t a, b, d;
+      std::memcpy(&a, p + i, 8);
+      std::memcpy(&b, p + i + kLongBlock, 8);
+      std::memcpy(&d, p + i + 2 * kLongBlock, 8);
+      c0 = __builtin_ia32_crc32di(c0, a);
+      c1 = __builtin_ia32_crc32di(c1, b);
+      c2 = __builtin_ia32_crc32di(c2, d);
+    }
+    c0 = shift(st.long_shift, static_cast<std::uint32_t>(c0)) ^ c1;
+    c0 = shift(st.long_shift, static_cast<std::uint32_t>(c0)) ^ c2;
+    p += 3 * kLongBlock;
+    n -= 3 * kLongBlock;
+  }
+  while (n >= 3 * kShortBlock) {
+    std::uint64_t c1 = 0, c2 = 0;
+    for (std::size_t i = 0; i < kShortBlock; i += 8) {
+      std::uint64_t a, b, d;
+      std::memcpy(&a, p + i, 8);
+      std::memcpy(&b, p + i + kShortBlock, 8);
+      std::memcpy(&d, p + i + 2 * kShortBlock, 8);
+      c0 = __builtin_ia32_crc32di(c0, a);
+      c1 = __builtin_ia32_crc32di(c1, b);
+      c2 = __builtin_ia32_crc32di(c2, d);
+    }
+    c0 = shift(st.short_shift, static_cast<std::uint32_t>(c0)) ^ c1;
+    c0 = shift(st.short_shift, static_cast<std::uint32_t>(c0)) ^ c2;
+    p += 3 * kShortBlock;
+    n -= 3 * kShortBlock;
+  }
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c0 = __builtin_ia32_crc32di(c0, v);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c0);
+  while (n-- > 0) c32 = __builtin_ia32_crc32qi(c32, *p++);
+  return c32;
+}
+
+bool have_sse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+
+#endif  // BGL_CRC32_HW
+
+}  // namespace
+
+std::uint32_t crc32_portable(std::span<const std::byte> data,
+                             std::uint32_t crc) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  return ~crc32_sw(p, data.size(), ~crc);
+}
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t crc) {
+#ifdef BGL_CRC32_HW
+  if (have_sse42()) {
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+    return ~crc32_hw(p, data.size(), ~crc);
+  }
+#endif
+  return crc32_portable(data, crc);
+}
+
+std::uint32_t crc32_file(const std::string& path, std::uint64_t* out_size) {
+  std::ifstream is(path, std::ios::binary);
+  BGL_ENSURE(is.is_open(), "cannot open file for checksum: " << path);
+  std::uint32_t crc = 0;
+  std::uint64_t size = 0;
+  std::array<char, 1 << 16> buf;
+  while (is) {
+    is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const auto got = static_cast<std::size_t>(is.gcount());
+    crc = crc32(buf.data(), got, crc);
+    size += got;
+  }
+  BGL_ENSURE(is.eof(), "read error while checksumming: " << path);
+  if (out_size != nullptr) *out_size = size;
+  return crc;
+}
+
+}  // namespace bgl

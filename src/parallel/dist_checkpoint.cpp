@@ -1,17 +1,103 @@
 #include "parallel/dist_checkpoint.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <unordered_map>
 
+#include "core/crc32.hpp"
 #include "train/checkpoint.hpp"
 
 namespace bgl::parallel {
 namespace {
 
-std::string rank_path(const std::string& prefix, int rank) {
-  return prefix + ".rank" + std::to_string(rank) + ".ckpt";
+constexpr char kManifestMagic[] = "bgl-dist-manifest v1";
+
+void atomic_rename(const std::string& from, const std::string& to) {
+  BGL_ENSURE(std::rename(from.c_str(), to.c_str()) == 0,
+             "cannot rename " << from << " -> " << to);
+}
+
+/// Shared by both load overloads: index every entry of every old file by
+/// name and pull what this rank's model needs.
+void load_by_name(const std::string& prefix, int old_world_size,
+                  const rt::Communicator& world, DistMoETransformerLM& lm) {
+  BGL_ENSURE(!lm.vocab_parallel(),
+             "dist checkpoint does not support vocab-parallel models");
+  BGL_CHECK(old_world_size >= 1);
+
+  // First occurrence wins (replicated dense params and DP-replicated
+  // experts are identical).
+  std::unordered_map<std::string, Tensor> index;
+  for (int r = 0; r < old_world_size; ++r) {
+    for (auto& entry : train::read_checkpoint_entries(
+             dist_checkpoint_rank_path(prefix, r))) {
+      index.try_emplace(std::move(entry.name), std::move(entry.value));
+    }
+  }
+
+  for (nn::Parameter* p : lm.parameters()) {
+    const auto it = index.find(p->name);
+    if (it == index.end())
+      throw CheckpointError("checkpoint '" + prefix +
+                            "' is missing parameter '" + p->name + "'");
+    if (!it->second.same_shape(p->value))
+      throw CheckpointError("shape mismatch for '" + p->name +
+                            "': checkpoint " + shape_str(it->second.shape()) +
+                            " vs model " + shape_str(p->value.shape()));
+    p->value = it->second.clone();
+  }
+  world.barrier();
 }
 
 }  // namespace
+
+std::string dist_checkpoint_rank_path(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".ckpt";
+}
+
+std::string dist_checkpoint_manifest_path(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+CheckpointManifest read_checkpoint_manifest(const std::string& prefix) {
+  const std::string path = dist_checkpoint_manifest_path(prefix);
+  std::ifstream is(path);
+  if (!is.is_open())
+    throw CheckpointError("missing checkpoint manifest: " + path +
+                          " (snapshot incomplete or never finished?)");
+  std::string line;
+  if (!std::getline(is, line) || line != kManifestMagic)
+    throw CheckpointError("bad manifest magic in " + path + ": '" + line + "'");
+
+  CheckpointManifest manifest;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "world_size") {
+      ls >> manifest.world_size;
+    } else if (kind == "file") {
+      CheckpointManifest::File f;
+      ls >> f.rank >> std::hex >> f.crc >> std::dec >> f.size;
+      manifest.files.push_back(f);
+    } else {
+      throw CheckpointError("unknown manifest record '" + kind + "' in " +
+                            path);
+    }
+    if (!ls)
+      throw CheckpointError("malformed manifest line in " + path + ": '" +
+                            line + "'");
+  }
+  if (manifest.world_size < 1 ||
+      manifest.files.size() != static_cast<std::size_t>(manifest.world_size))
+    throw CheckpointError(
+        "manifest " + path + " is inconsistent: world_size " +
+        std::to_string(manifest.world_size) + " but " +
+        std::to_string(manifest.files.size()) + " file records");
+  return manifest;
+}
 
 void save_dist_checkpoint(const std::string& prefix,
                           const rt::Communicator& world,
@@ -19,38 +105,66 @@ void save_dist_checkpoint(const std::string& prefix,
   BGL_ENSURE(!lm.vocab_parallel(),
              "dist checkpoint does not support vocab-parallel models");
   const auto params = lm.parameters();
-  train::save_checkpoint(rank_path(prefix, world.rank()), params);
+  const std::string path = dist_checkpoint_rank_path(prefix, world.rank());
+  train::save_checkpoint(path + ".tmp", params);
+  atomic_rename(path + ".tmp", path);
   world.barrier();
+
+  // All per-rank files are in place; rank 0 seals the snapshot with the
+  // manifest (written last, also atomically — its presence certifies the
+  // whole file set).
+  if (world.rank() == 0) {
+    const std::string mpath = dist_checkpoint_manifest_path(prefix);
+    {
+      std::ofstream os(mpath + ".tmp", std::ios::trunc);
+      BGL_ENSURE(os.is_open(), "cannot open manifest for writing: " << mpath);
+      os << kManifestMagic << "\n";
+      os << "world_size " << world.size() << "\n";
+      for (int r = 0; r < world.size(); ++r) {
+        std::uint64_t size = 0;
+        const std::uint32_t crc =
+            crc32_file(dist_checkpoint_rank_path(prefix, r), &size);
+        os << "file " << r << ' ' << std::hex << crc << std::dec << ' '
+           << size << "\n";
+      }
+      BGL_ENSURE(static_cast<bool>(os), "manifest write failed: " << mpath);
+    }
+    atomic_rename(mpath + ".tmp", mpath);
+  }
+  world.barrier();
+}
+
+void load_dist_checkpoint(const std::string& prefix,
+                          const rt::Communicator& world,
+                          DistMoETransformerLM& lm) {
+  const CheckpointManifest manifest = read_checkpoint_manifest(prefix);
+  for (const auto& f : manifest.files) {
+    const std::string path = dist_checkpoint_rank_path(prefix, f.rank);
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+    try {
+      crc = crc32_file(path, &size);
+    } catch (const Error& e) {
+      throw CheckpointError("torn checkpoint: " + std::string(e.what()));
+    }
+    if (size != f.size)
+      throw CheckpointError(
+          "torn checkpoint: " + path + " has " + std::to_string(size) +
+          " bytes, manifest expects " + std::to_string(f.size));
+    if (crc != f.crc) {
+      std::ostringstream os;
+      os << "corrupt checkpoint: " << path << " crc " << std::hex << crc
+         << " does not match manifest crc " << f.crc;
+      throw CheckpointError(os.str());
+    }
+  }
+  load_by_name(prefix, manifest.world_size, world, lm);
 }
 
 void load_dist_checkpoint(const std::string& prefix, int old_world_size,
                           const rt::Communicator& world,
                           DistMoETransformerLM& lm) {
-  BGL_ENSURE(!lm.vocab_parallel(),
-             "dist checkpoint does not support vocab-parallel models");
-  BGL_CHECK(old_world_size >= 1);
-
-  // Index every entry of every old file by name; first occurrence wins
-  // (replicated dense params and DP-replicated experts are identical).
-  std::unordered_map<std::string, Tensor> index;
-  for (int r = 0; r < old_world_size; ++r) {
-    for (auto& entry : train::read_checkpoint_entries(rank_path(prefix, r))) {
-      index.try_emplace(std::move(entry.name), std::move(entry.value));
-    }
-  }
-
-  for (nn::Parameter* p : lm.parameters()) {
-    const auto it = index.find(p->name);
-    BGL_ENSURE(it != index.end(),
-               "checkpoint is missing parameter '" << p->name << "'");
-    BGL_ENSURE(it->second.same_shape(p->value),
-               "shape mismatch for '" << p->name << "': checkpoint "
-                                      << shape_str(it->second.shape())
-                                      << " vs model "
-                                      << shape_str(p->value.shape()));
-    p->value = it->second.clone();
-  }
-  world.barrier();
+  load_by_name(prefix, old_world_size, world, lm);
 }
 
 }  // namespace bgl::parallel

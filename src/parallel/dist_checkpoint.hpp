@@ -7,27 +7,72 @@
 // reshard by name: each new rank scans the old per-rank files and pulls
 // exactly the parameters it owns now, wherever they used to live.
 //
+// Crash safety (see DESIGN.md §6): every per-rank file is written to a
+// temp path and renamed into place, and after all ranks finish, rank 0
+// writes a "<prefix>.manifest" recording the writing world size plus each
+// file's size and CRC32 — last, so a manifest's existence implies a
+// complete snapshot. The manifest-driven loader verifies those checksums
+// and raises CheckpointError on a torn or corrupt snapshot instead of
+// silently restoring garbage.
+//
 // Vocab-parallel models are excluded (their shard contents are positional,
 // not name-distinguished); save/load those with a fixed layout via the
 // plain train::save_checkpoint on lm.parameters().
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "parallel/dist_transformer.hpp"
 
 namespace bgl::parallel {
 
-/// Writes "<prefix>.rank<R>.ckpt" per rank with that rank's parameters.
-/// Collective (barrier at the end so readers see complete files).
+/// A torn, corrupt, or incompatible checkpoint. Derives from bgl::Error so
+/// existing catch sites keep working.
+class CheckpointError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Sidecar metadata written by save_dist_checkpoint.
+struct CheckpointManifest {
+  int world_size = 0;  // ranks that wrote the snapshot
+  struct File {
+    int rank = -1;
+    std::uint32_t crc = 0;
+    std::uint64_t size = 0;
+  };
+  std::vector<File> files;
+};
+
+/// Path of the per-rank file / the manifest for a checkpoint `prefix`.
+[[nodiscard]] std::string dist_checkpoint_rank_path(const std::string& prefix,
+                                                    int rank);
+[[nodiscard]] std::string dist_checkpoint_manifest_path(
+    const std::string& prefix);
+
+/// Parses "<prefix>.manifest"; throws CheckpointError if missing/malformed.
+[[nodiscard]] CheckpointManifest read_checkpoint_manifest(
+    const std::string& prefix);
+
+/// Writes "<prefix>.rank<R>.ckpt" per rank with that rank's parameters
+/// (atomically: temp file + rename), then "<prefix>.manifest" from rank 0.
+/// Collective (barriers ensure readers only ever see complete snapshots).
 void save_dist_checkpoint(const std::string& prefix,
                           const rt::Communicator& world,
                           DistMoETransformerLM& lm);
 
-/// Restores `lm` (any layout) from a checkpoint written by
-/// save_dist_checkpoint under a world of `old_world_size` ranks. Every
-/// parameter is matched by name across the old files; missing or
-/// shape-mismatched parameters throw. Collective.
+/// Restores `lm` (any layout) from a snapshot, using the manifest for the
+/// old world size and to verify every file's size + CRC32 first. Throws
+/// CheckpointError on a torn/corrupt snapshot or on missing /
+/// shape-mismatched parameters. Collective.
+void load_dist_checkpoint(const std::string& prefix,
+                          const rt::Communicator& world,
+                          DistMoETransformerLM& lm);
+
+/// Compatibility overload for pre-manifest checkpoints: the caller supplies
+/// the old world size and no integrity verification is performed.
 void load_dist_checkpoint(const std::string& prefix, int old_world_size,
                           const rt::Communicator& world,
                           DistMoETransformerLM& lm);

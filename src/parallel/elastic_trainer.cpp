@@ -1,0 +1,131 @@
+#include "parallel/elastic_trainer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "parallel/dist_checkpoint.hpp"
+
+namespace bgl::parallel {
+
+ElasticTrainer::ElasticTrainer(ElasticTrainerOptions options)
+    : options_(std::move(options)) {
+  BGL_ENSURE(options_.checkpoint_interval >= 1,
+             "checkpoint_interval must be >= 1, got "
+                 << options_.checkpoint_interval);
+  BGL_ENSURE(!options_.world_sizes.empty(), "world_sizes must not be empty");
+  BGL_ENSURE(!options_.checkpoint_prefix.empty(),
+             "checkpoint_prefix must not be empty");
+}
+
+std::string ElasticTrainer::snapshot_prefix(int step) const {
+  return options_.checkpoint_prefix + ".step" + std::to_string(step);
+}
+
+ElasticReport ElasticTrainer::run(const Job& job) {
+  BGL_CHECK(job.make_model && job.make_optimizer && job.next_batch);
+  BGL_ENSURE(job.total_steps >= options_.resume_step,
+             "total_steps " << job.total_steps << " < resume_step "
+                            << options_.resume_step);
+
+  ElasticReport report;
+  int start_step = options_.resume_step;
+  std::string restore_prefix = options_.resume_prefix;
+  report.last_checkpoint = restore_prefix;
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    const int world_size =
+        options_.world_sizes.at(std::min(attempt,
+                                         options_.world_sizes.size() - 1));
+    // Attempt-local state. Written only by rank 0's thread while the World
+    // is running, read on this thread after join — no concurrent access.
+    std::vector<double> attempt_losses;
+    std::vector<std::pair<int, std::string>> snapshots;  // (step, prefix)
+    int committed_step = start_step;
+    std::string committed_prefix = restore_prefix;
+
+    rt::WorldOptions world_options = options_.world;
+    if (attempt > 0) world_options.fault_injector = nullptr;
+
+    ElasticAttempt attempt_record;
+    attempt_record.world_size = world_size;
+    attempt_record.start_step = start_step;
+
+    try {
+      rt::World::run(world_size, world_options, [&](rt::Communicator& world) {
+        std::unique_ptr<DistMoETransformerLM> lm = job.make_model(world);
+        BGL_CHECK(lm != nullptr);
+        if (!restore_prefix.empty())
+          load_dist_checkpoint(restore_prefix, world, *lm);
+        std::unique_ptr<train::Optimizer> optimizer = job.make_optimizer();
+        BGL_CHECK(optimizer != nullptr);
+        DistTrainer trainer(world, *lm, *optimizer, options_.trainer);
+
+        for (int step = start_step; step < job.total_steps; ++step) {
+          const train::Batch batch =
+              job.next_batch(step, world.rank(), world_size);
+          const DistStepStats stats = trainer.train_step(batch);
+          if (world.rank() == 0) attempt_losses.push_back(stats.global_loss);
+          if (job.after_step) job.after_step(step, world);
+
+          const int done = step + 1;
+          if (done % options_.checkpoint_interval == 0 &&
+              done < job.total_steps) {
+            const std::string prefix = snapshot_prefix(done);
+            save_dist_checkpoint(prefix, world, *lm);
+            // The snapshot is sealed (manifest written, barrier passed):
+            // work up to `done` is durable.
+            if (world.rank() == 0) {
+              committed_step = done;
+              committed_prefix = prefix;
+              snapshots.emplace_back(done, prefix);
+            }
+          }
+        }
+      });
+    } catch (const Error&) {
+      const bool recoverable = [] {
+        try {
+          throw;
+        } catch (const rt::RankFailureError&) {
+          return true;
+        } catch (const rt::TimeoutError&) {
+          return true;
+        } catch (...) {
+          return false;
+        }
+      }();
+      const bool schedule_left = attempt + 1 < options_.world_sizes.size();
+      // Commit only the steps covered by the last sealed snapshot; the
+      // rest will be re-executed by the next attempt.
+      for (const auto& [step, prefix] : snapshots) {
+        report.checkpoints.push_back(prefix);
+        report.last_checkpoint = prefix;
+      }
+      report.losses.insert(
+          report.losses.end(), attempt_losses.begin(),
+          attempt_losses.begin() + (committed_step - start_step));
+      attempt_record.committed_steps = committed_step - start_step;
+      attempt_record.failed = true;
+      report.attempts.push_back(attempt_record);
+      if (!recoverable || !schedule_left) throw;
+
+      ++report.restarts;
+      start_step = committed_step;
+      restore_prefix = committed_prefix;
+      continue;
+    }
+
+    // Success: everything this attempt ran is committed.
+    for (const auto& [step, prefix] : snapshots) {
+      report.checkpoints.push_back(prefix);
+      report.last_checkpoint = prefix;
+    }
+    report.losses.insert(report.losses.end(), attempt_losses.begin(),
+                         attempt_losses.end());
+    attempt_record.committed_steps = job.total_steps - start_step;
+    report.attempts.push_back(attempt_record);
+    return report;
+  }
+}
+
+}  // namespace bgl::parallel

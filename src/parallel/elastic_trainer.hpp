@@ -1,0 +1,116 @@
+// Elastic checkpoint-restart training driver.
+//
+// BaGuaLu's week-long pretraining jobs survive node failures through
+// checkpoint-restart discipline; ElasticTrainer reproduces that loop on
+// the simulator. It runs a distributed training job as a sequence of
+// *attempts*: each attempt spawns a World, (re)builds the model, restores
+// the latest durable snapshot, and steps until completion — taking a
+// manifest-sealed save_dist_checkpoint snapshot every
+// `checkpoint_interval` steps. When an attempt dies with a
+// RankFailureError (a killed rank) or a TimeoutError (a hang converted
+// into an error by the runtime), the driver restarts on the next, smaller
+// world size of `world_sizes` and resumes from the last snapshot via the
+// elastic re-sharding loader — losing at most `checkpoint_interval - 1`
+// steps of work. Because batches are a pure function of
+// (step, rank, world size) and the optimizer is rebuilt per attempt, the
+// recovered loss trajectory is bitwise-identical to a clean run restored
+// from the same snapshot on the same world size (asserted by the chaos
+// test in tests/elastic_test.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parallel/dist_trainer.hpp"
+#include "runtime/fault.hpp"
+#include "train/data.hpp"
+
+namespace bgl::parallel {
+
+struct ElasticTrainerOptions {
+  /// Snapshot file-set prefix; step N's snapshot lives at
+  /// "<checkpoint_prefix>.step<N>.*" (each snapshot is its own file set,
+  /// so a crash mid-save can never damage the previous one).
+  std::string checkpoint_prefix = "/tmp/bgl_elastic";
+  /// Take a snapshot every this many completed steps.
+  int checkpoint_interval = 10;
+  /// World size per attempt: world_sizes[0] starts the job, world_sizes[1]
+  /// hosts the first restart, and so on. Running out of entries rethrows
+  /// the fatal error.
+  std::vector<int> world_sizes = {4};
+  /// Resume an earlier job: restore this snapshot prefix at this step
+  /// before the first attempt (empty = fresh initialization at step 0).
+  std::string resume_prefix;
+  int resume_step = 0;
+  /// Forwarded to every attempt's DistTrainer.
+  DistTrainerOptions trainer;
+  /// Runtime options for every attempt (timeout, checksums). The
+  /// fault_injector field is honored on attempt 0 only — it models the
+  /// environment that kills the initial run; restarts run fault-free.
+  /// Message checksums default ON here (unlike the bare fabric): a trainer
+  /// built for recovery should not trust an unframed link.
+  rt::WorldOptions world{.timeout_s = 0.0, .checksum_messages = true};
+};
+
+/// One World::run lifetime within an elastic job.
+struct ElasticAttempt {
+  int world_size = 0;
+  int start_step = 0;       // first step this attempt executed
+  int committed_steps = 0;  // steps durable when it ended (snapshot-aligned
+                            // on failure, total_steps on success)
+  bool failed = false;
+};
+
+struct ElasticReport {
+  /// Global mean loss per committed step; losses[i] is step
+  /// (resume_step + i). Steps rolled back by a failure are re-executed and
+  /// appear exactly once.
+  std::vector<double> losses;
+  std::vector<ElasticAttempt> attempts;
+  int restarts = 0;
+  /// Snapshot prefixes written and sealed, in step order.
+  std::vector<std::string> checkpoints;
+  /// Prefix of the last sealed snapshot ("" if none was taken).
+  std::string last_checkpoint;
+};
+
+class ElasticTrainer {
+ public:
+  /// Builds the (collective) model for one attempt; must derive the layout
+  /// from comm.size() and use a fixed seed so every attempt, at any world
+  /// size, constructs the same global model before restore.
+  using ModelFactory = std::function<std::unique_ptr<DistMoETransformerLM>(
+      const rt::Communicator& comm)>;
+  using OptimizerFactory = std::function<std::unique_ptr<train::Optimizer>()>;
+  /// Batch for (step, rank, world_size). Must be a pure function of its
+  /// arguments — that is what makes recovery trajectories reproducible.
+  using BatchFn =
+      std::function<train::Batch(int step, int rank, int world_size)>;
+  /// Optional per-rank hook after each completed step (logging, schedules,
+  /// test instrumentation).
+  using StepCallback = std::function<void(int step, const rt::Communicator&)>;
+
+  struct Job {
+    ModelFactory make_model;
+    OptimizerFactory make_optimizer;
+    BatchFn next_batch;
+    int total_steps = 0;
+    StepCallback after_step;  // may be empty
+  };
+
+  explicit ElasticTrainer(ElasticTrainerOptions options);
+
+  /// Runs the job to completion, restarting through the world-size
+  /// schedule on rank failures/timeouts. Rethrows the fatal error if the
+  /// schedule is exhausted; non-recoverable errors propagate immediately.
+  ElasticReport run(const Job& job);
+
+ private:
+  [[nodiscard]] std::string snapshot_prefix(int step) const;
+
+  ElasticTrainerOptions options_;
+};
+
+}  // namespace bgl::parallel

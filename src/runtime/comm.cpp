@@ -2,52 +2,141 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <tuple>
 
+#include "core/crc32.hpp"
+#include "runtime/fault.hpp"
+
 namespace bgl::rt {
 namespace detail {
+
+using Clock = std::chrono::steady_clock;
 
 /// Shared state for one World: per-rank mailboxes, a phased barrier, a
 /// rendezvous board used by split(), and poison propagation for errors.
 class Fabric {
  public:
-  explicit Fabric(int size) : size_(size), boxes_(size), board_(size) {}
+  Fabric(int size, WorldOptions options)
+      : size_(size), options_(options), boxes_(size), board_(size) {}
 
   [[nodiscard]] int size() const { return size_; }
 
   void send(std::uint64_t comm_id, int src_world, int dst_world, int tag,
             std::span<const std::byte> data) {
+    if (options_.fault_injector != nullptr)
+      options_.fault_injector->on_op(src_world);  // may raise RankFailureError
+
+    Message msg;
+    msg.payload.assign(data.begin(), data.end());
+    msg.checksummed = options_.checksum_messages;
+    if (msg.checksummed) msg.crc = crc32(msg.payload);
+
+    if (options_.fault_injector != nullptr) {
+      // The CRC is already attached, so a corrupted payload is detectable.
+      switch (options_.fault_injector->on_message(src_world, dst_world, tag,
+                                                  msg.payload)) {
+        case FaultAction::kDrop:
+          return;  // vanishes in flight
+        case FaultAction::kDelay:
+          msg.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(
+                  options_.fault_injector->config().delay_s));
+          break;
+        case FaultAction::kCorrupt:
+        case FaultAction::kDeliver:
+          break;
+      }
+    }
+
     Mailbox& box = boxes_.at(static_cast<std::size_t>(dst_world));
-    std::vector<std::byte> payload(data.begin(), data.end());
     {
       std::lock_guard<std::mutex> lock(box.mutex);
-      box.queues[Key{comm_id, src_world, tag}].push_back(std::move(payload));
+      box.queues[Key{comm_id, src_world, tag}].push_back(std::move(msg));
     }
     box.cv.notify_all();
   }
 
   std::vector<std::byte> recv(std::uint64_t comm_id, int src_world,
                               int self_world, int tag) {
+    if (options_.fault_injector != nullptr)
+      options_.fault_injector->on_op(self_world);
+
     Mailbox& box = boxes_.at(static_cast<std::size_t>(self_world));
-    std::unique_lock<std::mutex> lock(box.mutex);
     const Key key{comm_id, src_world, tag};
-    box.cv.wait(lock, [&] {
+    const bool bounded = options_.timeout_s > 0.0;
+    // The timeout deadline is materialized only if this call has to wait;
+    // the fast path (message already queued) never reads the clock.
+    Clock::time_point deadline{};
+    const auto deadline_of = [&] {
+      if (deadline == Clock::time_point{})
+        deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(options_.timeout_s));
+      return deadline;
+    };
+
+    std::unique_lock<std::mutex> lock(box.mutex);
+    const auto queued = [&] {
       if (poisoned_.load()) return true;
       const auto it = box.queues.find(key);
       return it != box.queues.end() && !it->second.empty();
-    });
-    throw_if_poisoned();
-    auto it = box.queues.find(key);
-    std::vector<std::byte> msg = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) box.queues.erase(it);
-    return msg;
+    };
+    for (;;) {
+      // Phase 1: wait for poison or a queued message.
+      if (!queued()) {
+        if (bounded) {
+          if (!box.cv.wait_until(lock, deadline_of(), queued))
+            throw_recv_timeout(comm_id, src_world, self_world, tag);
+        } else {
+          box.cv.wait(lock, queued);
+        }
+      }
+      throw_if_poisoned();
+
+      // Phase 2: in-order delivery — the head message may still be delayed
+      // in flight (fault injection, ready_at set); wait out its latency,
+      // not past the deadline. Undelayed messages skip the clock entirely.
+      auto it = box.queues.find(key);
+      Message& head = it->second.front();
+      if (head.ready_at != Clock::time_point{} &&
+          head.ready_at > Clock::now()) {
+        if (bounded && deadline_of() <= head.ready_at) {
+          // Cannot become ready before the deadline; sleep to the deadline
+          // (poison may still arrive), then report the timeout.
+          box.cv.wait_until(lock, deadline);
+          throw_if_poisoned();
+          if (Clock::now() >= deadline)
+            throw_recv_timeout(comm_id, src_world, self_world, tag);
+        } else {
+          box.cv.wait_until(lock, head.ready_at);
+        }
+        continue;
+      }
+      Message msg = std::move(head);
+      it->second.pop_front();
+      if (it->second.empty()) box.queues.erase(it);
+      lock.unlock();
+      if (msg.checksummed) {
+        const std::uint32_t got = crc32(msg.payload);
+        if (got != msg.crc) {
+          std::ostringstream os;
+          os << "corrupt message: CRC mismatch on comm " << comm_id << " src "
+             << src_world << " -> dst " << self_world << " tag " << tag << " ("
+             << msg.payload.size() << " bytes, expected crc " << msg.crc
+             << ", got " << got << ")";
+          throw CorruptMessageError(os.str());
+        }
+      }
+      return std::move(msg.payload);
+    }
   }
 
   /// Phased sense-reversing barrier over an arbitrary subset of world ranks.
@@ -61,9 +150,23 @@ class Fabric {
       ++st.phase;
       barrier_cv_.notify_all();
     } else {
-      barrier_cv_.wait(lock, [&] {
+      const auto released = [&] {
         return poisoned_.load() || st.phase != my_phase;
-      });
+      };
+      if (options_.timeout_s > 0.0) {
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(options_.timeout_s));
+        if (!barrier_cv_.wait_until(lock, deadline, released)) {
+          std::ostringstream os;
+          os << "barrier timed out after " << options_.timeout_s
+             << "s on comm " << comm_id << " (" << st.arrived << " of "
+             << participants << " ranks arrived)";
+          throw TimeoutError(os.str());
+        }
+      } else {
+        barrier_cv_.wait(lock, released);
+      }
     }
     throw_if_poisoned();
   }
@@ -80,24 +183,50 @@ class Fabric {
     return board_.at(static_cast<std::size_t>(world_rank));
   }
 
-  void poison() {
+  /// Poisons the world on behalf of `world_rank`, whose error `what` is the
+  /// cause. Only the first caller wins; World::run rethrows its exception.
+  void poison(int world_rank, const std::string& what) {
+    {
+      std::lock_guard<std::mutex> lock(poison_mutex_);
+      if (first_failed_rank_ < 0) {
+        first_failed_rank_ = world_rank;
+        poison_what_ = what;
+      }
+    }
     poisoned_.store(true);
     for (Mailbox& box : boxes_) box.cv.notify_all();
     barrier_cv_.notify_all();
   }
 
   void throw_if_poisoned() const {
-    if (poisoned_.load())
-      throw Error("runtime poisoned: another rank raised an error");
+    if (!poisoned_.load()) return;
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    throw Error("runtime poisoned: rank " + std::to_string(first_failed_rank_) +
+                " raised: " + poison_what_);
+  }
+
+  /// Rank whose error poisoned the world, or -1 if no rank failed.
+  [[nodiscard]] int first_failed_rank() const {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    return first_failed_rank_;
   }
 
  private:
   using Key = std::tuple<std::uint64_t, int, int>;  // (comm, src, tag)
 
+  struct Message {
+    std::vector<std::byte> payload;
+    std::uint32_t crc = 0;
+    bool checksummed = false;
+    // Epoch (the default) means deliverable immediately; an injected delay
+    // sets a future timestamp and the message stays "in flight" until then.
+    Clock::time_point ready_at{};
+  };
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::map<Key, std::deque<std::vector<std::byte>>> queues;
+    std::map<Key, std::deque<Message>> queues;
   };
 
   struct BarrierState {
@@ -105,7 +234,16 @@ class Fabric {
     std::uint64_t phase = 0;
   };
 
+  [[noreturn]] static void throw_recv_timeout(std::uint64_t comm_id, int src,
+                                              int dst, int tag) {
+    std::ostringstream os;
+    os << "recv timed out: comm " << comm_id << " src " << src << " dst "
+       << dst << " tag " << tag << " (no matching message arrived)";
+    throw TimeoutError(os.str());
+  }
+
   int size_;
+  WorldOptions options_;
   std::vector<Mailbox> boxes_;
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
@@ -113,6 +251,9 @@ class Fabric {
   mutable std::mutex board_mutex_;
   std::vector<std::int64_t> board_;
   std::atomic<bool> poisoned_{false};
+  mutable std::mutex poison_mutex_;
+  int first_failed_rank_ = -1;
+  std::string poison_what_;
 };
 
 namespace {
@@ -194,8 +335,12 @@ Communicator Communicator::split(int color, int key) const {
 }
 
 void World::run(int size, const RankFn& fn) {
+  run(size, WorldOptions{}, fn);
+}
+
+void World::run(int size, const WorldOptions& options, const RankFn& fn) {
   BGL_ENSURE(size >= 1, "world size must be >= 1, got " << size);
-  auto fabric = std::make_shared<detail::Fabric>(size);
+  auto fabric = std::make_shared<detail::Fabric>(size, options);
 
   std::vector<int> world_group(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) world_group[static_cast<std::size_t>(r)] = r;
@@ -208,13 +353,22 @@ void World::run(int size, const RankFn& fn) {
       Communicator comm(fabric, /*comm_id=*/1, world_group, r);
       try {
         fn(comm);
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        fabric->poison(r, e.what());
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        fabric->poison();
+        fabric->poison(r, "unknown error");
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Rethrow the poison cause — the chronologically first failure — so e.g.
+  // a RankFailureError is not masked by the poisoned-wakeup errors of the
+  // ranks it unblocked.
+  const int first = fabric->first_failed_rank();
+  if (first >= 0 && errors[static_cast<std::size_t>(first)])
+    std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
   for (const auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }

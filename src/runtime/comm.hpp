@@ -13,7 +13,17 @@
 //  * recv() blocks until a matching (communicator, source, tag) message
 //    arrives.
 //  * If any rank throws, the world is poisoned: blocked receivers throw too,
-//    and World::run rethrows the first error on the caller thread.
+//    and World::run rethrows the first error (the poison cause, not a
+//    secondary "poisoned" wake-up) on the caller thread.
+//
+// Fault tolerance (see DESIGN.md §6):
+//  * every message is CRC32-framed; a payload corrupted in flight raises
+//    CorruptMessageError at the receiver instead of a silent wrong answer;
+//  * WorldOptions.timeout_s converts a silent hang in recv()/barrier() into
+//    a TimeoutError naming the blocked (comm, src, tag);
+//  * a FaultInjector (runtime/fault.hpp) installed via WorldOptions can
+//    drop/delay/corrupt messages and kill a rank (RankFailureError), which
+//    is what the elastic checkpoint-restart trainer recovers from.
 #pragma once
 
 #include <cstdint>
@@ -28,9 +38,51 @@
 
 namespace bgl::rt {
 
+class FaultInjector;  // runtime/fault.hpp
+
 namespace detail {
 class Fabric;  // shared mailboxes + barrier; defined in comm.cpp
 }
+
+/// --- error taxonomy --------------------------------------------------------
+/// Typed errors let callers distinguish infrastructure failures (recoverable
+/// by checkpoint-restart) from plain bugs. All derive from bgl::Error, so
+/// existing catch sites keep working.
+
+/// A message whose CRC32 check failed at the receiver (payload corrupted in
+/// flight).
+class CorruptMessageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// recv()/barrier() exceeded WorldOptions.timeout_s — a hang converted into
+/// an actionable error naming the blocked operation.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A rank died (raised by the fault injector at the configured kill point).
+/// ElasticTrainer catches this to restart on a smaller world.
+class RankFailureError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Per-World runtime configuration.
+struct WorldOptions {
+  /// Seconds a recv()/barrier() may block before TimeoutError; 0 = forever.
+  double timeout_s = 0.0;
+  /// CRC32C-frame every message and verify on receive. Off by default so
+  /// the fault-free hot path stays unframed (the < 5% bench_alltoall
+  /// budget); fault-tolerance experiments and ElasticTrainer arm it.
+  /// bench_fault_overhead reports the armed cost.
+  bool checksum_messages = false;
+  /// Optional fault injector, consulted on every send/recv. Non-owning;
+  /// must outlive the run() call. nullptr = fault-free.
+  FaultInjector* fault_injector = nullptr;
+};
 
 /// A group of ranks that can exchange messages and run collectives.
 ///
@@ -113,13 +165,19 @@ class Communicator {
 };
 
 /// Spawns `size` rank threads, runs `fn(comm)` on each, joins, and rethrows
-/// the first rank error (if any) on the calling thread.
+/// the first rank error (if any) on the calling thread. "First" is the
+/// error that poisoned the world — e.g. the RankFailureError of a killed
+/// rank, not the secondary errors of the ranks it woke up.
 class World {
  public:
   using RankFn = std::function<void(Communicator&)>;
 
-  /// Runs a parallel region. `size` must be >= 1.
+  /// Runs a parallel region with default options. `size` must be >= 1.
   static void run(int size, const RankFn& fn);
+
+  /// Runs a parallel region with explicit runtime options (timeouts,
+  /// message checksumming, fault injection).
+  static void run(int size, const WorldOptions& options, const RankFn& fn);
 };
 
 }  // namespace bgl::rt

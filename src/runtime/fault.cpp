@@ -1,0 +1,112 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace bgl::rt {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-message randomness: a pure function of
+/// (seed, src, message index), independent of thread interleaving.
+std::uint64_t mix3(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  return mix(mix(seed + 0x9E3779B97F4A7C15ull + a * 0xD1342543DE82EF95ull) ^
+             (b * 0x2545F4914F6CDD1Dull));
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(FaultType type) {
+  switch (type) {
+    case FaultType::kDrop: return "drop";
+    case FaultType::kCorrupt: return "corrupt";
+    case FaultType::kDelay: return "delay";
+    case FaultType::kKill: return "kill";
+  }
+  return "?";
+}
+
+void FaultInjector::on_op(int world_rank) {
+  BGL_CHECK(world_rank >= 0 && world_rank < kMaxRanks);
+  const std::uint64_t count =
+      op_counts_[static_cast<std::size_t>(world_rank)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  if (world_rank == config_.kill_rank && count == config_.kill_at_op) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      events_.push_back({FaultType::kKill, world_rank, -1, 0, count, 0});
+    }
+    std::ostringstream os;
+    os << "rank " << world_rank << " killed by fault injector at op " << count;
+    throw RankFailureError(os.str());
+  }
+}
+
+FaultAction FaultInjector::on_message(int src, int dst, int tag,
+                                      std::vector<std::byte>& payload) {
+  BGL_CHECK(src >= 0 && src < kMaxRanks);
+  const std::uint64_t index =
+      msg_counts_[static_cast<std::size_t>(src)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  const double u = to_unit(mix3(config_.seed, static_cast<std::uint64_t>(src),
+                                index));
+  const auto record = [&](FaultType type) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back({type, src, dst, tag, index, payload.size()});
+  };
+
+  double acc = config_.drop_prob;
+  if (u < acc) {
+    record(FaultType::kDrop);
+    return FaultAction::kDrop;
+  }
+  acc += config_.corrupt_prob;
+  if (u < acc) {
+    if (payload.empty()) return FaultAction::kDeliver;  // nothing to flip
+    const std::uint64_t bit =
+        mix3(config_.seed ^ 0xC2B2AE3D27D4EB4Full,
+             static_cast<std::uint64_t>(src), index) %
+        (payload.size() * 8);
+    payload[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    record(FaultType::kCorrupt);
+    return FaultAction::kCorrupt;
+  }
+  acc += config_.delay_prob;
+  if (u < acc) {
+    record(FaultType::kDelay);
+    return FaultAction::kDelay;
+  }
+  return FaultAction::kDeliver;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::vector<FaultEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    return std::tie(a.src, a.op, a.type) < std::tie(b.src, b.op, b.type);
+  });
+  return out;
+}
+
+std::uint64_t FaultInjector::op_count(int world_rank) const {
+  if (world_rank < 0 || world_rank >= kMaxRanks) return 0;
+  return op_counts_[static_cast<std::size_t>(world_rank)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace bgl::rt

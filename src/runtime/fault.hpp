@@ -1,0 +1,98 @@
+// Deterministic fault injection for the in-process runtime.
+//
+// At BaGuaLu's scale (96,000 nodes / 37.44M cores) node failures and link
+// corruption are routine, so the simulator must be able to produce them on
+// demand. A FaultInjector is installed on the world fabric through
+// rt::WorldOptions and consulted on every send/recv:
+//
+//  * message faults — drop the message, delay its delivery, or flip one
+//    payload bit (which per-message CRC framing then detects);
+//  * rank faults — kill a chosen world rank when its cumulative send/recv
+//    count reaches a chosen value, raising RankFailureError on that rank.
+//
+// Every decision derives from hash(seed, source rank, that source's message
+// counter), so the fault schedule is a pure function of the seed and each
+// rank's (deterministic) communication sequence: the same seed replays the
+// same faults regardless of thread interleaving. All injected faults are
+// recorded in a structured event log for assertions and post-mortems.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace bgl::rt {
+
+/// What the injector decided to do with one in-flight message.
+enum class FaultAction { kDeliver, kDrop, kCorrupt, kDelay };
+
+/// Categories recorded in the fault-event log.
+enum class FaultType { kDrop, kCorrupt, kDelay, kKill };
+
+[[nodiscard]] const char* to_string(FaultType type);
+
+/// Probabilities are per message and mutually exclusive (at most one fault
+/// per message; drop wins over corrupt wins over delay).
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double drop_prob = 0.0;     // message vanishes in flight
+  double corrupt_prob = 0.0;  // one payload bit is flipped
+  double delay_prob = 0.0;    // delivery is deferred by delay_s
+  double delay_s = 0.0;
+  int kill_rank = -1;            // world rank to kill (-1 = never)
+  std::uint64_t kill_at_op = 0;  // 1-based send/recv count on kill_rank
+};
+
+/// One injected fault. `op` is the source rank's message counter for
+/// message faults, or the killed rank's send/recv op counter for kKill.
+struct FaultEvent {
+  FaultType type = FaultType::kDrop;
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::uint64_t op = 0;
+  std::size_t bytes = 0;
+};
+
+/// Thread-safe; one instance serves every rank of a World. The same
+/// injector must not be shared by two concurrently running Worlds.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config) : config_(config) {}
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Called by the fabric at the start of every send/recv on `world_rank`.
+  /// Throws RankFailureError when the configured kill point is reached.
+  void on_op(int world_rank);
+
+  /// Decides the fate of one outgoing message; kCorrupt flips one bit of
+  /// `payload` in place (after the CRC was attached, so receivers detect it).
+  [[nodiscard]] FaultAction on_message(int src, int dst, int tag,
+                                       std::vector<std::byte>& payload);
+
+  /// Snapshot of the fault log, sorted by (src, op, type) so equal fault
+  /// schedules compare equal regardless of thread interleaving.
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+
+  /// Number of send/recv ops observed so far on `world_rank`.
+  [[nodiscard]] std::uint64_t op_count(int world_rank) const;
+
+ private:
+  /// Upper bound on world ranks one injector can observe. Counters are
+  /// flat atomics so a passive injector costs two uncontended increments
+  /// per op on the hot path, not a mutex'd map lookup.
+  static constexpr int kMaxRanks = 4096;
+
+  FaultConfig config_;
+  mutable std::mutex mutex_;  // guards events_ only (faults are rare)
+  std::array<std::atomic<std::uint64_t>, kMaxRanks> op_counts_{};
+  std::array<std::atomic<std::uint64_t>, kMaxRanks> msg_counts_{};
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace bgl::rt

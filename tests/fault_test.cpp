@@ -1,0 +1,403 @@
+// Tests for the fault-injection runtime: CRC32 framing, seeded fault
+// schedules, drop/delay/corrupt/kill semantics, recv/barrier timeouts, and
+// poison-cause propagation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crc32.hpp"
+#include "core/error.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
+
+namespace bgl::rt {
+namespace {
+
+std::span<const std::byte> as_bytes(const char* s) {
+  return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
+}
+
+/// --- CRC32 -------------------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The CRC-32C (Castagnoli) check value for "123456789" — same answer
+  // whether the SSE4.2 or the slicing-by-8 path handled it.
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(crc32(std::span<const std::byte>{}), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  std::vector<std::byte> data(1027);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i * 131 + 7);
+  const std::uint32_t whole = crc32(data);
+  for (const std::size_t cut : {0ul, 1ul, 7ul, 8ul, 512ul, 1026ul}) {
+    const std::uint32_t part = crc32({data.data(), cut});
+    EXPECT_EQ(crc32({data.data() + cut, data.size() - cut}, part), whole)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Crc32, DispatchedPathMatchesPortableReference) {
+  // crc32() may use the SSE4.2 instruction with 3-way stream interleaving;
+  // it must agree with the slicing-by-8 reference at every length that
+  // exercises a different code path (tails, short blocks, long blocks).
+  std::vector<std::byte> data(3 * 8192 * 2 + 100);
+  std::uint64_t x = 0x243F6A8885A308D3ull;  // deterministic fill
+  for (auto& b : data) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    b = static_cast<std::byte>(x >> 56);
+  }
+  for (const std::size_t n :
+       {0ul, 1ul, 7ul, 8ul, 9ul, 255ul, 256ul, 767ul, 768ul, 769ul, 1024ul,
+        8191ul, 24575ul, 24576ul, 24577ul, 49252ul, data.size()}) {
+    ASSERT_LE(n, data.size());
+    EXPECT_EQ(crc32({data.data(), n}), crc32_portable({data.data(), n}))
+        << "length " << n;
+    // And continuing from a nonzero running CRC.
+    EXPECT_EQ(crc32({data.data(), n}, 0xDEADBEEFu),
+              crc32_portable({data.data(), n}, 0xDEADBEEFu))
+        << "length " << n;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(256, std::byte{0x5A});
+  const std::uint32_t clean = crc32(data);
+  data[100] ^= std::byte{0x10};
+  EXPECT_NE(crc32(data), clean);
+}
+
+/// --- fault schedule determinism ----------------------------------------------
+
+/// Runs a fixed communication pattern under `config` and returns the
+/// injector's (sorted) fault log. Delay-only faults keep delivery intact.
+std::vector<FaultEvent> run_schedule(FaultConfig config) {
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  World::run(4, options, [](Communicator& comm) {
+    const int me = comm.rank();
+    for (int round = 0; round < 25; ++round) {
+      const std::vector<int> payload{me * 1000 + round};
+      const auto got = comm.sendrecv<int>((me + 1) % 4, payload,
+                                          (me + 3) % 4, round % 5);
+      EXPECT_EQ(got[0], ((me + 3) % 4) * 1000 + round);
+    }
+  });
+  return injector.events();
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig config;
+  config.seed = 42;
+  config.delay_prob = 0.5;
+  config.delay_s = 0.0;  // marker faults: delivery order unchanged
+  const auto a = run_schedule(config);
+  const auto b = run_schedule(config);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].tag, b[i].tag);
+    EXPECT_EQ(a[i].op, b[i].op);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSchedule) {
+  FaultConfig config;
+  config.delay_prob = 0.5;
+  config.delay_s = 0.0;
+  config.seed = 1;
+  const auto a = run_schedule(config);
+  config.seed = 2;
+  const auto b = run_schedule(config);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].src != b[i].src || a[i].op != b[i].op;
+  EXPECT_TRUE(differs);
+}
+
+/// --- corruption --------------------------------------------------------------
+
+TEST(FaultInjector, CorruptionDetectedByCrc) {
+  FaultConfig config;
+  config.corrupt_prob = 1.0;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  options.checksum_messages = true;
+  EXPECT_THROW(World::run(2, options,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) {
+                              const std::vector<int> data{1, 2, 3, 4};
+                              comm.send<int>(1, 0, data);
+                            } else {
+                              (void)comm.recv<int>(0, 0);
+                            }
+                          }),
+               CorruptMessageError);
+  const auto events = injector.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].type, FaultType::kCorrupt);
+}
+
+TEST(FaultInjector, CorruptionIsSilentWithoutChecksums) {
+  // With CRC framing disabled, a flipped bit arrives as a wrong answer —
+  // the failure mode the framing exists to prevent.
+  FaultConfig config;
+  config.corrupt_prob = 1.0;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  options.checksum_messages = false;
+  World::run(2, options, [](Communicator& comm) {
+    const std::vector<int> data{1, 2, 3, 4};
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 0, data);
+    } else {
+      const auto got = comm.recv<int>(0, 0);
+      ASSERT_EQ(got.size(), data.size());
+      EXPECT_NE(got, data);  // delivered, silently corrupted
+    }
+  });
+}
+
+/// --- drops & timeouts --------------------------------------------------------
+
+TEST(FaultInjector, DroppedMessageBecomesTimeout) {
+  FaultConfig config;
+  config.drop_prob = 1.0;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  options.timeout_s = 0.2;
+  EXPECT_THROW(World::run(2, options,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) {
+                              const std::vector<int> data{7};
+                              comm.send<int>(1, 3, data);
+                            } else {
+                              (void)comm.recv<int>(0, 3);
+                            }
+                          }),
+               TimeoutError);
+  const auto events = injector.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].type, FaultType::kDrop);
+  EXPECT_EQ(events[0].tag, 3);
+}
+
+TEST(Timeout, OrphanedRecvFiresAndNamesTheOperation) {
+  WorldOptions options;
+  options.timeout_s = 0.1;
+  try {
+    World::run(2, options, [](Communicator& comm) {
+      if (comm.rank() == 0) (void)comm.recv<int>(1, 77);  // never sent
+    });
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("src 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag 77"), std::string::npos) << what;
+  }
+}
+
+TEST(Timeout, BarrierFiresWhenARankNeverArrives) {
+  WorldOptions options;
+  options.timeout_s = 0.1;
+  EXPECT_THROW(World::run(2, options,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) comm.barrier();
+                            // rank 1 exits without entering the barrier
+                          }),
+               TimeoutError);
+}
+
+TEST(Timeout, ZeroMeansWaitForever) {
+  // Default options: a slow sender must not trip any deadline machinery.
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      const std::vector<int> data{5};
+      comm.send<int>(1, 0, data);
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 0)[0], 5);
+    }
+  });
+}
+
+/// --- delay -------------------------------------------------------------------
+
+TEST(FaultInjector, DelayDefersDelivery) {
+  FaultConfig config;
+  config.delay_prob = 1.0;
+  config.delay_s = 0.05;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  double waited_s = 0.0;
+  World::run(2, options, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{9};
+      comm.send<int>(1, 0, data);
+    } else {
+      const auto start = std::chrono::steady_clock::now();
+      EXPECT_EQ(comm.recv<int>(0, 0)[0], 9);
+      waited_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    }
+  });
+  EXPECT_GE(waited_s, 0.04);
+}
+
+TEST(FaultInjector, DelayLongerThanTimeoutFires) {
+  FaultConfig config;
+  config.delay_prob = 1.0;
+  config.delay_s = 5.0;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  options.timeout_s = 0.1;
+  EXPECT_THROW(World::run(2, options,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) {
+                              const std::vector<int> data{1};
+                              comm.send<int>(1, 0, data);
+                            } else {
+                              (void)comm.recv<int>(0, 0);
+                            }
+                          }),
+               TimeoutError);
+}
+
+/// --- rank kill ---------------------------------------------------------------
+
+TEST(FaultInjector, KillsChosenRankAtChosenOp) {
+  FaultConfig config;
+  config.kill_rank = 1;
+  config.kill_at_op = 3;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  EXPECT_THROW(
+      World::run(3, options,
+                 [](Communicator& comm) {
+                   // Everyone relays a token around the ring, repeatedly:
+                   // rank 1 reaches its 3rd op and dies; the rest get
+                   // poisoned instead of hanging.
+                   const int next = (comm.rank() + 1) % 3;
+                   const int prev = (comm.rank() + 2) % 3;
+                   for (int i = 0; i < 100; ++i) {
+                     const std::vector<int> data{i};
+                     (void)comm.sendrecv<int>(next, data, prev, 0);
+                   }
+                 }),
+      RankFailureError);
+  const auto events = injector.events();
+  bool saw_kill = false;
+  for (const auto& e : events) {
+    if (e.type == FaultType::kKill) {
+      saw_kill = true;
+      EXPECT_EQ(e.src, 1);
+      EXPECT_EQ(e.op, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_kill);
+  EXPECT_EQ(injector.op_count(1), 3u);
+}
+
+TEST(FaultInjector, OpCountsTrackSendsAndRecvs) {
+  FaultConfig config;  // passive: counts only
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  World::run(2, options, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{1};
+      comm.send<int>(1, 0, data);      // 1 op
+      comm.send<int>(1, 1, data);      // 2 ops
+    } else {
+      (void)comm.recv<int>(0, 0);      // 1 op
+      (void)comm.recv<int>(0, 1);      // 2 ops
+      const std::vector<int> data{2};
+      comm.send<int>(0, 2, data);      // 3 ops
+    }
+    if (comm.rank() == 0) (void)comm.recv<int>(1, 2);  // 3 ops
+  });
+  EXPECT_EQ(injector.op_count(0), 3u);
+  EXPECT_EQ(injector.op_count(1), 3u);
+  EXPECT_EQ(injector.op_count(2), 0u);
+}
+
+/// --- poison propagation ------------------------------------------------------
+
+TEST(Poison, RethrowsTheOriginalCauseNotTheWakeup) {
+  // Rank 1's bug is the first error; ranks 0 and 2 are woken by poison and
+  // fail too, but the caller must see the original message.
+  try {
+    World::run(3, [](Communicator& comm) {
+      if (comm.rank() == 1) throw Error("original bug on rank 1");
+      (void)comm.recv<int>(comm.rank() == 0 ? 2 : 0, 99);
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("original bug on rank 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Poison, WakeupNamesTheFailedRank) {
+  // A rank woken by poison gets an error naming who poisoned the world.
+  std::string woken_what;
+  try {
+    World::run(2, [&](Communicator& comm) {
+      if (comm.rank() == 1) throw Error("boom");
+      try {
+        (void)comm.recv<int>(1, 0);
+      } catch (const Error& e) {
+        woken_what = e.what();
+        throw;
+      }
+    });
+  } catch (const Error&) {
+  }
+  EXPECT_NE(woken_what.find("rank 1"), std::string::npos) << woken_what;
+  EXPECT_NE(woken_what.find("boom"), std::string::npos) << woken_what;
+}
+
+TEST(Poison, KillIsTypedForRecoveryCallers) {
+  // RankFailureError derives from Error but is distinguishable — the
+  // contract ElasticTrainer's catch relies on.
+  FaultConfig config;
+  config.kill_rank = 0;
+  config.kill_at_op = 1;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  bool typed = false;
+  try {
+    World::run(2, options, [](Communicator& comm) {
+      const std::vector<int> data{1};
+      comm.send<int>((comm.rank() + 1) % 2, 0, data);
+      (void)comm.recv<int>((comm.rank() + 1) % 2, 0);
+    });
+  } catch (const RankFailureError&) {
+    typed = true;
+  } catch (const Error&) {
+    typed = false;
+  }
+  EXPECT_TRUE(typed);
+}
+
+}  // namespace
+}  // namespace bgl::rt
