@@ -3,8 +3,11 @@
 // framework's hot paths (dtype conversion, softmax, dispatch planning).
 #include <benchmark/benchmark.h>
 
+#include "core/cpu.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "moe/gating.hpp"
+#include "moe/moe_layer.hpp"
 #include "tensor/dtype.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
@@ -25,6 +28,49 @@ void BM_Gemm(benchmark::State& state) {
       static_cast<double>(2 * n * n * n), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Same GEMM across pool sizes: the row-block partition is deterministic,
+// so this measures pure scaling of the packed kernel. Label carries the
+// active SIMD level so runs on different hosts stay comparable.
+void BM_GemmThreaded(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const int before = core::num_threads();
+  core::set_threads(threads);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n), benchmark::Counter::kIsRate);
+  state.SetLabel(core::simd_level_name(core::simd_level()));
+  core::set_threads(before);
+}
+BENCHMARK(BM_GemmThreaded)
+    ->ArgsProduct({{256, 512}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
+
+// Regression guard for the zero-skip removal: the old inner loop tested
+// every A element for zero before multiplying, which won a little on
+// sparse gradients but put an unpredictable branch in the hot path. The
+// packed kernel must not regress on zero-heavy inputs.
+void BM_GemmZeroHeavy(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(8);
+  Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  auto pa = a.f32();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    if (i % 4 != 0) pa[i] = 0.0f;  // 75% zeros
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmZeroHeavy)->Arg(128)->Arg(256);
 
 void BM_GemmTransposed(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -68,6 +114,32 @@ void BM_RowSoftmax(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_RowSoftmax);
+
+// Parallel expert execution: forward+backward of a full MoE layer while
+// sweeping pool sizes. Experts are independent GEMM chains, so this is
+// the layer-level view of the same scaling BM_GemmThreaded measures,
+// plus gate/dispatch overhead that does not parallelize.
+void BM_MoEStepThreaded(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int before = core::num_threads();
+  core::set_threads(threads);
+  Rng rng(9);
+  moe::GateConfig config;
+  config.num_experts = 8;
+  config.top_k = 2;
+  config.capacity_factor = 2.0;
+  moe::MoELayer layer(128, 512, config, rng);
+  const Tensor x = Tensor::randn({256, 128}, rng);
+  const Tensor dy = Tensor::randn({256, 128}, rng);
+  for (auto _ : state) {
+    layer.zero_grad();
+    benchmark::DoNotOptimize(layer.forward(x));
+    benchmark::DoNotOptimize(layer.backward(dy));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  core::set_threads(before);
+}
+BENCHMARK(BM_MoEStepThreaded)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
 
 void BM_DispatchPlan(benchmark::State& state) {
   const std::int64_t experts = state.range(0);

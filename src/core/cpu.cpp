@@ -1,0 +1,50 @@
+#include "core/cpu.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace bgl::core {
+namespace {
+
+bool have_avx2_fma() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const bool have = __builtin_cpu_supports("avx2") &&
+                           __builtin_cpu_supports("fma") &&
+                           __builtin_cpu_supports("f16c");
+  return have;
+#else
+  return false;
+#endif
+}
+
+SimdLevel resolve() {
+  const char* s = std::getenv("BGL_SIMD");
+  if (s == nullptr || std::strcmp(s, "auto") == 0) {
+    return have_avx2_fma() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  }
+  if (std::strcmp(s, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(s, "avx2") == 0) {
+    BGL_ENSURE(have_avx2_fma(), "BGL_SIMD=avx2 but host lacks AVX2/FMA/F16C");
+    return SimdLevel::kAvx2;
+  }
+  BGL_FAIL("BGL_SIMD must be 'auto', 'scalar' or 'avx2', got '" << s << "'");
+}
+
+}  // namespace
+
+SimdLevel simd_level() {
+  static const SimdLevel level = resolve();
+  return level;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace bgl::core

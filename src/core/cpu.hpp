@@ -1,0 +1,26 @@
+// Runtime CPU-capability dispatch for the SIMD kernels.
+//
+// Same pattern as bgl::crc32: kernels are compiled with per-function
+// target attributes so the rest of the binary stays baseline-ISA, and a
+// cached cpuid probe picks the widest path at first use. The BGL_SIMD
+// environment variable overrides the probe ("scalar" forces the portable
+// kernels, "avx2" asserts the host supports them, "auto"/unset probes),
+// which is how the golden-value tests get a scalar reference to compare
+// the vector path against on the same host.
+#pragma once
+
+namespace bgl::core {
+
+enum class SimdLevel {
+  kScalar = 0,  // portable C++ kernels
+  kAvx2 = 1,    // AVX2 + FMA (+F16C for the half conversions)
+};
+
+/// The dispatch level every kernel uses, resolved once per process from
+/// cpuid and the BGL_SIMD override.
+SimdLevel simd_level();
+
+/// "scalar" / "avx2" for logs and bench labels.
+const char* simd_level_name(SimdLevel level);
+
+}  // namespace bgl::core

@@ -1,0 +1,182 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bgl::core {
+namespace {
+
+/// One parallel region. Shared by the caller and every worker that joins;
+/// chunks are claimed with a fetch_add race, completion is counted so the
+/// caller can block until the last chunk (run by whoever) retires.
+struct Job {
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  std::int64_t nchunks = 0;
+  ThreadPool::ChunkFn body;
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none are left. Any participant may run
+  /// any chunk; after a failure the remaining chunks are skipped (but still
+  /// counted, so waiters wake).
+  void run_chunks() {
+    for (std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+         c < nchunks; c = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          const std::int64_t b = c * grain;
+          body(c, b, std::min(b + grain, n));
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(m);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == nchunks) {
+        std::lock_guard<std::mutex> lock(m);  // pairs with the caller's wait
+        cv.notify_all();
+      }
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return done.load(std::memory_order_acquire) == nchunks; });
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Job>> queue;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      job->run_chunks();
+    }
+  }
+
+  /// Posts `copies` handles to the job so up to that many idle workers can
+  /// join it.
+  void post(const std::shared_ptr<Job>& job, int copies) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      for (int i = 0; i < copies; ++i) queue.push_back(job);
+    }
+    if (copies == 1) {
+      cv.notify_one();
+    } else {
+      cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl), threads_(threads) {
+  BGL_CHECK(threads >= 1);
+  impl_->workers.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
+                              const RangeFn& body) {
+  parallel_for_chunks(
+      n, grain,
+      [&body](std::int64_t, std::int64_t b, std::int64_t e) { body(b, e); });
+}
+
+void ThreadPool::parallel_for_chunks(std::int64_t n, std::int64_t grain,
+                                     const ChunkFn& body) {
+  if (n <= 0) return;
+  BGL_CHECK(grain >= 1);
+  const std::int64_t nchunks = (n + grain - 1) / grain;
+  if (nchunks == 1 || threads_ == 1) {
+    // Inline path: same chunk boundaries, zero synchronization.
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t b = c * grain;
+      body(c, b, std::min(b + grain, n));
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->grain = grain;
+  job->nchunks = nchunks;
+  job->body = body;
+  const int helpers = static_cast<int>(std::min<std::int64_t>(
+      threads_ - 1, nchunks - 1));
+  impl_->post(job, helpers);
+  job->run_chunks();  // the caller is always a compute lane
+  job->wait();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+int env_threads() {
+  if (const char* s = std::getenv("BGL_THREADS")) {
+    const int v = std::atoi(s);
+    BGL_ENSURE(v >= 1 && v <= 1024, "BGL_THREADS must be in [1, 1024], got '"
+                                        << s << "'");
+    return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::unique_ptr<ThreadPool>& global_pool() {
+  static std::unique_ptr<ThreadPool> p =
+      std::make_unique<ThreadPool>(env_threads());
+  return p;
+}
+
+}  // namespace
+
+ThreadPool& pool() { return *global_pool(); }
+
+int num_threads() { return pool().threads(); }
+
+void set_threads(int threads) {
+  BGL_CHECK(threads >= 1);
+  global_pool() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace bgl::core

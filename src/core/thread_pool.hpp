@@ -1,0 +1,73 @@
+// Persistent worker pool standing in for a CPE compute cluster.
+//
+// On the Sunway SW26010-Pro every core group drives 64 CPE compute cores;
+// here the kernels in bgl::ops fan work out over one process-wide
+// ThreadPool instead. Design constraints (see DESIGN.md §7):
+//
+//  * One pool per process. The rank-per-thread runtime (rt::World) spawns
+//    one thread per rank; those rank threads all enqueue into the same
+//    pool, so total compute oversubscription is bounded by
+//    ranks + (threads() - 1) regardless of how many ranks are running.
+//  * The calling thread always participates in its own parallel_for, so a
+//    parallel region makes progress even when every worker is busy with
+//    someone else's region (no nested-parallelism deadlock).
+//  * Chunk boundaries depend only on (n, grain) — never on the thread
+//    count — so a deterministic reduction combines per-chunk partials in
+//    chunk order and gets bitwise-identical results at any BGL_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace bgl::core {
+
+class ThreadPool {
+ public:
+  /// `threads` is the number of compute lanes including the caller of a
+  /// parallel region; the pool spawns `threads - 1` workers. Must be >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured compute lanes (>= 1). threads() == 1 means every
+  /// parallel_for runs inline on the caller.
+  [[nodiscard]] int threads() const { return threads_; }
+
+  using RangeFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+  using ChunkFn = std::function<void(std::int64_t chunk, std::int64_t begin,
+                                     std::int64_t end)>;
+
+  /// Runs body over [0, n) split into chunks of `grain` iterations
+  /// (the last chunk may be short). Blocks until every chunk finished;
+  /// rethrows the first chunk exception on the caller. Chunks may run on
+  /// any thread and in any order — bodies must write disjoint state or
+  /// reduce through parallel_for_chunks.
+  void parallel_for(std::int64_t n, std::int64_t grain, const RangeFn& body);
+
+  /// Same, but hands the body its chunk index so callers can store
+  /// per-chunk partials and combine them in chunk order afterwards
+  /// (the deterministic-reduction idiom).
+  void parallel_for_chunks(std::int64_t n, std::int64_t grain,
+                           const ChunkFn& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+/// Process-global pool, created on first use with BGL_THREADS lanes
+/// (default: hardware concurrency).
+ThreadPool& pool();
+
+/// Lanes of the global pool.
+int num_threads();
+
+/// Replaces the global pool with one of `threads` lanes. Not synchronized
+/// against in-flight parallel regions — call it from a quiescent point
+/// (startup, or between test phases).
+void set_threads(int threads);
+
+}  // namespace bgl::core

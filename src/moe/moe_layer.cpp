@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/thread_pool.hpp"
+
 namespace bgl::moe {
 
 MoELayer::MoELayer(std::int64_t d_model, std::int64_t d_hidden,
@@ -40,25 +42,43 @@ Tensor MoELayer::forward(const Tensor& x) {
   const std::int64_t n = x.dim(0);
   const std::int64_t d = x.dim(1);
   Tensor y = Tensor::zeros({n, d});
-  expert_inputs_.assign(static_cast<std::size_t>(config_.num_experts), {});
-  expert_outputs_.assign(static_cast<std::size_t>(config_.num_experts), {});
+  const std::size_t e_count = static_cast<std::size_t>(config_.num_experts);
+  expert_inputs_.assign(e_count, {});
+  expert_outputs_.assign(e_count, {});
+  expert_rows_.assign(e_count, {});
+  expert_weights_.assign(e_count, {});
 
-  for (int e = 0; e < config_.num_experts; ++e) {
-    const auto routed = plan_.for_expert(e);
-    std::vector<std::int32_t> rows;
-    std::vector<float> weights;
-    rows.reserve(routed.size());
-    weights.reserve(routed.size());
-    for (const Assignment& a : routed) {
-      rows.push_back(a.token);
-      weights.push_back(a.gate_weight);
-    }
-    Tensor in = ops::gather_rows(x, rows);
-    expert_inputs_[static_cast<std::size_t>(e)] = in;
-    if (in.dim(0) == 0) continue;
-    Tensor out = experts_[static_cast<std::size_t>(e)]->forward(in);
-    ops::scatter_add_rows(y, rows, out, weights);
-    expert_outputs_[static_cast<std::size_t>(e)] = std::move(out);
+  // Phase 1 — parallel: the per-expert gather -> FFN chains are fully
+  // independent (each expert owns its slice of the plan and its own
+  // parameters), so they run as pool tasks, one chunk per expert.
+  core::pool().parallel_for(
+      config_.num_experts, 1, [&](std::int64_t e0, std::int64_t e1) {
+        for (std::int64_t e = e0; e < e1; ++e) {
+          const std::size_t se = static_cast<std::size_t>(e);
+          const auto routed = plan_.for_expert(static_cast<int>(e));
+          auto& rows = expert_rows_[se];
+          auto& weights = expert_weights_[se];
+          rows.reserve(routed.size());
+          weights.reserve(routed.size());
+          for (const Assignment& a : routed) {
+            rows.push_back(a.token);
+            weights.push_back(a.gate_weight);
+          }
+          Tensor in = ops::gather_rows(x, rows);
+          expert_inputs_[se] = in;
+          if (in.dim(0) == 0) continue;
+          expert_outputs_[se] = experts_[se]->forward(in);
+        }
+      });
+
+  // Phase 2 — serial combine in fixed expert order: tokens routed to
+  // several experts accumulate their partial outputs deterministically,
+  // so the result is bitwise identical at any thread count.
+  for (std::size_t e = 0; e < e_count; ++e) {
+    if (!expert_outputs_[e].defined() || expert_outputs_[e].dim(0) == 0)
+      continue;
+    ops::scatter_add_rows(y, expert_rows_[e], expert_outputs_[e],
+                          expert_weights_[e]);
   }
   return y;
 }
@@ -74,36 +94,51 @@ Tensor MoELayer::backward(const Tensor& dy) {
   const std::int64_t e_count = config_.num_experts;
   auto pdy = dy.f32();
 
-  // dL/d(gate_weight) per assignment, in plan order.
+  // dL/d(gate_weight) per assignment, in plan order. Each expert writes a
+  // disjoint slice, so the parallel phase below is race-free.
   std::vector<float> dws(plan_.assignments.size(), 0.0f);
+  std::vector<Tensor> expert_din(static_cast<std::size_t>(e_count));
 
+  // Phase 1 — parallel: per-expert dout construction + FFN backward (each
+  // expert mutates only its own parameter grads).
+  core::pool().parallel_for(e_count, 1, [&](std::int64_t ee0,
+                                            std::int64_t ee1) {
+    for (std::int64_t e = ee0; e < ee1; ++e) {
+      const std::size_t se = static_cast<std::size_t>(e);
+      const auto routed = plan_.for_expert(static_cast<int>(e));
+      if (routed.empty()) continue;
+      const std::size_t base =
+          static_cast<std::size_t>(plan_.expert_offsets[se]);
+      const Tensor& out = expert_outputs_[se];
+      // dL/d(expert output row i) = w_i * dy[token_i]; also accumulate
+      // dL/dw_i = dy[token_i] · out_i.
+      Tensor dout = Tensor::empty(out.shape());
+      auto pdout = dout.f32();
+      auto pout = out.f32();
+      for (std::size_t i = 0; i < routed.size(); ++i) {
+        const Assignment& a = routed[i];
+        const float* gy = pdy.data() + static_cast<std::int64_t>(a.token) * d;
+        const float* po = pout.data() + static_cast<std::int64_t>(i) * d;
+        float* pdo = pdout.data() + static_cast<std::int64_t>(i) * d;
+        double dw = 0.0;
+        for (std::int64_t c = 0; c < d; ++c) {
+          pdo[c] = a.gate_weight * gy[c];
+          dw += double(gy[c]) * po[c];
+        }
+        dws[base + i] = static_cast<float>(dw);
+      }
+      expert_din[se] = experts_[se]->backward(dout);
+    }
+  });
+
+  // Phase 2 — serial, fixed expert order: scatter expert input grads back
+  // to tokens. Tokens with several surviving assignments accumulate their
+  // partials deterministically here.
+  auto pdx = dx.f32();
   for (int e = 0; e < e_count; ++e) {
     const auto routed = plan_.for_expert(e);
     if (routed.empty()) continue;
-    const std::size_t base =
-        static_cast<std::size_t>(plan_.expert_offsets[e]);
-    const Tensor& out = expert_outputs_[static_cast<std::size_t>(e)];
-    // dL/d(expert output row i) = w_i * dy[token_i]; also accumulate
-    // dL/dw_i = dy[token_i] · out_i.
-    Tensor dout = Tensor::empty(out.shape());
-    auto pdout = dout.f32();
-    auto pout = out.f32();
-    for (std::size_t i = 0; i < routed.size(); ++i) {
-      const Assignment& a = routed[i];
-      const float* gy = pdy.data() + static_cast<std::int64_t>(a.token) * d;
-      const float* po = pout.data() + static_cast<std::int64_t>(i) * d;
-      float* pdo = pdout.data() + static_cast<std::int64_t>(i) * d;
-      double dw = 0.0;
-      for (std::int64_t c = 0; c < d; ++c) {
-        pdo[c] = a.gate_weight * gy[c];
-        dw += double(gy[c]) * po[c];
-      }
-      dws[base + i] = static_cast<float>(dw);
-    }
-    const Tensor din = experts_[static_cast<std::size_t>(e)]->backward(dout);
-    // Scatter expert input grads back to tokens.
-    auto pdin = din.f32();
-    auto pdx = dx.f32();
+    auto pdin = expert_din[static_cast<std::size_t>(e)].f32();
     for (std::size_t i = 0; i < routed.size(); ++i) {
       const Assignment& a = routed[i];
       const float* gi = pdin.data() + static_cast<std::int64_t>(i) * d;

@@ -78,6 +78,10 @@ class MoELayer : public nn::Layer {
   DispatchPlan plan_;
   std::vector<Tensor> expert_inputs_;    // gathered rows per expert
   std::vector<Tensor> expert_outputs_;   // FFN outputs per expert
+  // Routed token rows / combine weights per expert, cached by forward for
+  // the deterministic serial combine (and reused in backward).
+  std::vector<std::vector<std::int32_t>> expert_rows_;
+  std::vector<std::vector<float>> expert_weights_;
 };
 
 }  // namespace bgl::moe

@@ -1,8 +1,19 @@
 #include "nn/layernorm.hpp"
 
 #include <cmath>
+#include <vector>
+
+#include "core/thread_pool.hpp"
 
 namespace bgl::nn {
+namespace {
+
+/// Rows per parallel chunk. Fixed (never derived from the thread count) so
+/// the chunk-ordered dgamma/dbeta reduction in backward() is bitwise
+/// identical at any BGL_THREADS.
+constexpr std::int64_t kRowChunk = 32;
+
+}  // namespace
 
 LayerNorm::LayerNorm(std::int64_t features, float eps, const std::string& name)
     : features_(features), eps_(eps) {
@@ -25,26 +36,31 @@ Tensor LayerNorm::forward(const Tensor& x) {
   auto pinv = cached_inv_std_.f32();
   auto pg = gamma_.value.f32();
   auto pb = beta_.value.f32();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = px.data() + r * features_;
-    double mean = 0.0;
-    for (std::int64_t c = 0; c < features_; ++c) mean += in[c];
-    mean /= static_cast<double>(features_);
-    double var = 0.0;
-    for (std::int64_t c = 0; c < features_; ++c) {
-      const double d = in[c] - mean;
-      var += d * d;
+  // Rows are independent; each row's double accumulations run serially
+  // inside its chunk, so the result is thread-count invariant.
+  core::pool().parallel_for(rows, kRowChunk, [&](std::int64_t r0,
+                                                 std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in = px.data() + r * features_;
+      double mean = 0.0;
+      for (std::int64_t c = 0; c < features_; ++c) mean += in[c];
+      mean /= static_cast<double>(features_);
+      double var = 0.0;
+      for (std::int64_t c = 0; c < features_; ++c) {
+        const double d = in[c] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(features_);
+      const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      pinv[r] = inv;
+      float* h = ph.data() + r * features_;
+      float* o = py.data() + r * features_;
+      for (std::int64_t c = 0; c < features_; ++c) {
+        h[c] = (in[c] - static_cast<float>(mean)) * inv;
+        o[c] = h[c] * pg[c] + pb[c];
+      }
     }
-    var /= static_cast<double>(features_);
-    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-    pinv[r] = inv;
-    float* h = ph.data() + r * features_;
-    float* o = py.data() + r * features_;
-    for (std::int64_t c = 0; c < features_; ++c) {
-      h[c] = (in[c] - static_cast<float>(mean)) * inv;
-      o[c] = h[c] * pg[c] + pb[c];
-    }
-  }
+  });
   return y;
 }
 
@@ -61,24 +77,44 @@ Tensor LayerNorm::backward(const Tensor& dy) {
   auto pdb = beta_.grad.f32();
   auto pdx = dx.f32();
   const double n = static_cast<double>(features_);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* g = pdy.data() + r * features_;
-    const float* h = ph.data() + r * features_;
-    float* o = pdx.data() + r * features_;
-    // dgamma/dbeta accumulate over rows.
-    double sum_gh = 0.0, sum_g = 0.0;
+  // dgamma/dbeta reduce over rows: each chunk accumulates private partials
+  // (rows in order), then the partials are folded in chunk order below.
+  const std::int64_t nchunks = rows == 0 ? 0 : (rows + kRowChunk - 1) / kRowChunk;
+  std::vector<float> part_dg(static_cast<std::size_t>(nchunks * features_),
+                             0.0f);
+  std::vector<float> part_db(static_cast<std::size_t>(nchunks * features_),
+                             0.0f);
+  core::pool().parallel_for_chunks(
+      rows, kRowChunk,
+      [&](std::int64_t chunk, std::int64_t r0, std::int64_t r1) {
+        float* cdg = part_dg.data() + chunk * features_;
+        float* cdb = part_db.data() + chunk * features_;
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* g = pdy.data() + r * features_;
+          const float* h = ph.data() + r * features_;
+          float* o = pdx.data() + r * features_;
+          double sum_gh = 0.0, sum_g = 0.0;
+          for (std::int64_t c = 0; c < features_; ++c) {
+            cdg[c] += g[c] * h[c];
+            cdb[c] += g[c];
+            const double gs = double(g[c]) * pg[c];  // dL/dxhat
+            sum_gh += gs * h[c];
+            sum_g += gs;
+          }
+          // dx = inv_std/n * (n*gs - Σgs - xhat*Σ(gs*xhat))
+          for (std::int64_t c = 0; c < features_; ++c) {
+            const double gs = double(g[c]) * pg[c];
+            o[c] = static_cast<float>(pinv[r] / n *
+                                      (n * gs - sum_g - double(h[c]) * sum_gh));
+          }
+        }
+      });
+  for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+    const float* cdg = part_dg.data() + chunk * features_;
+    const float* cdb = part_db.data() + chunk * features_;
     for (std::int64_t c = 0; c < features_; ++c) {
-      pdg[c] += g[c] * h[c];
-      pdb[c] += g[c];
-      const double gs = double(g[c]) * pg[c];  // dL/dxhat
-      sum_gh += gs * h[c];
-      sum_g += gs;
-    }
-    // dx = inv_std/n * (n*gs - Σgs - xhat*Σ(gs*xhat))
-    for (std::int64_t c = 0; c < features_; ++c) {
-      const double gs = double(g[c]) * pg[c];
-      o[c] = static_cast<float>(pinv[r] / n *
-                                (n * gs - sum_g - double(h[c]) * sum_gh));
+      pdg[c] += cdg[c];
+      pdb[c] += cdb[c];
     }
   }
   return dx;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "collectives/coll.hpp"
+#include "core/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace bgl::parallel {
@@ -119,17 +120,21 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
   // Run local experts; keep their inputs for backward.
   expert_inputs_.assign(static_cast<std::size_t>(experts_per_rank_), {});
   std::vector<Tensor> expert_out(static_cast<std::size_t>(experts_per_rank_));
-  for (int l = 0; l < experts_per_rank_; ++l) {
-    const std::int64_t n_l = expert_counts[static_cast<std::size_t>(l)];
-    Tensor in = Tensor::empty({n_l, d_model_});
-    std::copy(expert_rows[static_cast<std::size_t>(l)].begin(),
-              expert_rows[static_cast<std::size_t>(l)].end(),
-              in.f32().begin());
-    expert_inputs_[static_cast<std::size_t>(l)] = in;
-    if (n_l > 0)
-      expert_out[static_cast<std::size_t>(l)] =
-          experts_[static_cast<std::size_t>(l)]->forward(in);
-  }
+  // Local experts are independent (own inputs, own parameters): run them
+  // as pool tasks, one chunk per expert. All ranks share the process
+  // ThreadPool, so total oversubscription stays bounded.
+  core::pool().parallel_for(
+      experts_per_rank_, 1, [&](std::int64_t l0, std::int64_t l1) {
+        for (std::int64_t l = l0; l < l1; ++l) {
+          const std::size_t sl = static_cast<std::size_t>(l);
+          const std::int64_t n_l = expert_counts[sl];
+          Tensor in = Tensor::empty({n_l, d_model_});
+          std::copy(expert_rows[sl].begin(), expert_rows[sl].end(),
+                    in.f32().begin());
+          expert_inputs_[sl] = in;
+          if (n_l > 0) expert_out[sl] = experts_[sl]->forward(in);
+        }
+      });
 
   // Route outputs back in each source's original row order.
   std::vector<std::vector<float>> send_back(static_cast<std::size_t>(p));
@@ -145,8 +150,10 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
   const auto got_back = coll::alltoallv<float>(comm_, send_back, a2a_algo_, a2a_group_);
 
   // Combine: y[token] += w * returned row. Cache returned rows for dw.
+  // Goes through ops::scatter_add_rows — the same kernel the serial
+  // MoELayer combine uses — so the two layers stay bitwise identical no
+  // matter how that kernel rounds (FMA vs mul+add).
   Tensor y = Tensor::zeros(x.shape());
-  auto py = y.f32();
   returned_out_.assign(static_cast<std::size_t>(p), {});
   for (int dst = 0; dst < p; ++dst) {
     const auto& rows = got_back[static_cast<std::size_t>(dst)];
@@ -156,13 +163,14 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
         {static_cast<std::int64_t>(idx.size()), d_model_});
     std::copy(rows.begin(), rows.end(), cache.f32().begin());
     returned_out_[static_cast<std::size_t>(dst)] = cache;
+    std::vector<std::int32_t> tok(idx.size());
+    std::vector<float> w(idx.size());
     for (std::size_t r = 0; r < idx.size(); ++r) {
       const moe::Assignment& a = plan_.assignments[idx[r]];
-      const float* row = rows.data() + r * static_cast<std::size_t>(d_model_);
-      float* out = py.data() + static_cast<std::int64_t>(a.token) * d_model_;
-      for (std::int64_t c = 0; c < d_model_; ++c)
-        out[c] += a.gate_weight * row[c];
+      tok[r] = a.token;
+      w[r] = a.gate_weight;
     }
+    ops::scatter_add_rows(y, tok, cache, w);
   }
   return y;
 }
@@ -214,17 +222,20 @@ Tensor ExpertParallelMoE::backward(const Tensor& dy) {
     }
   }
 
-  // Local expert backward; produce din rows.
+  // Local expert backward; produce din rows. Experts are independent, so
+  // this runs as pool tasks like the forward pass.
   std::vector<Tensor> expert_din(static_cast<std::size_t>(experts_per_rank_));
-  for (int l = 0; l < experts_per_rank_; ++l) {
-    if (expert_inputs_[static_cast<std::size_t>(l)].dim(0) > 0) {
-      expert_din[static_cast<std::size_t>(l)] =
-          experts_[static_cast<std::size_t>(l)]->backward(
-              expert_dout[static_cast<std::size_t>(l)]);
-    } else {
-      expert_din[static_cast<std::size_t>(l)] = Tensor::zeros({0, d_model_});
-    }
-  }
+  core::pool().parallel_for(
+      experts_per_rank_, 1, [&](std::int64_t l0, std::int64_t l1) {
+        for (std::int64_t l = l0; l < l1; ++l) {
+          const std::size_t sl = static_cast<std::size_t>(l);
+          if (expert_inputs_[sl].dim(0) > 0) {
+            expert_din[sl] = experts_[sl]->backward(expert_dout[sl]);
+          } else {
+            expert_din[sl] = Tensor::zeros({0, d_model_});
+          }
+        }
+      });
 
   // Return din rows to sources in their original order.
   std::vector<std::vector<float>> send_din(static_cast<std::size_t>(p));

@@ -1,0 +1,236 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define BGL_GEMM_AVX2 1
+#include <immintrin.h>
+#endif
+
+#include "core/cpu.hpp"
+#include "core/thread_pool.hpp"
+
+namespace bgl::ops::detail {
+namespace {
+
+// Register tile: MR rows of A x NR columns of B (two 8-lane vectors).
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 16;
+// Cache blocking: kc-deep panels (B panel ~16 KiB -> L1, A block ~168 KiB
+// -> L2); MC is the parallel row-block unit and a multiple of MR.
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kMC = 168;
+// Below this many flops the packing/pool overhead dominates; run the row
+// blocks inline on the caller.
+constexpr std::int64_t kParallelFlops = std::int64_t{1} << 20;
+
+/// Computes a kc-deep MRxNR tile: C[0..mr, 0..nr] += Ap·Bp. Ap is packed
+/// p-major with MR row entries per step (zero padded), Bp p-major with NR
+/// column entries per step (zero padded).
+using MicroKernel = void (*)(std::int64_t kc, const float* ap, const float* bp,
+                             float* c, std::int64_t ldc, std::int64_t mr,
+                             std::int64_t nr);
+
+void micro_scalar(std::int64_t kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * kMR;
+    const float* b = bp + p * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] += av * b[j];
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+#ifdef BGL_GEMM_AVX2
+
+__attribute__((target("avx2,fma"))) void micro_avx2(
+    std::int64_t kc, const float* ap, const float* bp, float* c,
+    std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+  __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+  __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+  __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+  __m256 a40 = _mm256_setzero_ps(), a41 = _mm256_setzero_ps();
+  __m256 a50 = _mm256_setzero_ps(), a51 = _mm256_setzero_ps();
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * kMR;
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNR);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNR + 8);
+    __m256 av;
+    av = _mm256_broadcast_ss(a + 0);
+    a00 = _mm256_fmadd_ps(av, b0, a00);
+    a01 = _mm256_fmadd_ps(av, b1, a01);
+    av = _mm256_broadcast_ss(a + 1);
+    a10 = _mm256_fmadd_ps(av, b0, a10);
+    a11 = _mm256_fmadd_ps(av, b1, a11);
+    av = _mm256_broadcast_ss(a + 2);
+    a20 = _mm256_fmadd_ps(av, b0, a20);
+    a21 = _mm256_fmadd_ps(av, b1, a21);
+    av = _mm256_broadcast_ss(a + 3);
+    a30 = _mm256_fmadd_ps(av, b0, a30);
+    a31 = _mm256_fmadd_ps(av, b1, a31);
+    av = _mm256_broadcast_ss(a + 4);
+    a40 = _mm256_fmadd_ps(av, b0, a40);
+    a41 = _mm256_fmadd_ps(av, b1, a41);
+    av = _mm256_broadcast_ss(a + 5);
+    a50 = _mm256_fmadd_ps(av, b0, a50);
+    a51 = _mm256_fmadd_ps(av, b1, a51);
+  }
+  if (mr == kMR && nr == kNR) {
+    float* crow = c;
+    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), a00));
+    _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), a01));
+    crow += ldc;
+    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), a10));
+    _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), a11));
+    crow += ldc;
+    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), a20));
+    _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), a21));
+    crow += ldc;
+    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), a30));
+    _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), a31));
+    crow += ldc;
+    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), a40));
+    _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), a41));
+    crow += ldc;
+    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), a50));
+    _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), a51));
+  } else {
+    alignas(32) float tmp[kMR * kNR];
+    _mm256_store_ps(tmp + 0 * kNR, a00);
+    _mm256_store_ps(tmp + 0 * kNR + 8, a01);
+    _mm256_store_ps(tmp + 1 * kNR, a10);
+    _mm256_store_ps(tmp + 1 * kNR + 8, a11);
+    _mm256_store_ps(tmp + 2 * kNR, a20);
+    _mm256_store_ps(tmp + 2 * kNR + 8, a21);
+    _mm256_store_ps(tmp + 3 * kNR, a30);
+    _mm256_store_ps(tmp + 3 * kNR + 8, a31);
+    _mm256_store_ps(tmp + 4 * kNR, a40);
+    _mm256_store_ps(tmp + 4 * kNR + 8, a41);
+    _mm256_store_ps(tmp + 5 * kNR, a50);
+    _mm256_store_ps(tmp + 5 * kNR + 8, a51);
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += tmp[r * kNR + j];
+    }
+  }
+}
+
+#endif  // BGL_GEMM_AVX2
+
+MicroKernel pick_kernel() {
+#ifdef BGL_GEMM_AVX2
+  if (core::simd_level() == core::SimdLevel::kAvx2) return micro_avx2;
+#endif
+  return micro_scalar;
+}
+
+/// Packs B panel jp (columns [jp*NR, jp*NR + nr), k rows [p0, p0+kc)) into
+/// p-major NR-wide steps, zero padded past nr.
+void pack_b_panel(const float* b, std::int64_t ldb, bool trans,
+                  std::int64_t p0, std::int64_t kc, std::int64_t j0,
+                  std::int64_t nr, float* bp) {
+  if (!trans) {
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const float* src = b + (p0 + p) * ldb + j0;
+      float* dst = bp + p * kNR;
+      for (std::int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+      for (std::int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+    }
+  } else {
+    // B element (p, j) lives at b[j*ldb + p]: gather column-strided.
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const float* src = b + j0 * ldb + (p0 + p);
+      float* dst = bp + p * kNR;
+      for (std::int64_t j = 0; j < nr; ++j) dst[j] = src[j * ldb];
+      for (std::int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+/// Packs rows [i0, i0+mc) x k [p0, p0+kc) of A into MR-tall micro-panels,
+/// each p-major with MR row entries per step, zero padded past the edge.
+void pack_a_block(const float* a, std::int64_t lda, bool trans,
+                  std::int64_t i0, std::int64_t mc, std::int64_t p0,
+                  std::int64_t kc, float* ap) {
+  const std::int64_t panels = (mc + kMR - 1) / kMR;
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    const std::int64_t r0 = i0 + ip * kMR;
+    const std::int64_t mr = std::min<std::int64_t>(kMR, i0 + mc - r0);
+    float* dst = ap + ip * kc * kMR;
+    if (!trans) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + r0 * lda + (p0 + p);
+        float* d = dst + p * kMR;
+        for (std::int64_t r = 0; r < mr; ++r) d[r] = src[r * lda];
+        for (std::int64_t r = mr; r < kMR; ++r) d[r] = 0.0f;
+      }
+    } else {
+      // A element (i, p) lives at a[p*lda + i]: storage row p is
+      // contiguous in i.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * lda + r0;
+        float* d = dst + p * kMR;
+        for (std::int64_t r = 0; r < mr; ++r) d[r] = src[r];
+        for (std::int64_t r = mr; r < kMR; ++r) d[r] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+          bool trans_b, float* c) {
+  if (m == 0 || n == 0 || k == 0) return;
+  static const MicroKernel micro = pick_kernel();
+
+  const std::int64_t bpanels = (n + kNR - 1) / kNR;
+  const std::int64_t row_blocks = (m + kMC - 1) / kMC;
+  // Row blocks run in parallel; small problems stay on the caller (one
+  // chunk). Either way the chunk decomposition never changes results:
+  // every C row is produced by exactly one block with a fixed k order.
+  const std::int64_t grain = 2 * m * n * k < kParallelFlops ? row_blocks : 1;
+
+  std::vector<float> bp(static_cast<std::size_t>(bpanels * kKC * kNR));
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::int64_t kc = std::min(kKC, k - p0);
+    for (std::int64_t jp = 0; jp < bpanels; ++jp) {
+      const std::int64_t j0 = jp * kNR;
+      pack_b_panel(b, ldb, trans_b, p0, kc, j0,
+                   std::min(kNR, n - j0), bp.data() + jp * kc * kNR);
+    }
+    core::pool().parallel_for(
+        row_blocks, grain, [&](std::int64_t blk0, std::int64_t blk1) {
+          thread_local std::vector<float> ap;
+          for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+            const std::int64_t i0 = blk * kMC;
+            const std::int64_t mc = std::min(kMC, m - i0);
+            const std::int64_t apanels = (mc + kMR - 1) / kMR;
+            ap.resize(static_cast<std::size_t>(apanels * kc * kMR));
+            pack_a_block(a, lda, trans_a, i0, mc, p0, kc, ap.data());
+            for (std::int64_t jp = 0; jp < bpanels; ++jp) {
+              const std::int64_t j0 = jp * kNR;
+              const std::int64_t nr = std::min(kNR, n - j0);
+              const float* bpanel = bp.data() + jp * kc * kNR;
+              for (std::int64_t ip = 0; ip < apanels; ++ip) {
+                const std::int64_t r0 = i0 + ip * kMR;
+                micro(kc, ap.data() + ip * kc * kMR, bpanel, c + r0 * n + j0,
+                      n, std::min<std::int64_t>(kMR, i0 + mc - r0), nr);
+              }
+            }
+          }
+        });
+  }
+}
+
+}  // namespace bgl::ops::detail

@@ -1,0 +1,28 @@
+// Internal GEMM driver backing ops::matmul / matmul_tn / matmul_nt.
+//
+// One packed-panel implementation serves all three transpose variants:
+// operands are described by (pointer, leading dimension, transposed) and
+// the packing routines absorb the layout difference, so the micro-kernel
+// only ever sees contiguous panels. The micro-kernel is chosen once per
+// process by core::simd_level(): an AVX2/FMA 6x16 register tile, or a
+// portable scalar tile the compiler auto-vectorizes at baseline ISA.
+//
+// Determinism: every C element is accumulated in a fixed order (k-blocks
+// outermost, sequential; registers accumulate within a block), and the
+// parallel decomposition is over row blocks whose boundaries depend only
+// on the shape — so results are bitwise identical at any thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace bgl::ops::detail {
+
+/// C += op(A)·op(B) with C row-major [m, n] (leading dimension n).
+/// op(A) is [m, k]: element (i, p) is a[i*lda + p], or a[p*lda + i] when
+/// trans_a. op(B) is [k, n]: element (p, j) is b[p*ldb + j], or
+/// b[j*ldb + p] when trans_b.
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          std::int64_t lda, bool trans_a, const float* b, std::int64_t ldb,
+          bool trans_b, float* c);
+
+}  // namespace bgl::ops::detail

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define BGL_OPS_AVX2 1
+#include <immintrin.h>
+#endif
+
+#include "core/cpu.hpp"
+#include "core/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+
+// Kernel structure (see DESIGN.md §7): every hot op has a portable scalar
+// kernel and an AVX2/FMA kernel selected once per process through
+// core::simd_level(), and fans out over core::pool(). Determinism contract:
+// chunk boundaries depend only on the element count (kElemGrain /
+// kRedBlock / row grains), never on the thread count, and reductions
+// combine per-chunk partials in chunk order on the caller — so results are
+// bitwise identical at any BGL_THREADS.
 
 namespace bgl::ops {
 namespace {
+
+/// Elements per parallel chunk for elementwise kernels.
+constexpr std::int64_t kElemGrain = std::int64_t{1} << 15;
+/// Fixed reduction block: per-block partials are combined in block order.
+constexpr std::int64_t kRedBlock = std::int64_t{1} << 14;
 
 void check_same(const Tensor& a, const Tensor& b, const char* what) {
   BGL_ENSURE(a.same_shape(b), what << ": shape mismatch "
@@ -12,229 +36,55 @@ void check_same(const Tensor& a, const Tensor& b, const char* what) {
                                    << shape_str(b.shape()));
 }
 
-}  // namespace
+bool use_avx2() { return core::simd_level() == core::SimdLevel::kAvx2; }
 
-Tensor add(const Tensor& a, const Tensor& b) {
-  check_same(a, b, "add");
-  Tensor out = a.clone();
-  add_(out, b);
-  return out;
+/// --- scalar kernels (portable reference) -----------------------------------
+
+void add_scalar(float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] += b[i];
 }
 
-void add_(Tensor& a, const Tensor& b) {
-  check_same(a, b, "add_");
-  auto pa = a.f32();
-  auto pb = b.f32();
-  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] += pb[i];
+void sub_scalar(float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] -= b[i];
 }
 
-Tensor sub(const Tensor& a, const Tensor& b) {
-  check_same(a, b, "sub");
-  Tensor out = a.clone();
-  auto po = out.f32();
-  auto pb = b.f32();
-  for (std::size_t i = 0; i < po.size(); ++i) po[i] -= pb[i];
-  return out;
+void mul_scalar(float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] *= b[i];
 }
 
-Tensor mul(const Tensor& a, const Tensor& b) {
-  check_same(a, b, "mul");
-  Tensor out = a.clone();
-  auto po = out.f32();
-  auto pb = b.f32();
-  for (std::size_t i = 0; i < po.size(); ++i) po[i] *= pb[i];
-  return out;
+void scale_scalar(float* a, float s, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] *= s;
 }
 
-void scale_(Tensor& a, float s) {
-  for (float& v : a.f32()) v *= s;
+void axpy_scalar(float* y, const float* x, float alpha, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-void axpy_(Tensor& y, float alpha, const Tensor& x) {
-  check_same(y, x, "axpy_");
-  auto py = y.f32();
-  auto px = x.f32();
-  for (std::size_t i = 0; i < py.size(); ++i) py[i] += alpha * px[i];
+void quant_f16_scalar(float* a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] = quantize(a[i], DType::kF16);
 }
 
-void zero_(Tensor& a) { a.fill(0.0f); }
-
-void quantize_(Tensor& a, DType dtype) {
-  if (dtype == DType::kF32) return;
-  for (float& v : a.f32()) v = quantize(v, dtype);
+void quant_bf16_scalar(float* a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] = quantize(a[i], DType::kBF16);
 }
 
-double sum(const Tensor& a) {
+double sum_block_scalar(const float* p, std::int64_t n) {
   double acc = 0.0;
-  for (const float v : a.f32()) acc += v;
+  for (std::int64_t i = 0; i < n; ++i) acc += p[i];
   return acc;
 }
 
-double mean(const Tensor& a) {
-  BGL_CHECK(a.numel() > 0);
-  return sum(a) / static_cast<double>(a.numel());
-}
-
-float abs_max(const Tensor& a) {
+float absmax_block_scalar(const float* p, std::int64_t n) {
   float m = 0.0f;
-  for (const float v : a.f32()) m = std::max(m, std::fabs(v));
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i]));
   return m;
 }
 
-bool has_nonfinite(const Tensor& a) {
-  for (const float v : a.f32())
-    if (!std::isfinite(v)) return true;
+bool nonfinite_block_scalar(const float* p, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    if (!std::isfinite(p[i])) return true;
   return false;
 }
-
-void col_sum(const Tensor& a, Tensor& out) {
-  BGL_CHECK(a.ndim() == 2 && out.ndim() == 1);
-  BGL_CHECK(out.dim(0) == a.dim(1));
-  const std::int64_t rows = a.dim(0);
-  const std::int64_t cols = a.dim(1);
-  auto pa = a.f32();
-  auto po = out.f32();
-  std::fill(po.begin(), po.end(), 0.0f);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = pa.data() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) po[c] += row[c];
-  }
-}
-
-namespace {
-
-// Cache-blocked GEMM core: C[m,n] += A[m,k] * B[k,n], all row-major.
-void gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::int64_t i1 = std::min(i0 + kBlock, m);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlock) {
-      const std::int64_t p1 = std::min(p0 + kBlock, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = c + i * n;
-        for (std::int64_t p = p0; p < p1; ++p) {
-          const float aval = a[i * k + p];
-          if (aval == 0.0f) continue;
-          const float* brow = b + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
-  BGL_ENSURE(a.dim(1) == b.dim(0), "matmul " << shape_str(a.shape()) << " x "
-                                             << shape_str(b.shape()));
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor c = Tensor::zeros({m, n});
-  gemm_nn(a.f32().data(), b.f32().data(), c.f32().data(), m, k, n);
-  return c;
-}
-
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
-  BGL_ENSURE(a.dim(0) == b.dim(0), "matmul_tn " << shape_str(a.shape())
-                                                << " x " << shape_str(b.shape()));
-  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor c = Tensor::zeros({m, n});
-  const float* pa = a.f32().data();
-  const float* pb = b.f32().data();
-  float* pc = c.f32().data();
-  // C[i,j] = sum_p A[p,i] * B[p,j]; iterate p outermost for streaming reads.
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
-  return c;
-}
-
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
-  BGL_ENSURE(a.dim(1) == b.dim(1), "matmul_nt " << shape_str(a.shape())
-                                                << " x " << shape_str(b.shape()));
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  Tensor c = Tensor::zeros({m, n});
-  const float* pa = a.f32().data();
-  const float* pb = b.f32().data();
-  float* pc = c.f32().data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
-  return c;
-}
-
-Tensor transpose(const Tensor& a) {
-  BGL_CHECK(a.ndim() == 2);
-  const std::int64_t m = a.dim(0), n = a.dim(1);
-  Tensor out = Tensor::empty({n, m});
-  auto pa = a.f32();
-  auto po = out.f32();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
-  return out;
-}
-
-Tensor row_softmax(const Tensor& logits) {
-  BGL_CHECK(logits.ndim() == 2);
-  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
-  Tensor out = Tensor::empty({rows, cols});
-  auto pin = logits.f32();
-  auto pout = out.f32();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = pin.data() + r * cols;
-    float* o = pout.data() + r * cols;
-    float mx = in[0];
-    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - mx);
-      denom += o[c];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
-  }
-  return out;
-}
-
-Tensor row_softmax_backward(const Tensor& y, const Tensor& dy) {
-  BGL_CHECK(y.ndim() == 2);
-  BGL_CHECK(y.same_shape(dy));
-  const std::int64_t rows = y.dim(0), cols = y.dim(1);
-  Tensor dx = Tensor::empty({rows, cols});
-  auto py = y.f32();
-  auto pdy = dy.f32();
-  auto pdx = dx.f32();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* yr = py.data() + r * cols;
-    const float* dyr = pdy.data() + r * cols;
-    float* dxr = pdx.data() + r * cols;
-    double dot = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) dot += double(yr[c]) * dyr[c];
-    for (std::int64_t c = 0; c < cols; ++c)
-      dxr[c] = yr[c] * (dyr[c] - static_cast<float>(dot));
-  }
-  return dx;
-}
-
-namespace {
 
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
@@ -252,38 +102,633 @@ float gelu_grad_scalar(float x) {
          0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
 }
 
+void gelu_block_scalar(float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] = gelu_scalar(x[i]);
+}
+
+void gelu_bwd_block_scalar(float* dx, const float* x, const float* dy,
+                           std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i] * gelu_grad_scalar(x[i]);
+}
+
+void softmax_row_scalar(const float* in, float* o, std::int64_t cols) {
+  float mx = in[0];
+  for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+  for (std::int64_t c = 0; c < cols; ++c) o[c] = std::exp(in[c] - mx);
+  double denom = 0.0;
+  for (std::int64_t c = 0; c < cols; ++c) denom += o[c];
+  const float inv = static_cast<float>(1.0 / denom);
+  for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+}
+
+/// --- AVX2/FMA kernels ------------------------------------------------------
+
+#ifdef BGL_OPS_AVX2
+
+__attribute__((target("avx2,fma"))) void add_avx2(float* a, const float* b,
+                                                  std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+__attribute__((target("avx2,fma"))) void sub_avx2(float* a, const float* b,
+                                                  std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        a + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) a[i] -= b[i];
+}
+
+__attribute__((target("avx2,fma"))) void mul_avx2(float* a, const float* b,
+                                                  std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) a[i] *= b[i];
+}
+
+__attribute__((target("avx2,fma"))) void scale_avx2(float* a, float s,
+                                                    std::int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  for (; i < n; ++i) a[i] *= s;
+}
+
+// Deliberately mul+add, NOT fmadd: axpy backs scatter_add_rows, whose
+// callers (MoE combine under permuted expert placements) accumulate the
+// same terms in different orders and rely on two-term sums commuting.
+// Rounding each product first keeps a+b == b+a exactly; a fused last
+// product would break that under cancellation. axpy is memory-bound, so
+// the extra rounding step costs nothing. GCC would contract mul+add
+// intrinsic pairs into vfmadd inside this target("fma") function under
+// the default -ffp-contract=fast, so this file builds with
+// -ffp-contract=off (see tensor/CMakeLists.txt); the explicit SSE tail
+// keeps the same shape as the vector body.
+__attribute__((target("avx2,fma"))) void axpy_avx2(float* y, const float* x,
+                                                   float alpha,
+                                                   std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_mul_ps(va, _mm256_loadu_ps(x + i)),
+                             _mm256_loadu_ps(y + i)));
+  for (; i < n; ++i) {
+    const __m128 p = _mm_mul_ss(_mm_set_ss(alpha), _mm_load_ss(x + i));
+    _mm_store_ss(y + i, _mm_add_ss(p, _mm_load_ss(y + i)));
+  }
+}
+
+/// f32 -> f16 -> f32 round trip via F16C, with NaN lanes fixed up to the
+/// canonical quiet NaN the scalar converter produces (hardware would keep
+/// the payload).
+__attribute__((target("avx2,fma,f16c"))) void quant_f16_avx2(float* a,
+                                                             std::int64_t n) {
+  const __m256i sign_mask = _mm256_set1_epi32(
+      static_cast<std::int32_t>(0x80000000u));
+  const __m256i quiet = _mm256_set1_epi32(0x7FC00000);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(a + i);
+    const __m256 rt = _mm256_cvtph_ps(
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    const __m256 nan_mask = _mm256_cmp_ps(v, v, _CMP_UNORD_Q);
+    const __m256 canon = _mm256_castsi256_ps(_mm256_or_si256(
+        _mm256_and_si256(_mm256_castps_si256(v), sign_mask), quiet));
+    _mm256_storeu_ps(a + i, _mm256_blendv_ps(rt, canon, nan_mask));
+  }
+  for (; i < n; ++i) a[i] = quantize(a[i], DType::kF16);
+}
+
+/// Integer replica of detail::f32_to_bf16_bits (round-to-nearest-even with
+/// the same NaN canonicalization), bitwise identical to the scalar path.
+__attribute__((target("avx2,fma"))) void quant_bf16_avx2(float* a,
+                                                         std::int64_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7FFFFFFF);
+  const __m256i inf = _mm256_set1_epi32(0x7F800000);
+  const __m256i bias = _mm256_set1_epi32(0x7FFF);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i hi_mask = _mm256_set1_epi32(
+      static_cast<std::int32_t>(0xFFFF0000u));
+  const __m256i quiet_bit = _mm256_set1_epi32(0x00400000);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(a + i));
+    const __m256i abs = _mm256_and_si256(u, abs_mask);
+    const __m256i is_nan = _mm256_cmpgt_epi32(abs, inf);
+    const __m256i lsb =
+        _mm256_and_si256(_mm256_srli_epi32(u, 16), one);
+    const __m256i rounded = _mm256_and_si256(
+        _mm256_add_epi32(u, _mm256_add_epi32(bias, lsb)), hi_mask);
+    const __m256i nan_val =
+        _mm256_or_si256(_mm256_and_si256(u, hi_mask), quiet_bit);
+    _mm256_storeu_ps(a + i, _mm256_castsi256_ps(_mm256_blendv_epi8(
+                                rounded, nan_val, is_nan)));
+  }
+  for (; i < n; ++i) a[i] = quantize(a[i], DType::kBF16);
+}
+
+__attribute__((target("avx2,fma"))) double sum_block_avx2(const float* p,
+                                                          std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(p + i);
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double total = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+  for (; i < n; ++i) total += p[i];
+  return total;
+}
+
+__attribute__((target("avx2,fma"))) float absmax_block_avx2(const float* p,
+                                                            std::int64_t n) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 vm = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    vm = _mm256_max_ps(vm, _mm256_and_ps(_mm256_loadu_ps(p + i), abs_mask));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vm);
+  float m = 0.0f;
+  for (float lane : lanes) m = std::max(m, lane);
+  for (; i < n; ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+__attribute__((target("avx2,fma"))) bool nonfinite_block_avx2(
+    const float* p, std::int64_t n) {
+  const __m256i exp_mask = _mm256_set1_epi32(0x7F800000);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(p + i));
+    const __m256i exp = _mm256_and_si256(u, exp_mask);
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(exp, exp_mask)) != 0)
+      return true;
+  }
+  for (; i < n; ++i)
+    if (!std::isfinite(p[i])) return true;
+  return false;
+}
+
+/// Vector expf: cephes-style range reduction + degree-5 polynomial,
+/// ~1 ulp on the softmax/gelu input range, exp(0) == 1 exactly.
+__attribute__((target("avx2,fma"))) inline __m256 exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 lo = _mm256_set1_ps(-87.3365478515625f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 ln2_hi = _mm256_set1_ps(0.693359375f);
+  const __m256 ln2_lo = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+  __m256 fx = _mm256_floor_ps(_mm256_fmadd_ps(x, log2e, half));
+  x = _mm256_fnmadd_ps(fx, ln2_hi, x);
+  x = _mm256_fnmadd_ps(fx, ln2_lo, x);
+
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, half);
+  y = _mm256_fmadd_ps(y, _mm256_mul_ps(x, x), _mm256_add_ps(x, one));
+
+  const __m256i pow2 = _mm256_slli_epi32(
+      _mm256_add_epi32(_mm256_cvtps_epi32(fx), _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+}
+
+/// tanh(x) = 1 - 2/(exp(2x) + 1); exact 0 at x == 0, saturates to ±1.
+__attribute__((target("avx2,fma"))) inline __m256 tanh256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 two = _mm256_set1_ps(2.0f);
+  const __m256 e = exp256(_mm256_mul_ps(x, two));
+  return _mm256_sub_ps(one,
+                       _mm256_div_ps(two, _mm256_add_ps(e, one)));
+}
+
+__attribute__((target("avx2,fma"))) void gelu_block_avx2(float* x,
+                                                         std::int64_t n) {
+  const __m256 c = _mm256_set1_ps(kGeluC);
+  const __m256 c3 = _mm256_set1_ps(0.044715f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 v3 = _mm256_mul_ps(_mm256_mul_ps(v, v), v);
+    const __m256 inner = _mm256_mul_ps(c, _mm256_fmadd_ps(c3, v3, v));
+    const __m256 t = tanh256(inner);
+    _mm256_storeu_ps(
+        x + i, _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+  for (; i < n; ++i) x[i] = gelu_scalar(x[i]);
+}
+
+__attribute__((target("avx2,fma"))) void gelu_bwd_block_avx2(
+    float* dx, const float* x, const float* dy, std::int64_t n) {
+  const __m256 c = _mm256_set1_ps(kGeluC);
+  const __m256 c3 = _mm256_set1_ps(0.044715f);
+  const __m256 c3x3 = _mm256_set1_ps(3.0f * 0.044715f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 v2 = _mm256_mul_ps(v, v);
+    const __m256 v3 = _mm256_mul_ps(v2, v);
+    const __m256 inner = _mm256_mul_ps(c, _mm256_fmadd_ps(c3, v3, v));
+    const __m256 t = tanh256(inner);
+    const __m256 sech2 = _mm256_fnmadd_ps(t, t, one);
+    const __m256 lhs = _mm256_mul_ps(half, _mm256_add_ps(one, t));
+    const __m256 rhs = _mm256_mul_ps(
+        _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_mul_ps(sech2, c)),
+        _mm256_fmadd_ps(c3x3, v2, one));
+    _mm256_storeu_ps(dx + i, _mm256_mul_ps(_mm256_loadu_ps(dy + i),
+                                           _mm256_add_ps(lhs, rhs)));
+  }
+  for (; i < n; ++i) dx[i] = dy[i] * gelu_grad_scalar(x[i]);
+}
+
+__attribute__((target("avx2,fma"))) void softmax_row_avx2(const float* in,
+                                                          float* o,
+                                                          std::int64_t cols) {
+  // Max (order-independent), vector body + scalar tail.
+  float mx = in[0];
+  std::int64_t j = 1;
+  if (cols >= 9) {
+    __m256 vm = _mm256_loadu_ps(in);
+    for (j = 8; j + 8 <= cols; j += 8)
+      vm = _mm256_max_ps(vm, _mm256_loadu_ps(in + j));
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vm);
+    mx = lanes[0];
+    for (int l = 1; l < 8; ++l) mx = std::max(mx, lanes[l]);
+  }
+  for (; j < cols; ++j) mx = std::max(mx, in[j]);
+
+  const __m256 vmx = _mm256_set1_ps(mx);
+  j = 0;
+  for (; j + 8 <= cols; j += 8)
+    _mm256_storeu_ps(o + j, exp256(_mm256_sub_ps(_mm256_loadu_ps(in + j),
+                                                 vmx)));
+  for (; j < cols; ++j) o[j] = std::exp(in[j] - mx);
+
+  // Serial double accumulation in column order: deterministic and the
+  // same combine the scalar kernel performs.
+  double denom = 0.0;
+  for (std::int64_t c = 0; c < cols; ++c) denom += o[c];
+  const float inv = static_cast<float>(1.0 / denom);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  j = 0;
+  for (; j + 8 <= cols; j += 8)
+    _mm256_storeu_ps(o + j, _mm256_mul_ps(_mm256_loadu_ps(o + j), vinv));
+  for (; j < cols; ++j) o[j] *= inv;
+}
+
+#endif  // BGL_OPS_AVX2
+
+/// --- dispatch + parallel drivers -------------------------------------------
+
+using BinaryFn = void (*)(float*, const float*, std::int64_t);
+using ScaleFn = void (*)(float*, float, std::int64_t);
+using AxpyFn = void (*)(float*, const float*, float, std::int64_t);
+using InplaceFn = void (*)(float*, std::int64_t);
+using SumFn = double (*)(const float*, std::int64_t);
+using AbsMaxFn = float (*)(const float*, std::int64_t);
+using AnyFn = bool (*)(const float*, std::int64_t);
+using GeluBwdFn = void (*)(float*, const float*, const float*, std::int64_t);
+using SoftmaxRowFn = void (*)(const float*, float*, std::int64_t);
+
+#ifdef BGL_OPS_AVX2
+#define BGL_PICK(scalar, avx2) (use_avx2() ? (avx2) : (scalar))
+#else
+#define BGL_PICK(scalar, avx2) (scalar)
+#endif
+
+BinaryFn add_kernel() { static const BinaryFn f = BGL_PICK(add_scalar, add_avx2); return f; }
+BinaryFn sub_kernel() { static const BinaryFn f = BGL_PICK(sub_scalar, sub_avx2); return f; }
+BinaryFn mul_kernel() { static const BinaryFn f = BGL_PICK(mul_scalar, mul_avx2); return f; }
+ScaleFn scale_kernel() { static const ScaleFn f = BGL_PICK(scale_scalar, scale_avx2); return f; }
+AxpyFn axpy_kernel() { static const AxpyFn f = BGL_PICK(axpy_scalar, axpy_avx2); return f; }
+InplaceFn quant_f16_kernel() { static const InplaceFn f = BGL_PICK(quant_f16_scalar, quant_f16_avx2); return f; }
+InplaceFn quant_bf16_kernel() { static const InplaceFn f = BGL_PICK(quant_bf16_scalar, quant_bf16_avx2); return f; }
+SumFn sum_kernel() { static const SumFn f = BGL_PICK(sum_block_scalar, sum_block_avx2); return f; }
+AbsMaxFn absmax_kernel() { static const AbsMaxFn f = BGL_PICK(absmax_block_scalar, absmax_block_avx2); return f; }
+AnyFn nonfinite_kernel() { static const AnyFn f = BGL_PICK(nonfinite_block_scalar, nonfinite_block_avx2); return f; }
+InplaceFn gelu_kernel() { static const InplaceFn f = BGL_PICK(gelu_block_scalar, gelu_block_avx2); return f; }
+GeluBwdFn gelu_bwd_kernel() { static const GeluBwdFn f = BGL_PICK(gelu_bwd_block_scalar, gelu_bwd_block_avx2); return f; }
+SoftmaxRowFn softmax_row_kernel() { static const SoftmaxRowFn f = BGL_PICK(softmax_row_scalar, softmax_row_avx2); return f; }
+
+#undef BGL_PICK
+
+void binary_parallel(BinaryFn k, float* a, const float* b, std::int64_t n) {
+  core::pool().parallel_for(n, kElemGrain, [&](std::int64_t b0,
+                                               std::int64_t e0) {
+    k(a + b0, b + b0, e0 - b0);
+  });
+}
+
+/// Rows-per-chunk grain targeting ~kElemGrain elements; a function of the
+/// row width only, never the thread count.
+std::int64_t row_grain(std::int64_t cols) {
+  return std::max<std::int64_t>(1, kElemGrain / std::max<std::int64_t>(
+                                                    1, cols));
+}
+
 }  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "add");
+  Tensor out = a.clone();
+  add_(out, b);
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same(a, b, "add_");
+  binary_parallel(add_kernel(), a.f32().data(), b.f32().data(), a.numel());
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "sub");
+  Tensor out = a.clone();
+  binary_parallel(sub_kernel(), out.f32().data(), b.f32().data(), out.numel());
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "mul");
+  Tensor out = a.clone();
+  binary_parallel(mul_kernel(), out.f32().data(), b.f32().data(), out.numel());
+  return out;
+}
+
+void scale_(Tensor& a, float s) {
+  float* p = a.f32().data();
+  core::pool().parallel_for(a.numel(), kElemGrain,
+                            [&](std::int64_t b, std::int64_t e) {
+                              scale_kernel()(p + b, s, e - b);
+                            });
+}
+
+void axpy_(Tensor& y, float alpha, const Tensor& x) {
+  check_same(y, x, "axpy_");
+  float* py = y.f32().data();
+  const float* px = x.f32().data();
+  core::pool().parallel_for(y.numel(), kElemGrain,
+                            [&](std::int64_t b, std::int64_t e) {
+                              axpy_kernel()(py + b, px + b, alpha, e - b);
+                            });
+}
+
+void zero_(Tensor& a) { a.fill(0.0f); }
+
+void quantize_(Tensor& a, DType dtype) {
+  if (dtype == DType::kF32) return;
+  const InplaceFn k =
+      dtype == DType::kF16 ? quant_f16_kernel() : quant_bf16_kernel();
+  float* p = a.f32().data();
+  core::pool().parallel_for(
+      a.numel(), kElemGrain,
+      [&](std::int64_t b, std::int64_t e) { k(p + b, e - b); });
+}
+
+double sum(const Tensor& a) {
+  const float* p = a.f32().data();
+  const std::int64_t n = a.numel();
+  const std::int64_t nblocks = (n + kRedBlock - 1) / kRedBlock;
+  if (nblocks <= 1) return sum_kernel()(p, n);
+  std::vector<double> partial(static_cast<std::size_t>(nblocks));
+  core::pool().parallel_for_chunks(
+      n, kRedBlock, [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        partial[static_cast<std::size_t>(c)] = sum_kernel()(p + b, e - b);
+      });
+  double acc = 0.0;  // combine in block order: thread-count independent
+  for (const double v : partial) acc += v;
+  return acc;
+}
+
+double mean(const Tensor& a) {
+  BGL_CHECK(a.numel() > 0);
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+float abs_max(const Tensor& a) {
+  const float* p = a.f32().data();
+  const std::int64_t n = a.numel();
+  const std::int64_t nblocks = (n + kRedBlock - 1) / kRedBlock;
+  if (nblocks <= 1) return absmax_kernel()(p, n);
+  std::vector<float> partial(static_cast<std::size_t>(nblocks));
+  core::pool().parallel_for_chunks(
+      n, kRedBlock, [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        partial[static_cast<std::size_t>(c)] = absmax_kernel()(p + b, e - b);
+      });
+  float m = 0.0f;
+  for (const float v : partial) m = std::max(m, v);
+  return m;
+}
+
+bool has_nonfinite(const Tensor& a) {
+  const float* p = a.f32().data();
+  const std::int64_t n = a.numel();
+  const std::int64_t nblocks = (n + kRedBlock - 1) / kRedBlock;
+  if (nblocks <= 1) return nonfinite_kernel()(p, n);
+  std::vector<unsigned char> partial(static_cast<std::size_t>(nblocks), 0);
+  core::pool().parallel_for_chunks(
+      n, kRedBlock, [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+        partial[static_cast<std::size_t>(c)] =
+            nonfinite_kernel()(p + b, e - b) ? 1 : 0;
+      });
+  for (const unsigned char v : partial)
+    if (v != 0) return true;
+  return false;
+}
+
+void col_sum(const Tensor& a, Tensor& out) {
+  BGL_CHECK(a.ndim() == 2 && out.ndim() == 1);
+  BGL_CHECK(out.dim(0) == a.dim(1));
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  auto pa = a.f32();
+  auto po = out.f32();
+  // Column-partitioned: each chunk owns its output columns outright, and
+  // sums them in row order (deterministic at any thread count). Accumulate
+  // in double: col_sum feeds bias gradients, where batch-split training
+  // relies on the reduction being insensitive to how the rows are grouped
+  // across data-parallel shards.
+  core::pool().parallel_for(
+      cols, 1024, [&](std::int64_t c0, std::int64_t c1) {
+        std::vector<double> acc(static_cast<std::size_t>(c1 - c0), 0.0);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* row = pa.data() + r * cols;
+          for (std::int64_t c = c0; c < c1; ++c)
+            acc[static_cast<std::size_t>(c - c0)] += row[c];
+        }
+        for (std::int64_t c = c0; c < c1; ++c)
+          po[c] = static_cast<float>(acc[static_cast<std::size_t>(c - c0)]);
+      });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  BGL_ENSURE(a.dim(1) == b.dim(0), "matmul " << shape_str(a.shape()) << " x "
+                                             << shape_str(b.shape()));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::zeros({m, n});
+  detail::gemm(m, n, k, a.f32().data(), k, /*trans_a=*/false, b.f32().data(),
+               n, /*trans_b=*/false, c.f32().data());
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  BGL_ENSURE(a.dim(0) == b.dim(0), "matmul_tn " << shape_str(a.shape())
+                                                << " x " << shape_str(b.shape()));
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::zeros({m, n});
+  detail::gemm(m, n, k, a.f32().data(), m, /*trans_a=*/true, b.f32().data(),
+               n, /*trans_b=*/false, c.f32().data());
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  BGL_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  BGL_ENSURE(a.dim(1) == b.dim(1), "matmul_nt " << shape_str(a.shape())
+                                                << " x " << shape_str(b.shape()));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c = Tensor::zeros({m, n});
+  detail::gemm(m, n, k, a.f32().data(), k, /*trans_a=*/false, b.f32().data(),
+               k, /*trans_b=*/true, c.f32().data());
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  BGL_CHECK(a.ndim() == 2);
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out = Tensor::empty({n, m});
+  auto pa = a.f32();
+  auto po = out.f32();
+  // Cache-blocked tiles: both the source rows and the destination rows of
+  // a tile stay resident, instead of striding column-wise through the
+  // whole destination. Row-block chunks are disjoint in the source and
+  // write disjoint destination columns.
+  constexpr std::int64_t kTile = 32;
+  core::pool().parallel_for(
+      (m + kTile - 1) / kTile, 4, [&](std::int64_t blk0, std::int64_t blk1) {
+        for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+          const std::int64_t i0 = blk * kTile;
+          const std::int64_t i1 = std::min(i0 + kTile, m);
+          for (std::int64_t j0 = 0; j0 < n; j0 += kTile) {
+            const std::int64_t j1 = std::min(j0 + kTile, n);
+            for (std::int64_t i = i0; i < i1; ++i)
+              for (std::int64_t j = j0; j < j1; ++j)
+                po[j * m + i] = pa[i * n + j];
+          }
+        }
+      });
+  return out;
+}
+
+Tensor row_softmax(const Tensor& logits) {
+  BGL_CHECK(logits.ndim() == 2);
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out = Tensor::empty({rows, cols});
+  if (rows == 0 || cols == 0) return out;  // no rows, or 0-wide rows
+  auto pin = logits.f32();
+  auto pout = out.f32();
+  const SoftmaxRowFn k = softmax_row_kernel();
+  core::pool().parallel_for(
+      rows, row_grain(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r)
+          k(pin.data() + r * cols, pout.data() + r * cols, cols);
+      });
+  return out;
+}
+
+Tensor row_softmax_backward(const Tensor& y, const Tensor& dy) {
+  BGL_CHECK(y.ndim() == 2);
+  BGL_CHECK(y.same_shape(dy));
+  const std::int64_t rows = y.dim(0), cols = y.dim(1);
+  Tensor dx = Tensor::empty({rows, cols});
+  auto py = y.f32();
+  auto pdy = dy.f32();
+  auto pdx = dx.f32();
+  core::pool().parallel_for(
+      rows, row_grain(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* yr = py.data() + r * cols;
+          const float* dyr = pdy.data() + r * cols;
+          float* dxr = pdx.data() + r * cols;
+          double dot = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) dot += double(yr[c]) * dyr[c];
+          for (std::int64_t c = 0; c < cols; ++c)
+            dxr[c] = yr[c] * (dyr[c] - static_cast<float>(dot));
+        }
+      });
+  return dx;
+}
 
 Tensor gelu(const Tensor& x) {
   Tensor out = x.clone();
-  for (float& v : out.f32()) v = gelu_scalar(v);
+  float* p = out.f32().data();
+  const InplaceFn k = gelu_kernel();
+  core::pool().parallel_for(
+      out.numel(), kElemGrain,
+      [&](std::int64_t b, std::int64_t e) { k(p + b, e - b); });
   return out;
 }
 
 Tensor gelu_backward(const Tensor& x, const Tensor& dy) {
   check_same(x, dy, "gelu_backward");
   Tensor dx = Tensor::empty(x.shape());
-  auto px = x.f32();
-  auto pdy = dy.f32();
-  auto pdx = dx.f32();
-  for (std::size_t i = 0; i < px.size(); ++i)
-    pdx[i] = pdy[i] * gelu_grad_scalar(px[i]);
+  const float* px = x.f32().data();
+  const float* pdy = dy.f32().data();
+  float* pdx = dx.f32().data();
+  const GeluBwdFn k = gelu_bwd_kernel();
+  core::pool().parallel_for(x.numel(), kElemGrain,
+                            [&](std::int64_t b, std::int64_t e) {
+                              k(pdx + b, px + b, pdy + b, e - b);
+                            });
   return dx;
 }
 
 Tensor relu(const Tensor& x) {
   Tensor out = x.clone();
-  for (float& v : out.f32()) v = std::max(v, 0.0f);
+  float* p = out.f32().data();
+  core::pool().parallel_for(out.numel(), kElemGrain,
+                            [&](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i)
+                                p[i] = std::max(p[i], 0.0f);
+                            });
   return out;
 }
 
 Tensor relu_backward(const Tensor& x, const Tensor& dy) {
   check_same(x, dy, "relu_backward");
   Tensor dx = dy.clone();
-  auto px = x.f32();
-  auto pdx = dx.f32();
-  for (std::size_t i = 0; i < px.size(); ++i)
-    if (px[i] <= 0.0f) pdx[i] = 0.0f;
+  const float* px = x.f32().data();
+  float* pdx = dx.f32().data();
+  core::pool().parallel_for(x.numel(), kElemGrain,
+                            [&](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i)
+                                if (px[i] <= 0.0f) pdx[i] = 0.0f;
+                            });
   return dx;
 }
 
@@ -337,13 +782,16 @@ void scatter_add_rows(Tensor& dst, std::span<const std::int32_t> rows,
   const std::int64_t cols = dst.dim(1);
   auto ps = src.f32();
   auto pd = dst.f32();
+  // Deliberately serial: `rows` may repeat, so the source-row order is the
+  // reduction order. Concurrent callers (MoELayer) keep per-task partial
+  // outputs and funnel them through this op in a fixed order instead.
+  const AxpyFn k = axpy_kernel();
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const std::int32_t r = rows[i];
     BGL_ENSURE(r >= 0 && r < dst.dim(0), "scatter_add row " << r);
     const float a = alpha.empty() ? 1.0f : alpha[i];
-    const float* in = ps.data() + static_cast<std::int64_t>(i) * cols;
-    float* out = pd.data() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) out[c] += a * in[c];
+    k(pd.data() + r * cols, ps.data() + static_cast<std::int64_t>(i) * cols,
+      a, cols);
   }
 }
 

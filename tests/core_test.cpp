@@ -2,11 +2,14 @@
 // zipf sampling, statistics, units formatting, math helpers, text tables.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/thread_pool.hpp"
 #include "core/math_util.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
@@ -229,6 +232,103 @@ TEST(Table, RejectsArityMismatch) {
 TEST(Table, StrfFormats) {
   EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
   EXPECT_EQ(strf("%d/%d", 3, 4), "3/4");
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  core::ThreadPool pool(4);
+  constexpr std::int64_t kN = 10007;  // prime: last chunk is short
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, 64, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b % 64, 0);  // chunk boundaries are multiples of the grain
+    EXPECT_LE(e - b, 64);
+    for (std::int64_t i = b; i < e; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, HandlesEmptyAndSubGrainRanges) {
+  core::ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, 16, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(5, 16, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 5);
+  });
+  EXPECT_EQ(calls, 1);  // one chunk, run inline on the caller
+}
+
+TEST(ThreadPool, ChunkIndexedReductionIsDeterministicAcrossPools) {
+  // The determinism contract: chunk boundaries depend only on (n, grain),
+  // so summing per-chunk partials in chunk order gives bitwise-identical
+  // results no matter how many threads execute the chunks.
+  constexpr std::int64_t kN = 4096;
+  std::vector<float> data(kN);
+  Rng rng(11);
+  for (float& v : data) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+  auto reduce_with = [&](int threads) {
+    core::ThreadPool pool(threads);
+    const std::int64_t chunks = (kN + 99) / 100;
+    std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+    pool.parallel_for_chunks(
+        kN, 100, [&](std::int64_t chunk, std::int64_t b, std::int64_t e) {
+          double s = 0.0;
+          for (std::int64_t i = b; i < e; ++i)
+            s += data[static_cast<std::size_t>(i)];
+          partial[static_cast<std::size_t>(chunk)] = s;
+        });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+
+  const double t1 = reduce_with(1);
+  EXPECT_EQ(t1, reduce_with(2));
+  EXPECT_EQ(t1, reduce_with(5));
+  EXPECT_EQ(t1, reduce_with(8));
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in its own region, so a parallel_for issued
+  // from inside a worker-executed chunk must complete even when every
+  // worker is already busy.
+  core::ThreadPool pool(2);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i)
+      pool.parallel_for(16, 4, [&](std::int64_t ib, std::int64_t ie) {
+        total.fetch_add(ie - ib);
+      });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  core::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000, 10,
+                        [&](std::int64_t b, std::int64_t) {
+                          if (b >= 500) throw Error("chunk failed");
+                        }),
+      Error);
+  // The pool survives a throwing region and keeps working.
+  std::atomic<int> ran{0};
+  pool.parallel_for(100, 10,
+                    [&](std::int64_t, std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  const int before = core::num_threads();
+  core::set_threads(3);
+  EXPECT_EQ(core::num_threads(), 3);
+  EXPECT_EQ(core::pool().threads(), 3);
+  core::set_threads(before);
+  EXPECT_EQ(core::num_threads(), before);
 }
 
 }  // namespace

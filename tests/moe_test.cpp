@@ -5,8 +5,10 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "core/stats.hpp"
 #include "moe/gating.hpp"
 #include "moe/moe_layer.hpp"
@@ -552,6 +554,49 @@ TEST(MoELayer, NoisyGatingOnlyInTraining) {
   (void)moe.forward(x);
   const auto load_eval2 = moe.last_plan().actual_load();
   EXPECT_EQ(load_eval1, load_eval2);  // eval: deterministic
+}
+
+TEST(MoELayer, BitwiseDeterministicAcrossThreadCounts) {
+  // Elastic recovery and the chaos tests compare training trajectories
+  // bitwise, so the parallel expert loops and the threaded kernels under
+  // them must give identical results no matter how many lanes execute
+  // them. Not EXPECT_NEAR: every float must match exactly.
+  Rng rng(31);
+  MoELayer moe(16, 32, easy_config(8, 2), rng);
+  Rng rx(32);
+  const Tensor x = Tensor::randn({24, 16}, rx);
+  Rng rdy(33);
+  const Tensor dy = Tensor::randn({24, 16}, rdy);
+
+  struct Run {
+    std::vector<float> y, dx;
+    std::vector<std::vector<float>> grads;
+  };
+  auto run_at = [&](int threads) {
+    core::set_threads(threads);
+    moe.zero_grad();
+    Run r;
+    const Tensor y = moe.forward(x);
+    const Tensor dxt = moe.backward(dy);
+    r.y.assign(y.f32().begin(), y.f32().end());
+    r.dx.assign(dxt.f32().begin(), dxt.f32().end());
+    for (nn::Parameter* p : moe.parameters())
+      r.grads.emplace_back(p->grad.f32().begin(), p->grad.f32().end());
+    return r;
+  };
+
+  const int before = core::num_threads();
+  const Run r1 = run_at(1);
+  for (const int threads : {2, 8}) {
+    const Run rt = run_at(threads);
+    EXPECT_EQ(r1.y, rt.y) << "forward differs at " << threads << " threads";
+    EXPECT_EQ(r1.dx, rt.dx) << "dx differs at " << threads << " threads";
+    ASSERT_EQ(r1.grads.size(), rt.grads.size());
+    for (std::size_t i = 0; i < r1.grads.size(); ++i)
+      EXPECT_EQ(r1.grads[i], rt.grads[i])
+          << "grad " << i << " differs at " << threads << " threads";
+  }
+  core::set_threads(before);
 }
 
 }  // namespace

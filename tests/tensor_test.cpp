@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "tensor/dtype.hpp"
@@ -479,6 +481,177 @@ TEST_P(QuantizePropertyTest, QuantizationIsMonotone) {
 INSTANTIATE_TEST_SUITE_P(AllDTypes, QuantizePropertyTest,
                          ::testing::Values(DType::kF32, DType::kF16,
                                            DType::kBF16));
+
+// ---------------------------------------------------------------------------
+// Golden-value tests: the dispatched kernels (AVX2 on hosts that have it,
+// scalar otherwise) against naive reference loops, across shapes chosen to
+// exercise vector bodies, scalar tails, and empty inputs. The reference
+// loops live here, compiled baseline-ISA with no fancy flags, so on an AVX2
+// host this is a genuine vector-vs-scalar comparison.
+
+class SimdGoldenTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SimdGoldenTest, ElementwiseMatchReferenceExactly) {
+  const std::int64_t n = GetParam();
+  Rng rng(40 + static_cast<std::uint64_t>(n));
+  const Tensor x = Tensor::randn({n}, rng);
+  const Tensor y = Tensor::randn({n}, rng);
+  auto px = x.f32();
+  auto py = y.f32();
+
+  // add / sub / mul: same elementwise operation, must be bitwise equal.
+  {
+    const Tensor s = ops::add(x, y);
+    const Tensor d = ops::sub(x, y);
+    const Tensor m = ops::mul(x, y);
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(s.f32()[static_cast<std::size_t>(i)], px[i] + py[i]);
+      EXPECT_EQ(d.f32()[static_cast<std::size_t>(i)], px[i] - py[i]);
+      EXPECT_EQ(m.f32()[static_cast<std::size_t>(i)], px[i] * py[i]);
+    }
+  }
+  // scale_ and axpy_: the AVX2 axpy deliberately rounds the product before
+  // adding (see ops.cpp), which is exactly what this reference loop does.
+  {
+    Tensor t = x.clone();
+    ops::scale_(t, 0.37f);
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(t.f32()[static_cast<std::size_t>(i)], px[i] * 0.37f);
+    Tensor u = y.clone();
+    ops::axpy_(u, -1.25f, x);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float prod = -1.25f * px[i];
+      EXPECT_EQ(u.f32()[static_cast<std::size_t>(i)], py[i] + prod);
+    }
+  }
+}
+
+TEST_P(SimdGoldenTest, ReductionsMatchReference) {
+  const std::int64_t n = GetParam();
+  Rng rng(50 + static_cast<std::uint64_t>(n));
+  const Tensor x = Tensor::randn({n}, rng);
+  auto px = x.f32();
+
+  double ref_sum = 0.0;
+  float ref_absmax = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    ref_sum += static_cast<double>(px[i]);
+    ref_absmax = std::max(ref_absmax, std::fabs(px[i]));
+  }
+  // Both paths accumulate in double per block; lane-splitting can still
+  // reassociate, so compare with a tight tolerance rather than bitwise.
+  EXPECT_NEAR(ops::sum(x), ref_sum, 1e-9 * std::max<double>(1.0, n));
+  EXPECT_EQ(ops::abs_max(x), ref_absmax);
+  EXPECT_FALSE(ops::has_nonfinite(x));
+
+  if (n > 0) {
+    Tensor bad = x.clone();
+    bad.f32()[static_cast<std::size_t>(n - 1)] =
+        std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(ops::has_nonfinite(bad));
+  }
+}
+
+TEST_P(SimdGoldenTest, QuantizeMatchesScalarConverterExactly) {
+  const std::int64_t n = GetParam();
+  Rng rng(60 + static_cast<std::uint64_t>(n));
+  const Tensor x = Tensor::randn({n}, rng, 0.0f, 100.0f);
+  for (const DType dt : {DType::kF16, DType::kBF16}) {
+    Tensor t = x.clone();
+    ops::quantize_(t, dt);
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(t.f32()[static_cast<std::size_t>(i)],
+                quantize(x.f32()[static_cast<std::size_t>(i)], dt))
+          << "dtype " << dtype_name(dt) << " index " << i;
+  }
+}
+
+TEST_P(SimdGoldenTest, GeluMatchesReferenceWithinTolerance) {
+  const std::int64_t n = GetParam();
+  Rng rng(70 + static_cast<std::uint64_t>(n));
+  const Tensor x = Tensor::randn({n}, rng, 0.0f, 2.0f);
+  const Tensor dy = Tensor::randn({n}, rng);
+  const Tensor y = ops::gelu(x);
+  const Tensor dx = ops::gelu_backward(x, dy);
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x.f32()[static_cast<std::size_t>(i)];
+    const float inner = kC * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(inner);
+    const float ref = 0.5f * v * (1.0f + t);
+    const float sech2 = 1.0f - t * t;
+    const float ref_grad = 0.5f * (1.0f + t) +
+                           0.5f * v * sech2 * kC *
+                               (1.0f + 3.0f * 0.044715f * v * v);
+    EXPECT_NEAR(y.f32()[static_cast<std::size_t>(i)], ref,
+                1e-5f * (1.0f + std::fabs(ref)));
+    EXPECT_NEAR(dx.f32()[static_cast<std::size_t>(i)],
+                dy.f32()[static_cast<std::size_t>(i)] * ref_grad,
+                1e-4f + 1e-4f * std::fabs(ref_grad));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AwkwardSizes, SimdGoldenTest,
+                         ::testing::Values<std::int64_t>(0, 1, 7, 8, 9, 15,
+                                                         16, 17, 31, 33, 100,
+                                                         1023));
+
+TEST(OpsTest, SoftmaxMatchesReferenceOnAwkwardWidths) {
+  for (const std::int64_t cols : {1L, 5L, 8L, 13L, 16L, 27L}) {
+    Rng rng(80 + static_cast<std::uint64_t>(cols));
+    const Tensor x = Tensor::randn({4, cols}, rng, 0.0f, 3.0f);
+    const Tensor y = ops::row_softmax(x);
+    for (std::int64_t r = 0; r < 4; ++r) {
+      const float* in = x.f32().data() + r * cols;
+      double mx = in[0];
+      for (std::int64_t c = 1; c < cols; ++c) mx = std::max<double>(mx, in[c]);
+      double denom = 0.0;
+      std::vector<double> e(static_cast<std::size_t>(cols));
+      for (std::int64_t c = 0; c < cols; ++c) {
+        e[static_cast<std::size_t>(c)] = std::exp(in[c] - mx);
+        denom += e[static_cast<std::size_t>(c)];
+      }
+      for (std::int64_t c = 0; c < cols; ++c)
+        EXPECT_NEAR(y.f32()[static_cast<std::size_t>(r * cols + c)],
+                    e[static_cast<std::size_t>(c)] / denom, 2e-6)
+            << "cols " << cols << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(OpsTest, SoftmaxHandlesEmptyShapes) {
+  // cols == 0 used to read logits[r * 0] for the row max — out of bounds
+  // on a 0-byte buffer. Both degenerate shapes must come back empty.
+  const Tensor no_rows = ops::row_softmax(Tensor::zeros({0, 4}));
+  EXPECT_EQ(no_rows.dim(0), 0);
+  EXPECT_EQ(no_rows.dim(1), 4);
+  const Tensor no_cols = ops::row_softmax(Tensor::zeros({3, 0}));
+  EXPECT_EQ(no_cols.dim(0), 3);
+  EXPECT_EQ(no_cols.dim(1), 0);
+  EXPECT_EQ(no_cols.numel(), 0);
+}
+
+TEST(OpsTest, TransposeRectangularAndTileBoundaries) {
+  // Shapes straddling the 32-wide cache tiles: single partial tile, exact
+  // tiles, and partial edge tiles in each dimension.
+  const std::vector<std::pair<std::int64_t, std::int64_t>> shapes = {
+      {1, 7}, {7, 1}, {3, 65}, {32, 32}, {33, 31}, {64, 96}, {70, 33}};
+  for (const auto& shape : shapes) {
+    Rng rng(90);
+    const Tensor a = Tensor::randn({shape.first, shape.second}, rng);
+    const Tensor t = ops::transpose(a);
+    ASSERT_EQ(t.dim(0), shape.second);
+    ASSERT_EQ(t.dim(1), shape.first);
+    for (std::int64_t i = 0; i < shape.first; ++i)
+      for (std::int64_t j = 0; j < shape.second; ++j)
+        EXPECT_EQ(t.f32()[static_cast<std::size_t>(j * shape.first + i)],
+                  a.f32()[static_cast<std::size_t>(i * shape.second + j)]);
+    // Round trip is the identity bitwise.
+    const Tensor back = ops::transpose(t);
+    for (std::size_t i = 0; i < a.f32().size(); ++i)
+      EXPECT_EQ(back.f32()[i], a.f32()[i]);
+  }
+}
 
 }  // namespace
 }  // namespace bgl
