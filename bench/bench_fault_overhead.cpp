@@ -19,14 +19,15 @@
 #include "core/units.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/fault.hpp"
+#include "smoke.hpp"
 
 namespace {
 
 using namespace bgl;
 
 constexpr int kRanks = 16;
-constexpr int kIters = 30;
-constexpr int kRepeats = 3;
+int kIters = 30;
+int kRepeats = 3;
 
 /// Seconds per all-to-all iteration under the given runtime options (best
 /// of kRepeats full worlds).
@@ -59,7 +60,10 @@ std::string delta_pct(double base, double t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  kIters = bench::pick(smoke, 2, 30);
+  kRepeats = bench::pick(smoke, 1, 3);
   std::cout << "fault-tolerance overhead: pairwise all-to-all, " << kRanks
             << " ranks, " << kIters << " iters, best of " << kRepeats
             << "\n\n";
@@ -81,7 +85,9 @@ int main() {
                    "+crc+timeout", "delta", "+injector", "delta"});
   // Per iteration every rank sends kRanks-1 messages.
   const double msgs_per_iter = static_cast<double>(kRanks) * (kRanks - 1);
-  for (const std::size_t floats : {16ul, 256ul, 4096ul, 65536ul}) {
+  std::vector<std::size_t> sizes = {16ul, 256ul, 4096ul, 65536ul};
+  if (smoke) sizes = {16ul, 4096ul};
+  for (const std::size_t floats : sizes) {
     const double base = run_case(floats, fault_free);
     const double c = run_case(floats, crc);
     const double ct = run_case(floats, crc_timeout);

@@ -3,6 +3,9 @@
 // framework's hot paths (dtype conversion, softmax, dispatch planning).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "core/cpu.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
@@ -173,4 +176,25 @@ BENCHMARK(BM_BalancedDispatchPlan);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects unknown
+// flags, so --smoke (the ctest bench-smoke contract) is consumed here and
+// translated into a near-zero --benchmark_min_time before initialization.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

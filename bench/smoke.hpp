@@ -1,0 +1,28 @@
+// Shared --smoke handling for the bench binaries.
+//
+// Every bench accepts --smoke and shrinks its problem to a seconds-scale
+// sanity run; the bench-smoke ctest label (bench/CMakeLists.txt) runs each
+// binary that way on every tier-1 `ctest` invocation, so a bench that rots
+// (API drift, crashes, assertion failures) fails CI instead of being
+// discovered months later. Smoke output is still the bench's real report,
+// just at toy sizes — numbers are meaningless, exit status is the product.
+#pragma once
+
+#include <cstring>
+
+namespace bgl::bench {
+
+/// True when --smoke appears anywhere in argv.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  return false;
+}
+
+/// Convenience selector: pick(smoke, tiny, full).
+template <typename T>
+T pick(bool smoke, T tiny, T full) {
+  return smoke ? tiny : full;
+}
+
+}  // namespace bgl::bench

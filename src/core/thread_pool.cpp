@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace bgl::core {
 namespace {
@@ -130,6 +131,10 @@ void ThreadPool::parallel_for_chunks(std::int64_t n, std::int64_t grain,
   const std::int64_t nchunks = (n + grain - 1) / grain;
   if (nchunks == 1 || threads_ == 1) {
     // Inline path: same chunk boundaries, zero synchronization.
+    if (obs::metrics_enabled()) {
+      obs::count("pool.regions.inline");
+      obs::count("pool.chunks", nchunks);
+    }
     for (std::int64_t c = 0; c < nchunks; ++c) {
       const std::int64_t b = c * grain;
       body(c, b, std::min(b + grain, n));
@@ -143,6 +148,15 @@ void ThreadPool::parallel_for_chunks(std::int64_t n, std::int64_t grain,
   job->body = body;
   const int helpers = static_cast<int>(std::min<std::int64_t>(
       threads_ - 1, nchunks - 1));
+  if (obs::metrics_enabled()) {
+    obs::count("pool.regions");
+    obs::count("pool.chunks", nchunks);
+    // Occupancy: fraction of pool lanes participating in this region
+    // (caller + helpers). Persistently low occupancy means chunk grains are
+    // too coarse to feed the pool.
+    obs::observe("pool.occupancy", static_cast<double>(helpers + 1) /
+                                       static_cast<double>(threads_));
+  }
   impl_->post(job, helpers);
   job->run_chunks();  // the caller is always a compute lane
   job->wait();

@@ -2,7 +2,10 @@
 
 #include <numeric>
 
+#include "core/stopwatch.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace bgl::model {
@@ -25,6 +28,8 @@ Trainer::Trainer(MoETransformerLM& lm, train::Optimizer& optimizer,
       params_(lm.parameters()) {}
 
 StepStats Trainer::train_step(const train::Batch& batch) {
+  obs::Span step_span("trainer.step");
+  Stopwatch total;
   StepStats stats;
   lm_.set_training(true);
   lm_.zero_grad();
@@ -32,10 +37,16 @@ StepStats Trainer::train_step(const train::Batch& batch) {
   // Low-precision compute: weights (and the gradient signal) are rounded
   // through the compute dtype; masters stay FP32 for the update.
   emulator_.quantize_params(params_);
-  const Tensor logits = lm_.forward(batch.tokens);
+  Stopwatch phase;
+  const Tensor logits = [&] {
+    obs::Span span("trainer.forward");
+    return lm_.forward(batch.tokens);
+  }();
+  stats.phases.forward_s = phase.lap();
   const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.targets);
   stats.loss = loss.loss;
   stats.aux_loss = lm_.aux_loss();
+  stats.dispatch = lm_.dispatch_stats();
 
   Tensor dlogits = loss.dlogits;
   const bool scaling =
@@ -44,7 +55,12 @@ StepStats Trainer::train_step(const train::Batch& batch) {
     ops::scale_(dlogits, static_cast<float>(scaler_.scale()));
     lm_.set_grad_scale(scaler_.scale());  // aux grads need the scale too
   }
-  lm_.backward(dlogits);
+  phase.reset();
+  {
+    obs::Span span("trainer.backward");
+    lm_.backward(dlogits);
+  }
+  stats.phases.backward_s = phase.lap();
   if (scaling) lm_.set_grad_scale(1.0);
   emulator_.quantize_grads(params_);
   emulator_.restore_params(params_);
@@ -52,12 +68,29 @@ StepStats Trainer::train_step(const train::Batch& batch) {
   if (scaling) {
     if (!scaler_.unscale_and_check(params_)) {
       stats.applied = false;
+      stats.phases.total_s = total.elapsed();
+      obs::count("trainer.steps.skipped");
       return stats;  // overflow: skip this update
     }
   }
   if (options_.clip_norm > 0.0)
     stats.grad_norm = train::clip_grad_norm(params_, options_.clip_norm);
-  optimizer_.step(params_);
+  phase.reset();
+  {
+    obs::Span span("trainer.optimizer");
+    optimizer_.step(params_);
+  }
+  stats.phases.optimizer_s = phase.lap();
+  stats.phases.total_s = total.elapsed();
+
+  if (obs::metrics_enabled()) {
+    obs::count("trainer.steps");
+    obs::observe("trainer.step.forward_s", stats.phases.forward_s);
+    obs::observe("trainer.step.backward_s", stats.phases.backward_s);
+    obs::observe("trainer.step.optimizer_s", stats.phases.optimizer_s);
+    obs::observe("trainer.step.total_s", stats.phases.total_s);
+    obs::observe("trainer.grad_norm", stats.grad_norm);
+  }
   return stats;
 }
 

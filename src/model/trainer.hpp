@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "model/transformer.hpp"
+#include "moe/gating.hpp"
 #include "train/data.hpp"
 #include "train/mixed_precision.hpp"
 #include "train/optimizer.hpp"
@@ -20,11 +21,38 @@ struct TrainerOptions {
   bool include_aux_loss = true;       // add MoE balance loss to the report
 };
 
+/// Wall-clock breakdown of one training step. The distributed-only entries
+/// (allreduce_s, alltoall_s) stay 0 in the serial trainer. forward_s,
+/// backward_s, allreduce_s and optimizer_s are disjoint slices of total_s;
+/// alltoall_s is NOT — it is the MoE dispatch/combine exchange time nested
+/// inside forward_s + backward_s. Measured unconditionally — a few clock
+/// reads per step.
+struct StepPhaseTimes {
+  double forward_s = 0.0;
+  double backward_s = 0.0;
+  double allreduce_s = 0.0;  // gradient synchronization (distributed)
+  double alltoall_s = 0.0;   // MoE dispatch/combine exchanges (distributed)
+  double optimizer_s = 0.0;
+  double total_s = 0.0;
+
+  StepPhaseTimes& operator+=(const StepPhaseTimes& o) {
+    forward_s += o.forward_s;
+    backward_s += o.backward_s;
+    allreduce_s += o.allreduce_s;
+    alltoall_s += o.alltoall_s;
+    optimizer_s += o.optimizer_s;
+    total_s += o.total_s;
+    return *this;
+  }
+};
+
 struct StepStats {
   double loss = 0.0;       // task loss (cross-entropy)
   double aux_loss = 0.0;   // weighted MoE balance loss
   bool applied = true;     // false when the scaler skipped the step
   double grad_norm = 0.0;
+  StepPhaseTimes phases;          // where the step's wall time went
+  moe::DispatchStats dispatch;    // MoE routing over this step's layers
 };
 
 struct TrainReport {

@@ -43,6 +43,14 @@ class MoETransformerLM {
   /// Sum of the MoE layers' weighted aux losses from the last forward.
   [[nodiscard]] double aux_loss() const;
 
+  /// Routing statistics aggregated over every MoE layer's last forward
+  /// (demanded vs routed vs dropped assignments, capacity, load peak).
+  [[nodiscard]] moe::DispatchStats dispatch_stats() const {
+    moe::DispatchStats stats;
+    for (const auto& b : blocks_) stats.absorb(b->moe->last_plan());
+    return stats;
+  }
+
   [[nodiscard]] const MoEModelConfig& config() const { return config_; }
   [[nodiscard]] std::int64_t num_params();
   [[nodiscard]] moe::MoELayer& moe_layer(std::size_t i) {

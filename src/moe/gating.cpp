@@ -6,8 +6,49 @@
 
 #include "core/error.hpp"
 #include "core/math_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace bgl::moe {
+
+void DispatchStats::absorb(const DispatchPlan& plan) {
+  ++plans;
+  routed += static_cast<std::int64_t>(plan.assignments.size());
+  for (const std::int64_t d : plan.demanded_load) demanded += d;
+  dropped += plan.dropped;
+  capacity_slots += plan.capacity * plan.num_experts();
+  for (int e = 0; e < plan.num_experts(); ++e) {
+    const std::int64_t load = plan.expert_offsets[e + 1] - plan.expert_offsets[e];
+    max_expert_load = std::max(max_expert_load, load);
+  }
+}
+
+DispatchStats& DispatchStats::operator+=(const DispatchStats& other) {
+  plans += other.plans;
+  routed += other.routed;
+  demanded += other.demanded;
+  dropped += other.dropped;
+  capacity_slots += other.capacity_slots;
+  max_expert_load = std::max(max_expert_load, other.max_expert_load);
+  return *this;
+}
+
+void record_dispatch_metrics(const DispatchPlan& plan) {
+  if (!obs::metrics_enabled()) return;
+  obs::count("moe.plans");
+  obs::count("moe.assignments.routed",
+             static_cast<std::int64_t>(plan.assignments.size()));
+  obs::count("moe.assignments.dropped", plan.dropped);
+  obs::set_gauge("moe.capacity", static_cast<double>(plan.capacity));
+  obs::observe("moe.aux_loss", plan.aux_loss);
+  for (int e = 0; e < plan.num_experts(); ++e) {
+    obs::observe("moe.expert.demanded_load",
+                 static_cast<double>(
+                     plan.demanded_load[static_cast<std::size_t>(e)]));
+    obs::observe("moe.expert.actual_load",
+                 static_cast<double>(plan.expert_offsets[e + 1] -
+                                     plan.expert_offsets[e]));
+  }
+}
 
 void GateConfig::validate() const {
   BGL_ENSURE(num_experts >= 1, "num_experts >= 1, got " << num_experts);

@@ -63,6 +63,35 @@ struct DispatchPlan {
   [[nodiscard]] std::vector<std::int64_t> actual_load() const;
 };
 
+/// Routing statistics accumulated over one or more dispatch plans (one per
+/// MoE layer per micro-batch). Surfaced in StepStats/DistStepStats so a
+/// training loop can watch drop rate and load skew without touching the
+/// metrics registry.
+struct DispatchStats {
+  std::int64_t plans = 0;           // plans absorbed
+  std::int64_t routed = 0;          // assignments that survived capacity
+  std::int64_t demanded = 0;        // pre-capacity (token, expert) demands
+  std::int64_t dropped = 0;         // assignments lost to capacity
+  std::int64_t capacity_slots = 0;  // capacity * num_experts, summed
+  std::int64_t max_expert_load = 0; // peak post-capacity load of any expert
+
+  void absorb(const DispatchPlan& plan);
+  DispatchStats& operator+=(const DispatchStats& other);
+
+  /// Fraction of demanded routes lost to capacity (0 when nothing demanded).
+  [[nodiscard]] double drop_rate() const {
+    return demanded == 0 ? 0.0
+                         : static_cast<double>(dropped) /
+                               static_cast<double>(demanded);
+  }
+};
+
+/// Records one plan's routing into the metrics registry: per-expert demanded
+/// vs post-capacity load histograms, routed/dropped counters, the capacity
+/// gauge and the aux-loss histogram. No-op when metrics are disabled; never
+/// feeds back into routing (determinism-neutral).
+void record_dispatch_metrics(const DispatchPlan& plan);
+
 /// Builds a dispatch plan from gate probabilities probs:[N, E].
 /// `noise_rng` is unused here (noise applies to logits in Gate); kept for
 /// deterministic tie-breaking extensions.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace bgl::moe {
 
@@ -25,6 +26,7 @@ MoELayer::MoELayer(std::int64_t d_model, std::int64_t d_hidden,
 }
 
 Tensor MoELayer::forward(const Tensor& x) {
+  obs::Span span("moe.forward");
   BGL_CHECK(x.ndim() == 2);
   cached_x_ = x;
   if (two_gate_) {
@@ -38,6 +40,7 @@ Tensor MoELayer::forward(const Tensor& x) {
     cached_probs_ = ops::row_softmax(logits);
   }
   plan_ = build_dispatch_plan(cached_probs_, config_);
+  record_dispatch_metrics(plan_);
 
   const std::int64_t n = x.dim(0);
   const std::int64_t d = x.dim(1);
@@ -84,6 +87,7 @@ Tensor MoELayer::forward(const Tensor& x) {
 }
 
 Tensor MoELayer::backward(const Tensor& dy) {
+  obs::Span span("moe.backward");
   BGL_CHECK(cached_x_.defined());
   const std::int64_t n = cached_x_.dim(0);
   const std::int64_t d = cached_x_.dim(1);

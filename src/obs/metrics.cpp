@@ -1,0 +1,239 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+namespace bgl::obs {
+
+namespace {
+
+bool env_metrics_enabled() {
+  const char* s = std::getenv("BGL_METRICS");
+  // Metrics default on; BGL_METRICS=0 (or empty) turns them off.
+  return s == nullptr || (s[0] != '\0' && !(s[0] == '0' && s[1] == '\0'));
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{env_metrics_enabled()};
+  return enabled;
+}
+
+/// CAS loops for the atomic-double aggregates. Relaxed ordering is enough:
+/// these are statistics, read at quiescent points (snapshot / report).
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+bool set_metrics_enabled(bool enabled) {
+  return enabled_flag().exchange(enabled, std::memory_order_relaxed);
+}
+
+/// --- Histogram -------------------------------------------------------------
+
+int Histogram::bucket_index(double v) {
+  if (v < kFirstBound) return 0;  // includes 0 and subnormal waits
+  // The quotient overflows to +inf for huge-but-finite v (v > ~1e299), not
+  // just for infinite v, and ilogb(+inf) is INT_MAX — so saturate on the
+  // scaled value before adding 1, never after.
+  const double scaled = v / kFirstBound;
+  if (std::isinf(scaled)) return kNumBuckets - 1;
+  const int log2 = std::ilogb(scaled);  // floor(log2) for finite positives
+  return (log2 >= kNumBuckets - 2) ? kNumBuckets - 1 : 1 + log2;
+}
+
+double Histogram::bucket_upper_bound(int i) {
+  BGL_CHECK(i >= 0 && i < kNumBuckets);
+  if (i == kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kFirstBound * std::ldexp(1.0, i);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v) || v < 0.0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+std::array<std::int64_t, Histogram::kNumBuckets> Histogram::buckets() const {
+  std::array<std::int64_t, kNumBuckets> out;
+  for (int i = 0; i < kNumBuckets; ++i)
+    out[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+/// --- Registry --------------------------------------------------------------
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Registry::Entry& Registry::entry_of(std::string_view name, MetricKind kind) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+      BGL_ENSURE(it->second.kind == kind,
+                 "metric '" << name << "' registered as "
+                            << to_string(it->second.kind) << ", requested as "
+                            << to_string(kind));
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = metrics_.try_emplace(std::string(name));
+  if (inserted) {
+    it->second.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        it->second.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else {
+    BGL_ENSURE(it->second.kind == kind,
+               "metric '" << name << "' registered as "
+                          << to_string(it->second.kind) << ", requested as "
+                          << to_string(kind));
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *entry_of(name, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *entry_of(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return *entry_of(name, MetricKind::kHistogram).histogram;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        s.count = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.sum = entry.gauge->value();
+        s.min = s.sum;
+        s.max = s.sum;
+        s.count = 1;
+        break;
+      case MetricKind::kHistogram: {
+        s.count = entry.histogram->count();
+        s.sum = entry.histogram->sum();
+        s.min = entry.histogram->min();
+        s.max = entry.histogram->max();
+        const auto b = entry.histogram->buckets();
+        s.buckets.assign(b.begin(), b.end());
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::unique_lock lock(mutex_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+/// --- thread binding --------------------------------------------------------
+
+namespace {
+thread_local Registry* tls_registry = nullptr;
+}  // namespace
+
+Registry& global_registry() {
+  static Registry* r = new Registry();  // leaked: outlives rank threads
+  return *r;
+}
+
+Registry& registry() {
+  return tls_registry != nullptr ? *tls_registry : global_registry();
+}
+
+ScopedRegistry::ScopedRegistry(Registry& r) : prev_(tls_registry) {
+  tls_registry = &r;
+}
+
+ScopedRegistry::~ScopedRegistry() { tls_registry = prev_; }
+
+}  // namespace bgl::obs

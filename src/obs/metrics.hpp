@@ -1,0 +1,209 @@
+// Thread-safe metrics registry: counters, gauges and log-spaced histograms.
+//
+// This is the measurement layer the ROADMAP's "make a hot path measurably
+// faster" loop runs on (see DESIGN.md §8). Contracts:
+//
+//  * Determinism-neutral: recording a metric never feeds back into any
+//    computation — instrumented code produces bitwise-identical numerics
+//    whether metrics are on, off, or half-flushed. Tests enforce this.
+//  * Near-zero cost when disabled: every recording helper first checks a
+//    single relaxed atomic bool (BGL_METRICS=0 disables at startup;
+//    set_metrics_enabled() overrides programmatically). bench_obs_overhead
+//    measures the disabled path on the threaded MoE step.
+//  * Rank-aware: ranks are threads of one process (DESIGN.md §1), so the
+//    registry is *thread-bound*: registry() returns the registry installed
+//    on the calling thread by ScopedRegistry, falling back to the shared
+//    process-global one. A rank that wants its own accounting (e.g. to feed
+//    obs::reduce_metrics) binds a private Registry for the duration of its
+//    rank function.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bgl::obs {
+
+/// Global metrics switch. Initialized once from the environment: metrics are
+/// ON unless BGL_METRICS=0. The check is a single relaxed atomic load.
+[[nodiscard]] bool metrics_enabled();
+
+/// Programmatic override (tests, benches). Returns the previous value.
+bool set_metrics_enabled(bool enabled);
+
+/// Monotonic event count. add() is a relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-written instantaneous value (e.g. the current capacity limit).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over fixed log-spaced buckets (base-2, covering [1e-9, ~1.8e10)
+/// — 1 ns to ~580 years when recording seconds, token counts up to 10^10
+/// when recording loads). Bucket layout:
+///
+///   bucket 0           : v < kFirstBound            (underflow; 0 lands here)
+///   bucket i (0<i<N-1) : kFirstBound * 2^(i-1) <= v < kFirstBound * 2^i
+///   bucket N-1         : overflow (everything above the last bound)
+///
+/// NaN and negative values are rejected (counted in rejected(), otherwise
+/// ignored): a NaN must never silently poison sum/min/max. All updates are
+/// lock-free atomics; record() is safe from any thread.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr double kFirstBound = 1e-9;
+
+  void record(double v);
+
+  /// Bucket a value would land in (exposed for tests and exporters).
+  [[nodiscard]] static int bucket_index(double v);
+  /// Exclusive upper bound of bucket i (+inf for the overflow bucket).
+  [[nodiscard]] static double bucket_upper_bound(int i);
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// +inf / -inf when empty.
+  [[nodiscard]] double min() const {
+    return min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::array<std::int64_t, kNumBuckets> buckets() const;
+  [[nodiscard]] double mean() const {
+    const std::int64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  void reset();
+
+ private:
+  std::array<std::atomic<std::int64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+[[nodiscard]] const char* to_string(MetricKind kind);
+
+/// Point-in-time copy of one metric, used for export and cross-rank
+/// reduction (obs/reduce.hpp).
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t count = 0;  // counter value, or histogram sample count
+  double sum = 0.0;        // gauge value, or histogram sum
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::int64_t> buckets;  // histogram only
+};
+
+/// Named metric store. Creation is synchronized; the returned references
+/// stay valid for the registry's lifetime, so hot paths may cache them.
+/// A name identifies one (kind, metric) pair — reusing a name with a
+/// different kind is a contract violation and throws.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Copies every metric, sorted by name.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zeroes every metric (keeps registrations).
+  void reset();
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry_of(std::string_view name, MetricKind kind);
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+/// The shared process-wide registry.
+[[nodiscard]] Registry& global_registry();
+
+/// The registry bound to the calling thread (ScopedRegistry), falling back
+/// to global_registry().
+[[nodiscard]] Registry& registry();
+
+/// Binds `r` as the calling thread's registry for the scope's lifetime
+/// (nestable; restores the previous binding on destruction). The rank
+/// functions of a World bind per-rank registries through this so
+/// reduce_metrics() can aggregate true per-rank numbers.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& r);
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+/// --- recording helpers (the instrumentation API) ---------------------------
+/// All of them are no-ops (one relaxed load + branch) when metrics are
+/// disabled, and record into the thread-bound registry otherwise.
+
+inline void count(const char* name, std::int64_t delta = 1) {
+  if (metrics_enabled()) registry().counter(name).add(delta);
+}
+
+inline void observe(const char* name, double value) {
+  if (metrics_enabled()) registry().histogram(name).record(value);
+}
+
+inline void set_gauge(const char* name, double value) {
+  if (metrics_enabled()) registry().gauge(name).set(value);
+}
+
+}  // namespace bgl::obs

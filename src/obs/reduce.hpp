@@ -1,0 +1,231 @@
+// Cluster-wide metrics reduction over the message-passing runtime.
+//
+// Every rank snapshots its thread-bound registry, the snapshots gather to
+// rank 0 over the existing Communicator, and rank 0 merges them into one
+// ClusterMetrics so a run can print a single machine-wide report:
+// counters and histogram buckets sum across ranks, gauges keep min/mean/max,
+// and per-rank counter skew (min/max) is preserved — that skew is exactly
+// the load-imbalance signal BaGuaLu-style MoE tuning needs.
+//
+// Header-only on purpose: obs/metrics must not link against the runtime
+// (the runtime itself is instrumented with it), so the one obs function
+// that needs a Communicator lives here, compiled into its callers.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collectives/coll.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::obs {
+
+/// One metric aggregated over all ranks.
+struct ReducedMetric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t ranks = 0;   // ranks that reported this metric
+  std::int64_t count = 0;   // counters: world total; histograms: sample total
+  double sum = 0.0;         // histograms: world sum; gauges: sum of values
+  double min = 0.0;         // per-rank min (counters: smallest rank value)
+  double max = 0.0;         // per-rank max (counters: largest rank value)
+  std::vector<std::int64_t> buckets;  // histograms: bucket-wise world sums
+
+  [[nodiscard]] double mean_per_rank() const {
+    if (ranks == 0) return 0.0;
+    return (kind == MetricKind::kCounter ? static_cast<double>(count) : sum) /
+           static_cast<double>(ranks);
+  }
+};
+
+/// The merged registry of a whole world, valid on rank 0.
+struct ClusterMetrics {
+  int world_size = 0;
+  std::vector<ReducedMetric> metrics;  // sorted by name
+
+  [[nodiscard]] const ReducedMetric* find(std::string_view name) const {
+    for (const ReducedMetric& m : metrics)
+      if (m.name == name) return &m;
+    return nullptr;
+  }
+
+  /// Human-readable report: one line per metric.
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "cluster metrics (" << world_size << " ranks)\n";
+    for (const ReducedMetric& m : metrics) {
+      os << "  " << m.name << " [" << obs::to_string(m.kind) << "] ";
+      switch (m.kind) {
+        case MetricKind::kCounter:
+          os << "total=" << m.count << " min/rank=" << m.min
+             << " max/rank=" << m.max;
+          break;
+        case MetricKind::kGauge:
+          os << "mean=" << m.mean_per_rank() << " min=" << m.min
+             << " max=" << m.max;
+          break;
+        case MetricKind::kHistogram:
+          os << "n=" << m.count << " sum=" << m.sum;
+          if (m.count > 0)
+            os << " mean=" << m.sum / static_cast<double>(m.count)
+               << " min=" << m.min << " max=" << m.max;
+          break;
+      }
+      os << '\n';
+    }
+    return os.str();
+  }
+};
+
+namespace detail {
+
+inline void put_bytes(std::vector<std::byte>& out, const void* p,
+                      std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+template <typename T>
+void put_pod(std::vector<std::byte>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(out, &v, sizeof(T));
+}
+
+template <typename T>
+T get_pod(const std::vector<std::byte>& in, std::size_t& off) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  BGL_CHECK(off + sizeof(T) <= in.size());
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+inline std::vector<std::byte> encode_snapshot(
+    const std::vector<MetricSnapshot>& snapshot) {
+  std::vector<std::byte> out;
+  put_pod<std::uint32_t>(out, static_cast<std::uint32_t>(snapshot.size()));
+  for (const MetricSnapshot& s : snapshot) {
+    put_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.name.size()));
+    put_bytes(out, s.name.data(), s.name.size());
+    put_pod<std::uint8_t>(out, static_cast<std::uint8_t>(s.kind));
+    put_pod<std::int64_t>(out, s.count);
+    put_pod<double>(out, s.sum);
+    put_pod<double>(out, s.min);
+    put_pod<double>(out, s.max);
+    put_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.buckets.size()));
+    for (const std::int64_t b : s.buckets) put_pod<std::int64_t>(out, b);
+  }
+  return out;
+}
+
+inline std::vector<MetricSnapshot> decode_snapshot(
+    const std::vector<std::byte>& in, std::size_t& off) {
+  const auto n = get_pod<std::uint32_t>(in, off);
+  std::vector<MetricSnapshot> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MetricSnapshot s;
+    const auto len = get_pod<std::uint32_t>(in, off);
+    BGL_CHECK(off + len <= in.size());
+    s.name.assign(reinterpret_cast<const char*>(in.data() + off), len);
+    off += len;
+    s.kind = static_cast<MetricKind>(get_pod<std::uint8_t>(in, off));
+    s.count = get_pod<std::int64_t>(in, off);
+    s.sum = get_pod<double>(in, off);
+    s.min = get_pod<double>(in, off);
+    s.max = get_pod<double>(in, off);
+    const auto nb = get_pod<std::uint32_t>(in, off);
+    s.buckets.resize(nb);
+    for (std::uint32_t b = 0; b < nb; ++b)
+      s.buckets[b] = get_pod<std::int64_t>(in, off);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+inline void merge_into(std::map<std::string, ReducedMetric>& acc,
+                       const std::vector<MetricSnapshot>& snapshot) {
+  for (const MetricSnapshot& s : snapshot) {
+    ReducedMetric& m = acc[s.name];
+    if (m.ranks == 0) {
+      m.name = s.name;
+      m.kind = s.kind;
+      if (s.kind == MetricKind::kHistogram)
+        m.buckets.assign(s.buckets.size(), 0);
+    }
+    BGL_ENSURE(m.kind == s.kind, "metric '" << s.name
+                                            << "' has mismatched kinds "
+                                               "across ranks");
+    ++m.ranks;
+    switch (s.kind) {
+      case MetricKind::kCounter: {
+        m.count += s.count;
+        const double v = static_cast<double>(s.count);
+        if (m.ranks == 1 || v < m.min) m.min = v;
+        if (m.ranks == 1 || v > m.max) m.max = v;
+        break;
+      }
+      case MetricKind::kGauge:
+        m.sum += s.sum;
+        if (m.ranks == 1 || s.sum < m.min) m.min = s.sum;
+        if (m.ranks == 1 || s.sum > m.max) m.max = s.sum;
+        break;
+      case MetricKind::kHistogram:
+        m.count += s.count;
+        m.sum += s.sum;
+        if (s.count > 0) {
+          // Empty per-rank histograms carry ±inf sentinels; skip them.
+          if (m.count == s.count || s.min < m.min) m.min = s.min;
+          if (m.count == s.count || s.max > m.max) m.max = s.max;
+        }
+        BGL_CHECK(m.buckets.size() == s.buckets.size());
+        for (std::size_t b = 0; b < s.buckets.size(); ++b)
+          m.buckets[b] += s.buckets[b];
+        break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Collective: every rank of `world` must call. Each rank contributes its
+/// thread-bound registry() snapshot; the merged result returns on rank 0
+/// (other ranks get an empty metrics list with world_size filled in).
+/// Ranks sharing the global registry will each re-contribute it — bind
+/// per-rank registries (ScopedRegistry) for true per-rank accounting.
+inline ClusterMetrics reduce_metrics(const rt::Communicator& world) {
+  const std::vector<std::byte> mine =
+      detail::encode_snapshot(registry().snapshot());
+  // Length-prefixed gather: contributions differ in size, and gather
+  // concatenates, so each rank frames its blob.
+  std::vector<std::byte> framed;
+  detail::put_pod<std::uint64_t>(framed, mine.size());
+  framed.insert(framed.end(), mine.begin(), mine.end());
+  const std::vector<std::byte> all =
+      coll::gather<std::byte>(world, framed, /*root=*/0);
+
+  ClusterMetrics out;
+  out.world_size = world.size();
+  if (world.rank() != 0) return out;
+
+  std::map<std::string, ReducedMetric> acc;
+  std::size_t off = 0;
+  for (int r = 0; r < world.size(); ++r) {
+    const auto len = detail::get_pod<std::uint64_t>(all, off);
+    const std::size_t end = off + static_cast<std::size_t>(len);
+    BGL_CHECK(end <= all.size());
+    const auto snap = detail::decode_snapshot(all, off);
+    BGL_CHECK(off == end);
+    detail::merge_into(acc, snap);
+  }
+  out.metrics.reserve(acc.size());
+  for (auto& [name, m] : acc) out.metrics.push_back(std::move(m));
+  return out;
+}
+
+}  // namespace bgl::obs

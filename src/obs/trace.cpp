@@ -1,0 +1,199 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bgl::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Microseconds since the first call (process-lifetime anchor, so every
+/// thread's timestamps share one axis).
+std::int64_t now_us() {
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t ts_us;
+  std::int64_t dur_us;
+  int rank;
+  std::uint64_t tid;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::string dir;                  // guarded by mutex
+  std::vector<TraceEvent> drained;  // events of exited/flushed threads
+  std::atomic<bool> enabled{false};
+};
+
+/// Registered (once) the first time tracing turns on, so a program that only
+/// sets BGL_TRACE still gets its files: main-thread thread_local buffers are
+/// destroyed before atexit handlers run, so everything has drained by then.
+/// Harmless if the dir was cleared again before exit (flush is then a no-op).
+void register_exit_flush() {
+  static std::atomic<bool> registered{false};
+  if (!registered.exchange(true)) std::atexit([] { flush_trace(); });
+}
+
+TraceState& state() {
+  static TraceState* s = [] {
+    auto* st = new TraceState();  // leaked: outlives rank threads
+    if (const char* dir = std::getenv("BGL_TRACE")) {
+      if (dir[0] != '\0') {
+        std::filesystem::create_directories(dir);
+        st->dir = dir;
+        st->enabled.store(true, std::memory_order_relaxed);
+        register_exit_flush();
+      }
+    }
+    return st;
+  }();
+  return *s;
+}
+
+/// Per-thread event buffer; splices itself into the global store when full
+/// and on thread exit, so appends are lock-free on the hot path.
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+
+  ~ThreadBuffer() { drain(); }
+
+  void drain() {
+    if (events.empty()) return;
+    TraceState& st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.drained.insert(st.drained.end(), events.begin(), events.end());
+    events.clear();
+  }
+};
+
+thread_local ThreadBuffer tls_buffer;
+thread_local int tls_rank = 0;
+
+std::uint64_t thread_tid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFFFFu;
+}
+
+/// Minimal JSON string escaping for span names.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_dir(std::string_view dir) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.dir.assign(dir);
+  if (!st.dir.empty()) std::filesystem::create_directories(st.dir);
+  st.enabled.store(!st.dir.empty(), std::memory_order_relaxed);
+  if (!st.dir.empty()) register_exit_flush();
+}
+
+std::string trace_dir() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.dir;
+}
+
+void set_rank(int rank) { tls_rank = rank; }
+
+int current_rank() { return tls_rank; }
+
+Span::Span(const char* name) : name_(name), t0_us_(-1) {
+  if (tracing_enabled()) t0_us_ = now_us();
+}
+
+Span::~Span() {
+  if (t0_us_ < 0) return;
+  const std::int64_t end = now_us();
+  tls_buffer.events.push_back(
+      {name_, t0_us_, end - t0_us_, tls_rank, thread_tid()});
+  // Bound per-thread memory; the splice is rare and off the span hot path.
+  if (tls_buffer.events.size() >= 4096) tls_buffer.drain();
+}
+
+void flush_trace() {
+  TraceState& st = state();
+  tls_buffer.drain();
+  std::vector<TraceEvent> events;
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (st.dir.empty()) {
+      st.drained.clear();
+      return;
+    }
+    dir = st.dir;
+    events.swap(st.drained);
+  }
+  if (events.empty()) return;
+
+  std::map<int, std::vector<const TraceEvent*>> by_rank;
+  for (const TraceEvent& e : events) by_rank[e.rank].push_back(&e);
+
+  for (const auto& [rank, list] : by_rank) {
+    const std::filesystem::path path =
+        std::filesystem::path(dir) /
+        ("trace.rank" + std::to_string(rank) + ".json");
+    std::ofstream os(path, std::ios::trunc);
+    BGL_ENSURE(os.good(), "cannot open trace file " << path.string());
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent* e : list) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":\"";
+      write_escaped(os, e->name);
+      os << "\",\"cat\":\"bgl\",\"ph\":\"X\",\"ts\":" << e->ts_us
+         << ",\"dur\":" << e->dur_us << ",\"pid\":" << e->rank
+         << ",\"tid\":" << e->tid << '}';
+    }
+    os << "\n]}\n";
+    BGL_ENSURE(os.good(), "failed writing trace file " << path.string());
+  }
+}
+
+void discard_trace() {
+  TraceState& st = state();
+  tls_buffer.events.clear();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.drained.clear();
+}
+
+std::size_t buffered_trace_events() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.drained.size() + tls_buffer.events.size();
+}
+
+}  // namespace bgl::obs

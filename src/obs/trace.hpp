@@ -1,0 +1,72 @@
+// Scoped trace spans with per-rank Chrome trace-event export.
+//
+// Span is an RAII timer: construction stamps a begin time, destruction
+// records one complete ("ph":"X") event onto the calling thread's buffer.
+// Buffers drain into a process-global store when they grow large, when
+// their thread exits, or at flush_trace(), which writes one JSON file per
+// observed rank (<dir>/trace.rank<N>.json) loadable by chrome://tracing,
+// Perfetto, or speedscope.
+//
+// Contracts (DESIGN.md §8):
+//  * Determinism-neutral: spans only read the clock; they never feed back
+//    into any computation.
+//  * Disabled by default; enabled by BGL_TRACE=<dir> at startup or
+//    set_trace_dir() programmatically. When disabled a Span is two relaxed
+//    atomic loads and no clock read.
+//  * Rank attribution: World::run tags each rank thread via set_rank(), so
+//    spans land in that rank's file (the Chrome "pid" field is the rank).
+//    Pool worker threads inherit rank 0 unless tagged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bgl::obs {
+
+/// True when a trace directory is configured.
+[[nodiscard]] bool tracing_enabled();
+
+/// Sets the export directory (created if missing) and enables tracing;
+/// an empty dir disables tracing. Not thread-safe against in-flight spans —
+/// call from a quiescent point.
+void set_trace_dir(std::string_view dir);
+
+/// The configured export directory ("" when disabled).
+[[nodiscard]] std::string trace_dir();
+
+/// Tags the calling thread with a rank for span attribution. World::run
+/// calls this on every rank thread; tests and tools may call it directly.
+void set_rank(int rank);
+
+/// The calling thread's rank tag (0 if never set).
+[[nodiscard]] int current_rank();
+
+/// RAII span: records one complete trace event [construction, destruction)
+/// named `name`. `name` must outlive the program's tracing (string
+/// literals; the buffer stores the pointer).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t t0_us_;  // < 0 means tracing was off at construction
+};
+
+/// Writes buffered events of the calling thread and every exited thread to
+/// <dir>/trace.rank<N>.json (one file per rank seen) and clears them.
+/// Call after parallel regions have joined (e.g. after World::run returns)
+/// so rank-thread buffers have drained. No-op when tracing is disabled.
+void flush_trace();
+
+/// Drops all buffered events without writing (tests).
+void discard_trace();
+
+/// Number of events currently buffered (calling thread + drained store).
+[[nodiscard]] std::size_t buffered_trace_events();
+
+}  // namespace bgl::obs

@@ -1,6 +1,9 @@
 #include "parallel/dist_trainer.hpp"
 
 #include "collectives/coll.hpp"
+#include "core/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace bgl::parallel {
@@ -23,6 +26,8 @@ DistStepStats DistTrainer::train_step(const train::Batch& batch) {
 DistStepStats DistTrainer::train_step_accumulated(
     std::span<const train::Batch> micro_batches) {
   BGL_CHECK(!micro_batches.empty());
+  obs::Span step_span("dist_trainer.step");
+  Stopwatch total;
   DistStepStats stats;
   lm_.set_training(true);
   lm_.zero_grad();
@@ -38,22 +43,44 @@ DistStepStats DistTrainer::train_step_accumulated(
   lm_.set_grad_scale(grad_scale);
   for (const train::Batch& batch : micro_batches) {
     double micro_loss;
+    Stopwatch phase;
     if (lm_.vocab_parallel()) {
       // Fused head + distributed cross-entropy: logits never materialize.
-      micro_loss = lm_.forward_loss(batch.tokens, batch.targets,
-                                    static_cast<float>(grad_scale));
-      lm_.backward_from_loss();
+      {
+        obs::Span span("dist_trainer.forward");
+        micro_loss = lm_.forward_loss(batch.tokens, batch.targets,
+                                      static_cast<float>(grad_scale));
+      }
+      stats.phases.forward_s += phase.lap();
+      {
+        obs::Span span("dist_trainer.backward");
+        lm_.backward_from_loss();
+      }
+      stats.phases.backward_s += phase.lap();
     } else {
-      const Tensor logits = lm_.forward(batch.tokens);
-      const nn::LossResult loss =
-          nn::softmax_cross_entropy(logits, batch.targets);
-      micro_loss = loss.loss;
-      Tensor dlogits = loss.dlogits;
+      Tensor dlogits;
+      {
+        obs::Span span("dist_trainer.forward");
+        const Tensor logits = lm_.forward(batch.tokens);
+        const nn::LossResult loss =
+            nn::softmax_cross_entropy(logits, batch.targets);
+        micro_loss = loss.loss;
+        dlogits = loss.dlogits;
+      }
+      stats.phases.forward_s += phase.lap();
       ops::scale_(dlogits, static_cast<float>(grad_scale));
-      lm_.backward(dlogits);
+      {
+        obs::Span span("dist_trainer.backward");
+        lm_.backward(dlogits);
+      }
+      stats.phases.backward_s += phase.lap();
     }
     stats.local_loss += micro_loss * micro_weight;
     stats.aux_loss += lm_.aux_loss() * micro_weight;
+    // Per-micro-batch harvest: the layers' plan and all-to-all timers are
+    // overwritten by the next forward.
+    stats.dispatch += lm_.dispatch_stats();
+    stats.phases.alltoall_s += lm_.last_alltoall_s();
   }
   lm_.set_grad_scale(1.0);
   emulator_.quantize_grads(params_);
@@ -61,7 +88,12 @@ DistStepStats DistTrainer::train_step_accumulated(
 
   // Synchronize BEFORE the overflow check: NaN/inf anywhere poisons the
   // averaged gradients everywhere, so the skip decision is global.
-  lm_.sync_gradients();
+  Stopwatch phase;
+  {
+    obs::Span span("dist_trainer.grad_allreduce");
+    lm_.sync_gradients();
+  }
+  stats.phases.allreduce_s = phase.lap();
 
   if (scaling) {
     if (!scaler_.unscale_and_check(params_)) {
@@ -70,14 +102,32 @@ DistStepStats DistTrainer::train_step_accumulated(
   }
   if (stats.applied) {
     if (options_.clip_norm > 0.0)
-      (void)train::clip_grad_norm(params_, options_.clip_norm);
-    optimizer_.step(params_);
+      stats.grad_norm = train::clip_grad_norm(params_, options_.clip_norm);
+    phase.reset();
+    {
+      obs::Span span("dist_trainer.optimizer");
+      optimizer_.step(params_);
+    }
+    stats.phases.optimizer_s = phase.lap();
   }
 
   // Report the global mean loss.
   std::vector<double> acc{stats.local_loss};
   coll::allreduce_sum<double>(world_, acc);
   stats.global_loss = acc[0] / world_.size();
+  stats.phases.total_s = total.elapsed();
+
+  if (obs::metrics_enabled()) {
+    obs::count(stats.applied ? "dist_trainer.steps"
+                             : "dist_trainer.steps.skipped");
+    obs::observe("dist_trainer.step.forward_s", stats.phases.forward_s);
+    obs::observe("dist_trainer.step.backward_s", stats.phases.backward_s);
+    obs::observe("dist_trainer.step.allreduce_s", stats.phases.allreduce_s);
+    obs::observe("dist_trainer.step.alltoall_s", stats.phases.alltoall_s);
+    obs::observe("dist_trainer.step.optimizer_s", stats.phases.optimizer_s);
+    obs::observe("dist_trainer.step.total_s", stats.phases.total_s);
+    obs::observe("dist_trainer.grad_norm", stats.grad_norm);
+  }
   return stats;
 }
 

@@ -6,6 +6,7 @@
 // without extra coordination.
 #pragma once
 
+#include "model/trainer.hpp"
 #include "nn/loss.hpp"
 #include "parallel/dist_transformer.hpp"
 #include "train/data.hpp"
@@ -26,6 +27,16 @@ struct DistStepStats {
   double global_loss = 0.0;  // mean over all ranks (allreduced)
   double aux_loss = 0.0;     // local weighted MoE balance loss
   bool applied = true;
+  /// Pre-clip gradient norm of this rank's parameters (post-sync, so
+  /// replicated params make it identical on every rank). 0 when the step
+  /// was skipped or clipping is disabled.
+  double grad_norm = 0.0;
+  /// Phase breakdown (see model::StepPhaseTimes): forward/backward summed
+  /// over the micro-batches, alltoall_s nested within them.
+  model::StepPhaseTimes phases;
+  /// MoE routing over every layer and micro-batch of this step (local
+  /// shard).
+  moe::DispatchStats dispatch;
 };
 
 class DistTrainer {

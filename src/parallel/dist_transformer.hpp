@@ -88,6 +88,22 @@ class DistMoETransformerLM {
   [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
   [[nodiscard]] std::int64_t num_local_params();
 
+  /// Routing statistics aggregated over every MoE layer's last forward
+  /// (this rank's shard).
+  [[nodiscard]] moe::DispatchStats dispatch_stats() const {
+    moe::DispatchStats stats;
+    for (const auto& b : blocks_) stats.absorb(b->moe->last_plan());
+    return stats;
+  }
+
+  /// Wall seconds this rank spent in MoE all-to-alls across every layer's
+  /// last forward+backward pair.
+  [[nodiscard]] double last_alltoall_s() const {
+    double s = 0.0;
+    for (const auto& b : blocks_) s += b->moe->last_alltoall_s();
+    return s;
+  }
+
   /// Selects the dispatch all-to-all algorithm for every MoE layer.
   void set_dispatch_algo(coll::AlltoallvAlgo algo, int group = 1);
 

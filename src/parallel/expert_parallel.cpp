@@ -1,12 +1,31 @@
 #include "parallel/expert_parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "collectives/coll.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace bgl::parallel {
+
+namespace {
+
+/// Accumulates the wall time of `fn()` into `acc` and returns its result.
+/// Unconditional: a clock read per all-to-all is noise next to the exchange
+/// itself, and keeping it always-on means DistStepStats phase times are
+/// meaningful with metrics off.
+template <typename Fn>
+auto timed_into(double& acc, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = fn();
+  acc += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count();
+  return result;
+}
+
+}  // namespace
 
 ExpertParallelMoE::ExpertParallelMoE(const rt::Communicator& comm,
                                      std::int64_t d_model,
@@ -57,9 +76,11 @@ ExpertParallelMoE::ExpertParallelMoE(const rt::Communicator& comm,
 }
 
 Tensor ExpertParallelMoE::forward(const Tensor& x) {
+  obs::Span span("ep_moe.forward");
   BGL_CHECK(x.ndim() == 2 && x.dim(1) == d_model_);
   const int p = comm_.size();
   cached_x_ = x;
+  a2a_seconds_ = 0.0;  // fresh forward+backward measurement window
 
   Tensor logits = gate_.forward(x);
   if (config_.noisy_gating && training_) {
@@ -68,6 +89,7 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
   }
   cached_probs_ = ops::row_softmax(logits);
   plan_ = build_dispatch_plan(cached_probs_, config_);
+  moe::record_dispatch_metrics(plan_);
 
   // Build per-destination send buffers: token rows + global expert ids, in
   // plan order (grouped by expert, so per-destination order is by expert).
@@ -86,8 +108,14 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
     send_idx_[static_cast<std::size_t>(dst)].push_back(i);
   }
 
-  const auto recv_rows = coll::alltoallv<float>(comm_, send_rows, a2a_algo_, a2a_group_);
-  const auto recv_experts = coll::alltoallv<std::int32_t>(comm_, send_experts, a2a_algo_, a2a_group_);
+  const auto recv_rows = timed_into(a2a_seconds_, [&] {
+    obs::Span a2a("ep_moe.a2a.dispatch");
+    return coll::alltoallv<float>(comm_, send_rows, a2a_algo_, a2a_group_);
+  });
+  const auto recv_experts = timed_into(a2a_seconds_, [&] {
+    return coll::alltoallv<std::int32_t>(comm_, send_experts, a2a_algo_,
+                                         a2a_group_);
+  });
 
   // Group received rows per local expert.
   std::vector<std::vector<float>> expert_rows(
@@ -147,7 +175,10 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
       buf.insert(buf.end(), row, row + d_model_);
     }
   }
-  const auto got_back = coll::alltoallv<float>(comm_, send_back, a2a_algo_, a2a_group_);
+  const auto got_back = timed_into(a2a_seconds_, [&] {
+    obs::Span a2a("ep_moe.a2a.combine");
+    return coll::alltoallv<float>(comm_, send_back, a2a_algo_, a2a_group_);
+  });
 
   // Combine: y[token] += w * returned row. Cache returned rows for dw.
   // Goes through ops::scatter_add_rows — the same kernel the serial
@@ -176,6 +207,7 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
 }
 
 Tensor ExpertParallelMoE::backward(const Tensor& dy) {
+  obs::Span span("ep_moe.backward");
   BGL_CHECK(cached_x_.defined());
   BGL_CHECK(dy.same_shape(cached_x_));
   const int p = comm_.size();
@@ -202,7 +234,10 @@ Tensor ExpertParallelMoE::backward(const Tensor& dy) {
     }
   }
 
-  const auto recv_dout = coll::alltoallv<float>(comm_, send_dout, a2a_algo_, a2a_group_);
+  const auto recv_dout = timed_into(a2a_seconds_, [&] {
+    obs::Span a2a("ep_moe.a2a.dout");
+    return coll::alltoallv<float>(comm_, send_dout, a2a_algo_, a2a_group_);
+  });
 
   // Regroup incoming dout rows per local expert, in forward input order.
   std::vector<Tensor> expert_dout(static_cast<std::size_t>(experts_per_rank_));
@@ -248,7 +283,10 @@ Tensor ExpertParallelMoE::backward(const Tensor& dy) {
       buf.insert(buf.end(), row, row + d_model_);
     }
   }
-  const auto got_din = coll::alltoallv<float>(comm_, send_din, a2a_algo_, a2a_group_);
+  const auto got_din = timed_into(a2a_seconds_, [&] {
+    obs::Span a2a("ep_moe.a2a.din");
+    return coll::alltoallv<float>(comm_, send_din, a2a_algo_, a2a_group_);
+  });
 
   // Accumulate input gradients per token (no gate-weight scaling: experts
   // consumed the raw token rows).

@@ -63,6 +63,12 @@ class ExpertParallelMoE {
   /// Tokens this rank's experts processed in the last forward.
   [[nodiscard]] std::int64_t last_recv_tokens() const { return recv_tokens_; }
 
+  /// Wall seconds this rank spent in dispatch/combine all-to-alls during the
+  /// last forward+backward pair (reset at each forward). Fed into
+  /// DistStepStats' phase breakdown; measured unconditionally — a handful of
+  /// clock reads per step — and never feeds back into routing.
+  [[nodiscard]] double last_alltoall_s() const { return a2a_seconds_; }
+
   /// Selects the dispatch all-to-all algorithm (default pairwise). For the
   /// hierarchical variant, `group` must divide the communicator size;
   /// align it with the supernode width for the topology win.
@@ -125,6 +131,7 @@ class ExpertParallelMoE {
   std::vector<Tensor> expert_inputs_;                // per local expert
   std::vector<Tensor> returned_out_;                 // per dst: outputs back
   std::int64_t recv_tokens_ = 0;
+  double a2a_seconds_ = 0.0;  // all-to-all wall time, forward + backward
 };
 
 }  // namespace bgl::parallel

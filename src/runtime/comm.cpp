@@ -13,9 +13,56 @@
 #include <tuple>
 
 #include "core/crc32.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/fault.hpp"
 
 namespace bgl::rt {
+
+namespace {
+
+/// Collective tag bases encode the collective kind in the high bits
+/// (collectives/coll.hpp tags::k* = kind << 20), so tag >> 20 classifies
+/// traffic without any per-call allocation. Index 0 is plain point-to-point.
+constexpr int kNumCommKinds = 8;
+
+constexpr int comm_kind_of(int tag) {
+  const int k = tag >> 20;
+  return (k >= 0 && k < kNumCommKinds) ? k : 0;
+}
+
+constexpr const char* kSendMsgs[kNumCommKinds] = {
+    "comm.p2p.send.msgs",           "comm.bcast.send.msgs",
+    "comm.gather.send.msgs",        "comm.allgather.send.msgs",
+    "comm.reduce_scatter.send.msgs", "comm.allreduce.send.msgs",
+    "comm.alltoall.send.msgs",      "comm.alltoallv.send.msgs"};
+
+constexpr const char* kSendBytes[kNumCommKinds] = {
+    "comm.p2p.send.bytes",           "comm.bcast.send.bytes",
+    "comm.gather.send.bytes",        "comm.allgather.send.bytes",
+    "comm.reduce_scatter.send.bytes", "comm.allreduce.send.bytes",
+    "comm.alltoall.send.bytes",      "comm.alltoallv.send.bytes"};
+
+constexpr const char* kRecvMsgs[kNumCommKinds] = {
+    "comm.p2p.recv.msgs",           "comm.bcast.recv.msgs",
+    "comm.gather.recv.msgs",        "comm.allgather.recv.msgs",
+    "comm.reduce_scatter.recv.msgs", "comm.allreduce.recv.msgs",
+    "comm.alltoall.recv.msgs",      "comm.alltoallv.recv.msgs"};
+
+constexpr const char* kRecvBytes[kNumCommKinds] = {
+    "comm.p2p.recv.bytes",           "comm.bcast.recv.bytes",
+    "comm.gather.recv.bytes",        "comm.allgather.recv.bytes",
+    "comm.reduce_scatter.recv.bytes", "comm.allreduce.recv.bytes",
+    "comm.alltoall.recv.bytes",      "comm.alltoallv.recv.bytes"};
+
+constexpr const char* kRecvWait[kNumCommKinds] = {
+    "comm.p2p.recv.wait_s",           "comm.bcast.recv.wait_s",
+    "comm.gather.recv.wait_s",        "comm.allgather.recv.wait_s",
+    "comm.reduce_scatter.recv.wait_s", "comm.allreduce.recv.wait_s",
+    "comm.alltoall.recv.wait_s",      "comm.alltoallv.recv.wait_s"};
+
+}  // namespace
+
 namespace detail {
 
 using Clock = std::chrono::steady_clock;
@@ -44,13 +91,17 @@ class Fabric {
       switch (options_.fault_injector->on_message(src_world, dst_world, tag,
                                                   msg.payload)) {
         case FaultAction::kDrop:
+          obs::count("comm.fault.dropped");
           return;  // vanishes in flight
         case FaultAction::kDelay:
+          obs::count("comm.fault.delayed");
           msg.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double>(
                   options_.fault_injector->config().delay_s));
           break;
         case FaultAction::kCorrupt:
+          obs::count("comm.fault.corrupted");
+          break;
         case FaultAction::kDeliver:
           break;
       }
@@ -127,6 +178,7 @@ class Fabric {
       if (msg.checksummed) {
         const std::uint32_t got = crc32(msg.payload);
         if (got != msg.crc) {
+          obs::count("comm.crc.failures");
           std::ostringstream os;
           os << "corrupt message: CRC mismatch on comm " << comm_id << " src "
              << src_world << " -> dst " << self_world << " tag " << tag << " ("
@@ -280,16 +332,40 @@ Communicator::Communicator(std::shared_ptr<detail::Fabric> fabric,
 void Communicator::send_bytes(int dst, int tag,
                               std::span<const std::byte> data) const {
   BGL_ENSURE(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  if (obs::metrics_enabled()) {
+    const int k = comm_kind_of(tag);
+    obs::count(kSendMsgs[k]);
+    obs::count(kSendBytes[k], static_cast<std::int64_t>(data.size()));
+  }
   fabric_->send(comm_id_, world_rank(rank_), world_rank(dst), tag, data);
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
   BGL_ENSURE(src >= 0 && src < size(), "recv from invalid rank " << src);
-  return fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag);
+  if (!obs::metrics_enabled())
+    return fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag);
+  const int k = comm_kind_of(tag);
+  const auto t0 = detail::Clock::now();
+  std::vector<std::byte> payload =
+      fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag);
+  const double wait_s =
+      std::chrono::duration<double>(detail::Clock::now() - t0).count();
+  obs::count(kRecvMsgs[k]);
+  obs::count(kRecvBytes[k], static_cast<std::int64_t>(payload.size()));
+  obs::observe(kRecvWait[k], wait_s);
+  return payload;
 }
 
 void Communicator::barrier() const {
+  if (!obs::metrics_enabled()) {
+    fabric_->barrier(comm_id_, size());
+    return;
+  }
+  const auto t0 = detail::Clock::now();
   fabric_->barrier(comm_id_, size());
+  obs::count("comm.barrier.count");
+  obs::observe("comm.barrier.wait_s",
+               std::chrono::duration<double>(detail::Clock::now() - t0).count());
 }
 
 Communicator Communicator::split(int color, int key) const {
@@ -350,6 +426,7 @@ void World::run(int size, const WorldOptions& options, const RankFn& fn) {
   threads.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_rank(r);  // trace spans from this thread attribute to rank r
       Communicator comm(fabric, /*comm_id=*/1, world_group, r);
       try {
         fn(comm);

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+
 namespace bgl::rt {
 namespace {
 
@@ -47,6 +49,7 @@ void FaultInjector::on_op(int world_rank) {
       std::lock_guard<std::mutex> lock(mutex_);
       events_.push_back({FaultType::kKill, world_rank, -1, 0, count, 0});
     }
+    obs::count("comm.fault.killed");
     std::ostringstream os;
     os << "rank " << world_rank << " killed by fault injector at op " << count;
     throw RankFailureError(os.str());

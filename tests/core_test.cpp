@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/error.hpp"
@@ -183,6 +185,40 @@ TEST(Units, FormatDuration) {
 TEST(Units, FormatCount) {
   EXPECT_EQ(format_count(1.93e12), "1.93T");
   EXPECT_EQ(format_count(2.6e9), "2.6B");
+}
+
+TEST(Stopwatch, StartsOnConstructionAndElapsedIsMonotone) {
+  Stopwatch watch;
+  const double a = watch.elapsed();
+  EXPECT_GE(a, 0.0);
+  // elapsed() must not restart the clock: successive reads never go back.
+  const double b = watch.elapsed();
+  EXPECT_GE(b, a);
+  const double c = watch.elapsed();
+  EXPECT_GE(c, b);
+}
+
+TEST(Stopwatch, LapReturnsElapsedAndRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double first = watch.lap();
+  EXPECT_GE(first, 0.015);  // sleep can undershoot slightly, never by 25%
+  // lap() restarted the clock: the immediately-following interval cannot
+  // contain the 20 ms sleep again.
+  const double second = watch.lap();
+  EXPECT_GE(second, 0.0);
+  EXPECT_LT(second, first);
+}
+
+TEST(Stopwatch, ResetRestartsTheClock) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.elapsed(), 0.015);
+  watch.reset();
+  // reset dropped the slept interval; only the post-reset time remains.
+  const double after = watch.elapsed();
+  EXPECT_GE(after, 0.0);
+  EXPECT_LT(after, 0.015);
 }
 
 TEST(MathUtil, CeilDivAndRoundUp) {

@@ -1,0 +1,653 @@
+// Tests for the observability subsystem (src/obs): histogram bucketing edge
+// cases, registry semantics, per-rank reduction over the runtime, trace
+// export in Chrome trace-event format, and — the load-bearing contract —
+// determinism-neutrality: metrics and tracing on/off never change numerics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "model/trainer.hpp"
+#include "model/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/reduce.hpp"
+#include "obs/trace.hpp"
+#include "parallel/dist_trainer.hpp"
+#include "parallel/dist_transformer.hpp"
+#include "runtime/comm.hpp"
+#include "train/data.hpp"
+#include "train/optimizer.hpp"
+
+namespace bgl::obs {
+namespace {
+
+/// --- minimal JSON parser (validates the exported trace files) -------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses the whole input as one JSON value; false on any syntax error or
+  /// trailing garbage.
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\t'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.kind = JsonValue::Kind::kString; return parse_string(out.str);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return eat_word("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return eat_word("false");
+      case 'n': out.kind = JsonValue::Kind::kNull; return eat_word("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool eat_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // validated as hex, decoded as '?' (names are ASCII)
+            out.push_back('?');
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      JsonValue v;
+      skip_ws();
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// RAII guard: forces the metrics switch and restores it afterwards.
+struct MetricsGuard {
+  explicit MetricsGuard(bool enabled) : prev(set_metrics_enabled(enabled)) {}
+  ~MetricsGuard() { set_metrics_enabled(prev); }
+  bool prev;
+};
+
+/// RAII guard: points tracing at a fresh temp dir, restores "off" after.
+struct TraceGuard {
+  explicit TraceGuard(const std::string& dir) {
+    discard_trace();
+    set_trace_dir(dir);
+  }
+  ~TraceGuard() {
+    discard_trace();
+    set_trace_dir("");
+  }
+};
+
+std::filesystem::path fresh_temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("bgl_obs_test_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// --- histogram --------------------------------------------------------------
+
+TEST(Histogram, ZeroLandsInUnderflowBucket) {
+  Histogram h;
+  h.record(0.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.buckets()[0], 1);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+}
+
+TEST(Histogram, RejectsNaNAndNegative) {
+  Histogram h;
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(-1.0);
+  h.record(-0.5e-12);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.rejected(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);  // NaN never poisoned the aggregates
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+}
+
+TEST(Histogram, HugeValuesSaturateIntoOverflowBucket) {
+  Histogram h;
+  h.record(1e300);
+  h.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.buckets()[Histogram::kNumBuckets - 1], 2);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, BucketBoundsAreMonotoneAndConsistentWithIndex) {
+  for (int i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    const double hi = Histogram::bucket_upper_bound(i);
+    EXPECT_LT(hi, Histogram::bucket_upper_bound(i + 1)) << i;
+    // A value just below a bucket's upper bound indexes into that bucket;
+    // the bound itself belongs to the next one.
+    EXPECT_EQ(Histogram::bucket_index(hi * 0.999), i) << i;
+    EXPECT_EQ(Histogram::bucket_index(hi), i + 1) << i;
+  }
+  EXPECT_TRUE(std::isinf(
+      Histogram::bucket_upper_bound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(Histogram, AggregatesAndReset) {
+  Histogram h;
+  for (const double v : {1.0, 2.0, 3.0}) h.record(v);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.rejected(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+/// --- registry ---------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry r;
+  Counter& a = r.counter("x");
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(r.counter("x").value(), 3);
+}
+
+TEST(Registry, KindConflictThrows) {
+  Registry r;
+  r.counter("metric");
+  EXPECT_THROW(r.gauge("metric"), Error);
+  EXPECT_THROW(r.histogram("metric"), Error);
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete) {
+  Registry r;
+  r.counter("b.counter").add(7);
+  r.gauge("a.gauge").set(2.5);
+  r.histogram("c.hist").record(1.0);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[1].name, "b.counter");
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_DOUBLE_EQ(snap[0].sum, 2.5);
+  EXPECT_EQ(snap[1].count, 7);
+  EXPECT_EQ(snap[2].count, 1);
+  EXPECT_EQ(snap[2].buckets.size(),
+            static_cast<std::size_t>(Histogram::kNumBuckets));
+}
+
+TEST(Registry, ThreadBindingFallsBackToGlobal) {
+  Registry mine;
+  {
+    ScopedRegistry bind(mine);
+    EXPECT_EQ(&registry(), &mine);
+    Registry inner;
+    {
+      ScopedRegistry nested(inner);
+      EXPECT_EQ(&registry(), &inner);
+    }
+    EXPECT_EQ(&registry(), &mine);  // nesting restores
+  }
+  EXPECT_EQ(&registry(), &global_registry());
+  // A different thread is unaffected by this thread's binding.
+  ScopedRegistry bind(mine);
+  Registry* other_thread = nullptr;
+  std::thread t([&] { other_thread = &registry(); });
+  t.join();
+  EXPECT_EQ(other_thread, &global_registry());
+}
+
+TEST(Registry, DisabledHelpersAreInert) {
+  Registry mine;
+  ScopedRegistry bind(mine);
+  MetricsGuard off(false);
+  obs::count("inert.counter", 5);
+  obs::observe("inert.hist", 1.0);
+  obs::set_gauge("inert.gauge", 2.0);
+  EXPECT_TRUE(mine.snapshot().empty());  // not even registered
+  set_metrics_enabled(true);
+  obs::count("live.counter");
+  ASSERT_EQ(mine.snapshot().size(), 1u);
+  EXPECT_EQ(mine.snapshot()[0].name, "live.counter");
+}
+
+/// --- cross-rank reduction ---------------------------------------------------
+
+TEST(ReduceMetrics, AggregatesAcrossRanks) {
+  ClusterMetrics merged;
+  rt::World::run(4, [&](rt::Communicator& world) {
+    Registry local;
+    ScopedRegistry bind(local);
+    local.counter("steps").add(world.rank() + 1);  // 1, 2, 3, 4
+    local.gauge("scale").set(static_cast<double>(world.rank()));
+    local.histogram("wait_s").record(1e-6 * (world.rank() + 1));
+    const ClusterMetrics got = reduce_metrics(world);
+    if (world.rank() == 0) merged = got;
+  });
+
+  EXPECT_EQ(merged.world_size, 4);
+  const ReducedMetric* steps = merged.find("steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_EQ(steps->kind, MetricKind::kCounter);
+  EXPECT_EQ(steps->ranks, 4);
+  EXPECT_EQ(steps->count, 10);  // 1+2+3+4
+  EXPECT_DOUBLE_EQ(steps->min, 1.0);
+  EXPECT_DOUBLE_EQ(steps->max, 4.0);
+
+  const ReducedMetric* scale = merged.find("scale");
+  ASSERT_NE(scale, nullptr);
+  EXPECT_EQ(scale->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(scale->min, 0.0);
+  EXPECT_DOUBLE_EQ(scale->max, 3.0);
+  EXPECT_DOUBLE_EQ(scale->mean_per_rank(), 1.5);
+
+  const ReducedMetric* wait = merged.find("wait_s");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->kind, MetricKind::kHistogram);
+  EXPECT_EQ(wait->count, 4);
+  EXPECT_NEAR(wait->sum, 1e-5, 1e-12);
+  EXPECT_DOUBLE_EQ(wait->min, 1e-6);
+  EXPECT_DOUBLE_EQ(wait->max, 4e-6);
+  std::int64_t bucket_total = 0;
+  for (const auto b : wait->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 4);
+
+  EXPECT_NE(merged.to_string().find("steps"), std::string::npos);
+}
+
+TEST(ReduceMetrics, RuntimeTrafficShowsUpPerRank) {
+  // The instrumented Communicator itself feeds per-rank registries.
+  ClusterMetrics merged;
+  rt::World::run(2, [&](rt::Communicator& world) {
+    Registry local;
+    ScopedRegistry bind(local);
+    if (world.rank() == 0) {
+      const std::vector<int> payload{1, 2, 3};
+      world.send<int>(1, /*tag=*/7, payload);
+    } else {
+      (void)world.recv<int>(0, /*tag=*/7);
+    }
+    const ClusterMetrics got = reduce_metrics(world);
+    if (world.rank() == 0) merged = got;
+  });
+  const ReducedMetric* sent = merged.find("comm.p2p.send.msgs");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_GE(sent->count, 1);
+  const ReducedMetric* recv_wait = merged.find("comm.p2p.recv.wait_s");
+  ASSERT_NE(recv_wait, nullptr);
+  EXPECT_GE(recv_wait->count, 1);
+}
+
+/// --- dispatch stats ---------------------------------------------------------
+
+TEST(DispatchStats, AbsorbAndAccumulate) {
+  moe::DispatchPlan plan;
+  plan.expert_offsets = {0, 2, 3};
+  plan.assignments.resize(3);
+  plan.demanded_load = {3, 2};
+  plan.capacity = 2;
+  plan.dropped = 2;
+  moe::DispatchStats s;
+  s.absorb(plan);
+  EXPECT_EQ(s.plans, 1);
+  EXPECT_EQ(s.routed, 3);
+  EXPECT_EQ(s.demanded, 5);
+  EXPECT_EQ(s.dropped, 2);
+  EXPECT_EQ(s.capacity_slots, 4);
+  EXPECT_EQ(s.max_expert_load, 2);
+  EXPECT_DOUBLE_EQ(s.drop_rate(), 0.4);
+
+  moe::DispatchStats t;
+  t.absorb(plan);
+  t += s;
+  EXPECT_EQ(t.plans, 2);
+  EXPECT_EQ(t.routed, 6);
+  EXPECT_EQ(t.max_expert_load, 2);
+  EXPECT_DOUBLE_EQ(moe::DispatchStats{}.drop_rate(), 0.0);
+}
+
+/// --- trainer surfacing ------------------------------------------------------
+
+model::MoEModelConfig tiny_config() {
+  model::MoEModelConfig config;
+  config.name = "obs-tiny";
+  config.vocab = 32;
+  config.d_model = 16;
+  config.n_layers = 2;
+  config.n_heads = 2;
+  config.seq_len = 8;
+  config.d_ffn = 32;
+  config.num_experts = 4;
+  config.top_k = 2;
+  config.capacity_factor = 100.0;
+  config.aux_loss_weight = 0.0;
+  config.validate();
+  return config;
+}
+
+TEST(StepStats, SerialTrainerReportsPhasesAndDispatch) {
+  const auto config = tiny_config();
+  Rng rng(3);
+  model::MoETransformerLM lm(config, rng);
+  train::Adam adam(1e-3);
+  model::Trainer trainer(lm, adam);
+  train::MarkovTokenStream stream(config.vocab, 0.05, 11);
+  const train::Batch batch = stream.next_batch(2, config.seq_len);
+  const model::StepStats stats = trainer.train_step(batch);
+  EXPECT_TRUE(stats.applied);
+  EXPECT_GT(stats.grad_norm, 0.0);
+  EXPECT_GT(stats.phases.forward_s, 0.0);
+  EXPECT_GT(stats.phases.backward_s, 0.0);
+  EXPECT_GT(stats.phases.optimizer_s, 0.0);
+  EXPECT_GE(stats.phases.total_s, stats.phases.forward_s +
+                                      stats.phases.backward_s +
+                                      stats.phases.optimizer_s);
+  EXPECT_DOUBLE_EQ(stats.phases.allreduce_s, 0.0);  // serial: no sync
+  // 2 MoE layers, 16 tokens, top-2, ample capacity: nothing dropped.
+  EXPECT_EQ(stats.dispatch.plans, config.n_layers);
+  EXPECT_EQ(stats.dispatch.routed, config.n_layers * 2 * config.seq_len * 2);
+  EXPECT_EQ(stats.dispatch.dropped, 0);
+  EXPECT_EQ(stats.dispatch.demanded, stats.dispatch.routed);
+}
+
+TEST(DistStepStats, ReportsGradNormPhasesAndDispatch) {
+  const auto config = tiny_config();
+  rt::World::run(4, [&](rt::Communicator& world) {
+    const parallel::MoDaLayout layout = parallel::MoDaLayout::make(4, 2);
+    parallel::DistMoETransformerLM lm(world, layout, config, Rng(21));
+    train::Adam adam(1e-3);
+    parallel::DistTrainer trainer(world, lm, adam);
+    train::MarkovTokenStream stream(config.vocab, 0.05,
+                                    200 + static_cast<unsigned>(world.rank()));
+    const train::Batch batch = stream.next_batch(2, config.seq_len);
+    const parallel::DistStepStats stats = trainer.train_step(batch);
+    EXPECT_TRUE(stats.applied);
+    EXPECT_GT(stats.grad_norm, 0.0);
+    EXPECT_GT(stats.phases.forward_s, 0.0);
+    EXPECT_GT(stats.phases.backward_s, 0.0);
+    EXPECT_GT(stats.phases.allreduce_s, 0.0);
+    EXPECT_GT(stats.phases.alltoall_s, 0.0);  // EP=2: real exchanges
+    EXPECT_GT(stats.phases.total_s, 0.0);
+    EXPECT_EQ(stats.dispatch.plans, config.n_layers);
+    EXPECT_GT(stats.dispatch.routed, 0);
+    EXPECT_EQ(stats.dispatch.dropped, 0);  // ample capacity
+  });
+}
+
+/// --- determinism-neutrality -------------------------------------------------
+
+TEST(Determinism, MetricsOnOffIsBitwiseIdentical) {
+  const auto config = tiny_config();
+  const auto run_losses = [&](bool metrics_on) {
+    MetricsGuard guard(metrics_on);
+    Rng rng(5);
+    model::MoETransformerLM lm(config, rng);
+    train::Adam adam(1e-3);
+    model::Trainer trainer(lm, adam);
+    train::MarkovTokenStream stream(config.vocab, 0.05, 31);
+    std::vector<double> losses;
+    for (int s = 0; s < 3; ++s) {
+      const train::Batch batch = stream.next_batch(2, config.seq_len);
+      losses.push_back(trainer.train_step(batch).loss);
+    }
+    return losses;
+  };
+  const auto on = run_losses(true);
+  const auto off = run_losses(false);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i)
+    EXPECT_EQ(on[i], off[i]) << "step " << i;  // bitwise, not approximate
+}
+
+TEST(Determinism, TracingOnOffIsBitwiseIdentical) {
+  const auto config = tiny_config();
+  const auto dir = fresh_temp_dir("determinism");
+  const auto run_losses = [&](bool tracing_on) {
+    std::vector<double> losses;
+    std::unique_ptr<TraceGuard> guard;
+    if (tracing_on) guard = std::make_unique<TraceGuard>(dir.string());
+    rt::World::run(2, [&](rt::Communicator& world) {
+      const parallel::MoDaLayout layout = parallel::MoDaLayout::make(2, 1);
+      parallel::DistMoETransformerLM lm(world, layout, config, Rng(9));
+      train::Adam adam(1e-3);
+      parallel::DistTrainer trainer(world, lm, adam);
+      train::MarkovTokenStream stream(
+          config.vocab, 0.05, 300 + static_cast<unsigned>(world.rank()));
+      for (int s = 0; s < 2; ++s) {
+        const train::Batch batch = stream.next_batch(2, config.seq_len);
+        const double loss = trainer.train_step(batch).global_loss;
+        if (world.rank() == 0) losses.push_back(loss);
+      }
+    });
+    return losses;
+  };
+  const auto traced = run_losses(true);
+  const auto plain = run_losses(false);
+  ASSERT_EQ(traced.size(), plain.size());
+  for (std::size_t i = 0; i < traced.size(); ++i)
+    EXPECT_EQ(traced[i], plain[i]) << "step " << i;
+  std::filesystem::remove_all(dir);
+}
+
+/// --- trace export -----------------------------------------------------------
+
+TEST(Trace, DisabledSpansBufferNothing) {
+  discard_trace();
+  ASSERT_FALSE(tracing_enabled());
+  {
+    Span span("should.not.appear");
+  }
+  EXPECT_EQ(buffered_trace_events(), 0u);
+}
+
+TEST(Trace, FourRankDistTrainerExportsValidChromeTrace) {
+  const auto config = tiny_config();
+  const auto dir = fresh_temp_dir("export");
+  {
+    TraceGuard guard(dir.string());
+    ASSERT_TRUE(tracing_enabled());
+    rt::World::run(4, [&](rt::Communicator& world) {
+      const parallel::MoDaLayout layout = parallel::MoDaLayout::make(4, 2);
+      parallel::DistMoETransformerLM lm(world, layout, config, Rng(33));
+      train::Adam adam(1e-3);
+      parallel::DistTrainer trainer(world, lm, adam);
+      train::MarkovTokenStream stream(
+          config.vocab, 0.05, 400 + static_cast<unsigned>(world.rank()));
+      for (int s = 0; s < 2; ++s) {
+        const train::Batch batch = stream.next_batch(2, config.seq_len);
+        (void)trainer.train_step(batch);
+      }
+    });
+    flush_trace();
+
+    for (int rank = 0; rank < 4; ++rank) {
+      const auto path = dir / ("trace.rank" + std::to_string(rank) + ".json");
+      ASSERT_TRUE(std::filesystem::exists(path)) << path;
+      const std::string text = read_file(path);
+
+      JsonValue root;
+      ASSERT_TRUE(JsonParser(text).parse(root)) << path;
+      ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+      const JsonValue* unit = root.find("displayTimeUnit");
+      ASSERT_NE(unit, nullptr);
+      EXPECT_EQ(unit->str, "ms");
+      const JsonValue* events = root.find("traceEvents");
+      ASSERT_NE(events, nullptr);
+      ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+      ASSERT_FALSE(events->array.empty()) << "rank " << rank;
+
+      bool saw_step = false, saw_a2a = false;
+      for (const JsonValue& e : events->array) {
+        ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
+        const JsonValue* ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        EXPECT_EQ(ph->str, "X");  // complete events only
+        const JsonValue* cat = e.find("cat");
+        ASSERT_NE(cat, nullptr);
+        EXPECT_EQ(cat->str, "bgl");
+        const JsonValue* name = e.find("name");
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(name->str.empty());
+        for (const char* key : {"ts", "dur", "pid", "tid"}) {
+          const JsonValue* v = e.find(key);
+          ASSERT_NE(v, nullptr) << key;
+          EXPECT_EQ(v->kind, JsonValue::Kind::kNumber) << key;
+        }
+        EXPECT_EQ(static_cast<int>(e.find("pid")->number), rank);
+        EXPECT_GE(e.find("dur")->number, 0.0);
+        if (name->str == "dist_trainer.step") saw_step = true;
+        if (name->str == "ep_moe.a2a.dispatch") saw_a2a = true;
+      }
+      EXPECT_TRUE(saw_step) << "rank " << rank;
+      EXPECT_TRUE(saw_a2a) << "rank " << rank;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bgl::obs
