@@ -1,0 +1,222 @@
+// Nonblocking collectives, built as caller-driven state machines over the
+// PendingOp p2p layer (runtime/comm.hpp).
+//
+// AsyncAllreduce runs the *same* algorithms as coll::allreduce_sum — ring
+// reduce-scatter + allgather, or recursive doubling — one round at a time:
+// each round posts a buffered isend plus an irecv, and the local reduction
+// arithmetic is executed in exactly the order of the synchronous code, so a
+// completed AsyncAllreduce is bitwise-identical to allreduce_sum on the
+// same input (pinned by tests/coll_conformance_test.cpp). That is what lets
+// parallel::DataParallel overlap gradient bucket reductions with backward
+// compute without perturbing training numerics.
+//
+// Concurrency model: many AsyncAllreduce instances may be in flight on one
+// communicator. Each instance owns a `salt` that offsets its tags into a
+// disjoint window, so concurrent instances (and the plain synchronous
+// collectives) can never cross-match messages — required because different
+// ranks may interleave progress across instances differently.
+//
+// All methods must be called from the owning rank's thread (PendingOp is
+// not a cross-thread handle).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "collectives/coll.hpp"
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::coll {
+
+/// Tag window size per async collective instance. Every instance uses tags
+/// base + (salt + 1) * kAsyncTagStride + round, which stays clear of the
+/// synchronous collectives (they use base + round with round < P <= stride)
+/// for any salt in [0, kMaxAsyncSalt).
+inline constexpr int kAsyncTagStride = 1024;
+inline constexpr int kMaxAsyncSalt = (1 << 20) / kAsyncTagStride - 2;
+
+/// One in-flight sum-allreduce. Construct, then drive with progress()
+/// (nonblocking) and/or wait() (blocking); read result() when done().
+template <typename T>
+class AsyncAllreduce {
+ public:
+  /// Starts the allreduce of `data` over `comm`. `salt` must be unique
+  /// among the instances concurrently in flight on this communicator.
+  /// Like allreduce_sum, kRecursiveDoubling falls back to ring on
+  /// non-power-of-two worlds.
+  AsyncAllreduce(const rt::Communicator& comm, std::span<const T> data,
+                 AllreduceAlgo algo = AllreduceAlgo::kRing, int salt = 0)
+      : comm_(comm),
+        p_(comm.size()),
+        me_(comm.rank()),
+        n_(data.size()),
+        tag_base_((salt + 1) * kAsyncTagStride) {
+    BGL_ENSURE(salt >= 0 && salt < kMaxAsyncSalt,
+               "async salt " << salt << " out of range");
+    BGL_ENSURE(p_ <= kAsyncTagStride, "world too large for async tag window");
+    result_.assign(data.begin(), data.end());
+    if (p_ == 1 || n_ == 0) {
+      phase_ = Phase::kDone;
+      return;
+    }
+    if (algo == AllreduceAlgo::kRecursiveDoubling &&
+        is_pow2(static_cast<std::uint64_t>(p_))) {
+      phase_ = Phase::kDoubling;
+      mask_ = 1;
+      start_doubling_round();
+      return;
+    }
+    // Ring: pad to P equal blocks exactly like detail::ring_allreduce.
+    block_ = static_cast<std::size_t>(
+        ceil_div(static_cast<std::int64_t>(n_), p_));
+    work_.assign(block_ * static_cast<std::size_t>(p_), T{});
+    std::copy(result_.begin(), result_.end(), work_.begin());
+    phase_ = Phase::kReduceScatter;
+    round_ = 0;
+    start_ring_round();
+  }
+
+  AsyncAllreduce(AsyncAllreduce&&) noexcept = default;
+  AsyncAllreduce& operator=(AsyncAllreduce&&) noexcept = default;
+
+  [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
+
+  /// Nonblocking: completes as many rounds as have matching messages
+  /// queued. Returns done().
+  bool progress() {
+    while (phase_ != Phase::kDone && pending_.test()) advance();
+    return done();
+  }
+
+  /// Blocks (round by round) until the allreduce completes.
+  void wait() {
+    while (phase_ != Phase::kDone) {
+      pending_.wait();
+      advance();
+    }
+  }
+
+  /// The reduced vector; valid once done().
+  [[nodiscard]] const std::vector<T>& result() const {
+    BGL_CHECK(done());
+    return result_;
+  }
+  [[nodiscard]] std::vector<T> take_result() {
+    BGL_CHECK(done());
+    return std::move(result_);
+  }
+
+ private:
+  enum class Phase { kReduceScatter, kAllgather, kDoubling, kDone };
+
+  /// Ring neighbours (identical to the synchronous ring).
+  [[nodiscard]] int right() const { return (me_ + 1) % p_; }
+  [[nodiscard]] int left() const { return (me_ - 1 + p_) % p_; }
+
+  void start_ring_round() {
+    // Mirrors one sendrecv round of reduce_scatter_sum: send block
+    // (me - k - 1), receive into the accumulator for block (me - k - 2).
+    const int send_block = (me_ - round_ - 1 + p_) % p_;
+    std::span<const T> chunk =
+        round_ == 0 ? std::span<const T>(
+                          work_.data() + block_ * static_cast<std::size_t>(send_block),
+                          block_)
+                    : std::span<const T>(acc_);
+    const int tag = tags::kReduceScatter + tag_base_ + round_;
+    comm_.isend<T>(right(), tag, chunk);
+    pending_ = comm_.irecv(left(), tag);
+  }
+
+  void start_gather_round() {
+    // Mirrors one sendrecv round of allgather over the reduced blocks.
+    const int send_block = (me_ - round_ + p_) % p_;
+    std::span<const T> chunk(
+        gather_.data() + block_ * static_cast<std::size_t>(send_block), block_);
+    const int tag = tags::kAllgather + tag_base_ + round_;
+    comm_.isend<T>(right(), tag, chunk);
+    pending_ = comm_.irecv(left(), tag);
+  }
+
+  void start_doubling_round() {
+    const int partner = me_ ^ mask_;
+    const int tag = tags::kAllreduce + tag_base_ + round_;
+    comm_.isend<T>(partner, tag, std::span<const T>(result_));
+    pending_ = comm_.irecv(partner, tag);
+  }
+
+  /// Consumes the completed round's payload and starts the next round.
+  void advance() {
+    std::vector<T> incoming = pending_.take<T>();
+    switch (phase_) {
+      case Phase::kReduceScatter: {
+        BGL_CHECK(incoming.size() == block_);
+        const int recv_block = (me_ - round_ - 2 + p_) % p_;
+        acc_ = std::move(incoming);
+        const T* local =
+            work_.data() + block_ * static_cast<std::size_t>(recv_block);
+        for (std::size_t i = 0; i < block_; ++i) acc_[i] += local[i];
+        if (++round_ < p_ - 1) {
+          start_ring_round();
+          return;
+        }
+        // Reduce-scatter finished; seed the allgather with my block.
+        gather_.assign(block_ * static_cast<std::size_t>(p_), T{});
+        std::copy(acc_.begin(), acc_.end(),
+                  gather_.begin() + static_cast<std::ptrdiff_t>(block_) * me_);
+        phase_ = Phase::kAllgather;
+        round_ = 0;
+        start_gather_round();
+        return;
+      }
+      case Phase::kAllgather: {
+        BGL_CHECK(incoming.size() == block_);
+        const int recv_block = (me_ - round_ - 1 + p_) % p_;
+        std::copy(incoming.begin(), incoming.end(),
+                  gather_.begin() +
+                      static_cast<std::ptrdiff_t>(block_) * recv_block);
+        if (++round_ < p_ - 1) {
+          start_gather_round();
+          return;
+        }
+        std::copy(gather_.begin(),
+                  gather_.begin() + static_cast<std::ptrdiff_t>(n_),
+                  result_.begin());
+        phase_ = Phase::kDone;
+        return;
+      }
+      case Phase::kDoubling: {
+        BGL_CHECK(incoming.size() == n_);
+        for (std::size_t i = 0; i < n_; ++i) result_[i] += incoming[i];
+        mask_ <<= 1;
+        ++round_;
+        if (mask_ < p_) {
+          start_doubling_round();
+          return;
+        }
+        phase_ = Phase::kDone;
+        return;
+      }
+      case Phase::kDone:
+        return;
+    }
+  }
+
+  rt::Communicator comm_;
+  int p_;
+  int me_;
+  std::size_t n_;
+  int tag_base_;
+  Phase phase_ = Phase::kDone;
+  int round_ = 0;
+  int mask_ = 0;          // recursive doubling
+  std::size_t block_ = 0;  // ring block size
+  std::vector<T> work_;    // ring: padded local input (read-only after init)
+  std::vector<T> acc_;     // ring: travelling reduced block
+  std::vector<T> gather_;  // ring: allgather assembly buffer
+  std::vector<T> result_;
+  rt::PendingOp pending_;
+};
+
+}  // namespace bgl::coll

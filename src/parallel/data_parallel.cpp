@@ -1,8 +1,33 @@
 #include "parallel/data_parallel.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace bgl::parallel {
+
+std::vector<DataParallel::GradBucket> DataParallel::plan_buckets(
+    std::span<nn::Parameter* const> params) const {
+  std::vector<GradBucket> out;
+  GradBucket current;
+  auto flush = [&] {
+    if (current.params.empty()) return;
+    out.push_back(std::move(current));
+    current = GradBucket{};
+  };
+  for (nn::Parameter* p : params) {
+    const std::size_t n = static_cast<std::size_t>(p->grad.numel());
+    // A parameter larger than the bucket gets its own fused transfer.
+    if (current.elems + n > bucket_elems_ && !current.params.empty()) flush();
+    current.params.push_back(p);
+    current.elems += n;
+    if (current.elems >= bucket_elems_) flush();
+  }
+  flush();
+  return out;
+}
 
 void DataParallel::sync_gradients(
     const rt::Communicator& comm,
@@ -10,31 +35,137 @@ void DataParallel::sync_gradients(
   if (comm.size() == 1) return;
   const float inv = 1.0f / static_cast<float>(comm.size());
 
-  std::vector<float> bucket;
-  bucket.reserve(bucket_elems_);
-  std::vector<nn::Parameter*> in_bucket;
-
-  auto flush = [&] {
-    if (bucket.empty()) return;
-    coll::allreduce_sum<float>(comm, bucket, algo_);
-    std::size_t off = 0;
-    for (nn::Parameter* p : in_bucket) {
-      auto g = p->grad.f32();
-      for (float& v : g) v = bucket[off++] * inv;
+  std::vector<float> fused;
+  for (const GradBucket& bucket : plan_buckets(params)) {
+    fused.clear();
+    fused.reserve(bucket.elems);
+    for (nn::Parameter* p : bucket.params) {
+      const auto g = p->grad.f32();
+      fused.insert(fused.end(), g.begin(), g.end());
     }
-    bucket.clear();
-    in_bucket.clear();
-  };
-
-  for (nn::Parameter* p : params) {
-    const auto g = p->grad.f32();
-    // A parameter larger than the bucket gets its own fused transfer.
-    if (bucket.size() + g.size() > bucket_elems_ && !bucket.empty()) flush();
-    bucket.insert(bucket.end(), g.begin(), g.end());
-    in_bucket.push_back(p);
-    if (bucket.size() >= bucket_elems_) flush();
+    coll::allreduce_sum<float>(comm, fused, algo_);
+    std::size_t off = 0;
+    for (nn::Parameter* p : bucket.params) {
+      auto g = p->grad.f32();
+      for (float& v : g) v = fused[off++] * inv;
+    }
   }
-  flush();
+}
+
+DataParallel::GradSyncSession::GradSyncSession(
+    const rt::Communicator& comm, std::span<nn::Parameter* const> params,
+    coll::AllreduceAlgo algo, std::size_t bucket_elems, int salt_base)
+    : comm_(comm), algo_(algo), salt_base_(salt_base) {
+  if (comm_.size() == 1) {
+    finished_ = true;  // nothing to reduce; finish() stays a no-op
+    return;
+  }
+  inv_ = 1.0f / static_cast<float>(comm_.size());
+  const DataParallel dp(algo, bucket_elems);
+  for (GradBucket& bucket : dp.plan_buckets(params)) {
+    BucketState state;
+    state.waiting = bucket.params.size();
+    for (nn::Parameter* p : bucket.params)
+      index_.emplace_back(p, buckets_.size());
+    state.bucket = std::move(bucket);
+    buckets_.push_back(std::move(state));
+  }
+  BGL_ENSURE(salt_base_ + static_cast<int>(buckets_.size()) <
+                 coll::kMaxAsyncSalt,
+             "bucket count " << buckets_.size()
+                             << " exceeds the async tag window");
+}
+
+void DataParallel::GradSyncSession::launch(BucketState& b) {
+  std::vector<float> fused;
+  fused.reserve(b.bucket.elems);
+  for (nn::Parameter* p : b.bucket.params) {
+    const auto g = p->grad.f32();
+    fused.insert(fused.end(), g.begin(), g.end());
+  }
+  const int salt =
+      salt_base_ + static_cast<int>(&b - buckets_.data());
+  b.op = std::make_unique<coll::AsyncAllreduce<float>>(
+      comm_, std::span<const float>(fused), algo_, salt);
+  obs::count("dp.overlap.buckets_launched");
+}
+
+void DataParallel::GradSyncSession::write_back(BucketState& b) {
+  BGL_CHECK(b.op && b.op->done() && !b.written);
+  const std::vector<float> fused = b.op->take_result();
+  std::size_t off = 0;
+  for (nn::Parameter* p : b.bucket.params) {
+    auto g = p->grad.f32();
+    for (float& v : g) v = fused[off++] * inv_;
+  }
+  b.written = true;
+  b.op.reset();
+}
+
+void DataParallel::GradSyncSession::notify_ready(nn::Parameter* p) {
+  if (finished_) return;
+  for (auto& [param, bucket] : index_) {
+    if (param != p) continue;
+    BucketState& b = buckets_[bucket];
+    BGL_CHECK(b.waiting > 0);
+    if (--b.waiting == 0) launch(b);
+    break;
+  }
+  progress();
+}
+
+void DataParallel::GradSyncSession::progress() {
+  if (finished_) return;
+  for (BucketState& b : buckets_) {
+    if (b.op && !b.written && b.op->progress()) write_back(b);
+  }
+}
+
+void DataParallel::GradSyncSession::finish() {
+  if (finished_) return;
+  // Launch whatever backward never reported — degrades to the synchronous
+  // schedule rather than deadlocking on a missing notification.
+  for (BucketState& b : buckets_) {
+    if (!b.op && !b.written) {
+      b.waiting = 0;
+      launch(b);
+    }
+  }
+  for (const BucketState& b : buckets_) {
+    if (b.written || (b.op && b.op->done())) ++overlapped_;
+  }
+  // Round-robin drain: every in-flight bucket keeps progressing while any
+  // one of them waits, so concurrent buckets pipeline their rounds instead
+  // of serializing (this is where the overlap win on delayed links comes
+  // from).
+  for (;;) {
+    bool all_done = true;
+    bool moved = false;
+    for (BucketState& b : buckets_) {
+      if (b.written) continue;
+      if (b.op->progress()) {
+        write_back(b);
+        moved = true;
+      } else {
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+    if (!moved) std::this_thread::yield();
+  }
+  finished_ = true;
+  if (obs::metrics_enabled() && !buckets_.empty()) {
+    obs::observe("dp.overlap.efficiency",
+                 static_cast<double>(overlapped_) /
+                     static_cast<double>(buckets_.size()));
+  }
+}
+
+std::unique_ptr<DataParallel::GradSyncSession> DataParallel::begin_async_sync(
+    const rt::Communicator& comm, std::span<nn::Parameter* const> params,
+    int salt_base) const {
+  return std::make_unique<GradSyncSession>(comm, params, algo_, bucket_elems_,
+                                           salt_base);
 }
 
 void DataParallel::broadcast_parameters(

@@ -1,9 +1,21 @@
 // Data-parallel gradient synchronization: bucketed allreduce + averaging,
 // plus initial parameter broadcast.
+//
+// Two execution modes share one bucket plan (identical boundaries, identical
+// per-bucket ring arithmetic, hence bitwise-identical averaged gradients):
+//  * sync_gradients() — the classic blocking path: fuse, allreduce, write
+//    back, bucket by bucket;
+//  * begin_async_sync() — the overlap path (DESIGN.md §9): returns a
+//    GradSyncSession that launches each bucket's AsyncAllreduce the moment
+//    the backward pass reports the bucket's last gradient ready, and drains
+//    all in-flight buckets in finish().
 #pragma once
 
+#include <memory>
 #include <span>
+#include <vector>
 
+#include "collectives/async.hpp"
 #include "collectives/coll.hpp"
 #include "nn/layer.hpp"
 #include "runtime/comm.hpp"
@@ -12,6 +24,72 @@ namespace bgl::parallel {
 
 class DataParallel {
  public:
+  /// One fused allreduce unit: a run of consecutive parameters whose
+  /// gradients are reduced in a single collective.
+  struct GradBucket {
+    std::vector<nn::Parameter*> params;
+    std::size_t elems = 0;
+  };
+
+  /// Overlapped gradient synchronization in progress. Created by
+  /// begin_async_sync(); single-owner, must be driven from the rank thread.
+  ///
+  /// Protocol: call notify_ready(p) once per parameter as backward
+  /// finalizes its gradient (parameters not owned by this session are
+  /// ignored, so multiple sessions can share one notification stream);
+  /// call finish() before reading any gradient. finish() also launches the
+  /// buckets of parameters that were never notified, so a partial
+  /// notification stream degrades to the synchronous schedule instead of
+  /// deadlocking.
+  class GradSyncSession {
+   public:
+    GradSyncSession(const rt::Communicator& comm,
+                    std::span<nn::Parameter* const> params,
+                    coll::AllreduceAlgo algo, std::size_t bucket_elems,
+                    int salt_base);
+
+    /// Marks `p`'s gradient final. Launches its bucket when it was the last
+    /// straggler, then opportunistically progresses every in-flight bucket.
+    void notify_ready(nn::Parameter* p);
+
+    /// Nonblocking pump of all in-flight buckets (call freely from compute
+    /// gaps).
+    void progress();
+
+    /// Launches the not-yet-launched buckets, drains everything, writes the
+    /// averaged gradients back. Idempotent.
+    void finish();
+
+    [[nodiscard]] bool finished() const { return finished_; }
+    [[nodiscard]] std::size_t buckets_total() const { return buckets_.size(); }
+    /// Buckets whose allreduce had fully completed when finish() began
+    /// (the overlap-efficiency numerator; valid after finish()).
+    [[nodiscard]] std::size_t buckets_overlapped() const {
+      return overlapped_;
+    }
+
+   private:
+    struct BucketState {
+      GradBucket bucket;
+      std::size_t waiting = 0;  // params whose grad is not yet final
+      std::unique_ptr<coll::AsyncAllreduce<float>> op;  // null until launched
+      bool written = false;
+    };
+
+    void launch(BucketState& b);
+    void write_back(BucketState& b);
+
+    rt::Communicator comm_;
+    coll::AllreduceAlgo algo_;
+    int salt_base_;
+    float inv_ = 1.0f;
+    std::vector<BucketState> buckets_;
+    /// param -> bucket index, for notify_ready dispatch.
+    std::vector<std::pair<nn::Parameter*, std::size_t>> index_;
+    bool finished_ = false;
+    std::size_t overlapped_ = 0;
+  };
+
   /// `bucket_elems` controls gradient bucketing: parameters are fused into
   /// buckets of roughly this many floats before each allreduce, amortizing
   /// per-collective latency exactly like production DDP implementations.
@@ -24,6 +102,20 @@ class DataParallel {
   /// Averages every parameter gradient across the ranks of `comm`.
   void sync_gradients(const rt::Communicator& comm,
                       std::span<nn::Parameter* const> params) const;
+
+  /// Starts an overlapped gradient sync over `params`. `salt_base` offsets
+  /// this session's async-collective tag windows; concurrent sessions on
+  /// communicators that may share a fabric must use disjoint ranges (one
+  /// salt per bucket is consumed from salt_base upward).
+  [[nodiscard]] std::unique_ptr<GradSyncSession> begin_async_sync(
+      const rt::Communicator& comm, std::span<nn::Parameter* const> params,
+      int salt_base = 0) const;
+
+  /// The bucket plan sync_gradients and begin_async_sync share: consecutive
+  /// parameters are fused until the bucket reaches `bucket_elems` floats (a
+  /// single parameter larger than that gets its own bucket).
+  [[nodiscard]] std::vector<GradBucket> plan_buckets(
+      std::span<nn::Parameter* const> params) const;
 
   /// Copies rank 0's parameter values to all ranks (initialization sync).
   void broadcast_parameters(const rt::Communicator& comm,

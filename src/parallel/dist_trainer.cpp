@@ -6,7 +6,18 @@
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace bgl::parallel {
+
+bool overlap_default_from_env() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("BGL_OVERLAP");
+    return v != nullptr && std::strcmp(v, "1") == 0;
+  }();
+  return enabled;
+}
 
 DistTrainer::DistTrainer(const rt::Communicator& world,
                          DistMoETransformerLM& lm, train::Optimizer& optimizer,
@@ -41,7 +52,20 @@ DistStepStats DistTrainer::train_step_accumulated(
   const double grad_scale =
       (scaling ? scaler_.scale() : 1.0) * micro_weight;
   lm_.set_grad_scale(grad_scale);
-  for (const train::Batch& batch : micro_batches) {
+  // Overlap requires final gradients at notify time: only the last
+  // micro-batch's backward finalizes them, and 16-bit emulation re-rounds
+  // gradients after backward, so overlap is armed only for f32 compute.
+  const bool overlap = options_.overlap_allreduce &&
+                       options_.compute_dtype == DType::kF32 &&
+                       world_.size() > 1;
+  for (std::size_t m = 0; m < micro_batches.size(); ++m) {
+    const train::Batch& batch = micro_batches[m];
+    // Armed before the last micro-batch's *forward*: the vocab-parallel
+    // fused head accumulates its gradient during forward_loss.
+    if (overlap && m + 1 == micro_batches.size()) {
+      lm_.begin_overlapped_sync();
+      stats.overlapped = true;
+    }
     double micro_loss;
     Stopwatch phase;
     if (lm_.vocab_parallel()) {
@@ -87,10 +111,13 @@ DistStepStats DistTrainer::train_step_accumulated(
   emulator_.restore_params(params_);
 
   // Synchronize BEFORE the overflow check: NaN/inf anywhere poisons the
-  // averaged gradients everywhere, so the skip decision is global.
+  // averaged gradients everywhere, so the skip decision is global. In
+  // overlap mode this only drains the buckets still in flight — everything
+  // launched during backward has (partially) completed already.
   Stopwatch phase;
   {
-    obs::Span span("dist_trainer.grad_allreduce");
+    obs::Span span(stats.overlapped ? "dist_trainer.grad_allreduce_drain"
+                                    : "dist_trainer.grad_allreduce");
     lm_.sync_gradients();
   }
   stats.phases.allreduce_s = phase.lap();
@@ -120,6 +147,7 @@ DistStepStats DistTrainer::train_step_accumulated(
   if (obs::metrics_enabled()) {
     obs::count(stats.applied ? "dist_trainer.steps"
                              : "dist_trainer.steps.skipped");
+    if (stats.overlapped) obs::count("dist_trainer.steps.overlapped");
     obs::observe("dist_trainer.step.forward_s", stats.phases.forward_s);
     obs::observe("dist_trainer.step.backward_s", stats.phases.backward_s);
     obs::observe("dist_trainer.step.allreduce_s", stats.phases.allreduce_s);

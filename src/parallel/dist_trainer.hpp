@@ -15,11 +15,22 @@
 
 namespace bgl::parallel {
 
+/// Default for DistTrainerOptions.overlap_allreduce: true iff BGL_OVERLAP=1
+/// in the environment. The synchronous path stays the default until the
+/// overlap path is armed explicitly (it is bitwise-identical — pinned by
+/// tests — but opt-in, DESIGN.md §9).
+[[nodiscard]] bool overlap_default_from_env();
+
 struct DistTrainerOptions {
   DType compute_dtype = DType::kF32;
   bool dynamic_loss_scaling = true;  // used only for kF16
   double initial_loss_scale = 65536.0;
   double clip_norm = 1.0;  // 0 disables
+  /// Overlap the bucketed gradient allreduce with the backward pass
+  /// (BGL_OVERLAP=1 flips the default). Effective only for kF32 compute:
+  /// 16-bit emulation must quantize *final* gradients before the sync, so
+  /// those runs keep the synchronous schedule regardless.
+  bool overlap_allreduce = overlap_default_from_env();
 };
 
 struct DistStepStats {
@@ -37,6 +48,9 @@ struct DistStepStats {
   /// MoE routing over every layer and micro-batch of this step (local
   /// shard).
   moe::DispatchStats dispatch;
+  /// True when this step ran the overlapped (async bucketed) allreduce;
+  /// phases.allreduce_s then measures only the residual drain.
+  bool overlapped = false;
 };
 
 class DistTrainer {

@@ -1,5 +1,7 @@
 #include "parallel/dist_transformer.hpp"
 
+#include <array>
+
 namespace bgl::parallel {
 
 DistMoETransformerLM::DistMoETransformerLM(const rt::Communicator& world,
@@ -91,10 +93,22 @@ Tensor DistMoETransformerLM::forward_hidden(
 void DistMoETransformerLM::backward_hidden(const Tensor& dhidden) {
   BGL_CHECK(cached_tokens_ > 0);
   Tensor dx = final_ln_.backward(dhidden);
+  overlap_notify(final_ln_.parameters());
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
     Block& block = **it;
     ops::add_(dx, block.ln2->backward(block.moe->backward(dx)));
     ops::add_(dx, block.ln1->backward(block.attn->backward(dx)));
+    if (overlap_active()) {
+      // This block's gradients are final: release its buckets while the
+      // remaining (earlier) blocks still have backward compute to hide
+      // the allreduce latency behind.
+      std::vector<nn::Parameter*> done;
+      for (nn::Parameter* p : block.moe->parameters()) done.push_back(p);
+      for (nn::Parameter* p : block.ln2->parameters()) done.push_back(p);
+      for (nn::Parameter* p : block.attn->parameters()) done.push_back(p);
+      for (nn::Parameter* p : block.ln1->parameters()) done.push_back(p);
+      overlap_notify(done);
+    }
   }
   {
     auto pd = dx.f32();
@@ -107,8 +121,12 @@ void DistMoETransformerLM::backward_hidden(const Tensor& dhidden) {
   }
   if (vp_embedding_) {
     vp_embedding_->backward(dx);
+    overlap_notify(
+        std::array<nn::Parameter*, 2>{&pos_embedding_, &vp_embedding_->table()});
   } else {
     embedding_.backward(dx);
+    overlap_notify(
+        std::array<nn::Parameter*, 2>{&pos_embedding_, &embedding_.table()});
   }
 }
 
@@ -121,7 +139,9 @@ Tensor DistMoETransformerLM::forward(std::span<const std::int32_t> tokens) {
 void DistMoETransformerLM::backward(const Tensor& dlogits) {
   BGL_ENSURE(!vp_head_,
              "vocab-parallel model: use forward_loss/backward_from_loss");
-  backward_hidden(head_.backward(dlogits));
+  const Tensor dhidden = head_.backward(dlogits);
+  overlap_notify(head_.parameters());
+  backward_hidden(dhidden);
 }
 
 double DistMoETransformerLM::forward_loss(
@@ -138,11 +158,44 @@ double DistMoETransformerLM::forward_loss(
 
 void DistMoETransformerLM::backward_from_loss() {
   BGL_CHECK(cached_dhidden_.defined());
+  // The fused loss already accumulated the head-shard gradient during
+  // forward_loss, so it is final before the hidden stack unwinds.
+  if (vp_head_) overlap_notify(std::array<nn::Parameter*, 1>{&vp_head_->weight()});
   backward_hidden(cached_dhidden_);
   cached_dhidden_ = Tensor();
 }
 
+void DistMoETransformerLM::begin_overlapped_sync() {
+  BGL_CHECK(!overlap_active());
+  const auto experts = expert_parameters();
+  const auto replicated = replicated_parameters();
+  // Disjoint salt ranges keep the two sessions' tag windows apart (belt and
+  // braces — their communicators already differ).
+  overlap_experts_ = dp_.begin_async_sync(dp_comm_, experts, /*salt_base=*/0);
+  overlap_replicated_ =
+      dp_.begin_async_sync(world_, replicated, /*salt_base=*/512);
+}
+
+void DistMoETransformerLM::overlap_notify(
+    std::span<nn::Parameter* const> params) {
+  if (!overlap_active()) return;
+  for (nn::Parameter* p : params) {
+    overlap_experts_->notify_ready(p);
+    overlap_replicated_->notify_ready(p);
+  }
+}
+
 void DistMoETransformerLM::sync_gradients() {
+  if (overlap_active()) {
+    // Drain the overlapped sessions armed by begin_overlapped_sync() —
+    // identical bucket plans and ring arithmetic, so the averaged
+    // gradients are bitwise-identical to the synchronous path below.
+    overlap_experts_->finish();
+    overlap_replicated_->finish();
+    overlap_experts_.reset();
+    overlap_replicated_.reset();
+    return;
+  }
   const auto experts = expert_parameters();
   dp_.sync_gradients(dp_comm_, experts);
   const auto replicated = replicated_parameters();

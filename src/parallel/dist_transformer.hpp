@@ -65,7 +65,25 @@ class DistMoETransformerLM {
 
   /// Averages gradients along the correct dimensions: dense + gates over
   /// the world, experts over the DP communicator. Collective.
+  ///
+  /// When an overlapped sync is armed (begin_overlapped_sync), this drains
+  /// the in-flight bucket allreduces instead of launching fresh ones —
+  /// same bucket plan, same ring arithmetic, bitwise-identical gradients.
   void sync_gradients();
+
+  /// Arms overlapped gradient synchronization for the next backward pass:
+  /// as backward finalizes each layer's gradients, their buckets'
+  /// allreduces launch immediately (experts over DP, dense + gates over the
+  /// world) and overlap the remaining backward compute. Call only before
+  /// the backward whose gradients are final (i.e. the last micro-batch of
+  /// an accumulation group); sync_gradients() then drains. Collective in
+  /// effect: every rank must arm the same steps.
+  void begin_overlapped_sync();
+
+  /// True while an armed/overlapped sync has not been drained yet.
+  [[nodiscard]] bool overlap_active() const {
+    return overlap_replicated_ != nullptr;
+  }
 
   /// This rank's local parameters (dense replicas + local expert shard).
   std::vector<nn::Parameter*> parameters();
@@ -119,6 +137,17 @@ class DistMoETransformerLM {
   std::vector<nn::Parameter*> replicated_parameters();
   /// EP-sharded expert parameters.
   std::vector<nn::Parameter*> expert_parameters();
+
+  /// Reports finalized gradients to the armed overlap sessions (no-op when
+  /// overlap is not active; sessions ignore parameters they don't own).
+  void overlap_notify(std::span<nn::Parameter* const> params);
+
+  /// In-flight overlapped sync (null outside an armed step). Experts
+  /// reduce over dp_comm_, everything else over world_; the sessions use
+  /// disjoint async-tag salt ranges so their collectives cannot cross-match
+  /// even if the two communicators share ranks.
+  std::unique_ptr<DataParallel::GradSyncSession> overlap_experts_;
+  std::unique_ptr<DataParallel::GradSyncSession> overlap_replicated_;
 
   model::MoEModelConfig config_;
   MoDaLayout layout_;

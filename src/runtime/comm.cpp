@@ -61,6 +61,33 @@ constexpr const char* kRecvWait[kNumCommKinds] = {
     "comm.reduce_scatter.recv.wait_s", "comm.allreduce.recv.wait_s",
     "comm.alltoall.recv.wait_s",      "comm.alltoallv.recv.wait_s"};
 
+constexpr const char* kPendingWait[kNumCommKinds] = {
+    "comm.p2p.pending.wait_s",           "comm.bcast.pending.wait_s",
+    "comm.gather.pending.wait_s",        "comm.allgather.pending.wait_s",
+    "comm.reduce_scatter.pending.wait_s", "comm.allreduce.pending.wait_s",
+    "comm.alltoall.pending.wait_s",      "comm.alltoallv.pending.wait_s"};
+
+/// Outstanding nonblocking ops posted by this rank thread. Thread-local
+/// because ranks are threads (DESIGN.md §1); exported as the
+/// comm.pending.depth gauge of the rank's registry.
+thread_local int g_pending_depth = 0;
+
+void pending_posted() {
+  ++g_pending_depth;
+  if (obs::metrics_enabled()) {
+    obs::count("comm.pending.posted");
+    obs::set_gauge("comm.pending.depth", g_pending_depth);
+  }
+}
+
+void pending_completed() {
+  --g_pending_depth;
+  if (obs::metrics_enabled()) {
+    obs::count("comm.pending.completed");
+    obs::set_gauge("comm.pending.depth", g_pending_depth);
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -115,11 +142,48 @@ class Fabric {
     box.cv.notify_all();
   }
 
+  /// Fault-injector op accounting for `world_rank` (one blocking recv or
+  /// one posted irecv). May raise RankFailureError at the kill point.
+  void note_op(int world_rank) {
+    if (options_.fault_injector != nullptr)
+      options_.fault_injector->on_op(world_rank);
+  }
+
   std::vector<std::byte> recv(std::uint64_t comm_id, int src_world,
                               int self_world, int tag) {
-    if (options_.fault_injector != nullptr)
-      options_.fault_injector->on_op(self_world);
+    note_op(self_world);
+    return wait_posted(comm_id, src_world, self_world, tag);
+  }
 
+  /// Nonblocking matching attempt for a posted receive: pops the head
+  /// message of (comm, src, tag) if one is deliverable (present and past
+  /// any injected delay). Throws on poison or CRC mismatch.
+  bool try_pop(std::uint64_t comm_id, int src_world, int self_world, int tag,
+               std::vector<std::byte>& out) {
+    Mailbox& box = boxes_.at(static_cast<std::size_t>(self_world));
+    const Key key{comm_id, src_world, tag};
+    Message msg;
+    {
+      std::unique_lock<std::mutex> lock(box.mutex);
+      throw_if_poisoned();
+      const auto it = box.queues.find(key);
+      if (it == box.queues.end() || it->second.empty()) return false;
+      Message& head = it->second.front();
+      if (head.ready_at != Clock::time_point{} && head.ready_at > Clock::now())
+        return false;  // still "in flight" under an injected delay
+      msg = std::move(head);
+      it->second.pop_front();
+      if (it->second.empty()) box.queues.erase(it);
+    }
+    verify_crc(msg, comm_id, src_world, self_world, tag);
+    out = std::move(msg.payload);
+    return true;
+  }
+
+  /// Blocking completion of an already-posted receive (no op accounting —
+  /// the post counted). This is the matching loop of the classic recv().
+  std::vector<std::byte> wait_posted(std::uint64_t comm_id, int src_world,
+                                     int self_world, int tag) {
     Mailbox& box = boxes_.at(static_cast<std::size_t>(self_world));
     const Key key{comm_id, src_world, tag};
     const bool bounded = options_.timeout_s > 0.0;
@@ -175,18 +239,7 @@ class Fabric {
       it->second.pop_front();
       if (it->second.empty()) box.queues.erase(it);
       lock.unlock();
-      if (msg.checksummed) {
-        const std::uint32_t got = crc32(msg.payload);
-        if (got != msg.crc) {
-          obs::count("comm.crc.failures");
-          std::ostringstream os;
-          os << "corrupt message: CRC mismatch on comm " << comm_id << " src "
-             << src_world << " -> dst " << self_world << " tag " << tag << " ("
-             << msg.payload.size() << " bytes, expected crc " << msg.crc
-             << ", got " << got << ")";
-          throw CorruptMessageError(os.str());
-        }
-      }
+      verify_crc(msg, comm_id, src_world, self_world, tag);
       return std::move(msg.payload);
     }
   }
@@ -286,6 +339,19 @@ class Fabric {
     std::uint64_t phase = 0;
   };
 
+  static void verify_crc(const Message& msg, std::uint64_t comm_id, int src,
+                         int dst, int tag) {
+    if (!msg.checksummed) return;
+    const std::uint32_t got = crc32(msg.payload);
+    if (got == msg.crc) return;
+    obs::count("comm.crc.failures");
+    std::ostringstream os;
+    os << "corrupt message: CRC mismatch on comm " << comm_id << " src " << src
+       << " -> dst " << dst << " tag " << tag << " (" << msg.payload.size()
+       << " bytes, expected crc " << msg.crc << ", got " << got << ")";
+    throw CorruptMessageError(os.str());
+  }
+
   [[noreturn]] static void throw_recv_timeout(std::uint64_t comm_id, int src,
                                               int dst, int tag) {
     std::ostringstream os;
@@ -354,6 +420,105 @@ std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
   obs::count(kRecvBytes[k], static_cast<std::int64_t>(payload.size()));
   obs::observe(kRecvWait[k], wait_s);
   return payload;
+}
+
+/// Shared state of one nonblocking op. Accessed only by the posting rank
+/// thread (PendingOp is not a cross-thread handle); the fabric provides the
+/// synchronized mailbox access underneath.
+struct PendingOp::State {
+  std::shared_ptr<detail::Fabric> fabric;
+  std::uint64_t comm_id = 0;
+  int src_world = -1;   // peer (recv source); -1 for sends
+  int self_world = -1;  // mailbox owner
+  int tag = 0;
+  bool is_recv = false;
+  bool done = false;
+  std::vector<std::byte> payload;
+
+  void complete(std::vector<std::byte> bytes) {
+    payload = std::move(bytes);
+    done = true;
+    pending_completed();
+    if (obs::metrics_enabled() && is_recv) {
+      const int k = comm_kind_of(tag);
+      obs::count(kRecvMsgs[k]);
+      obs::count(kRecvBytes[k], static_cast<std::int64_t>(payload.size()));
+    }
+  }
+};
+
+PendingOp::PendingOp() = default;
+PendingOp::PendingOp(PendingOp&&) noexcept = default;
+PendingOp& PendingOp::operator=(PendingOp&&) noexcept = default;
+
+PendingOp::~PendingOp() {
+  // An abandoned pending op leaves its message (if any) queued; only the
+  // outstanding-depth accounting must be unwound.
+  if (state_ && !state_->done) pending_completed();
+}
+
+bool PendingOp::done() const { return state_ == nullptr || state_->done; }
+
+bool PendingOp::test() {
+  if (done()) return true;
+  std::vector<std::byte> bytes;
+  if (!state_->fabric->try_pop(state_->comm_id, state_->src_world,
+                               state_->self_world, state_->tag, bytes))
+    return false;
+  state_->complete(std::move(bytes));
+  return true;
+}
+
+void PendingOp::wait() {
+  if (done()) return;
+  if (!obs::metrics_enabled()) {
+    state_->complete(state_->fabric->wait_posted(
+        state_->comm_id, state_->src_world, state_->self_world, state_->tag));
+    return;
+  }
+  const auto t0 = detail::Clock::now();
+  std::vector<std::byte> bytes = state_->fabric->wait_posted(
+      state_->comm_id, state_->src_world, state_->self_world, state_->tag);
+  obs::observe(kPendingWait[comm_kind_of(state_->tag)],
+               std::chrono::duration<double>(detail::Clock::now() - t0).count());
+  state_->complete(std::move(bytes));
+}
+
+std::vector<std::byte> PendingOp::take_bytes() {
+  wait();
+  BGL_ENSURE(state_ != nullptr, "take_bytes on an empty PendingOp");
+  BGL_ENSURE(state_->is_recv, "take_bytes on a send operation");
+  return std::move(state_->payload);
+}
+
+PendingOp Communicator::isend(int dst, int tag,
+                              std::span<const std::byte> data) const {
+  // The buffered fabric commits the message synchronously, so the handle is
+  // born complete; the metrics/CRC/fault path is exactly send_bytes'.
+  send_bytes(dst, tag, data);
+  PendingOp op;
+  op.state_ = std::make_shared<PendingOp::State>();
+  op.state_->fabric = fabric_;
+  op.state_->comm_id = comm_id_;
+  op.state_->self_world = world_rank(rank_);
+  op.state_->tag = tag;
+  op.state_->done = true;
+  return op;
+}
+
+PendingOp Communicator::irecv(int src, int tag) const {
+  BGL_ENSURE(src >= 0 && src < size(), "irecv from invalid rank " << src);
+  fabric_->note_op(world_rank(rank_));  // post counts as one runtime op
+  PendingOp op;
+  op.state_ = std::make_shared<PendingOp::State>();
+  op.state_->fabric = fabric_;
+  op.state_->comm_id = comm_id_;
+  op.state_->src_world = world_rank(src);
+  op.state_->self_world = world_rank(rank_);
+  op.state_->tag = tag;
+  op.state_->is_recv = true;
+  pending_posted();
+  return op;
 }
 
 void Communicator::barrier() const {

@@ -84,6 +84,65 @@ struct WorldOptions {
   FaultInjector* fault_injector = nullptr;
 };
 
+namespace detail {
+
+/// Reinterprets a byte payload as a vector of trivially copyable T.
+template <typename T>
+[[nodiscard]] std::vector<T> bytes_to_vec(std::vector<std::byte>&& raw) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  BGL_ENSURE(raw.size() % sizeof(T) == 0,
+             "message size " << raw.size() << " not multiple of element");
+  std::vector<T> out(raw.size() / sizeof(T));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+}  // namespace detail
+
+/// Handle to one nonblocking operation posted with Communicator::isend() /
+/// irecv(). Completion is driven by the caller: test() polls without
+/// blocking, wait() blocks (honoring WorldOptions.timeout_s, CRC framing
+/// and fault injection exactly like the blocking recv path). A completed
+/// receive hands its payload out through take_bytes()/take<T>().
+///
+/// Handles are move-only. Abandoning a pending irecv is safe: the matching
+/// message simply stays queued for the next receive of that (src, tag).
+class PendingOp {
+ public:
+  /// An empty, already-complete op (no payload).
+  PendingOp();
+  ~PendingOp();
+  PendingOp(PendingOp&&) noexcept;
+  PendingOp& operator=(PendingOp&&) noexcept;
+  PendingOp(const PendingOp&) = delete;
+  PendingOp& operator=(const PendingOp&) = delete;
+
+  /// True once the operation has completed (payload available for recvs).
+  [[nodiscard]] bool done() const;
+
+  /// Nonblocking progress: attempts to complete the op, returns done().
+  /// May throw CorruptMessageError (CRC) or the poison error.
+  bool test();
+
+  /// Blocks until completion. WorldOptions.timeout_s bounds the wait,
+  /// measured from this call (a TimeoutError names the blocked op).
+  void wait();
+
+  /// Moves out the payload of a completed receive. wait()s if pending.
+  [[nodiscard]] std::vector<std::byte> take_bytes();
+
+  /// Typed payload of a completed receive.
+  template <typename T>
+  [[nodiscard]] std::vector<T> take() {
+    return detail::bytes_to_vec<T>(take_bytes());
+  }
+
+ private:
+  friend class Communicator;
+  struct State;  // defined in comm.cpp
+  std::shared_ptr<State> state_;
+};
+
 /// A group of ranks that can exchange messages and run collectives.
 ///
 /// Communicators are value-ish handles: copying one refers to the same
@@ -122,14 +181,33 @@ class Communicator {
   /// Typed receive; the message length must be a multiple of sizeof(T).
   template <typename T>
   [[nodiscard]] std::vector<T> recv(int src, int tag) const {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::byte> raw = recv_bytes(src, tag);
-    BGL_ENSURE(raw.size() % sizeof(T) == 0,
-               "message size " << raw.size() << " not multiple of element");
-    std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
+    return detail::bytes_to_vec<T>(recv_bytes(src, tag));
   }
+
+  /// --- nonblocking point to point ----------------------------------------
+  /// The nonblocking layer composes with the rest of the runtime: isend
+  /// goes through the same CRC-framing/fault-injection path as send, and a
+  /// PendingOp's wait() honors WorldOptions.timeout_s.
+
+  /// Nonblocking send. On this buffered fabric the message is committed
+  /// immediately (like MPI_Ibsend), so the returned handle is already
+  /// complete; it exists for symmetry with irecv and for call sites written
+  /// against a genuinely asynchronous transport.
+  PendingOp isend(int dst, int tag, std::span<const std::byte> data) const;
+
+  template <typename T>
+  PendingOp isend(int dst, int tag, std::span<const T> data) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend(dst, tag,
+                 std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(data.data()),
+                     data.size() * sizeof(T)));
+  }
+
+  /// Posts a nonblocking receive for one message from `src` with tag `tag`.
+  /// Counts as one runtime op for the fault injector (at post time, like
+  /// the blocking recv).
+  [[nodiscard]] PendingOp irecv(int src, int tag) const;
 
   /// Combined exchange: sends to `dst`, then receives from `src`.
   /// Safe because send is buffered.

@@ -1,0 +1,343 @@
+// Randomized conformance suite for the collective algorithms.
+//
+// Every (collective, algorithm) pair is checked against an independently
+// computed oracle at several world sizes — including non-power-of-two and
+// prime P — with randomized payloads, chunk sizes (including 0), and every
+// legal supernode group width. Allreduce variants (synchronous ring,
+// synchronous recursive doubling, and the AsyncAllreduce state machines
+// built on the nonblocking p2p layer) must agree *bitwise*: integer
+// payloads make float rounding a non-issue, and a separate float pass uses
+// small-integer-valued floats whose sums are exact, so any ordering or
+// matching bug shows up as a hard mismatch rather than an epsilon.
+//
+// The payload generator is seeded from BGL_CONFORMANCE_SEED (default 0);
+// CMake registers repeat runs of this binary under several seeds with the
+// `conformance` ctest label.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "collectives/async.hpp"
+#include "collectives/coll.hpp"
+#include "core/rng.hpp"
+#include "runtime/comm.hpp"
+
+namespace bgl::coll {
+namespace {
+
+std::uint64_t conformance_seed() {
+  static const std::uint64_t seed = [] {
+    const char* v = std::getenv("BGL_CONFORMANCE_SEED");
+    return v == nullptr ? 0ull : std::strtoull(v, nullptr, 10);
+  }();
+  return seed;
+}
+
+// Non-power-of-two (3, 5, 6) and prime (2, 3, 5, 7, 13) sizes included.
+constexpr int kWorldSizes[] = {2, 3, 4, 5, 6, 7, 8, 13};
+
+std::vector<int> divisors_of(int p) {
+  std::vector<int> out;
+  for (int g = 1; g <= p; ++g)
+    if (p % g == 0) out.push_back(g);
+  return out;
+}
+
+/// Deterministic payload element for the all-to-all family: any rank can
+/// reconstruct what (src -> dst)[k] must be, so received data is checked
+/// against an oracle, not just against another algorithm.
+int payload(std::uint64_t seed, int p, int src, int dst, std::size_t k) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(p) << 32));
+  return static_cast<int>(
+      rng.fork(static_cast<std::uint64_t>(src) * 7919 + dst)
+          .fork(k)
+          .next_u64() &
+      0x7FFFFFFF);
+}
+
+/// Randomized per-pair lengths for alltoallv, with zeros forced in ~1/3 of
+/// the pairs (the empty-message edge case the suite exists to pin).
+std::size_t pair_len(std::uint64_t seed, int p, int src, int dst) {
+  Rng rng(seed * 31 + 17 + static_cast<std::uint64_t>(p));
+  Rng fork = rng.fork(static_cast<std::uint64_t>(src) * 104729 + dst);
+  if (fork.uniform_index(3) == 0) return 0;
+  return fork.uniform_index(23) + 1;
+}
+
+TEST(CollConformance, AlltoallAllAlgorithmsMatchOracle) {
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    Rng chunk_rng(seed + static_cast<std::uint64_t>(p) * 1031);
+    // Chunk 0 (empty messages), chunk 1 (degenerate), and a random size.
+    const std::size_t chunks[] = {0, 1, chunk_rng.uniform_index(31) + 2};
+    for (const std::size_t chunk : chunks) {
+      rt::World::run(p, [&](rt::Communicator& comm) {
+        const int me = comm.rank();
+        std::vector<int> send(chunk * static_cast<std::size_t>(p));
+        for (int dst = 0; dst < p; ++dst)
+          for (std::size_t k = 0; k < chunk; ++k)
+            send[chunk * static_cast<std::size_t>(dst) + k] =
+                payload(seed, p, me, dst, k);
+        std::vector<int> expect(chunk * static_cast<std::size_t>(p));
+        for (int src = 0; src < p; ++src)
+          for (std::size_t k = 0; k < chunk; ++k)
+            expect[chunk * static_cast<std::size_t>(src) + k] =
+                payload(seed, p, src, me, k);
+
+        EXPECT_EQ(alltoall<int>(comm, send, chunk, AlltoallAlgo::kPairwise),
+                  expect)
+            << "pairwise P=" << p << " chunk=" << chunk;
+        EXPECT_EQ(alltoall<int>(comm, send, chunk, AlltoallAlgo::kBruck),
+                  expect)
+            << "bruck P=" << p << " chunk=" << chunk;
+        for (const int g : divisors_of(p)) {
+          EXPECT_EQ(alltoall<int>(comm, send, chunk,
+                                  AlltoallAlgo::kHierarchical, g),
+                    expect)
+              << "hierarchical P=" << p << " chunk=" << chunk << " g=" << g;
+        }
+      });
+    }
+  }
+}
+
+TEST(CollConformance, AlltoallvAllAlgorithmsMatchOracle) {
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const int me = comm.rank();
+      std::vector<std::vector<int>> send(static_cast<std::size_t>(p));
+      for (int dst = 0; dst < p; ++dst) {
+        const std::size_t len = pair_len(seed, p, me, dst);
+        auto& buf = send[static_cast<std::size_t>(dst)];
+        buf.resize(len);
+        for (std::size_t k = 0; k < len; ++k)
+          buf[k] = payload(seed, p, me, dst, k);
+      }
+      std::vector<std::vector<int>> expect(static_cast<std::size_t>(p));
+      for (int src = 0; src < p; ++src) {
+        const std::size_t len = pair_len(seed, p, src, me);
+        auto& buf = expect[static_cast<std::size_t>(src)];
+        buf.resize(len);
+        for (std::size_t k = 0; k < len; ++k)
+          buf[k] = payload(seed, p, src, me, k);
+      }
+
+      EXPECT_EQ(alltoallv<int>(comm, send, AlltoallvAlgo::kPairwise), expect)
+          << "pairwise P=" << p;
+      for (const int g : divisors_of(p)) {
+        EXPECT_EQ(alltoallv<int>(comm, send, AlltoallvAlgo::kHierarchical, g),
+                  expect)
+            << "hierarchical P=" << p << " g=" << g;
+      }
+    });
+  }
+}
+
+TEST(CollConformance, AlltoallvAllBuffersEmpty) {
+  for (const int p : {2, 3, 4, 7}) {
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const std::vector<std::vector<int>> send(static_cast<std::size_t>(p));
+      const std::vector<std::vector<int>> expect(static_cast<std::size_t>(p));
+      EXPECT_EQ(alltoallv<int>(comm, send, AlltoallvAlgo::kPairwise), expect);
+      for (const int g : divisors_of(p)) {
+        EXPECT_EQ(alltoallv<int>(comm, send, AlltoallvAlgo::kHierarchical, g),
+                  expect);
+      }
+    });
+  }
+}
+
+TEST(CollConformance, GatherSkipsNothingOnEmptyContributions) {
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : {2, 3, 5, 8}) {
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const int me = comm.rank();
+      // Even ranks contribute nothing; odd ranks contribute rank+1 values.
+      std::vector<int> mine;
+      if (me % 2 == 1) {
+        mine.resize(static_cast<std::size_t>(me) + 1);
+        for (std::size_t k = 0; k < mine.size(); ++k)
+          mine[k] = payload(seed, p, me, 0, k);
+      }
+      for (int root = 0; root < p; ++root) {
+        const std::vector<int> got = gather<int>(comm, mine, root);
+        if (me != root) {
+          EXPECT_TRUE(got.empty());
+          continue;
+        }
+        std::vector<int> expect;
+        for (int src = 1; src < p; src += 2)
+          for (int k = 0; k <= src; ++k)
+            expect.push_back(payload(seed, p, src, 0,
+                                     static_cast<std::size_t>(k)));
+        EXPECT_EQ(got, expect) << "P=" << p << " root=" << root;
+      }
+    });
+  }
+}
+
+TEST(CollConformance, GatherAllContributionsEmpty) {
+  for (const int p : {1, 2, 5}) {
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const std::vector<int> mine;
+      EXPECT_TRUE(gather<int>(comm, mine, 0).empty());
+    });
+  }
+}
+
+/// Per-rank integer contribution; bounded so p<=13 sums never overflow and
+/// float copies stay exactly representable (|sum| < 13 * 512 << 2^24).
+std::vector<int> allreduce_input(std::uint64_t seed, int p, int rank,
+                                 std::size_t n) {
+  Rng rng(seed ^ 0xA11ul ^ (static_cast<std::uint64_t>(p) << 20));
+  Rng fork = rng.fork(static_cast<std::uint64_t>(rank));
+  std::vector<int> out(n);
+  for (auto& v : out)
+    v = static_cast<int>(fork.uniform_index(1024)) - 512;
+  return out;
+}
+
+TEST(CollConformance, AllreduceAlgorithmsBitwiseEqualInt) {
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    Rng size_rng(seed + static_cast<std::uint64_t>(p) * 2693);
+    // Sizes around the ring's block boundaries: 0, 1, < P, == P, and a
+    // random size that does not divide P (exercises padding).
+    const std::size_t sizes[] = {0, 1, static_cast<std::size_t>(p),
+                                 static_cast<std::size_t>(p) + 3,
+                                 size_rng.uniform_index(97) + 2};
+    for (const std::size_t n : sizes) {
+      rt::World::run(p, [&](rt::Communicator& comm) {
+        const std::vector<int> mine =
+            allreduce_input(seed, p, comm.rank(), n);
+        std::vector<int> expect(n, 0);
+        for (int r = 0; r < p; ++r) {
+          const std::vector<int> theirs = allreduce_input(seed, p, r, n);
+          for (std::size_t i = 0; i < n; ++i) expect[i] += theirs[i];
+        }
+        std::vector<int> ring = mine;
+        allreduce_sum<int>(comm, ring, AllreduceAlgo::kRing);
+        EXPECT_EQ(ring, expect) << "ring P=" << p << " n=" << n;
+        std::vector<int> doubling = mine;
+        allreduce_sum<int>(comm, doubling, AllreduceAlgo::kRecursiveDoubling);
+        EXPECT_EQ(doubling, expect) << "doubling P=" << p << " n=" << n;
+      });
+    }
+  }
+}
+
+TEST(CollConformance, AllreduceAlgorithmsBitwiseEqualFloat) {
+  // Small-integer-valued floats sum exactly, so every algorithm — and every
+  // addition order — must produce the identical bit pattern.
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : {3, 4, 8, 13}) {
+    const std::size_t n = 37;  // does not divide any of the sizes
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const std::vector<int> ints = allreduce_input(seed, p, comm.rank(), n);
+      std::vector<float> mine(ints.begin(), ints.end());
+      std::vector<int> isum(n, 0);
+      for (int r = 0; r < p; ++r) {
+        const std::vector<int> theirs = allreduce_input(seed, p, r, n);
+        for (std::size_t i = 0; i < n; ++i) isum[i] += theirs[i];
+      }
+      const std::vector<float> expect(isum.begin(), isum.end());
+      for (const AllreduceAlgo algo :
+           {AllreduceAlgo::kRing, AllreduceAlgo::kRecursiveDoubling}) {
+        std::vector<float> got = mine;
+        allreduce_sum<float>(comm, got, algo);
+        ASSERT_EQ(got.size(), expect.size());
+        EXPECT_EQ(std::memcmp(got.data(), expect.data(),
+                              n * sizeof(float)),
+                  0)
+            << allreduce_algo_name(algo) << " P=" << p;
+      }
+    });
+  }
+}
+
+TEST(CollConformance, AsyncAllreduceBitwiseMatchesSync) {
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : {2, 3, 4, 7, 8, 13}) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{53}}) {
+      rt::World::run(p, [&](rt::Communicator& comm) {
+        const std::vector<int> ints =
+            allreduce_input(seed, p, comm.rank(), n);
+        const std::vector<float> mine(ints.begin(), ints.end());
+        for (const AllreduceAlgo algo :
+             {AllreduceAlgo::kRing, AllreduceAlgo::kRecursiveDoubling}) {
+          std::vector<float> sync = mine;
+          allreduce_sum<float>(comm, sync, algo);
+          AsyncAllreduce<float> async(comm, mine, algo);
+          async.wait();
+          ASSERT_EQ(async.result().size(), sync.size());
+          if (n > 0) {
+            EXPECT_EQ(std::memcmp(async.result().data(), sync.data(),
+                                  n * sizeof(float)),
+                      0)
+                << allreduce_algo_name(algo) << " P=" << p << " n=" << n;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollConformance, ConcurrentAsyncAllreducesDoNotCrossMatch) {
+  // Several async allreduces in flight at once on one communicator, driven
+  // in a different interleaving on every rank. Salted tag windows must keep
+  // their messages apart; each result must match its own synchronous run.
+  const std::uint64_t seed = conformance_seed();
+  constexpr int kInFlight = 4;
+  for (const int p : {2, 3, 4, 8}) {
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const int me = comm.rank();
+      std::vector<std::vector<float>> inputs;
+      std::vector<std::vector<float>> sync(kInFlight);
+      for (int j = 0; j < kInFlight; ++j) {
+        const std::vector<int> ints = allreduce_input(
+            seed + static_cast<std::uint64_t>(j) * 65537, p, me, 29);
+        inputs.emplace_back(ints.begin(), ints.end());
+      }
+      for (int j = 0; j < kInFlight; ++j) {
+        sync[static_cast<std::size_t>(j)] = inputs[static_cast<std::size_t>(j)];
+        allreduce_sum<float>(comm, sync[static_cast<std::size_t>(j)]);
+      }
+      std::vector<AsyncAllreduce<float>> async;
+      async.reserve(kInFlight);
+      for (int j = 0; j < kInFlight; ++j) {
+        async.emplace_back(comm,
+                           std::span<const float>(
+                               inputs[static_cast<std::size_t>(j)]),
+                           AllreduceAlgo::kRing, /*salt=*/j);
+      }
+      // Rank-dependent polling order: rank r starts at instance r % k.
+      for (;;) {
+        bool all_done = true;
+        bool moved = false;
+        for (int step = 0; step < kInFlight; ++step) {
+          auto& op = async[static_cast<std::size_t>((me + step) % kInFlight)];
+          if (op.done()) continue;
+          if (op.progress()) moved = true;
+          else all_done = false;
+        }
+        if (all_done) break;
+        if (!moved) std::this_thread::yield();
+      }
+      for (int j = 0; j < kInFlight; ++j) {
+        EXPECT_EQ(std::memcmp(async[static_cast<std::size_t>(j)].result().data(),
+                              sync[static_cast<std::size_t>(j)].data(),
+                              29 * sizeof(float)),
+                  0)
+            << "instance " << j << " P=" << p;
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace bgl::coll

@@ -243,20 +243,22 @@ TEST(FaultInjector, DelayDefersDelivery) {
   FaultInjector injector(config);
   WorldOptions options;
   options.fault_injector = &injector;
-  double waited_s = 0.0;
+  // Measure delivery relative to the *send* (the delay clock starts there;
+  // under scheduler load the receiver may not even be running yet).
+  std::chrono::steady_clock::time_point sent_at;
+  std::chrono::steady_clock::time_point delivered_at;
   World::run(2, options, [&](Communicator& comm) {
     if (comm.rank() == 0) {
       const std::vector<int> data{9};
+      sent_at = std::chrono::steady_clock::now();
       comm.send<int>(1, 0, data);
     } else {
-      const auto start = std::chrono::steady_clock::now();
       EXPECT_EQ(comm.recv<int>(0, 0)[0], 9);
-      waited_s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
+      delivered_at = std::chrono::steady_clock::now();
     }
   });
-  EXPECT_GE(waited_s, 0.04);
+  EXPECT_GE(std::chrono::duration<double>(delivered_at - sent_at).count(),
+            0.04);
 }
 
 TEST(FaultInjector, DelayLongerThanTimeoutFires) {

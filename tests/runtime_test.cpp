@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/error.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
 
 namespace bgl::rt {
 namespace {
@@ -265,6 +268,149 @@ TEST(P2P, RandomizedStressNoDeadlockNoCorruption) {
       }
     }
   });
+}
+
+TEST(Nonblocking, IsendIrecvRoundTrip) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{4, 5, 6};
+      PendingOp op = comm.isend<int>(1, 11, data);
+      // Buffered fabric: sends are born complete.
+      EXPECT_TRUE(op.done());
+      op.wait();  // idempotent on a complete op
+    } else {
+      PendingOp op = comm.irecv(0, 11);
+      const std::vector<int> got = op.take<int>();  // waits internally
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_EQ(got[1], 5);
+      EXPECT_TRUE(op.done());
+    }
+  });
+}
+
+TEST(Nonblocking, TestPollsUntilMessageArrives) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      // Receiver posts first and polls; hold the send until it signals.
+      (void)comm.recv<int>(1, 1);  // "receiver is polling" signal
+      const std::vector<int> data{42};
+      comm.send<int>(1, 2, data);
+    } else {
+      PendingOp op = comm.irecv(0, 2);
+      EXPECT_FALSE(op.test());  // nothing sent yet
+      const std::vector<int> go{1};
+      comm.send<int>(0, 1, go);
+      while (!op.test()) std::this_thread::yield();
+      EXPECT_EQ(op.take<int>()[0], 42);
+    }
+  });
+}
+
+TEST(Nonblocking, ManyOutstandingIrecvsCompleteByTag) {
+  World::run(2, [](Communicator& comm) {
+    constexpr int kN = 16;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        const std::vector<int> d{i * i};
+        comm.send<int>(1, i, d);
+      }
+    } else {
+      std::vector<PendingOp> ops;
+      // Post in reverse tag order; completion must match by tag.
+      for (int i = kN - 1; i >= 0; --i) ops.push_back(comm.irecv(0, i));
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(ops[i].take<int>()[0],
+                  (kN - 1 - i) * (kN - 1 - i));
+      }
+    }
+  });
+}
+
+TEST(Nonblocking, AbandonedIrecvIsHarmless) {
+  // Dropping a pending op on the floor must not deadlock, throw, or
+  // corrupt the pending-depth accounting of later ops.
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 1) {
+      { PendingOp abandoned = comm.irecv(0, 77); }
+      const std::vector<int> ping{1};
+      comm.send<int>(0, 0, ping);
+      EXPECT_EQ(comm.recv<int>(0, 77)[0], 7);  // blocking recv still matches
+    } else {
+      (void)comm.recv<int>(1, 0);
+      const std::vector<int> d{7};
+      comm.send<int>(1, 77, d);
+    }
+  });
+}
+
+TEST(Nonblocking, WaitHonorsTimeout) {
+  WorldOptions options;
+  options.timeout_s = 0.05;
+  EXPECT_THROW(World::run(2, options,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 1) {
+                              PendingOp op = comm.irecv(0, 0);  // never sent
+                              op.wait();
+                            }
+                          }),
+               TimeoutError);
+}
+
+TEST(Nonblocking, ChecksumVerifiedOnCompletion) {
+  FaultConfig config;
+  config.seed = 11;
+  config.corrupt_prob = 1.0;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.checksum_messages = true;
+  options.fault_injector = &injector;
+  EXPECT_THROW(World::run(2, options,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) {
+                              const std::vector<int> d{1, 2, 3};
+                              comm.send<int>(1, 0, d);
+                            } else {
+                              PendingOp op = comm.irecv(0, 0);
+                              (void)op.take<int>();
+                            }
+                          }),
+               CorruptMessageError);
+}
+
+TEST(Nonblocking, InjectedDelayDefersTestCompletion) {
+  FaultConfig config;
+  config.seed = 3;
+  config.delay_prob = 1.0;
+  config.delay_s = 0.05;
+  FaultInjector injector(config);
+  WorldOptions options;
+  options.fault_injector = &injector;
+  std::chrono::steady_clock::time_point sent_at;
+  std::chrono::steady_clock::time_point delivered_at;
+  World::run(2, options, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> d{5};
+      sent_at = std::chrono::steady_clock::now();
+      comm.send<int>(1, 0, d);
+    } else {
+      PendingOp op = comm.irecv(0, 0);
+      while (!op.test()) std::this_thread::yield();
+      delivered_at = std::chrono::steady_clock::now();
+      EXPECT_EQ(op.take<int>()[0], 5);
+    }
+  });
+  EXPECT_GE(std::chrono::duration<double>(delivered_at - sent_at).count(),
+            0.04);
+}
+
+TEST(Nonblocking, PoisonWakesPendingWait) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) throw Error("rank 0 died");
+                            PendingOp op = comm.irecv(0, 0);
+                            op.wait();
+                          }),
+               Error);
 }
 
 class WorldSizeTest : public ::testing::TestWithParam<int> {};

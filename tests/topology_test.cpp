@@ -1,7 +1,12 @@
 // Tests for the machine topology model: placement arithmetic, level
-// classification, link selection, preset validity.
+// classification, link selection, preset validity — plus sanity properties
+// of the alpha-beta collective cost models evaluated on it (monotonicity in
+// ranks and bytes, supernode-aligned grouping edge cases).
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "collectives/coll_cost.hpp"
 #include "core/error.hpp"
 #include "topology/machine.hpp"
 
@@ -88,6 +93,165 @@ TEST(MachineSpec, SupernodeCountRoundsUp) {
 TEST(MachineSpec, LinkOnSelfLevelThrows) {
   const MachineSpec spec = MachineSpec::test_cluster();
   EXPECT_THROW((void)spec.link(Level::kSelf), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model properties. A machine wide enough to exercise every placement
+// regime: 2 ranks/node, 4 nodes/supernode -> 8 ranks/supernode, 64 ranks.
+// ---------------------------------------------------------------------------
+
+MachineSpec cost_cluster() { return MachineSpec::test_cluster(32, 4, 2); }
+
+const std::vector<double> kByteSteps{0.0, 64.0, 4096.0, 1 << 16, 1 << 22};
+
+TEST(CollCost, AlltoallNonDecreasingInBytesEveryAlgorithm) {
+  const MachineSpec spec = cost_cluster();
+  for (const std::int64_t ranks : {2, 5, 8, 16, 64}) {
+    for (std::size_t i = 0; i + 1 < kByteSteps.size(); ++i) {
+      EXPECT_LE(coll::alltoall_cost(spec, ranks, kByteSteps[i],
+                                    coll::AlltoallAlgo::kPairwise),
+                coll::alltoall_cost(spec, ranks, kByteSteps[i + 1],
+                                    coll::AlltoallAlgo::kPairwise))
+          << "pairwise ranks=" << ranks;
+      EXPECT_LE(coll::alltoall_cost(spec, ranks, kByteSteps[i],
+                                    coll::AlltoallAlgo::kBruck),
+                coll::alltoall_cost(spec, ranks, kByteSteps[i + 1],
+                                    coll::AlltoallAlgo::kBruck))
+          << "bruck ranks=" << ranks;
+      for (std::int64_t g = 1; g <= ranks; ++g) {
+        if (ranks % g != 0) continue;
+        EXPECT_LE(coll::alltoall_cost(spec, ranks, kByteSteps[i],
+                                      coll::AlltoallAlgo::kHierarchical, g),
+                  coll::alltoall_cost(spec, ranks, kByteSteps[i + 1],
+                                      coll::AlltoallAlgo::kHierarchical, g))
+            << "hierarchical ranks=" << ranks << " g=" << g;
+      }
+    }
+  }
+}
+
+TEST(CollCost, AlltoallNonDecreasingInRanks) {
+  const MachineSpec spec = cost_cluster();
+  const double bytes = 8192.0;
+  // Includes both supernode-boundary crossings (8 -> 9) and non-powers.
+  const std::int64_t sizes[] = {1, 2, 3, 5, 8, 9, 13, 16, 32, 64};
+  for (std::size_t i = 0; i + 1 < std::size(sizes); ++i) {
+    EXPECT_LE(coll::alltoall_cost(spec, sizes[i], bytes,
+                                  coll::AlltoallAlgo::kPairwise),
+              coll::alltoall_cost(spec, sizes[i + 1], bytes,
+                                  coll::AlltoallAlgo::kPairwise))
+        << "pairwise " << sizes[i] << " -> " << sizes[i + 1];
+    EXPECT_LE(coll::alltoall_cost(spec, sizes[i], bytes,
+                                  coll::AlltoallAlgo::kBruck),
+              coll::alltoall_cost(spec, sizes[i + 1], bytes,
+                                  coll::AlltoallAlgo::kBruck))
+        << "bruck " << sizes[i] << " -> " << sizes[i + 1];
+  }
+  // Hierarchical: ranks must stay a multiple of the group width.
+  for (const std::int64_t g : {1, 2, 4, 8}) {
+    for (const std::int64_t mult : {1, 2, 4}) {
+      EXPECT_LE(coll::alltoall_cost(spec, g * mult, bytes,
+                                    coll::AlltoallAlgo::kHierarchical, g),
+                coll::alltoall_cost(spec, g * mult * 2, bytes,
+                                    coll::AlltoallAlgo::kHierarchical, g))
+          << "hierarchical g=" << g << " ranks=" << g * mult;
+    }
+  }
+}
+
+TEST(CollCost, AllreduceNonDecreasingInBytesAndRanks) {
+  const MachineSpec spec = cost_cluster();
+  for (const auto algo : {coll::AllreduceAlgo::kRing,
+                          coll::AllreduceAlgo::kRecursiveDoubling}) {
+    for (const std::int64_t ranks : {2, 3, 7, 8, 16, 64}) {
+      for (std::size_t i = 0; i + 1 < kByteSteps.size(); ++i) {
+        EXPECT_LE(coll::allreduce_cost(spec, ranks, kByteSteps[i], algo),
+                  coll::allreduce_cost(spec, ranks, kByteSteps[i + 1], algo))
+            << coll::allreduce_algo_name(algo) << " ranks=" << ranks;
+      }
+    }
+    const std::int64_t sizes[] = {1, 2, 3, 5, 8, 9, 16, 33, 64};
+    for (std::size_t i = 0; i + 1 < std::size(sizes); ++i) {
+      EXPECT_LE(coll::allreduce_cost(spec, sizes[i], 1 << 20, algo),
+                coll::allreduce_cost(spec, sizes[i + 1], 1 << 20, algo))
+          << coll::allreduce_algo_name(algo) << " " << sizes[i] << " -> "
+          << sizes[i + 1];
+    }
+  }
+}
+
+TEST(CollCost, TwoLevelAllreduceModelsNonDecreasing) {
+  const MachineSpec spec = cost_cluster();
+  for (const std::int64_t g : {1, 2, 4, 8}) {
+    // In bytes, at fixed (ranks, group).
+    for (std::size_t i = 0; i + 1 < kByteSteps.size(); ++i) {
+      EXPECT_LE(
+          coll::hierarchical_allreduce_cost(spec, 8 * g, kByteSteps[i], g),
+          coll::hierarchical_allreduce_cost(spec, 8 * g, kByteSteps[i + 1], g))
+          << "hierarchical g=" << g;
+      EXPECT_LE(
+          coll::two_level_sharded_allreduce_cost(spec, 8 * g, kByteSteps[i], g),
+          coll::two_level_sharded_allreduce_cost(spec, 8 * g,
+                                                 kByteSteps[i + 1], g))
+          << "sharded g=" << g;
+    }
+    // In ranks (multiples of the group width), at fixed bytes.
+    for (const std::int64_t mult : {1, 2, 4}) {
+      EXPECT_LE(
+          coll::hierarchical_allreduce_cost(spec, g * mult, 1 << 20, g),
+          coll::hierarchical_allreduce_cost(spec, g * mult * 2, 1 << 20, g))
+          << "hierarchical g=" << g << " ranks=" << g * mult;
+      EXPECT_LE(
+          coll::two_level_sharded_allreduce_cost(spec, g * mult, 1 << 20, g),
+          coll::two_level_sharded_allreduce_cost(spec, g * mult * 2, 1 << 20,
+                                                 g))
+          << "sharded g=" << g << " ranks=" << g * mult;
+    }
+  }
+}
+
+TEST(CollCost, GroupingEdgeCases) {
+  const MachineSpec spec = cost_cluster();
+  const std::int64_t rps = spec.ranks_per_supernode();
+  EXPECT_EQ(rps, 8);
+  // Degenerate group widths collapse to one phase each: group 1 has no
+  // intra phase, group == ranks has no cross phase; both send P-1 messages,
+  // like pairwise.
+  for (const std::int64_t p : {4, 8, 16}) {
+    EXPECT_EQ(coll::alltoall_messages_per_rank(
+                  p, coll::AlltoallAlgo::kHierarchical, 1),
+              p - 1);
+    EXPECT_EQ(coll::alltoall_messages_per_rank(
+                  p, coll::AlltoallAlgo::kHierarchical, p),
+              p - 1);
+    EXPECT_EQ(coll::alltoall_messages_per_rank(
+                  p, coll::AlltoallAlgo::kPairwise),
+              p - 1);
+  }
+  // A proper supernode-aligned group strictly reduces message count.
+  EXPECT_LT(coll::alltoall_messages_per_rank(
+                64, coll::AlltoallAlgo::kHierarchical, rps),
+            coll::alltoall_messages_per_rank(64, coll::AlltoallAlgo::kPairwise));
+  // Misaligned widths are rejected, not silently rounded.
+  EXPECT_THROW(coll::alltoall_cost(spec, 8, 1024.0,
+                                   coll::AlltoallAlgo::kHierarchical, 3),
+               Error);
+  EXPECT_THROW(coll::hierarchical_allreduce_cost(spec, 10, 1024.0, 4), Error);
+  EXPECT_THROW(coll::two_level_sharded_allreduce_cost(spec, 10, 1024.0, 4),
+               Error);
+  // Ranks beyond the machine are rejected too.
+  EXPECT_THROW(coll::alltoall_cost(spec, spec.total_processes() + 1, 1.0,
+                                   coll::AlltoallAlgo::kPairwise),
+               Error);
+}
+
+TEST(CollCost, SingleRankCollectivesAreFree) {
+  const MachineSpec spec = cost_cluster();
+  EXPECT_EQ(coll::alltoall_cost(spec, 1, 1e6, coll::AlltoallAlgo::kPairwise),
+            0.0);
+  EXPECT_EQ(coll::allreduce_cost(spec, 1, 1e6, coll::AllreduceAlgo::kRing),
+            0.0);
+  EXPECT_EQ(coll::two_level_sharded_allreduce_cost(spec, 1, 1e6, 1), 0.0);
 }
 
 }  // namespace
