@@ -1,8 +1,8 @@
-// Fault-tolerance tax — what CRC32C framing and timeout bookkeeping cost on
-// the all-to-all hot path.
+// Fault-tolerance tax — what CRC32C framing, timeout bookkeeping, and the
+// self-healing tiers (DESIGN.md §10) cost on the all-to-all hot path.
 //
-// Four fabric configurations over the same pairwise all-to-all as
-// bench_alltoall: (a) the default fabric (no checksums, no timeout — what
+// Section 1 — four fabric configurations over the same pairwise all-to-all
+// as bench_alltoall: (a) the default fabric (no checksums, no timeout — what
 // bench_alltoall and every fault-free experiment runs; the CRC/timeout
 // machinery is present but dormant, so this IS the "< 5% on bench_alltoall"
 // acceptance budget), (b) CRC32C framing armed, (c) CRC + a generous
@@ -10,6 +10,18 @@
 // (op-count bookkeeping, no faults firing). Reported as message rates and
 // % delta vs (a). Each cell is the best of several repeats — on a shared
 // machine the max rate is the least noisy estimator.
+//
+// Section 2 — the self-healing tiers armed but idle on a clean link:
+// (e) tier 1 ack/retransmit (sequence framing + replay buffers + cumulative
+// acks, no faults to recover from) and (f) tier 1 + tier 2 heartbeat beater
+// threads. The acceptance target is < 2% clean-path overhead vs the default
+// fabric (recorded in BENCH_fault.json): reliability must be close to free
+// when nothing fails, because ElasticTrainer arms it for every run.
+//
+// Section 3 — tier 1 earning its keep: the same all-to-all through a 2%
+// drop + 1% corruption storm, completing via retransmission. There is no
+// clean-fabric equivalent of this column (the storm would poison it); it is
+// reported as absolute rate plus the retransmission count.
 #include <algorithm>
 #include <iostream>
 
@@ -29,28 +41,41 @@ constexpr int kRanks = 16;
 int kIters = 30;
 int kRepeats = 3;
 
-/// Seconds per all-to-all iteration under the given runtime options (best
-/// of kRepeats full worlds).
-double run_case(std::size_t chunk_floats, const rt::WorldOptions& options) {
-  double best = 0.0;
-  for (int rep = 0; rep < kRepeats; ++rep) {
-    double elapsed = 0.0;
-    rt::World::run(kRanks, options, [&](rt::Communicator& comm) {
-      std::vector<float> send(chunk_floats * static_cast<std::size_t>(kRanks),
-                              static_cast<float>(comm.rank()));
-      // Warm-up iteration outside the timed window.
+/// Seconds per all-to-all iteration for one world under `options`.
+double run_once(std::size_t chunk_floats, const rt::WorldOptions& options) {
+  double elapsed = 0.0;
+  rt::World::run(kRanks, options, [&](rt::Communicator& comm) {
+    std::vector<float> send(chunk_floats * static_cast<std::size_t>(kRanks),
+                            static_cast<float>(comm.rank()));
+    // Warm-up iteration outside the timed window.
+    (void)coll::alltoall<float>(comm, send, chunk_floats,
+                                coll::AlltoallAlgo::kPairwise);
+    comm.barrier();
+    Stopwatch watch;
+    for (int i = 0; i < kIters; ++i)
       (void)coll::alltoall<float>(comm, send, chunk_floats,
                                   coll::AlltoallAlgo::kPairwise);
-      comm.barrier();
-      Stopwatch watch;
-      for (int i = 0; i < kIters; ++i)
-        (void)coll::alltoall<float>(comm, send, chunk_floats,
-                                    coll::AlltoallAlgo::kPairwise);
-      comm.barrier();
-      if (comm.rank() == 0) elapsed = watch.elapsed() / kIters;
-    });
-    best = (rep == 0) ? elapsed : std::min(best, elapsed);
-  }
+    comm.barrier();
+    if (comm.rank() == 0) elapsed = watch.elapsed() / kIters;
+  });
+  return elapsed;
+}
+
+/// Best seconds-per-iteration for each configuration, with the repeats
+/// INTERLEAVED (repeat-major, config-minor): on a shared machine the
+/// background load drifts over minutes, so measuring all repeats of one
+/// configuration back-to-back biases the deltas by whatever the load was
+/// doing at that moment. Round-robin sampling gives every configuration a
+/// draw from the same load windows, which is what makes the best-of deltas
+/// comparable.
+std::vector<double> run_cases(std::size_t chunk_floats,
+                              const std::vector<const rt::WorldOptions*>& cases) {
+  std::vector<double> best(cases.size(), 0.0);
+  for (int rep = 0; rep < kRepeats; ++rep)
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      const double t = run_once(chunk_floats, *cases[c]);
+      best[c] = (rep == 0) ? t : std::min(best[c], t);
+    }
   return best;
 }
 
@@ -63,7 +88,7 @@ std::string delta_pct(double base, double t) {
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke_mode(argc, argv);
   kIters = bench::pick(smoke, 2, 30);
-  kRepeats = bench::pick(smoke, 1, 3);
+  kRepeats = bench::pick(smoke, 1, 5);
   std::cout << "fault-tolerance overhead: pairwise all-to-all, " << kRanks
             << " ranks, " << kIters << " iters, best of " << kRepeats
             << "\n\n";
@@ -81,22 +106,61 @@ int main(int argc, char** argv) {
   rt::WorldOptions instrumented = crc_timeout;
   instrumented.fault_injector = &passive;
 
+  // Section 2 cases: the self-healing tiers, armed but idle.
+  rt::WorldOptions retry_only;
+  retry_only.retry.enabled = true;
+
+  rt::WorldOptions retry_hb = retry_only;
+  retry_hb.heartbeat.interval_ms = 5.0;
+
   TextTable table({"bytes/pair", "msgs/s default", "+crc", "delta",
                    "+crc+timeout", "delta", "+injector", "delta"});
+  TextTable healing({"bytes/pair", "msgs/s default", "+retry", "delta",
+                     "+retry+hb", "delta"});
+  TextTable storm_table(
+      {"bytes/pair", "msgs/s storm", "delta vs armed", "drops", "corrupts"});
   // Per iteration every rank sends kRanks-1 messages.
   const double msgs_per_iter = static_cast<double>(kRanks) * (kRanks - 1);
   std::vector<std::size_t> sizes = {16ul, 256ul, 4096ul, 65536ul};
   if (smoke) sizes = {16ul, 4096ul};
   for (const std::size_t floats : sizes) {
-    const double base = run_case(floats, fault_free);
-    const double c = run_case(floats, crc);
-    const double ct = run_case(floats, crc_timeout);
-    const double inj = run_case(floats, instrumented);
+    // Section 3 configurations: the same exchange through a drop/corruption
+    // storm, fully armed (CRC + timeout + retry). Compared against the
+    // armed-but-idle full stack, not the bare fabric: the delta is the
+    // price of the faults themselves, all absorbed by retransmission.
+    rt::WorldOptions armed = crc_timeout;
+    armed.retry.enabled = true;
+    rt::FaultInjector storm_injector(
+        {.seed = 7, .drop_prob = 0.02, .corrupt_prob = 0.01});
+    rt::WorldOptions stormy = armed;
+    stormy.fault_injector = &storm_injector;
+
+    const std::vector<double> t =
+        run_cases(floats, {&fault_free, &crc, &crc_timeout, &instrumented,
+                           &retry_only, &retry_hb, &armed, &stormy});
+    const double base = t[0], c = t[1], ct = t[2], inj = t[3];
+    const double retry = t[4], hb = t[5], armed_clean = t[6], stormed = t[7];
     table.add_row({format_bytes(static_cast<double>(floats * 4)),
                    strf("%.0f", msgs_per_iter / base),
                    strf("%.0f", msgs_per_iter / c), delta_pct(base, c),
                    strf("%.0f", msgs_per_iter / ct), delta_pct(base, ct),
                    strf("%.0f", msgs_per_iter / inj), delta_pct(base, inj)});
+
+    healing.add_row({format_bytes(static_cast<double>(floats * 4)),
+                     strf("%.0f", msgs_per_iter / base),
+                     strf("%.0f", msgs_per_iter / retry),
+                     delta_pct(base, retry),
+                     strf("%.0f", msgs_per_iter / hb), delta_pct(base, hb)});
+    int drops = 0;
+    int corrupts = 0;
+    for (const rt::FaultEvent& e : storm_injector.events()) {
+      if (e.type == rt::FaultType::kDrop) ++drops;
+      if (e.type == rt::FaultType::kCorrupt) ++corrupts;
+    }
+    storm_table.add_row({format_bytes(static_cast<double>(floats * 4)),
+                         strf("%.0f", msgs_per_iter / stormed),
+                         delta_pct(armed_clean, stormed), strf("%d", drops),
+                         strf("%d", corrupts)});
   }
   table.print(std::cout);
   std::cout << "\n(positive delta = slower than the default fabric; the\n"
@@ -104,5 +168,15 @@ int main(int argc, char** argv) {
                " dormant machinery's cost there is the acceptance budget.\n"
                " Armed CRC uses the SSE4.2 crc32 instruction when the CPU\n"
                " has it, slicing-by-8 otherwise.)\n";
+  std::cout << "\nself-healing tiers, armed but idle (clean link; target "
+               "< 2% delta):\n";
+  healing.print(std::cout);
+  std::cout << "\n(+retry = tier 1 sequence framing, replay buffers and\n"
+               " cumulative acks with nothing to retransmit; +retry+hb adds\n"
+               " tier 2 beater threads at 5 ms. ElasticTrainer arms these\n"
+               " for every run, so this idle tax is the one that matters.)\n";
+  std::cout << "\ntier 1 under fire: 2% drop + 1% corruption storm, "
+               "completing via retransmission:\n";
+  storm_table.print(std::cout);
   return 0;
 }

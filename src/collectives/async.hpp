@@ -18,6 +18,18 @@
 //
 // All methods must be called from the owning rank's thread (PendingOp is
 // not a cross-thread handle).
+//
+// Exception safety and tier-3 drain (DESIGN.md §10): progress()/wait() can
+// throw mid-collective — CorruptMessageError / TimeoutError once the retry
+// layer's budget is spent, or rt::EpochInterrupt when a rank death armed an
+// in-place shrink. An instance that threw is dead: its partial rounds must
+// not be resumed, because peer ranks will never complete the exchange.
+// Abandoning it is always safe — destroying the instance releases its
+// PendingOps, any messages still queued for its tag window sit harmlessly
+// in the old epoch's mailboxes, and Communicator::shrink() purges them
+// (with the replay buffers and barrier phases) before survivors resume.
+// After a shrink, rebuild collectives on the *new* communicator; the old
+// epoch's communicator raises EpochInterrupt on every op by design.
 #pragma once
 
 #include <span>

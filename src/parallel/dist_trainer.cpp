@@ -52,6 +52,17 @@ DistStepStats DistTrainer::train_step_accumulated(
   const double grad_scale =
       (scaling ? scaler_.scale() : 1.0) * micro_weight;
   lm_.set_grad_scale(grad_scale);
+  // If the step unwinds mid-flight (EpochInterrupt, injected fault), the
+  // model must not keep a stale micro-batch scale: a caller that catches
+  // the error and reuses the model (e.g. after an in-place shrink) would
+  // silently mis-scale every later gradient.
+  struct ScaleGuard {
+    DistMoETransformerLM& lm;
+    bool armed = true;
+    ~ScaleGuard() {
+      if (armed) lm.set_grad_scale(1.0);
+    }
+  } scale_guard{lm_};
   // Overlap requires final gradients at notify time: only the last
   // micro-batch's backward finalizes them, and 16-bit emulation re-rounds
   // gradients after backward, so overlap is armed only for f32 compute.
@@ -107,6 +118,7 @@ DistStepStats DistTrainer::train_step_accumulated(
     stats.phases.alltoall_s += lm_.last_alltoall_s();
   }
   lm_.set_grad_scale(1.0);
+  scale_guard.armed = false;
   emulator_.quantize_grads(params_);
   emulator_.restore_params(params_);
 

@@ -1,8 +1,12 @@
 #include "parallel/elastic_trainer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "parallel/dist_checkpoint.hpp"
 
 namespace bgl::parallel {
@@ -36,52 +40,102 @@ ElasticReport ElasticTrainer::run(const Job& job) {
     const int world_size =
         options_.world_sizes.at(std::min(attempt,
                                          options_.world_sizes.size() - 1));
-    // Attempt-local state. Written only by rank 0's thread while the World
-    // is running, read on this thread after join — no concurrent access.
-    std::vector<double> attempt_losses;
+    // Attempt-local commit log. In shrink_in_place mode several world
+    // epochs — with different rank-0 threads — append to it within one
+    // attempt, so it is mutex-guarded; checkpoint sealing (manifest +
+    // barrier) orders the writes across epochs. Read on this thread only
+    // after World::run joins.
+    std::mutex commit_mutex;
+    std::map<int, double> losses_by_step;  // written by the epoch's rank 0
     std::vector<std::pair<int, std::string>> snapshots;  // (step, prefix)
     int committed_step = start_step;
     std::string committed_prefix = restore_prefix;
+    int shrinks_this_attempt = 0;
+    std::atomic<bool> job_completed{false};
 
     rt::WorldOptions world_options = options_.world;
-    if (attempt > 0) world_options.fault_injector = nullptr;
+    if (attempt > 0 && !options_.persist_fault_injector)
+      world_options.fault_injector = nullptr;
+    if (options_.shrink_in_place) world_options.shrink_on_death = true;
 
     ElasticAttempt attempt_record;
     attempt_record.world_size = world_size;
     attempt_record.start_step = start_step;
 
+    // One world epoch: build the model for the current communicator size,
+    // restore the given snapshot, and step to completion, sealing a
+    // snapshot every checkpoint_interval steps.
+    const auto run_epoch = [&](rt::Communicator& world, int from_step,
+                               const std::string& from_prefix) {
+      std::unique_ptr<DistMoETransformerLM> lm = job.make_model(world);
+      BGL_CHECK(lm != nullptr);
+      if (!from_prefix.empty()) load_dist_checkpoint(from_prefix, world, *lm);
+      std::unique_ptr<train::Optimizer> optimizer = job.make_optimizer();
+      BGL_CHECK(optimizer != nullptr);
+      DistTrainer trainer(world, *lm, *optimizer, options_.trainer);
+
+      for (int step = from_step; step < job.total_steps; ++step) {
+        const train::Batch batch =
+            job.next_batch(step, world.rank(), world.size());
+        const DistStepStats stats = trainer.train_step(batch);
+        if (world.rank() == 0) {
+          std::lock_guard<std::mutex> lock(commit_mutex);
+          losses_by_step[step] = stats.global_loss;
+        }
+        if (job.after_step) job.after_step(step, world);
+
+        const int done = step + 1;
+        if (done % options_.checkpoint_interval == 0 &&
+            done < job.total_steps) {
+          const std::string prefix = snapshot_prefix(done);
+          save_dist_checkpoint(prefix, world, *lm);
+          // The snapshot is sealed (manifest written, barrier passed):
+          // work up to `done` is durable.
+          if (world.rank() == 0) {
+            std::lock_guard<std::mutex> lock(commit_mutex);
+            committed_step = done;
+            committed_prefix = prefix;
+            snapshots.emplace_back(done, prefix);
+          }
+        }
+      }
+    };
+
     try {
-      rt::World::run(world_size, world_options, [&](rt::Communicator& world) {
-        std::unique_ptr<DistMoETransformerLM> lm = job.make_model(world);
-        BGL_CHECK(lm != nullptr);
-        if (!restore_prefix.empty())
-          load_dist_checkpoint(restore_prefix, world, *lm);
-        std::unique_ptr<train::Optimizer> optimizer = job.make_optimizer();
-        BGL_CHECK(optimizer != nullptr);
-        DistTrainer trainer(world, *lm, *optimizer, options_.trainer);
-
-        for (int step = start_step; step < job.total_steps; ++step) {
-          const train::Batch batch =
-              job.next_batch(step, world.rank(), world_size);
-          const DistStepStats stats = trainer.train_step(batch);
-          if (world.rank() == 0) attempt_losses.push_back(stats.global_loss);
-          if (job.after_step) job.after_step(step, world);
-
-          const int done = step + 1;
-          if (done % options_.checkpoint_interval == 0 &&
-              done < job.total_steps) {
-            const std::string prefix = snapshot_prefix(done);
-            save_dist_checkpoint(prefix, world, *lm);
-            // The snapshot is sealed (manifest written, barrier passed):
-            // work up to `done` is durable.
+      rt::World::run(world_size, world_options, [&](rt::Communicator& world0) {
+        rt::Communicator world = world0;
+        int from_step = start_step;
+        std::string from_prefix = restore_prefix;
+        for (;;) {
+          try {
+            run_epoch(world, from_step, from_prefix);
+            job_completed.store(true);
+            return;
+          } catch (const rt::EpochInterrupt&) {
+            // A peer died. Abandon this epoch's model and pending ops,
+            // rebuild the fabric collectively, and resume on the world of
+            // survivors from the last sealed snapshot — in place, no
+            // World respawn. (A RankFailureError on *this* rank is not
+            // caught here: it propagates to World::run, which resigns the
+            // rank under shrink_on_death.)
+            world = world.shrink();
+            std::lock_guard<std::mutex> lock(commit_mutex);
+            from_step = committed_step;
+            from_prefix = committed_prefix;
             if (world.rank() == 0) {
-              committed_step = done;
-              committed_prefix = prefix;
-              snapshots.emplace_back(done, prefix);
+              ++shrinks_this_attempt;
+              obs::count("elastic.shrinks");
             }
           }
         }
       });
+      // In shrink mode World::run returns normally even when ranks died —
+      // success is "somebody finished the job", not "nobody threw".
+      if (options_.shrink_in_place && !job_completed.load())
+        throw rt::RankFailureError(
+            "elastic attempt ended without completing the job: every rank "
+            "died or resigned before step " +
+            std::to_string(job.total_steps));
     } catch (const Error&) {
       const bool recoverable = [] {
         try {
@@ -101,9 +155,9 @@ ElasticReport ElasticTrainer::run(const Job& job) {
         report.checkpoints.push_back(prefix);
         report.last_checkpoint = prefix;
       }
-      report.losses.insert(
-          report.losses.end(), attempt_losses.begin(),
-          attempt_losses.begin() + (committed_step - start_step));
+      for (int s = start_step; s < committed_step; ++s)
+        report.losses.push_back(losses_by_step.at(s));
+      report.shrinks += shrinks_this_attempt;
       attempt_record.committed_steps = committed_step - start_step;
       attempt_record.failed = true;
       report.attempts.push_back(attempt_record);
@@ -120,8 +174,9 @@ ElasticReport ElasticTrainer::run(const Job& job) {
       report.checkpoints.push_back(prefix);
       report.last_checkpoint = prefix;
     }
-    report.losses.insert(report.losses.end(), attempt_losses.begin(),
-                         attempt_losses.end());
+    for (int s = start_step; s < job.total_steps; ++s)
+      report.losses.push_back(losses_by_step.at(s));
+    report.shrinks += shrinks_this_attempt;
     attempt_record.committed_steps = job.total_steps - start_step;
     report.attempts.push_back(attempt_record);
     return report;

@@ -16,6 +16,16 @@
 // recovered loss trajectory is bitwise-identical to a clean run restored
 // from the same snapshot on the same world size (asserted by the chaos
 // test in tests/elastic_test.cpp).
+//
+// With `shrink_in_place` (tier 3 of the recovery ladder, DESIGN.md §10)
+// restart is the last resort instead of the first: a confirmed rank death
+// interrupts the survivors with rt::EpochInterrupt, they shrink the fabric
+// in place (Communicator::shrink bumps the communicator epoch and purges
+// stale traffic), rebuild and re-shard the model from the last sealed
+// snapshot at the smaller size, and keep stepping inside the same
+// World::run — no respawn, same `checkpoint_interval - 1` work-loss bound,
+// same bitwise-reproducibility guarantee versus a clean run on the
+// shrunken world.
 #pragma once
 
 #include <functional>
@@ -46,12 +56,34 @@ struct ElasticTrainerOptions {
   int resume_step = 0;
   /// Forwarded to every attempt's DistTrainer.
   DistTrainerOptions trainer;
-  /// Runtime options for every attempt (timeout, checksums). The
-  /// fault_injector field is honored on attempt 0 only — it models the
-  /// environment that kills the initial run; restarts run fault-free.
-  /// Message checksums default ON here (unlike the bare fabric): a trainer
-  /// built for recovery should not trust an unframed link.
-  rt::WorldOptions world{.timeout_s = 0.0, .checksum_messages = true};
+  /// Keep the fault injector installed on restart attempts. Off (the
+  /// default) models an environment whose fault burst killed the initial
+  /// run: restarts run fault-free. On models a persistently hostile
+  /// cluster — every attempt faces the same injector, and recovery must
+  /// succeed through it (the retry layer absorbing its message faults).
+  bool persist_fault_injector = false;
+  /// Tier 3 of the recovery ladder (DESIGN.md §10): on a confirmed rank
+  /// death, do NOT tear the World down — the survivors catch
+  /// EpochInterrupt, drain and shrink the fabric in place
+  /// (Communicator::shrink), re-shard from the last sealed snapshot at the
+  /// smaller size, and keep stepping, all within one World::run. A death
+  /// then costs at most checkpoint_interval - 1 steps of re-execution and
+  /// zero restarts; the world-size schedule is only consulted if the whole
+  /// world dies. Arms rt::WorldOptions.shrink_on_death.
+  bool shrink_in_place = false;
+  /// Runtime options for every attempt (timeout, checksums, retry and
+  /// heartbeat tiers). Two defaults differ from the bare fabric, because a
+  /// trainer built for recovery should not trust a silent or unframed
+  /// link:
+  ///  * timeout_s = 30 (not 0 = wait forever): a silent hang becomes a
+  ///    recoverable TimeoutError instead of a stuck job. Set 0.0
+  ///    explicitly to wait forever; with heartbeats armed the deadline
+  ///    only fires against confirmed-dead peers, so 30s does not kill
+  ///    stragglers.
+  ///  * checksum_messages = true: every payload is CRC-framed.
+  /// The fault_injector field is honored on attempt 0; restarts drop it
+  /// unless persist_fault_injector is set.
+  rt::WorldOptions world{.timeout_s = 30.0, .checksum_messages = true};
 };
 
 /// One World::run lifetime within an elastic job.
@@ -70,6 +102,10 @@ struct ElasticReport {
   std::vector<double> losses;
   std::vector<ElasticAttempt> attempts;
   int restarts = 0;
+  /// In-place world shrinks (tier 3) across all attempts: rank deaths
+  /// absorbed without a World respawn. Nonzero only with
+  /// ElasticTrainerOptions.shrink_in_place.
+  int shrinks = 0;
   /// Snapshot prefixes written and sealed, in step order.
   std::vector<std::string> checkpoints;
   /// Prefix of the last sealed snapshot ("" if none was taken).

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 #include <tuple>
+#include <utility>
 
 #include "core/crc32.hpp"
 #include "obs/metrics.hpp"
@@ -95,18 +96,66 @@ namespace detail {
 using Clock = std::chrono::steady_clock;
 
 /// Shared state for one World: per-rank mailboxes, a phased barrier, a
-/// rendezvous board used by split(), and poison propagation for errors.
+/// rendezvous board used by split(), poison propagation for errors, and the
+/// three recovery tiers of DESIGN.md §10 — send-side replay buffers with
+/// receiver-driven retransmission (tier 1), a heartbeat failure detector
+/// consulted at blocking deadlines (tier 2), and rank-death bookkeeping with
+/// an epoch-bumping collective rebuild (tier 3).
 class Fabric {
  public:
   Fabric(int size, WorldOptions options)
-      : size_(size), options_(options), boxes_(size), board_(size) {}
+      : size_(size),
+        options_(options),
+        boxes_(static_cast<std::size_t>(size)),
+        board_(static_cast<std::size_t>(size)),
+        dead_(static_cast<std::size_t>(size)),
+        alive_count_(size) {
+    senders_.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r)
+      senders_.push_back(std::make_unique<SenderState>());
+    if (options_.heartbeat.interval_ms > 0.0)
+      monitor_ = std::make_unique<HeartbeatMonitor>(
+          size, options_.heartbeat, options_.fault_injector);
+  }
 
   [[nodiscard]] int size() const { return size_; }
 
+  /// Heartbeat lifecycle hooks, driven by World::run around each rank fn.
+  void hb_start(int world_rank) {
+    if (monitor_) monitor_->start(world_rank);
+  }
+  void hb_stop(int world_rank, bool completed) {
+    if (monitor_) monitor_->stop(world_rank, completed);
+  }
+
   void send(std::uint64_t comm_id, int src_world, int dst_world, int tag,
-            std::span<const std::byte> data) {
+            std::span<const std::byte> data, std::uint64_t epoch) {
+    throw_if_interrupted(epoch);
     if (options_.fault_injector != nullptr)
       options_.fault_injector->on_op(src_world);  // may raise RankFailureError
+
+    if (options_.retry.enabled) {
+      // Tier-1 reliable path: the frame goes into this channel's replay
+      // buffer *before* it faces the injector, so a dropped or corrupted
+      // delivery can always be replayed from the pristine copy. The frame
+      // is shared (not copied) between replay and mailbox; the receiver
+      // steals it once the ack has pruned the replay reference.
+      auto frame = std::make_shared<std::vector<std::byte>>(data.begin(),
+                                                            data.end());
+      const bool checksummed = options_.checksum_messages;
+      const std::uint32_t crc = checksummed ? crc32(*frame) : 0;
+      std::uint64_t seq = 0;
+      SenderState& s = *senders_[static_cast<std::size_t>(src_world)];
+      {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        SendChannel& ch = s.channels[SendKey{comm_id, dst_world, tag}];
+        seq = ch.next_seq++;
+        ch.replay.push_back(ReplayEntry{seq, frame, crc, checksummed});
+      }
+      deliver_frame(comm_id, src_world, dst_world, tag, seq, frame, crc,
+                    checksummed);
+      return;
+    }
 
     Message msg;
     msg.payload.assign(data.begin(), data.end());
@@ -134,12 +183,7 @@ class Fabric {
       }
     }
 
-    Mailbox& box = boxes_.at(static_cast<std::size_t>(dst_world));
-    {
-      std::lock_guard<std::mutex> lock(box.mutex);
-      box.queues[Key{comm_id, src_world, tag}].push_back(std::move(msg));
-    }
-    box.cv.notify_all();
+    push_message(dst_world, Key{comm_id, src_world, tag}, std::move(msg));
   }
 
   /// Fault-injector op accounting for `world_rank` (one blocking recv or
@@ -150,130 +194,172 @@ class Fabric {
   }
 
   std::vector<std::byte> recv(std::uint64_t comm_id, int src_world,
-                              int self_world, int tag) {
+                              int self_world, int tag, std::uint64_t epoch) {
+    throw_if_interrupted(epoch);
     note_op(self_world);
-    return wait_posted(comm_id, src_world, self_world, tag);
+    return wait_posted(comm_id, src_world, self_world, tag, epoch);
   }
 
-  /// Nonblocking matching attempt for a posted receive: pops the head
+  /// Nonblocking matching attempt for a posted receive: pops the expected
   /// message of (comm, src, tag) if one is deliverable (present and past
-  /// any injected delay). Throws on poison or CRC mismatch.
+  /// any injected delay). On the reliable path a CRC failure or detected
+  /// loss requests retransmission and reports "not yet" instead of
+  /// throwing; exhausting the retry budget throws the typed error.
   bool try_pop(std::uint64_t comm_id, int src_world, int self_world, int tag,
-               std::vector<std::byte>& out) {
-    Mailbox& box = boxes_.at(static_cast<std::size_t>(self_world));
+               std::uint64_t epoch, std::vector<std::byte>& out) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(self_world)];
     const Key key{comm_id, src_world, tag};
+    const bool reliable = options_.retry.enabled;
     Message msg;
-    {
-      std::unique_lock<std::mutex> lock(box.mutex);
-      throw_if_poisoned();
-      const auto it = box.queues.find(key);
-      if (it == box.queues.end() || it->second.empty()) return false;
-      Message& head = it->second.front();
-      if (head.ready_at != Clock::time_point{} && head.ready_at > Clock::now())
-        return false;  // still "in flight" under an injected delay
-      msg = std::move(head);
-      it->second.pop_front();
-      if (it->second.empty()) box.queues.erase(it);
+    Clock::time_point head_ready{};
+    std::unique_lock<std::mutex> lock(box.mutex);
+    throw_if_poisoned();
+    throw_if_interrupted(epoch);
+    const PopResult pr = pop_locked(box, key, reliable, msg, head_ready);
+    if (pr == PopResult::kFound) {
+      lock.unlock();
+      if (!reliable) {
+        verify_crc(msg, comm_id, src_world, self_world, tag);
+        out = steal_payload(msg);
+        return true;
+      }
+      if (crc_matches(msg)) {
+        maybe_ack(comm_id, src_world, self_world, tag, msg.seq);
+        out = steal_payload(msg);
+        return true;
+      }
+      on_crc_retry(box, key, msg, comm_id, src_world, self_world, tag);
+      return false;
     }
-    verify_crc(msg, comm_id, src_world, self_world, tag);
-    out = std::move(msg.payload);
-    return true;
+    if (reliable && (pr == PopResult::kEmpty || pr == PopResult::kGap))
+      probe_locked(lock, box, key, comm_id, src_world, self_world, tag);
+    return false;
   }
 
   /// Blocking completion of an already-posted receive (no op accounting —
-  /// the post counted). This is the matching loop of the classic recv().
+  /// the post counted). This is the matching loop of the classic recv(),
+  /// extended with the recovery ladder: lost/corrupt frames are re-requested
+  /// with bounded backoff (tier 1), an expired deadline consults the failure
+  /// detector before deciding straggler-vs-dead (tier 2), and a confirmed
+  /// death under shrink_on_death interrupts with EpochInterrupt (tier 3).
   std::vector<std::byte> wait_posted(std::uint64_t comm_id, int src_world,
-                                     int self_world, int tag) {
-    Mailbox& box = boxes_.at(static_cast<std::size_t>(self_world));
+                                     int self_world, int tag,
+                                     std::uint64_t epoch) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(self_world)];
     const Key key{comm_id, src_world, tag};
+    const bool reliable = options_.retry.enabled;
     const bool bounded = options_.timeout_s > 0.0;
     // The timeout deadline is materialized only if this call has to wait;
     // the fast path (message already queued) never reads the clock.
+    Clock::time_point start{};
     Clock::time_point deadline{};
-    const auto deadline_of = [&] {
-      if (deadline == Clock::time_point{})
-        deadline =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(options_.timeout_s));
-      return deadline;
-    };
+    int extensions = 0;
 
     std::unique_lock<std::mutex> lock(box.mutex);
-    const auto queued = [&] {
-      if (poisoned_.load()) return true;
-      const auto it = box.queues.find(key);
-      return it != box.queues.end() && !it->second.empty();
-    };
     for (;;) {
-      // Phase 1: wait for poison or a queued message.
-      if (!queued()) {
-        if (bounded) {
-          if (!box.cv.wait_until(lock, deadline_of(), queued))
-            throw_recv_timeout(comm_id, src_world, self_world, tag);
-        } else {
-          box.cv.wait(lock, queued);
-        }
-      }
       throw_if_poisoned();
+      throw_if_interrupted(epoch);
 
-      // Phase 2: in-order delivery — the head message may still be delayed
-      // in flight (fault injection, ready_at set); wait out its latency,
-      // not past the deadline. Undelayed messages skip the clock entirely.
-      auto it = box.queues.find(key);
-      Message& head = it->second.front();
-      if (head.ready_at != Clock::time_point{} &&
-          head.ready_at > Clock::now()) {
-        if (bounded && deadline_of() <= head.ready_at) {
-          // Cannot become ready before the deadline; sleep to the deadline
-          // (poison may still arrive), then report the timeout.
-          box.cv.wait_until(lock, deadline);
-          throw_if_poisoned();
-          if (Clock::now() >= deadline)
-            throw_recv_timeout(comm_id, src_world, self_world, tag);
-        } else {
-          box.cv.wait_until(lock, head.ready_at);
+      Message msg;
+      Clock::time_point head_ready{};
+      const PopResult pr = pop_locked(box, key, reliable, msg, head_ready);
+      if (pr == PopResult::kFound) {
+        lock.unlock();
+        if (!reliable) {
+          verify_crc(msg, comm_id, src_world, self_world, tag);
+          return steal_payload(msg);
         }
+        if (crc_matches(msg)) {
+          maybe_ack(comm_id, src_world, self_world, tag, msg.seq);
+          return steal_payload(msg);
+        }
+        on_crc_retry(box, key, msg, comm_id, src_world, self_world, tag);
+        lock.lock();
         continue;
       }
-      Message msg = std::move(head);
-      it->second.pop_front();
-      if (it->second.empty()) box.queues.erase(it);
-      lock.unlock();
-      verify_crc(msg, comm_id, src_world, self_world, tag);
-      return std::move(msg.payload);
+
+      if (bounded && deadline == Clock::time_point{}) {
+        start = Clock::now();
+        deadline = start + timeout_duration();
+      }
+
+      Clock::time_point probe_at{};
+      if (reliable && pr != PopResult::kNotReady) {
+        if (probe_locked(lock, box, key, comm_id, src_world, self_world, tag))
+          continue;  // a retransmit was just requested; re-check the queue
+        probe_at = box.channels[key].rc.next_probe;
+      }
+
+      Clock::time_point wake = Clock::time_point::max();
+      if (bounded) wake = deadline;
+      if (probe_at != Clock::time_point{} && probe_at < wake) wake = probe_at;
+      if (head_ready != Clock::time_point{} && head_ready < wake)
+        wake = head_ready;
+
+      const std::uint64_t seen = box.version;
+      const auto changed = [&] {
+        if (poisoned_.load()) return true;
+        if (interrupted(epoch)) return true;
+        return box.version != seen;
+      };
+      if (wake == Clock::time_point::max()) {
+        box.cv.wait(lock, changed);
+      } else {
+        box.cv.wait_until(lock, wake, changed);
+        if (bounded && !changed() && Clock::now() >= deadline) {
+          const int attempts =
+              reliable ? box.channels[key].rc.attempts : 0;
+          lock.unlock();
+          // May throw (timeout / epoch interrupt) or grant a straggler
+          // extension. Runs unlocked: it can take the shrink lock.
+          deadline = recv_deadline_expired(comm_id, src_world, self_world,
+                                           tag, extensions, attempts, start,
+                                           deadline);
+          lock.lock();
+        }
+      }
     }
   }
 
   /// Phased sense-reversing barrier over an arbitrary subset of world ranks.
-  /// All ranks of the subset must pass the same (comm_id, subset size).
-  void barrier(std::uint64_t comm_id, int participants) {
+  /// All ranks of the subset must pass the same (comm_id, group).
+  void barrier(std::uint64_t comm_id, const std::vector<int>& group,
+               int self_world, std::uint64_t epoch) {
+    throw_if_interrupted(epoch);
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     BarrierState& st = barriers_[comm_id];
     const std::uint64_t my_phase = st.phase;
+    const int participants = static_cast<int>(group.size());
     if (++st.arrived == participants) {
       st.arrived = 0;
       ++st.phase;
       barrier_cv_.notify_all();
     } else {
+      // Poison/interrupt are checked before touching `st`: once this rank
+      // has been evicted and the survivors rebuilt, the barrier map may
+      // have been purged under us and `st` must not be dereferenced.
       const auto released = [&] {
-        return poisoned_.load() || st.phase != my_phase;
+        if (poisoned_.load() || interrupted(epoch)) return true;
+        return st.phase != my_phase;
       };
       if (options_.timeout_s > 0.0) {
-        const auto deadline =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(options_.timeout_s));
-        if (!barrier_cv_.wait_until(lock, deadline, released)) {
-          std::ostringstream os;
-          os << "barrier timed out after " << options_.timeout_s
-             << "s on comm " << comm_id << " (" << st.arrived << " of "
-             << participants << " ranks arrived)";
-          throw TimeoutError(os.str());
+        Clock::time_point deadline = Clock::now() + timeout_duration();
+        int extensions = 0;
+        while (!barrier_cv_.wait_until(lock, deadline, released)) {
+          const int arrived = st.arrived;
+          lock.unlock();
+          deadline = barrier_deadline_expired(comm_id, group, self_world,
+                                              arrived, participants,
+                                              extensions, deadline);
+          lock.lock();
         }
       } else {
         barrier_cv_.wait(lock, released);
       }
     }
+    lock.unlock();
     throw_if_poisoned();
+    throw_if_interrupted(epoch);
   }
 
   /// Rendezvous board used by split(): rank writes a value, then after a
@@ -301,6 +387,7 @@ class Fabric {
     poisoned_.store(true);
     for (Mailbox& box : boxes_) box.cv.notify_all();
     barrier_cv_.notify_all();
+    shrink_cv_.notify_all();
   }
 
   void throw_if_poisoned() const {
@@ -316,22 +403,183 @@ class Fabric {
     return first_failed_rank_;
   }
 
+  /// --- tier 3: rank death and in-place rebuild ---------------------------
+
+  /// Current world generation; ops stamped with an older epoch raise
+  /// EpochInterrupt (stale-traffic rejection).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return current_epoch_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool interrupted(std::uint64_t epoch) const {
+    if (!options_.shrink_on_death) return false;
+    return shrink_pending_.load(std::memory_order_relaxed) ||
+           epoch != current_epoch_.load(std::memory_order_relaxed);
+  }
+
+  void throw_if_interrupted(std::uint64_t epoch) const {
+    if (!interrupted(epoch)) return;
+    std::ostringstream os;
+    os << "epoch interrupt: world epoch "
+       << current_epoch_.load(std::memory_order_relaxed);
+    if (shrink_pending_.load(std::memory_order_relaxed))
+      os << " (shrink pending)";
+    os << " superseded an op posted in epoch " << epoch
+       << "; survivors must shrink()";
+    throw EpochInterrupt(os.str());
+  }
+
+  /// Records `world_rank` as dead (resignation, injector kill, or confirmed
+  /// by the failure detector). Under shrink_on_death this arms the pending
+  /// shrink and wakes every blocked op so the survivors can reach shrink().
+  void mark_failed(int world_rank) {
+    bool newly = false;
+    {
+      std::lock_guard<std::mutex> lock(shrink_mutex_);
+      std::atomic<bool>& flag = dead_[static_cast<std::size_t>(world_rank)];
+      if (!flag.load(std::memory_order_relaxed)) {
+        flag.store(true, std::memory_order_relaxed);
+        newly = true;
+        --alive_count_;
+        if (options_.shrink_on_death) {
+          shrink_pending_.store(true, std::memory_order_relaxed);
+          maybe_complete_rebuild_locked();
+        }
+      }
+    }
+    if (!newly) return;
+    if (monitor_) monitor_->mark_dead(world_rank);
+    obs::count("comm.rank.failed");
+    wake_all();
+  }
+
+  [[nodiscard]] bool is_confirmed_dead(int world_rank) const {
+    if (dead_[static_cast<std::size_t>(world_rank)].load(
+            std::memory_order_relaxed))
+      return true;
+    return monitor_ != nullptr && monitor_->confirmed_dead(world_rank);
+  }
+
+  /// Collective drain-and-rebuild among the survivors: waits until every
+  /// live rank has arrived, then (on the last arrival) purges all stale
+  /// traffic and per-channel state, bumps the epoch, and snapshots the
+  /// survivor list. An evicted rank raises RankFailureError.
+  std::pair<std::uint64_t, std::vector<int>> rebuild(int me) {
+    std::unique_lock<std::mutex> lock(shrink_mutex_);
+    if (dead_[static_cast<std::size_t>(me)].load(std::memory_order_relaxed)) {
+      std::ostringstream os;
+      os << "rank " << me
+         << " evicted: confirmed dead by the survivors; it cannot rejoin "
+            "the shrunken world";
+      throw RankFailureError(os.str());
+    }
+    const std::uint64_t gen = rebuild_gen_;
+    ++rebuild_arrived_;
+    maybe_complete_rebuild_locked();
+    if (rebuild_gen_ == gen) {
+      shrink_cv_.wait(lock, [&] {
+        return rebuild_gen_ != gen || poisoned_.load();
+      });
+      if (rebuild_gen_ == gen) throw_if_poisoned();
+    }
+    return {current_epoch_.load(std::memory_order_relaxed), survivors_};
+  }
+
  private:
-  using Key = std::tuple<std::uint64_t, int, int>;  // (comm, src, tag)
+  using Key = std::tuple<std::uint64_t, int, int>;      // (comm, src, tag)
+  using SendKey = std::tuple<std::uint64_t, int, int>;  // (comm, dst, tag)
 
   struct Message {
+    /// Reliable-path frames are shared with the sender's replay buffer and
+    /// stolen on delivery once the ack has pruned the replay reference;
+    /// legacy-path messages own their bytes in `payload`.
+    std::shared_ptr<std::vector<std::byte>> frame;
     std::vector<std::byte> payload;
+    std::uint64_t seq = 0;  // 0 on the legacy (retry-off) path
     std::uint32_t crc = 0;
     bool checksummed = false;
+    // Channel recovery state at pop time (pop_locked advances the channel
+    // optimistically before the CRC is checked; a failure restores these).
+    int prior_attempts = 0;
+    double prior_backoff_ms = 0.0;
     // Epoch (the default) means deliverable immediately; an injected delay
     // sets a future timestamp and the message stays "in flight" until then.
     Clock::time_point ready_at{};
   };
 
+  /// Receiver-side stream state for one (comm, src, tag) channel: the next
+  /// expected sequence number plus the bounded-backoff probe schedule used
+  /// to re-request frames that never arrived.
+  struct RecvChannel {
+    std::uint64_t expected = 1;
+    int attempts = 0;
+    double backoff_ms = 0.0;  // 0 = schedule not started
+    Clock::time_point next_probe{};
+
+    Clock::duration backoff_next(const RetryOptions& retry) {
+      if (backoff_ms <= 0.0) backoff_ms = retry.backoff_ms;
+      const double ms = backoff_ms;
+      backoff_ms = std::min(backoff_ms * 2.0, retry.backoff_max_ms);
+      return std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(ms));
+    }
+
+    void reset() {
+      attempts = 0;
+      backoff_ms = 0.0;
+      next_probe = Clock::time_point{};
+    }
+  };
+
+  /// Everything the mailbox tracks for one (comm, src, tag) stream, fused
+  /// into a single map entry so the hot push/pop critical sections do one
+  /// lookup under the box lock instead of three (queue + receive state +
+  /// watermark) — critical-section length on this lock is what the armed
+  /// tier-1 fabric's clean-path budget is spent on.
+  struct MailChannel {
+    std::deque<Message> queue;
+    /// Reliable-stream receive state (untouched on the legacy path).
+    RecvChannel rc;
+    /// Highest sequence number the sender has *committed* on this channel —
+    /// updated on every reliable delivery AND on every injected drop. The
+    /// receiver's loss probe consults it: expected > watermark means "not
+    /// sent yet" (sleep until the push notification, no probe timer, no
+    /// peer-lock traffic), expected <= watermark with nothing deliverable
+    /// is positive evidence of a loss (retransmit now).
+    std::uint64_t sent = 0;
+  };
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::map<Key, std::deque<Message>> queues;
+    /// Reliable-path entries persist when drained (their rc/sent state is
+    /// the stream's memory); legacy-path entries are erased once empty.
+    std::map<Key, MailChannel> channels;
+    /// Bumped on every push (and on the rebuild purge) so blocked waiters
+    /// can sleep on "anything changed" without spinning on a delayed head.
+    std::uint64_t version = 0;
+  };
+
+  /// One unacknowledged frame retained for retransmission.
+  struct ReplayEntry {
+    std::uint64_t seq = 0;
+    std::shared_ptr<std::vector<std::byte>> frame;
+    std::uint32_t crc = 0;
+    bool checksummed = false;
+  };
+
+  struct SendChannel {
+    std::uint64_t next_seq = 1;
+    std::uint64_t acked = 0;  // cumulative ack watermark
+    std::deque<ReplayEntry> replay;
+  };
+
+  /// Send-side replay state for one source rank. Locked separately from the
+  /// mailboxes (and never while holding a mailbox lock) because acks and
+  /// retransmit requests arrive from receiver threads.
+  struct SenderState {
+    std::mutex mutex;
+    std::map<SendKey, SendChannel> channels;
   };
 
   struct BarrierState {
@@ -339,30 +587,483 @@ class Fabric {
     std::uint64_t phase = 0;
   };
 
+  enum class PopResult { kFound, kNotReady, kEmpty, kGap };
+
+  Clock::duration timeout_duration() const {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(options_.timeout_s));
+  }
+
+  void push_message(int dst_world, const Key& key, Message msg) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dst_world)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      MailChannel& ch = box.channels[key];
+      if (msg.seq > ch.sent) ch.sent = msg.seq;
+      ch.queue.push_back(std::move(msg));
+      ++box.version;
+    }
+    box.cv.notify_all();
+  }
+
+  /// Publishes the sent watermark for a reliable frame that was dropped in
+  /// flight (it never reaches push_message): the receiver needs the
+  /// evidence to tell "lost" from "not sent yet".
+  void note_dropped(int dst_world, const Key& key, std::uint64_t seq) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dst_world)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      MailChannel& ch = box.channels[key];
+      if (seq > ch.sent) ch.sent = seq;
+      ++box.version;
+    }
+    box.cv.notify_all();
+  }
+
+  /// Runs one frame (first delivery or retransmit) through the injector and
+  /// into the destination mailbox. The replay buffer keeps the pristine
+  /// frame, so a drop here is recoverable and a corrupt here flips a bit in
+  /// a private copy, never in the replayed bytes.
+  void deliver_frame(std::uint64_t comm_id, int src_world, int dst_world,
+                     int tag, std::uint64_t seq,
+                     const std::shared_ptr<std::vector<std::byte>>& frame,
+                     std::uint32_t crc, bool checksummed) {
+    Message msg;
+    msg.seq = seq;
+    msg.crc = crc;
+    msg.checksummed = checksummed;
+    FaultInjector* injector = options_.fault_injector;
+    if (injector != nullptr) {
+      std::vector<std::byte>* bytes = nullptr;
+      if (injector->config().corrupt_prob > 0.0) {
+        // The injector may flip a bit in place; corrupt a private copy so
+        // the replay buffer's frame stays pristine for retransmission.
+        msg.payload.assign(frame->begin(), frame->end());
+        bytes = &msg.payload;
+      } else {
+        msg.frame = frame;
+        bytes = msg.frame.get();
+      }
+      switch (injector->on_message(src_world, dst_world, tag, *bytes)) {
+        case FaultAction::kDrop:
+          obs::count("comm.fault.dropped");
+          // Vanishes in flight; the replay buffer still has it. The
+          // watermark still advances — that is what lets the receiver's
+          // probe recognize the loss.
+          note_dropped(dst_world, Key{comm_id, src_world, tag}, seq);
+          return;
+        case FaultAction::kDelay:
+          obs::count("comm.fault.delayed");
+          msg.ready_at =
+              Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     injector->config().delay_s));
+          break;
+        case FaultAction::kCorrupt:
+          obs::count("comm.fault.corrupted");
+          break;
+        case FaultAction::kDeliver:
+          break;
+      }
+    } else {
+      msg.frame = frame;
+    }
+    push_message(dst_world, Key{comm_id, src_world, tag}, std::move(msg));
+  }
+
+  /// Acks are cumulative, so the receiver only needs to send one every
+  /// kAckStride frames to keep the sender's replay buffer bounded — taking
+  /// the sender's lock per message would put a cross-thread contention
+  /// point on the clean path (bench_fault_overhead's < 2% budget). The
+  /// unpruned entries hold moved-from (empty) frames, so the deferred ack
+  /// retains only headers, not payload bytes.
+  static constexpr std::uint64_t kAckStride = 32;
+
+  void maybe_ack(std::uint64_t comm_id, int src_world, int dst_world, int tag,
+                 std::uint64_t seq) {
+    if (seq % kAckStride == 0) ack(comm_id, src_world, dst_world, tag, seq);
+  }
+
+  /// Cumulative ack from the receiver: frames up to `seq` arrived intact,
+  /// so the sender's replay buffer can drop them.
+  void ack(std::uint64_t comm_id, int src_world, int dst_world, int tag,
+           std::uint64_t seq) {
+    SenderState& s = *senders_[static_cast<std::size_t>(src_world)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    SendChannel& ch = s.channels[SendKey{comm_id, dst_world, tag}];
+    if (seq <= ch.acked) return;
+    ch.acked = seq;
+    while (!ch.replay.empty() && ch.replay.front().seq <= seq)
+      ch.replay.pop_front();
+  }
+
+  /// Receiver-driven retransmission of frame `want` on (comm, src, tag).
+  /// Returns false when the sender has no such frame (not sent yet, or the
+  /// channel does not exist) — which is *not* a retry attempt.
+  bool request_retransmit(std::uint64_t comm_id, int src_world, int dst_world,
+                          int tag, std::uint64_t want) {
+    SenderState& s = *senders_[static_cast<std::size_t>(src_world)];
+    std::shared_ptr<std::vector<std::byte>> frame;
+    std::uint32_t crc = 0;
+    bool checksummed = false;
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      const auto it = s.channels.find(SendKey{comm_id, dst_world, tag});
+      if (it == s.channels.end()) return false;
+      for (const ReplayEntry& e : it->second.replay) {
+        if (e.seq != want) continue;
+        frame = e.frame;
+        crc = e.crc;
+        checksummed = e.checksummed;
+        break;
+      }
+    }
+    if (frame == nullptr) return false;
+    obs::count("comm.retry.retransmits");
+    // The retransmit faces the injector again (a fresh message index), so a
+    // lossy link can drop it again — bounded by RetryOptions.max_retries.
+    deliver_frame(comm_id, src_world, dst_world, tag, want, frame, crc,
+                  checksummed);
+    return true;
+  }
+
+  /// Pops the deliverable message for `key` if there is one. Reliable
+  /// channels deliver strictly in sequence order: stale duplicates are
+  /// discarded, and a present-but-later frame reports kGap (a loss the
+  /// probe schedule will re-request).
+  PopResult pop_locked(Mailbox& box, const Key& key, bool reliable,
+                       Message& out, Clock::time_point& head_ready) {
+    const auto it = box.channels.find(key);
+    if (it == box.channels.end() || it->second.queue.empty())
+      return PopResult::kEmpty;
+    std::deque<Message>& q = it->second.queue;
+    if (!reliable) {
+      Message& head = q.front();
+      if (head.ready_at != Clock::time_point{} &&
+          head.ready_at > Clock::now()) {
+        head_ready = head.ready_at;
+        return PopResult::kNotReady;  // still "in flight" under a delay
+      }
+      out = std::move(head);
+      q.pop_front();
+      if (q.empty()) box.channels.erase(it);
+      return PopResult::kFound;
+    }
+    RecvChannel& rc = it->second.rc;
+    // Fast path: in a fault-free run the head is the expected frame. The
+    // channel advances here, under the one lock the pop already holds; a
+    // CRC failure discovered after unlock rolls it back (on_crc_retry).
+    if (q.front().seq == rc.expected &&
+        q.front().ready_at == Clock::time_point{}) {
+      out = std::move(q.front());
+      q.pop_front();
+      out.prior_attempts = rc.attempts;
+      out.prior_backoff_ms = rc.backoff_ms;
+      rc.expected = out.seq + 1;
+      rc.reset();
+      return PopResult::kFound;
+    }
+    // Slow path: drop duplicates (retransmits that raced the original),
+    // then scan for the expected frame, which may sit behind later ones.
+    for (auto qi = q.begin(); qi != q.end();) {
+      if (qi->seq < rc.expected) {
+        obs::count("comm.retry.duplicates");
+        qi = q.erase(qi);
+      } else {
+        ++qi;
+      }
+    }
+    if (q.empty()) return PopResult::kEmpty;
+    for (auto qi = q.begin(); qi != q.end(); ++qi) {
+      if (qi->seq != rc.expected) continue;
+      if (qi->ready_at != Clock::time_point{} &&
+          qi->ready_at > Clock::now()) {
+        head_ready = qi->ready_at;
+        return PopResult::kNotReady;
+      }
+      out = std::move(*qi);
+      q.erase(qi);
+      out.prior_attempts = rc.attempts;
+      out.prior_backoff_ms = rc.backoff_ms;
+      rc.expected = out.seq + 1;
+      rc.reset();
+      return PopResult::kFound;
+    }
+    return PopResult::kGap;
+  }
+
+  /// Moves the payload out of a delivered message, even when the sender's
+  /// replay buffer still shares the frame. Safe because retransmission is
+  /// receiver-driven and a receiver never re-requests a sequence number it
+  /// has already accepted (pop_locked advanced `expected` past it), so the
+  /// replay's reference to these bytes is dead the moment the pop returns;
+  /// the batched ack prunes it later. A duplicate still queued behind this
+  /// pop shares the now-empty vector but is discarded by its stale seq
+  /// without reading the bytes.
+  static std::vector<std::byte> steal_payload(Message& msg) {
+    if (msg.frame != nullptr) return std::move(*msg.frame);
+    return std::move(msg.payload);
+  }
+
+  [[nodiscard]] static const std::vector<std::byte>& bytes_of(
+      const Message& msg) {
+    return msg.frame != nullptr ? *msg.frame : msg.payload;
+  }
+
+  [[nodiscard]] static bool crc_matches(const Message& msg) {
+    return !msg.checksummed || crc32(bytes_of(msg)) == msg.crc;
+  }
+
+  /// Tier-1 CRC recovery: count the failure, charge a retry attempt
+  /// (throwing CorruptMessageError with full retry context once the budget
+  /// is spent), and re-request the frame. Caller holds no locks. The pop
+  /// optimistically advanced the channel past msg.seq; roll it back so the
+  /// retransmission is requested (and matched) as the expected frame.
+  void on_crc_retry(Mailbox& box, const Key& key, const Message& msg,
+                    std::uint64_t comm_id, int src, int dst, int tag) {
+    obs::count("comm.crc.failures");
+    obs::count("comm.retry.crc_retries");
+    std::uint64_t want = 0;
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      RecvChannel& rc = box.channels[key].rc;
+      rc.expected = msg.seq;
+      rc.attempts = msg.prior_attempts + 1;
+      rc.backoff_ms = msg.prior_backoff_ms;
+      if (rc.attempts > options_.retry.max_retries) {
+        std::ostringstream os;
+        os << "corrupt message: CRC mismatch on comm " << comm_id << " src "
+           << src << " -> dst " << dst << " tag " << tag << " ("
+           << bytes_of(msg).size() << " bytes, expected crc " << msg.crc
+           << ", got " << crc32(bytes_of(msg)) << "); gave up after "
+           << rc.attempts << " retransmit attempts"
+           << suspicion_suffix(src);
+        throw CorruptMessageError(os.str());
+      }
+      want = rc.expected;
+      rc.next_probe = Clock::now() + rc.backoff_next(options_.retry);
+    }
+    request_retransmit(comm_id, src, dst, tag, want);
+  }
+
+  /// Fires the loss-recovery probe for a channel with nothing deliverable —
+  /// but only on positive evidence of a loss: the sent watermark proves the
+  /// sender committed the expected frame, yet it never arrived. Without
+  /// that evidence the receiver just sleeps (the sender's next delivery or
+  /// drop bumps the mailbox version and wakes it) — no probe timer, no
+  /// traffic on the sender's lock, which is what keeps the armed-but-idle
+  /// tier-1 fabric inside its clean-path budget. Fired probes charge one
+  /// retry attempt each and are paced by the bounded-exponential backoff.
+  /// Returns true when a retransmit was issued (caller should re-check).
+  /// Called with `lock` held; may release and re-acquire it.
+  bool probe_locked(std::unique_lock<std::mutex>& lock, Mailbox& box,
+                    const Key& key, std::uint64_t comm_id, int src, int dst,
+                    int tag) {
+    MailChannel& ch = box.channels[key];
+    RecvChannel& rc = ch.rc;
+    if (ch.sent < rc.expected) {
+      // Not sent yet: reset the pacing so a real loss later starts fresh.
+      rc.next_probe = Clock::time_point{};
+      return false;
+    }
+    const auto now = Clock::now();
+    if (rc.next_probe != Clock::time_point{} && now < rc.next_probe)
+      return false;
+    const std::uint64_t want = rc.expected;
+    lock.unlock();
+    const bool sent = request_retransmit(comm_id, src, dst, tag, want);
+    lock.lock();
+    RecvChannel& rc2 = box.channels[key].rc;
+    if (sent) {
+      ++rc2.attempts;
+      if (rc2.attempts > options_.retry.max_retries) {
+        const int attempts = rc2.attempts;
+        lock.unlock();
+        std::ostringstream os;
+        os << "recv timed out: comm " << comm_id << " src " << src << " dst "
+           << dst << " tag " << tag
+           << " (no matching message arrived); gave up after " << attempts
+           << " retransmit attempts" << suspicion_suffix(src);
+        throw TimeoutError(os.str());
+      }
+    }
+    rc2.next_probe = Clock::now() + rc2.backoff_next(options_.retry);
+    return sent;
+  }
+
+  [[nodiscard]] std::string suspicion_suffix(int peer) const {
+    if (monitor_ == nullptr || !monitor_->enabled()) return "";
+    std::ostringstream os;
+    os << " (peer suspicion " << monitor_->suspicion(peer) << ")";
+    return os.str();
+  }
+
+  /// Tier-2 deadline policy for a blocked recv, run unlocked. Either
+  /// throws (TimeoutError, or EpochInterrupt under shrink_on_death when the
+  /// peer is confirmed dead) or returns an extended deadline for a peer the
+  /// detector vouches is merely slow.
+  Clock::time_point recv_deadline_expired(std::uint64_t comm_id, int src,
+                                          int dst, int tag, int& extensions,
+                                          int attempts,
+                                          Clock::time_point start,
+                                          Clock::time_point deadline) {
+    if (is_confirmed_dead(src)) {
+      if (options_.shrink_on_death) {
+        mark_failed(src);
+        std::ostringstream os;
+        os << "epoch interrupt: rank " << src
+           << " confirmed dead while rank " << dst << " blocked in recv "
+           << "(comm " << comm_id << " tag " << tag
+           << "); survivors must shrink()";
+        throw EpochInterrupt(os.str());
+      }
+      std::ostringstream os;
+      os << "recv timed out: comm " << comm_id << " src " << src << " dst "
+         << dst << " tag " << tag
+         << " (no matching message arrived); peer confirmed dead"
+         << suspicion_suffix(src);
+      append_retry_context(os, attempts, start);
+      throw TimeoutError(os.str());
+    }
+    if (monitor_ != nullptr && monitor_->enabled() &&
+        extensions < static_cast<int>(options_.heartbeat.straggler_grace)) {
+      // The peer is provably alive (still beating, or cleanly done): treat
+      // it as a straggler — record, extend, keep waiting.
+      ++extensions;
+      obs::count("hb.straggler.extensions");
+      if (obs::metrics_enabled())
+        obs::observe("hb.suspicion", monitor_->suspicion(src));
+      return deadline + timeout_duration();
+    }
+    std::ostringstream os;
+    os << "recv timed out: comm " << comm_id << " src " << src << " dst "
+       << dst << " tag " << tag << " (no matching message arrived)";
+    if (monitor_ != nullptr && monitor_->enabled())
+      os << "; peer rank " << src << " still alive (suspicion "
+         << monitor_->suspicion(src) << ", " << extensions
+         << " deadline extensions)";
+    append_retry_context(os, attempts, start);
+    throw TimeoutError(os.str());
+  }
+
+  /// Tier-2 deadline policy for a blocked barrier, run unlocked.
+  Clock::time_point barrier_deadline_expired(std::uint64_t comm_id,
+                                             const std::vector<int>& group,
+                                             int self_world, int arrived,
+                                             int participants,
+                                             int& extensions,
+                                             Clock::time_point deadline) {
+    for (const int r : group) {
+      if (r == self_world || !is_confirmed_dead(r)) continue;
+      if (options_.shrink_on_death) {
+        mark_failed(r);
+        std::ostringstream os;
+        os << "epoch interrupt: rank " << r << " confirmed dead while rank "
+           << self_world << " blocked in barrier on comm " << comm_id
+           << "; survivors must shrink()";
+        throw EpochInterrupt(os.str());
+      }
+      std::ostringstream os;
+      os << "barrier timed out after " << options_.timeout_s << "s on comm "
+         << comm_id << " (" << arrived << " of " << participants
+         << " ranks arrived); rank " << r << " confirmed dead"
+         << suspicion_suffix(r);
+      throw TimeoutError(os.str());
+    }
+    if (monitor_ != nullptr && monitor_->enabled() &&
+        extensions < static_cast<int>(options_.heartbeat.straggler_grace)) {
+      ++extensions;
+      obs::count("hb.straggler.extensions");
+      return deadline + timeout_duration();
+    }
+    std::ostringstream os;
+    os << "barrier timed out after " << options_.timeout_s << "s on comm "
+       << comm_id << " (" << arrived << " of " << participants
+       << " ranks arrived)";
+    if (monitor_ != nullptr && monitor_->enabled())
+      os << "; all absent ranks still alive (" << extensions
+         << " deadline extensions)";
+    throw TimeoutError(os.str());
+  }
+
+  void append_retry_context(std::ostringstream& os, int attempts,
+                            Clock::time_point start) const {
+    if (!options_.retry.enabled) return;
+    os << "; retry layer: " << attempts << " retransmit attempts over "
+       << std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count()
+       << " ms";
+  }
+
+  /// Wakes every blocked op (after a death notice). Each notify is
+  /// preceded by briefly taking the matching mutex so a waiter between its
+  /// predicate check and its wait cannot miss the wake-up.
+  void wake_all() {
+    for (Mailbox& box : boxes_) {
+      { std::lock_guard<std::mutex> lock(box.mutex); }
+      box.cv.notify_all();
+    }
+    { std::lock_guard<std::mutex> lock(barrier_mutex_); }
+    barrier_cv_.notify_all();
+    { std::lock_guard<std::mutex> lock(shrink_mutex_); }
+    shrink_cv_.notify_all();
+  }
+
+  /// Completes the pending rebuild once every live rank has arrived. Holds
+  /// shrink_mutex_; takes the box/sender/barrier locks underneath it (that
+  /// ordering is global: no code path takes shrink_mutex_ while holding any
+  /// of those).
+  void maybe_complete_rebuild_locked() {
+    if (rebuild_arrived_ == 0 || rebuild_arrived_ < alive_count_) return;
+    // Drain the old epoch: stale frames, channel state, and barrier phases
+    // all die here, so no epoch-E message can ever match an epoch-E+1 op.
+    for (Mailbox& box : boxes_) {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.channels.clear();
+      ++box.version;
+    }
+    for (auto& sender : senders_) {
+      std::lock_guard<std::mutex> lock(sender->mutex);
+      sender->channels.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lock(barrier_mutex_);
+      barriers_.clear();
+    }
+    survivors_.clear();
+    for (int r = 0; r < size_; ++r) {
+      if (!dead_[static_cast<std::size_t>(r)].load(std::memory_order_relaxed))
+        survivors_.push_back(r);
+    }
+    const std::uint64_t next =
+        current_epoch_.load(std::memory_order_relaxed) + 1;
+    current_epoch_.store(next, std::memory_order_relaxed);
+    shrink_pending_.store(false, std::memory_order_relaxed);
+    rebuild_arrived_ = 0;
+    ++rebuild_gen_;
+    obs::set_gauge("world.epoch", static_cast<std::int64_t>(next));
+    obs::count("comm.world.shrinks");
+    shrink_cv_.notify_all();
+  }
+
   static void verify_crc(const Message& msg, std::uint64_t comm_id, int src,
                          int dst, int tag) {
     if (!msg.checksummed) return;
-    const std::uint32_t got = crc32(msg.payload);
+    const std::uint32_t got = crc32(bytes_of(msg));
     if (got == msg.crc) return;
     obs::count("comm.crc.failures");
     std::ostringstream os;
     os << "corrupt message: CRC mismatch on comm " << comm_id << " src " << src
-       << " -> dst " << dst << " tag " << tag << " (" << msg.payload.size()
+       << " -> dst " << dst << " tag " << tag << " (" << bytes_of(msg).size()
        << " bytes, expected crc " << msg.crc << ", got " << got << ")";
     throw CorruptMessageError(os.str());
-  }
-
-  [[noreturn]] static void throw_recv_timeout(std::uint64_t comm_id, int src,
-                                              int dst, int tag) {
-    std::ostringstream os;
-    os << "recv timed out: comm " << comm_id << " src " << src << " dst "
-       << dst << " tag " << tag << " (no matching message arrived)";
-    throw TimeoutError(os.str());
   }
 
   int size_;
   WorldOptions options_;
   std::vector<Mailbox> boxes_;
+  std::vector<std::unique_ptr<SenderState>> senders_;
+  std::unique_ptr<HeartbeatMonitor> monitor_;
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   std::map<std::uint64_t, BarrierState> barriers_;
@@ -372,6 +1073,17 @@ class Fabric {
   mutable std::mutex poison_mutex_;
   int first_failed_rank_ = -1;
   std::string poison_what_;
+  // Tier-3 state. dead_ flags are monotonic; alive_count_/rebuild_* are
+  // guarded by shrink_mutex_.
+  std::vector<std::atomic<bool>> dead_;
+  std::mutex shrink_mutex_;
+  std::condition_variable shrink_cv_;
+  std::atomic<bool> shrink_pending_{false};
+  std::atomic<std::uint64_t> current_epoch_{0};
+  int alive_count_ = 0;
+  int rebuild_arrived_ = 0;
+  std::uint64_t rebuild_gen_ = 0;
+  std::vector<int> survivors_;
 };
 
 namespace {
@@ -389,11 +1101,12 @@ std::uint64_t mix_id(std::uint64_t a, std::uint64_t b) {
 
 Communicator::Communicator(std::shared_ptr<detail::Fabric> fabric,
                            std::uint64_t comm_id, std::vector<int> group,
-                           int rank)
+                           int rank, std::uint64_t epoch)
     : fabric_(std::move(fabric)),
       comm_id_(comm_id),
       group_(std::move(group)),
-      rank_(rank) {}
+      rank_(rank),
+      epoch_(epoch) {}
 
 void Communicator::send_bytes(int dst, int tag,
                               std::span<const std::byte> data) const {
@@ -403,17 +1116,19 @@ void Communicator::send_bytes(int dst, int tag,
     obs::count(kSendMsgs[k]);
     obs::count(kSendBytes[k], static_cast<std::int64_t>(data.size()));
   }
-  fabric_->send(comm_id_, world_rank(rank_), world_rank(dst), tag, data);
+  fabric_->send(comm_id_, world_rank(rank_), world_rank(dst), tag, data,
+                epoch_);
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
   BGL_ENSURE(src >= 0 && src < size(), "recv from invalid rank " << src);
   if (!obs::metrics_enabled())
-    return fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag);
+    return fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag,
+                         epoch_);
   const int k = comm_kind_of(tag);
   const auto t0 = detail::Clock::now();
-  std::vector<std::byte> payload =
-      fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag);
+  std::vector<std::byte> payload = fabric_->recv(
+      comm_id_, world_rank(src), world_rank(rank_), tag, epoch_);
   const double wait_s =
       std::chrono::duration<double>(detail::Clock::now() - t0).count();
   obs::count(kRecvMsgs[k]);
@@ -428,8 +1143,9 @@ std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
 struct PendingOp::State {
   std::shared_ptr<detail::Fabric> fabric;
   std::uint64_t comm_id = 0;
-  int src_world = -1;   // peer (recv source); -1 for sends
-  int self_world = -1;  // mailbox owner
+  std::uint64_t epoch = 0;  // epoch the op was posted in
+  int src_world = -1;       // peer (recv source); -1 for sends
+  int self_world = -1;      // mailbox owner
   int tag = 0;
   bool is_recv = false;
   bool done = false;
@@ -463,7 +1179,8 @@ bool PendingOp::test() {
   if (done()) return true;
   std::vector<std::byte> bytes;
   if (!state_->fabric->try_pop(state_->comm_id, state_->src_world,
-                               state_->self_world, state_->tag, bytes))
+                               state_->self_world, state_->tag, state_->epoch,
+                               bytes))
     return false;
   state_->complete(std::move(bytes));
   return true;
@@ -473,12 +1190,14 @@ void PendingOp::wait() {
   if (done()) return;
   if (!obs::metrics_enabled()) {
     state_->complete(state_->fabric->wait_posted(
-        state_->comm_id, state_->src_world, state_->self_world, state_->tag));
+        state_->comm_id, state_->src_world, state_->self_world, state_->tag,
+        state_->epoch));
     return;
   }
   const auto t0 = detail::Clock::now();
   std::vector<std::byte> bytes = state_->fabric->wait_posted(
-      state_->comm_id, state_->src_world, state_->self_world, state_->tag);
+      state_->comm_id, state_->src_world, state_->self_world, state_->tag,
+      state_->epoch);
   obs::observe(kPendingWait[comm_kind_of(state_->tag)],
                std::chrono::duration<double>(detail::Clock::now() - t0).count());
   state_->complete(std::move(bytes));
@@ -500,6 +1219,7 @@ PendingOp Communicator::isend(int dst, int tag,
   op.state_ = std::make_shared<PendingOp::State>();
   op.state_->fabric = fabric_;
   op.state_->comm_id = comm_id_;
+  op.state_->epoch = epoch_;
   op.state_->self_world = world_rank(rank_);
   op.state_->tag = tag;
   op.state_->done = true;
@@ -508,11 +1228,13 @@ PendingOp Communicator::isend(int dst, int tag,
 
 PendingOp Communicator::irecv(int src, int tag) const {
   BGL_ENSURE(src >= 0 && src < size(), "irecv from invalid rank " << src);
+  fabric_->throw_if_interrupted(epoch_);
   fabric_->note_op(world_rank(rank_));  // post counts as one runtime op
   PendingOp op;
   op.state_ = std::make_shared<PendingOp::State>();
   op.state_->fabric = fabric_;
   op.state_->comm_id = comm_id_;
+  op.state_->epoch = epoch_;
   op.state_->src_world = world_rank(src);
   op.state_->self_world = world_rank(rank_);
   op.state_->tag = tag;
@@ -523,11 +1245,11 @@ PendingOp Communicator::irecv(int src, int tag) const {
 
 void Communicator::barrier() const {
   if (!obs::metrics_enabled()) {
-    fabric_->barrier(comm_id_, size());
+    fabric_->barrier(comm_id_, group_, world_rank(rank_), epoch_);
     return;
   }
   const auto t0 = detail::Clock::now();
-  fabric_->barrier(comm_id_, size());
+  fabric_->barrier(comm_id_, group_, world_rank(rank_), epoch_);
   obs::count("comm.barrier.count");
   obs::observe("comm.barrier.wait_s",
                std::chrono::duration<double>(detail::Clock::now() - t0).count());
@@ -541,7 +1263,8 @@ Communicator Communicator::split(int color, int key) const {
   const std::int64_t packed =
       (static_cast<std::int64_t>(color) << 32) | static_cast<std::uint32_t>(key);
   fabric_->board_put(world_rank(rank_), packed);
-  fabric_->barrier(detail::mix_id(comm_id_, seq * 2), size());
+  fabric_->barrier(detail::mix_id(comm_id_, seq * 2), group_,
+                   world_rank(rank_), epoch_);
 
   struct Entry {
     int color;
@@ -556,7 +1279,8 @@ Communicator Communicator::split(int color, int key) const {
     const int k = static_cast<int>(static_cast<std::uint32_t>(v));
     if (c == color) mine.push_back({c, k, r, world_rank(r)});
   }
-  fabric_->barrier(detail::mix_id(comm_id_, seq * 2 + 1), size());
+  fabric_->barrier(detail::mix_id(comm_id_, seq * 2 + 1), group_,
+                   world_rank(rank_), epoch_);
 
   std::stable_sort(mine.begin(), mine.end(), [](const Entry& a, const Entry& b) {
     return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
@@ -572,7 +1296,26 @@ Communicator Communicator::split(int color, int key) const {
   const std::uint64_t child_id =
       detail::mix_id(detail::mix_id(comm_id_, seq),
                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(color)) + 1);
-  return Communicator(fabric_, child_id, std::move(group), new_rank);
+  return Communicator(fabric_, child_id, std::move(group), new_rank, epoch_);
+}
+
+void Communicator::resign() const {
+  fabric_->mark_failed(world_rank(rank_));
+}
+
+Communicator Communicator::shrink() const {
+  auto [epoch, survivors] = fabric_->rebuild(world_rank(rank_));
+  const int me = world_rank(rank_);
+  int new_rank = -1;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    if (survivors[i] == me) new_rank = static_cast<int>(i);
+  }
+  BGL_CHECK(new_rank >= 0);
+  // The rebuilt world id folds in the epoch, so even a comm id collision
+  // across epochs cannot let stale traffic match (the mailboxes were purged
+  // anyway — this is defense in depth).
+  return Communicator(fabric_, detail::mix_id(1, epoch), std::move(survivors),
+                      new_rank, epoch);
 }
 
 void World::run(int size, const RankFn& fn) {
@@ -592,9 +1335,22 @@ void World::run(int size, const WorldOptions& options, const RankFn& fn) {
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([&, r] {
       obs::set_rank(r);  // trace spans from this thread attribute to rank r
-      Communicator comm(fabric, /*comm_id=*/1, world_group, r);
+      fabric->hb_start(r);
+      Communicator comm(fabric, /*comm_id=*/1, world_group, r, /*epoch=*/0);
+      bool completed = false;
       try {
         fn(comm);
+        completed = true;
+      } catch (const RankFailureError& e) {
+        if (options.shrink_on_death) {
+          // Tier 3: the rank dies in place. Survivors get EpochInterrupt
+          // and shrink around it; the world is not poisoned and World::run
+          // does not rethrow — the job outcome belongs to the survivors.
+          fabric->mark_failed(r);
+        } else {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          fabric->poison(r, e.what());
+        }
       } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         fabric->poison(r, e.what());
@@ -602,6 +1358,7 @@ void World::run(int size, const WorldOptions& options, const RankFn& fn) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         fabric->poison(r, "unknown error");
       }
+      fabric->hb_stop(r, completed);
     });
   }
   for (auto& t : threads) t.join();

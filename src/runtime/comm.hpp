@@ -24,6 +24,26 @@
 //  * a FaultInjector (runtime/fault.hpp) installed via WorldOptions can
 //    drop/delay/corrupt messages and kill a rank (RankFailureError), which
 //    is what the elastic checkpoint-restart trainer recovers from.
+//
+// Self-healing ladder (see DESIGN.md §10) — each tier absorbs a fault class
+// so the next never sees it:
+//  * tier 1 (WorldOptions.retry): point-to-point streams are
+//    sequence-numbered with a send-side replay buffer; a receiver that
+//    detects a loss (sequence gap, frame missing past a backoff interval)
+//    or a CRC failure requests retransmission with bounded exponential
+//    backoff instead of raising. Dropped/corrupted messages become retried
+//    deliveries, not world poison.
+//  * tier 2 (WorldOptions.heartbeat): a per-rank beater thread feeds a
+//    φ-style suspicion accumulator (runtime/recovery.hpp); blocked ops
+//    whose deadline expires against a peer that is still beating record a
+//    straggler metric and keep waiting — TimeoutError is reserved for
+//    peers the detector has confirmed dead.
+//  * tier 3 (WorldOptions.shrink_on_death): a confirmed death interrupts
+//    the survivors with EpochInterrupt instead of poisoning the world;
+//    they drain the fabric collectively via Communicator::shrink(), which
+//    bumps the communicator *epoch* (stamped into every op and salted into
+//    the rebuilt communicator ids, so stale traffic from the old epoch can
+//    never match) and returns the world of survivors, in-process.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +55,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "runtime/recovery.hpp"
 
 namespace bgl::rt {
 
@@ -70,9 +91,22 @@ class RankFailureError : public Error {
   using Error::Error;
 };
 
+/// The world changed underneath a blocked or posted operation: a rank was
+/// confirmed dead and the survivors must rebuild (tier 3). Raised only when
+/// WorldOptions.shrink_on_death is armed; catch it, abandon per-epoch state
+/// (models, pending ops), and call Communicator::shrink() to obtain the
+/// world of survivors. Also raised by any op on a communicator from a
+/// superseded epoch (stale traffic rejection).
+class EpochInterrupt : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Per-World runtime configuration.
 struct WorldOptions {
   /// Seconds a recv()/barrier() may block before TimeoutError; 0 = forever.
+  /// With heartbeats armed the deadline only fires against a peer the
+  /// detector confirmed dead — see HeartbeatOptions.straggler_grace.
   double timeout_s = 0.0;
   /// CRC32C-frame every message and verify on receive. Off by default so
   /// the fault-free hot path stays unframed (the < 5% bench_alltoall
@@ -82,6 +116,18 @@ struct WorldOptions {
   /// Optional fault injector, consulted on every send/recv. Non-owning;
   /// must outlive the run() call. nullptr = fault-free.
   FaultInjector* fault_injector = nullptr;
+  /// Tier 1 — ack/retransmit with bounded backoff (BGL_RETRY_MAX,
+  /// BGL_RETRY_BACKOFF_MS; disabled unless the env enables it).
+  RetryOptions retry = retry_options_from_env();
+  /// Tier 2 — heartbeat failure detection (BGL_HEARTBEAT_MS; off unless
+  /// the env enables it).
+  HeartbeatOptions heartbeat = heartbeat_options_from_env();
+  /// Tier 3 — on a confirmed rank death, interrupt survivors with
+  /// EpochInterrupt (for an in-place Communicator::shrink()) instead of
+  /// poisoning the world. A rank function that throws RankFailureError
+  /// under this mode resigns its rank and returns instead of killing the
+  /// job.
+  bool shrink_on_death = false;
 };
 
 namespace detail {
@@ -227,16 +273,40 @@ class Communicator {
   /// ordered by (`key`, old rank). Collective: every rank must call.
   [[nodiscard]] Communicator split(int color, int key) const;
 
+  /// --- self-healing (tier 3, DESIGN.md §10) ------------------------------
+
+  /// Generation of the world this communicator belongs to. Bumped by each
+  /// in-place shrink; ops on a communicator from a superseded epoch raise
+  /// EpochInterrupt (stale-traffic rejection).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// This rank abandons the world: it is marked dead and, when
+  /// WorldOptions.shrink_on_death is armed, the survivors are interrupted
+  /// with EpochInterrupt so they can shrink() around it. The resigning
+  /// rank must do no further communication and return from its rank
+  /// function. Idempotent.
+  void resign() const;
+
+  /// Collective among the survivors after an EpochInterrupt: waits for
+  /// every live rank, drains the fabric (stale messages purged, replay
+  /// buffers flushed, barrier state reset), bumps the epoch, and returns
+  /// the world communicator of the survivors — ranks renumbered 0..S-1 in
+  /// old world-rank order, no World respawn. Callable on any communicator
+  /// of the old epoch; an evicted rank (confirmed dead by its peers)
+  /// raises RankFailureError instead of rejoining.
+  [[nodiscard]] Communicator shrink() const;
+
  private:
   friend class World;
 
   Communicator(std::shared_ptr<detail::Fabric> fabric, std::uint64_t comm_id,
-               std::vector<int> group, int rank);
+               std::vector<int> group, int rank, std::uint64_t epoch = 0);
 
   std::shared_ptr<detail::Fabric> fabric_;
   std::uint64_t comm_id_ = 0;
   std::vector<int> group_;  // local rank -> world rank
   int rank_ = -1;
+  std::uint64_t epoch_ = 0;
   // Number of split() calls issued so far; identical across ranks of the
   // communicator because split is collective. Used to derive child ids.
   mutable std::uint64_t split_seq_ = 0;

@@ -106,6 +106,11 @@ std::vector<FaultEvent> FaultInjector::events() const {
   return out;
 }
 
+bool FaultInjector::heartbeat_muted(int world_rank, double alive_s) const {
+  return world_rank == config_.mute_hb_rank &&
+         alive_s >= config_.mute_hb_after_s;
+}
+
 std::uint64_t FaultInjector::op_count(int world_rank) const {
   if (world_rank < 0 || world_rank >= kMaxRanks) return 0;
   return op_counts_[static_cast<std::size_t>(world_rank)].load(

@@ -45,6 +45,12 @@ struct FaultConfig {
   double delay_s = 0.0;
   int kill_rank = -1;            // world rank to kill (-1 = never)
   std::uint64_t kill_at_op = 0;  // 1-based send/recv count on kill_rank
+  /// Partition fault: mute_hb_rank's heartbeats stop arriving once it has
+  /// been alive for mute_hb_after_s seconds, while the rank itself keeps
+  /// running — the node is alive but invisible to the failure detector
+  /// (runtime/recovery.hpp). -1 = never.
+  int mute_hb_rank = -1;
+  double mute_hb_after_s = 0.0;
 };
 
 /// One injected fault. `op` is the source rank's message counter for
@@ -81,6 +87,11 @@ class FaultInjector {
 
   /// Number of send/recv ops observed so far on `world_rank`.
   [[nodiscard]] std::uint64_t op_count(int world_rank) const;
+
+  /// True when `world_rank`'s heartbeat is suppressed (partition fault):
+  /// the rank has been alive for `alive_s` seconds and the configured mute
+  /// point has passed. Consulted by the HeartbeatMonitor beater.
+  [[nodiscard]] bool heartbeat_muted(int world_rank, double alive_s) const;
 
  private:
   /// Upper bound on world ranks one injector can observe. Counters are

@@ -1,0 +1,128 @@
+#include "runtime/recovery.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "runtime/fault.hpp"
+
+namespace bgl::rt {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+}  // namespace
+
+RetryOptions retry_options_from_env() {
+  static const RetryOptions opts = [] {
+    RetryOptions o;
+    const char* max = std::getenv("BGL_RETRY_MAX");
+    const char* backoff = std::getenv("BGL_RETRY_BACKOFF_MS");
+    o.enabled = (max != nullptr && *max != '\0') ||
+                (backoff != nullptr && *backoff != '\0');
+    if (max != nullptr && *max != '\0')
+      o.max_retries = static_cast<int>(std::strtol(max, nullptr, 10));
+    if (backoff != nullptr && *backoff != '\0')
+      o.backoff_ms = std::strtod(backoff, nullptr);
+    return o;
+  }();
+  return opts;
+}
+
+HeartbeatOptions heartbeat_options_from_env() {
+  static const HeartbeatOptions opts = [] {
+    HeartbeatOptions o;
+    o.interval_ms = env_double("BGL_HEARTBEAT_MS", 0.0);
+    return o;
+  }();
+  return opts;
+}
+
+HeartbeatMonitor::HeartbeatMonitor(int size, HeartbeatOptions options,
+                                   FaultInjector* injector)
+    : options_(options), injector_(injector) {
+  ranks_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    ranks_.push_back(std::make_unique<PerRank>());
+}
+
+HeartbeatMonitor::~HeartbeatMonitor() {
+  for (auto& pr : ranks_) {
+    pr->running.store(false);
+    if (pr->beater.joinable()) pr->beater.join();
+  }
+}
+
+void HeartbeatMonitor::start(int rank) {
+  if (!enabled()) return;
+  PerRank& pr = *ranks_.at(static_cast<std::size_t>(rank));
+  const auto now = Clock::now();
+  pr.started = now;
+  pr.last_beat.store(now.time_since_epoch().count(),
+                     std::memory_order_relaxed);
+  pr.running.store(true);
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.interval_ms));
+  pr.beater = std::thread([this, rank, interval, &pr] {
+    while (pr.running.load(std::memory_order_relaxed)) {
+      const auto now = Clock::now();
+      const double alive_s =
+          std::chrono::duration<double>(now - pr.started).count();
+      // A partitioned node keeps computing but its beats stop arriving.
+      const bool muted =
+          injector_ != nullptr && injector_->heartbeat_muted(rank, alive_s);
+      if (!muted)
+        pr.last_beat.store(now.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+      std::this_thread::sleep_for(interval);
+    }
+  });
+}
+
+void HeartbeatMonitor::stop(int rank, bool completed) {
+  if (!enabled()) return;
+  PerRank& pr = *ranks_.at(static_cast<std::size_t>(rank));
+  if (completed) pr.completed.store(true, std::memory_order_relaxed);
+  pr.running.store(false);
+  if (pr.beater.joinable()) pr.beater.join();
+}
+
+double HeartbeatMonitor::suspicion(int rank) const {
+  if (!enabled()) return 0.0;
+  const PerRank& pr = *ranks_.at(static_cast<std::size_t>(rank));
+  if (pr.completed.load(std::memory_order_relaxed)) return 0.0;
+  const auto last = Clock::time_point(
+      Clock::duration(pr.last_beat.load(std::memory_order_relaxed)));
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - last).count();
+  const double phi = elapsed_s / (options_.interval_ms * 1e-3);
+  return phi > 0.0 ? phi : 0.0;
+}
+
+bool HeartbeatMonitor::confirmed_dead(int rank) const {
+  const PerRank& pr = *ranks_.at(static_cast<std::size_t>(rank));
+  if (pr.dead.load(std::memory_order_relaxed)) return true;
+  if (!enabled()) return false;
+  if (pr.completed.load(std::memory_order_relaxed)) return false;
+  const double phi = suspicion(rank);
+  if (phi < options_.phi_threshold) return false;
+  if (obs::metrics_enabled()) obs::observe("hb.suspicion", phi);
+  return true;
+}
+
+bool HeartbeatMonitor::completed(int rank) const {
+  return ranks_.at(static_cast<std::size_t>(rank))
+      ->completed.load(std::memory_order_relaxed);
+}
+
+void HeartbeatMonitor::mark_dead(int rank) {
+  ranks_.at(static_cast<std::size_t>(rank))
+      ->dead.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace bgl::rt

@@ -1,0 +1,151 @@
+// Self-healing runtime support: retry policy (tier 1) and heartbeat
+// failure detection (tier 2) of the recovery ladder (DESIGN.md §10).
+//
+// BaGuaLu-scale jobs treat faults as routine, not fatal. The ladder the
+// runtime climbs before giving a step back to checkpoint-restart:
+//
+//   deliver → retry (ack/retransmit, bounded backoff)
+//           → suspect (heartbeat φ accumulator: straggler vs dead)
+//           → confirm-dead → epoch-bump → in-place shrink
+//
+// This header holds the pieces that do not need the fabric: the retry and
+// heartbeat option structs (installed through rt::WorldOptions), the
+// bounded-exponential Backoff schedule, and the HeartbeatMonitor — one
+// beater thread per rank (the in-process stand-in for a node-level
+// liveness daemon) plus a lazily evaluated φ-style suspicion query.
+// Tier 3 (communicator epochs, drain, shrink) lives in runtime/comm.*.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace bgl::rt {
+
+class FaultInjector;  // runtime/fault.hpp
+
+/// Tier 1 — ack/retransmit configuration. When enabled, every point-to-point
+/// stream is sequence-numbered, the sender keeps unacknowledged frames in a
+/// replay buffer, and a receiver that detects a loss (sequence gap, missing
+/// frame past a backoff interval) or a CRC failure requests retransmission
+/// instead of raising an error. Attempts are bounded: exhausting max_retries
+/// converts back into the typed error (with retry context in what()).
+struct RetryOptions {
+  /// Master switch. Off by default so the fault-free fabric keeps its
+  /// zero-bookkeeping hot path; ElasticTrainer arms it.
+  bool enabled = false;
+  /// Retransmission attempts per expected frame before the receiver gives
+  /// up (BGL_RETRY_MAX).
+  int max_retries = 12;
+  /// Initial receiver backoff between recovery probes (BGL_RETRY_BACKOFF_MS).
+  /// Doubles per probe up to backoff_max_ms.
+  double backoff_ms = 0.5;
+  double backoff_max_ms = 50.0;
+};
+
+/// Defaults from the environment: BGL_RETRY_MAX / BGL_RETRY_BACKOFF_MS; the
+/// layer is enabled when either variable is set. Read once per process.
+[[nodiscard]] RetryOptions retry_options_from_env();
+
+/// Tier 2 — heartbeat failure detection. Each rank gets a beater thread
+/// posting a liveness timestamp every interval_ms; suspicion of a rank is
+/// the φ-style ratio (time since last beat) / interval, evaluated lazily at
+/// the points that must decide "dead or merely slow" (recv/barrier
+/// deadlines). A rank is confirmed dead only when it resigned/failed
+/// explicitly or its suspicion crossed phi_threshold without a clean
+/// completion — stragglers whose beats still arrive get their deadline
+/// extended (up to straggler_grace × timeout_s) and a metric, not a kill.
+struct HeartbeatOptions {
+  /// Beat period in milliseconds (BGL_HEARTBEAT_MS). 0 disables tier 2
+  /// entirely (no beater threads, timeouts behave as in the bare runtime).
+  double interval_ms = 0.0;
+  /// Suspicion level at which a silent rank is confirmed dead.
+  double phi_threshold = 8.0;
+  /// A blocked op whose peer is alive (beating or cleanly completed) keeps
+  /// waiting past timeout_s, up to straggler_grace × timeout_s total.
+  double straggler_grace = 8.0;
+};
+
+/// Defaults from the environment: BGL_HEARTBEAT_MS (0/unset = off).
+[[nodiscard]] HeartbeatOptions heartbeat_options_from_env();
+
+/// Bounded exponential backoff schedule: first wait is backoff_ms, each
+/// subsequent wait doubles, capped at backoff_max_ms.
+class Backoff {
+ public:
+  explicit Backoff(const RetryOptions& options)
+      : next_ms_(options.backoff_ms), max_ms_(options.backoff_max_ms) {}
+
+  /// Current wait, advancing the schedule.
+  [[nodiscard]] std::chrono::steady_clock::duration next() {
+    const double ms = next_ms_;
+    next_ms_ = std::min(next_ms_ * 2.0, max_ms_);
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+
+ private:
+  double next_ms_;
+  double max_ms_;
+};
+
+/// The tier-2 failure detector for one World. Thread-safe.
+///
+/// Liveness model: a beater thread per rank posts beats while the rank
+/// function runs — a rank that exits (cleanly or by failure) stops beating.
+/// A FaultInjector can mute a rank's beater (FaultConfig.mute_hb_rank) to
+/// model a partitioned node: alive, still computing, but invisible to the
+/// detector — the scenario that forces the suspect → confirm-dead
+/// distinction to exist at all.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(int size, HeartbeatOptions options,
+                   FaultInjector* injector);
+  ~HeartbeatMonitor();
+
+  [[nodiscard]] bool enabled() const { return options_.interval_ms > 0.0; }
+  [[nodiscard]] const HeartbeatOptions& options() const { return options_; }
+
+  /// Rank thread lifecycle, driven by World::run. start() spawns the
+  /// beater; stop() joins it, recording whether the rank function returned
+  /// cleanly (completed ranks are never suspected).
+  void start(int rank);
+  void stop(int rank, bool completed);
+
+  /// φ-style suspicion: (seconds since last beat) / beat interval.
+  /// 0 while disabled, for completed ranks, and for ranks beating on time.
+  [[nodiscard]] double suspicion(int rank) const;
+
+  /// True once `rank` is beyond suspicion: it resigned/failed explicitly
+  /// (mark_dead) or its suspicion crossed phi_threshold without a clean
+  /// completion.
+  [[nodiscard]] bool confirmed_dead(int rank) const;
+
+  /// True when the rank's function returned cleanly.
+  [[nodiscard]] bool completed(int rank) const;
+
+  /// Explicit death notice (resignation, injector kill): confirmed_dead
+  /// from now on regardless of beats.
+  void mark_dead(int rank);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PerRank {
+    std::atomic<Clock::rep> last_beat{0};
+    std::atomic<bool> running{false};
+    std::atomic<bool> completed{false};
+    std::atomic<bool> dead{false};
+    std::thread beater;
+    Clock::time_point started{};
+  };
+
+  HeartbeatOptions options_;
+  FaultInjector* injector_;
+  std::vector<std::unique_ptr<PerRank>> ranks_;
+};
+
+}  // namespace bgl::rt

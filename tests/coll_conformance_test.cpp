@@ -24,6 +24,7 @@
 #include "collectives/coll.hpp"
 #include "core/rng.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
 
 namespace bgl::coll {
 namespace {
@@ -337,6 +338,75 @@ TEST(CollConformance, ConcurrentAsyncAllreducesDoNotCrossMatch) {
       }
     });
   }
+}
+
+TEST(CollConformance, CollectivesSurviveDropStormBitwise) {
+  // The same oracle checks, but on a lossy fabric: ~2% of frames dropped
+  // and ~1% corrupted, with the tier-1 retry layer (DESIGN.md §10) armed.
+  // Retransmission must be invisible to the algorithms — results match the
+  // oracle bitwise, exactly as on the clean fabric, with zero restarts of
+  // anything. This pins the claim that the retry layer delivers
+  // exactly-once in-order under transient faults, for every communication
+  // pattern the collectives generate.
+  const std::uint64_t seed = conformance_seed();
+  std::size_t total_events = 0;
+  for (const int p : {2, 3, 4, 7}) {
+    rt::FaultInjector injector({.seed = seed + static_cast<std::uint64_t>(p),
+                                .drop_prob = 0.02,
+                                .corrupt_prob = 0.01});
+    rt::WorldOptions options;
+    options.timeout_s = 60.0;
+    options.checksum_messages = true;
+    options.fault_injector = &injector;
+    options.retry.enabled = true;
+    options.retry.max_retries = 20;
+    options.retry.backoff_ms = 0.2;
+    options.retry.backoff_max_ms = 2.0;
+    rt::World::run(p, options, [&](rt::Communicator& comm) {
+      const int me = comm.rank();
+      // Alltoall against the oracle.
+      const std::size_t chunk = 5;
+      std::vector<int> send(chunk * static_cast<std::size_t>(p));
+      std::vector<int> expect(chunk * static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r)
+        for (std::size_t k = 0; k < chunk; ++k) {
+          send[chunk * static_cast<std::size_t>(r) + k] =
+              payload(seed, p, me, r, k);
+          expect[chunk * static_cast<std::size_t>(r) + k] =
+              payload(seed, p, r, me, k);
+        }
+      EXPECT_EQ(alltoall<int>(comm, send, chunk, AlltoallAlgo::kPairwise),
+                expect)
+          << "pairwise under drop storm P=" << p;
+      EXPECT_EQ(alltoall<int>(comm, send, chunk, AlltoallAlgo::kBruck),
+                expect)
+          << "bruck under drop storm P=" << p;
+      // Allreduce: both algorithms, bitwise against the oracle sum.
+      const std::size_t n = 41;
+      const std::vector<int> mine = allreduce_input(seed, p, me, n);
+      std::vector<int> esum(n, 0);
+      for (int r = 0; r < p; ++r) {
+        const std::vector<int> theirs = allreduce_input(seed, p, r, n);
+        for (std::size_t i = 0; i < n; ++i) esum[i] += theirs[i];
+      }
+      for (const AllreduceAlgo algo :
+           {AllreduceAlgo::kRing, AllreduceAlgo::kRecursiveDoubling}) {
+        std::vector<int> got = mine;
+        allreduce_sum<int>(comm, got, algo);
+        EXPECT_EQ(got, esum)
+            << allreduce_algo_name(algo) << " under drop storm P=" << p;
+      }
+      // The nonblocking state machines ride the same reliable channels.
+      AsyncAllreduce<int> async(comm, std::span<const int>(mine));
+      async.wait();
+      EXPECT_EQ(async.result(), esum) << "async under drop storm P=" << p;
+    });
+    total_events += injector.events().size();
+  }
+  // The storm was real: faults fired somewhere in the sweep. (Not asserted
+  // per world size — at P=2 only a few dozen frames flow, and a 3% fault
+  // rate can deterministically miss all of them under some payload seeds.)
+  EXPECT_GT(total_events, 0u);
 }
 
 }  // namespace

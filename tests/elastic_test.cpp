@@ -344,6 +344,175 @@ TEST(ElasticChaos, KilledRankRecoversOnSmallerWorldBitwise) {
         << "step " << 2 + i;
 }
 
+TEST(ElasticDefaults, WorldTimeoutIsFiniteByDefault) {
+  // A trainer built for recovery must not hang forever on a silent fault:
+  // the default runtime options convert a hang into a recoverable
+  // TimeoutError, and CRC-frame every message.
+  const parallel::ElasticTrainerOptions defaults;
+  EXPECT_DOUBLE_EQ(defaults.world.timeout_s, 30.0);
+  EXPECT_TRUE(defaults.world.checksum_messages);
+}
+
+TEST(ElasticRetry, DropStormAbsorbedWithZeroRestartsBitwise) {
+  // Tier 1 under the trainer: a persistent drop/corruption storm rages for
+  // the whole job. The retry layer must absorb every fault — zero restarts,
+  // zero shrinks — and the delivered payloads must be exactly the sent
+  // ones, so the loss trajectory is bitwise-identical to a fault-free run.
+  constexpr int kTotalSteps = 4;
+  const auto config = chaos_config();
+  TempDir dir("bgl_elastic_dropstorm");
+
+  rt::FaultInjector storm(
+      {.seed = 77, .drop_prob = 0.02, .corrupt_prob = 0.01});
+  parallel::ElasticTrainerOptions stormy;
+  stormy.checkpoint_prefix = dir.prefix("storm");
+  stormy.checkpoint_interval = 2;
+  stormy.world_sizes = {4};
+  stormy.world.fault_injector = &storm;
+  stormy.persist_fault_injector = true;  // the storm never lets up
+  stormy.world.retry.enabled = true;
+  stormy.world.retry.max_retries = 20;
+  stormy.world.retry.backoff_ms = 0.2;
+  const auto report =
+      parallel::ElasticTrainer(stormy).run(chaos_job(config, kTotalSteps));
+  EXPECT_EQ(report.restarts, 0);
+  EXPECT_EQ(report.shrinks, 0);
+  ASSERT_EQ(report.attempts.size(), 1u);
+  ASSERT_EQ(report.losses.size(), static_cast<std::size_t>(kTotalSteps));
+  // The storm was real.
+  EXPECT_FALSE(storm.events().empty());
+
+  parallel::ElasticTrainerOptions clean;
+  clean.checkpoint_prefix = dir.prefix("clean");
+  clean.checkpoint_interval = 2;
+  clean.world_sizes = {4};
+  const auto baseline =
+      parallel::ElasticTrainer(clean).run(chaos_job(config, kTotalSteps));
+  ASSERT_EQ(baseline.losses.size(), static_cast<std::size_t>(kTotalSteps));
+  for (int s = 0; s < kTotalSteps; ++s)
+    EXPECT_EQ(report.losses[static_cast<std::size_t>(s)],
+              baseline.losses[static_cast<std::size_t>(s)])
+        << "step " << s;
+}
+
+TEST(ElasticShrink, KilledRankShrinksInPlaceBitwise) {
+  // Tier 3 under the trainer: a mid-step kill is absorbed by an in-place
+  // shrink — one attempt, zero restarts, no World respawn — and the
+  // survivors' trajectory from the last sealed snapshot is bitwise-equal
+  // to a clean run restored from the same snapshot on the same smaller
+  // world. The work-loss bound is checkpoint_interval - 1 steps.
+  constexpr int kTotalSteps = 6;
+  constexpr int kInterval = 2;
+  constexpr int kKillRank = 2;
+  // 12 experts: divides evenly on the world of 4 and the shrunken world
+  // of 3 survivors.
+  const auto config = reshard_config();
+  TempDir dir("bgl_elastic_inplace");
+
+  // Phase 1 — calibrate rank 2's op count per step boundary (clean run).
+  std::vector<std::uint64_t> ops_after_step(kTotalSteps, 0);
+  {
+    rt::FaultInjector passive(rt::FaultConfig{});
+    parallel::ElasticTrainerOptions options;
+    options.checkpoint_prefix = dir.prefix("calib");
+    options.checkpoint_interval = kInterval;
+    options.world_sizes = {4};
+    options.world.fault_injector = &passive;
+    auto job = chaos_job(config, kTotalSteps);
+    job.after_step = [&](int step, const Communicator& world) {
+      if (world.rank() == kKillRank)
+        ops_after_step[static_cast<std::size_t>(step)] =
+            passive.op_count(kKillRank);
+    };
+    const auto report = parallel::ElasticTrainer(options).run(job);
+    EXPECT_EQ(report.restarts, 0);
+  }
+  ASSERT_GT(ops_after_step[1], 0u);
+
+  // Phase 2 — kill rank 2 a few ops into step 2 (right after the step-2
+  // snapshot sealed) with shrink_in_place armed. No fallback schedule: the
+  // single world_sizes entry proves recovery happened without a restart.
+  rt::FaultConfig kill;
+  kill.kill_rank = kKillRank;
+  kill.kill_at_op = ops_after_step[1] + 5;
+  rt::FaultInjector killer(kill);
+  parallel::ElasticTrainerOptions chaos;
+  chaos.checkpoint_prefix = dir.prefix("chaos");
+  chaos.checkpoint_interval = kInterval;
+  chaos.world_sizes = {4};
+  chaos.shrink_in_place = true;
+  chaos.world.fault_injector = &killer;
+  const auto report =
+      parallel::ElasticTrainer(chaos).run(chaos_job(config, kTotalSteps));
+
+  EXPECT_EQ(report.restarts, 0);
+  EXPECT_EQ(report.shrinks, 1);
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_FALSE(report.attempts[0].failed);
+  EXPECT_EQ(report.attempts[0].committed_steps, kTotalSteps);
+  ASSERT_EQ(report.losses.size(), static_cast<std::size_t>(kTotalSteps));
+  bool saw_kill = false;
+  for (const auto& e : killer.events())
+    saw_kill |= e.type == rt::FaultType::kKill;
+  EXPECT_TRUE(saw_kill);
+
+  // Phase 3 — baseline: clean run on 3 ranks restored from the same
+  // snapshot the survivors resumed from.
+  parallel::ElasticTrainerOptions clean;
+  clean.checkpoint_prefix = dir.prefix("baseline");
+  clean.checkpoint_interval = kInterval;
+  clean.world_sizes = {3};
+  clean.resume_prefix = dir.prefix("chaos") + ".step2";
+  clean.resume_step = 2;
+  const auto baseline =
+      parallel::ElasticTrainer(clean).run(chaos_job(config, kTotalSteps));
+  ASSERT_EQ(baseline.losses.size(), static_cast<std::size_t>(kTotalSteps - 2));
+  for (int i = 0; i < kTotalSteps - 2; ++i)
+    EXPECT_EQ(report.losses[static_cast<std::size_t>(2 + i)],
+              baseline.losses[static_cast<std::size_t>(i)])
+        << "step " << 2 + i;
+}
+
+TEST(ElasticChaos, PersistentInjectorSpansAttempts) {
+  // persist_fault_injector keeps the injector installed on restart
+  // attempts: its op counters keep advancing through attempt 1, unlike the
+  // default where restarts run fault-free (injector uninstalled).
+  const auto config = chaos_config();
+  const auto run_with = [&](bool persist, const std::string& stem,
+                            rt::FaultInjector& injector) {
+    TempDir dir(stem);
+    parallel::ElasticTrainerOptions options;
+    options.checkpoint_prefix = dir.prefix("ckpt");
+    options.checkpoint_interval = 2;
+    options.world_sizes = {2, 2};
+    options.world.fault_injector = &injector;
+    options.persist_fault_injector = persist;
+    return parallel::ElasticTrainer(options).run(chaos_job(config, 4));
+  };
+
+  rt::FaultConfig kill;
+  kill.kill_rank = 1;
+  kill.kill_at_op = 5;  // dies in step 0, before the first snapshot
+  rt::FaultInjector dropped(kill);
+  const auto report_dropped =
+      run_with(false, "bgl_elastic_nopersist", dropped);
+  EXPECT_EQ(report_dropped.restarts, 1);
+  const std::uint64_t ops_without = dropped.op_count(0);
+
+  rt::FaultInjector persisted(kill);
+  const auto report_persisted =
+      run_with(true, "bgl_elastic_persist", persisted);
+  EXPECT_EQ(report_persisted.restarts, 1);
+  // The kill point fires exactly once (count == kill_at_op), so the
+  // persisted injector observes attempt 1 instead of re-killing it.
+  const std::uint64_t ops_with = persisted.op_count(0);
+  EXPECT_GT(ops_with, ops_without);
+  ASSERT_EQ(report_persisted.losses.size(), 4u);
+  ASSERT_EQ(report_dropped.losses.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_EQ(report_persisted.losses[s], report_dropped.losses[s]);
+}
+
 TEST(ElasticChaos, ExhaustedScheduleRethrowsRankFailure) {
   const auto config = chaos_config();
   TempDir dir("bgl_elastic_exhaust");

@@ -1,0 +1,368 @@
+// Tests for the self-healing runtime ladder (DESIGN.md §10).
+//
+// Tier 1 (ack/retransmit): drop and corruption storms must be absorbed into
+// exactly-once, in-order delivery; exhausting the retry budget must convert
+// back into the typed error, now carrying retry context. Tier 2 (heartbeat
+// failure detection): a slow-but-beating rank must outlive timeout_s via
+// deadline extensions, while a partitioned (muted) rank is confirmed dead
+// and reported as such. Tier 3 (communicator epochs): a resignation
+// interrupts survivors with EpochInterrupt, Communicator::shrink() rebuilds
+// the world in place with a bumped epoch, stale-epoch communicators are
+// rejected, and an evicted rank cannot rejoin.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/recovery.hpp"
+
+namespace bgl::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// World options with tier 1 armed and a tight probe schedule so storms
+/// resolve in test time.
+WorldOptions retry_world(double timeout_s = 10.0) {
+  WorldOptions options;
+  options.timeout_s = timeout_s;
+  options.checksum_messages = true;
+  options.retry.enabled = true;
+  options.retry.max_retries = 20;
+  options.retry.backoff_ms = 0.2;
+  options.retry.backoff_max_ms = 2.0;
+  return options;
+}
+
+/// Deterministic payload for message k of stream (src -> dst).
+std::vector<int> stream_payload(int src, int dst, int k) {
+  std::vector<int> out(static_cast<std::size_t>(1 + (k % 7)));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = src * 1000000 + dst * 10000 + k * 16 + static_cast<int>(i);
+  return out;
+}
+
+TEST(RetryLayer, DropStormDeliveredExactlyOnceInOrder) {
+  // Every rank streams messages to every other rank while ~30% of frames
+  // (including retransmissions) vanish in flight. The retry layer must
+  // deliver every payload exactly once, in send order.
+  constexpr int kWorld = 4;
+  constexpr int kMessages = 32;
+  FaultInjector injector({.seed = 11, .drop_prob = 0.3});
+  WorldOptions options = retry_world();
+  options.fault_injector = &injector;
+  World::run(kWorld, options, [&](Communicator& comm) {
+    const int me = comm.rank();
+    for (int k = 0; k < kMessages; ++k)
+      for (int dst = 0; dst < kWorld; ++dst) {
+        if (dst == me) continue;
+        const std::vector<int> data = stream_payload(me, dst, k);
+        comm.send<int>(dst, /*tag=*/7, data);
+      }
+    for (int src = 0; src < kWorld; ++src) {
+      if (src == me) continue;
+      for (int k = 0; k < kMessages; ++k)
+        EXPECT_EQ(comm.recv<int>(src, 7), stream_payload(src, me, k))
+            << "src " << src << " message " << k;
+    }
+  });
+  // The storm actually happened: the injector recorded real drops.
+  int drops = 0;
+  for (const FaultEvent& e : injector.events())
+    if (e.type == FaultType::kDrop) ++drops;
+  EXPECT_GT(drops, kMessages);
+}
+
+TEST(RetryLayer, CorruptionStormRedeliveredIntact) {
+  // Half of all frames get one bit flipped. CRC framing detects each hit
+  // and the receiver re-requests the frame from the replay buffer, so the
+  // application still sees the exact bytes that were sent.
+  constexpr int kMessages = 64;
+  FaultInjector injector({.seed = 5, .corrupt_prob = 0.5});
+  WorldOptions options = retry_world();
+  options.fault_injector = &injector;
+  World::run(2, options, [&](Communicator& comm) {
+    const int me = comm.rank();
+    const int peer = 1 - me;
+    for (int k = 0; k < kMessages; ++k)
+      comm.send<int>(peer, /*tag=*/3, stream_payload(me, peer, k));
+    for (int k = 0; k < kMessages; ++k)
+      EXPECT_EQ(comm.recv<int>(peer, 3), stream_payload(peer, me, k));
+  });
+  int corruptions = 0;
+  for (const FaultEvent& e : injector.events())
+    if (e.type == FaultType::kCorrupt) ++corruptions;
+  EXPECT_GT(corruptions, kMessages / 2);
+}
+
+TEST(RetryLayer, DropEverythingExhaustsIntoTimeoutWithContext) {
+  // With drop_prob = 1 every retransmission is lost too; the receiver must
+  // burn its bounded budget and surface a TimeoutError whose message says
+  // how hard it tried.
+  FaultInjector injector({.seed = 2, .drop_prob = 1.0});
+  WorldOptions options = retry_world(/*timeout_s=*/10.0);
+  options.retry.max_retries = 4;
+  options.fault_injector = &injector;
+  try {
+    World::run(2, options, [&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send<int>(1, /*tag=*/9, std::vector<int>{42});
+      } else {
+        (void)comm.recv<int>(0, 9);
+      }
+    });
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gave up after"), std::string::npos) << what;
+    EXPECT_NE(what.find("retransmit attempts"), std::string::npos) << what;
+  }
+}
+
+TEST(RetryLayer, CorruptEverythingExhaustsIntoCorruptError) {
+  // Every frame (and every retransmission) is corrupted: the receiver keeps
+  // detecting CRC failures until the budget is gone, then raises the typed
+  // CorruptMessageError with retry context instead of looping forever.
+  FaultInjector injector({.seed = 3, .corrupt_prob = 1.0});
+  WorldOptions options = retry_world(/*timeout_s=*/10.0);
+  options.retry.max_retries = 4;
+  options.fault_injector = &injector;
+  try {
+    World::run(2, options, [&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send<int>(1, /*tag=*/8, std::vector<int>{7, 7, 7});
+      } else {
+        (void)comm.recv<int>(0, 8);
+      }
+    });
+    FAIL() << "expected CorruptMessageError";
+  } catch (const CorruptMessageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gave up after"), std::string::npos) << what;
+    EXPECT_NE(what.find("retransmit attempts"), std::string::npos) << what;
+  }
+}
+
+TEST(Heartbeat, StragglerOutlivesTimeoutViaExtensions) {
+  // The sender is alive but far slower than timeout_s. With heartbeats
+  // armed the receiver's deadline must extend instead of firing: the beats
+  // prove "slow, not dead".
+  WorldOptions options;
+  options.timeout_s = 0.05;
+  options.heartbeat.interval_ms = 2.0;
+  options.heartbeat.straggler_grace = 40.0;
+  World::run(2, options, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(250ms);  // 5x the recv deadline
+      comm.send<int>(1, /*tag=*/4, std::vector<int>{99});
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 4), std::vector<int>{99});
+    }
+  });
+}
+
+TEST(Heartbeat, MutedRankIsConfirmedDead) {
+  // Partition fault: rank 0 keeps running but its heartbeats never arrive.
+  // Suspicion grows past phi_threshold, so the receiver's deadline fires
+  // with a "confirmed dead" verdict instead of a straggler extension.
+  FaultInjector injector({.seed = 1, .mute_hb_rank = 0});
+  WorldOptions options;
+  options.timeout_s = 0.05;
+  options.heartbeat.interval_ms = 2.0;
+  options.heartbeat.phi_threshold = 8.0;
+  options.fault_injector = &injector;
+  try {
+    World::run(2, options, [&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        std::this_thread::sleep_for(300ms);  // alive, but invisible
+      } else {
+        (void)comm.recv<int>(0, /*tag=*/6);
+      }
+    });
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("confirmed dead"), std::string::npos) << what;
+  }
+}
+
+TEST(Heartbeat, SuspicionIsZeroWhileBeating) {
+  HeartbeatMonitor monitor(/*size=*/2,
+                           {.interval_ms = 2.0, .phi_threshold = 8.0},
+                           /*injector=*/nullptr);
+  monitor.start(0);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_LT(monitor.suspicion(0), 8.0);
+  EXPECT_FALSE(monitor.confirmed_dead(0));
+  monitor.stop(0, /*completed=*/true);
+  // Completed ranks are never suspected, no matter how long ago they beat.
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(monitor.suspicion(0), 0.0);
+  EXPECT_FALSE(monitor.confirmed_dead(0));
+  EXPECT_TRUE(monitor.completed(0));
+  // Explicit death notice wins regardless of beats.
+  monitor.start(1);
+  monitor.mark_dead(1);
+  EXPECT_TRUE(monitor.confirmed_dead(1));
+  monitor.stop(1, /*completed=*/false);
+}
+
+TEST(Shrink, ResignInterruptsSurvivorsAndRebuildsInPlace) {
+  // Rank 2 resigns mid-job. Ranks 0 and 1, blocked in recv, are woken with
+  // EpochInterrupt, shrink in place, and keep communicating on the epoch-1
+  // world of survivors. The stale epoch-0 communicator is rejected.
+  WorldOptions options;
+  options.timeout_s = 10.0;
+  options.shrink_on_death = true;
+  World::run(3, options, [&](Communicator& comm) {
+    if (comm.rank() == 2) {
+      comm.resign();
+      return;
+    }
+    EXPECT_THROW((void)comm.recv<int>(2, /*tag=*/1), EpochInterrupt);
+    Communicator world = comm.shrink();
+    EXPECT_EQ(world.size(), 2);
+    EXPECT_EQ(world.epoch(), 1u);
+    EXPECT_EQ(world.rank(), comm.rank());  // survivors keep relative order
+    // The shrunken world is fully operational: p2p, barrier, split.
+    const int me = world.rank();
+    const std::vector<int> got = world.sendrecv<int>(
+        1 - me, std::vector<int>{me}, 1 - me, /*tag=*/2);
+    EXPECT_EQ(got, std::vector<int>{1 - me});
+    world.barrier();
+    // Every op on the superseded epoch is stale-traffic and must be
+    // rejected, not silently matched against epoch-1 mailboxes.
+    EXPECT_THROW(comm.send<int>(0, 1, std::vector<int>{1}), EpochInterrupt);
+    EXPECT_THROW((void)comm.recv<int>(0, 1), EpochInterrupt);
+    EXPECT_THROW(comm.barrier(), EpochInterrupt);
+  });
+}
+
+TEST(Shrink, EvictedRankCannotRejoin) {
+  WorldOptions options;
+  options.timeout_s = 10.0;
+  options.shrink_on_death = true;
+  World::run(2, options, [&](Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.resign();
+      EXPECT_THROW((void)comm.shrink(), RankFailureError);
+      return;
+    }
+    Communicator world = comm.shrink();
+    EXPECT_EQ(world.size(), 1);
+    EXPECT_EQ(world.rank(), 0);
+    EXPECT_EQ(world.epoch(), 1u);
+    world.barrier();  // single-rank world still synchronizes
+  });
+}
+
+TEST(Shrink, InjectedKillShrinksWithoutPoison) {
+  // An injector kill under shrink_on_death resigns the victim instead of
+  // poisoning the world: World::run returns normally and the survivors
+  // finish on the shrunken world.
+  FaultInjector injector(
+      {.seed = 4, .kill_rank = 2, .kill_at_op = 1});
+  WorldOptions options;
+  options.timeout_s = 10.0;
+  options.fault_injector = &injector;
+  options.shrink_on_death = true;
+  World::run(3, options, [&](Communicator& comm) {
+    if (comm.rank() == 2) {
+      // First op hits the kill point and raises RankFailureError, which
+      // World::run converts into a resignation under shrink_on_death.
+      comm.send<int>(0, /*tag=*/5, std::vector<int>{1});
+      FAIL() << "rank 2 should have been killed on its first op";
+    }
+    try {
+      (void)comm.recv<int>(2, /*tag=*/5);
+    } catch (const EpochInterrupt&) {
+      Communicator world = comm.shrink();
+      EXPECT_EQ(world.size(), 2);
+      world.barrier();
+      return;
+    }
+    // recv may legitimately succeed on rank 0 only if the kill landed
+    // after the send was committed; the injector kills at op 1, so it
+    // cannot.
+    FAIL() << "expected EpochInterrupt on rank " << comm.rank();
+  });
+  bool saw_kill = false;
+  for (const FaultEvent& e : injector.events())
+    if (e.type == FaultType::kKill) saw_kill = true;
+  EXPECT_TRUE(saw_kill);
+}
+
+TEST(Shrink, ConsecutiveDeathsShrinkTwice) {
+  // The ladder can be climbed repeatedly: epoch 0 -> 1 -> 2 as two ranks
+  // die one after the other.
+  WorldOptions options;
+  options.timeout_s = 10.0;
+  options.shrink_on_death = true;
+  World::run(4, options, [&](Communicator& comm) {
+    if (comm.rank() == 3) {
+      comm.resign();
+      return;
+    }
+    EXPECT_THROW((void)comm.recv<int>(3, /*tag=*/1), EpochInterrupt);
+    Communicator world = comm.shrink();
+    EXPECT_EQ(world.size(), 3);
+    EXPECT_EQ(world.epoch(), 1u);
+    if (world.rank() == 2) {
+      world.resign();
+      return;
+    }
+    EXPECT_THROW((void)world.recv<int>(2, /*tag=*/1), EpochInterrupt);
+    Communicator world2 = world.shrink();
+    EXPECT_EQ(world2.size(), 2);
+    EXPECT_EQ(world2.epoch(), 2u);
+    const int me = world2.rank();
+    const std::vector<int> got = world2.sendrecv<int>(
+        1 - me, std::vector<int>{me + 100}, 1 - me, /*tag=*/2);
+    EXPECT_EQ(got, std::vector<int>{(1 - me) + 100});
+  });
+}
+
+TEST(Shrink, RetryAndShrinkCompose) {
+  // Tier 1 and tier 3 together: a drop storm rages while a rank dies. The
+  // survivors shrink and their streams keep delivering exactly-once.
+  FaultInjector injector({.seed = 21, .drop_prob = 0.25});
+  WorldOptions options = retry_world();
+  options.fault_injector = &injector;
+  options.shrink_on_death = true;
+  World::run(3, options, [&](Communicator& comm) {
+    constexpr int kMessages = 16;
+    if (comm.rank() == 2) {
+      comm.resign();
+      return;
+    }
+    EXPECT_THROW((void)comm.recv<int>(2, /*tag=*/1), EpochInterrupt);
+    Communicator world = comm.shrink();
+    const int me = world.rank();
+    const int peer = 1 - me;
+    for (int k = 0; k < kMessages; ++k)
+      world.send<int>(peer, /*tag=*/3, stream_payload(me, peer, k));
+    for (int k = 0; k < kMessages; ++k)
+      EXPECT_EQ(world.recv<int>(peer, 3), stream_payload(peer, me, k));
+  });
+}
+
+TEST(RetryEnv, DisabledByDefault) {
+  // Without BGL_RETRY_* in the environment the layer must stay off so the
+  // bare fabric keeps its zero-bookkeeping hot path (the from-env default
+  // is cached per process; tests that want retries arm WorldOptions
+  // directly).
+  const RetryOptions defaults;
+  EXPECT_FALSE(defaults.enabled);
+  EXPECT_EQ(defaults.max_retries, 12);
+  const HeartbeatOptions hb;
+  EXPECT_EQ(hb.interval_ms, 0.0);  // tier 2 off by default
+}
+
+}  // namespace
+}  // namespace bgl::rt
