@@ -9,12 +9,15 @@
 // (latency-bound dispatch), because it sends g+G-2 messages per rank
 // instead of P-1.
 #include <iostream>
+#include <utility>
 
 #include "collectives/coll.hpp"
 #include "collectives/coll_cost.hpp"
+#include "collectives/compressed.hpp"
 #include "core/stopwatch.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/comm.hpp"
 #include "simnet/patterns.hpp"
 #include "simnet/simnet.hpp"
@@ -38,6 +41,84 @@ double run_real(int ranks, std::size_t chunk_floats,
     if (comm.rank() == 0) elapsed = watch.elapsed() / kIters;
   });
   return elapsed;
+}
+
+double run_real_int8(int ranks, std::size_t chunk_floats,
+                     coll::AlltoallAlgo algo, int group) {
+  double elapsed = 0.0;
+  constexpr int kIters = 10;
+  rt::World::run(ranks, [&](rt::Communicator& comm) {
+    std::vector<float> send(chunk_floats * static_cast<std::size_t>(ranks),
+                            static_cast<float>(comm.rank()));
+    comm.barrier();
+    Stopwatch watch;
+    for (int i = 0; i < kIters; ++i)
+      (void)coll::alltoall_quantized(comm, send, chunk_floats, algo, group);
+    comm.barrier();
+    if (comm.rank() == 0) elapsed = watch.elapsed() / kIters;
+  });
+  return elapsed;
+}
+
+/// Wire bytes one rank ships to each peer for a `chunk_floats` payload.
+double pair_bytes(std::size_t chunk_floats, bool int8_wire) {
+  return int8_wire
+             ? static_cast<double>(quant::int8_encoded_bytes(chunk_floats))
+             : static_cast<double>(chunk_floats) * 4.0;
+}
+
+/// (d) The int8 block-scaled dispatch wire (DESIGN.md §11): cost model up
+/// to the full machine, f32 vs int8 payloads — the codec shrinks the
+/// bandwidth term ~3.5x (scales + header included) and leaves the message
+/// count untouched, so bandwidth-bound cells win nearly the full factor.
+void compressed_wire_section() {
+  const auto sunway = topo::MachineSpec::sunway_new_generation();
+  std::cout << "\n(d) cost model on " << sunway.name
+            << ", hierarchical, per-pair dispatch payload 1024 floats:\n";
+  TextTable table({"nodes", "ranks", "B/pair f32", "B/pair int8", "f32",
+                   "int8", "speedup"});
+  constexpr std::int64_t kElems = 1024;
+  for (const std::int64_t nodes : {256, 1024, 4096, 16384, 96000}) {
+    const std::int64_t r = nodes * sunway.processes_per_node;
+    const double f32 = coll::alltoall_cost_elems(
+        sunway, r, kElems, coll::Wire::kF32, coll::AlltoallAlgo::kHierarchical,
+        sunway.ranks_per_supernode());
+    const double int8 = coll::alltoall_cost_elems(
+        sunway, r, kElems, coll::Wire::kInt8Block,
+        coll::AlltoallAlgo::kHierarchical, sunway.ranks_per_supernode());
+    table.add_row({strf("%lld", (long long)nodes), strf("%lld", (long long)r),
+                   format_bytes(pair_bytes(kElems, false)),
+                   format_bytes(pair_bytes(kElems, true)),
+                   format_duration(f32), format_duration(int8),
+                   strf("%.1fx", f32 / int8)});
+  }
+  table.print(std::cout);
+
+  // Real execution, wire bytes measured through the obs comm counters.
+  std::cout << "\n(e) real execution, 16 ranks, pairwise, measured wire "
+               "bytes (all ranks):\n";
+  TextTable real({"floats/pair", "f32 time", "int8 time", "f32 bytes",
+                  "int8 bytes", "byte ratio"});
+  const bool prev = obs::set_metrics_enabled(true);
+  for (const std::size_t floats : {256ul, 4096ul, 65536ul}) {
+    const auto measure = [&](bool int8_wire) {
+      obs::global_registry().reset();
+      const double s =
+          int8_wire
+              ? run_real_int8(16, floats, coll::AlltoallAlgo::kPairwise, 1)
+              : run_real(16, floats, coll::AlltoallAlgo::kPairwise, 1);
+      const double bytes = static_cast<double>(
+          obs::global_registry().counter("comm.alltoall.send.bytes").value());
+      return std::pair<double, double>(s, bytes);
+    };
+    const auto [f32_s, f32_b] = measure(false);
+    const auto [int8_s, int8_b] = measure(true);
+    real.add_row({strf("%zu", floats), format_duration(f32_s),
+                  format_duration(int8_s), format_bytes(f32_b),
+                  format_bytes(int8_b), strf("%.2f", int8_b / f32_b)});
+  }
+  obs::set_metrics_enabled(prev);
+  real.print(std::cout);
 }
 
 }  // namespace
@@ -100,5 +181,7 @@ int main() {
                    format_duration(hier), strf("%.1fx", pairwise / hier)});
   }
   model.print(std::cout);
+
+  compressed_wire_section();
   return 0;
 }

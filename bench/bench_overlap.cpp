@@ -17,6 +17,7 @@
 //    pipelined against each other and against the remaining backward
 //    compute. Results land in BENCH_overlap.json.
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/stopwatch.hpp"
@@ -37,7 +38,8 @@ struct MeasureSetup {
   model::MoEModelConfig config;
   int steps = 4;
   int seqs_per_rank = 2;
-  double delay_s = 300e-6;  // injected per-message latency
+  double delay_s = 300e-6;        // injected per-message latency
+  double delay_per_byte_s = 0.0;  // emulated serialization time (bandwidth)
 };
 
 model::MoEModelConfig bench_config(bool smoke) {
@@ -60,12 +62,14 @@ model::MoEModelConfig bench_config(bool smoke) {
 /// Trains `setup.steps` steps (after one untimed warmup step) on 4 ranks
 /// with every message delayed by `setup.delay_s`, and returns the mean
 /// wall-clock step time, barrier-to-barrier.
-double measure_step_s(const MeasureSetup& setup, bool overlap) {
+double measure_step_s(const MeasureSetup& setup, bool overlap,
+                      std::optional<coll::CompressionPolicy> compression = {}) {
   constexpr int kRanks = 4;
   rt::FaultConfig chaos;
   chaos.seed = 1;
   chaos.delay_prob = 1.0;
   chaos.delay_s = setup.delay_s;
+  chaos.delay_per_byte_s = setup.delay_per_byte_s;
   rt::FaultInjector injector(chaos);
   rt::WorldOptions options;
   options.fault_injector = &injector;
@@ -77,6 +81,7 @@ double measure_step_s(const MeasureSetup& setup, bool overlap) {
     train::Adam adam(1e-3);
     parallel::DistTrainerOptions topt;
     topt.overlap_allreduce = overlap;
+    topt.compression = compression;
     parallel::DistTrainer trainer(world, lm, adam, topt);
     train::MarkovTokenStream stream(setup.config.vocab, 0.05,
                                     20 + static_cast<std::uint64_t>(world.rank()));
@@ -158,11 +163,85 @@ void measured_section(bool smoke) {
             << ", \"speedup\": " << sync_s / overlap_s << "}\n";
 }
 
+/// E10c — compressed wires (DESIGN.md §11). Measured: the same trainer
+/// under a bandwidth-emulating injector (fixed latency + per-byte
+/// serialization), so fewer wire bytes show up as step time. Analytic:
+/// the perf model's wire-dtype parameter on the full machine.
+void compressed_section(bool smoke) {
+  MeasureSetup setup;
+  setup.config = bench_config(smoke);
+  setup.steps = smoke ? 2 : 4;
+  setup.delay_s = smoke ? 20e-6 : 40e-6;
+  setup.delay_per_byte_s = smoke ? 1e-9 : 2e-9;  // ~0.5-1 GB/s links
+
+  std::cout << "\nE10c: measured step time vs wire, 4 ranks, "
+            << strf("%.0f", setup.delay_s * 1e6) << " us + "
+            << strf("%.1f", setup.delay_per_byte_s * 1e9)
+            << " ns/B injected per message\n"
+            << "(bf16 = gradient allreduce wire; int8 = MoE dispatch rows; "
+               "sync schedule)\n\n";
+
+  coll::CompressionPolicy bf16;
+  bf16.grad_wire = coll::Wire::kBF16;
+  bf16.min_elems = 0;
+  coll::CompressionPolicy bf16_int8 = bf16;
+  bf16_int8.int8_dispatch = true;
+
+  const double f32_s = measure_step_s(setup, /*overlap=*/false);
+  const double bf16_s = measure_step_s(setup, /*overlap=*/false, bf16);
+  const double both_s = measure_step_s(setup, /*overlap=*/false, bf16_int8);
+  const double overlap_both_s =
+      measure_step_s(setup, /*overlap=*/true, bf16_int8);
+
+  TextTable table({"wire", "step time", "speedup"});
+  table.add_row({"f32", format_duration(f32_s), "1.00x"});
+  table.add_row({"bf16 grads", format_duration(bf16_s),
+                 strf("%.2fx", f32_s / bf16_s)});
+  table.add_row({"bf16 + int8 dispatch", format_duration(both_s),
+                 strf("%.2fx", f32_s / both_s)});
+  table.add_row({"bf16 + int8 + overlap", format_duration(overlap_both_s),
+                 strf("%.2fx", f32_s / overlap_both_s)});
+  table.print(std::cout);
+  std::cout << "\nJSON: {\"f32_step_s\": " << f32_s
+            << ", \"bf16_step_s\": " << bf16_s
+            << ", \"bf16_int8_step_s\": " << both_s
+            << ", \"bf16_int8_overlap_step_s\": " << overlap_both_s
+            << ", \"speedup_bf16_int8\": " << f32_s / both_s << "}\n";
+
+  // Analytic: the perf model's wire-dtype parameter at paper scale.
+  std::cout << "\nE10c (analytic): 96,000 nodes, 1.93T shape, modeled step "
+               "time by wire\n\n";
+  TextTable model_table({"grad wire", "dispatch wire", "step", "speedup"});
+  const auto modeled = [&](coll::Wire grad, coll::Wire dispatch) {
+    perf::TrainSetup s;
+    s.model = model::MoEModelConfig::brain_scale_1_93t();
+    s.machine = topo::MachineSpec::sunway_new_generation();
+    s.nodes_used = 96000;
+    s.ep_size = static_cast<int>(s.ranks());
+    s.model.num_experts = static_cast<int>(s.ranks());
+    s.tokens_per_rank = 4096;
+    s.grad_wire = grad;
+    s.dispatch_wire = dispatch;
+    return perf::model_step(s).total_s;
+  };
+  const double base = modeled(coll::Wire::kF32, coll::Wire::kF32);
+  for (const auto& [grad, dispatch] :
+       {std::pair(coll::Wire::kF32, coll::Wire::kF32),
+        std::pair(coll::Wire::kBF16, coll::Wire::kF32),
+        std::pair(coll::Wire::kBF16, coll::Wire::kInt8Block)}) {
+    const double t = modeled(grad, dispatch);
+    model_table.add_row({coll::wire_name(grad), coll::wire_name(dispatch),
+                         format_duration(t), strf("%.2fx", base / t)});
+  }
+  model_table.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
   analytic_section();
   measured_section(smoke);
+  compressed_section(smoke);
   return 0;
 }

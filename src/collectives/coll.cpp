@@ -18,6 +18,16 @@ const char* alltoallv_algo_name(AlltoallvAlgo algo) {
   return "?";
 }
 
+const char* wire_name(Wire wire) {
+  switch (wire) {
+    case Wire::kF32: return "f32";
+    case Wire::kBF16: return "bf16";
+    case Wire::kF16: return "f16";
+    case Wire::kInt8Block: return "int8";
+  }
+  return "?";
+}
+
 const char* alltoall_algo_name(AlltoallAlgo algo) {
   switch (algo) {
     case AlltoallAlgo::kPairwise: return "pairwise";

@@ -36,9 +36,19 @@ enum class AlltoallAlgo {
   kHierarchical  // two-phase supernode-aware aggregation (BaGuaLu-style)
 };
 
+/// Wire format of a compressed collective (collectives/compressed.hpp).
+/// kF32 means "uncompressed" — the plain algorithms in this header.
+enum class Wire : std::uint8_t {
+  kF32 = 0,       // 4 B/elem, today's wire
+  kBF16 = 1,      // 2 B/elem truncation, f32 master accumulation
+  kF16 = 2,       // 2 B/elem, overflows to inf -> loss-scale backoff
+  kInt8Block = 3  // 1 B/elem + f32 scale per quant::kInt8Block elements
+};
+
 /// Human-readable algorithm names for bench output.
 const char* allreduce_algo_name(AllreduceAlgo algo);
 const char* alltoall_algo_name(AlltoallAlgo algo);
+const char* wire_name(Wire wire);
 
 namespace tags {
 // Tag bases per collective so concurrent collectives on one communicator

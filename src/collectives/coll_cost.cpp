@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "collectives/compressed.hpp"
 #include "core/error.hpp"
 #include "core/math_util.hpp"
 
@@ -246,6 +247,38 @@ double two_level_sharded_allreduce_cost(const topo::MachineSpec& spec,
     total += 2.0 * static_cast<double>(ngroups - 1) * round;
   }
   return total;
+}
+
+namespace {
+
+/// Exact wire bytes of an `elems`-element message: the int8 block codec has
+/// per-message overhead (u64 count + per-block scales) that the amortized
+/// wire_bytes_per_elem rate under-counts for small chunks.
+double wire_message_bytes(std::int64_t elems, Wire wire) {
+  if (wire == Wire::kInt8Block) {
+    return static_cast<double>(
+        quant::int8_encoded_bytes(static_cast<std::size_t>(elems)));
+  }
+  return static_cast<double>(elems) * wire_bytes_per_elem(wire);
+}
+
+}  // namespace
+
+double alltoall_cost_elems(const topo::MachineSpec& spec, std::int64_t ranks,
+                           std::int64_t elems_per_pair, Wire wire,
+                           AlltoallAlgo algo, std::int64_t group_size) {
+  return alltoall_cost(spec, ranks, wire_message_bytes(elems_per_pair, wire),
+                       algo, group_size);
+}
+
+double allreduce_cost_elems(const topo::MachineSpec& spec, std::int64_t ranks,
+                            std::int64_t elems, Wire wire,
+                            AllreduceAlgo algo) {
+  BGL_ENSURE(wire != Wire::kInt8Block,
+             "int8 is not an allreduce wire (no accumulation format)");
+  return allreduce_cost(spec, ranks,
+                        static_cast<double>(elems) * wire_bytes_per_elem(wire),
+                        algo);
 }
 
 std::int64_t alltoall_messages_per_rank(std::int64_t ranks, AlltoallAlgo algo,

@@ -47,6 +47,18 @@ double two_level_sharded_allreduce_cost(const topo::MachineSpec& spec,
                                         std::int64_t ranks, double total_bytes,
                                         std::int64_t group_size);
 
+/// Wire-aware variants: the byte-based models above implicitly assume the
+/// caller already knows the wire width; these take element counts plus a
+/// Wire (collectives/compressed.hpp) and convert — 4 B/elem for f32,
+/// 2 B/elem for bf16/f16, and the exact int8 block-codec size (per-block
+/// scales and per-message header included) for kInt8Block.
+double alltoall_cost_elems(const topo::MachineSpec& spec, std::int64_t ranks,
+                           std::int64_t elems_per_pair, Wire wire,
+                           AlltoallAlgo algo, std::int64_t group_size = 1);
+double allreduce_cost_elems(const topo::MachineSpec& spec, std::int64_t ranks,
+                            std::int64_t elems, Wire wire,
+                            AllreduceAlgo algo);
+
 /// Number of point-to-point messages one rank sends for the algorithm
 /// (latency-term diagnostics for benches).
 std::int64_t alltoall_messages_per_rank(std::int64_t ranks, AlltoallAlgo algo,

@@ -1,0 +1,440 @@
+#include "collectives/compressed.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/math_util.hpp"
+#include "core/stopwatch.hpp"
+#include "obs/metrics.hpp"
+
+namespace bgl::coll {
+
+namespace {
+
+/// Wire bytes avoided relative to a 4 B/elem f32 wire. Negative deltas are
+/// recorded too: tiny int8 buffers can expand (header + scales), and hiding
+/// that would make the counter lie.
+void note_saved(std::int64_t bytes) {
+  obs::count("comm.compressed.bytes_saved", bytes);
+}
+
+void pack16_timed(std::span<const float> x, DType dtype,
+                  std::span<std::uint16_t> out) {
+  if (!obs::metrics_enabled()) {
+    quant::pack16(x, dtype, out);
+    return;
+  }
+  Stopwatch sw;
+  quant::pack16(x, dtype, out);
+  obs::observe("comm.compress.encode_s", sw.elapsed());
+}
+
+}  // namespace
+
+DType wire_dtype(Wire wire) {
+  switch (wire) {
+    case Wire::kBF16: return DType::kBF16;
+    case Wire::kF16: return DType::kF16;
+    default: break;
+  }
+  BGL_FAIL("wire " << wire_name(wire) << " has no 16-bit storage dtype");
+}
+
+double wire_bytes_per_elem(Wire wire) {
+  switch (wire) {
+    case Wire::kF32: return 4.0;
+    case Wire::kBF16:
+    case Wire::kF16: return 2.0;
+    case Wire::kInt8Block:
+      return 1.0 + 4.0 / static_cast<double>(quant::kInt8Block);
+  }
+  return 4.0;
+}
+
+CompressionPolicy CompressionPolicy::from_env() {
+  CompressionPolicy p;
+  if (const char* v = std::getenv("BGL_COMPRESS")) {
+    const std::string s(v);
+    if (s == "bf16") {
+      p.grad_wire = Wire::kBF16;
+    } else if (s == "f16" || s == "fp16") {
+      p.grad_wire = Wire::kF16;
+    } else if (s.empty() || s == "off" || s == "0" || s == "f32") {
+      p.grad_wire = Wire::kF32;
+    } else {
+      BGL_FAIL("BGL_COMPRESS must be off|bf16|f16, got '" << s << "'");
+    }
+  }
+  if (const char* v = std::getenv("BGL_COMPRESS_DISPATCH")) {
+    p.int8_dispatch = std::string(v) == "1";
+  }
+  if (const char* v = std::getenv("BGL_COMPRESS_MIN_ELEMS")) {
+    p.min_elems = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  return p;
+}
+
+Wire CompressionPolicy::wire_for(std::size_t bucket_index,
+                                 std::size_t elems) const {
+  for (const auto& [index, wire] : bucket_override) {
+    if (index == bucket_index) return wire;
+  }
+  if (elems < min_elems) return Wire::kF32;
+  return grad_wire;
+}
+
+namespace {
+
+/// Symmetrized recursive doubling: both partners compute
+/// unpack(pack(self)) + unpack(incoming) — the same two-term f32 sum on
+/// both sides — so every rank finishes with bitwise identical values.
+void doubling_16(const rt::Communicator& comm, std::span<float> inout,
+                 DType dtype) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t n = inout.size();
+  std::vector<std::uint16_t> self(n);
+  std::vector<float> incoming_f32(n);
+  for (int mask = 1, round = 0; mask < p; mask <<= 1, ++round) {
+    const int partner = me ^ mask;
+    pack16_timed(std::span<const float>(inout.data(), n), dtype, self);
+    const std::vector<std::uint16_t> incoming =
+        comm.sendrecv<std::uint16_t>(partner,
+                                     std::span<const std::uint16_t>(self),
+                                     partner, tags::kAllreduce + round);
+    BGL_CHECK(incoming.size() == n);
+    quant::unpack16(self, dtype, inout);
+    quant::unpack16(incoming, dtype, incoming_f32);
+    for (std::size_t i = 0; i < n; ++i) inout[i] += incoming_f32[i];
+    note_saved(static_cast<std::int64_t>(n) * 2);
+  }
+}
+
+/// Ring with a 16-bit wire: the travelling partial sum is re-packed each
+/// reduce-scatter hop (accumulation stays f32); the fully reduced block is
+/// packed once by its owner and every rank — owner included — unpacks the
+/// same 16-bit words out of the allgather, so replicas agree bitwise.
+void ring_16(const rt::Communicator& comm, std::span<float> inout,
+             DType dtype) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t n = inout.size();
+  const std::size_t block =
+      static_cast<std::size_t>(ceil_div(static_cast<std::int64_t>(n), p));
+  std::vector<float> work(block * static_cast<std::size_t>(p), 0.0f);
+  std::copy(inout.begin(), inout.end(), work.begin());
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  std::vector<float> acc(block);
+  std::vector<std::uint16_t> wire(block);
+  for (int k = 0; k < p - 1; ++k) {
+    const int send_block = (me - k - 1 + p) % p;
+    std::span<const float> chunk =
+        k == 0 ? std::span<const float>(
+                     work.data() + block * static_cast<std::size_t>(send_block),
+                     block)
+               : std::span<const float>(acc);
+    pack16_timed(chunk, dtype, wire);
+    const std::vector<std::uint16_t> incoming = comm.sendrecv<std::uint16_t>(
+        right, std::span<const std::uint16_t>(wire), left,
+        tags::kReduceScatter + k);
+    BGL_CHECK(incoming.size() == block);
+    const int recv_block = (me - k - 2 + p) % p;
+    quant::unpack16(incoming, dtype, acc);
+    const float* local = work.data() + block * static_cast<std::size_t>(recv_block);
+    for (std::size_t i = 0; i < block; ++i) acc[i] += local[i];
+    note_saved(static_cast<std::int64_t>(block) * 2);
+  }
+  pack16_timed(acc, dtype, wire);
+  const std::vector<std::uint16_t> all =
+      allgather<std::uint16_t>(comm, std::span<const std::uint16_t>(wire));
+  note_saved(static_cast<std::int64_t>(block) * (p - 1) * 2);
+  std::vector<float> full(all.size());
+  quant::unpack16(all, dtype, full);
+  std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(n),
+            inout.begin());
+}
+
+}  // namespace
+
+void compressed_allreduce_sum(const rt::Communicator& comm,
+                              std::span<float> inout, Wire wire,
+                              AllreduceAlgo algo) {
+  if (wire == Wire::kF32) {
+    allreduce_sum<float>(comm, inout, algo);
+    return;
+  }
+  BGL_ENSURE(wire == Wire::kBF16 || wire == Wire::kF16,
+             "compressed allreduce wire must be bf16 or f16, got "
+                 << wire_name(wire));
+  if (comm.size() == 1 || inout.empty()) return;
+  const DType dtype = wire_dtype(wire);
+  if (algo == AllreduceAlgo::kRecursiveDoubling &&
+      is_pow2(static_cast<std::uint64_t>(comm.size()))) {
+    doubling_16(comm, inout, dtype);
+  } else {
+    ring_16(comm, inout, dtype);
+  }
+}
+
+std::vector<float> alltoall_quantized(const rt::Communicator& comm,
+                                      std::span<const float> send,
+                                      std::size_t chunk, AlltoallAlgo algo,
+                                      int group_size) {
+  const int p = comm.size();
+  BGL_ENSURE(send.size() == chunk * static_cast<std::size_t>(p),
+             "alltoall_quantized send size " << send.size() << " != P*chunk");
+  const std::size_t enc_bytes = quant::int8_encoded_bytes(chunk);
+  // Every chunk — the self chunk included — goes through encode/decode, so
+  // the output is a pure function of the logical send buffer: bitwise
+  // identical for any algorithm, group size, or world layout.
+  std::vector<std::byte> packed;
+  packed.reserve(enc_bytes * static_cast<std::size_t>(p));
+  {
+    Stopwatch sw;
+    for (int r = 0; r < p; ++r) {
+      const std::vector<std::byte> e = quant::encode_int8(std::span<const float>(
+          send.data() + chunk * static_cast<std::size_t>(r), chunk));
+      packed.insert(packed.end(), e.begin(), e.end());
+    }
+    if (obs::metrics_enabled()) obs::observe("comm.compress.encode_s", sw.elapsed());
+  }
+  const std::vector<std::byte> recv = alltoall<std::byte>(
+      comm, std::span<const std::byte>(packed), enc_bytes, algo, group_size);
+  note_saved(static_cast<std::int64_t>(p - 1) *
+             (static_cast<std::int64_t>(chunk) * 4 -
+              static_cast<std::int64_t>(enc_bytes)));
+  std::vector<float> out(chunk * static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const std::vector<float> dec = quant::decode_int8(std::span<const std::byte>(
+        recv.data() + enc_bytes * static_cast<std::size_t>(r), enc_bytes));
+    BGL_CHECK(dec.size() == chunk);
+    std::copy(dec.begin(), dec.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(chunk) * r);
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> alltoallv_quantized(
+    const rt::Communicator& comm, const std::vector<std::vector<float>>& send,
+    AlltoallvAlgo algo, int group_size) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  BGL_ENSURE(static_cast<int>(send.size()) == p,
+             "alltoallv_quantized needs one buffer per rank");
+  std::vector<std::vector<std::byte>> packed(static_cast<std::size_t>(p));
+  std::int64_t saved = 0;
+  {
+    Stopwatch sw;
+    for (int r = 0; r < p; ++r) {
+      packed[static_cast<std::size_t>(r)] =
+          quant::encode_int8(send[static_cast<std::size_t>(r)]);
+      if (r != me) {
+        saved += static_cast<std::int64_t>(
+                     send[static_cast<std::size_t>(r)].size()) *
+                     4 -
+                 static_cast<std::int64_t>(
+                     packed[static_cast<std::size_t>(r)].size());
+      }
+    }
+    if (obs::metrics_enabled()) obs::observe("comm.compress.encode_s", sw.elapsed());
+  }
+  const std::vector<std::vector<std::byte>> recv =
+      alltoallv<std::byte>(comm, packed, algo, group_size);
+  note_saved(saved);
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    out[static_cast<std::size_t>(r)] =
+        quant::decode_int8(recv[static_cast<std::size_t>(r)]);
+  }
+  return out;
+}
+
+/// --- AsyncCompressedAllreduce ----------------------------------------------
+
+AsyncCompressedAllreduce::AsyncCompressedAllreduce(
+    const rt::Communicator& comm, std::span<const float> data, Wire wire,
+    AllreduceAlgo algo, int salt)
+    : comm_(comm),
+      p_(comm.size()),
+      me_(comm.rank()),
+      n_(data.size()),
+      tag_base_((salt + 1) * kAsyncTagStride) {
+  if (wire == Wire::kF32) {
+    passthrough_ =
+        std::make_unique<AsyncAllreduce<float>>(comm, data, algo, salt);
+    return;
+  }
+  BGL_ENSURE(wire == Wire::kBF16 || wire == Wire::kF16,
+             "compressed allreduce wire must be bf16 or f16, got "
+                 << wire_name(wire));
+  dtype_ = wire_dtype(wire);
+  BGL_ENSURE(salt >= 0 && salt < kMaxAsyncSalt,
+             "async salt " << salt << " out of range");
+  BGL_ENSURE(p_ <= kAsyncTagStride, "world too large for async tag window");
+  result_.assign(data.begin(), data.end());
+  if (p_ == 1 || n_ == 0) {
+    phase_ = Phase::kDone;
+    return;
+  }
+  if (algo == AllreduceAlgo::kRecursiveDoubling &&
+      is_pow2(static_cast<std::uint64_t>(p_))) {
+    phase_ = Phase::kDoubling;
+    mask_ = 1;
+    start_doubling_round();
+    return;
+  }
+  block_ = static_cast<std::size_t>(
+      ceil_div(static_cast<std::int64_t>(n_), p_));
+  work_.assign(block_ * static_cast<std::size_t>(p_), 0.0f);
+  std::copy(result_.begin(), result_.end(), work_.begin());
+  acc_.resize(block_);
+  wire_buf_.resize(block_);
+  phase_ = Phase::kReduceScatter;
+  round_ = 0;
+  start_ring_round();
+}
+
+bool AsyncCompressedAllreduce::done() const {
+  return passthrough_ ? passthrough_->done() : phase_ == Phase::kDone;
+}
+
+bool AsyncCompressedAllreduce::progress() {
+  if (passthrough_) return passthrough_->progress();
+  while (phase_ != Phase::kDone && pending_.test()) advance();
+  return done();
+}
+
+void AsyncCompressedAllreduce::wait() {
+  if (passthrough_) {
+    passthrough_->wait();
+    return;
+  }
+  while (phase_ != Phase::kDone) {
+    pending_.wait();
+    advance();
+  }
+}
+
+const std::vector<float>& AsyncCompressedAllreduce::result() const {
+  if (passthrough_) return passthrough_->result();
+  BGL_CHECK(done());
+  return result_;
+}
+
+std::vector<float> AsyncCompressedAllreduce::take_result() {
+  if (passthrough_) return passthrough_->take_result();
+  BGL_CHECK(done());
+  return std::move(result_);
+}
+
+void AsyncCompressedAllreduce::start_ring_round() {
+  // One reduce-scatter hop of ring_16: pack the travelling f32 partial sum
+  // (round 0: my send block) and ship the 16-bit words.
+  const int send_block = (me_ - round_ - 1 + p_) % p_;
+  std::span<const float> chunk =
+      round_ == 0
+          ? std::span<const float>(
+                work_.data() + block_ * static_cast<std::size_t>(send_block),
+                block_)
+          : std::span<const float>(acc_);
+  pack16_timed(chunk, dtype_, wire_buf_);
+  const int tag = tags::kReduceScatter + tag_base_ + round_;
+  comm_.isend<std::uint16_t>(right(), tag,
+                             std::span<const std::uint16_t>(wire_buf_));
+  pending_ = comm_.irecv(left(), tag);
+}
+
+void AsyncCompressedAllreduce::start_gather_round() {
+  // Allgather of the once-packed reduced blocks; the payload stays in its
+  // 16-bit wire form end to end.
+  const int send_block = (me_ - round_ + p_) % p_;
+  std::span<const std::uint16_t> chunk(
+      gather_wire_.data() + block_ * static_cast<std::size_t>(send_block),
+      block_);
+  const int tag = tags::kAllgather + tag_base_ + round_;
+  comm_.isend<std::uint16_t>(right(), tag, chunk);
+  pending_ = comm_.irecv(left(), tag);
+}
+
+void AsyncCompressedAllreduce::start_doubling_round() {
+  const int partner = me_ ^ mask_;
+  wire_buf_.resize(n_);
+  pack16_timed(result_, dtype_, wire_buf_);
+  const int tag = tags::kAllreduce + tag_base_ + round_;
+  comm_.isend<std::uint16_t>(partner, tag,
+                             std::span<const std::uint16_t>(wire_buf_));
+  pending_ = comm_.irecv(partner, tag);
+}
+
+void AsyncCompressedAllreduce::advance() {
+  std::vector<std::uint16_t> incoming = pending_.take<std::uint16_t>();
+  switch (phase_) {
+    case Phase::kReduceScatter: {
+      BGL_CHECK(incoming.size() == block_);
+      const int recv_block = (me_ - round_ - 2 + p_) % p_;
+      quant::unpack16(incoming, dtype_, acc_);
+      const float* local =
+          work_.data() + block_ * static_cast<std::size_t>(recv_block);
+      for (std::size_t i = 0; i < block_; ++i) acc_[i] += local[i];
+      note_saved(static_cast<std::int64_t>(block_) * 2);
+      if (++round_ < p_ - 1) {
+        start_ring_round();
+        return;
+      }
+      // Reduce-scatter finished: pack my reduced block ONCE and seed the
+      // 16-bit allgather buffer with it.
+      pack16_timed(acc_, dtype_, wire_buf_);
+      gather_wire_.assign(block_ * static_cast<std::size_t>(p_), 0);
+      std::copy(wire_buf_.begin(), wire_buf_.end(),
+                gather_wire_.begin() +
+                    static_cast<std::ptrdiff_t>(block_) * me_);
+      phase_ = Phase::kAllgather;
+      round_ = 0;
+      start_gather_round();
+      return;
+    }
+    case Phase::kAllgather: {
+      BGL_CHECK(incoming.size() == block_);
+      const int recv_block = (me_ - round_ - 1 + p_) % p_;
+      std::copy(incoming.begin(), incoming.end(),
+                gather_wire_.begin() +
+                    static_cast<std::ptrdiff_t>(block_) * recv_block);
+      note_saved(static_cast<std::int64_t>(block_) * 2);
+      if (++round_ < p_ - 1) {
+        start_gather_round();
+        return;
+      }
+      // Every rank — the block owner included — unpacks the same 16-bit
+      // words, so replicas agree bitwise (and match ring_16 exactly).
+      std::vector<float> full(gather_wire_.size());
+      quant::unpack16(gather_wire_, dtype_, full);
+      std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(n_),
+                result_.begin());
+      phase_ = Phase::kDone;
+      return;
+    }
+    case Phase::kDoubling: {
+      BGL_CHECK(incoming.size() == n_);
+      // Symmetrized: unpack(pack(self)) + unpack(incoming) on both sides.
+      quant::unpack16(wire_buf_, dtype_, result_);
+      std::vector<float> other(n_);
+      quant::unpack16(incoming, dtype_, other);
+      for (std::size_t i = 0; i < n_; ++i) result_[i] += other[i];
+      note_saved(static_cast<std::int64_t>(n_) * 2);
+      mask_ <<= 1;
+      ++round_;
+      if (mask_ < p_) {
+        start_doubling_round();
+        return;
+      }
+      phase_ = Phase::kDone;
+      return;
+    }
+    case Phase::kDone:
+      return;
+  }
+}
+
+}  // namespace bgl::coll

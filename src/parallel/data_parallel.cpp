@@ -36,6 +36,7 @@ void DataParallel::sync_gradients(
   const float inv = 1.0f / static_cast<float>(comm.size());
 
   std::vector<float> fused;
+  std::size_t bucket_index = 0;
   for (const GradBucket& bucket : plan_buckets(params)) {
     fused.clear();
     fused.reserve(bucket.elems);
@@ -43,7 +44,11 @@ void DataParallel::sync_gradients(
       const auto g = p->grad.f32();
       fused.insert(fused.end(), g.begin(), g.end());
     }
-    coll::allreduce_sum<float>(comm, fused, algo_);
+    // A kF32 wire delegates to allreduce_sum, so the uncompressed path is
+    // bit-for-bit today's path.
+    coll::compressed_allreduce_sum(
+        comm, fused, compression_.wire_for(bucket_index++, bucket.elems),
+        algo_);
     std::size_t off = 0;
     for (nn::Parameter* p : bucket.params) {
       auto g = p->grad.f32();
@@ -54,8 +59,12 @@ void DataParallel::sync_gradients(
 
 DataParallel::GradSyncSession::GradSyncSession(
     const rt::Communicator& comm, std::span<nn::Parameter* const> params,
-    coll::AllreduceAlgo algo, std::size_t bucket_elems, int salt_base)
-    : comm_(comm), algo_(algo), salt_base_(salt_base) {
+    coll::AllreduceAlgo algo, std::size_t bucket_elems, int salt_base,
+    coll::CompressionPolicy compression)
+    : comm_(comm),
+      algo_(algo),
+      salt_base_(salt_base),
+      compression_(std::move(compression)) {
   if (comm_.size() == 1) {
     finished_ = true;  // nothing to reduce; finish() stays a no-op
     return;
@@ -83,10 +92,12 @@ void DataParallel::GradSyncSession::launch(BucketState& b) {
     const auto g = p->grad.f32();
     fused.insert(fused.end(), g.begin(), g.end());
   }
-  const int salt =
-      salt_base_ + static_cast<int>(&b - buckets_.data());
-  b.op = std::make_unique<coll::AsyncAllreduce<float>>(
-      comm_, std::span<const float>(fused), algo_, salt);
+  const std::size_t bucket_index =
+      static_cast<std::size_t>(&b - buckets_.data());
+  const int salt = salt_base_ + static_cast<int>(bucket_index);
+  b.op = std::make_unique<coll::AsyncCompressedAllreduce>(
+      comm_, std::span<const float>(fused),
+      compression_.wire_for(bucket_index, b.bucket.elems), algo_, salt);
   obs::count("dp.overlap.buckets_launched");
 }
 
@@ -165,7 +176,7 @@ std::unique_ptr<DataParallel::GradSyncSession> DataParallel::begin_async_sync(
     const rt::Communicator& comm, std::span<nn::Parameter* const> params,
     int salt_base) const {
   return std::make_unique<GradSyncSession>(comm, params, algo_, bucket_elems_,
-                                           salt_base);
+                                           salt_base, compression_);
 }
 
 void DataParallel::broadcast_parameters(

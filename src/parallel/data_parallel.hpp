@@ -17,6 +17,7 @@
 
 #include "collectives/async.hpp"
 #include "collectives/coll.hpp"
+#include "collectives/compressed.hpp"
 #include "nn/layer.hpp"
 #include "runtime/comm.hpp"
 
@@ -46,7 +47,8 @@ class DataParallel {
     GradSyncSession(const rt::Communicator& comm,
                     std::span<nn::Parameter* const> params,
                     coll::AllreduceAlgo algo, std::size_t bucket_elems,
-                    int salt_base);
+                    int salt_base,
+                    coll::CompressionPolicy compression = {});
 
     /// Marks `p`'s gradient final. Launches its bucket when it was the last
     /// straggler, then opportunistically progresses every in-flight bucket.
@@ -72,7 +74,10 @@ class DataParallel {
     struct BucketState {
       GradBucket bucket;
       std::size_t waiting = 0;  // params whose grad is not yet final
-      std::unique_ptr<coll::AsyncAllreduce<float>> op;  // null until launched
+      // Null until launched. AsyncCompressedAllreduce with a kF32 wire is an
+      // embedded AsyncAllreduce<float>, so the uncompressed path keeps its
+      // exact numerics and one handle type covers every bucket.
+      std::unique_ptr<coll::AsyncCompressedAllreduce> op;
       bool written = false;
     };
 
@@ -82,6 +87,7 @@ class DataParallel {
     rt::Communicator comm_;
     coll::AllreduceAlgo algo_;
     int salt_base_;
+    coll::CompressionPolicy compression_;
     float inv_ = 1.0f;
     std::vector<BucketState> buckets_;
     /// param -> bucket index, for notify_ready dispatch.
@@ -123,9 +129,20 @@ class DataParallel {
 
   [[nodiscard]] coll::AllreduceAlgo algo() const { return algo_; }
 
+  /// Wire policy for the gradient allreduces. Defaults to the environment
+  /// (BGL_COMPRESS et al., collectives/compressed.hpp); the all-f32 policy
+  /// reproduces the uncompressed trajectories bitwise.
+  void set_compression(coll::CompressionPolicy policy) {
+    compression_ = std::move(policy);
+  }
+  [[nodiscard]] const coll::CompressionPolicy& compression() const {
+    return compression_;
+  }
+
  private:
   coll::AllreduceAlgo algo_;
   std::size_t bucket_elems_;
+  coll::CompressionPolicy compression_ = coll::CompressionPolicy::from_env();
 };
 
 }  // namespace bgl::parallel

@@ -28,7 +28,12 @@ DistTrainer::DistTrainer(const rt::Communicator& world,
       options_(options),
       emulator_(options.compute_dtype),
       scaler_(options.initial_loss_scale),
-      params_(lm.parameters()) {}
+      params_(lm.parameters()) {
+  if (options.compression) {
+    lm_.set_compression(*options.compression);
+    lm_.set_dispatch_compression(options.compression->int8_dispatch);
+  }
+}
 
 DistStepStats DistTrainer::train_step(const train::Batch& batch) {
   return train_step_accumulated({&batch, 1});

@@ -6,6 +6,8 @@
 // without extra coordination.
 #pragma once
 
+#include <optional>
+
 #include "model/trainer.hpp"
 #include "nn/loss.hpp"
 #include "parallel/dist_transformer.hpp"
@@ -31,6 +33,13 @@ struct DistTrainerOptions {
   /// 16-bit emulation must quantize *final* gradients before the sync, so
   /// those runs keep the synchronous schedule regardless.
   bool overlap_allreduce = overlap_default_from_env();
+  /// Wire policy for gradient allreduce + MoE dispatch (DESIGN.md §11).
+  /// nullopt keeps whatever the model is already configured with (its own
+  /// default comes from BGL_COMPRESS / BGL_COMPRESS_DISPATCH); a value is
+  /// applied to the model at trainer construction. With an f16 wire, a
+  /// partial sum overflowing the f16 range reaches every rank as ±inf and
+  /// the loss scaler backs off exactly as for a compute overflow.
+  std::optional<coll::CompressionPolicy> compression;
 };
 
 struct DistStepStats {

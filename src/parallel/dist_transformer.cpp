@@ -282,4 +282,13 @@ void DistMoETransformerLM::set_dispatch_algo(coll::AlltoallvAlgo algo,
   for (const auto& block : blocks_) block->moe->set_dispatch_algo(algo, group);
 }
 
+void DistMoETransformerLM::set_dispatch_compression(bool int8_wire) {
+  for (const auto& block : blocks_)
+    block->moe->set_dispatch_compression(int8_wire);
+}
+
+bool DistMoETransformerLM::dispatch_compression() const {
+  return !blocks_.empty() && blocks_.front()->moe->dispatch_compression();
+}
+
 }  // namespace bgl::parallel

@@ -125,6 +125,21 @@ class DistMoETransformerLM {
   /// Selects the dispatch all-to-all algorithm for every MoE layer.
   void set_dispatch_algo(coll::AlltoallvAlgo algo, int group = 1);
 
+  /// Wire policy for the gradient allreduces (both the expert sync over the
+  /// DP communicator and the replicated sync over the world), applied to the
+  /// blocking path and the overlapped sessions alike. grad_wire = kF32
+  /// reproduces the uncompressed trajectories bitwise.
+  void set_compression(coll::CompressionPolicy policy) {
+    dp_.set_compression(std::move(policy));
+  }
+  [[nodiscard]] const coll::CompressionPolicy& compression() const {
+    return dp_.compression();
+  }
+
+  /// int8 block-scaled wire for every MoE layer's token-row all-to-alls.
+  void set_dispatch_compression(bool int8_wire);
+  [[nodiscard]] bool dispatch_compression() const;
+
  private:
   struct Block {
     std::unique_ptr<nn::LayerNorm> ln1;

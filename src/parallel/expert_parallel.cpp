@@ -27,6 +27,14 @@ auto timed_into(double& acc, Fn&& fn) {
 
 }  // namespace
 
+std::vector<std::vector<float>> ExpertParallelMoE::row_alltoallv(
+    const std::vector<std::vector<float>>& send) const {
+  if (int8_dispatch_) {
+    return coll::alltoallv_quantized(comm_, send, a2a_algo_, a2a_group_);
+  }
+  return coll::alltoallv<float>(comm_, send, a2a_algo_, a2a_group_);
+}
+
 ExpertParallelMoE::ExpertParallelMoE(const rt::Communicator& comm,
                                      std::int64_t d_model,
                                      std::int64_t d_hidden,
@@ -110,7 +118,7 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
 
   const auto recv_rows = timed_into(a2a_seconds_, [&] {
     obs::Span a2a("ep_moe.a2a.dispatch");
-    return coll::alltoallv<float>(comm_, send_rows, a2a_algo_, a2a_group_);
+    return row_alltoallv(send_rows);
   });
   const auto recv_experts = timed_into(a2a_seconds_, [&] {
     return coll::alltoallv<std::int32_t>(comm_, send_experts, a2a_algo_,
@@ -177,7 +185,7 @@ Tensor ExpertParallelMoE::forward(const Tensor& x) {
   }
   const auto got_back = timed_into(a2a_seconds_, [&] {
     obs::Span a2a("ep_moe.a2a.combine");
-    return coll::alltoallv<float>(comm_, send_back, a2a_algo_, a2a_group_);
+    return row_alltoallv(send_back);
   });
 
   // Combine: y[token] += w * returned row. Cache returned rows for dw.
@@ -236,7 +244,7 @@ Tensor ExpertParallelMoE::backward(const Tensor& dy) {
 
   const auto recv_dout = timed_into(a2a_seconds_, [&] {
     obs::Span a2a("ep_moe.a2a.dout");
-    return coll::alltoallv<float>(comm_, send_dout, a2a_algo_, a2a_group_);
+    return row_alltoallv(send_dout);
   });
 
   // Regroup incoming dout rows per local expert, in forward input order.
@@ -285,7 +293,7 @@ Tensor ExpertParallelMoE::backward(const Tensor& dy) {
   }
   const auto got_din = timed_into(a2a_seconds_, [&] {
     obs::Span a2a("ep_moe.a2a.din");
-    return coll::alltoallv<float>(comm_, send_din, a2a_algo_, a2a_group_);
+    return row_alltoallv(send_din);
   });
 
   // Accumulate input gradients per token (no gate-weight scaling: experts

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "collectives/coll.hpp"
+#include "collectives/compressed.hpp"
 #include "moe/gating.hpp"
 #include "moe/placement.hpp"
 #include "nn/feedforward.hpp"
@@ -81,6 +82,14 @@ class ExpertParallelMoE {
   }
   [[nodiscard]] coll::AlltoallvAlgo dispatch_algo() const { return a2a_algo_; }
 
+  /// int8 block-scaled wire for the four token-row all-to-alls (forward
+  /// dispatch/combine, backward dout/din). The expert-id exchange stays
+  /// exact int32. Decoded rows are a pure function of the logical send
+  /// buffers (tensor/quant.hpp), so routing and numerics stay independent
+  /// of algorithm and world layout. Default from BGL_COMPRESS_DISPATCH.
+  void set_dispatch_compression(bool int8_wire) { int8_dispatch_ = int8_wire; }
+  [[nodiscard]] bool dispatch_compression() const { return int8_dispatch_; }
+
   /// Scales the aux-loss gradient injected during backward (see
   /// moe::MoELayer::set_grad_scale).
   void set_grad_scale(double scale) {
@@ -120,7 +129,12 @@ class ExpertParallelMoE {
   bool training_ = true;
   coll::AlltoallvAlgo a2a_algo_ = coll::AlltoallvAlgo::kPairwise;
   int a2a_group_ = 1;
+  bool int8_dispatch_ = coll::CompressionPolicy::from_env().int8_dispatch;
   double grad_scale_ = 1.0;
+
+  /// Routes a token-row exchange through the configured wire.
+  [[nodiscard]] std::vector<std::vector<float>> row_alltoallv(
+      const std::vector<std::vector<float>>& send) const;
 
   // Forward caches (consumed by backward).
   Tensor cached_x_;

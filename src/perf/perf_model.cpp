@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "collectives/coll_cost.hpp"
+#include "collectives/compressed.hpp"
 #include "core/math_util.hpp"
 
 namespace bgl::perf {
@@ -36,6 +37,8 @@ void TrainSetup::validate() const {
              "experts " << model.num_experts << " must divide over ep_size "
                         << ep_size);
   BGL_ENSURE(tokens_per_rank >= 1, "tokens_per_rank >= 1");
+  BGL_ENSURE(grad_wire != coll::Wire::kInt8Block,
+             "int8 is a dispatch wire, not a gradient allreduce wire");
 }
 
 std::int64_t aligned_group(std::int64_t ranks, std::int64_t limit) {
@@ -101,8 +104,13 @@ StepBreakdown model_step(const TrainSetup& setup) {
   // --- dispatch / combine all-to-all ------------------------------------------
   // Per MoE layer: forward dispatch + forward combine, backward dout +
   // backward din — four a2a passes of the routed token rows.
-  const double bytes_per_a2a =
-      tokens * m.top_k * d * static_cast<double>(dtype_size(setup.compute));
+  // kF32 dispatch wire means "whatever the compute dtype is" (today's
+  // behavior); a compressed wire overrides it.
+  const double a2a_wire_bytes =
+      setup.dispatch_wire == coll::Wire::kF32
+          ? static_cast<double>(dtype_size(setup.compute))
+          : coll::wire_bytes_per_elem(setup.dispatch_wire);
+  const double bytes_per_a2a = tokens * m.top_k * d * a2a_wire_bytes;
   const std::int64_t ep = setup.ep_size;
   double a2a_each = 0.0;
   if (ep > 1) {
@@ -119,11 +127,12 @@ StepBreakdown model_step(const TrainSetup& setup) {
   const std::int64_t dp = setup.dp_size();
   const double gate_params =
       static_cast<double>(m.n_layers) * d * e_count / ep;
+  const double grad_wire_bytes = coll::wire_bytes_per_elem(setup.grad_wire);
   const double expert_grad_bytes =
       (static_cast<double>(m.n_layers) * (e_count / ep) *
            static_cast<double>(m.expert_params()) +
        gate_params) *
-      4.0;
+      grad_wire_bytes;
   double ar = 0.0;
   if (dp > 1) {
     // DP groups are strided by ep_size: ring rounds cross supernodes.
@@ -142,7 +151,7 @@ StepBreakdown model_step(const TrainSetup& setup) {
   if (!setup.vocab_parallel_embedding) {
     dense_params_repl += static_cast<double>(m.embedding_params());
   }
-  const double dense_grad_bytes = dense_params_repl * 4.0;
+  const double dense_grad_bytes = dense_params_repl * grad_wire_bytes;
   const std::int64_t all = setup.ranks();
   if (all > 1 && dense_grad_bytes > 0.0) {
     const double flat = coll::allreduce_cost(mach, all, dense_grad_bytes,

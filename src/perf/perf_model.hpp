@@ -36,6 +36,13 @@ struct TrainSetup {
   /// Shard token embedding + LM head over the EP group (vocab parallel)
   /// instead of replicating them — removes them from the global allreduce.
   bool vocab_parallel_embedding = true;
+  /// Wire of the gradient allreduce (kF32 = uncompressed; kBF16/kF16 halve
+  /// the allreduce bytes — collectives/compressed.hpp).
+  coll::Wire grad_wire = coll::Wire::kF32;
+  /// Wire of the dispatch/combine all-to-all. kF32 follows the compute
+  /// dtype (today's behavior); kInt8Block models the block-scaled codec at
+  /// 1.125 B/elem.
+  coll::Wire dispatch_wire = coll::Wire::kF32;
 
   [[nodiscard]] std::int64_t ranks() const {
     return nodes_used * machine.processes_per_node;

@@ -173,7 +173,7 @@ class Fabric {
           obs::count("comm.fault.delayed");
           msg.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
               std::chrono::duration<double>(
-                  options_.fault_injector->config().delay_s));
+                  options_.fault_injector->delay_for(msg.payload.size())));
           break;
         case FaultAction::kCorrupt:
           obs::count("comm.fault.corrupted");
@@ -657,7 +657,7 @@ class Fabric {
           msg.ready_at =
               Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                  std::chrono::duration<double>(
-                                     injector->config().delay_s));
+                                     injector->delay_for(bytes->size())));
           break;
         case FaultAction::kCorrupt:
           obs::count("comm.fault.corrupted");

@@ -43,6 +43,10 @@ struct FaultConfig {
   double corrupt_prob = 0.0;  // one payload bit is flipped
   double delay_prob = 0.0;    // delivery is deferred by delay_s
   double delay_s = 0.0;
+  /// Extra deferral per payload byte (emulated link bandwidth; 0 keeps the
+  /// fixed-latency behavior). The compression benches set this so wire-byte
+  /// reductions translate into measurable step-time wins.
+  double delay_per_byte_s = 0.0;
   int kill_rank = -1;            // world rank to kill (-1 = never)
   std::uint64_t kill_at_op = 0;  // 1-based send/recv count on kill_rank
   /// Partition fault: mute_hb_rank's heartbeats stop arriving once it has
@@ -71,6 +75,13 @@ class FaultInjector {
   explicit FaultInjector(const FaultConfig& config) : config_(config) {}
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Deferral applied to a delayed message of `bytes` payload bytes:
+  /// delay_s plus the emulated serialization time delay_per_byte_s * bytes.
+  [[nodiscard]] double delay_for(std::size_t bytes) const {
+    return config_.delay_s +
+           config_.delay_per_byte_s * static_cast<double>(bytes);
+  }
 
   /// Called by the fabric at the start of every send/recv on `world_rank`.
   /// Throws RankFailureError when the configured kill point is reached.

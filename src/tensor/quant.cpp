@@ -1,0 +1,148 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace bgl::quant {
+
+void pack16(std::span<const float> x, DType dtype,
+            std::span<std::uint16_t> out) {
+  BGL_CHECK(out.size() == x.size());
+  if (dtype == DType::kBF16) {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      out[i] = detail::f32_to_bf16_bits(x[i]);
+  } else {
+    BGL_ENSURE(dtype == DType::kF16, "pack16 wire must be bf16 or f16");
+    for (std::size_t i = 0; i < x.size(); ++i)
+      out[i] = detail::f32_to_f16_bits(x[i]);
+  }
+}
+
+void unpack16(std::span<const std::uint16_t> x, DType dtype,
+              std::span<float> out) {
+  BGL_CHECK(out.size() == x.size());
+  if (dtype == DType::kBF16) {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      out[i] = detail::bf16_bits_to_f32(x[i]);
+  } else {
+    BGL_ENSURE(dtype == DType::kF16, "unpack16 wire must be bf16 or f16");
+    for (std::size_t i = 0; i < x.size(); ++i)
+      out[i] = detail::f16_bits_to_f32(x[i]);
+  }
+}
+
+std::vector<std::uint16_t> pack16(std::span<const float> x, DType dtype) {
+  std::vector<std::uint16_t> out(x.size());
+  pack16(x, dtype, out);
+  return out;
+}
+
+std::vector<float> unpack16(std::span<const std::uint16_t> x, DType dtype) {
+  std::vector<float> out(x.size());
+  unpack16(x, dtype, out);
+  return out;
+}
+
+namespace {
+
+/// Quantizes one element given the block scale. NaN encodes to 0; values
+/// beyond the block max (impossible for finite blocks, possible when an inf
+/// polluted the scale) clamp to ±127.
+std::int8_t quantize_one(float v, float scale) {
+  const float r = std::nearbyintf(v / scale);
+  if (r >= 127.0f) return 127;
+  if (r <= -127.0f) return -127;
+  if (!(r == r)) return 0;  // NaN
+  return static_cast<std::int8_t>(r);
+}
+
+/// Block scale: max |x| / 127, ignoring NaN (comparisons are false).
+float block_scale(const float* x, std::size_t n) {
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > max_abs) max_abs = a;
+  }
+  return max_abs / 127.0f;
+}
+
+}  // namespace
+
+std::size_t int8_encoded_bytes(std::size_t n) {
+  const std::size_t blocks = (n + kInt8Block - 1) / kInt8Block;
+  return 8 + 4 * blocks + n;
+}
+
+std::vector<std::byte> encode_int8(std::span<const float> x) {
+  const std::size_t n = x.size();
+  const std::size_t blocks = (n + kInt8Block - 1) / kInt8Block;
+  std::vector<std::byte> out(int8_encoded_bytes(n));
+  const std::uint64_t count = n;
+  std::memcpy(out.data(), &count, 8);
+  std::byte* scales = out.data() + 8;
+  std::byte* payload = scales + 4 * blocks;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * kInt8Block;
+    const std::size_t len = std::min(kInt8Block, n - lo);
+    const float scale = block_scale(x.data() + lo, len);
+    std::memcpy(scales + 4 * b, &scale, 4);
+    if (scale == 0.0f) {
+      std::memset(payload + lo, 0, len);
+      continue;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::int8_t q = quantize_one(x[lo + i], scale);
+      std::memcpy(payload + lo + i, &q, 1);
+    }
+  }
+  return out;
+}
+
+std::vector<float> decode_int8(std::span<const std::byte> buf) {
+  BGL_ENSURE(buf.size() >= 8, "int8 buffer truncated: " << buf.size() << " B");
+  std::uint64_t count = 0;
+  std::memcpy(&count, buf.data(), 8);
+  const std::size_t n = static_cast<std::size_t>(count);
+  BGL_ENSURE(buf.size() == int8_encoded_bytes(n),
+             "int8 buffer of " << buf.size() << " B cannot hold " << n
+                               << " elements");
+  const std::size_t blocks = (n + kInt8Block - 1) / kInt8Block;
+  const std::byte* scales = buf.data() + 8;
+  const std::byte* payload = scales + 4 * blocks;
+  std::vector<float> out(n);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * kInt8Block;
+    const std::size_t len = std::min(kInt8Block, n - lo);
+    float scale = 0.0f;
+    std::memcpy(&scale, scales + 4 * b, 4);
+    for (std::size_t i = 0; i < len; ++i) {
+      std::int8_t q = 0;
+      std::memcpy(&q, payload + lo + i, 1);
+      out[lo + i] = scale * static_cast<float>(q);
+    }
+  }
+  return out;
+}
+
+std::vector<float> int8_roundtrip(std::span<const float> x) {
+  const std::size_t n = x.size();
+  std::vector<float> out(n);
+  const std::size_t blocks = (n + kInt8Block - 1) / kInt8Block;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * kInt8Block;
+    const std::size_t len = std::min(kInt8Block, n - lo);
+    const float scale = block_scale(x.data() + lo, len);
+    for (std::size_t i = 0; i < len; ++i) {
+      out[lo + i] =
+          scale == 0.0f
+              ? 0.0f
+              : scale * static_cast<float>(quantize_one(x[lo + i], scale));
+    }
+  }
+  return out;
+}
+
+}  // namespace bgl::quant

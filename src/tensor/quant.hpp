@@ -1,0 +1,70 @@
+// Wire codecs for compressed communication (DESIGN.md §11).
+//
+// Two encodings, chosen per communication path:
+//
+//  * 16-bit truncation (bf16 / f16): the gradient-allreduce wire format.
+//    pack16/unpack16 round each f32 through the storage format of
+//    tensor/dtype.hpp — the identical round-to-nearest-even conversion the
+//    mixed-precision compute emulation uses — so wire numerics and compute
+//    numerics agree. f16 overflows to ±inf exactly like the compute path,
+//    which is what lets the loss scaler detect and back off from a wire
+//    overflow the same way it handles a compute overflow.
+//
+//  * int8 + per-block f32 scale: the MoE token-dispatch wire format.
+//    Elements are grouped in blocks of kInt8Block; each block stores one
+//    f32 scale (max |x| / 127) and one int8 per element, rounded to
+//    nearest-even. decode(encode(x)) is a *pure function of x*: block
+//    boundaries start at offset 0 of the logical buffer, the scale is
+//    derived only from the block's own elements, and every arithmetic step
+//    is deterministic IEEE f32 — so the decoded values are bitwise
+//    identical no matter which collective algorithm, rank count, or world
+//    layout carried the bytes. Inputs are assumed finite (token
+//    activations / their gradients); non-finite elements encode to 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/dtype.hpp"
+
+namespace bgl::quant {
+
+/// Elements sharing one f32 scale in the int8 block codec.
+inline constexpr std::size_t kInt8Block = 32;
+
+/// --- 16-bit wire (gradient allreduce) --------------------------------------
+
+/// Rounds each element of `x` through `dtype` (kBF16 or kF16) into 16-bit
+/// storage. out.size() must equal x.size().
+void pack16(std::span<const float> x, DType dtype,
+            std::span<std::uint16_t> out);
+
+/// Exact expansion of 16-bit storage back to f32. out.size() == x.size().
+void unpack16(std::span<const std::uint16_t> x, DType dtype,
+              std::span<float> out);
+
+[[nodiscard]] std::vector<std::uint16_t> pack16(std::span<const float> x,
+                                                DType dtype);
+[[nodiscard]] std::vector<float> unpack16(std::span<const std::uint16_t> x,
+                                          DType dtype);
+
+/// --- int8 block-scaled wire (MoE dispatch) ---------------------------------
+
+/// Encoded size in bytes of an n-element buffer:
+///   8 (u64 count) + 4 * ceil(n / kInt8Block) (scales) + n (payload).
+[[nodiscard]] std::size_t int8_encoded_bytes(std::size_t n);
+
+/// Encodes `x` into the self-describing byte layout documented above.
+[[nodiscard]] std::vector<std::byte> encode_int8(std::span<const float> x);
+
+/// Decodes a buffer produced by encode_int8. Throws on malformed input.
+[[nodiscard]] std::vector<float> decode_int8(std::span<const std::byte> buf);
+
+/// decode_int8(encode_int8(x)) without the byte round trip — the oracle the
+/// conformance suite pins compressed dispatch against. The per-element
+/// error is bounded by scale/2 = max_block |x| / 254.
+[[nodiscard]] std::vector<float> int8_roundtrip(std::span<const float> x);
+
+}  // namespace bgl::quant

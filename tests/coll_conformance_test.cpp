@@ -15,6 +15,7 @@
 // `conformance` ctest label.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -22,9 +23,11 @@
 
 #include "collectives/async.hpp"
 #include "collectives/coll.hpp"
+#include "collectives/compressed.hpp"
 #include "core/rng.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/fault.hpp"
+#include "tensor/quant.hpp"
 
 namespace bgl::coll {
 namespace {
@@ -406,6 +409,331 @@ TEST(CollConformance, CollectivesSurviveDropStormBitwise) {
   // The storm was real: faults fired somewhere in the sweep. (Not asserted
   // per world size — at P=2 only a few dozen frames flow, and a 3% fault
   // rate can deterministically miss all of them under some payload seeds.)
+  EXPECT_GT(total_events, 0u);
+}
+
+/// --- compressed collectives (DESIGN.md §11) --------------------------------
+
+/// Per-rank float input whose elements are small integers (|v| <= 8). With
+/// P <= 13 every partial sum stays within ±104: integers up to 256 are
+/// exactly representable in bf16 (8 mantissa bits) and up to 2048 in f16,
+/// so every pack on the wire is lossless and the compressed result must
+/// equal the f32 oracle *bitwise* — any schedule, tag, or rounding bug is a
+/// hard mismatch instead of an epsilon.
+std::vector<float> exact_float_input(std::uint64_t seed, int p, int rank,
+                                     std::size_t n) {
+  Rng rng(seed ^ 0xEAC7ul ^ (static_cast<std::uint64_t>(p) << 20));
+  Rng fork = rng.fork(static_cast<std::uint64_t>(rank));
+  std::vector<float> out(n);
+  for (auto& v : out)
+    v = static_cast<float>(static_cast<int>(fork.uniform_index(17)) - 8);
+  return out;
+}
+
+/// Per-rank float input with generic mantissas in roughly [-1, 1], for the
+/// error-bound cells where the wire rounding is real.
+std::vector<float> random_float_input(std::uint64_t seed, int p, int rank,
+                                      std::size_t n) {
+  Rng rng(seed ^ 0xF10A7ul ^ (static_cast<std::uint64_t>(p) << 20));
+  Rng fork = rng.fork(static_cast<std::uint64_t>(rank));
+  std::vector<float> out(n);
+  for (auto& v : out)
+    v = (static_cast<float>(fork.uniform_index(65536)) - 32768.0f) / 32768.0f;
+  return out;
+}
+
+constexpr Wire kCompressedWires[] = {Wire::kBF16, Wire::kF16};
+constexpr AllreduceAlgo kAllreduceAlgos[] = {AllreduceAlgo::kRing,
+                                             AllreduceAlgo::kRecursiveDoubling};
+
+TEST(CollConformance, CompressedAllreduceBitwiseEqualsOracleOnExactFloats) {
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    for (const std::size_t n :
+         {std::size_t{1}, static_cast<std::size_t>(p) + 3, std::size_t{67}}) {
+      rt::World::run(p, [&](rt::Communicator& comm) {
+        const std::vector<float> mine =
+            exact_float_input(seed, p, comm.rank(), n);
+        std::vector<float> expect(n, 0.0f);
+        for (int r = 0; r < p; ++r) {
+          const std::vector<float> theirs = exact_float_input(seed, p, r, n);
+          for (std::size_t i = 0; i < n; ++i) expect[i] += theirs[i];
+        }
+        for (const Wire wire : kCompressedWires) {
+          for (const AllreduceAlgo algo : kAllreduceAlgos) {
+            std::vector<float> got = mine;
+            compressed_allreduce_sum(comm, got, wire, algo);
+            EXPECT_EQ(std::memcmp(got.data(), expect.data(),
+                                  n * sizeof(float)),
+                      0)
+                << wire_name(wire) << " " << allreduce_algo_name(algo)
+                << " P=" << p << " n=" << n;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollConformance, CompressedAllreduceErrorBoundOnRandomFloats) {
+  // Error bound: the travelling partial sum is re-packed at most (p - 1)
+  // times on the ring (plus once for the allgather) and log2(p) times under
+  // doubling; each pack perturbs the value by at most half an ulp of the
+  // wire dtype, i.e. a relative eps(wire)/2 of the running magnitude, which
+  // is itself bounded by sum_r |x_r[i]|. A 4x safety factor absorbs the
+  // second-order terms (f32 addition rounding, error-on-error).
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    const std::size_t n = 129;
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const std::vector<float> mine =
+          random_float_input(seed, p, comm.rank(), n);
+      std::vector<double> expect(n, 0.0);
+      std::vector<double> sum_abs(n, 0.0);
+      for (int r = 0; r < p; ++r) {
+        const std::vector<float> theirs = random_float_input(seed, p, r, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          expect[i] += static_cast<double>(theirs[i]);
+          sum_abs[i] += std::abs(static_cast<double>(theirs[i]));
+        }
+      }
+      for (const Wire wire : kCompressedWires) {
+        const double eps = dtype_epsilon(wire_dtype(wire));
+        const double packs = static_cast<double>(p) + 1.0;
+        for (const AllreduceAlgo algo : kAllreduceAlgos) {
+          std::vector<float> got = mine;
+          compressed_allreduce_sum(comm, got, wire, algo);
+          for (std::size_t i = 0; i < n; ++i) {
+            const double tol =
+                4.0 * packs * (eps / 2.0) * (sum_abs[i] + 1e-6);
+            EXPECT_NEAR(static_cast<double>(got[i]), expect[i], tol)
+                << wire_name(wire) << " " << allreduce_algo_name(algo)
+                << " P=" << p << " i=" << i;
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(CollConformance, CompressedAllreduceReplicasAgreeBitwise) {
+  // The property DataParallel relies on: every rank finishes the compressed
+  // allreduce with *identical bits*, even for generic mantissas where the
+  // wire rounding is real. Ring gets this from pack-once/unpack-everywhere
+  // on the allgathered blocks; doubling from the symmetrized two-term sums.
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    const std::size_t n = 83;
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const std::vector<float> mine =
+          random_float_input(seed, p, comm.rank(), n);
+      for (const Wire wire : kCompressedWires) {
+        for (const AllreduceAlgo algo : kAllreduceAlgos) {
+          std::vector<float> got = mine;
+          compressed_allreduce_sum(comm, got, wire, algo);
+          const std::vector<float> all =
+              allgather<float>(comm, std::span<const float>(got));
+          for (int r = 0; r < p; ++r) {
+            EXPECT_EQ(std::memcmp(all.data() + n * static_cast<std::size_t>(r),
+                                  got.data(), n * sizeof(float)),
+                      0)
+                << wire_name(wire) << " " << allreduce_algo_name(algo)
+                << " P=" << p << ": rank " << r << " diverged from rank "
+                << comm.rank();
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(CollConformance, CompressedAsyncAllreduceBitwiseMatchesSync) {
+  // The nonblocking state machine must reproduce the synchronous compressed
+  // path bit for bit on arbitrary inputs — same wire packs, same f32
+  // accumulation order — or the overlap path would perturb training.
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : {2, 3, 4, 7, 8, 13}) {
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{53}}) {
+      rt::World::run(p, [&](rt::Communicator& comm) {
+        const std::vector<float> mine =
+            random_float_input(seed, p, comm.rank(), n);
+        for (const Wire wire : kCompressedWires) {
+          for (const AllreduceAlgo algo : kAllreduceAlgos) {
+            std::vector<float> sync = mine;
+            compressed_allreduce_sum(comm, sync, wire, algo);
+            AsyncCompressedAllreduce async(comm, mine, wire, algo);
+            async.wait();
+            ASSERT_EQ(async.result().size(), sync.size());
+            if (n > 0) {
+              EXPECT_EQ(std::memcmp(async.result().data(), sync.data(),
+                                    n * sizeof(float)),
+                        0)
+                  << wire_name(wire) << " " << allreduce_algo_name(algo)
+                  << " P=" << p << " n=" << n;
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+/// World-layout-independent float payload for the quantized all-to-all: the
+/// value only depends on (src, dst, k), never on P or the algorithm, so the
+/// decoded result can be pinned against the same int8_roundtrip oracle at
+/// every world size.
+float qpayload(std::uint64_t seed, int src, int dst, std::size_t k) {
+  Rng rng(seed ^ 0x0eadul);
+  const std::uint64_t bits =
+      rng.fork(static_cast<std::uint64_t>(src) * 7919 + dst).fork(k).next_u64();
+  return (static_cast<float>(bits & 0x7FF) - 1024.0f) / 256.0f;
+}
+
+TEST(CollConformance, QuantizedAlltoallMatchesRoundtripOracleAllAlgorithms) {
+  // Pin the tentpole reproducibility claim: the decoded output equals
+  // quant::int8_roundtrip of the logical send buffer — a pure function of
+  // the payload — for every algorithm, group width, and world size, self
+  // chunk included.
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{33},
+                                    std::size_t{70}}) {
+      rt::World::run(p, [&](rt::Communicator& comm) {
+        const int me = comm.rank();
+        std::vector<float> send(chunk * static_cast<std::size_t>(p));
+        for (int dst = 0; dst < p; ++dst)
+          for (std::size_t k = 0; k < chunk; ++k)
+            send[chunk * static_cast<std::size_t>(dst) + k] =
+                qpayload(seed, me, dst, k);
+        std::vector<float> expect(chunk * static_cast<std::size_t>(p));
+        for (int src = 0; src < p; ++src) {
+          std::vector<float> theirs(chunk);
+          for (std::size_t k = 0; k < chunk; ++k)
+            theirs[k] = qpayload(seed, src, me, k);
+          const std::vector<float> rt = quant::int8_roundtrip(theirs);
+          std::copy(rt.begin(), rt.end(),
+                    expect.begin() + static_cast<std::ptrdiff_t>(
+                                         chunk * static_cast<std::size_t>(src)));
+        }
+        const auto check = [&](AlltoallAlgo algo, int g) {
+          const std::vector<float> got =
+              alltoall_quantized(comm, send, chunk, algo, g);
+          ASSERT_EQ(got.size(), expect.size());
+          EXPECT_EQ(std::memcmp(got.data(), expect.data(),
+                                got.size() * sizeof(float)),
+                    0)
+              << alltoall_algo_name(algo) << " P=" << p << " chunk=" << chunk
+              << " g=" << g;
+        };
+        check(AlltoallAlgo::kPairwise, 1);
+        check(AlltoallAlgo::kBruck, 1);
+        for (const int g : divisors_of(p)) check(AlltoallAlgo::kHierarchical, g);
+      });
+    }
+  }
+}
+
+TEST(CollConformance, QuantizedAlltoallvMatchesRoundtripOracleAllAlgorithms) {
+  const std::uint64_t seed = conformance_seed();
+  for (const int p : kWorldSizes) {
+    rt::World::run(p, [&](rt::Communicator& comm) {
+      const int me = comm.rank();
+      std::vector<std::vector<float>> send(static_cast<std::size_t>(p));
+      for (int dst = 0; dst < p; ++dst) {
+        const std::size_t len = pair_len(seed, p, me, dst);
+        auto& buf = send[static_cast<std::size_t>(dst)];
+        buf.resize(len);
+        for (std::size_t k = 0; k < len; ++k)
+          buf[k] = qpayload(seed, me, dst, k);
+      }
+      std::vector<std::vector<float>> expect(static_cast<std::size_t>(p));
+      for (int src = 0; src < p; ++src) {
+        const std::size_t len = pair_len(seed, p, src, me);
+        std::vector<float> theirs(len);
+        for (std::size_t k = 0; k < len; ++k)
+          theirs[k] = qpayload(seed, src, me, k);
+        expect[static_cast<std::size_t>(src)] = quant::int8_roundtrip(theirs);
+      }
+      EXPECT_EQ(alltoallv_quantized(comm, send, AlltoallvAlgo::kPairwise),
+                expect)
+          << "pairwise P=" << p;
+      for (const int g : divisors_of(p)) {
+        EXPECT_EQ(
+            alltoallv_quantized(comm, send, AlltoallvAlgo::kHierarchical, g),
+            expect)
+            << "hierarchical P=" << p << " g=" << g;
+      }
+    });
+  }
+}
+
+TEST(CollConformance, CompressedCollectivesSurviveDropStormBitwise) {
+  // Compressed wires under the same ~2% drop / ~1% corrupt storm as the
+  // uncompressed cells, with the tier-1 retry ladder armed: retransmission
+  // and checksumming must compose with compression invisibly — exact-float
+  // compressed allreduces still match the oracle bitwise, quantized
+  // alltoallv still equals the int8_roundtrip oracle.
+  const std::uint64_t seed = conformance_seed();
+  std::size_t total_events = 0;
+  for (const int p : {2, 3, 4, 7}) {
+    rt::FaultInjector injector(
+        {.seed = seed + 0xC0 + static_cast<std::uint64_t>(p),
+         .drop_prob = 0.02,
+         .corrupt_prob = 0.01});
+    rt::WorldOptions options;
+    options.timeout_s = 60.0;
+    options.checksum_messages = true;
+    options.fault_injector = &injector;
+    options.retry.enabled = true;
+    options.retry.max_retries = 20;
+    options.retry.backoff_ms = 0.2;
+    options.retry.backoff_max_ms = 2.0;
+    rt::World::run(p, options, [&](rt::Communicator& comm) {
+      const int me = comm.rank();
+      const std::size_t n = 41;
+      const std::vector<float> mine = exact_float_input(seed, p, me, n);
+      std::vector<float> expect(n, 0.0f);
+      for (int r = 0; r < p; ++r) {
+        const std::vector<float> theirs = exact_float_input(seed, p, r, n);
+        for (std::size_t i = 0; i < n; ++i) expect[i] += theirs[i];
+      }
+      for (const Wire wire : kCompressedWires) {
+        for (const AllreduceAlgo algo : kAllreduceAlgos) {
+          std::vector<float> got = mine;
+          compressed_allreduce_sum(comm, got, wire, algo);
+          EXPECT_EQ(std::memcmp(got.data(), expect.data(), n * sizeof(float)),
+                    0)
+              << wire_name(wire) << " " << allreduce_algo_name(algo)
+              << " under drop storm P=" << p;
+        }
+        AsyncCompressedAllreduce async(comm, mine, wire);
+        async.wait();
+        EXPECT_EQ(std::memcmp(async.result().data(), expect.data(),
+                              n * sizeof(float)),
+                  0)
+            << "async " << wire_name(wire) << " under drop storm P=" << p;
+      }
+      // Quantized dispatch under the same storm.
+      std::vector<std::vector<float>> send(static_cast<std::size_t>(p));
+      std::vector<std::vector<float>> qexpect(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        const std::size_t len = pair_len(seed, p, me, r);
+        send[static_cast<std::size_t>(r)].resize(len);
+        for (std::size_t k = 0; k < len; ++k)
+          send[static_cast<std::size_t>(r)][k] = qpayload(seed, me, r, k);
+        const std::size_t rlen = pair_len(seed, p, r, me);
+        std::vector<float> theirs(rlen);
+        for (std::size_t k = 0; k < rlen; ++k)
+          theirs[k] = qpayload(seed, r, me, k);
+        qexpect[static_cast<std::size_t>(r)] = quant::int8_roundtrip(theirs);
+      }
+      EXPECT_EQ(alltoallv_quantized(comm, send, AlltoallvAlgo::kPairwise),
+                qexpect)
+          << "quantized alltoallv under drop storm P=" << p;
+    });
+    total_events += injector.events().size();
+  }
   EXPECT_GT(total_events, 0u);
 }
 

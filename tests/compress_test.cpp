@@ -1,0 +1,510 @@
+// Compressed-collective integration tests (DESIGN.md §11): the int8 / 16-bit
+// wire codecs, the CompressionPolicy env knobs, the acceptance byte ratios
+// (bf16 gradient allreduce <= 55% of f32 wire bytes, int8 MoE dispatch
+// <= 35% including scales and the exact int32 id exchange), f16 wire
+// overflow semantics (surfaces as ±inf -> loss-scale backoff -> recovery),
+// and end-to-end trainer guarantees: compressed overlap == compressed sync
+// bitwise, and the bf16-wire training trajectory stays within a pinned
+// distance of the f32 one while still converging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collectives/compressed.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/data_parallel.hpp"
+#include "parallel/dist_trainer.hpp"
+#include "parallel/dist_transformer.hpp"
+#include "parallel/expert_parallel.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
+#include "train/data.hpp"
+#include "train/mixed_precision.hpp"
+#include "train/optimizer.hpp"
+
+namespace bgl::parallel {
+namespace {
+
+using coll::AllreduceAlgo;
+using coll::CompressionPolicy;
+using coll::Wire;
+using rt::Communicator;
+using rt::World;
+
+/// --- codec units -----------------------------------------------------------
+
+TEST(Quant, Pack16RoundTripsRepresentableValues) {
+  // Small integers and coarse fractions are exact in both 16-bit formats, so
+  // unpack(pack(x)) must reproduce them bitwise.
+  const std::vector<float> x = {0.0f, 1.0f,  -1.0f,  2.0f,  -2.0f,
+                                0.5f, -0.5f, 0.375f, 96.0f, -96.0f};
+  for (DType dtype : {DType::kBF16, DType::kF16}) {
+    const std::vector<float> back =
+        quant::unpack16(quant::pack16(x, dtype), dtype);
+    ASSERT_EQ(back.size(), x.size());
+    EXPECT_EQ(std::memcmp(back.data(), x.data(), x.size() * sizeof(float)), 0)
+        << "dtype " << static_cast<int>(dtype);
+  }
+}
+
+TEST(Quant, Pack16F16OverflowsToInfBf16StaysFinite) {
+  // 70000 exceeds the f16 range (max 65504) but not bf16's f32-like range.
+  const std::vector<float> x = {70000.0f, -70000.0f};
+  const auto f16 = quant::unpack16(quant::pack16(x, DType::kF16), DType::kF16);
+  EXPECT_TRUE(std::isinf(f16[0]) && f16[0] > 0.0f);
+  EXPECT_TRUE(std::isinf(f16[1]) && f16[1] < 0.0f);
+  const auto bf16 =
+      quant::unpack16(quant::pack16(x, DType::kBF16), DType::kBF16);
+  EXPECT_TRUE(std::isfinite(bf16[0]));
+  EXPECT_TRUE(std::isfinite(bf16[1]));
+}
+
+TEST(Quant, Int8CodecMatchesOracleWithinBlockBound) {
+  Rng rng(7);
+  std::vector<float> x(100);
+  for (float& v : x) v = static_cast<float>(rng.uniform(-3.0, 3.0));
+  const std::vector<std::byte> enc = quant::encode_int8(x);
+  EXPECT_EQ(enc.size(), quant::int8_encoded_bytes(x.size()));
+  const std::vector<float> dec = quant::decode_int8(enc);
+  const std::vector<float> oracle = quant::int8_roundtrip(x);
+  ASSERT_EQ(dec.size(), x.size());
+  EXPECT_EQ(std::memcmp(dec.data(), oracle.data(), dec.size() * sizeof(float)),
+            0);
+  // Per-element error bound: half a quantization step, scale = block max/127.
+  for (std::size_t b = 0; b * quant::kInt8Block < x.size(); ++b) {
+    float bmax = 0.0f;
+    const std::size_t lo = b * quant::kInt8Block;
+    const std::size_t hi = std::min(x.size(), lo + quant::kInt8Block);
+    for (std::size_t i = lo; i < hi; ++i) bmax = std::max(bmax, std::abs(x[i]));
+    for (std::size_t i = lo; i < hi; ++i)
+      EXPECT_LE(std::abs(dec[i] - x[i]), bmax / 254.0f * 1.0001f + 1e-12f)
+          << "elem " << i;
+  }
+}
+
+TEST(Quant, Int8CodecZeroesNonFiniteAndHandlesEmpty) {
+  const std::vector<float> x = {std::nanf(""), 1.0f, -1.0f};
+  const std::vector<float> dec = quant::decode_int8(quant::encode_int8(x));
+  EXPECT_EQ(dec[0], 0.0f);
+  EXPECT_TRUE(quant::decode_int8(quant::encode_int8(std::vector<float>{}))
+                  .empty());
+}
+
+TEST(Quant, Int8DecodeRejectsMalformedBuffers) {
+  std::vector<std::byte> enc = quant::encode_int8(std::vector<float>(40, 1.f));
+  enc.pop_back();  // truncated payload
+  EXPECT_THROW((void)quant::decode_int8(enc), Error);
+  EXPECT_THROW((void)quant::decode_int8(std::vector<std::byte>(3)), Error);
+}
+
+/// --- policy / env knobs ----------------------------------------------------
+
+/// setenv/unsetenv scope guard: restores the prior value on destruction.
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    if (const char* prev = std::getenv(name)) prev_ = prev;
+    ::setenv(name, value, 1);
+  }
+  ~EnvVar() {
+    if (prev_)
+      ::setenv(name_, prev_->c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> prev_;
+};
+
+TEST(CompressionPolicy, FromEnvParsesKnobs) {
+  {
+    EnvVar compress("BGL_COMPRESS", "bf16");
+    EnvVar dispatch("BGL_COMPRESS_DISPATCH", "1");
+    EnvVar min("BGL_COMPRESS_MIN_ELEMS", "5000");
+    const CompressionPolicy p = CompressionPolicy::from_env();
+    EXPECT_EQ(p.grad_wire, Wire::kBF16);
+    EXPECT_TRUE(p.int8_dispatch);
+    EXPECT_EQ(p.min_elems, 5000u);
+    EXPECT_TRUE(p.any_compression());
+  }
+  {
+    EnvVar compress("BGL_COMPRESS", "f16");
+    EXPECT_EQ(CompressionPolicy::from_env().grad_wire, Wire::kF16);
+  }
+  {
+    EnvVar compress("BGL_COMPRESS", "off");
+    const CompressionPolicy p = CompressionPolicy::from_env();
+    EXPECT_EQ(p.grad_wire, Wire::kF32);
+    EXPECT_FALSE(p.any_compression());
+  }
+  {
+    EnvVar compress("BGL_COMPRESS", "int7");
+    EXPECT_THROW((void)CompressionPolicy::from_env(), Error);
+  }
+}
+
+TEST(CompressionPolicy, WireForRespectsMinElemsAndOverrides) {
+  CompressionPolicy p;
+  p.grad_wire = Wire::kBF16;
+  p.min_elems = 1024;
+  p.bucket_override = {{2, Wire::kF32}, {3, Wire::kF16}};
+  EXPECT_EQ(p.wire_for(0, 4096), Wire::kBF16);
+  EXPECT_EQ(p.wire_for(0, 1023), Wire::kF32);  // under the latency floor
+  EXPECT_EQ(p.wire_for(2, 1 << 20), Wire::kF32);  // override wins
+  EXPECT_EQ(p.wire_for(3, 8), Wire::kF16);        // override ignores floor
+}
+
+/// --- acceptance byte ratios (measured through the obs comm counters) -------
+
+/// Enables metrics and zeroes the shared registry for one measured section.
+class MetricsSection {
+ public:
+  MetricsSection() : prev_(obs::set_metrics_enabled(true)) {
+    obs::global_registry().reset();
+  }
+  ~MetricsSection() { obs::set_metrics_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+std::int64_t total_send_bytes() {
+  static constexpr const char* kFamilies[] = {
+      "comm.p2p.send.bytes",        "comm.bcast.send.bytes",
+      "comm.gather.send.bytes",     "comm.allgather.send.bytes",
+      "comm.reduce_scatter.send.bytes", "comm.allreduce.send.bytes",
+      "comm.alltoall.send.bytes",   "comm.alltoallv.send.bytes"};
+  std::int64_t total = 0;
+  for (const char* name : kFamilies)
+    total += obs::global_registry().counter(name).value();
+  return total;
+}
+
+std::vector<float> rank_grad(int rank, std::size_t n) {
+  Rng rng(1000 + static_cast<std::uint64_t>(rank));
+  std::vector<float> g(n);
+  for (float& v : g) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return g;
+}
+
+TEST(CompressBytes, Bf16AllreduceHalvesWireBytes) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kElems = 1 << 14;  // divisible by kRanks: no padding
+
+  const auto measure = [&](Wire wire) {
+    MetricsSection section;
+    World::run(kRanks, [&](Communicator& world) {
+      std::vector<float> g = rank_grad(world.rank(), kElems);
+      coll::compressed_allreduce_sum(world, g, wire, AllreduceAlgo::kRing);
+    });
+    return total_send_bytes();
+  };
+
+  const std::int64_t f32_bytes = measure(Wire::kF32);
+  const std::int64_t bf16_bytes = measure(Wire::kBF16);
+  ASSERT_GT(f32_bytes, 0);
+  // Acceptance: <= 55% of the f32 wire. The ring ships 16-bit payloads on
+  // every hop, so the ratio is exactly 1/2 here.
+  EXPECT_LE(static_cast<double>(bf16_bytes),
+            0.55 * static_cast<double>(f32_bytes));
+  EXPECT_GE(static_cast<double>(bf16_bytes),
+            0.45 * static_cast<double>(f32_bytes));
+  // The savings counter accounts for exactly the delta.
+  {
+    MetricsSection section;
+    World::run(kRanks, [&](Communicator& world) {
+      std::vector<float> g = rank_grad(world.rank(), kElems);
+      coll::compressed_allreduce_sum(world, g, Wire::kBF16,
+                                     AllreduceAlgo::kRing);
+    });
+    EXPECT_EQ(obs::global_registry()
+                  .counter("comm.compressed.bytes_saved")
+                  .value(),
+              f32_bytes - bf16_bytes);
+  }
+}
+
+TEST(CompressBytes, Int8DispatchUnderThirtyFivePercent) {
+  // Full forward+backward of the expert-parallel layer: four row all-to-alls
+  // plus the exact int32 id exchange (counted in both runs). Routing depends
+  // only on the (identical) gate and inputs, so both runs move the same row
+  // counts and the byte ratio isolates the codec.
+  constexpr int kRanks = 4;
+  constexpr std::int64_t kDModel = 64, kHidden = 32, kLocalTokens = 64;
+  moe::GateConfig config;
+  config.num_experts = 4;
+  config.top_k = 2;
+  config.capacity_factor = 100.0;
+  config.aux_loss_weight = 0.0;
+
+  const auto measure = [&](bool int8_wire) {
+    MetricsSection section;
+    World::run(kRanks, [&](Communicator& world) {
+      Rng rng(4242);
+      ExpertParallelMoE moe(world, kDModel, kHidden, config, rng);
+      moe.set_dispatch_compression(int8_wire);
+      Rng data(99 + static_cast<std::uint64_t>(world.rank()));
+      const Tensor x = Tensor::randn({kLocalTokens, kDModel}, data);
+      const Tensor y = moe.forward(x);
+      Rng grad(55 + static_cast<std::uint64_t>(world.rank()));
+      const Tensor dy = Tensor::randn({kLocalTokens, kDModel}, grad);
+      (void)moe.backward(dy);
+      (void)y;
+    });
+    return total_send_bytes();
+  };
+
+  const std::int64_t f32_bytes = measure(false);
+  const std::int64_t int8_bytes = measure(true);
+  ASSERT_GT(f32_bytes, 0);
+  EXPECT_LE(static_cast<double>(int8_bytes),
+            0.35 * static_cast<double>(f32_bytes));
+}
+
+/// --- f16 wire overflow: surfacing, backoff, recovery -----------------------
+
+TEST(CompressOverflow, F16WirePartialSumOverflowsToInfOnEveryRank) {
+  // Each rank's contribution fits f16 but the sum does not: whenever the
+  // overflowing value crosses the wire it must arrive as ±inf, never a
+  // wrapped/garbage value. Ring packs the owner's fully reduced block for
+  // the allgather, so a 4-rank sum of 80000 overflows there.
+  World::run(4, [&](Communicator& world) {
+    std::vector<float> g = {20000.0f, -20000.0f, 1.0f};
+    coll::compressed_allreduce_sum(world, g, Wire::kF16,
+                                   AllreduceAlgo::kRing);
+    EXPECT_TRUE(std::isinf(g[0]) && g[0] > 0.0f) << "rank " << world.rank();
+    EXPECT_TRUE(std::isinf(g[1]) && g[1] < 0.0f) << "rank " << world.rank();
+    EXPECT_EQ(g[2], 4.0f);
+  });
+  // Doubling's final sum stays in the f32 accumulator (nothing left to
+  // send), so the overflow must come from an intermediate hop: with 8 ranks
+  // the round-2 partial sum 80000 packs to inf and poisons the rest.
+  World::run(8, [&](Communicator& world) {
+    std::vector<float> g = {20000.0f, -20000.0f, 1.0f};
+    coll::compressed_allreduce_sum(world, g, Wire::kF16,
+                                   AllreduceAlgo::kRecursiveDoubling);
+    EXPECT_TRUE(std::isinf(g[0]) && g[0] > 0.0f) << "rank " << world.rank();
+    EXPECT_TRUE(std::isinf(g[1]) && g[1] < 0.0f) << "rank " << world.rank();
+    EXPECT_EQ(g[2], 8.0f);
+  });
+  // bf16 has f32's exponent range: a sum past the f16 limit stays finite
+  // (powers of two, so every partial sum is bf16-exact).
+  for (AllreduceAlgo algo :
+       {AllreduceAlgo::kRing, AllreduceAlgo::kRecursiveDoubling}) {
+    World::run(4, [&](Communicator& world) {
+      std::vector<float> g = {16384.0f};
+      coll::compressed_allreduce_sum(world, g, Wire::kBF16, algo);
+      EXPECT_EQ(g[0], 65536.0f);
+    });
+  }
+}
+
+TEST(CompressOverflow, F16WireOverflowTriggersScalerBackoffThenRecovers) {
+  // The DataParallel + LossScaler composition: a wire overflow must look
+  // exactly like a compute overflow — step skipped, scale halved — and a
+  // subsequent in-range sync must pass the check again.
+  constexpr int kRanks = 4;
+  World::run(kRanks, [&](Communicator& world) {
+    nn::Parameter p("w", Tensor::zeros({2048}));
+    std::vector<nn::Parameter*> params = {&p};
+    CompressionPolicy policy;
+    policy.grad_wire = Wire::kF16;
+    policy.min_elems = 0;
+    DataParallel dp;
+    dp.set_compression(policy);
+    train::LossScaler scaler(1024.0);
+
+    auto fill_grad = [&](float v) {
+      auto g = p.grad.f32();
+      for (float& x : g) x = v;
+    };
+
+    fill_grad(20000.0f);  // sum 80000 -> f16 wire inf
+    dp.sync_gradients(world, params);
+    EXPECT_FALSE(scaler.unscale_and_check(params));
+    EXPECT_EQ(scaler.scale(), 512.0);
+
+    fill_grad(2000.0f);  // sum 8000: in range
+    dp.sync_gradients(world, params);
+    EXPECT_TRUE(scaler.unscale_and_check(params));
+    EXPECT_EQ(scaler.overflow_count(), 1);
+  });
+}
+
+/// --- end-to-end trainer: bitwise pins + convergence guard ------------------
+
+model::MoEModelConfig tiny_config() {
+  model::MoEModelConfig config;
+  config.name = "compress-tiny";
+  config.vocab = 32;
+  config.d_model = 16;
+  config.n_layers = 2;
+  config.n_heads = 2;
+  config.seq_len = 8;
+  config.d_ffn = 32;
+  config.num_experts = 4;
+  config.top_k = 2;
+  config.capacity_factor = 100.0;
+  config.aux_loss_weight = 0.0;
+  config.validate();
+  return config;
+}
+
+struct TrainResult {
+  std::vector<std::vector<float>> params;  // per-rank flattened finals
+  std::vector<double> losses;              // global loss per optimizer step
+  int skipped = 0;
+};
+
+/// Seeded 4-rank training run (EP=2 x DP=2), mirroring overlap_test.cpp so
+/// two calls differing only in `topt` see identical models and batches.
+TrainResult run_training(const DistTrainerOptions& topt, int steps) {
+  const auto config = tiny_config();
+  constexpr int kRanks = 4;
+  TrainResult result;
+  result.params.resize(kRanks);
+  std::vector<int> skipped(kRanks, 0);
+  std::vector<double> losses(static_cast<std::size_t>(steps), 0.0);
+
+  World::run(kRanks, [&](Communicator& world) {
+    const MoDaLayout layout = MoDaLayout::make(kRanks, 2);
+    DistMoETransformerLM lm(world, layout, config, Rng(4242),
+                            /*vocab_parallel=*/false);
+    train::Adam adam(1e-3);
+    DistTrainer trainer(world, lm, adam, topt);
+    train::MarkovTokenStream stream(
+        config.vocab, 0.05, 100 + static_cast<std::uint64_t>(world.rank()));
+    for (int s = 0; s < steps; ++s) {
+      const train::Batch batch = stream.next_batch(2, config.seq_len);
+      const DistStepStats stats = trainer.train_step(batch);
+      if (!stats.applied) ++skipped[static_cast<std::size_t>(world.rank())];
+      if (world.rank() == 0) losses[static_cast<std::size_t>(s)] =
+          stats.global_loss;
+    }
+    auto& out = result.params[static_cast<std::size_t>(world.rank())];
+    for (nn::Parameter* p : lm.parameters()) {
+      const auto v = p->value.f32();
+      out.insert(out.end(), v.begin(), v.end());
+    }
+  });
+  // The skip decision is global (allreduce before the check): ranks agree.
+  for (int r = 1; r < kRanks; ++r) EXPECT_EQ(skipped[0], skipped[r]);
+  result.skipped = skipped[0];
+  result.losses = losses;
+  return result;
+}
+
+void expect_bitwise_equal(const TrainResult& a, const TrainResult& b) {
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (std::size_t r = 0; r < a.params.size(); ++r) {
+    ASSERT_EQ(a.params[r].size(), b.params[r].size()) << "rank " << r;
+    ASSERT_FALSE(a.params[r].empty()) << "rank " << r;
+    EXPECT_EQ(std::memcmp(a.params[r].data(), b.params[r].data(),
+                          a.params[r].size() * sizeof(float)),
+              0)
+        << "rank " << r << " diverged";
+  }
+}
+
+TEST(CompressTrainer, ExplicitF32PolicyMatchesDefaultBitwise) {
+  // BGL_COMPRESS=off (== the all-f32 policy) must reproduce the default
+  // trajectory bitwise: the kF32 wire delegates to the uncompressed path.
+  DistTrainerOptions plain;
+  DistTrainerOptions off;
+  off.compression = CompressionPolicy{};  // all-f32
+  expect_bitwise_equal(run_training(plain, 3), run_training(off, 3));
+}
+
+TEST(CompressTrainer, Bf16OverlapMatchesBf16SyncBitwise) {
+  // The async compressed allreduce inside the real overlap scheduler must
+  // land on the same bits as the synchronous compressed path.
+  CompressionPolicy policy;
+  policy.grad_wire = Wire::kBF16;
+  policy.min_elems = 0;  // compress every bucket of the tiny model
+  DistTrainerOptions sync_opt;
+  sync_opt.overlap_allreduce = false;
+  sync_opt.compression = policy;
+  DistTrainerOptions overlap_opt;
+  overlap_opt.overlap_allreduce = true;
+  overlap_opt.compression = policy;
+  expect_bitwise_equal(run_training(sync_opt, 3), run_training(overlap_opt, 3));
+}
+
+TEST(CompressTrainer, Bf16ConvergenceGuard) {
+  // The convergence guard of DESIGN.md §11: a bf16 gradient wire (plus int8
+  // MoE dispatch) may perturb the trajectory but must track the f32 run —
+  // final losses within a pinned tolerance, and the loss actually falls.
+  constexpr int kSteps = 8;
+  DistTrainerOptions f32_opt;
+  CompressionPolicy policy;
+  policy.grad_wire = Wire::kBF16;
+  policy.min_elems = 0;
+  policy.int8_dispatch = true;
+  DistTrainerOptions bf16_opt;
+  bf16_opt.compression = policy;
+
+  const TrainResult f32 = run_training(f32_opt, kSteps);
+  const TrainResult bf16 = run_training(bf16_opt, kSteps);
+  EXPECT_EQ(f32.skipped, 0);
+  EXPECT_EQ(bf16.skipped, 0);
+  EXPECT_LT(f32.losses.back(), f32.losses.front());
+  EXPECT_LT(bf16.losses.back(), bf16.losses.front());
+  // Pinned tolerance: measured deltas are ~1e-3 on this model; 0.05 leaves
+  // headroom without masking a divergence (losses start near ln(32) ~ 3.5).
+  EXPECT_NEAR(f32.losses.back(), bf16.losses.back(), 0.05);
+}
+
+TEST(CompressTrainer, F16WireBacksOffLossScaleAndRecovers) {
+  // f16 compute + f16 wire with an absurd initial loss scale: early steps
+  // overflow (compute or wire — both surface as non-finite sums), the scaler
+  // halves its way down, and training resumes with applied steps.
+  CompressionPolicy policy;
+  policy.grad_wire = Wire::kF16;
+  policy.min_elems = 0;
+  DistTrainerOptions topt;
+  topt.compute_dtype = DType::kF16;
+  topt.dynamic_loss_scaling = true;
+  topt.initial_loss_scale = 16777216.0;  // 2^24
+  topt.compression = policy;
+
+  const auto config = tiny_config();
+  constexpr int kRanks = 4;
+  constexpr int kSteps = 24;
+  World::run(kRanks, [&](Communicator& world) {
+    const MoDaLayout layout = MoDaLayout::make(kRanks, 2);
+    DistMoETransformerLM lm(world, layout, config, Rng(4242),
+                            /*vocab_parallel=*/false);
+    train::Adam adam(1e-3);
+    DistTrainer trainer(world, lm, adam, topt);
+    train::MarkovTokenStream stream(
+        config.vocab, 0.05, 100 + static_cast<std::uint64_t>(world.rank()));
+    int skipped = 0;
+    bool recovered = false;
+    for (int s = 0; s < kSteps; ++s) {
+      const train::Batch batch = stream.next_batch(2, config.seq_len);
+      const DistStepStats stats = trainer.train_step(batch);
+      EXPECT_TRUE(std::isfinite(stats.global_loss));
+      if (!stats.applied)
+        ++skipped;
+      else
+        recovered = true;
+    }
+    EXPECT_GT(skipped, 0) << "rank " << world.rank()
+                          << ": the 2^24 scale never overflowed";
+    EXPECT_TRUE(recovered) << "rank " << world.rank()
+                           << ": loss scale never backed off far enough";
+  });
+}
+
+}  // namespace
+}  // namespace bgl::parallel
