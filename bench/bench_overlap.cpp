@@ -16,6 +16,7 @@
 //    finalizes its gradients, so the delays of all in-flight buckets are
 //    pipelined against each other and against the remaining backward
 //    compute. Results land in BENCH_overlap.json.
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -40,6 +41,7 @@ struct MeasureSetup {
   int seqs_per_rank = 2;
   double delay_s = 300e-6;        // injected per-message latency
   double delay_per_byte_s = 0.0;  // emulated serialization time (bandwidth)
+  std::string transport;          // "" = inproc; "tcp" = loopback sockets
 };
 
 model::MoEModelConfig bench_config(bool smoke) {
@@ -73,6 +75,7 @@ double measure_step_s(const MeasureSetup& setup, bool overlap,
   rt::FaultInjector injector(chaos);
   rt::WorldOptions options;
   options.fault_injector = &injector;
+  options.transport = setup.transport;
 
   double step_s = 0.0;
   rt::World::run(kRanks, options, [&](rt::Communicator& world) {
@@ -236,12 +239,87 @@ void compressed_section(bool smoke) {
   model_table.print(std::cout);
 }
 
+/// E10d — the same trainer over the loopback-TCP transport (DESIGN.md
+/// §12). No injected delay: the "link" is the real kernel socket stack,
+/// so this measures (a) the wire tax of crossing sockets vs the inproc
+/// mailboxes and (b) that the overlap schedule still pays off when the
+/// latency is real instead of injected.
+void transport_section(bool smoke) {
+  MeasureSetup setup;
+  setup.config = bench_config(smoke);
+  setup.steps = smoke ? 2 : 4;
+  setup.delay_s = 0.0;
+
+  std::cout << "\nE10d: measured step time by transport, 4 ranks (EP=2, "
+               "DP=2), no injected delay\n"
+            << "(inproc = shared-mailbox fabric; tcp = every message over "
+               "a loopback socket)\n\n";
+
+  setup.transport = "inproc";
+  const double inproc_sync_s = measure_step_s(setup, /*overlap=*/false);
+  const double inproc_overlap_s = measure_step_s(setup, /*overlap=*/true);
+  setup.transport = "tcp";
+  const double tcp_sync_s = measure_step_s(setup, /*overlap=*/false);
+  const double tcp_overlap_s = measure_step_s(setup, /*overlap=*/true);
+
+  TextTable table({"transport", "schedule", "step time", "vs inproc sync"});
+  table.add_row({"inproc", "sync", format_duration(inproc_sync_s), "1.00x"});
+  table.add_row({"inproc", "overlap", format_duration(inproc_overlap_s),
+                 strf("%.2fx", inproc_sync_s / inproc_overlap_s)});
+  table.add_row({"tcp", "sync", format_duration(tcp_sync_s),
+                 strf("%.2fx", inproc_sync_s / tcp_sync_s)});
+  table.add_row({"tcp", "overlap", format_duration(tcp_overlap_s),
+                 strf("%.2fx", inproc_sync_s / tcp_overlap_s)});
+  table.print(std::cout);
+  std::cout << "\nJSON: {\"inproc_sync_step_s\": " << inproc_sync_s
+            << ", \"inproc_overlap_step_s\": " << inproc_overlap_s
+            << ", \"tcp_sync_step_s\": " << tcp_sync_s
+            << ", \"tcp_overlap_step_s\": " << tcp_overlap_s
+            << ", \"tcp_wire_tax\": " << tcp_sync_s / inproc_sync_s
+            << ", \"tcp_overlap_speedup\": " << tcp_sync_s / tcp_overlap_s
+            << "}\n";
+}
+
+/// E10e — cross-process SPMD probe, meant to run under the launcher:
+///
+///   scripts/bgl_launch.sh 4 build/bench/bench_overlap --spmd-probe
+///
+/// Each of the 4 OS processes hosts one rank of the same DistTrainer
+/// measurement; rank 0 prints the JSON. Results feed the
+/// measured_e10d_transport section of BENCH_overlap.json.
+int spmd_probe() {
+  const char* world_env = std::getenv("BGL_WORLD_SIZE");
+  const int world = world_env != nullptr ? std::atoi(world_env) : 0;
+  if (world != 4) {
+    std::cerr << "--spmd-probe must run under scripts/bgl_launch.sh with "
+                 "world size 4 (got BGL_WORLD_SIZE="
+              << (world_env != nullptr ? world_env : "<unset>") << ")\n";
+    return 2;
+  }
+  MeasureSetup setup;
+  setup.config = bench_config(/*smoke=*/false);
+  setup.delay_s = 0.0;
+  setup.transport = "tcp";
+  const double sync_s = measure_step_s(setup, /*overlap=*/false);
+  const double overlap_s = measure_step_s(setup, /*overlap=*/true);
+  const char* rank_env = std::getenv("BGL_RANK");
+  if (rank_env != nullptr && std::atoi(rank_env) == 0) {
+    std::cout << "E10e: measured step time, 4 OS processes (SPMD), tcp "
+                 "transport, no injected delay\n"
+              << "JSON: {\"spmd_sync_step_s\": " << sync_s
+              << ", \"spmd_overlap_step_s\": " << overlap_s << "}\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  if (argc > 1 && std::string(argv[1]) == "--spmd-probe") return spmd_probe();
   analytic_section();
   measured_section(smoke);
   compressed_section(smoke);
+  transport_section(smoke);
   return 0;
 }

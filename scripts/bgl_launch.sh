@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# SPMD launcher for the loopback-TCP transport (DESIGN.md §12).
+#
+#   scripts/bgl_launch.sh <world_size> <binary> [args...]
+#
+# Spawns <world_size> copies of <binary> as real OS processes, one rank
+# each: BGL_TRANSPORT=tcp, BGL_RANK=0..N-1, BGL_WORLD_SIZE=N, and a fresh
+# shared BGL_TCP_DIR for the port-file rendezvous. Waits for every rank and
+# exits nonzero if any rank failed (first failing rank's code wins).
+set -u
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <world_size> <binary> [args...]" >&2
+  exit 2
+fi
+
+world_size="$1"
+shift
+case "$world_size" in
+  ''|*[!0-9]*)
+    echo "bgl_launch: world_size must be a positive integer, got '$world_size'" >&2
+    exit 2 ;;
+esac
+if [ "$world_size" -lt 1 ]; then
+  echo "bgl_launch: world_size must be >= 1" >&2
+  exit 2
+fi
+
+binary="$1"
+shift
+if [ ! -x "$binary" ]; then
+  echo "bgl_launch: '$binary' is not an executable" >&2
+  exit 2
+fi
+
+rendezvous_dir="$(mktemp -d "${TMPDIR:-/tmp}/bgl_tcp.XXXXXX")"
+trap 'rm -rf "$rendezvous_dir"' EXIT
+
+pids=()
+for rank in $(seq 0 $((world_size - 1))); do
+  BGL_TRANSPORT=tcp \
+  BGL_RANK="$rank" \
+  BGL_WORLD_SIZE="$world_size" \
+  BGL_TCP_DIR="$rendezvous_dir" \
+  "$binary" "$@" &
+  pids+=("$!")
+done
+
+status=0
+for i in "${!pids[@]}"; do
+  wait "${pids[$i]}"
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "bgl_launch: rank $i exited with status $rc" >&2
+    if [ "$status" -eq 0 ]; then status="$rc"; fi
+  fi
+done
+exit "$status"

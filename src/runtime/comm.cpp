@@ -17,6 +17,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/transport_socket.hpp"
 
 namespace bgl::rt {
 
@@ -93,15 +96,16 @@ void pending_completed() {
 
 namespace detail {
 
-using Clock = std::chrono::steady_clock;
-
-/// Shared state for one World: per-rank mailboxes, a phased barrier, a
-/// rendezvous board used by split(), poison propagation for errors, and the
-/// three recovery tiers of DESIGN.md §10 — send-side replay buffers with
-/// receiver-driven retransmission (tier 1), a heartbeat failure detector
-/// consulted at blocking deadlines (tier 2), and rank-death bookkeeping with
-/// an epoch-bumping collective rebuild (tier 3).
-class Fabric {
+/// In-process transport backend ("inproc", the default): shared state for
+/// one World whose ranks are threads — per-rank mailboxes, a phased
+/// barrier, a rendezvous board used by split(), poison propagation for
+/// errors, and the three recovery tiers of DESIGN.md §10 — send-side replay
+/// buffers with receiver-driven retransmission (tier 1), a heartbeat
+/// failure detector consulted at blocking deadlines (tier 2), and
+/// rank-death bookkeeping with an epoch-bumping collective rebuild
+/// (tier 3). The channel/replay structures live in runtime/mailbox.hpp,
+/// shared with the socket backend.
+class Fabric final : public Transport {
  public:
   Fabric(int size, WorldOptions options)
       : size_(size),
@@ -118,18 +122,18 @@ class Fabric {
           size, options_.heartbeat, options_.fault_injector);
   }
 
-  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int size() const override { return size_; }
 
   /// Heartbeat lifecycle hooks, driven by World::run around each rank fn.
-  void hb_start(int world_rank) {
+  void hb_start(int world_rank) override {
     if (monitor_) monitor_->start(world_rank);
   }
-  void hb_stop(int world_rank, bool completed) {
+  void hb_stop(int world_rank, bool completed) override {
     if (monitor_) monitor_->stop(world_rank, completed);
   }
 
   void send(std::uint64_t comm_id, int src_world, int dst_world, int tag,
-            std::span<const std::byte> data, std::uint64_t epoch) {
+            std::span<const std::byte> data, std::uint64_t epoch) override {
     throw_if_interrupted(epoch);
     if (options_.fault_injector != nullptr)
       options_.fault_injector->on_op(src_world);  // may raise RankFailureError
@@ -188,13 +192,14 @@ class Fabric {
 
   /// Fault-injector op accounting for `world_rank` (one blocking recv or
   /// one posted irecv). May raise RankFailureError at the kill point.
-  void note_op(int world_rank) {
+  void note_op(int world_rank) override {
     if (options_.fault_injector != nullptr)
       options_.fault_injector->on_op(world_rank);
   }
 
   std::vector<std::byte> recv(std::uint64_t comm_id, int src_world,
-                              int self_world, int tag, std::uint64_t epoch) {
+                              int self_world, int tag,
+                              std::uint64_t epoch) override {
     throw_if_interrupted(epoch);
     note_op(self_world);
     return wait_posted(comm_id, src_world, self_world, tag, epoch);
@@ -206,7 +211,7 @@ class Fabric {
   /// loss requests retransmission and reports "not yet" instead of
   /// throwing; exhausting the retry budget throws the typed error.
   bool try_pop(std::uint64_t comm_id, int src_world, int self_world, int tag,
-               std::uint64_t epoch, std::vector<std::byte>& out) {
+               std::uint64_t epoch, std::vector<std::byte>& out) override {
     Mailbox& box = boxes_[static_cast<std::size_t>(self_world)];
     const Key key{comm_id, src_world, tag};
     const bool reliable = options_.retry.enabled;
@@ -215,7 +220,7 @@ class Fabric {
     std::unique_lock<std::mutex> lock(box.mutex);
     throw_if_poisoned();
     throw_if_interrupted(epoch);
-    const PopResult pr = pop_locked(box, key, reliable, msg, head_ready);
+    const PopResult pr = pop_channel(box, key, reliable, msg, head_ready);
     if (pr == PopResult::kFound) {
       lock.unlock();
       if (!reliable) {
@@ -244,7 +249,7 @@ class Fabric {
   /// death under shrink_on_death interrupts with EpochInterrupt (tier 3).
   std::vector<std::byte> wait_posted(std::uint64_t comm_id, int src_world,
                                      int self_world, int tag,
-                                     std::uint64_t epoch) {
+                                     std::uint64_t epoch) override {
     Mailbox& box = boxes_[static_cast<std::size_t>(self_world)];
     const Key key{comm_id, src_world, tag};
     const bool reliable = options_.retry.enabled;
@@ -262,7 +267,7 @@ class Fabric {
 
       Message msg;
       Clock::time_point head_ready{};
-      const PopResult pr = pop_locked(box, key, reliable, msg, head_ready);
+      const PopResult pr = pop_channel(box, key, reliable, msg, head_ready);
       if (pr == PopResult::kFound) {
         lock.unlock();
         if (!reliable) {
@@ -324,7 +329,7 @@ class Fabric {
   /// Phased sense-reversing barrier over an arbitrary subset of world ranks.
   /// All ranks of the subset must pass the same (comm_id, group).
   void barrier(std::uint64_t comm_id, const std::vector<int>& group,
-               int self_world, std::uint64_t epoch) {
+               int self_world, std::uint64_t epoch) override {
     throw_if_interrupted(epoch);
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     BarrierState& st = barriers_[comm_id];
@@ -362,21 +367,28 @@ class Fabric {
     throw_if_interrupted(epoch);
   }
 
-  /// Rendezvous board used by split(): rank writes a value, then after a
-  /// barrier all ranks read everyone's value. Caller supplies the barrier.
-  void board_put(int world_rank, std::int64_t value) {
-    std::lock_guard<std::mutex> lock(board_mutex_);
-    board_.at(static_cast<std::size_t>(world_rank)) = value;
-  }
-
-  [[nodiscard]] std::int64_t board_get(int world_rank) const {
-    std::lock_guard<std::mutex> lock(board_mutex_);
-    return board_.at(static_cast<std::size_t>(world_rank));
+  /// Split rendezvous over the shared board: every rank writes its value,
+  /// then after a barrier all ranks read everyone's. Two barriers bracket
+  /// the board usage so writes and reads cannot race with a subsequent
+  /// split on the same communicator (this is the exact mechanics the
+  /// pre-interface split() inlined; the barrier ids are unchanged).
+  std::vector<std::int64_t> board_exchange(std::uint64_t comm_id,
+                                           std::uint64_t split_seq,
+                                           const std::vector<int>& group,
+                                           int self_world, std::int64_t value,
+                                           std::uint64_t epoch) override {
+    board_put(self_world, value);
+    barrier(mix_id(comm_id, split_seq * 2), group, self_world, epoch);
+    std::vector<std::int64_t> values;
+    values.reserve(group.size());
+    for (const int wr : group) values.push_back(board_get(wr));
+    barrier(mix_id(comm_id, split_seq * 2 + 1), group, self_world, epoch);
+    return values;
   }
 
   /// Poisons the world on behalf of `world_rank`, whose error `what` is the
   /// cause. Only the first caller wins; World::run rethrows its exception.
-  void poison(int world_rank, const std::string& what) {
+  void poison(int world_rank, const std::string& what) override {
     {
       std::lock_guard<std::mutex> lock(poison_mutex_);
       if (first_failed_rank_ < 0) {
@@ -390,7 +402,7 @@ class Fabric {
     shrink_cv_.notify_all();
   }
 
-  void throw_if_poisoned() const {
+  void throw_if_poisoned() const override {
     if (!poisoned_.load()) return;
     std::lock_guard<std::mutex> lock(poison_mutex_);
     throw Error("runtime poisoned: rank " + std::to_string(first_failed_rank_) +
@@ -398,7 +410,7 @@ class Fabric {
   }
 
   /// Rank whose error poisoned the world, or -1 if no rank failed.
-  [[nodiscard]] int first_failed_rank() const {
+  [[nodiscard]] int first_failed_rank() const override {
     std::lock_guard<std::mutex> lock(poison_mutex_);
     return first_failed_rank_;
   }
@@ -407,7 +419,7 @@ class Fabric {
 
   /// Current world generation; ops stamped with an older epoch raise
   /// EpochInterrupt (stale-traffic rejection).
-  [[nodiscard]] std::uint64_t epoch() const {
+  [[nodiscard]] std::uint64_t epoch() const override {
     return current_epoch_.load(std::memory_order_relaxed);
   }
 
@@ -417,7 +429,7 @@ class Fabric {
            epoch != current_epoch_.load(std::memory_order_relaxed);
   }
 
-  void throw_if_interrupted(std::uint64_t epoch) const {
+  void throw_if_interrupted(std::uint64_t epoch) const override {
     if (!interrupted(epoch)) return;
     std::ostringstream os;
     os << "epoch interrupt: world epoch "
@@ -432,7 +444,7 @@ class Fabric {
   /// Records `world_rank` as dead (resignation, injector kill, or confirmed
   /// by the failure detector). Under shrink_on_death this arms the pending
   /// shrink and wakes every blocked op so the survivors can reach shrink().
-  void mark_failed(int world_rank) {
+  void mark_failed(int world_rank) override {
     bool newly = false;
     {
       std::lock_guard<std::mutex> lock(shrink_mutex_);
@@ -464,7 +476,7 @@ class Fabric {
   /// live rank has arrived, then (on the last arrival) purges all stale
   /// traffic and per-channel state, bumps the epoch, and snapshots the
   /// survivor list. An evicted rank raises RankFailureError.
-  std::pair<std::uint64_t, std::vector<int>> rebuild(int me) {
+  std::pair<std::uint64_t, std::vector<int>> rebuild(int me) override {
     std::unique_lock<std::mutex> lock(shrink_mutex_);
     if (dead_[static_cast<std::size_t>(me)].load(std::memory_order_relaxed)) {
       std::ostringstream os;
@@ -486,112 +498,26 @@ class Fabric {
   }
 
  private:
-  using Key = std::tuple<std::uint64_t, int, int>;      // (comm, src, tag)
-  using SendKey = std::tuple<std::uint64_t, int, int>;  // (comm, dst, tag)
-
-  struct Message {
-    /// Reliable-path frames are shared with the sender's replay buffer and
-    /// stolen on delivery once the ack has pruned the replay reference;
-    /// legacy-path messages own their bytes in `payload`.
-    std::shared_ptr<std::vector<std::byte>> frame;
-    std::vector<std::byte> payload;
-    std::uint64_t seq = 0;  // 0 on the legacy (retry-off) path
-    std::uint32_t crc = 0;
-    bool checksummed = false;
-    // Channel recovery state at pop time (pop_locked advances the channel
-    // optimistically before the CRC is checked; a failure restores these).
-    int prior_attempts = 0;
-    double prior_backoff_ms = 0.0;
-    // Epoch (the default) means deliverable immediately; an injected delay
-    // sets a future timestamp and the message stays "in flight" until then.
-    Clock::time_point ready_at{};
-  };
-
-  /// Receiver-side stream state for one (comm, src, tag) channel: the next
-  /// expected sequence number plus the bounded-backoff probe schedule used
-  /// to re-request frames that never arrived.
-  struct RecvChannel {
-    std::uint64_t expected = 1;
-    int attempts = 0;
-    double backoff_ms = 0.0;  // 0 = schedule not started
-    Clock::time_point next_probe{};
-
-    Clock::duration backoff_next(const RetryOptions& retry) {
-      if (backoff_ms <= 0.0) backoff_ms = retry.backoff_ms;
-      const double ms = backoff_ms;
-      backoff_ms = std::min(backoff_ms * 2.0, retry.backoff_max_ms);
-      return std::chrono::duration_cast<Clock::duration>(
-          std::chrono::duration<double, std::milli>(ms));
-    }
-
-    void reset() {
-      attempts = 0;
-      backoff_ms = 0.0;
-      next_probe = Clock::time_point{};
-    }
-  };
-
-  /// Everything the mailbox tracks for one (comm, src, tag) stream, fused
-  /// into a single map entry so the hot push/pop critical sections do one
-  /// lookup under the box lock instead of three (queue + receive state +
-  /// watermark) — critical-section length on this lock is what the armed
-  /// tier-1 fabric's clean-path budget is spent on.
-  struct MailChannel {
-    std::deque<Message> queue;
-    /// Reliable-stream receive state (untouched on the legacy path).
-    RecvChannel rc;
-    /// Highest sequence number the sender has *committed* on this channel —
-    /// updated on every reliable delivery AND on every injected drop. The
-    /// receiver's loss probe consults it: expected > watermark means "not
-    /// sent yet" (sleep until the push notification, no probe timer, no
-    /// peer-lock traffic), expected <= watermark with nothing deliverable
-    /// is positive evidence of a loss (retransmit now).
-    std::uint64_t sent = 0;
-  };
-
-  struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    /// Reliable-path entries persist when drained (their rc/sent state is
-    /// the stream's memory); legacy-path entries are erased once empty.
-    std::map<Key, MailChannel> channels;
-    /// Bumped on every push (and on the rebuild purge) so blocked waiters
-    /// can sleep on "anything changed" without spinning on a delayed head.
-    std::uint64_t version = 0;
-  };
-
-  /// One unacknowledged frame retained for retransmission.
-  struct ReplayEntry {
-    std::uint64_t seq = 0;
-    std::shared_ptr<std::vector<std::byte>> frame;
-    std::uint32_t crc = 0;
-    bool checksummed = false;
-  };
-
-  struct SendChannel {
-    std::uint64_t next_seq = 1;
-    std::uint64_t acked = 0;  // cumulative ack watermark
-    std::deque<ReplayEntry> replay;
-  };
-
-  /// Send-side replay state for one source rank. Locked separately from the
-  /// mailboxes (and never while holding a mailbox lock) because acks and
-  /// retransmit requests arrive from receiver threads.
-  struct SenderState {
-    std::mutex mutex;
-    std::map<SendKey, SendChannel> channels;
-  };
-
   struct BarrierState {
     int arrived = 0;
     std::uint64_t phase = 0;
   };
 
-  enum class PopResult { kFound, kNotReady, kEmpty, kGap };
-
   Clock::duration timeout_duration() const {
     return std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(options_.timeout_s));
+  }
+
+  /// Rendezvous board used by board_exchange(): rank writes a value, then
+  /// after a barrier all ranks read everyone's value.
+  void board_put(int world_rank, std::int64_t value) {
+    std::lock_guard<std::mutex> lock(board_mutex_);
+    board_.at(static_cast<std::size_t>(world_rank)) = value;
+  }
+
+  [[nodiscard]] std::int64_t board_get(int world_rank) const {
+    std::lock_guard<std::mutex> lock(board_mutex_);
+    return board_.at(static_cast<std::size_t>(world_rank));
   }
 
   void push_message(int dst_world, const Key& key, Message msg) {
@@ -725,93 +651,6 @@ class Fabric {
     deliver_frame(comm_id, src_world, dst_world, tag, want, frame, crc,
                   checksummed);
     return true;
-  }
-
-  /// Pops the deliverable message for `key` if there is one. Reliable
-  /// channels deliver strictly in sequence order: stale duplicates are
-  /// discarded, and a present-but-later frame reports kGap (a loss the
-  /// probe schedule will re-request).
-  PopResult pop_locked(Mailbox& box, const Key& key, bool reliable,
-                       Message& out, Clock::time_point& head_ready) {
-    const auto it = box.channels.find(key);
-    if (it == box.channels.end() || it->second.queue.empty())
-      return PopResult::kEmpty;
-    std::deque<Message>& q = it->second.queue;
-    if (!reliable) {
-      Message& head = q.front();
-      if (head.ready_at != Clock::time_point{} &&
-          head.ready_at > Clock::now()) {
-        head_ready = head.ready_at;
-        return PopResult::kNotReady;  // still "in flight" under a delay
-      }
-      out = std::move(head);
-      q.pop_front();
-      if (q.empty()) box.channels.erase(it);
-      return PopResult::kFound;
-    }
-    RecvChannel& rc = it->second.rc;
-    // Fast path: in a fault-free run the head is the expected frame. The
-    // channel advances here, under the one lock the pop already holds; a
-    // CRC failure discovered after unlock rolls it back (on_crc_retry).
-    if (q.front().seq == rc.expected &&
-        q.front().ready_at == Clock::time_point{}) {
-      out = std::move(q.front());
-      q.pop_front();
-      out.prior_attempts = rc.attempts;
-      out.prior_backoff_ms = rc.backoff_ms;
-      rc.expected = out.seq + 1;
-      rc.reset();
-      return PopResult::kFound;
-    }
-    // Slow path: drop duplicates (retransmits that raced the original),
-    // then scan for the expected frame, which may sit behind later ones.
-    for (auto qi = q.begin(); qi != q.end();) {
-      if (qi->seq < rc.expected) {
-        obs::count("comm.retry.duplicates");
-        qi = q.erase(qi);
-      } else {
-        ++qi;
-      }
-    }
-    if (q.empty()) return PopResult::kEmpty;
-    for (auto qi = q.begin(); qi != q.end(); ++qi) {
-      if (qi->seq != rc.expected) continue;
-      if (qi->ready_at != Clock::time_point{} &&
-          qi->ready_at > Clock::now()) {
-        head_ready = qi->ready_at;
-        return PopResult::kNotReady;
-      }
-      out = std::move(*qi);
-      q.erase(qi);
-      out.prior_attempts = rc.attempts;
-      out.prior_backoff_ms = rc.backoff_ms;
-      rc.expected = out.seq + 1;
-      rc.reset();
-      return PopResult::kFound;
-    }
-    return PopResult::kGap;
-  }
-
-  /// Moves the payload out of a delivered message, even when the sender's
-  /// replay buffer still shares the frame. Safe because retransmission is
-  /// receiver-driven and a receiver never re-requests a sequence number it
-  /// has already accepted (pop_locked advanced `expected` past it), so the
-  /// replay's reference to these bytes is dead the moment the pop returns;
-  /// the batched ack prunes it later. A duplicate still queued behind this
-  /// pop shares the now-empty vector but is discarded by its stale seq
-  /// without reading the bytes.
-  static std::vector<std::byte> steal_payload(Message& msg) {
-    if (msg.frame != nullptr) return std::move(*msg.frame);
-    return std::move(msg.payload);
-  }
-
-  [[nodiscard]] static const std::vector<std::byte>& bytes_of(
-      const Message& msg) {
-    return msg.frame != nullptr ? *msg.frame : msg.payload;
-  }
-
-  [[nodiscard]] static bool crc_matches(const Message& msg) {
-    return !msg.checksummed || crc32(bytes_of(msg)) == msg.crc;
   }
 
   /// Tier-1 CRC recovery: count the failure, charge a retry attempt
@@ -1046,19 +885,6 @@ class Fabric {
     shrink_cv_.notify_all();
   }
 
-  static void verify_crc(const Message& msg, std::uint64_t comm_id, int src,
-                         int dst, int tag) {
-    if (!msg.checksummed) return;
-    const std::uint32_t got = crc32(bytes_of(msg));
-    if (got == msg.crc) return;
-    obs::count("comm.crc.failures");
-    std::ostringstream os;
-    os << "corrupt message: CRC mismatch on comm " << comm_id << " src " << src
-       << " -> dst " << dst << " tag " << tag << " (" << bytes_of(msg).size()
-       << " bytes, expected crc " << msg.crc << ", got " << got << ")";
-    throw CorruptMessageError(os.str());
-  }
-
   int size_;
   WorldOptions options_;
   std::vector<Mailbox> boxes_;
@@ -1086,23 +912,12 @@ class Fabric {
   std::vector<int> survivors_;
 };
 
-namespace {
-
-std::uint64_t mix_id(std::uint64_t a, std::uint64_t b) {
-  // SplitMix-style combiner; deterministic across ranks.
-  std::uint64_t z = a + 0x9E3779B97F4A7C15ull + b * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 }  // namespace detail
 
-Communicator::Communicator(std::shared_ptr<detail::Fabric> fabric,
+Communicator::Communicator(std::shared_ptr<Transport> transport,
                            std::uint64_t comm_id, std::vector<int> group,
                            int rank, std::uint64_t epoch)
-    : fabric_(std::move(fabric)),
+    : transport_(std::move(transport)),
       comm_id_(comm_id),
       group_(std::move(group)),
       rank_(rank),
@@ -1116,18 +931,18 @@ void Communicator::send_bytes(int dst, int tag,
     obs::count(kSendMsgs[k]);
     obs::count(kSendBytes[k], static_cast<std::int64_t>(data.size()));
   }
-  fabric_->send(comm_id_, world_rank(rank_), world_rank(dst), tag, data,
-                epoch_);
+  transport_->send(comm_id_, world_rank(rank_), world_rank(dst), tag, data,
+                   epoch_);
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
   BGL_ENSURE(src >= 0 && src < size(), "recv from invalid rank " << src);
   if (!obs::metrics_enabled())
-    return fabric_->recv(comm_id_, world_rank(src), world_rank(rank_), tag,
-                         epoch_);
+    return transport_->recv(comm_id_, world_rank(src), world_rank(rank_), tag,
+                            epoch_);
   const int k = comm_kind_of(tag);
   const auto t0 = detail::Clock::now();
-  std::vector<std::byte> payload = fabric_->recv(
+  std::vector<std::byte> payload = transport_->recv(
       comm_id_, world_rank(src), world_rank(rank_), tag, epoch_);
   const double wait_s =
       std::chrono::duration<double>(detail::Clock::now() - t0).count();
@@ -1138,10 +953,10 @@ std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
 }
 
 /// Shared state of one nonblocking op. Accessed only by the posting rank
-/// thread (PendingOp is not a cross-thread handle); the fabric provides the
-/// synchronized mailbox access underneath.
+/// thread (PendingOp is not a cross-thread handle); the transport provides
+/// the synchronized mailbox access underneath.
 struct PendingOp::State {
-  std::shared_ptr<detail::Fabric> fabric;
+  std::shared_ptr<Transport> transport;
   std::uint64_t comm_id = 0;
   std::uint64_t epoch = 0;  // epoch the op was posted in
   int src_world = -1;       // peer (recv source); -1 for sends
@@ -1178,9 +993,9 @@ bool PendingOp::done() const { return state_ == nullptr || state_->done; }
 bool PendingOp::test() {
   if (done()) return true;
   std::vector<std::byte> bytes;
-  if (!state_->fabric->try_pop(state_->comm_id, state_->src_world,
-                               state_->self_world, state_->tag, state_->epoch,
-                               bytes))
+  if (!state_->transport->try_pop(state_->comm_id, state_->src_world,
+                                  state_->self_world, state_->tag,
+                                  state_->epoch, bytes))
     return false;
   state_->complete(std::move(bytes));
   return true;
@@ -1189,13 +1004,13 @@ bool PendingOp::test() {
 void PendingOp::wait() {
   if (done()) return;
   if (!obs::metrics_enabled()) {
-    state_->complete(state_->fabric->wait_posted(
+    state_->complete(state_->transport->wait_posted(
         state_->comm_id, state_->src_world, state_->self_world, state_->tag,
         state_->epoch));
     return;
   }
   const auto t0 = detail::Clock::now();
-  std::vector<std::byte> bytes = state_->fabric->wait_posted(
+  std::vector<std::byte> bytes = state_->transport->wait_posted(
       state_->comm_id, state_->src_world, state_->self_world, state_->tag,
       state_->epoch);
   obs::observe(kPendingWait[comm_kind_of(state_->tag)],
@@ -1212,12 +1027,12 @@ std::vector<std::byte> PendingOp::take_bytes() {
 
 PendingOp Communicator::isend(int dst, int tag,
                               std::span<const std::byte> data) const {
-  // The buffered fabric commits the message synchronously, so the handle is
-  // born complete; the metrics/CRC/fault path is exactly send_bytes'.
+  // The buffered transport commits the message synchronously, so the handle
+  // is born complete; the metrics/CRC/fault path is exactly send_bytes'.
   send_bytes(dst, tag, data);
   PendingOp op;
   op.state_ = std::make_shared<PendingOp::State>();
-  op.state_->fabric = fabric_;
+  op.state_->transport = transport_;
   op.state_->comm_id = comm_id_;
   op.state_->epoch = epoch_;
   op.state_->self_world = world_rank(rank_);
@@ -1228,11 +1043,11 @@ PendingOp Communicator::isend(int dst, int tag,
 
 PendingOp Communicator::irecv(int src, int tag) const {
   BGL_ENSURE(src >= 0 && src < size(), "irecv from invalid rank " << src);
-  fabric_->throw_if_interrupted(epoch_);
-  fabric_->note_op(world_rank(rank_));  // post counts as one runtime op
+  transport_->throw_if_interrupted(epoch_);
+  transport_->note_op(world_rank(rank_));  // post counts as one runtime op
   PendingOp op;
   op.state_ = std::make_shared<PendingOp::State>();
-  op.state_->fabric = fabric_;
+  op.state_->transport = transport_;
   op.state_->comm_id = comm_id_;
   op.state_->epoch = epoch_;
   op.state_->src_world = world_rank(src);
@@ -1245,26 +1060,27 @@ PendingOp Communicator::irecv(int src, int tag) const {
 
 void Communicator::barrier() const {
   if (!obs::metrics_enabled()) {
-    fabric_->barrier(comm_id_, group_, world_rank(rank_), epoch_);
+    transport_->barrier(comm_id_, group_, world_rank(rank_), epoch_);
     return;
   }
   const auto t0 = detail::Clock::now();
-  fabric_->barrier(comm_id_, group_, world_rank(rank_), epoch_);
+  transport_->barrier(comm_id_, group_, world_rank(rank_), epoch_);
   obs::count("comm.barrier.count");
   obs::observe("comm.barrier.wait_s",
                std::chrono::duration<double>(detail::Clock::now() - t0).count());
 }
 
 Communicator Communicator::split(int color, int key) const {
-  // Publish (color, key) on the board, then read everyone's entry. Two
-  // barriers bracket the board usage so writes and reads cannot race with a
-  // subsequent split on the same communicator.
-  const std::uint64_t seq = ++split_seq_;
+  // The split sequence number lives transport-side, keyed by (comm_id,
+  // world rank): split is collective, so every rank — through any handle
+  // of this communicator, copies included — observes the same sequence and
+  // derives the same child comm_id.
+  const std::uint64_t seq =
+      transport_->next_split_seq(comm_id_, world_rank(rank_));
   const std::int64_t packed =
       (static_cast<std::int64_t>(color) << 32) | static_cast<std::uint32_t>(key);
-  fabric_->board_put(world_rank(rank_), packed);
-  fabric_->barrier(detail::mix_id(comm_id_, seq * 2), group_,
-                   world_rank(rank_), epoch_);
+  const std::vector<std::int64_t> board = transport_->board_exchange(
+      comm_id_, seq, group_, world_rank(rank_), packed, epoch_);
 
   struct Entry {
     int color;
@@ -1274,13 +1090,11 @@ Communicator Communicator::split(int color, int key) const {
   };
   std::vector<Entry> mine;
   for (int r = 0; r < size(); ++r) {
-    const std::int64_t v = fabric_->board_get(world_rank(r));
+    const std::int64_t v = board[static_cast<std::size_t>(r)];
     const int c = static_cast<int>(v >> 32);
     const int k = static_cast<int>(static_cast<std::uint32_t>(v));
     if (c == color) mine.push_back({c, k, r, world_rank(r)});
   }
-  fabric_->barrier(detail::mix_id(comm_id_, seq * 2 + 1), group_,
-                   world_rank(rank_), epoch_);
 
   std::stable_sort(mine.begin(), mine.end(), [](const Entry& a, const Entry& b) {
     return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
@@ -1296,15 +1110,15 @@ Communicator Communicator::split(int color, int key) const {
   const std::uint64_t child_id =
       detail::mix_id(detail::mix_id(comm_id_, seq),
                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(color)) + 1);
-  return Communicator(fabric_, child_id, std::move(group), new_rank, epoch_);
+  return Communicator(transport_, child_id, std::move(group), new_rank, epoch_);
 }
 
 void Communicator::resign() const {
-  fabric_->mark_failed(world_rank(rank_));
+  transport_->mark_failed(world_rank(rank_));
 }
 
 Communicator Communicator::shrink() const {
-  auto [epoch, survivors] = fabric_->rebuild(world_rank(rank_));
+  auto [epoch, survivors] = transport_->rebuild(world_rank(rank_));
   const int me = world_rank(rank_);
   int new_rank = -1;
   for (std::size_t i = 0; i < survivors.size(); ++i) {
@@ -1314,18 +1128,26 @@ Communicator Communicator::shrink() const {
   // The rebuilt world id folds in the epoch, so even a comm id collision
   // across epochs cannot let stale traffic match (the mailboxes were purged
   // anyway — this is defense in depth).
-  return Communicator(fabric_, detail::mix_id(1, epoch), std::move(survivors),
-                      new_rank, epoch);
+  return Communicator(transport_, detail::mix_id(1, epoch),
+                      std::move(survivors), new_rank, epoch);
 }
 
 void World::run(int size, const RankFn& fn) {
   run(size, WorldOptions{}, fn);
 }
 
-void World::run(int size, const WorldOptions& options, const RankFn& fn) {
-  BGL_ENSURE(size >= 1, "world size must be >= 1, got " << size);
-  auto fabric = std::make_shared<detail::Fabric>(size, options);
+namespace {
 
+/// Barrier id for the SPMD clean-exit fence (below); salted away from the
+/// world communicator's id so it shares no phase counter with app barriers.
+constexpr std::uint64_t kSpmdExitFence = 0x5D0F3ACEull;
+
+}  // namespace
+
+/// Thread-mode driver, shared by every transport backend: spawns one thread
+/// per rank, runs fn(comm) on each, joins, and rethrows the poison cause.
+void World::run_threads(const std::shared_ptr<Transport>& transport, int size,
+                        const WorldOptions& options, const World::RankFn& fn) {
   std::vector<int> world_group(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) world_group[static_cast<std::size_t>(r)] = r;
 
@@ -1335,8 +1157,9 @@ void World::run(int size, const WorldOptions& options, const RankFn& fn) {
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([&, r] {
       obs::set_rank(r);  // trace spans from this thread attribute to rank r
-      fabric->hb_start(r);
-      Communicator comm(fabric, /*comm_id=*/1, world_group, r, /*epoch=*/0);
+      transport->hb_start(r);
+      Communicator comm(transport, /*comm_id=*/1, world_group, r,
+                        /*epoch=*/0);
       bool completed = false;
       try {
         fn(comm);
@@ -1346,31 +1169,81 @@ void World::run(int size, const WorldOptions& options, const RankFn& fn) {
           // Tier 3: the rank dies in place. Survivors get EpochInterrupt
           // and shrink around it; the world is not poisoned and World::run
           // does not rethrow — the job outcome belongs to the survivors.
-          fabric->mark_failed(r);
+          transport->mark_failed(r);
         } else {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
-          fabric->poison(r, e.what());
+          transport->poison(r, e.what());
         }
       } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        fabric->poison(r, e.what());
+        transport->poison(r, e.what());
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        fabric->poison(r, "unknown error");
+        transport->poison(r, "unknown error");
       }
-      fabric->hb_stop(r, completed);
+      transport->hb_stop(r, completed);
     });
   }
   for (auto& t : threads) t.join();
   // Rethrow the poison cause — the chronologically first failure — so e.g.
   // a RankFailureError is not masked by the poisoned-wakeup errors of the
   // ranks it unblocked.
-  const int first = fabric->first_failed_rank();
+  const int first = transport->first_failed_rank();
   if (first >= 0 && errors[static_cast<std::size_t>(first)])
     std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
   for (const auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }
+}
+
+/// SPMD driver: this OS process hosts exactly one rank (BGL_RANK) of a
+/// BGL_WORLD_SIZE-process world over the socket transport. fn runs on the
+/// calling thread; a clean exit fences on a world barrier so no peer tears
+/// its sockets down while our last sends are still undelivered.
+void World::run_spmd(int size, const WorldOptions& options,
+                     const World::RankFn& fn) {
+  const SpmdConfig cfg = spmd_config_from_env();
+  BGL_ENSURE(size == cfg.world_size,
+             "World::run(size=" << size << ") under the SPMD launcher must "
+             "match BGL_WORLD_SIZE=" << cfg.world_size);
+  auto transport =
+      std::make_shared<detail::SocketTransport>(size, options, cfg);
+  std::vector<int> world_group(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) world_group[static_cast<std::size_t>(r)] = r;
+  obs::set_rank(cfg.rank);
+  Communicator comm(transport, /*comm_id=*/1, world_group, cfg.rank,
+                    /*epoch=*/0);
+  try {
+    fn(comm);
+  } catch (const std::exception& e) {
+    // Poison travels to the peers as a frame; this process fails with the
+    // original error (the launcher aggregates exit codes).
+    transport->poison(cfg.rank, e.what());
+    throw;
+  } catch (...) {
+    transport->poison(cfg.rank, "unknown error");
+    throw;
+  }
+  transport->barrier(kSpmdExitFence, world_group, cfg.rank, /*epoch=*/0);
+}
+
+void World::run(int size, const WorldOptions& options, const RankFn& fn) {
+  BGL_ENSURE(size >= 1, "world size must be >= 1, got " << size);
+  const std::string name = resolve_transport_name(options.transport);
+  if (name == "tcp") {
+    if (spmd_env_configured()) {
+      run_spmd(size, options, fn);
+      return;
+    }
+    // Thread mode over real sockets: ranks are still threads of this
+    // process, but every message crosses a loopback TCP connection — the
+    // whole test suite exercises the wire path this way.
+    run_threads(std::make_shared<detail::SocketTransport>(size, options),
+                size, options, fn);
+    return;
+  }
+  run_threads(std::make_shared<detail::Fabric>(size, options), size, options,
+              fn);
 }
 
 }  // namespace bgl::rt

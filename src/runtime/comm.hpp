@@ -1,11 +1,15 @@
-// In-process message-passing runtime.
+// Message-passing runtime.
 //
 // This is the substitution for MPI on the Sunway machine (see DESIGN.md §1):
-// ranks are threads of one process, point-to-point messages are buffered
-// byte vectors moved through per-rank mailboxes. Collective *algorithms*
-// (bgl::coll) are implemented on top of this p2p layer exactly as they would
-// be on a real interconnect, so their communication structure — not just
-// their result — is executed for real.
+// by default ranks are threads of one process and point-to-point messages
+// are buffered byte vectors moved through per-rank mailboxes. The runtime
+// is written against the rt::Transport interface (runtime/transport.hpp,
+// DESIGN.md §12), so the same Communicator API also runs over loopback TCP
+// sockets — with ranks as real OS processes under the SPMD launcher —
+// selected by WorldOptions.transport / $BGL_TRANSPORT. Collective
+// *algorithms* (bgl::coll) are implemented on top of this p2p layer exactly
+// as they would be on a real interconnect, so their communication structure
+// — not just their result — is executed for real.
 //
 // Semantics:
 //  * send() is buffered and never blocks (like MPI_Bsend), which makes
@@ -52,6 +56,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/error.hpp"
@@ -60,10 +65,7 @@
 namespace bgl::rt {
 
 class FaultInjector;  // runtime/fault.hpp
-
-namespace detail {
-class Fabric;  // shared mailboxes + barrier; defined in comm.cpp
-}
+class Transport;      // runtime/transport.hpp
 
 /// --- error taxonomy --------------------------------------------------------
 /// Typed errors let callers distinguish infrastructure failures (recoverable
@@ -128,16 +130,30 @@ struct WorldOptions {
   /// under this mode resigns its rank and returns instead of killing the
   /// job.
   bool shrink_on_death = false;
+  /// Transport backend: "inproc" (threads over shared mailboxes, the
+  /// default), "tcp" (loopback sockets; real processes under the SPMD
+  /// launcher — see DESIGN.md §12). Empty = $BGL_TRANSPORT, else inproc.
+  /// Unknown names fail loudly at World::run.
+  std::string transport;
 };
 
 namespace detail {
 
 /// Reinterprets a byte payload as a vector of trivially copyable T.
+///
+/// The length check raises the typed CorruptMessageError, not a contract
+/// abort: the length comes off the wire, so on a transport without CRC
+/// framing a truncated frame must surface as the same recoverable error
+/// class as a corrupted one (catch sites already distinguish infrastructure
+/// failures from bugs by that type).
 template <typename T>
 [[nodiscard]] std::vector<T> bytes_to_vec(std::vector<std::byte>&& raw) {
   static_assert(std::is_trivially_copyable_v<T>);
-  BGL_ENSURE(raw.size() % sizeof(T) == 0,
-             "message size " << raw.size() << " not multiple of element");
+  if (raw.size() % sizeof(T) != 0)
+    throw CorruptMessageError(
+        "corrupt message: payload of " + std::to_string(raw.size()) +
+        " bytes is not a multiple of the element size " +
+        std::to_string(sizeof(T)) + " (truncated or mis-framed)");
   std::vector<T> out(raw.size() / sizeof(T));
   std::memcpy(out.data(), raw.data(), raw.size());
   return out;
@@ -299,17 +315,18 @@ class Communicator {
  private:
   friend class World;
 
-  Communicator(std::shared_ptr<detail::Fabric> fabric, std::uint64_t comm_id,
+  Communicator(std::shared_ptr<Transport> transport, std::uint64_t comm_id,
                std::vector<int> group, int rank, std::uint64_t epoch = 0);
 
-  std::shared_ptr<detail::Fabric> fabric_;
+  // The split counter is NOT here: it lives transport-side, keyed by
+  // (comm_id, world rank), so copies of a handle share one sequence
+  // (Transport::next_split_seq). Per-handle state on a value-ish copyable
+  // handle would let a copy and the original derive colliding child ids.
+  std::shared_ptr<Transport> transport_;
   std::uint64_t comm_id_ = 0;
   std::vector<int> group_;  // local rank -> world rank
   int rank_ = -1;
   std::uint64_t epoch_ = 0;
-  // Number of split() calls issued so far; identical across ranks of the
-  // communicator because split is collective. Used to derive child ids.
-  mutable std::uint64_t split_seq_ = 0;
 };
 
 /// Spawns `size` rank threads, runs `fn(comm)` on each, joins, and rethrows
@@ -326,6 +343,16 @@ class World {
   /// Runs a parallel region with explicit runtime options (timeouts,
   /// message checksumming, fault injection).
   static void run(int size, const WorldOptions& options, const RankFn& fn);
+
+ private:
+  /// Thread-mode driver, shared by every transport backend.
+  static void run_threads(const std::shared_ptr<Transport>& transport,
+                          int size, const WorldOptions& options,
+                          const RankFn& fn);
+  /// SPMD driver: this process hosts exactly one rank (BGL_RANK) of a
+  /// multi-process world over the socket transport.
+  static void run_spmd(int size, const WorldOptions& options,
+                       const RankFn& fn);
 };
 
 }  // namespace bgl::rt

@@ -1,0 +1,230 @@
+// Shared receiver/sender channel machinery for transports (DESIGN.md §12).
+//
+// Both backends — the in-process fabric (comm.cpp) and the loopback-socket
+// transport (transport_socket.cpp) — deliver into the same mailbox shape:
+// per-destination channel maps keyed by (comm, src, tag), with the tier-1
+// reliable-stream state (expected sequence, probe schedule, sent watermark)
+// fused into each entry so the hot push/pop critical sections do one lookup
+// under the box lock. The backends differ only in how frames travel (direct
+// function call vs. TCP frames) and how retransmits/acks are signalled; the
+// matching, in-order delivery, duplicate discard, and delay gating logic
+// here is common.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "core/crc32.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/recovery.hpp"
+
+namespace bgl::rt::detail {
+
+using Clock = std::chrono::steady_clock;
+
+using Key = std::tuple<std::uint64_t, int, int>;      // (comm, src, tag)
+using SendKey = std::tuple<std::uint64_t, int, int>;  // (comm, dst, tag)
+
+struct Message {
+  /// Reliable-path frames on the inproc fabric are shared with the sender's
+  /// replay buffer and stolen on delivery once the ack has pruned the
+  /// replay reference; socket-path and legacy-path messages own their bytes
+  /// in `payload`.
+  std::shared_ptr<std::vector<std::byte>> frame;
+  std::vector<std::byte> payload;
+  std::uint64_t seq = 0;  // 0 on the legacy (retry-off) path
+  std::uint32_t crc = 0;
+  bool checksummed = false;
+  // Channel recovery state at pop time (the pop advances the channel
+  // optimistically before the CRC is checked; a failure restores these).
+  int prior_attempts = 0;
+  double prior_backoff_ms = 0.0;
+  // Epoch (the default) means deliverable immediately; an injected delay
+  // sets a future timestamp and the message stays "in flight" until then.
+  Clock::time_point ready_at{};
+};
+
+/// Receiver-side stream state for one (comm, src, tag) channel: the next
+/// expected sequence number plus the bounded-backoff probe schedule used
+/// to re-request frames that never arrived.
+struct RecvChannel {
+  std::uint64_t expected = 1;
+  int attempts = 0;
+  double backoff_ms = 0.0;  // 0 = schedule not started
+  Clock::time_point next_probe{};
+
+  Clock::duration backoff_next(const RetryOptions& retry) {
+    if (backoff_ms <= 0.0) backoff_ms = retry.backoff_ms;
+    const double ms = backoff_ms;
+    backoff_ms = std::min(backoff_ms * 2.0, retry.backoff_max_ms);
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+
+  void reset() {
+    attempts = 0;
+    backoff_ms = 0.0;
+    next_probe = Clock::time_point{};
+  }
+};
+
+/// Everything the mailbox tracks for one (comm, src, tag) stream, fused
+/// into a single map entry so the hot push/pop critical sections do one
+/// lookup under the box lock instead of three (queue + receive state +
+/// watermark).
+struct MailChannel {
+  std::deque<Message> queue;
+  /// Reliable-stream receive state (untouched on the legacy path).
+  RecvChannel rc;
+  /// Highest sequence number the sender has *committed* on this channel —
+  /// updated on every reliable delivery AND on every injected drop (the
+  /// socket backend publishes drops as tombstone frames). The receiver's
+  /// loss probe consults it: expected > watermark means "not sent yet",
+  /// expected <= watermark with nothing deliverable is positive evidence
+  /// of a loss (retransmit now).
+  std::uint64_t sent = 0;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  /// Reliable-path entries persist when drained (their rc/sent state is
+  /// the stream's memory); legacy-path entries are erased once empty.
+  std::map<Key, MailChannel> channels;
+  /// Bumped on every push (and on the rebuild purge) so blocked waiters
+  /// can sleep on "anything changed" without spinning on a delayed head.
+  std::uint64_t version = 0;
+};
+
+/// One unacknowledged frame retained for retransmission.
+struct ReplayEntry {
+  std::uint64_t seq = 0;
+  std::shared_ptr<std::vector<std::byte>> frame;
+  std::uint32_t crc = 0;
+  bool checksummed = false;
+};
+
+struct SendChannel {
+  std::uint64_t next_seq = 1;
+  std::uint64_t acked = 0;  // cumulative ack watermark
+  std::deque<ReplayEntry> replay;
+};
+
+/// Send-side replay state for one source rank. Locked separately from the
+/// mailboxes (and never while holding a mailbox lock) because acks and
+/// retransmit requests arrive from other threads.
+struct SenderState {
+  std::mutex mutex;
+  std::map<SendKey, SendChannel> channels;
+};
+
+enum class PopResult { kFound, kNotReady, kEmpty, kGap };
+
+/// Pops the deliverable message for `key` if there is one. Reliable
+/// channels deliver strictly in sequence order: stale duplicates are
+/// discarded, and a present-but-later frame reports kGap (a loss the
+/// probe schedule will re-request). Caller holds box.mutex.
+inline PopResult pop_channel(Mailbox& box, const Key& key, bool reliable,
+                             Message& out, Clock::time_point& head_ready) {
+  const auto it = box.channels.find(key);
+  if (it == box.channels.end() || it->second.queue.empty())
+    return PopResult::kEmpty;
+  std::deque<Message>& q = it->second.queue;
+  if (!reliable) {
+    Message& head = q.front();
+    if (head.ready_at != Clock::time_point{} && head.ready_at > Clock::now()) {
+      head_ready = head.ready_at;
+      return PopResult::kNotReady;  // still "in flight" under a delay
+    }
+    out = std::move(head);
+    q.pop_front();
+    if (q.empty()) box.channels.erase(it);
+    return PopResult::kFound;
+  }
+  RecvChannel& rc = it->second.rc;
+  // Fast path: in a fault-free run the head is the expected frame. The
+  // channel advances here, under the one lock the pop already holds; a
+  // CRC failure discovered after unlock rolls it back.
+  if (q.front().seq == rc.expected &&
+      q.front().ready_at == Clock::time_point{}) {
+    out = std::move(q.front());
+    q.pop_front();
+    out.prior_attempts = rc.attempts;
+    out.prior_backoff_ms = rc.backoff_ms;
+    rc.expected = out.seq + 1;
+    rc.reset();
+    return PopResult::kFound;
+  }
+  // Slow path: drop duplicates (retransmits that raced the original), then
+  // scan for the expected frame, which may sit behind later ones.
+  for (auto qi = q.begin(); qi != q.end();) {
+    if (qi->seq < rc.expected) {
+      obs::count("comm.retry.duplicates");
+      qi = q.erase(qi);
+    } else {
+      ++qi;
+    }
+  }
+  if (q.empty()) return PopResult::kEmpty;
+  for (auto qi = q.begin(); qi != q.end(); ++qi) {
+    if (qi->seq != rc.expected) continue;
+    if (qi->ready_at != Clock::time_point{} && qi->ready_at > Clock::now()) {
+      head_ready = qi->ready_at;
+      return PopResult::kNotReady;
+    }
+    out = std::move(*qi);
+    q.erase(qi);
+    out.prior_attempts = rc.attempts;
+    out.prior_backoff_ms = rc.backoff_ms;
+    rc.expected = out.seq + 1;
+    rc.reset();
+    return PopResult::kFound;
+  }
+  return PopResult::kGap;
+}
+
+/// Moves the payload out of a delivered message, even when a replay buffer
+/// still shares the frame. Safe because retransmission is receiver-driven
+/// and a receiver never re-requests a sequence number it has already
+/// accepted, so the replay's reference to these bytes is dead the moment
+/// the pop returns.
+inline std::vector<std::byte> steal_payload(Message& msg) {
+  if (msg.frame != nullptr) return std::move(*msg.frame);
+  return std::move(msg.payload);
+}
+
+[[nodiscard]] inline const std::vector<std::byte>& bytes_of(
+    const Message& msg) {
+  return msg.frame != nullptr ? *msg.frame : msg.payload;
+}
+
+[[nodiscard]] inline bool crc_matches(const Message& msg) {
+  return !msg.checksummed || crc32(bytes_of(msg)) == msg.crc;
+}
+
+/// Legacy-path (retry-off) CRC verification: a mismatch is terminal, raised
+/// as the typed CorruptMessageError naming the blocked channel.
+inline void verify_crc(const Message& msg, std::uint64_t comm_id, int src,
+                       int dst, int tag) {
+  if (!msg.checksummed) return;
+  const std::uint32_t got = crc32(bytes_of(msg));
+  if (got == msg.crc) return;
+  obs::count("comm.crc.failures");
+  std::ostringstream os;
+  os << "corrupt message: CRC mismatch on comm " << comm_id << " src " << src
+     << " -> dst " << dst << " tag " << tag << " (" << bytes_of(msg).size()
+     << " bytes, expected crc " << msg.crc << ", got " << got << ")";
+  throw CorruptMessageError(os.str());
+}
+
+}  // namespace bgl::rt::detail

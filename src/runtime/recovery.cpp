@@ -1,8 +1,12 @@
 #include "runtime/recovery.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
+#include "core/error.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/fault.hpp"
 
@@ -10,36 +14,87 @@ namespace bgl::rt {
 
 namespace {
 
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtod(v, nullptr);
+[[nodiscard]] bool is_set(const char* text) {
+  return text != nullptr && *text != '\0';
+}
+
+/// Strict integer knob: the whole string must parse (trailing junk beyond
+/// whitespace rejected) and land inside [lo, hi]. Overflow is caught via
+/// errno == ERANGE.
+long parse_long_knob(const char* name, const char* text, long lo, long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  BGL_ENSURE(end != text, name << "=\"" << text << "\" is not a number");
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  BGL_ENSURE(*end == '\0',
+             name << "=\"" << text << "\" has trailing garbage at \"" << end
+                  << "\"");
+  BGL_ENSURE(errno != ERANGE, name << "=\"" << text << "\" overflows");
+  BGL_ENSURE(value >= lo && value <= hi,
+             name << "=" << value << " is out of range [" << lo << ", " << hi
+                  << "]");
+  return value;
+}
+
+/// Strict floating-point knob: full-string parse, finite, inside the range
+/// (lower bound exclusive when lo_exclusive — a 0 ms backoff would spin).
+double parse_double_knob(const char* name, const char* text, double lo,
+                         double hi, bool lo_exclusive) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  BGL_ENSURE(end != text, name << "=\"" << text << "\" is not a number");
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  BGL_ENSURE(*end == '\0',
+             name << "=\"" << text << "\" has trailing garbage at \"" << end
+                  << "\"");
+  BGL_ENSURE(errno != ERANGE && std::isfinite(value),
+             name << "=\"" << text << "\" is not a finite number");
+  const bool above_lo = lo_exclusive ? value > lo : value >= lo;
+  BGL_ENSURE(above_lo && value <= hi,
+             name << "=" << value << " is out of range "
+                  << (lo_exclusive ? "(" : "[") << lo << ", " << hi << "]");
+  return value;
 }
 
 }  // namespace
 
+RetryOptions parse_retry_options(const char* max_text,
+                                 const char* backoff_text) {
+  RetryOptions o;
+  o.enabled = is_set(max_text) || is_set(backoff_text);
+  if (is_set(max_text)) {
+    o.max_retries = static_cast<int>(
+        parse_long_knob("BGL_RETRY_MAX", max_text, 0, 1000000));
+  }
+  if (is_set(backoff_text)) {
+    o.backoff_ms = parse_double_knob("BGL_RETRY_BACKOFF_MS", backoff_text, 0.0,
+                                     60000.0, /*lo_exclusive=*/true);
+    // Keep the schedule monotone if the floor is raised past the cap.
+    if (o.backoff_ms > o.backoff_max_ms) o.backoff_max_ms = o.backoff_ms;
+  }
+  return o;
+}
+
+HeartbeatOptions parse_heartbeat_options(const char* interval_text) {
+  HeartbeatOptions o;
+  if (is_set(interval_text)) {
+    o.interval_ms = parse_double_knob("BGL_HEARTBEAT_MS", interval_text, 0.0,
+                                      600000.0, /*lo_exclusive=*/false);
+  }
+  return o;
+}
+
 RetryOptions retry_options_from_env() {
-  static const RetryOptions opts = [] {
-    RetryOptions o;
-    const char* max = std::getenv("BGL_RETRY_MAX");
-    const char* backoff = std::getenv("BGL_RETRY_BACKOFF_MS");
-    o.enabled = (max != nullptr && *max != '\0') ||
-                (backoff != nullptr && *backoff != '\0');
-    if (max != nullptr && *max != '\0')
-      o.max_retries = static_cast<int>(std::strtol(max, nullptr, 10));
-    if (backoff != nullptr && *backoff != '\0')
-      o.backoff_ms = std::strtod(backoff, nullptr);
-    return o;
-  }();
+  static const RetryOptions opts = parse_retry_options(
+      std::getenv("BGL_RETRY_MAX"), std::getenv("BGL_RETRY_BACKOFF_MS"));
   return opts;
 }
 
 HeartbeatOptions heartbeat_options_from_env() {
-  static const HeartbeatOptions opts = [] {
-    HeartbeatOptions o;
-    o.interval_ms = env_double("BGL_HEARTBEAT_MS", 0.0);
-    return o;
-  }();
+  static const HeartbeatOptions opts =
+      parse_heartbeat_options(std::getenv("BGL_HEARTBEAT_MS"));
   return opts;
 }
 

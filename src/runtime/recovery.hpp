@@ -50,6 +50,15 @@ struct RetryOptions {
 /// layer is enabled when either variable is set. Read once per process.
 [[nodiscard]] RetryOptions retry_options_from_env();
 
+/// Pure parsing core of retry_options_from_env (testable without touching
+/// the process environment). Either argument may be nullptr/empty (= unset).
+/// Garbage, trailing junk, negative values, and out-of-range numbers raise
+/// bgl::Error naming the offending variable: a half-applied retry policy on
+/// a 37M-core job is far worse than a refused launch. Accepted ranges:
+/// BGL_RETRY_MAX in [0, 1e6]; BGL_RETRY_BACKOFF_MS in (0, 60000].
+[[nodiscard]] RetryOptions parse_retry_options(const char* max_text,
+                                               const char* backoff_text);
+
 /// Tier 2 — heartbeat failure detection. Each rank gets a beater thread
 /// posting a liveness timestamp every interval_ms; suspicion of a rank is
 /// the φ-style ratio (time since last beat) / interval, evaluated lazily at
@@ -71,6 +80,12 @@ struct HeartbeatOptions {
 
 /// Defaults from the environment: BGL_HEARTBEAT_MS (0/unset = off).
 [[nodiscard]] HeartbeatOptions heartbeat_options_from_env();
+
+/// Pure parsing core of heartbeat_options_from_env. nullptr/empty = unset
+/// (tier 2 off). Garbage, negatives, NaN, and values above 600000 ms raise
+/// bgl::Error; an explicit "0" is a valid off switch.
+[[nodiscard]] HeartbeatOptions parse_heartbeat_options(
+    const char* interval_text);
 
 /// Bounded exponential backoff schedule: first wait is backoff_ms, each
 /// subsequent wait doubles, capped at backoff_max_ms.

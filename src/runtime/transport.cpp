@@ -1,0 +1,81 @@
+#include "runtime/transport.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace bgl::rt {
+
+std::uint64_t Transport::next_split_seq(std::uint64_t comm_id,
+                                        int world_rank) {
+  std::lock_guard<std::mutex> lock(split_mutex_);
+  return ++split_seqs_[{comm_id, world_rank}];
+}
+
+namespace detail {
+
+std::uint64_t mix_id(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ull + b * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Strict integer env parse: the whole string must be a number in
+/// [lo, hi]. Garbage, sign surprises, and overflow all fail loudly — a
+/// launcher typo must never silently become a wrong world.
+long parse_env_long(const char* name, const char* text, long lo, long hi) {
+  BGL_ENSURE(text != nullptr && *text != '\0',
+             "environment variable " << name << " must be set");
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  BGL_ENSURE(errno != ERANGE, name << "='" << text << "' overflows");
+  BGL_ENSURE(end != text && *end == '\0',
+             name << "='" << text << "' is not an integer");
+  BGL_ENSURE(v >= lo && v <= hi, name << "=" << v << " out of range ["
+                                      << lo << ", " << hi << "]");
+  return v;
+}
+
+}  // namespace
+
+std::string resolve_transport_name(const std::string& requested) {
+  std::string name = requested;
+  if (name.empty()) {
+    const char* env = std::getenv("BGL_TRANSPORT");
+    name = (env != nullptr) ? env : "";
+  }
+  if (name.empty() || name == "inproc") return "inproc";
+  if (name == "tcp") return "tcp";
+  BGL_FAIL("unknown transport '" << name
+                                 << "' (BGL_TRANSPORT / WorldOptions."
+                                    "transport); supported: inproc, tcp");
+}
+
+bool spmd_env_configured() {
+  const char* rank = std::getenv("BGL_RANK");
+  const char* world = std::getenv("BGL_WORLD_SIZE");
+  return rank != nullptr && *rank != '\0' && world != nullptr && *world != '\0';
+}
+
+SpmdConfig spmd_config_from_env() {
+  SpmdConfig cfg;
+  cfg.world_size = static_cast<int>(
+      parse_env_long("BGL_WORLD_SIZE", std::getenv("BGL_WORLD_SIZE"), 1, 4096));
+  cfg.rank = static_cast<int>(parse_env_long("BGL_RANK", std::getenv("BGL_RANK"),
+                                             0, cfg.world_size - 1));
+  const char* dir = std::getenv("BGL_TCP_DIR");
+  BGL_ENSURE(dir != nullptr && *dir != '\0',
+             "SPMD launch needs BGL_TCP_DIR (port-file rendezvous directory); "
+             "use scripts/bgl_launch.sh");
+  cfg.rendezvous_dir = dir;
+  return cfg;
+}
+
+}  // namespace bgl::rt

@@ -1,0 +1,145 @@
+// Transport abstraction for the message-passing runtime (DESIGN.md §12).
+//
+// rt::Communicator, PendingOp, and the recovery ladder are written against
+// this interface, not against a concrete fabric. Two backends ship today,
+// selected by WorldOptions.transport or the BGL_TRANSPORT environment
+// variable:
+//
+//   * "inproc" (default) — detail::Fabric in comm.cpp: ranks are threads of
+//     one process, messages are byte vectors moved through shared mailboxes.
+//     Bitwise-identical to the pre-interface runtime.
+//   * "tcp" — SocketTransport in transport_socket.cpp: messages cross real
+//     loopback TCP sockets. In thread mode the ranks are still threads (so
+//     the whole test suite can run against real wires); under the SPMD
+//     launcher (BGL_RANK/BGL_WORLD_SIZE, scripts/bgl_launch.sh) each rank is
+//     its own OS process.
+//
+// The interface is deliberately the *fabric* contract, not the Communicator
+// API: world-rank addressed p2p with (comm, src, tag) matching, a subset
+// barrier, the split rendezvous, poison propagation, and the tier-3 epoch
+// fence. Everything above (metrics, typed recv, collectives) layers on
+// unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bgl::rt {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of world ranks.
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// --- point to point ------------------------------------------------------
+
+  /// Buffered, never-blocking send of `data` from world rank `src` to world
+  /// rank `dst`, matched at the receiver by (comm_id, src, tag).
+  virtual void send(std::uint64_t comm_id, int src, int dst, int tag,
+                    std::span<const std::byte> data, std::uint64_t epoch) = 0;
+
+  /// Blocking receive (counts one runtime op for the fault injector).
+  virtual std::vector<std::byte> recv(std::uint64_t comm_id, int src,
+                                      int self, int tag,
+                                      std::uint64_t epoch) = 0;
+
+  /// Nonblocking matching attempt for an already-posted receive.
+  virtual bool try_pop(std::uint64_t comm_id, int src, int self, int tag,
+                       std::uint64_t epoch, std::vector<std::byte>& out) = 0;
+
+  /// Blocking completion of an already-posted receive (no op accounting).
+  virtual std::vector<std::byte> wait_posted(std::uint64_t comm_id, int src,
+                                             int self, int tag,
+                                             std::uint64_t epoch) = 0;
+
+  /// Fault-injector op accounting for one posted op on `world_rank`.
+  virtual void note_op(int world_rank) = 0;
+
+  /// --- synchronization & rendezvous ---------------------------------------
+
+  /// Blocks until every rank of `group` (world ranks) has entered the
+  /// barrier identified by `comm_id`.
+  virtual void barrier(std::uint64_t comm_id, const std::vector<int>& group,
+                       int self, std::uint64_t epoch) = 0;
+
+  /// Split rendezvous: every rank of `group` contributes `value`; returns
+  /// the values of all ranks in group order. `split_seq` disambiguates
+  /// consecutive exchanges on the same communicator.
+  virtual std::vector<std::int64_t> board_exchange(
+      std::uint64_t comm_id, std::uint64_t split_seq,
+      const std::vector<int>& group, int self, std::int64_t value,
+      std::uint64_t epoch) = 0;
+
+  /// --- error propagation ---------------------------------------------------
+
+  /// Poisons the world on behalf of `world_rank` (first caller wins).
+  virtual void poison(int world_rank, const std::string& what) = 0;
+  virtual void throw_if_poisoned() const = 0;
+  /// Rank whose error poisoned the world, or -1.
+  [[nodiscard]] virtual int first_failed_rank() const = 0;
+
+  /// --- tier 3: epoch fencing and in-place shrink ---------------------------
+
+  [[nodiscard]] virtual std::uint64_t epoch() const = 0;
+  virtual void throw_if_interrupted(std::uint64_t epoch) const = 0;
+  /// Records `world_rank` as dead (resignation or injector kill).
+  virtual void mark_failed(int world_rank) = 0;
+  /// Collective drain-and-rebuild among survivors; returns the new epoch
+  /// and the survivor list. Throws on transports without shrink support.
+  virtual std::pair<std::uint64_t, std::vector<int>> rebuild(int me) = 0;
+
+  /// --- lifecycle hooks (driven by World::run around each rank fn) ---------
+
+  virtual void hb_start(int /*world_rank*/) {}
+  virtual void hb_stop(int /*world_rank*/, bool /*completed*/) {}
+
+  /// --- shared per-communicator state ---------------------------------------
+
+  /// Number of split() calls issued so far on (comm_id, world_rank),
+  /// starting at 1. Lives transport-side so every Communicator handle of
+  /// the same communicator — including copies — shares one counter: split
+  /// is collective, so all ranks observe the same sequence and derive the
+  /// same child comm id, and a copy can never fork a colliding sequence.
+  [[nodiscard]] std::uint64_t next_split_seq(std::uint64_t comm_id,
+                                             int world_rank);
+
+ private:
+  std::mutex split_mutex_;
+  std::map<std::pair<std::uint64_t, int>, std::uint64_t> split_seqs_;
+};
+
+namespace detail {
+
+/// SplitMix-style id combiner; deterministic across ranks. Used to derive
+/// child communicator ids and the internal barrier ids of split().
+[[nodiscard]] std::uint64_t mix_id(std::uint64_t a, std::uint64_t b);
+
+}  // namespace detail
+
+/// Resolves a transport name: `requested` if non-empty, else $BGL_TRANSPORT,
+/// else "inproc". Throws bgl::Error on an unknown name.
+[[nodiscard]] std::string resolve_transport_name(const std::string& requested);
+
+/// True when the SPMD launcher environment (BGL_RANK and BGL_WORLD_SIZE) is
+/// present: this process hosts exactly one rank of a multi-process world.
+[[nodiscard]] bool spmd_env_configured();
+
+/// SPMD process identity, parsed (and validated) from the environment.
+struct SpmdConfig {
+  int rank = 0;
+  int world_size = 1;
+  /// Directory for the port-file rendezvous (BGL_TCP_DIR).
+  std::string rendezvous_dir;
+};
+
+[[nodiscard]] SpmdConfig spmd_config_from_env();
+
+}  // namespace bgl::rt

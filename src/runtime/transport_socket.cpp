@@ -1,0 +1,1000 @@
+#include "runtime/transport_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/crc32.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/fault.hpp"
+
+namespace bgl::rt::detail {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0xB6A10F7A;
+/// Upper bound on one frame's payload; anything larger on the wire means a
+/// corrupted stream, not a legitimate message.
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+Clock::duration seconds_of(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Blocking write of the whole buffer (connection setup only; steady-state
+/// writes are nonblocking and pump-driven).
+void write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BGL_FAIL("socket write failed during setup: " << std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Blocking read of exactly `len` bytes (connection setup only).
+void read_exact(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BGL_FAIL("socket read failed during setup: " << std::strerror(errno));
+    }
+    BGL_ENSURE(n > 0, "peer closed the connection during setup");
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+[[nodiscard]] int make_loopback_listener(std::uint16_t* port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  BGL_ENSURE(fd >= 0, "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  BGL_ENSURE(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+             "bind(127.0.0.1:0) failed: " << std::strerror(errno));
+  BGL_ENSURE(::listen(fd, 128) == 0,
+             "listen() failed: " << std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  BGL_ENSURE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0,
+             "getsockname() failed: " << std::strerror(errno));
+  *port_out = ntohs(bound.sin_port);
+  return fd;
+}
+
+[[nodiscard]] int connect_loopback(std::uint16_t port, double deadline_s) {
+  const auto deadline = Clock::now() + seconds_of(deadline_s);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    BGL_ENSURE(fd >= 0, "socket() failed: " << std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+    const int err = errno;
+    ::close(fd);
+    BGL_ENSURE(err == ECONNREFUSED || err == EINTR || err == ETIMEDOUT,
+               "connect(127.0.0.1:" << port
+                                    << ") failed: " << std::strerror(err));
+    BGL_ENSURE(Clock::now() < deadline,
+               "connect(127.0.0.1:" << port << ") timed out after "
+                                    << deadline_s << "s (peer never came up)");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int size, const WorldOptions& options)
+    : size_(size), options_(options) {
+  hosted_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    hosted_.push_back(r);
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  BGL_ENSURE(wake_fd_ >= 0, "eventfd() failed: " << std::strerror(errno));
+  build_thread_mode_mesh();
+  start_pump();
+}
+
+SocketTransport::SocketTransport(int size, const WorldOptions& options,
+                                 const SpmdConfig& cfg)
+    : size_(size), options_(options), spmd_(true), cfg_(cfg) {
+  BGL_ENSURE(cfg.world_size == size,
+             "SPMD world size mismatch: World::run(" << size
+                                                     << ") vs BGL_WORLD_SIZE="
+                                                     << cfg.world_size);
+  hosted_.push_back(cfg.rank);
+  shards_.push_back(std::make_unique<Shard>());
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  BGL_ENSURE(wake_fd_ >= 0, "eventfd() failed: " << std::strerror(errno));
+  build_spmd_mesh();
+  start_pump();
+}
+
+SocketTransport::~SocketTransport() {
+  stopping_.store(true);
+  wake_pump();
+  if (pump_.joinable()) pump_.join();
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void SocketTransport::set_sockopts(int fd) {
+  // Nagle would batch the small ping-pong frames the barrier and the
+  // conformance suites live on; the transport does its own batching via the
+  // outbound deques.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void SocketTransport::set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  BGL_ENSURE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+             "fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
+}
+
+void SocketTransport::build_thread_mode_mesh() {
+  std::uint16_t port = 0;
+  listen_fd_ = make_loopback_listener(&port);
+  // Sequential connect-then-accept per pair: on loopback the accept is
+  // guaranteed to return the connection just initiated, so no handshake
+  // frame is needed to identify the pair.
+  for (int i = 0; i < size_; ++i) {
+    for (int j = i + 1; j < size_; ++j) {
+      const int cfd = connect_loopback(port, /*deadline_s=*/30.0);
+      const int afd = ::accept(listen_fd_, nullptr, nullptr);
+      BGL_ENSURE(afd >= 0, "accept() failed: " << std::strerror(errno));
+      for (const int fd : {cfd, afd}) {
+        set_sockopts(fd);
+        set_nonblocking(fd);
+      }
+      auto a = std::make_unique<Conn>();
+      a->fd = cfd;
+      a->owner = i;
+      a->peer = j;
+      auto b = std::make_unique<Conn>();
+      b->fd = afd;
+      b->owner = j;
+      b->peer = i;
+      links_[{i, j}] = a.get();
+      links_[{j, i}] = b.get();
+      conns_.push_back(std::move(a));
+      conns_.push_back(std::move(b));
+    }
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void SocketTransport::build_spmd_mesh() {
+  const int me = cfg_.rank;
+  std::uint16_t port = 0;
+  listen_fd_ = make_loopback_listener(&port);
+
+  // Sequential World::run calls are SPMD too (every process makes the same
+  // sequence of runs), so a per-process generation counter keeps run n+1's
+  // rendezvous files from colliding with run n's stale ports.
+  static std::atomic<int> spmd_generation{0};
+  const int generation = spmd_generation.fetch_add(1);
+  const auto port_file = [this, generation](int rank) {
+    return cfg_.rendezvous_dir + "/rank_" + std::to_string(rank) + ".g" +
+           std::to_string(generation) + ".port";
+  };
+
+  // Publish our port atomically (write-then-rename), so a peer never reads
+  // a half-written file.
+  const std::string final_path = port_file(me);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path);
+    BGL_ENSURE(out.good(), "cannot write port file " << tmp_path);
+    out << port << "\n";
+  }
+  BGL_ENSURE(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+             "rename(" << tmp_path << ") failed: " << std::strerror(errno));
+
+  // Connect to every lower rank; accept from every higher rank. The hello
+  // frame identifies the connector (accept order is arbitrary).
+  for (int peer = 0; peer < me; ++peer) {
+    const std::string peer_path = port_file(peer);
+    const auto deadline = Clock::now() + seconds_of(60.0);
+    int peer_port = 0;
+    for (;;) {
+      std::ifstream in(peer_path);
+      if (in.good() && (in >> peer_port) && peer_port > 0) break;
+      BGL_ENSURE(Clock::now() < deadline,
+                 "rank " << me << " timed out waiting for " << peer_path);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const int fd =
+        connect_loopback(static_cast<std::uint16_t>(peer_port), 60.0);
+    FrameHeader hello{};
+    hello.magic = kFrameMagic;
+    hello.type = static_cast<std::uint8_t>(FrameType::kHello);
+    hello.src = me;
+    hello.dst = peer;
+    write_all(fd, &hello, sizeof hello);
+    set_sockopts(fd);
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->owner = me;
+    c->peer = peer;
+    links_[{me, peer}] = c.get();
+    conns_.push_back(std::move(c));
+  }
+  for (int n = me + 1; n < size_; ++n) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, /*ms=*/120000);
+    BGL_ENSURE(pr > 0, "rank " << me << " timed out in accept ("
+                               << (n - me - 1) << " of " << (size_ - me - 1)
+                               << " higher ranks connected)");
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    BGL_ENSURE(fd >= 0, "accept() failed: " << std::strerror(errno));
+    FrameHeader hello{};
+    read_exact(fd, &hello, sizeof hello);
+    BGL_ENSURE(hello.magic == kFrameMagic &&
+                   hello.type == static_cast<std::uint8_t>(FrameType::kHello),
+               "bad hello frame on rank " << me);
+    const int peer = hello.src;
+    BGL_ENSURE(peer > me && peer < size_,
+               "hello from unexpected rank " << peer);
+    set_sockopts(fd);
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->owner = me;
+    c->peer = peer;
+    links_[{me, peer}] = c.get();
+    conns_.push_back(std::move(c));
+  }
+  for (auto& c : conns_) set_nonblocking(c->fd);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+int SocketTransport::hosted_index(int world_rank) const {
+  if (!spmd_) {
+    BGL_CHECK(world_rank >= 0 && world_rank < size_);
+    return world_rank;
+  }
+  BGL_CHECK(world_rank == cfg_.rank);
+  return 0;
+}
+
+bool SocketTransport::hosts(int world_rank) const {
+  return !spmd_ || world_rank == cfg_.rank;
+}
+
+SocketTransport::Conn* SocketTransport::link(int owner, int peer) {
+  const auto it = links_.find({owner, peer});
+  BGL_CHECK(it != links_.end());
+  return it->second;
+}
+
+std::vector<std::byte> SocketTransport::make_frame(
+    FrameType type, const FrameHeader& proto,
+    std::span<const std::byte> payload) {
+  FrameHeader h = proto;
+  h.magic = kFrameMagic;
+  h.type = static_cast<std::uint8_t>(type);
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::byte> frame(sizeof h + payload.size());
+  std::memcpy(frame.data(), &h, sizeof h);
+  if (!payload.empty())
+    std::memcpy(frame.data() + sizeof h, payload.data(), payload.size());
+  return frame;
+}
+
+void SocketTransport::enqueue(Conn* conn, std::vector<std::byte> frame) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    if (conn->closed) return;  // peer gone; the receive side times out
+    conn->outbound.push_back(std::move(frame));
+  }
+  wake_pump();
+}
+
+void SocketTransport::route(int src, int dst, std::vector<std::byte> frame) {
+  if (dst == src) {
+    // Self-traffic loops back without touching a socket (there is no
+    // self-connection), through the same dispatch the pump uses.
+    FrameHeader h{};
+    std::memcpy(&h, frame.data(), sizeof h);
+    std::vector<std::byte> payload(frame.begin() + sizeof h, frame.end());
+    dispatch(h, std::move(payload));
+    return;
+  }
+  enqueue(link(src, dst), std::move(frame));
+}
+
+void SocketTransport::emit(std::uint64_t comm_id, int src, int dst, int tag,
+                           std::uint64_t seq,
+                           std::span<const std::byte> payload,
+                           std::uint32_t crc, bool checksummed,
+                           bool face_injector) {
+  FrameHeader h{};
+  h.comm_id = comm_id;
+  h.src = src;
+  h.dst = dst;
+  h.tag = tag;
+  h.seq = seq;
+  h.crc = crc;
+  h.flags = checksummed ? 1 : 0;
+  FaultInjector* injector =
+      face_injector ? options_.fault_injector : nullptr;
+  if (injector == nullptr) {
+    route(src, dst, make_frame(FrameType::kData, h, payload));
+    return;
+  }
+  // The injector may flip a bit in place; it gets a private copy (the CRC
+  // was computed on the original, so corruption is detectable, and the
+  // replay buffer's pristine frame is untouched for retransmission).
+  std::vector<std::byte> bytes(payload.begin(), payload.end());
+  switch (injector->on_message(src, dst, tag, bytes)) {
+    case FaultAction::kDrop:
+      obs::count("comm.fault.dropped");
+      if (seq != 0) {
+        // The frame vanishes, but the watermark evidence must still travel:
+        // a tombstone carries the committed sequence number so the
+        // receiver's probe can tell "lost" from "not sent yet".
+        route(src, dst, make_frame(FrameType::kTombstone, h, {}));
+      }
+      return;
+    case FaultAction::kDelay:
+      obs::count("comm.fault.delayed");
+      h.delay_s = injector->delay_for(bytes.size());
+      break;
+    case FaultAction::kCorrupt:
+      obs::count("comm.fault.corrupted");
+      break;
+    case FaultAction::kDeliver:
+      break;
+  }
+  route(src, dst, make_frame(FrameType::kData, h, bytes));
+}
+
+void SocketTransport::post_internal(std::uint64_t comm_id, int src, int dst,
+                                    int tag,
+                                    std::span<const std::byte> payload) {
+  const bool checksummed = options_.checksum_messages;
+  const std::uint32_t crc = checksummed ? crc32(payload) : 0;
+  std::uint64_t seq = 0;
+  if (options_.retry.enabled) {
+    Shard& sh = *shards_[static_cast<std::size_t>(hosted_index(src))];
+    std::lock_guard<std::mutex> lock(sh.sender.mutex);
+    SendChannel& ch = sh.sender.channels[SendKey{comm_id, dst, tag}];
+    seq = ch.next_seq++;
+    ch.replay.push_back(ReplayEntry{
+        seq,
+        std::make_shared<std::vector<std::byte>>(payload.begin(),
+                                                 payload.end()),
+        crc, checksummed});
+  }
+  emit(comm_id, src, dst, tag, seq, payload, crc, checksummed,
+       /*face_injector=*/false);
+}
+
+void SocketTransport::send(std::uint64_t comm_id, int src, int dst, int tag,
+                           std::span<const std::byte> data,
+                           std::uint64_t /*epoch*/) {
+  if (options_.fault_injector != nullptr)
+    options_.fault_injector->on_op(src);  // may raise RankFailureError
+
+  const bool checksummed = options_.checksum_messages;
+  const std::uint32_t crc = checksummed ? crc32(data) : 0;
+  std::uint64_t seq = 0;
+  if (options_.retry.enabled) {
+    // Tier-1 reliable path: the pristine frame enters this channel's replay
+    // buffer before it faces the injector, exactly like the inproc fabric.
+    Shard& sh = *shards_[static_cast<std::size_t>(hosted_index(src))];
+    std::lock_guard<std::mutex> lock(sh.sender.mutex);
+    SendChannel& ch = sh.sender.channels[SendKey{comm_id, dst, tag}];
+    seq = ch.next_seq++;
+    ch.replay.push_back(ReplayEntry{
+        seq,
+        std::make_shared<std::vector<std::byte>>(data.begin(), data.end()),
+        crc, checksummed});
+  }
+  emit(comm_id, src, dst, tag, seq, data, crc, checksummed,
+       /*face_injector=*/true);
+}
+
+void SocketTransport::note_op(int world_rank) {
+  if (options_.fault_injector != nullptr)
+    options_.fault_injector->on_op(world_rank);
+}
+
+std::vector<std::byte> SocketTransport::recv(std::uint64_t comm_id, int src,
+                                             int self, int tag,
+                                             std::uint64_t epoch) {
+  note_op(self);
+  return wait_posted(comm_id, src, self, tag, epoch);
+}
+
+Clock::duration SocketTransport::timeout_duration() const {
+  return seconds_of(options_.timeout_s);
+}
+
+void SocketTransport::append_retry_context(std::ostringstream& os,
+                                           int attempts,
+                                           Clock::time_point start) const {
+  if (!options_.retry.enabled) return;
+  os << "; retry layer: " << attempts << " retransmit attempts over "
+     << std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count()
+     << " ms";
+}
+
+bool SocketTransport::probe_locked(std::unique_lock<std::mutex>& lock,
+                                   Mailbox& box, const Key& key,
+                                   std::uint64_t comm_id, int src, int dst,
+                                   int tag) {
+  MailChannel& ch = box.channels[key];
+  RecvChannel& rc = ch.rc;
+  if (ch.sent < rc.expected) {
+    // Not sent yet (no data frame or tombstone reached the watermark):
+    // sleep until the next push; reset the pacing for a real loss later.
+    rc.next_probe = Clock::time_point{};
+    return false;
+  }
+  const auto now = Clock::now();
+  if (rc.next_probe != Clock::time_point{} && now < rc.next_probe)
+    return false;
+  // The watermark proves the sender committed this sequence number, so the
+  // retransmit request will find it in the replay buffer; the attempt is
+  // charged here (the response is asynchronous).
+  ++rc.attempts;
+  if (rc.attempts > options_.retry.max_retries) {
+    const int attempts = rc.attempts;
+    lock.unlock();
+    std::ostringstream os;
+    os << "recv timed out: comm " << comm_id << " src " << src << " dst "
+       << dst << " tag " << tag
+       << " (no matching message arrived); gave up after " << attempts
+       << " retransmit attempts";
+    throw TimeoutError(os.str());
+  }
+  const std::uint64_t want = rc.expected;
+  rc.next_probe = Clock::now() + rc.backoff_next(options_.retry);
+  lock.unlock();
+  send_rtx_request(comm_id, src, dst, tag, want);
+  lock.lock();
+  return true;
+}
+
+void SocketTransport::on_crc_retry(Mailbox& box, const Key& key,
+                                   const Message& msg, std::uint64_t comm_id,
+                                   int src, int dst, int tag) {
+  obs::count("comm.crc.failures");
+  obs::count("comm.retry.crc_retries");
+  std::uint64_t want = 0;
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    RecvChannel& rc = box.channels[key].rc;
+    rc.expected = msg.seq;
+    rc.attempts = msg.prior_attempts + 1;
+    rc.backoff_ms = msg.prior_backoff_ms;
+    if (rc.attempts > options_.retry.max_retries) {
+      std::ostringstream os;
+      os << "corrupt message: CRC mismatch on comm " << comm_id << " src "
+         << src << " -> dst " << dst << " tag " << tag << " ("
+         << bytes_of(msg).size() << " bytes, expected crc " << msg.crc
+         << ", got " << crc32(bytes_of(msg)) << "); gave up after "
+         << rc.attempts << " retransmit attempts";
+      throw CorruptMessageError(os.str());
+    }
+    want = rc.expected;
+    rc.next_probe = Clock::now() + rc.backoff_next(options_.retry);
+  }
+  send_rtx_request(comm_id, src, dst, tag, want);
+}
+
+bool SocketTransport::try_pop(std::uint64_t comm_id, int src, int self,
+                              int tag, std::uint64_t /*epoch*/,
+                              std::vector<std::byte>& out) {
+  Mailbox& box = shards_[static_cast<std::size_t>(hosted_index(self))]->box;
+  const Key key{comm_id, src, tag};
+  const bool reliable = options_.retry.enabled;
+  Message msg;
+  Clock::time_point head_ready{};
+  std::unique_lock<std::mutex> lock(box.mutex);
+  throw_if_poisoned();
+  const PopResult pr = pop_channel(box, key, reliable, msg, head_ready);
+  if (pr == PopResult::kFound) {
+    lock.unlock();
+    if (!reliable) {
+      verify_crc(msg, comm_id, src, self, tag);
+      out = steal_payload(msg);
+      return true;
+    }
+    if (crc_matches(msg)) {
+      maybe_ack(comm_id, src, self, tag, msg.seq);
+      out = steal_payload(msg);
+      return true;
+    }
+    on_crc_retry(box, key, msg, comm_id, src, self, tag);
+    return false;
+  }
+  if (reliable && (pr == PopResult::kEmpty || pr == PopResult::kGap))
+    probe_locked(lock, box, key, comm_id, src, self, tag);
+  return false;
+}
+
+std::vector<std::byte> SocketTransport::wait_posted(std::uint64_t comm_id,
+                                                    int src, int self,
+                                                    int tag,
+                                                    std::uint64_t /*epoch*/) {
+  Mailbox& box = shards_[static_cast<std::size_t>(hosted_index(self))]->box;
+  const Key key{comm_id, src, tag};
+  const bool reliable = options_.retry.enabled;
+  const bool bounded = options_.timeout_s > 0.0;
+  Clock::time_point start{};
+  Clock::time_point deadline{};
+
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    throw_if_poisoned();
+
+    Message msg;
+    Clock::time_point head_ready{};
+    const PopResult pr = pop_channel(box, key, reliable, msg, head_ready);
+    if (pr == PopResult::kFound) {
+      lock.unlock();
+      if (!reliable) {
+        verify_crc(msg, comm_id, src, self, tag);
+        return steal_payload(msg);
+      }
+      if (crc_matches(msg)) {
+        maybe_ack(comm_id, src, self, tag, msg.seq);
+        return steal_payload(msg);
+      }
+      on_crc_retry(box, key, msg, comm_id, src, self, tag);
+      lock.lock();
+      continue;
+    }
+
+    if (bounded && deadline == Clock::time_point{}) {
+      start = Clock::now();
+      deadline = start + timeout_duration();
+    }
+
+    Clock::time_point probe_at{};
+    if (reliable && pr != PopResult::kNotReady) {
+      if (probe_locked(lock, box, key, comm_id, src, self, tag))
+        continue;  // a retransmit was just requested; re-check the queue
+      probe_at = box.channels[key].rc.next_probe;
+    }
+
+    Clock::time_point wake = Clock::time_point::max();
+    if (bounded) wake = deadline;
+    if (probe_at != Clock::time_point{} && probe_at < wake) wake = probe_at;
+    if (head_ready != Clock::time_point{} && head_ready < wake)
+      wake = head_ready;
+
+    const std::uint64_t seen = box.version;
+    const auto changed = [&] {
+      return poisoned_.load() || box.version != seen;
+    };
+    if (wake == Clock::time_point::max()) {
+      box.cv.wait(lock, changed);
+    } else {
+      box.cv.wait_until(lock, wake, changed);
+      if (bounded && !changed() && Clock::now() >= deadline) {
+        const int attempts = reliable ? box.channels[key].rc.attempts : 0;
+        lock.unlock();
+        std::ostringstream os;
+        os << "recv timed out: comm " << comm_id << " src " << src << " dst "
+           << self << " tag " << tag << " (no matching message arrived)";
+        append_retry_context(os, attempts, start);
+        throw TimeoutError(os.str());
+      }
+    }
+  }
+}
+
+void SocketTransport::send_ack(std::uint64_t comm_id, int src, int self,
+                               int tag, std::uint64_t seq) {
+  FrameHeader h{};
+  h.comm_id = comm_id;
+  h.src = self;  // the receiver emits the ack...
+  h.dst = src;   // ...to the original sender
+  h.tag = tag;
+  h.seq = seq;
+  route(self, src, make_frame(FrameType::kAck, h, {}));
+}
+
+void SocketTransport::maybe_ack(std::uint64_t comm_id, int src, int self,
+                                int tag, std::uint64_t seq) {
+  constexpr std::uint64_t kAckStride = 32;
+  if (seq % kAckStride == 0) send_ack(comm_id, src, self, tag, seq);
+}
+
+void SocketTransport::send_rtx_request(std::uint64_t comm_id, int src,
+                                       int self, int tag,
+                                       std::uint64_t want) {
+  FrameHeader h{};
+  h.comm_id = comm_id;
+  h.src = self;
+  h.dst = src;
+  h.tag = tag;
+  h.seq = want;
+  route(self, src, make_frame(FrameType::kRtxRequest, h, {}));
+}
+
+void SocketTransport::barrier(std::uint64_t comm_id,
+                              const std::vector<int>& group, int self,
+                              std::uint64_t epoch) {
+  throw_if_poisoned();
+  const int participants = static_cast<int>(group.size());
+  if (participants <= 1) return;
+  int idx = -1;
+  for (int i = 0; i < participants; ++i) {
+    if (group[static_cast<std::size_t>(i)] == self) idx = i;
+  }
+  BGL_CHECK(idx >= 0);
+  // Dissemination barrier over the data path: ceil(log2 P) rounds of one
+  // token each. Round tags are reused by consecutive barriers on the same
+  // id, which is safe because channels are FIFO: a rank finishing barrier n
+  // has already sent all its round tokens for n before it can emit any
+  // token for n+1 on the same (comm, src, tag) channel.
+  int round = 0;
+  for (int step = 1; step < participants; step <<= 1, ++round) {
+    const int to = group[static_cast<std::size_t>((idx + step) % participants)];
+    const int from = group[static_cast<std::size_t>(
+        (idx - step + participants) % participants)];
+    post_internal(comm_id, self, to, kBarrierTagBase + round, {});
+    (void)wait_posted(comm_id, from, self, kBarrierTagBase + round, epoch);
+  }
+  throw_if_poisoned();
+}
+
+std::vector<std::int64_t> SocketTransport::board_exchange(
+    std::uint64_t comm_id, std::uint64_t split_seq,
+    const std::vector<int>& group, int self, std::int64_t value,
+    std::uint64_t epoch) {
+  throw_if_poisoned();
+  const std::size_t participants = group.size();
+  std::vector<std::int64_t> values(participants, 0);
+  int idx = -1;
+  for (std::size_t i = 0; i < participants; ++i) {
+    if (group[i] == self) idx = static_cast<int>(i);
+  }
+  BGL_CHECK(idx >= 0);
+  values[static_cast<std::size_t>(idx)] = value;
+  // Direct all-to-all fan-out of the packed (color, key) value; the tag is
+  // salted by the split sequence so consecutive splits stay disambiguated
+  // even without the inproc board's bracketing barriers.
+  const int tag = kBoardTagBase + static_cast<int>(split_seq & 0x3FF);
+  std::byte payload[sizeof value];
+  std::memcpy(payload, &value, sizeof value);
+  for (std::size_t j = 0; j < participants; ++j) {
+    if (static_cast<int>(j) == idx) continue;
+    post_internal(comm_id, self, group[j], tag, payload);
+  }
+  for (std::size_t j = 0; j < participants; ++j) {
+    if (static_cast<int>(j) == idx) continue;
+    std::vector<std::byte> bytes =
+        wait_posted(comm_id, group[j], self, tag, epoch);
+    BGL_CHECK(bytes.size() == sizeof(std::int64_t));
+    std::memcpy(&values[j], bytes.data(), sizeof(std::int64_t));
+  }
+  return values;
+}
+
+void SocketTransport::poison(int world_rank, const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    if (first_failed_rank_ < 0) {
+      first_failed_rank_ = world_rank;
+      poison_what_ = what;
+    }
+  }
+  poisoned_.store(true);
+  for (auto& sh : shards_) {
+    { std::lock_guard<std::mutex> lock(sh->box.mutex); }
+    sh->box.cv.notify_all();
+  }
+  if (!spmd_) return;  // every rank of the world shares this poison state
+  // Tell the peer processes; their blocked ops wake with the poison error.
+  FrameHeader h{};
+  h.src = world_rank;
+  const auto bytes = std::as_bytes(std::span<const char>(what));
+  for (auto& c : conns_) {
+    h.dst = c->peer;
+    enqueue(c.get(), make_frame(FrameType::kPoison, h, bytes));
+  }
+}
+
+void SocketTransport::throw_if_poisoned() const {
+  if (!poisoned_.load()) return;
+  std::lock_guard<std::mutex> lock(poison_mutex_);
+  throw Error("runtime poisoned: rank " + std::to_string(first_failed_rank_) +
+              " raised: " + poison_what_);
+}
+
+int SocketTransport::first_failed_rank() const {
+  std::lock_guard<std::mutex> lock(poison_mutex_);
+  return first_failed_rank_;
+}
+
+void SocketTransport::mark_failed(int world_rank) {
+  // No tier-3 shrink on this transport: a dead rank takes the world down.
+  poison(world_rank, "rank " + std::to_string(world_rank) +
+                         " failed (the tcp transport has no in-place shrink; "
+                         "use the inproc transport for tier 3)");
+}
+
+std::pair<std::uint64_t, std::vector<int>> SocketTransport::rebuild(
+    int /*me*/) {
+  BGL_FAIL(
+      "Communicator::shrink() requires the inproc transport; the tcp "
+      "transport has a single fixed epoch (DESIGN.md §12)");
+}
+
+void SocketTransport::start_pump() {
+  pump_ = std::thread([this] { pump_main(); });
+}
+
+void SocketTransport::wake_pump() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void SocketTransport::read_available(Conn* conn) {
+  if (conn->closed) return;
+  std::byte buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->inbuf.insert(conn->inbuf.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      // Clean FIN: every frame the peer sent is already in inbuf, so
+      // nothing legitimately expected can be lost — not a poison event
+      // (this is the normal teardown order between processes).
+      conn->closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn->closed = true;
+    break;
+  }
+  // Parse the complete frames accumulated so far.
+  for (;;) {
+    const std::size_t avail = conn->inbuf.size() - conn->in_offset;
+    if (avail < sizeof(FrameHeader)) break;
+    FrameHeader h{};
+    std::memcpy(&h, conn->inbuf.data() + conn->in_offset, sizeof h);
+    BGL_ENSURE(h.magic == kFrameMagic && h.payload_len <= kMaxPayload,
+               "corrupted frame stream from rank " << conn->peer);
+    const std::size_t need = sizeof h + h.payload_len;
+    if (avail < need) break;
+    std::vector<std::byte> payload(
+        conn->inbuf.begin() +
+            static_cast<std::ptrdiff_t>(conn->in_offset + sizeof h),
+        conn->inbuf.begin() + static_cast<std::ptrdiff_t>(conn->in_offset + need));
+    conn->in_offset += need;
+    dispatch(h, std::move(payload));
+  }
+  if (conn->in_offset == conn->inbuf.size()) {
+    conn->inbuf.clear();
+    conn->in_offset = 0;
+  } else if (conn->in_offset > (64u << 10)) {
+    conn->inbuf.erase(conn->inbuf.begin(),
+                      conn->inbuf.begin() +
+                          static_cast<std::ptrdiff_t>(conn->in_offset));
+    conn->in_offset = 0;
+  }
+}
+
+void SocketTransport::flush_outbound(Conn* conn) {
+  std::lock_guard<std::mutex> lock(conn->out_mutex);
+  while (!conn->outbound.empty()) {
+    const std::vector<std::byte>& front = conn->outbound.front();
+    while (conn->out_offset < front.size()) {
+      const ssize_t n =
+          ::send(conn->fd, front.data() + conn->out_offset,
+                 front.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      conn->closed = true;
+      conn->outbound.clear();
+      conn->out_offset = 0;
+      return;
+    }
+    conn->outbound.pop_front();
+    conn->out_offset = 0;
+  }
+}
+
+void SocketTransport::dispatch(const FrameHeader& h,
+                               std::vector<std::byte> payload) {
+  switch (static_cast<FrameType>(h.type)) {
+    case FrameType::kData:
+    case FrameType::kTombstone:
+      dispatch_data(h, std::move(payload));
+      return;
+    case FrameType::kRtxRequest:
+      handle_rtx_request(h);
+      return;
+    case FrameType::kAck:
+      handle_ack(h);
+      return;
+    case FrameType::kPoison: {
+      {
+        std::lock_guard<std::mutex> lock(poison_mutex_);
+        if (first_failed_rank_ < 0) {
+          first_failed_rank_ = h.src;
+          poison_what_.assign(reinterpret_cast<const char*>(payload.data()),
+                              payload.size());
+        }
+      }
+      poisoned_.store(true);
+      for (auto& sh : shards_) {
+        { std::lock_guard<std::mutex> lock(sh->box.mutex); }
+        sh->box.cv.notify_all();
+      }
+      return;
+    }
+    case FrameType::kHello:
+      return;  // only meaningful during SPMD setup
+  }
+  BGL_FAIL("unknown frame type " << static_cast<int>(h.type));
+}
+
+void SocketTransport::dispatch_data(const FrameHeader& h,
+                                    std::vector<std::byte> payload) {
+  Mailbox& box = shards_[static_cast<std::size_t>(hosted_index(h.dst))]->box;
+  const Key key{h.comm_id, h.src, h.tag};
+  const bool tombstone =
+      static_cast<FrameType>(h.type) == FrameType::kTombstone;
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    MailChannel& ch = box.channels[key];
+    if (h.seq > ch.sent) ch.sent = h.seq;
+    if (!tombstone) {
+      Message msg;
+      msg.payload = std::move(payload);
+      msg.seq = h.seq;
+      msg.crc = h.crc;
+      msg.checksummed = (h.flags & 1) != 0;
+      if (h.delay_s > 0.0)
+        msg.ready_at = Clock::now() + seconds_of(h.delay_s);
+      ch.queue.push_back(std::move(msg));
+    }
+    ++box.version;
+  }
+  box.cv.notify_all();
+}
+
+void SocketTransport::handle_rtx_request(const FrameHeader& h) {
+  // h.dst is the original sender (hosted here); h.src is the receiver
+  // re-requesting frame h.seq of (comm, dst -> src, tag).
+  Shard& sh = *shards_[static_cast<std::size_t>(hosted_index(h.dst))];
+  std::shared_ptr<std::vector<std::byte>> frame;
+  std::uint32_t crc = 0;
+  bool checksummed = false;
+  {
+    std::lock_guard<std::mutex> lock(sh.sender.mutex);
+    const auto it = sh.sender.channels.find(SendKey{h.comm_id, h.src, h.tag});
+    if (it == sh.sender.channels.end()) return;
+    for (const ReplayEntry& e : it->second.replay) {
+      if (e.seq != h.seq) continue;
+      frame = e.frame;
+      crc = e.crc;
+      checksummed = e.checksummed;
+      break;
+    }
+  }
+  if (frame == nullptr) return;
+  obs::count("comm.retry.retransmits");
+  // The retransmit faces the injector again, so a lossy link can drop it
+  // again — bounded by the receiver's RetryOptions.max_retries.
+  emit(h.comm_id, h.dst, h.src, h.tag, h.seq, *frame, crc, checksummed,
+       /*face_injector=*/true);
+}
+
+void SocketTransport::handle_ack(const FrameHeader& h) {
+  // h.dst is the original sender (hosted here); frames up to h.seq on
+  // (comm, dst -> src, tag) arrived intact and leave the replay buffer.
+  Shard& sh = *shards_[static_cast<std::size_t>(hosted_index(h.dst))];
+  std::lock_guard<std::mutex> lock(sh.sender.mutex);
+  const auto it = sh.sender.channels.find(SendKey{h.comm_id, h.src, h.tag});
+  if (it == sh.sender.channels.end()) return;
+  SendChannel& ch = it->second;
+  if (h.seq <= ch.acked) return;
+  ch.acked = h.seq;
+  while (!ch.replay.empty() && ch.replay.front().seq <= h.seq)
+    ch.replay.pop_front();
+}
+
+void SocketTransport::pump_main() {
+  std::vector<pollfd> fds;
+  std::vector<Conn*> fd_conns;
+  while (!stopping_.load()) {
+    fds.clear();
+    fd_conns.clear();
+    fds.push_back(pollfd{wake_fd_, POLLIN, 0});
+    for (auto& c : conns_) {
+      if (c->closed) continue;
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(c->out_mutex);
+        if (!c->outbound.empty()) events |= POLLOUT;
+      }
+      fds.push_back(pollfd{c->fd, events, 0});
+      fd_conns.push_back(c.get());
+    }
+    const int pr = ::poll(fds.data(), fds.size(), /*ms=*/100);
+    if (pr < 0 && errno != EINTR && errno != EAGAIN) break;
+    if (stopping_.load()) break;
+    if (fds[0].revents & POLLIN) {
+      std::uint64_t drain = 0;
+      while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+      }
+    }
+    try {
+      for (std::size_t i = 0; i < fd_conns.size(); ++i) {
+        const short re = fds[i + 1].revents;
+        if (re & POLLOUT) flush_outbound(fd_conns[i]);
+        if (re & (POLLIN | POLLHUP | POLLERR)) read_available(fd_conns[i]);
+      }
+    } catch (const std::exception& e) {
+      // A malformed stream or dispatch failure is fatal for the world, but
+      // the pump keeps draining so the poison can still travel.
+      poison(hosted_.front(), e.what());
+    }
+  }
+  // Final flush: give queued outbound frames (acks, poison notices, the
+  // last barrier tokens of a clean SPMD exit) a bounded chance to leave.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(200);
+  for (;;) {
+    bool pending = false;
+    for (auto& c : conns_) {
+      if (c->closed) continue;
+      flush_outbound(c.get());
+      std::lock_guard<std::mutex> lock(c->out_mutex);
+      pending = pending || !c->outbound.empty();
+    }
+    if (!pending || Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace bgl::rt::detail

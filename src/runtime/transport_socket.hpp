@@ -1,0 +1,222 @@
+// Loopback-TCP transport backend ("tcp", DESIGN.md §12).
+//
+// Every message crosses a real socket as a length-prefixed frame, so the
+// runtime's wire behavior — framing, partial reads, buffering, teardown —
+// is exercised for real. Two hosting modes share the implementation:
+//
+//   * thread mode (default): one SocketTransport hosts all ranks of the
+//     World as threads, exactly like the inproc fabric, but each rank pair
+//     is connected by a loopback TCP connection and all traffic crosses it.
+//     This is what lets the whole test suite run against the wire path.
+//   * SPMD mode (BGL_RANK/BGL_WORLD_SIZE set, scripts/bgl_launch.sh): the
+//     process hosts exactly one rank; peers are other OS processes,
+//     rendezvousing through port files in BGL_TCP_DIR.
+//
+// The mailbox/replay machinery is shared with the inproc fabric
+// (runtime/mailbox.hpp): the tier-1 recovery protocol is identical, with
+// acks and retransmit requests travelling as control frames instead of
+// direct function calls, and injected drops published as tombstone frames
+// so the receiver's watermark probe keeps its loss evidence. Tiers 2 and 3
+// (heartbeats, in-place shrink) are inproc-only: epoch() is pinned to 0,
+// mark_failed() degrades to poison, and rebuild() throws.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/transport.hpp"
+
+namespace bgl::rt::detail {
+
+/// Tag bases reserved for transport-internal traffic. Application tags stay
+/// under 8 << 20 (collective kinds in collectives/coll.hpp, async salt
+/// windows in collectives/async.hpp), so these can never collide.
+constexpr int kBarrierTagBase = 0x7E << 20;
+constexpr int kBoardTagBase = 0x7F << 20;
+
+/// On-wire frame header; 56 bytes, naturally aligned, host byte order (the
+/// transport spans one machine's loopback, never heterogeneous hosts).
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  std::uint8_t type = 0;
+  std::uint8_t flags = 0;  // bit 0: payload is CRC-checksummed
+  std::uint16_t reserved = 0;
+  std::int32_t tag = 0;
+  std::int32_t src = 0;  // emitting world rank
+  std::int32_t dst = 0;  // addressed world rank
+  std::uint32_t crc = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t reserved2 = 0;
+  std::uint64_t comm_id = 0;
+  std::uint64_t seq = 0;     // reliable stream sequence; 0 on the legacy path
+  double delay_s = 0.0;      // injected in-flight delay, stamped by receiver
+};
+static_assert(sizeof(FrameHeader) == 56);
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,       // SPMD connection handshake (identifies the connector)
+  kData = 2,        // application payload
+  kTombstone = 3,   // a reliable frame the injector dropped: watermark only
+  kRtxRequest = 4,  // receiver-driven retransmit request for header.seq
+  kAck = 5,         // cumulative ack up to header.seq
+  kPoison = 6,      // world poison notice; payload = the error string
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// Thread mode: hosts all `size` ranks; builds the full loopback mesh.
+  SocketTransport(int size, const WorldOptions& options);
+  /// SPMD mode: hosts exactly cfg.rank; rendezvouses with the peer
+  /// processes through port files in cfg.rendezvous_dir.
+  SocketTransport(int size, const WorldOptions& options,
+                  const SpmdConfig& cfg);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  [[nodiscard]] int size() const override { return size_; }
+
+  void send(std::uint64_t comm_id, int src, int dst, int tag,
+            std::span<const std::byte> data, std::uint64_t epoch) override;
+  std::vector<std::byte> recv(std::uint64_t comm_id, int src, int self,
+                              int tag, std::uint64_t epoch) override;
+  bool try_pop(std::uint64_t comm_id, int src, int self, int tag,
+               std::uint64_t epoch, std::vector<std::byte>& out) override;
+  std::vector<std::byte> wait_posted(std::uint64_t comm_id, int src, int self,
+                                     int tag, std::uint64_t epoch) override;
+  void note_op(int world_rank) override;
+
+  void barrier(std::uint64_t comm_id, const std::vector<int>& group, int self,
+               std::uint64_t epoch) override;
+  std::vector<std::int64_t> board_exchange(std::uint64_t comm_id,
+                                           std::uint64_t split_seq,
+                                           const std::vector<int>& group,
+                                           int self, std::int64_t value,
+                                           std::uint64_t epoch) override;
+
+  void poison(int world_rank, const std::string& what) override;
+  void throw_if_poisoned() const override;
+  [[nodiscard]] int first_failed_rank() const override;
+
+  /// Tier 3 is inproc-only: the socket world has one fixed epoch.
+  [[nodiscard]] std::uint64_t epoch() const override { return 0; }
+  void throw_if_interrupted(std::uint64_t /*epoch*/) const override {}
+  void mark_failed(int world_rank) override;
+  std::pair<std::uint64_t, std::vector<int>> rebuild(int me) override;
+
+ private:
+  /// One direction-owning end of a loopback connection: frames emitted by
+  /// hosted rank `owner` to `peer` are written here, and frames addressed
+  /// to `owner` arrive here. Outbound is a deque of fully framed buffers,
+  /// drained by the pump thread (rank threads never block on a socket).
+  struct Conn {
+    int fd = -1;
+    int owner = -1;
+    int peer = -1;
+    std::mutex out_mutex;
+    std::deque<std::vector<std::byte>> outbound;
+    std::size_t out_offset = 0;  // bytes of outbound.front() already written
+    std::vector<std::byte> inbuf;
+    std::size_t in_offset = 0;  // parsed bytes at the front of inbuf
+    bool closed = false;
+  };
+
+  /// Per hosted rank: its mailbox and its send-side replay state.
+  struct Shard {
+    Mailbox box;
+    SenderState sender;
+  };
+
+  void start_pump();
+  void pump_main();
+  void wake_pump();
+  [[nodiscard]] int hosted_index(int world_rank) const;
+  [[nodiscard]] bool hosts(int world_rank) const;
+  Conn* link(int owner, int peer);
+
+  /// Builds a framed buffer (header + payload).
+  static std::vector<std::byte> make_frame(FrameType type,
+                                           const FrameHeader& proto,
+                                           std::span<const std::byte> payload);
+  void enqueue(Conn* conn, std::vector<std::byte> frame);
+  /// Routes one built frame from hosted rank src: self-traffic dispatches
+  /// locally, everything else goes out on the (src, dst) link.
+  void route(int src, int dst, std::vector<std::byte> frame);
+
+  /// First-delivery / retransmit emission: faces the fault injector (unless
+  /// internal), publishing drops as tombstones on the reliable path.
+  void emit(std::uint64_t comm_id, int src, int dst, int tag,
+            std::uint64_t seq, std::span<const std::byte> payload,
+            std::uint32_t crc, bool checksummed, bool face_injector);
+
+  /// Transport-internal reliable post (barrier tokens, board values):
+  /// bypasses the injector but uses the same sequencing so the receive path
+  /// is uniform.
+  void post_internal(std::uint64_t comm_id, int src, int dst, int tag,
+                     std::span<const std::byte> payload);
+
+  void send_ack(std::uint64_t comm_id, int src, int self, int tag,
+                std::uint64_t seq);
+  void maybe_ack(std::uint64_t comm_id, int src, int self, int tag,
+                 std::uint64_t seq);
+  void send_rtx_request(std::uint64_t comm_id, int src, int self, int tag,
+                        std::uint64_t want);
+
+  /// Pump-side frame ingestion.
+  void read_available(Conn* conn);
+  void flush_outbound(Conn* conn);
+  void dispatch(const FrameHeader& h, std::vector<std::byte> payload);
+  void dispatch_data(const FrameHeader& h, std::vector<std::byte> payload);
+  void handle_rtx_request(const FrameHeader& h);
+  void handle_ack(const FrameHeader& h);
+
+  /// Receive-path recovery (mirrors the inproc fabric, with control frames
+  /// in place of direct calls).
+  bool probe_locked(std::unique_lock<std::mutex>& lock, Mailbox& box,
+                    const Key& key, std::uint64_t comm_id, int src, int dst,
+                    int tag);
+  void on_crc_retry(Mailbox& box, const Key& key, const Message& msg,
+                    std::uint64_t comm_id, int src, int dst, int tag);
+  void append_retry_context(std::ostringstream& os, int attempts,
+                            Clock::time_point start) const;
+  [[nodiscard]] Clock::duration timeout_duration() const;
+
+  /// Connection setup.
+  void build_thread_mode_mesh();
+  void build_spmd_mesh();
+  static void set_sockopts(int fd);
+  static void set_nonblocking(int fd);
+
+  int size_;
+  WorldOptions options_;
+  bool spmd_ = false;
+  SpmdConfig cfg_;
+  std::vector<int> hosted_;  // world ranks hosted by this process
+  std::vector<std::unique_ptr<Shard>> shards_;  // parallel to hosted_
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::map<std::pair<int, int>, Conn*> links_;  // (owner, peer) -> conn
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: rank threads kick the pump
+  std::thread pump_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex poison_mutex_;
+  int first_failed_rank_ = -1;
+  std::string poison_what_;
+};
+
+}  // namespace bgl::rt::detail

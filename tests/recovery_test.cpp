@@ -364,5 +364,61 @@ TEST(RetryEnv, DisabledByDefault) {
   EXPECT_EQ(hb.interval_ms, 0.0);  // tier 2 off by default
 }
 
+TEST(RetryEnv, ParsesExplicitKnobs) {
+  const RetryOptions o = parse_retry_options("20", "2.5");
+  EXPECT_TRUE(o.enabled);
+  EXPECT_EQ(o.max_retries, 20);
+  EXPECT_DOUBLE_EQ(o.backoff_ms, 2.5);
+}
+
+TEST(RetryEnv, UnsetOrEmptyStaysDisabled) {
+  EXPECT_FALSE(parse_retry_options(nullptr, nullptr).enabled);
+  EXPECT_FALSE(parse_retry_options("", "").enabled);
+}
+
+TEST(RetryEnv, EitherKnobArmsTheLayer) {
+  EXPECT_TRUE(parse_retry_options("5", nullptr).enabled);
+  EXPECT_TRUE(parse_retry_options(nullptr, "1.0").enabled);
+}
+
+TEST(RetryEnv, GarbageFailsLoudly) {
+  // A half-applied retry policy silently running with max_retries = 0 is
+  // worse than a refused launch: every knob must parse fully or throw.
+  EXPECT_THROW(parse_retry_options("twelve", nullptr), Error);
+  EXPECT_THROW(parse_retry_options("12abc", nullptr), Error);
+  EXPECT_THROW(parse_retry_options("-1", nullptr), Error);
+  EXPECT_THROW(parse_retry_options("99999999999999999999", nullptr), Error);
+  EXPECT_THROW(parse_retry_options(nullptr, "soon"), Error);
+  EXPECT_THROW(parse_retry_options(nullptr, "0"), Error);  // would spin
+  EXPECT_THROW(parse_retry_options(nullptr, "-3.5"), Error);
+  EXPECT_THROW(parse_retry_options(nullptr, "nan"), Error);
+  EXPECT_THROW(parse_retry_options(nullptr, "1e400"), Error);  // inf
+  EXPECT_THROW(parse_retry_options(nullptr, "90000"), Error);  // > 60 s
+}
+
+TEST(RetryEnv, TrailingWhitespaceIsTolerated) {
+  EXPECT_EQ(parse_retry_options("7 ", nullptr).max_retries, 7);
+  EXPECT_DOUBLE_EQ(parse_retry_options(nullptr, "1.5\n").backoff_ms, 1.5);
+}
+
+TEST(RetryEnv, RaisedBackoffFloorLiftsTheCap) {
+  // backoff_ms beyond the default 50 ms cap must keep the doubling
+  // schedule monotone instead of collapsing onto a lower cap.
+  const RetryOptions o = parse_retry_options(nullptr, "500");
+  EXPECT_DOUBLE_EQ(o.backoff_ms, 500.0);
+  EXPECT_GE(o.backoff_max_ms, 500.0);
+}
+
+TEST(HeartbeatEnv, ParsesAndValidates) {
+  EXPECT_EQ(parse_heartbeat_options(nullptr).interval_ms, 0.0);
+  EXPECT_EQ(parse_heartbeat_options("").interval_ms, 0.0);
+  EXPECT_DOUBLE_EQ(parse_heartbeat_options("25").interval_ms, 25.0);
+  EXPECT_EQ(parse_heartbeat_options("0").interval_ms, 0.0);  // explicit off
+  EXPECT_THROW(parse_heartbeat_options("-5"), Error);
+  EXPECT_THROW(parse_heartbeat_options("fast"), Error);
+  EXPECT_THROW(parse_heartbeat_options("5s"), Error);
+  EXPECT_THROW(parse_heartbeat_options("1e7"), Error);  // > 10 minutes
+}
+
 }  // namespace
 }  // namespace bgl::rt

@@ -203,6 +203,30 @@ TEST(Split, RepeatedSplitsYieldDistinctContexts) {
   });
 }
 
+TEST(Split, SplitOnCopyYieldsDistinctContexts) {
+  // Regression: the split sequence counter used to live on the (copyable)
+  // Communicator handle, so an identical (color, key) split through a copy
+  // and through the original derived the same child id and their traffic
+  // collided. The counter is transport-side now, keyed by (comm id, world
+  // rank), so every split through any alias of the handle advances one
+  // shared sequence.
+  World::run(4, [](Communicator& comm) {
+    Communicator copy = comm;
+    Communicator a = comm.split(0, comm.rank());
+    Communicator b = copy.split(0, comm.rank());
+    if (a.rank() == 0) {
+      const std::vector<int> on_a{111};
+      a.send<int>(1, 0, on_a);
+      const std::vector<int> on_b{222};
+      b.send<int>(1, 0, on_b);
+    } else if (a.rank() == 1) {
+      EXPECT_EQ(b.recv<int>(0, 0)[0], 222);
+      EXPECT_EQ(a.recv<int>(0, 0)[0], 111);
+    }
+    comm.barrier();
+  });
+}
+
 TEST(Poison, RankErrorPropagatesToCaller) {
   EXPECT_THROW(World::run(3,
                           [](Communicator& comm) {
