@@ -11,6 +11,12 @@
 // The bench enforces bound (c) < 2% — that is the BGL_METRICS=0 promise.
 // The enabled deltas in (a) are informational (timer noise at this scale
 // can exceed the true cost in either direction).
+//
+// The flight recorder (DESIGN.md §13) gets the same treatment: median step
+// with the blackbox armed, ns per disabled blackbox_record call (one
+// relaxed load), events recorded per step, and the analytic disabled-path
+// bound — also enforced < 2%. The enabled ring-append cost is reported
+// per event. Results are recorded in BENCH_obs.json.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -21,6 +27,7 @@
 #include "core/thread_pool.hpp"
 #include "core/units.hpp"
 #include "moe/moe_layer.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "smoke.hpp"
@@ -88,15 +95,28 @@ int main(int argc, char** argv) {
   obs::discard_trace();
   obs::set_trace_dir("");
   obs::set_metrics_enabled(false);
+  obs::set_blackbox_dir("/tmp/bgl_obs_overhead_blackbox");
+  obs::blackbox_reset();
+  const double t_blackbox = measure();
+  // Events the recorder captures in one step (span markers here — comm
+  // events need a world, which this single-process bench does not spin up).
+  obs::blackbox_reset();
+  step();
+  const std::size_t blackbox_calls =
+      obs::blackbox_events(obs::current_rank()).size();
+  obs::blackbox_reset();
+  obs::set_blackbox_dir("");
 
   TextTable table({"mode", "median step", "vs disabled"});
   const auto delta = [&](double t) {
     return strf("%+.2f%%", 100.0 * (t - t_disabled) / t_disabled);
   };
-  table.add_row({"metrics off", format_duration(t_disabled), "-"});
+  table.add_row({"all off", format_duration(t_disabled), "-"});
   table.add_row({"metrics on", format_duration(t_enabled), delta(t_enabled)});
   table.add_row(
       {"metrics + tracing", format_duration(t_traced), delta(t_traced)});
+  table.add_row(
+      {"blackbox only", format_duration(t_blackbox), delta(t_blackbox)});
   table.print(std::cout);
 
   // (c) recording calls in one instrumented step.
@@ -127,5 +147,37 @@ int main(int argc, char** argv) {
              "disabled metrics path costs " << bound_pct
                                             << "% of the MoE step (>= 2%)");
   std::cout << "PASS: BGL_METRICS=0 keeps the MoE step within the 2% budget\n";
+
+  // Flight recorder: disabled-path analytic bound + enabled ring-append cost.
+  Stopwatch bb_guard_watch;
+  for (std::int64_t i = 0; i < guard_iters; ++i)
+    obs::blackbox_record(0, obs::BlackboxKind::kSend);  // disabled: guard only
+  const double bb_guard_ns =
+      bb_guard_watch.elapsed() / static_cast<double>(guard_iters) * 1e9;
+
+  obs::set_blackbox_dir("/tmp/bgl_obs_overhead_blackbox");
+  const std::int64_t bb_iters = bench::pick<std::int64_t>(smoke, 100000, 2000000);
+  Stopwatch bb_ring_watch;
+  for (std::int64_t i = 0; i < bb_iters; ++i)
+    obs::blackbox_record(0, obs::BlackboxKind::kSend, 1, 2, 3,
+                         static_cast<std::uint64_t>(i));
+  const double bb_ring_ns =
+      bb_ring_watch.elapsed() / static_cast<double>(bb_iters) * 1e9;
+  obs::blackbox_reset();
+  obs::set_blackbox_dir("");
+
+  const double bb_bound_pct =
+      100.0 * (static_cast<double>(blackbox_calls) * bb_guard_ns * 1e-9) /
+      t_disabled;
+  std::cout << "\nblackbox events per step: " << blackbox_calls
+            << "\ndisabled blackbox_record guard: " << strf("%.2f", bb_guard_ns)
+            << " ns/call\nenabled ring append: " << strf("%.2f", bb_ring_ns)
+            << " ns/event\ndisabled-path blackbox overhead bound: "
+            << strf("%.4f", bb_bound_pct) << "% (must be < 2%)\n";
+  BGL_ENSURE(bb_bound_pct < 2.0,
+             "disabled flight-recorder path costs "
+                 << bb_bound_pct << "% of the MoE step (>= 2%)");
+  std::cout << "PASS: unset BGL_BLACKBOX keeps the MoE step within the 2% "
+               "budget\n";
   return 0;
 }

@@ -5,10 +5,41 @@
 #include "core/stopwatch.hpp"
 #include "nn/loss.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace bgl::model {
+
+namespace {
+
+/// Live step telemetry (BGL_TELEMETRY): one JSONL record per step, emitted
+/// on applied and overflow-skipped steps alike so a scale-divergence storm
+/// is visible in the feed.
+void emit_telemetry(const StepStats& stats) {
+  if (!obs::telemetry_enabled()) return;
+  obs::TelemetryRecord rec;
+  rec.rank = obs::current_rank();
+  rec.loss = stats.loss;
+  rec.aux_loss = stats.aux_loss;
+  rec.grad_norm = stats.grad_norm;
+  rec.applied = stats.applied;
+  rec.forward_s = stats.phases.forward_s;
+  rec.backward_s = stats.phases.backward_s;
+  rec.allreduce_s = stats.phases.allreduce_s;
+  rec.alltoall_s = stats.phases.alltoall_s;
+  rec.optimizer_s = stats.phases.optimizer_s;
+  rec.total_s = stats.phases.total_s;
+  rec.demanded = stats.dispatch.demanded;
+  rec.routed = stats.dispatch.routed;
+  rec.dropped = stats.dispatch.dropped;
+  rec.capacity_slots = stats.dispatch.capacity_slots;
+  rec.max_expert_load = stats.dispatch.max_expert_load;
+  rec.step_hist = "trainer.step.total_s";
+  obs::telemetry_step(rec);
+}
+
+}  // namespace
 
 double TrainReport::tail_mean(std::size_t k) const {
   BGL_CHECK(!losses.empty());
@@ -70,6 +101,7 @@ StepStats Trainer::train_step(const train::Batch& batch) {
       stats.applied = false;
       stats.phases.total_s = total.elapsed();
       obs::count("trainer.steps.skipped");
+      emit_telemetry(stats);
       return stats;  // overflow: skip this update
     }
   }
@@ -91,6 +123,7 @@ StepStats Trainer::train_step(const train::Batch& batch) {
     obs::observe("trainer.step.total_s", stats.phases.total_s);
     obs::observe("trainer.grad_norm", stats.grad_norm);
   }
+  emit_telemetry(stats);
   return stats;
 }
 

@@ -1,0 +1,313 @@
+#include "obs/blackbox.hpp"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bgl::obs {
+
+namespace {
+
+/// Per-rank ring. Its own mutex so concurrent ranks never contend with each
+/// other, only with the pump thread recording on their behalf.
+struct Ring {
+  std::mutex mutex;
+  std::vector<BlackboxEvent> slots;  // capacity kBlackboxCapacity
+  std::size_t next = 0;              // write cursor
+  std::size_t count = 0;             // total events ever recorded
+};
+
+struct BlackboxState {
+  std::atomic<bool> enabled{false};
+  std::shared_mutex mutex;  // guards dir + rings map shape
+  std::string dir;
+  std::map<int, std::unique_ptr<Ring>> rings;
+};
+
+void install_fatal_hooks();
+
+BlackboxState& state() {
+  static BlackboxState* s = [] {
+    auto* st = new BlackboxState();  // leaked: outlives rank threads
+    if (const char* dir = std::getenv("BGL_BLACKBOX")) {
+      if (dir[0] != '\0') {
+        std::filesystem::create_directories(dir);
+        st->dir = dir;
+        st->enabled.store(true, std::memory_order_relaxed);
+      }
+    }
+    return st;
+  }();
+  if (s->enabled.load(std::memory_order_relaxed)) install_fatal_hooks();
+  return *s;
+}
+
+Ring& ring_of(int rank) {
+  BlackboxState& st = state();
+  {
+    std::shared_lock lock(st.mutex);
+    const auto it = st.rings.find(rank);
+    if (it != st.rings.end()) return *it->second;
+  }
+  std::unique_lock lock(st.mutex);
+  auto& slot = st.rings[rank];
+  if (slot == nullptr) {
+    slot = std::make_unique<Ring>();
+    slot->slots.resize(kBlackboxCapacity);
+  }
+  return *slot;
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+/// Dumps one rank's events + the calling thread's metrics registry.
+/// Best-effort on purpose: called from catch blocks, terminate handlers and
+/// (non-async-signal-safely, but better than nothing) signal handlers.
+void dump_locked_ring(Ring& ring, int rank, std::string_view reason,
+                      const std::string& dir) {
+  std::vector<BlackboxEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    if (ring.count == 0) return;
+    const std::size_t n = std::min(ring.count, kBlackboxCapacity);
+    events.reserve(n);
+    // Oldest first: the cursor points at the oldest slot once wrapped.
+    const std::size_t start = ring.count >= kBlackboxCapacity ? ring.next : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      events.push_back(ring.slots[(start + i) % kBlackboxCapacity]);
+  }
+
+  const std::filesystem::path path =
+      std::filesystem::path(dir) /
+      ("blackbox.rank" + std::to_string(rank) + ".json");
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.good()) return;
+
+  os << "{\"rank\":" << rank << ",\"reason\":\"";
+  write_escaped(os, reason);
+  os << "\",\"dumped_ts_us\":" << now_us() << ",\"events\":[";
+  bool first = true;
+  for (const BlackboxEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"ts_us\":" << e.ts_us << ",\"kind\":\"" << to_string(e.kind)
+       << "\",\"peer\":" << e.peer << ",\"tag\":" << e.tag
+       << ",\"comm\":" << e.comm << ",\"seq\":" << e.seq;
+    if (e.aux != 0.0) os << ",\"aux\":" << e.aux;
+    if (e.label != nullptr) {
+      os << ",\"label\":\"";
+      write_escaped(os, e.label);
+      os << '"';
+    }
+    os << '}';
+  }
+  os << "\n],\"metrics\":[";
+  first = true;
+  for (const MetricSnapshot& m : registry().snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"";
+    write_escaped(os, m.name);
+    os << "\",\"kind\":\"" << obs::to_string(m.kind)
+       << "\",\"count\":" << m.count;
+    if (m.kind != MetricKind::kCounter)
+      os << ",\"sum\":" << m.sum << ",\"min\":" << m.min
+         << ",\"max\":" << m.max;
+    if (m.kind == MetricKind::kHistogram && m.count > 0)
+      os << ",\"p50\":"
+         << Histogram::quantile_from_buckets(m.buckets, m.count, m.min, m.max,
+                                             0.5)
+         << ",\"p99\":"
+         << Histogram::quantile_from_buckets(m.buckets, m.count, m.min, m.max,
+                                             0.99);
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+/// Best-effort fatal hooks: a std::terminate (uncaught exception on a rank
+/// thread, SPMD abort) or a fatal signal dumps every ring before the
+/// process dies. Not async-signal-safe — a flight recorder that usually
+/// works beats none. Re-entry guarded.
+std::atomic<bool> dumping_fatal{false};
+
+void fatal_dump(const char* why) {
+  if (dumping_fatal.exchange(true)) return;
+  blackbox_dump_all(why);
+}
+
+void install_fatal_hooks() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;
+  static std::terminate_handler prev_terminate = std::set_terminate([] {
+    fatal_dump("std::terminate");
+    if (prev_terminate != nullptr) prev_terminate();
+    std::abort();
+  });
+  for (const int sig : {SIGSEGV, SIGBUS, SIGABRT}) {
+    struct sigaction sa {};
+    sa.sa_handler = [](int signo) {
+      fatal_dump("fatal signal");
+      std::signal(signo, SIG_DFL);
+      std::raise(signo);
+    };
+    sa.sa_flags = SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace
+
+const char* to_string(BlackboxKind kind) {
+  switch (kind) {
+    case BlackboxKind::kSend:
+      return "send";
+    case BlackboxKind::kRecv:
+      return "recv";
+    case BlackboxKind::kAck:
+      return "ack";
+    case BlackboxKind::kRetransmit:
+      return "retransmit";
+    case BlackboxKind::kTombstone:
+      return "tombstone";
+    case BlackboxKind::kDrop:
+      return "drop";
+    case BlackboxKind::kDuplicate:
+      return "duplicate";
+    case BlackboxKind::kCrcFail:
+      return "crc_fail";
+    case BlackboxKind::kSuspicion:
+      return "suspicion";
+    case BlackboxKind::kRankDead:
+      return "rank_dead";
+    case BlackboxKind::kEpochBump:
+      return "epoch_bump";
+    case BlackboxKind::kSpan:
+      return "span";
+    case BlackboxKind::kPoison:
+      return "poison";
+    case BlackboxKind::kClockSync:
+      return "clock_sync";
+  }
+  return "?";
+}
+
+bool blackbox_enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_blackbox_dir(std::string_view dir) {
+  BlackboxState& st = state();
+  {
+    std::unique_lock lock(st.mutex);
+    st.dir.assign(dir);
+    if (!st.dir.empty()) std::filesystem::create_directories(st.dir);
+    st.enabled.store(!st.dir.empty(), std::memory_order_relaxed);
+  }
+  if (!dir.empty()) install_fatal_hooks();
+}
+
+std::string blackbox_dir() {
+  BlackboxState& st = state();
+  std::shared_lock lock(st.mutex);
+  return st.dir;
+}
+
+void blackbox_record(int rank, BlackboxKind kind, int peer, int tag,
+                     std::uint64_t comm, std::uint64_t seq, double aux,
+                     const char* label) {
+  if (!blackbox_enabled()) return;
+  Ring& ring = ring_of(rank);
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.slots[ring.next] = {now_us(), kind,  peer, tag,
+                           comm,     seq,   aux,  label};
+  ring.next = (ring.next + 1) % kBlackboxCapacity;
+  ++ring.count;
+}
+
+void blackbox_dump(int rank, std::string_view reason) {
+  if (!blackbox_enabled()) return;
+  BlackboxState& st = state();
+  std::string dir;
+  Ring* ring = nullptr;
+  {
+    std::shared_lock lock(st.mutex);
+    dir = st.dir;
+    const auto it = st.rings.find(rank);
+    if (it != st.rings.end()) ring = it->second.get();
+  }
+  if (ring == nullptr || dir.empty()) return;
+  dump_locked_ring(*ring, rank, reason, dir);
+}
+
+void blackbox_dump_all(std::string_view reason) {
+  if (!blackbox_enabled()) return;
+  BlackboxState& st = state();
+  std::vector<std::pair<int, Ring*>> rings;
+  std::string dir;
+  {
+    std::shared_lock lock(st.mutex);
+    dir = st.dir;
+    for (const auto& [rank, ring] : st.rings)
+      rings.emplace_back(rank, ring.get());
+  }
+  if (dir.empty()) return;
+  for (const auto& [rank, ring] : rings)
+    dump_locked_ring(*ring, rank, reason, dir);
+}
+
+std::vector<BlackboxEvent> blackbox_events(int rank) {
+  BlackboxState& st = state();
+  Ring* ring = nullptr;
+  {
+    std::shared_lock lock(st.mutex);
+    const auto it = st.rings.find(rank);
+    if (it != st.rings.end()) ring = it->second.get();
+  }
+  std::vector<BlackboxEvent> out;
+  if (ring == nullptr) return out;
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  const std::size_t n = std::min(ring->count, kBlackboxCapacity);
+  const std::size_t start =
+      ring->count >= kBlackboxCapacity ? ring->next : 0;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ring->slots[(start + i) % kBlackboxCapacity]);
+  return out;
+}
+
+void blackbox_reset() {
+  BlackboxState& st = state();
+  std::unique_lock lock(st.mutex);
+  for (auto& [rank, ring] : st.rings) {
+    std::lock_guard<std::mutex> rl(ring->mutex);
+    ring->next = 0;
+    ring->count = 0;
+  }
+}
+
+}  // namespace bgl::obs

@@ -1,0 +1,101 @@
+// Flight recorder: always-on, fixed-cost per-rank ring buffers of runtime
+// events (DESIGN.md §13).
+//
+// At BaGuaLu scale a failure that takes down a 37M-core job must ship its
+// own postmortem: you cannot rerun the job with extra logging. The blackbox
+// records the last kCapacity structured runtime events per rank —
+// send/recv, acks, retransmits, tombstones, CRC failures, heartbeat
+// suspicion transitions, epoch bumps, span markers — into a bounded ring,
+// and on failure (typed comm errors, poison, or a best-effort
+// terminate/fatal-signal hook) dumps the ring plus a metrics snapshot to
+// <dir>/blackbox.rank<R>.json.
+//
+// Contracts:
+//  * Disabled by default; enabled by BGL_BLACKBOX=<dir> at startup or
+//    set_blackbox_dir() programmatically. When disabled a record is one
+//    relaxed atomic load and a branch.
+//  * Fixed cost when enabled: a ring slot write under a per-rank mutex;
+//    memory is bounded at kCapacity events per rank regardless of run
+//    length.
+//  * Determinism-neutral: recording never feeds back into any computation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgl::obs {
+
+/// What happened. Names are stable: they appear verbatim in the dump JSON
+/// (and tests assert on them).
+enum class BlackboxKind : std::uint8_t {
+  kSend = 0,        // message handed to the transport (peer = dst)
+  kRecv,            // message delivered to the application (peer = src)
+  kAck,             // cumulative ack sent/processed (peer = other side)
+  kRetransmit,      // tier-1 retransmit requested or served
+  kTombstone,       // injector drop turned into a tombstone frame (tcp)
+  kDrop,            // injector dropped a message in flight
+  kDuplicate,       // receiver discarded an already-seen sequence number
+  kCrcFail,         // payload failed its CRC check
+  kSuspicion,       // heartbeat suspicion crossed the phi threshold
+  kRankDead,        // a rank was marked failed/dead
+  kEpochBump,       // tier-3 world rebuild completed (aux = new epoch)
+  kSpan,            // a trace span closed (label = span name, aux = seconds)
+  kPoison,          // the world was poisoned (label = reason, truncated)
+  kClockSync,       // clock-offset exchange completed (aux = offset_us)
+};
+
+[[nodiscard]] const char* to_string(BlackboxKind kind);
+
+/// One ring slot. `label` must be a string literal or otherwise outlive the
+/// program (the ring stores the pointer); nullptr means no label.
+struct BlackboxEvent {
+  std::int64_t ts_us = 0;  // obs::now_us() timestamp (trace clock)
+  BlackboxKind kind = BlackboxKind::kSend;
+  std::int32_t peer = -1;  // other rank, -1 when not applicable
+  std::int32_t tag = 0;
+  std::uint64_t comm = 0;  // communicator id
+  std::uint64_t seq = 0;   // tier-1 sequence number (0 on the legacy path)
+  double aux = 0.0;        // kind-specific scalar (phi, epoch, seconds, ...)
+  const char* label = nullptr;
+};
+
+/// Ring capacity per rank: the "last N events" a dump ships.
+inline constexpr std::size_t kBlackboxCapacity = 512;
+
+/// True when a dump directory is configured (single relaxed load).
+[[nodiscard]] bool blackbox_enabled();
+
+/// Sets the dump directory (created if missing) and enables recording; an
+/// empty dir disables it. Installs the best-effort terminate/fatal-signal
+/// dump hook on first enable.
+void set_blackbox_dir(std::string_view dir);
+
+/// The configured dump directory ("" when disabled).
+[[nodiscard]] std::string blackbox_dir();
+
+/// Appends one event to `rank`'s ring (oldest event overwritten when full).
+/// Safe from any thread — the socket pump records on behalf of the ranks it
+/// hosts. No-op when disabled.
+void blackbox_record(int rank, BlackboxKind kind, int peer = -1, int tag = 0,
+                     std::uint64_t comm = 0, std::uint64_t seq = 0,
+                     double aux = 0.0, const char* label = nullptr);
+
+/// Dumps `rank`'s ring (oldest → newest) plus a snapshot of the calling
+/// thread's metrics registry to <dir>/blackbox.rank<R>.json. Best-effort:
+/// IO errors are swallowed — this runs on failure paths. No-op when
+/// disabled or the ring is empty.
+void blackbox_dump(int rank, std::string_view reason);
+
+/// Dumps every rank that recorded events (terminate/signal hook, SPMD
+/// poison teardown).
+void blackbox_dump_all(std::string_view reason);
+
+/// Current ring contents of `rank`, oldest first (tests).
+[[nodiscard]] std::vector<BlackboxEvent> blackbox_events(int rank);
+
+/// Clears every ring (tests).
+void blackbox_reset();
+
+}  // namespace bgl::obs

@@ -84,6 +84,44 @@ void Histogram::record(double v) {
   atomic_max(max_, v);
 }
 
+double Histogram::quantile_from_buckets(
+    const std::vector<std::int64_t>& buckets, std::int64_t count, double lo,
+    double hi, double q) {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The sample with (0-based) rank ceil(q * (count-1)) — the nearest-rank
+  // estimate — found by walking the cumulative bucket counts.
+  const double target = q * static_cast<double>(count - 1);
+  std::int64_t seen = 0;
+  const int n = static_cast<int>(buckets.size());
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket <= 0) continue;
+    if (target < static_cast<double>(seen + in_bucket)) {
+      // Interpolate the target rank's position inside this bucket, assuming
+      // samples spread uniformly across [bucket_lo, bucket_hi).
+      double b_lo = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+      double b_hi = bucket_upper_bound(i);
+      if (std::isinf(b_hi)) b_hi = std::max(hi, b_lo);  // overflow bucket
+      const double frac =
+          (target - static_cast<double>(seen) + 0.5) /
+          static_cast<double>(in_bucket);
+      double v = b_lo + (b_hi - b_lo) * std::clamp(frac, 0.0, 1.0);
+      if (std::isfinite(lo)) v = std::max(v, lo);
+      if (std::isfinite(hi)) v = std::min(v, hi);
+      return v;
+    }
+    seen += in_bucket;
+  }
+  return std::isfinite(hi) ? hi : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const auto b = buckets();
+  return quantile_from_buckets(std::vector<std::int64_t>(b.begin(), b.end()),
+                               count(), min(), max(), q);
+}
+
 std::array<std::int64_t, Histogram::kNumBuckets> Histogram::buckets() const {
   std::array<std::int64_t, kNumBuckets> out;
   for (int i = 0; i < kNumBuckets; ++i)
@@ -178,10 +216,13 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
         s.count = entry.counter->value();
         break;
       case MetricKind::kGauge:
+        // count carries the number of set() calls: 0 marks a registered but
+        // never-written gauge, which cross-rank reduction must ignore
+        // (otherwise an untouched rank drags min/mean toward 0).
         s.sum = entry.gauge->value();
         s.min = s.sum;
         s.max = s.sum;
-        s.count = 1;
+        s.count = entry.gauge->set_count();
         break;
       case MetricKind::kHistogram: {
         s.count = entry.histogram->count();

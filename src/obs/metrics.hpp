@@ -56,16 +56,29 @@ class Counter {
 };
 
 /// Last-written instantaneous value (e.g. the current capacity limit).
+/// Tracks how many times it was set so exporters can tell "never touched"
+/// (set_count() == 0, value meaningless) from "set to 0.0" — the distinction
+/// reduce_metrics needs to keep absent ranks out of min/mean.
 class Gauge {
  public:
-  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void set(double v) {
+    v_.store(v, std::memory_order_relaxed);
+    sets_.fetch_add(1, std::memory_order_relaxed);
+  }
   [[nodiscard]] double value() const {
     return v_.load(std::memory_order_relaxed);
   }
-  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t set_count() const {
+    return sets_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    v_.store(0.0, std::memory_order_relaxed);
+    sets_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> v_{0.0};
+  std::atomic<std::int64_t> sets_{0};
 };
 
 /// Histogram over fixed log-spaced buckets (base-2, covering [1e-9, ~1.8e10)
@@ -112,6 +125,20 @@ class Histogram {
     const std::int64_t n = count();
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
+
+  /// Estimated q-quantile (q in [0, 1]) from the log-spaced buckets, linearly
+  /// interpolated inside the bucket the rank falls in and clamped to the
+  /// observed [min, max]. 0 on an empty histogram. Accuracy is bounded by the
+  /// bucket width (a factor of 2), which is plenty for p50/p99 reporting.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// The same estimate over an externally merged bucket array (used by
+  /// obs::ReducedMetric, whose buckets are sums over ranks). `lo`/`hi` clamp
+  /// the interpolation to the merged min/max.
+  [[nodiscard]] static double quantile_from_buckets(
+      const std::vector<std::int64_t>& buckets, std::int64_t count, double lo,
+      double hi, double q);
+
   void reset();
 
  private:

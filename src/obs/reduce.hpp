@@ -40,6 +40,13 @@ struct ReducedMetric {
     return (kind == MetricKind::kCounter ? static_cast<double>(count) : sum) /
            static_cast<double>(ranks);
   }
+
+  /// Histograms only: q-quantile estimated from the bucket-wise world sums
+  /// (see Histogram::quantile). 0 for other kinds or empty histograms.
+  [[nodiscard]] double quantile(double q) const {
+    if (kind != MetricKind::kHistogram) return 0.0;
+    return Histogram::quantile_from_buckets(buckets, count, min, max, q);
+  }
 };
 
 /// The merged registry of a whole world, valid on rank 0.
@@ -72,7 +79,8 @@ struct ClusterMetrics {
           os << "n=" << m.count << " sum=" << m.sum;
           if (m.count > 0)
             os << " mean=" << m.sum / static_cast<double>(m.count)
-               << " min=" << m.min << " max=" << m.max;
+               << " min=" << m.min << " max=" << m.max
+               << " p50=" << m.quantile(0.5) << " p99=" << m.quantile(0.99);
           break;
       }
       os << '\n';
@@ -151,6 +159,10 @@ inline std::vector<MetricSnapshot> decode_snapshot(
 inline void merge_into(std::map<std::string, ReducedMetric>& acc,
                        const std::vector<MetricSnapshot>& snapshot) {
   for (const MetricSnapshot& s : snapshot) {
+    // A gauge the rank registered but never set carries count == 0 (see
+    // Registry::snapshot): its 0.0 placeholder value would skew min/mean, so
+    // absent ranks simply don't count toward the gauge's `ranks`.
+    if (s.kind == MetricKind::kGauge && s.count == 0) continue;
     ReducedMetric& m = acc[s.name];
     if (m.ranks == 0) {
       m.name = s.name;

@@ -1,0 +1,190 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bgl::obs {
+
+namespace {
+
+struct TelemetryState {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;
+  std::string path;
+  std::vector<std::string> pending;
+  std::map<int, std::int64_t> steps;  // per-rank step index
+  int flush_every = 10;
+  int since_flush = 0;
+  bool truncated = false;  // first open truncates, later opens append
+};
+
+void register_exit_flush() {
+  static std::atomic<bool> registered{false};
+  if (!registered.exchange(true)) std::atexit([] { flush_telemetry(); });
+}
+
+/// BGL_TELEMETRY=foo.jsonl under the SPMD launcher becomes
+/// foo.rank<R>.jsonl — each process owns its file, no cross-process
+/// interleaving. In thread mode the path is used as given.
+std::string rank_qualified(std::string path) {
+  const char* rank = std::getenv("BGL_RANK");
+  if (rank == nullptr || rank[0] == '\0') return path;
+  const std::size_t dot = path.rfind('.');
+  const std::string suffix = std::string(".rank") + rank;
+  if (dot == std::string::npos || dot == 0) return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+TelemetryState& state() {
+  static TelemetryState* s = [] {
+    auto* st = new TelemetryState();  // leaked: outlives rank threads
+    if (const char* every = std::getenv("BGL_TELEMETRY_EVERY")) {
+      const int k = std::atoi(every);
+      if (k >= 1) st->flush_every = k;
+    }
+    if (const char* path = std::getenv("BGL_TELEMETRY")) {
+      if (path[0] != '\0') {
+        st->path = rank_qualified(path);
+        st->enabled.store(true, std::memory_order_relaxed);
+        register_exit_flush();
+      }
+    }
+    return st;
+  }();
+  return *s;
+}
+
+void flush_locked(TelemetryState& st) {
+  if (st.pending.empty() || st.path.empty()) return;
+  const auto parent = std::filesystem::path(st.path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream os(st.path,
+                   st.truncated ? std::ios::app : std::ios::trunc);
+  if (!os.good()) return;  // best-effort: telemetry must never kill a run
+  st.truncated = true;
+  for (const std::string& line : st.pending) os << line << '\n';
+  st.pending.clear();
+  st.since_flush = 0;
+}
+
+}  // namespace
+
+bool telemetry_enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_telemetry_path(std::string_view path) {
+  TelemetryState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  flush_locked(st);  // drain any lines bound for the previous file
+  st.path = path.empty() ? std::string() : rank_qualified(std::string(path));
+  st.truncated = false;
+  st.steps.clear();
+  st.enabled.store(!st.path.empty(), std::memory_order_relaxed);
+  if (!st.path.empty()) register_exit_flush();
+}
+
+std::string telemetry_path() {
+  TelemetryState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.path;
+}
+
+void set_telemetry_flush_every(int k) {
+  TelemetryState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.flush_every = k < 1 ? 1 : k;
+}
+
+void telemetry_step(const TelemetryRecord& r) {
+  if (!telemetry_enabled()) return;
+
+  // Registry-sourced context: runtime counters and the running step-time
+  // quantiles. Read from the calling thread's registry — the trainer runs
+  // on its rank's thread, so these are per-rank numbers.
+  std::int64_t retransmits = 0, crc_failures = 0, bytes_saved = 0;
+  double p50 = 0.0, p99 = 0.0;
+  if (metrics_enabled()) {
+    Registry& reg = registry();
+    retransmits = reg.counter("comm.retry.retransmits").value();
+    crc_failures = reg.counter("comm.crc.failures").value();
+    bytes_saved = reg.counter("comm.compressed.bytes_saved").value();
+    if (r.step_hist != nullptr) {
+      const Histogram& h = reg.histogram(r.step_hist);
+      p50 = h.quantile(0.5);
+      p99 = h.quantile(0.99);
+    }
+  }
+
+  TelemetryState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.path.empty()) return;
+  const std::int64_t step = st.steps[r.rank]++;
+
+  std::string line;
+  line.reserve(512);
+  const auto num = [&line](const char* key, double v) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    line += buf;
+  };
+  const auto integer = [&line](const char* key, std::int64_t v) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += std::to_string(v);
+  };
+  line += "{\"step\":" + std::to_string(step);
+  integer("rank", r.rank);
+  integer("ts_us", now_us());
+  num("loss", r.loss);
+  num("aux_loss", r.aux_loss);
+  num("grad_norm", r.grad_norm);
+  line += ",\"applied\":";
+  line += r.applied ? "true" : "false";
+  line += ",\"overlapped\":";
+  line += r.overlapped ? "true" : "false";
+  num("forward_s", r.forward_s);
+  num("backward_s", r.backward_s);
+  num("allreduce_s", r.allreduce_s);
+  num("alltoall_s", r.alltoall_s);
+  num("optimizer_s", r.optimizer_s);
+  num("total_s", r.total_s);
+  integer("demanded", r.demanded);
+  integer("routed", r.routed);
+  integer("dropped", r.dropped);
+  integer("capacity_slots", r.capacity_slots);
+  integer("max_expert_load", r.max_expert_load);
+  integer("retransmits", retransmits);
+  integer("crc_failures", crc_failures);
+  integer("compressed_bytes_saved", bytes_saved);
+  num("step_p50_s", p50);
+  num("step_p99_s", p99);
+  line += '}';
+
+  st.pending.push_back(std::move(line));
+  if (++st.since_flush >= st.flush_every) flush_locked(st);
+}
+
+void flush_telemetry() {
+  TelemetryState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  flush_locked(st);
+}
+
+}  // namespace bgl::obs

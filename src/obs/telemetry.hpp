@@ -1,0 +1,74 @@
+// Live step telemetry: a periodic JSONL exporter for training runs
+// (DESIGN.md §13).
+//
+// One line per training step per rank — step-phase wall times, losses, grad
+// norm, MoE routing load/drops, and runtime counters (retransmits, CRC
+// failures, compression savings) plus step-time p50/p99 read from the
+// rank's metrics registry. This is the time series the simnet autotuner and
+// an SLO dashboard consume while the job runs, not after it.
+//
+// Enabled by BGL_TELEMETRY=<file> (or set_telemetry_path()); lines buffer
+// in memory and flush every k steps (BGL_TELEMETRY_EVERY, default 10) and
+// at exit. Under the SPMD launcher each process writes its own file
+// (".rank<R>" inserted before the extension); in thread mode all ranks
+// share one file and every record carries its rank.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bgl::obs {
+
+/// One training step's worth of telemetry, filled by the trainers. The
+/// exporter adds the per-rank step index, a timestamp, and registry-sourced
+/// counters on top.
+struct TelemetryRecord {
+  int rank = 0;
+  double loss = 0.0;
+  double aux_loss = 0.0;
+  double grad_norm = 0.0;
+  bool applied = true;     // false when the loss scaler skipped the step
+  bool overlapped = false; // distributed: overlapped allreduce ran
+  // Step-phase wall times (seconds).
+  double forward_s = 0.0;
+  double backward_s = 0.0;
+  double allreduce_s = 0.0;
+  double alltoall_s = 0.0;
+  double optimizer_s = 0.0;
+  double total_s = 0.0;
+  // MoE routing over this step (local shard).
+  std::int64_t demanded = 0;  // pre-capacity (token, expert) demands
+  std::int64_t routed = 0;    // assignments that survived capacity
+  std::int64_t dropped = 0;   // assignments lost to capacity
+  std::int64_t capacity_slots = 0;
+  std::int64_t max_expert_load = 0;
+  /// Name of this trainer's step-total histogram in the metrics registry
+  /// ("trainer.step.total_s" / "dist_trainer.step.total_s"); when metrics
+  /// are on, its running p50/p99 are stamped into the line. nullptr skips.
+  const char* step_hist = nullptr;
+};
+
+/// True when a telemetry file is configured (single relaxed load).
+[[nodiscard]] bool telemetry_enabled();
+
+/// Sets the output file and enables the exporter; "" disables. The rank
+/// suffix is applied here when the SPMD environment is present.
+void set_telemetry_path(std::string_view path);
+
+/// The resolved output path ("" when disabled).
+[[nodiscard]] std::string telemetry_path();
+
+/// Flush cadence in steps (clamped to >= 1). Default 10, overridable by
+/// BGL_TELEMETRY_EVERY.
+void set_telemetry_flush_every(int k);
+
+/// Appends one JSONL line for `r` (buffered; see flush cadence). No-op when
+/// disabled.
+void telemetry_step(const TelemetryRecord& r);
+
+/// Writes all buffered lines to the file now. Safe to call anytime; also
+/// runs at process exit and on the runtime's error paths.
+void flush_telemetry();
+
+}  // namespace bgl::obs

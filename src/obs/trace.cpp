@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "obs/blackbox.hpp"
 
 namespace bgl::obs {
 
@@ -18,37 +20,41 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Microseconds since the first call (process-lifetime anchor, so every
-/// thread's timestamps share one axis).
-std::int64_t now_us() {
-  static const Clock::time_point t0 = Clock::now();
-  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                               t0)
-      .count();
-}
-
 struct TraceEvent {
   const char* name;
   std::int64_t ts_us;
   std::int64_t dur_us;
   int rank;
   std::uint64_t tid;
+  char ph;             // 'X' complete span, 's'/'f' flow endpoints
+  std::uint64_t flow;  // flow id ('s'/'f' only)
 };
 
 struct TraceState {
   std::mutex mutex;
   std::string dir;                  // guarded by mutex
   std::vector<TraceEvent> drained;  // events of exited/flushed threads
+  std::map<int, std::int64_t> clock_offsets_us;  // per rank, guarded by mutex
   std::atomic<bool> enabled{false};
 };
 
 /// Registered (once) the first time tracing turns on, so a program that only
 /// sets BGL_TRACE still gets its files: main-thread thread_local buffers are
 /// destroyed before atexit handlers run, so everything has drained by then.
-/// Harmless if the dir was cleared again before exit (flush is then a no-op).
+/// Also chains a std::terminate handler — a rank dying on an uncaught
+/// exception (poison-path teardown, SPMD abort) still flushes whatever
+/// drained before giving way to the previous handler. Harmless if the dir
+/// was cleared again before exit (flush is then a no-op).
 void register_exit_flush() {
   static std::atomic<bool> registered{false};
-  if (!registered.exchange(true)) std::atexit([] { flush_trace(); });
+  if (!registered.exchange(true)) {
+    std::atexit([] { flush_trace(); });
+    static std::terminate_handler prev = std::set_terminate([] {
+      flush_trace();
+      if (prev != nullptr) prev();
+      std::abort();
+    });
+  }
 }
 
 TraceState& state() {
@@ -106,6 +112,15 @@ void write_escaped(std::ostream& os, const char* s) {
 
 }  // namespace
 
+/// Microseconds since the first call (process-lifetime anchor, so every
+/// thread's timestamps share one axis).
+std::int64_t now_us() {
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
+
 bool tracing_enabled() {
   return state().enabled.load(std::memory_order_relaxed);
 }
@@ -129,23 +144,63 @@ void set_rank(int rank) { tls_rank = rank; }
 
 int current_rank() { return tls_rank; }
 
+void set_clock_offset_us(int rank, std::int64_t offset_us) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.clock_offsets_us[rank] = offset_us;
+}
+
+std::int64_t clock_offset_us(int rank) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  const auto it = st.clock_offsets_us.find(rank);
+  return it == st.clock_offsets_us.end() ? 0 : it->second;
+}
+
 Span::Span(const char* name) : name_(name), t0_us_(-1) {
-  if (tracing_enabled()) t0_us_ = now_us();
+  // The flight recorder keeps span markers too, so a blackbox dump shows
+  // what phase the rank was in even when full tracing is off.
+  if (tracing_enabled() || blackbox_enabled()) t0_us_ = now_us();
 }
 
 Span::~Span() {
   if (t0_us_ < 0) return;
   const std::int64_t end = now_us();
+  if (blackbox_enabled())
+    blackbox_record(tls_rank, BlackboxKind::kSpan, /*peer=*/-1, /*tag=*/0,
+                    /*comm=*/0, /*seq=*/0,
+                    static_cast<double>(end - t0_us_) * 1e-6, name_);
+  if (!tracing_enabled()) return;
   tls_buffer.events.push_back(
-      {name_, t0_us_, end - t0_us_, tls_rank, thread_tid()});
+      {name_, t0_us_, end - t0_us_, tls_rank, thread_tid(), 'X', 0});
   // Bound per-thread memory; the splice is rare and off the span hot path.
   if (tls_buffer.events.size() >= 4096) tls_buffer.drain();
+}
+
+namespace {
+
+void record_flow(const char* name, std::uint64_t flow_id, char ph) {
+  if (!tracing_enabled()) return;
+  tls_buffer.events.push_back(
+      {name, now_us(), 0, tls_rank, thread_tid(), ph, flow_id});
+  if (tls_buffer.events.size() >= 4096) tls_buffer.drain();
+}
+
+}  // namespace
+
+void flow_send(const char* name, std::uint64_t flow_id) {
+  record_flow(name, flow_id, 's');
+}
+
+void flow_recv(const char* name, std::uint64_t flow_id) {
+  record_flow(name, flow_id, 'f');
 }
 
 void flush_trace() {
   TraceState& st = state();
   tls_buffer.drain();
   std::vector<TraceEvent> events;
+  std::map<int, std::int64_t> offsets;
   std::string dir;
   {
     std::lock_guard<std::mutex> lock(st.mutex);
@@ -155,6 +210,7 @@ void flush_trace() {
     }
     dir = st.dir;
     events.swap(st.drained);
+    offsets = st.clock_offsets_us;
   }
   if (events.empty()) return;
 
@@ -167,16 +223,30 @@ void flush_trace() {
         ("trace.rank" + std::to_string(rank) + ".json");
     std::ofstream os(path, std::ios::trunc);
     BGL_ENSURE(os.good(), "cannot open trace file " << path.string());
-    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    const auto off = offsets.find(rank);
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"rank\":" << rank
+       << ",\"clockOffsetUs\":"
+       << (off == offsets.end() ? 0 : off->second)
+       << "},\"traceEvents\":[";
     bool first = true;
     for (const TraceEvent* e : list) {
       if (!first) os << ',';
       first = false;
       os << "\n{\"name\":\"";
       write_escaped(os, e->name);
-      os << "\",\"cat\":\"bgl\",\"ph\":\"X\",\"ts\":" << e->ts_us
-         << ",\"dur\":" << e->dur_us << ",\"pid\":" << e->rank
-         << ",\"tid\":" << e->tid << '}';
+      if (e->ph == 'X') {
+        os << "\",\"cat\":\"bgl\",\"ph\":\"X\",\"ts\":" << e->ts_us
+           << ",\"dur\":" << e->dur_us << ",\"pid\":" << e->rank
+           << ",\"tid\":" << e->tid << '}';
+      } else {
+        // Flow endpoint: paired by (cat, id) across ranks; the finish side
+        // carries bp:"e" so viewers bind it to the enclosing slice.
+        os << "\",\"cat\":\"bgl.flow\",\"ph\":\"" << e->ph
+           << "\",\"id\":" << e->flow << ",\"ts\":" << e->ts_us
+           << ",\"pid\":" << e->rank << ",\"tid\":" << e->tid;
+        if (e->ph == 'f') os << ",\"bp\":\"e\"";
+        os << '}';
+      }
     }
     os << "\n]}\n";
     BGL_ENSURE(os.good(), "failed writing trace file " << path.string());

@@ -42,6 +42,31 @@ void set_rank(int rank);
 /// The calling thread's rank tag (0 if never set).
 [[nodiscard]] int current_rank();
 
+/// Microseconds on the trace clock (monotonic, anchored at the first obs
+/// call in this process). This is the timestamp axis of every exported
+/// event; the clock-offset exchange (runtime world setup) reads it so
+/// offsets live on the same axis they correct.
+[[nodiscard]] std::int64_t now_us();
+
+/// Records rank `rank`'s estimated clock offset: add `offset_us` to that
+/// rank's local timestamps to land on rank 0's axis. Stamped into the
+/// rank's trace file metadata (clockOffsetUs) for tools/bgl_trace_merge.
+/// Offsets are per-process state: the SPMD launcher gives each rank its own
+/// process (and so its own clock anchor); in thread mode all ranks share
+/// one anchor and the estimates come out ~0.
+void set_clock_offset_us(int rank, std::int64_t offset_us);
+
+/// The recorded offset for `rank` (0 if never estimated).
+[[nodiscard]] std::int64_t clock_offset_us(int rank);
+
+/// Records a Chrome flow-event endpoint ("s" = send side, "f" = receive
+/// side) on the calling thread, attributed to its rank. Both endpoints of a
+/// message must use the same `flow_id` (derived from the FIFO channel
+/// coordinates — see rt::Communicator); the merge tool then draws the
+/// send→recv arrow. No-ops when tracing is disabled.
+void flow_send(const char* name, std::uint64_t flow_id);
+void flow_recv(const char* name, std::uint64_t flow_id);
+
 /// RAII span: records one complete trace event [construction, destruction)
 /// named `name`. `name` must outlive the program's tracing (string
 /// literals; the buffer stores the pointer).

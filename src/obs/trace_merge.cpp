@@ -1,0 +1,342 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bgl::obs {
+
+namespace {
+
+/// Minimal recursive-descent JSON parser — just enough for the trace files
+/// this module itself writes (objects, arrays, strings, numbers, booleans).
+/// Self-contained on purpose: the repo has no JSON dependency and the test
+/// suite's parser lives in test code.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    BGL_ENSURE(pos_ == text_.size(), "trailing JSON at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  char peek() {
+    BGL_ENSURE(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    BGL_ENSURE(peek() == c, "expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = c == 't';
+      pos_ += v.boolean ? 4 : 5;
+      BGL_ENSURE(pos_ <= text_.size(), "truncated JSON literal");
+      return v;
+    }
+    if (c == 'n') {
+      pos_ += 4;
+      BGL_ENSURE(pos_ <= text_.size(), "truncated JSON literal");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      BGL_ENSURE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        BGL_ENSURE(pos_ < text_.size(), "unterminated JSON escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':
+            // The writer never emits \u escapes; accept and skip them.
+            BGL_ENSURE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+            pos_ += 4;
+            out += '?';
+            break;
+          default: out += e; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    BGL_ENSURE(pos_ > start, "expected JSON number at offset " << start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+struct MergedEvent {
+  std::string json;     // re-serialized event body (with aligned ts)
+  std::int64_t ts_us;   // aligned timestamp (sort key)
+};
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+double num_or(const JsonValue& obj, const std::string& key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number
+                                                             : fallback;
+}
+
+}  // namespace
+
+MergeSummary merge_traces(const std::string& dir,
+                          const std::string& out_path) {
+  MergeSummary summary;
+  std::vector<std::filesystem::path> files;
+  BGL_ENSURE(std::filesystem::is_directory(dir),
+             "not a directory: " << dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("trace.rank", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  BGL_ENSURE(!files.empty(), "no trace.rank*.json files in " << dir);
+
+  std::vector<MergedEvent> merged;
+  // Flow endpoints by id: first element holds send ('s') aligned ts list,
+  // second recv ('f') — messages can share an id only if the channel
+  // ordinal wrapped, which it cannot, so one of each is the common case.
+  std::map<std::uint64_t, std::pair<std::vector<std::int64_t>,
+                                    std::vector<std::int64_t>>>
+      flows;
+
+  for (const auto& path : files) {
+    std::ifstream is(path);
+    BGL_ENSURE(is.good(), "cannot open " << path.string());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    const JsonValue root = JsonParser(text).parse();
+    BGL_ENSURE(root.type == JsonValue::Type::kObject,
+               path.string() << ": not a JSON object");
+
+    std::int64_t offset_us = 0;
+    if (const JsonValue* other = root.find("otherData"); other != nullptr)
+      offset_us = static_cast<std::int64_t>(
+          num_or(*other, "clockOffsetUs", 0.0));
+
+    const JsonValue* events = root.find("traceEvents");
+    BGL_ENSURE(events != nullptr &&
+                   events->type == JsonValue::Type::kArray,
+               path.string() << ": missing traceEvents");
+    ++summary.files;
+
+    for (const JsonValue& e : events->array) {
+      BGL_ENSURE(e.type == JsonValue::Type::kObject,
+                 path.string() << ": malformed trace event");
+      const std::int64_t ts =
+          static_cast<std::int64_t>(num_or(e, "ts", 0.0)) + offset_us;
+      const JsonValue* ph = e.find("ph");
+      const std::string phase =
+          ph != nullptr ? ph->string : std::string("X");
+
+      std::ostringstream body;
+      body << '{';
+      bool first = true;
+      for (const auto& [key, value] : e.object) {
+        if (!first) body << ',';
+        first = false;
+        write_json_string(body, key);
+        body << ':';
+        if (key == "ts") {
+          body << ts;
+        } else {
+          switch (value.type) {
+            case JsonValue::Type::kString:
+              write_json_string(body, value.string);
+              break;
+            case JsonValue::Type::kNumber: {
+              // Every numeric field the writer emits is integral.
+              body << static_cast<std::int64_t>(value.number);
+              break;
+            }
+            case JsonValue::Type::kBool:
+              body << (value.boolean ? "true" : "false");
+              break;
+            default:
+              body << "null";
+              break;
+          }
+        }
+      }
+      body << '}';
+      merged.push_back({body.str(), ts});
+
+      if (phase == "s" || phase == "f") {
+        const auto id = static_cast<std::uint64_t>(num_or(e, "id", 0.0));
+        auto& entry = flows[id];
+        (phase == "s" ? entry.first : entry.second).push_back(ts);
+      }
+    }
+  }
+
+  for (auto& [id, endpoints] : flows) {
+    auto& [sends, recvs] = endpoints;
+    std::sort(sends.begin(), sends.end());
+    std::sort(recvs.begin(), recvs.end());
+    const std::size_t pairs = std::min(sends.size(), recvs.size());
+    summary.unmatched_flows +=
+        sends.size() + recvs.size() - 2 * pairs;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const std::int64_t delta = recvs[i] - sends[i];
+      if (summary.flow_pairs == 0 || delta < summary.min_flow_delta_us)
+        summary.min_flow_delta_us = delta;
+      if (summary.flow_pairs == 0 || delta > summary.max_flow_delta_us)
+        summary.max_flow_delta_us = delta;
+      ++summary.flow_pairs;
+    }
+  }
+
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  summary.events = merged.size();
+
+  std::ofstream os(out_path, std::ios::trunc);
+  BGL_ENSURE(os.good(), "cannot open output file " << out_path);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const MergedEvent& e : merged) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n' << e.json;
+  }
+  os << "\n]}\n";
+  BGL_ENSURE(os.good(), "failed writing merged trace " << out_path);
+  return summary;
+}
+
+}  // namespace bgl::obs

@@ -1,0 +1,35 @@
+// Cross-rank trace fusion (DESIGN.md §13).
+//
+// Each rank (in SPMD mode: each process, with its own clock anchor) exports
+// trace.rank<R>.json with a clockOffsetUs stamped by the world-setup clock
+// sync. merge_traces() reads every per-rank file in a directory, shifts
+// each event onto rank 0's time axis, pairs send→recv flow endpoints by id,
+// and writes one merged Chrome trace — the whole world on one timeline,
+// with arrows where messages crossed ranks. tools/bgl_trace_merge is the
+// CLI wrapper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bgl::obs {
+
+/// What the merge saw — the CLI prints it and tests assert on it.
+struct MergeSummary {
+  int files = 0;                 // per-rank trace files merged
+  std::size_t events = 0;        // events written to the merged file
+  std::size_t flow_pairs = 0;    // matched send→recv arrows
+  std::size_t unmatched_flows = 0;
+  /// Smallest aligned (recv_ts - send_ts) over all matched pairs, in µs.
+  /// Positive means every arrow points forward in aligned time — the
+  /// clock-offset estimates are mutually consistent. 0 when no pairs.
+  std::int64_t min_flow_delta_us = 0;
+  std::int64_t max_flow_delta_us = 0;
+};
+
+/// Merges <dir>/trace.rank*.json into `out_path` (Chrome trace JSON, events
+/// sorted by aligned timestamp). Throws bgl::Error on unreadable or
+/// malformed input, or when `dir` holds no trace files.
+MergeSummary merge_traces(const std::string& dir, const std::string& out_path);
+
+}  // namespace bgl::obs

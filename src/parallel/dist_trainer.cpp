@@ -3,6 +3,7 @@
 #include "collectives/coll.hpp"
 #include "core/stopwatch.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
@@ -172,6 +173,31 @@ DistStepStats DistTrainer::train_step_accumulated(
     obs::observe("dist_trainer.step.optimizer_s", stats.phases.optimizer_s);
     obs::observe("dist_trainer.step.total_s", stats.phases.total_s);
     obs::observe("dist_trainer.grad_norm", stats.grad_norm);
+  }
+  if (obs::telemetry_enabled()) {
+    // Live step telemetry (BGL_TELEMETRY): one JSONL record per rank per
+    // step, carrying the global mean loss so feeds from different ranks
+    // agree on training progress.
+    obs::TelemetryRecord rec;
+    rec.rank = world_.rank();
+    rec.loss = stats.global_loss;
+    rec.aux_loss = stats.aux_loss;
+    rec.grad_norm = stats.grad_norm;
+    rec.applied = stats.applied;
+    rec.overlapped = stats.overlapped;
+    rec.forward_s = stats.phases.forward_s;
+    rec.backward_s = stats.phases.backward_s;
+    rec.allreduce_s = stats.phases.allreduce_s;
+    rec.alltoall_s = stats.phases.alltoall_s;
+    rec.optimizer_s = stats.phases.optimizer_s;
+    rec.total_s = stats.phases.total_s;
+    rec.demanded = stats.dispatch.demanded;
+    rec.routed = stats.dispatch.routed;
+    rec.dropped = stats.dispatch.dropped;
+    rec.capacity_slots = stats.dispatch.capacity_slots;
+    rec.max_expert_load = stats.dispatch.max_expert_load;
+    rec.step_hist = "dist_trainer.step.total_s";
+    obs::telemetry_step(rec);
   }
   return stats;
 }

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -14,7 +16,9 @@
 #include <utility>
 
 #include "core/crc32.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/mailbox.hpp"
@@ -172,6 +176,8 @@ class Fabric final : public Transport {
                                                   msg.payload)) {
         case FaultAction::kDrop:
           obs::count("comm.fault.dropped");
+          obs::blackbox_record(src_world, obs::BlackboxKind::kDrop, dst_world,
+                               tag, comm_id);
           return;  // vanishes in flight
         case FaultAction::kDelay:
           obs::count("comm.fault.delayed");
@@ -396,6 +402,7 @@ class Fabric final : public Transport {
         poison_what_ = what;
       }
     }
+    obs::blackbox_record(world_rank, obs::BlackboxKind::kPoison);
     poisoned_.store(true);
     for (Mailbox& box : boxes_) box.cv.notify_all();
     barrier_cv_.notify_all();
@@ -462,6 +469,7 @@ class Fabric final : public Transport {
     if (!newly) return;
     if (monitor_) monitor_->mark_dead(world_rank);
     obs::count("comm.rank.failed");
+    obs::blackbox_record(world_rank, obs::BlackboxKind::kRankDead);
     wake_all();
   }
 
@@ -573,6 +581,8 @@ class Fabric final : public Transport {
       switch (injector->on_message(src_world, dst_world, tag, *bytes)) {
         case FaultAction::kDrop:
           obs::count("comm.fault.dropped");
+          obs::blackbox_record(src_world, obs::BlackboxKind::kDrop, dst_world,
+                               tag, comm_id, seq);
           // Vanishes in flight; the replay buffer still has it. The
           // watermark still advances — that is what lets the receiver's
           // probe recognize the loss.
@@ -614,6 +624,8 @@ class Fabric final : public Transport {
   /// so the sender's replay buffer can drop them.
   void ack(std::uint64_t comm_id, int src_world, int dst_world, int tag,
            std::uint64_t seq) {
+    obs::blackbox_record(dst_world, obs::BlackboxKind::kAck, src_world, tag,
+                         comm_id, seq);
     SenderState& s = *senders_[static_cast<std::size_t>(src_world)];
     std::lock_guard<std::mutex> lock(s.mutex);
     SendChannel& ch = s.channels[SendKey{comm_id, dst_world, tag}];
@@ -646,6 +658,8 @@ class Fabric final : public Transport {
     }
     if (frame == nullptr) return false;
     obs::count("comm.retry.retransmits");
+    obs::blackbox_record(dst_world, obs::BlackboxKind::kRetransmit, src_world,
+                         tag, comm_id, want);
     // The retransmit faces the injector again (a fresh message index), so a
     // lossy link can drop it again — bounded by RetryOptions.max_retries.
     deliver_frame(comm_id, src_world, dst_world, tag, want, frame, crc,
@@ -662,6 +676,8 @@ class Fabric final : public Transport {
                     std::uint64_t comm_id, int src, int dst, int tag) {
     obs::count("comm.crc.failures");
     obs::count("comm.retry.crc_retries");
+    obs::blackbox_record(dst, obs::BlackboxKind::kCrcFail, src, tag, comm_id,
+                         msg.seq);
     std::uint64_t want = 0;
     {
       std::lock_guard<std::mutex> lock(box.mutex);
@@ -772,6 +788,8 @@ class Fabric final : public Transport {
       obs::count("hb.straggler.extensions");
       if (obs::metrics_enabled())
         obs::observe("hb.suspicion", monitor_->suspicion(src));
+      obs::blackbox_record(dst, obs::BlackboxKind::kSuspicion, src, tag,
+                           comm_id, 0, monitor_->suspicion(src));
       return deadline + timeout_duration();
     }
     std::ostringstream os;
@@ -882,6 +900,8 @@ class Fabric final : public Transport {
     ++rebuild_gen_;
     obs::set_gauge("world.epoch", static_cast<std::int64_t>(next));
     obs::count("comm.world.shrinks");
+    obs::blackbox_record(obs::current_rank(), obs::BlackboxKind::kEpochBump,
+                         -1, 0, 0, 0, static_cast<double>(next));
     shrink_cv_.notify_all();
   }
 
@@ -914,6 +934,63 @@ class Fabric final : public Transport {
 
 }  // namespace detail
 
+namespace {
+
+/// Flow-arrow bookkeeping (DESIGN.md §13): both ends of a FIFO
+/// (comm, src, dst, tag) channel count message ordinals independently —
+/// the ordinal plays the role of a sequence number even on the legacy
+/// (retry-off) path — and hash the channel coordinates plus ordinal into
+/// the Chrome flow id that links the send event to its recv across rank
+/// traces. thread_local is rank-local: each rank runs on its own thread
+/// (or its own process under SPMD), and every send/recv completion of a
+/// channel happens on its rank's thread.
+std::uint64_t next_flow_id(std::uint64_t comm_id, int src_world,
+                           int dst_world, int tag) {
+  thread_local std::map<std::tuple<std::uint64_t, int, int, int>,
+                        std::uint64_t>
+      ordinals;
+  const std::uint64_t ordinal =
+      ordinals[std::make_tuple(comm_id, src_world, dst_world, tag)]++;
+  std::uint64_t id = detail::mix_id(comm_id, 0x9E3779B97F4A7C15ULL);
+  id = detail::mix_id(
+      id, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_world))
+           << 32) |
+              static_cast<std::uint32_t>(dst_world));
+  id = detail::mix_id(id, static_cast<std::uint32_t>(tag));
+  // 53-bit ids survive every double-precision JSON round trip (viewers and
+  // the merge tool alike parse numbers as doubles).
+  return detail::mix_id(id, ordinal) & ((1ull << 53) - 1);
+}
+
+/// Send-side observability for one point-to-point message: Chrome flow
+/// "s" endpoint plus a kSend flight-recorder event. `seq` in the blackbox
+/// record is the channel flow id so a dump can be joined against the
+/// matching kRecv on the peer.
+void note_send_obs(std::uint64_t comm_id, int src_world, int dst_world,
+                   int tag, std::size_t bytes) {
+  if (!obs::tracing_enabled() && !obs::blackbox_enabled()) return;
+  const std::uint64_t fid = next_flow_id(comm_id, src_world, dst_world, tag);
+  if (obs::tracing_enabled()) obs::flow_send("msg", fid);
+  if (obs::blackbox_enabled())
+    obs::blackbox_record(src_world, obs::BlackboxKind::kSend, dst_world, tag,
+                         comm_id, fid, static_cast<double>(bytes));
+}
+
+/// Receive-side mirror of note_send_obs; called from blocking recv and
+/// nonblocking completion alike. Channels are FIFO, so completion order
+/// equals send order and the independently-counted ordinals line up.
+void note_recv_obs(std::uint64_t comm_id, int src_world, int self_world,
+                   int tag, std::size_t bytes) {
+  if (!obs::tracing_enabled() && !obs::blackbox_enabled()) return;
+  const std::uint64_t fid = next_flow_id(comm_id, src_world, self_world, tag);
+  if (obs::tracing_enabled()) obs::flow_recv("msg", fid);
+  if (obs::blackbox_enabled())
+    obs::blackbox_record(self_world, obs::BlackboxKind::kRecv, src_world, tag,
+                         comm_id, fid, static_cast<double>(bytes));
+}
+
+}  // namespace
+
 Communicator::Communicator(std::shared_ptr<Transport> transport,
                            std::uint64_t comm_id, std::vector<int> group,
                            int rank, std::uint64_t epoch)
@@ -931,15 +1008,25 @@ void Communicator::send_bytes(int dst, int tag,
     obs::count(kSendMsgs[k]);
     obs::count(kSendBytes[k], static_cast<std::int64_t>(data.size()));
   }
+  // Recorded BEFORE the transport enqueue: once the message is visible the
+  // receiver can stamp its recv immediately, and on a contended core the
+  // preempted sender would stamp its send milliseconds later — a backward
+  // flow arrow in the merged timeline.
+  note_send_obs(comm_id_, world_rank(rank_), world_rank(dst), tag,
+                data.size());
   transport_->send(comm_id_, world_rank(rank_), world_rank(dst), tag, data,
                    epoch_);
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
   BGL_ENSURE(src >= 0 && src < size(), "recv from invalid rank " << src);
-  if (!obs::metrics_enabled())
-    return transport_->recv(comm_id_, world_rank(src), world_rank(rank_), tag,
-                            epoch_);
+  if (!obs::metrics_enabled()) {
+    std::vector<std::byte> payload = transport_->recv(
+        comm_id_, world_rank(src), world_rank(rank_), tag, epoch_);
+    note_recv_obs(comm_id_, world_rank(src), world_rank(rank_), tag,
+                  payload.size());
+    return payload;
+  }
   const int k = comm_kind_of(tag);
   const auto t0 = detail::Clock::now();
   std::vector<std::byte> payload = transport_->recv(
@@ -949,6 +1036,8 @@ std::vector<std::byte> Communicator::recv_bytes(int src, int tag) const {
   obs::count(kRecvMsgs[k]);
   obs::count(kRecvBytes[k], static_cast<std::int64_t>(payload.size()));
   obs::observe(kRecvWait[k], wait_s);
+  note_recv_obs(comm_id_, world_rank(src), world_rank(rank_), tag,
+                payload.size());
   return payload;
 }
 
@@ -970,10 +1059,13 @@ struct PendingOp::State {
     payload = std::move(bytes);
     done = true;
     pending_completed();
-    if (obs::metrics_enabled() && is_recv) {
-      const int k = comm_kind_of(tag);
-      obs::count(kRecvMsgs[k]);
-      obs::count(kRecvBytes[k], static_cast<std::int64_t>(payload.size()));
+    if (is_recv) {
+      note_recv_obs(comm_id, src_world, self_world, tag, payload.size());
+      if (obs::metrics_enabled()) {
+        const int k = comm_kind_of(tag);
+        obs::count(kRecvMsgs[k]);
+        obs::count(kRecvBytes[k], static_cast<std::int64_t>(payload.size()));
+      }
     }
   }
 };
@@ -1142,6 +1234,64 @@ namespace {
 /// world communicator's id so it shares no phase counter with app barriers.
 constexpr std::uint64_t kSpmdExitFence = 0x5D0F3ACEull;
 
+/// World-setup clock sync (DESIGN.md §13). Every rank estimates the offset
+/// from its trace clock to rank 0's with ping-style exchanges over the
+/// transport seam, so it works identically on both backends: the peer
+/// stamps t1, pings rank 0, rank 0 replies with its own obs::now_us(), the
+/// peer stamps t2 and — for the minimum-RTT round, where the symmetric-path
+/// assumption is tightest — keeps offset = t_ref + rtt/2 - t2. Adding that
+/// offset to a local timestamp lands it on rank 0's axis; trace metadata
+/// carries it as clockOffsetUs for obs::merge_traces. Offsets are only
+/// materially nonzero under SPMD (each process anchors now_us()
+/// independently); thread mode measures ~0, which is equally correct.
+///
+/// Gated on tracing: the sync messages pass through the fault injector's
+/// per-rank op counter, and chaos tests that kill at a fixed op count run
+/// with tracing off — their op sequence must not shift.
+constexpr std::uint64_t kClockSyncComm = 0xC1C0FF5E70ull;
+constexpr int kClockSyncReqTag = 0x7C << 20;
+constexpr int kClockSyncRepTag = (0x7C << 20) + 1;
+constexpr int kClockSyncRounds = 8;
+
+void sync_clocks(Transport& t, int rank, int size) {
+  if (!obs::tracing_enabled() || size <= 1) return;
+  if (rank == 0) {
+    obs::set_clock_offset_us(0, 0);
+    for (int peer = 1; peer < size; ++peer) {
+      for (int round = 0; round < kClockSyncRounds; ++round) {
+        (void)t.recv(kClockSyncComm, peer, 0, kClockSyncReqTag, /*epoch=*/0);
+        const std::int64_t ref = obs::now_us();
+        t.send(kClockSyncComm, 0, peer, kClockSyncRepTag,
+               std::as_bytes(std::span(&ref, 1)), /*epoch=*/0);
+      }
+    }
+    return;
+  }
+  std::int64_t best_rtt = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_off = 0;
+  for (int round = 0; round < kClockSyncRounds; ++round) {
+    const std::int64_t t1 = obs::now_us();
+    const std::int64_t ping = 0;  // non-empty payload; content unused
+    t.send(kClockSyncComm, rank, 0, kClockSyncReqTag,
+           std::as_bytes(std::span(&ping, 1)), /*epoch=*/0);
+    const std::vector<std::byte> reply =
+        t.recv(kClockSyncComm, 0, rank, kClockSyncRepTag, /*epoch=*/0);
+    const std::int64_t t2 = obs::now_us();
+    std::int64_t ref = 0;
+    BGL_ENSURE(reply.size() == sizeof(ref), "clock-sync reply truncated");
+    std::memcpy(&ref, reply.data(), sizeof(ref));
+    const std::int64_t rtt = t2 - t1;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best_off = ref + rtt / 2 - t2;
+    }
+  }
+  obs::set_clock_offset_us(rank, best_off);
+  obs::blackbox_record(rank, obs::BlackboxKind::kClockSync, /*peer=*/0,
+                       /*tag=*/0, /*comm=*/kClockSyncComm, /*seq=*/0,
+                       static_cast<double>(best_off));
+}
+
 }  // namespace
 
 /// Thread-mode driver, shared by every transport backend: spawns one thread
@@ -1162,9 +1312,12 @@ void World::run_threads(const std::shared_ptr<Transport>& transport, int size,
                         /*epoch=*/0);
       bool completed = false;
       try {
+        // Inside the try: an injected fault can fire during the sync ops.
+        sync_clocks(*transport, r, size);
         fn(comm);
         completed = true;
       } catch (const RankFailureError& e) {
+        obs::blackbox_dump(r, e.what());
         if (options.shrink_on_death) {
           // Tier 3: the rank dies in place. Survivors get EpochInterrupt
           // and shrink around it; the world is not poisoned and World::run
@@ -1175,9 +1328,11 @@ void World::run_threads(const std::shared_ptr<Transport>& transport, int size,
           transport->poison(r, e.what());
         }
       } catch (const std::exception& e) {
+        obs::blackbox_dump(r, e.what());
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         transport->poison(r, e.what());
       } catch (...) {
+        obs::blackbox_dump(r, "unknown error");
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         transport->poison(r, "unknown error");
       }
@@ -1189,10 +1344,25 @@ void World::run_threads(const std::shared_ptr<Transport>& transport, int size,
   // a RankFailureError is not masked by the poisoned-wakeup errors of the
   // ranks it unblocked.
   const int first = transport->first_failed_rank();
+  std::exception_ptr cause;
   if (first >= 0 && errors[static_cast<std::size_t>(first)])
-    std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
+    cause = errors[static_cast<std::size_t>(first)];
+  if (!cause) {
+    for (const auto& err : errors) {
+      if (err) {
+        cause = err;
+        break;
+      }
+    }
+  }
+  if (cause) {
+    // The run is about to unwind into caller error handling (often a long-
+    // lived test process that never exits) — persist what the failed world
+    // buffered now rather than relying on atexit (ISSUE 9 satellite: no
+    // trace loss on abnormal exit).
+    obs::flush_trace();
+    obs::flush_telemetry();
+    std::rethrow_exception(cause);
   }
 }
 
@@ -1214,13 +1384,22 @@ void World::run_spmd(int size, const WorldOptions& options,
   Communicator comm(transport, /*comm_id=*/1, world_group, cfg.rank,
                     /*epoch=*/0);
   try {
+    sync_clocks(*transport, cfg.rank, size);
     fn(comm);
   } catch (const std::exception& e) {
     // Poison travels to the peers as a frame; this process fails with the
-    // original error (the launcher aggregates exit codes).
+    // original error (the launcher aggregates exit codes). Persist this
+    // process's observability state before unwinding: the atexit hooks
+    // would also fire, but a launcher-side kill can beat them to it.
+    obs::blackbox_dump(cfg.rank, e.what());
+    obs::flush_trace();
+    obs::flush_telemetry();
     transport->poison(cfg.rank, e.what());
     throw;
   } catch (...) {
+    obs::blackbox_dump(cfg.rank, "unknown error");
+    obs::flush_trace();
+    obs::flush_telemetry();
     transport->poison(cfg.rank, "unknown error");
     throw;
   }

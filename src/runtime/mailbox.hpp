@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "core/crc32.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/recovery.hpp"
 
@@ -170,6 +172,8 @@ inline PopResult pop_channel(Mailbox& box, const Key& key, bool reliable,
   for (auto qi = q.begin(); qi != q.end();) {
     if (qi->seq < rc.expected) {
       obs::count("comm.retry.duplicates");
+      obs::blackbox_record(obs::current_rank(), obs::BlackboxKind::kDuplicate,
+                           /*peer=*/-1, /*tag=*/0, /*comm=*/0, qi->seq);
       qi = q.erase(qi);
     } else {
       ++qi;
@@ -220,6 +224,8 @@ inline void verify_crc(const Message& msg, std::uint64_t comm_id, int src,
   const std::uint32_t got = crc32(bytes_of(msg));
   if (got == msg.crc) return;
   obs::count("comm.crc.failures");
+  obs::blackbox_record(dst, obs::BlackboxKind::kCrcFail, src, tag, comm_id,
+                       msg.seq);
   std::ostringstream os;
   os << "corrupt message: CRC mismatch on comm " << comm_id << " src " << src
      << " -> dst " << dst << " tag " << tag << " (" << bytes_of(msg).size()

@@ -7,7 +7,9 @@
 #include <cstring>
 
 #include "core/error.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/fault.hpp"
 
 namespace bgl::rt {
@@ -167,6 +169,10 @@ bool HeartbeatMonitor::confirmed_dead(int rank) const {
   const double phi = suspicion(rank);
   if (phi < options_.phi_threshold) return false;
   if (obs::metrics_enabled()) obs::observe("hb.suspicion", phi);
+  // The observer's flight recorder keeps the suspicion transition: which
+  // peer crossed phi, and how far past the threshold it was.
+  obs::blackbox_record(obs::current_rank(), obs::BlackboxKind::kSuspicion,
+                       rank, /*tag=*/0, /*comm=*/0, /*seq=*/0, phi);
   return true;
 }
 
@@ -178,6 +184,9 @@ bool HeartbeatMonitor::completed(int rank) const {
 void HeartbeatMonitor::mark_dead(int rank) {
   ranks_.at(static_cast<std::size_t>(rank))
       ->dead.store(true, std::memory_order_relaxed);
+  // Recorded on the dead rank's own ring so its post-mortem dump carries
+  // the moment the cluster gave up on it.
+  obs::blackbox_record(rank, obs::BlackboxKind::kRankDead);
 }
 
 }  // namespace bgl::rt

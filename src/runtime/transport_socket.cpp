@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "core/crc32.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/fault.hpp"
 
@@ -363,10 +364,14 @@ void SocketTransport::emit(std::uint64_t comm_id, int src, int dst, int tag,
   switch (injector->on_message(src, dst, tag, bytes)) {
     case FaultAction::kDrop:
       obs::count("comm.fault.dropped");
+      obs::blackbox_record(src, obs::BlackboxKind::kDrop, dst, tag, comm_id,
+                           seq);
       if (seq != 0) {
         // The frame vanishes, but the watermark evidence must still travel:
         // a tombstone carries the committed sequence number so the
         // receiver's probe can tell "lost" from "not sent yet".
+        obs::blackbox_record(src, obs::BlackboxKind::kTombstone, dst, tag,
+                             comm_id, seq);
         route(src, dst, make_frame(FrameType::kTombstone, h, {}));
       }
       return;
@@ -630,6 +635,7 @@ void SocketTransport::send_ack(std::uint64_t comm_id, int src, int self,
   h.dst = src;   // ...to the original sender
   h.tag = tag;
   h.seq = seq;
+  obs::blackbox_record(self, obs::BlackboxKind::kAck, src, tag, comm_id, seq);
   route(self, src, make_frame(FrameType::kAck, h, {}));
 }
 
@@ -648,6 +654,11 @@ void SocketTransport::send_rtx_request(std::uint64_t comm_id, int src,
   h.dst = src;
   h.tag = tag;
   h.seq = want;
+  // The requesting receiver records the retransmit too (mirrors the serving
+  // side in handle_rtx_request), so a receiver that dies mid-storm still
+  // carries its channel's recovery history in its own dump.
+  obs::blackbox_record(self, obs::BlackboxKind::kRetransmit, src, tag,
+                       comm_id, want);
   route(self, src, make_frame(FrameType::kRtxRequest, h, {}));
 }
 
@@ -719,6 +730,7 @@ void SocketTransport::poison(int world_rank, const std::string& what) {
       poison_what_ = what;
     }
   }
+  obs::blackbox_record(world_rank, obs::BlackboxKind::kPoison);
   poisoned_.store(true);
   for (auto& sh : shards_) {
     { std::lock_guard<std::mutex> lock(sh->box.mutex); }
@@ -865,6 +877,10 @@ void SocketTransport::dispatch(const FrameHeader& h,
                               payload.size());
         }
       }
+      // A remote rank poisoned the world; note it on every locally hosted
+      // rank's ring so their dumps show who took the world down.
+      for (const int hosted : hosted_)
+        obs::blackbox_record(hosted, obs::BlackboxKind::kPoison, h.src);
       poisoned_.store(true);
       for (auto& sh : shards_) {
         { std::lock_guard<std::mutex> lock(sh->box.mutex); }
@@ -924,6 +940,10 @@ void SocketTransport::handle_rtx_request(const FrameHeader& h) {
   }
   if (frame == nullptr) return;
   obs::count("comm.retry.retransmits");
+  // Recorded on the hosted sender's ring: h.dst originally sent seq h.seq
+  // to h.src, who is now re-requesting it.
+  obs::blackbox_record(h.dst, obs::BlackboxKind::kRetransmit, h.src, h.tag,
+                       h.comm_id, h.seq);
   // The retransmit faces the injector again, so a lossy link can drop it
   // again — bounded by the receiver's RetryOptions.max_retries.
   emit(h.comm_id, h.dst, h.src, h.tag, h.seq, *frame, crc, checksummed,

@@ -18,12 +18,16 @@
 #include "core/rng.hpp"
 #include "model/trainer.hpp"
 #include "model/transformer.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/reduce.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "parallel/dist_trainer.hpp"
 #include "parallel/dist_transformer.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
 #include "train/data.hpp"
 #include "train/optimizer.hpp"
 
@@ -222,6 +226,28 @@ std::filesystem::path fresh_temp_dir(const char* tag) {
   return dir;
 }
 
+/// RAII guard: points the flight recorder at a fresh dir, clears the rings
+/// on both ends so tests never see each other's events.
+struct BlackboxGuard {
+  explicit BlackboxGuard(const std::string& dir) {
+    set_blackbox_dir(dir);
+    blackbox_reset();
+  }
+  ~BlackboxGuard() {
+    blackbox_reset();
+    set_blackbox_dir("");
+  }
+};
+
+/// RAII guard: points the telemetry exporter at a file, restores "off".
+struct TelemetryGuard {
+  explicit TelemetryGuard(const std::string& path, int flush_every = 1) {
+    set_telemetry_flush_every(flush_every);
+    set_telemetry_path(path);
+  }
+  ~TelemetryGuard() { set_telemetry_path(""); }
+};
+
 /// --- histogram --------------------------------------------------------------
 
 TEST(Histogram, ZeroLandsInUnderflowBucket) {
@@ -283,6 +309,37 @@ TEST(Histogram, AggregatesAndReset) {
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.rejected(), 0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, QuantileOnEmptyAndSingleValue) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: no data, no estimate
+  h.record(3.0);
+  // One sample: every quantile collapses to it (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileTracksAKnownDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);  // uniform (0, 1]
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  // Power-of-two buckets are coarse; accept the true value within a bucket.
+  EXPECT_GT(p50, 0.25);
+  EXPECT_LT(p50, 1.0);
+  EXPECT_GE(p99, p50);  // monotone in q
+  EXPECT_LE(p99, 1.0 + 1e-12);
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max() + 1e-12);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h;
+  for (const double v : {1.0, 2.0, 4.0}) h.record(v);
+  EXPECT_GE(h.quantile(-0.5), h.min());
+  EXPECT_LE(h.quantile(1.5), h.max() + 1e-12);
 }
 
 /// --- registry ---------------------------------------------------------------
@@ -397,6 +454,50 @@ TEST(ReduceMetrics, AggregatesAcrossRanks) {
   EXPECT_EQ(bucket_total, 4);
 
   EXPECT_NE(merged.to_string().find("steps"), std::string::npos);
+  // Histogram lines surface the reduced p50/p99.
+  EXPECT_NE(merged.to_string().find("p50="), std::string::npos);
+  EXPECT_NE(merged.to_string().find("p99="), std::string::npos);
+}
+
+TEST(ReduceMetrics, GaugeOnStrictSubsetOfRanks) {
+  // A gauge set on some ranks only must aggregate over the setters, not the
+  // whole world: a rank that registered the gauge but never wrote it (or
+  // never touched it at all) contributes nothing — previously its phantom
+  // 0.0 dragged min and the per-rank mean down.
+  ClusterMetrics merged;
+  rt::World::run(4, [&](rt::Communicator& world) {
+    Registry local;
+    ScopedRegistry bind(local);
+    if (world.rank() < 2) {
+      local.gauge("subset.scale").set(world.rank() + 1.0);  // 1.0, 2.0
+    } else if (world.rank() == 2) {
+      (void)local.gauge("subset.scale");  // registered, never set
+    }  // rank 3: never even registered
+    local.counter("present.everywhere").add(1);
+    const ClusterMetrics got = reduce_metrics(world);
+    if (world.rank() == 0) merged = got;
+  });
+  const ReducedMetric* g = merged.find("subset.scale");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->ranks, 2);  // only the ranks that actually set it
+  EXPECT_DOUBLE_EQ(g->min, 1.0);
+  EXPECT_DOUBLE_EQ(g->max, 2.0);
+  EXPECT_DOUBLE_EQ(g->mean_per_rank(), 1.5);
+  const ReducedMetric* c = merged.find("present.everywhere");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->ranks, 4);
+}
+
+TEST(ReduceMetrics, GaugeNeverSetAnywhereIsOmitted) {
+  ClusterMetrics merged;
+  rt::World::run(2, [&](rt::Communicator& world) {
+    Registry local;
+    ScopedRegistry bind(local);
+    (void)local.gauge("never.set");  // registered on every rank, written on none
+    const ClusterMetrics got = reduce_metrics(world);
+    if (world.rank() == 0) merged = got;
+  });
+  EXPECT_EQ(merged.find("never.set"), nullptr);
 }
 
 TEST(ReduceMetrics, RuntimeTrafficShowsUpPerRank) {
@@ -615,36 +716,393 @@ TEST(Trace, FourRankDistTrainerExportsValidChromeTrace) {
       const JsonValue* unit = root.find("displayTimeUnit");
       ASSERT_NE(unit, nullptr);
       EXPECT_EQ(unit->str, "ms");
+      // Clock-sync stamps every rank's offset into the trace metadata.
+      const JsonValue* other = root.find("otherData");
+      ASSERT_NE(other, nullptr);
+      const JsonValue* offset = other->find("clockOffsetUs");
+      ASSERT_NE(offset, nullptr);
+      EXPECT_EQ(offset->kind, JsonValue::Kind::kNumber);
       const JsonValue* events = root.find("traceEvents");
       ASSERT_NE(events, nullptr);
       ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
       ASSERT_FALSE(events->array.empty()) << "rank " << rank;
 
       bool saw_step = false, saw_a2a = false;
+      bool saw_flow_send = false, saw_flow_recv = false;
       for (const JsonValue& e : events->array) {
         ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
         const JsonValue* ph = e.find("ph");
         ASSERT_NE(ph, nullptr);
-        EXPECT_EQ(ph->str, "X");  // complete events only
         const JsonValue* cat = e.find("cat");
         ASSERT_NE(cat, nullptr);
-        EXPECT_EQ(cat->str, "bgl");
         const JsonValue* name = e.find("name");
         ASSERT_NE(name, nullptr);
         EXPECT_FALSE(name->str.empty());
-        for (const char* key : {"ts", "dur", "pid", "tid"}) {
+        for (const char* key : {"ts", "pid", "tid"}) {
           const JsonValue* v = e.find(key);
           ASSERT_NE(v, nullptr) << key;
           EXPECT_EQ(v->kind, JsonValue::Kind::kNumber) << key;
         }
         EXPECT_EQ(static_cast<int>(e.find("pid")->number), rank);
-        EXPECT_GE(e.find("dur")->number, 0.0);
-        if (name->str == "dist_trainer.step") saw_step = true;
-        if (name->str == "ep_moe.a2a.dispatch") saw_a2a = true;
+        if (ph->str == "X") {
+          EXPECT_EQ(cat->str, "bgl");
+          const JsonValue* dur = e.find("dur");
+          ASSERT_NE(dur, nullptr);
+          EXPECT_GE(dur->number, 0.0);
+          if (name->str == "dist_trainer.step") saw_step = true;
+          if (name->str == "ep_moe.a2a.dispatch") saw_a2a = true;
+        } else {
+          // Flow endpoints linking send -> recv pairs across ranks.
+          ASSERT_TRUE(ph->str == "s" || ph->str == "f") << ph->str;
+          EXPECT_EQ(cat->str, "bgl.flow");
+          const JsonValue* id = e.find("id");
+          ASSERT_NE(id, nullptr);
+          EXPECT_EQ(id->kind, JsonValue::Kind::kNumber);
+          if (ph->str == "s") saw_flow_send = true;
+          if (ph->str == "f") saw_flow_recv = true;
+        }
       }
       EXPECT_TRUE(saw_step) << "rank " << rank;
       EXPECT_TRUE(saw_a2a) << "rank " << rank;
+      // Every rank both sends and receives in the collectives, so both
+      // flow endpoints must appear in its file.
+      EXPECT_TRUE(saw_flow_send) << "rank " << rank;
+      EXPECT_TRUE(saw_flow_recv) << "rank " << rank;
     }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Trace, KilledRankStillWritesTraceFiles) {
+  // Regression: a rank dying mid-run must not lose the trace buffered so
+  // far. World::run flushes on its error path before rethrowing, so the
+  // files exist even though the (long-lived) test process has not exited.
+  const auto dir = fresh_temp_dir("killed");
+  {
+    TraceGuard guard(dir.string());
+    rt::FaultInjector injector({.seed = 5, .kill_rank = 1, .kill_at_op = 30});
+    rt::WorldOptions options;
+    options.timeout_s = 10.0;
+    options.fault_injector = &injector;
+    EXPECT_THROW(
+        rt::World::run(2, options,
+                       [](rt::Communicator& comm) {
+                         for (int k = 0; k < 64; ++k) {
+                           Span span("work");
+                           if (comm.rank() == 0) {
+                             comm.send<int>(1, 0, std::vector<int>{k});
+                           } else {
+                             (void)comm.recv<int>(0, 0);
+                           }
+                         }
+                       }),
+        rt::RankFailureError);
+    for (int rank = 0; rank < 2; ++rank) {
+      const auto path = dir / ("trace.rank" + std::to_string(rank) + ".json");
+      ASSERT_TRUE(std::filesystem::exists(path)) << path;
+      JsonValue root;
+      ASSERT_TRUE(JsonParser(read_file(path)).parse(root)) << path;
+      const JsonValue* events = root.find("traceEvents");
+      ASSERT_NE(events, nullptr);
+      EXPECT_FALSE(events->array.empty()) << "rank " << rank;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+/// --- flight recorder --------------------------------------------------------
+
+TEST(Blackbox, DisabledRecordIsANoOp) {
+  blackbox_reset();
+  ASSERT_FALSE(blackbox_enabled());
+  blackbox_record(3, BlackboxKind::kSend, 1);
+  EXPECT_TRUE(blackbox_events(3).empty());
+}
+
+TEST(Blackbox, RingKeepsLastEventsAndDumpIsValidJson) {
+  const auto dir = fresh_temp_dir("blackbox_ring");
+  BlackboxGuard guard(dir.string());
+  ASSERT_TRUE(blackbox_enabled());
+  const int rank = 7;
+  const std::size_t total = kBlackboxCapacity + 10;
+  for (std::size_t i = 0; i < total; ++i)
+    blackbox_record(rank, BlackboxKind::kSend, /*peer=*/1, /*tag=*/2,
+                    /*comm=*/3, /*seq=*/i);
+  const auto events = blackbox_events(rank);
+  ASSERT_EQ(events.size(), kBlackboxCapacity);  // bounded
+  EXPECT_EQ(events.front().seq, 10u);           // oldest 10 evicted
+  EXPECT_EQ(events.back().seq, total - 1);      // newest kept
+
+  blackbox_dump(rank, "unit test");
+  const auto path = dir / "blackbox.rank7.json";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(read_file(path)).parse(root));
+  EXPECT_EQ(static_cast<int>(root.find("rank")->number), rank);
+  EXPECT_EQ(root.find("reason")->str, "unit test");
+  const JsonValue* dumped = root.find("events");
+  ASSERT_NE(dumped, nullptr);
+  ASSERT_EQ(dumped->array.size(), kBlackboxCapacity);
+  for (const char* key : {"ts_us", "peer", "tag", "comm", "seq"}) {
+    const JsonValue* v = dumped->array.front().find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_EQ(v->kind, JsonValue::Kind::kNumber) << key;
+  }
+  EXPECT_EQ(dumped->array.front().find("kind")->str, "send");
+  EXPECT_EQ(static_cast<int>(dumped->array.front().find("seq")->number), 10);
+  ASSERT_NE(root.find("metrics"), nullptr);  // snapshot section present
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Blackbox, ChaosKillDumpsVictimWithRetransmitHistory) {
+  // The ISSUE 9 acceptance scenario: a drop storm on a retry-enabled world,
+  // then an injected kill. The victim's blackbox dump must exist, parse,
+  // and carry the failing channel's recovery history (runs under both
+  // transports via the transport.tcp.obs ctest cell).
+  const auto dir = fresh_temp_dir("blackbox_chaos");
+  BlackboxGuard guard(dir.string());
+  rt::FaultInjector injector(
+      {.seed = 11, .drop_prob = 0.5, .kill_rank = 1, .kill_at_op = 40});
+  rt::WorldOptions options;
+  options.timeout_s = 10.0;
+  options.checksum_messages = true;
+  options.retry.enabled = true;
+  options.retry.max_retries = 20;
+  options.retry.backoff_ms = 0.2;
+  options.retry.backoff_max_ms = 2.0;
+  options.fault_injector = &injector;
+  EXPECT_THROW(
+      rt::World::run(2, options,
+                     [](rt::Communicator& comm) {
+                       for (int k = 0; k < 64; ++k) {
+                         if (comm.rank() == 0) {
+                           comm.send<int>(1, 1, std::vector<int>{k});
+                         } else {
+                           (void)comm.recv<int>(0, 1);
+                         }
+                       }
+                     }),
+      rt::RankFailureError);
+
+  const auto path = dir / "blackbox.rank1.json";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(read_file(path)).parse(root));
+  EXPECT_EQ(static_cast<int>(root.find("rank")->number), 1);
+  EXPECT_FALSE(root.find("reason")->str.empty());
+  const JsonValue* events = root.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->array.empty());
+  bool saw_recv = false, saw_retransmit = false;
+  for (const JsonValue& e : events->array) {
+    const std::string& kind = e.find("kind")->str;
+    if (kind == "recv") saw_recv = true;
+    if (kind == "retransmit") saw_retransmit = true;
+  }
+  EXPECT_TRUE(saw_recv);
+  // drop_prob 0.5 over dozens of frames: the victim-receiver re-requested
+  // at least one lost frame before dying, on either backend.
+  EXPECT_TRUE(saw_retransmit);
+  std::filesystem::remove_all(dir);
+}
+
+/// --- live step telemetry ----------------------------------------------------
+
+TEST(Telemetry, DisabledStepIsANoOp) {
+  ASSERT_FALSE(telemetry_enabled());
+  telemetry_step({});  // must not crash or create files
+}
+
+TEST(Telemetry, WritesParseableJsonlWithPerRankStepIndex) {
+  const auto dir = fresh_temp_dir("telemetry");
+  const auto path = dir / "steps.jsonl";
+  {
+    TelemetryGuard guard(path.string(), /*flush_every=*/1);
+    ASSERT_TRUE(telemetry_enabled());
+    TelemetryRecord rec;
+    rec.rank = 0;
+    rec.loss = 1.5;
+    rec.grad_norm = 0.25;
+    rec.forward_s = 0.01;
+    rec.demanded = 64;
+    rec.routed = 60;
+    rec.dropped = 4;
+    telemetry_step(rec);
+    rec.loss = 1.25;
+    telemetry_step(rec);
+    rec.rank = 1;  // independent step counter per rank
+    telemetry_step(rec);
+    flush_telemetry();
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good()) << path;
+    std::vector<JsonValue> lines;
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      JsonValue v;
+      ASSERT_TRUE(JsonParser(line).parse(v)) << line;
+      lines.push_back(std::move(v));
+    }
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(static_cast<int>(lines[0].find("step")->number), 0);
+    EXPECT_EQ(static_cast<int>(lines[1].find("step")->number), 1);
+    EXPECT_EQ(static_cast<int>(lines[2].find("step")->number), 0);  // rank 1
+    EXPECT_DOUBLE_EQ(lines[0].find("loss")->number, 1.5);
+    EXPECT_DOUBLE_EQ(lines[1].find("loss")->number, 1.25);
+    EXPECT_EQ(static_cast<int>(lines[2].find("rank")->number), 1);
+    for (const char* key :
+         {"ts_us", "grad_norm", "forward_s", "total_s", "demanded", "dropped",
+          "retransmits", "crc_failures", "step_p50_s", "step_p99_s"}) {
+      ASSERT_NE(lines[0].find(key), nullptr) << key;
+    }
+    EXPECT_EQ(lines[0].find("applied")->kind, JsonValue::Kind::kBool);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Telemetry, DistTrainerEmitsOneLinePerRankPerStep) {
+  const auto config = tiny_config();
+  const auto dir = fresh_temp_dir("telemetry_dist");
+  const auto path = dir / "dist.jsonl";
+  {
+    TelemetryGuard guard(path.string(), /*flush_every=*/1);
+    rt::World::run(2, [&](rt::Communicator& world) {
+      Registry local;
+      ScopedRegistry bind(local);
+      const parallel::MoDaLayout layout = parallel::MoDaLayout::make(2, 1);
+      parallel::DistMoETransformerLM lm(world, layout, config, Rng(17));
+      train::Adam adam(1e-3);
+      parallel::DistTrainer trainer(world, lm, adam);
+      train::MarkovTokenStream stream(
+          config.vocab, 0.05, 500 + static_cast<unsigned>(world.rank()));
+      for (int s = 0; s < 2; ++s) {
+        const train::Batch batch = stream.next_batch(2, config.seq_len);
+        (void)trainer.train_step(batch);
+      }
+    });
+    flush_telemetry();
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good()) << path;
+    std::map<int, int> lines_per_rank;
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      JsonValue v;
+      ASSERT_TRUE(JsonParser(line).parse(v)) << line;
+      ++lines_per_rank[static_cast<int>(v.find("rank")->number)];
+      EXPECT_GT(v.find("total_s")->number, 0.0);
+      EXPECT_GT(v.find("routed")->number, 0.0);
+    }
+    EXPECT_EQ(lines_per_rank[0], 2);
+    EXPECT_EQ(lines_per_rank[1], 2);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+/// --- trace merge ------------------------------------------------------------
+
+void write_synthetic_trace(const std::filesystem::path& path, int rank,
+                           std::int64_t offset_us, const std::string& events) {
+  std::ofstream os(path, std::ios::trunc);
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"rank\":" << rank
+     << ",\"clockOffsetUs\":" << offset_us << "},\"traceEvents\":[" << events
+     << "]}\n";
+}
+
+TEST(TraceMerge, AlignsTimestampsAndPairsFlows) {
+  const auto dir = fresh_temp_dir("merge");
+  std::filesystem::create_directories(dir);
+  // Rank 0 is the reference clock; rank 1's clock lags 1000 us behind (its
+  // local timestamps need +1000 to land on rank 0's axis).
+  write_synthetic_trace(
+      dir / "trace.rank0.json", 0, 0,
+      "{\"name\":\"step\",\"cat\":\"bgl\",\"ph\":\"X\",\"ts\":100,"
+      "\"dur\":50,\"pid\":0,\"tid\":1},"
+      "{\"name\":\"msg\",\"cat\":\"bgl.flow\",\"ph\":\"s\",\"id\":42,"
+      "\"ts\":110,\"pid\":0,\"tid\":1}");
+  write_synthetic_trace(
+      dir / "trace.rank1.json", 1, 1000,
+      "{\"name\":\"msg\",\"cat\":\"bgl.flow\",\"ph\":\"f\",\"id\":42,"
+      "\"ts\":-850,\"pid\":1,\"tid\":2,\"bp\":\"e\"}");
+
+  const auto out = dir / "merged.json";
+  const MergeSummary s = merge_traces(dir.string(), out.string());
+  EXPECT_EQ(s.files, 2);
+  EXPECT_EQ(s.events, 3u);
+  EXPECT_EQ(s.flow_pairs, 1u);
+  EXPECT_EQ(s.unmatched_flows, 0u);
+  // recv at -850 + 1000 = 150 aligned; send at 110: arrow spans 40 us.
+  EXPECT_EQ(s.min_flow_delta_us, 40);
+  EXPECT_EQ(s.max_flow_delta_us, 40);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(read_file(out)).parse(root));
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 3u);
+  // Events are sorted by aligned timestamp; the recv landed on the shared
+  // axis at 150.
+  std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+  for (const JsonValue& e : events->array) {
+    const auto ts = static_cast<std::int64_t>(e.find("ts")->number);
+    EXPECT_GE(ts, prev);
+    prev = ts;
+  }
+  const JsonValue& last = events->array.back();
+  EXPECT_EQ(last.find("ph")->str, "f");
+  EXPECT_EQ(static_cast<std::int64_t>(last.find("ts")->number), 150);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceMerge, UnmatchedFlowsAreCountedNotPaired) {
+  const auto dir = fresh_temp_dir("merge_unmatched");
+  std::filesystem::create_directories(dir);
+  write_synthetic_trace(
+      dir / "trace.rank0.json", 0, 0,
+      "{\"name\":\"msg\",\"cat\":\"bgl.flow\",\"ph\":\"s\",\"id\":7,"
+      "\"ts\":10,\"pid\":0,\"tid\":1}");
+  const MergeSummary s =
+      merge_traces(dir.string(), (dir / "merged.json").string());
+  EXPECT_EQ(s.flow_pairs, 0u);
+  EXPECT_EQ(s.unmatched_flows, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceMerge, RejectsEmptyDirectory) {
+  const auto dir = fresh_temp_dir("merge_empty");
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW(merge_traces(dir.string(), (dir / "out.json").string()),
+               Error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceMerge, EndToEndFromRealRun) {
+  // Full loop: traced 2-rank run -> per-rank files with clock offsets ->
+  // merged timeline whose flow arrows all point forward in aligned time.
+  const auto dir = fresh_temp_dir("merge_e2e");
+  {
+    TraceGuard guard(dir.string());
+    rt::World::run(2, [](rt::Communicator& comm) {
+      for (int k = 0; k < 8; ++k) {
+        if (comm.rank() == 0) {
+          comm.send<int>(1, 3, std::vector<int>{k});
+          (void)comm.recv<int>(1, 4);
+        } else {
+          (void)comm.recv<int>(0, 3);
+          comm.send<int>(0, 4, std::vector<int>{k});
+        }
+      }
+    });
+    flush_trace();
+    const auto out = dir / "merged.json";
+    const MergeSummary s = merge_traces(dir.string(), out.string());
+    EXPECT_EQ(s.files, 2);
+    EXPECT_GE(s.flow_pairs, 16u);  // 8 each way
+    // Thread mode shares one clock anchor, so arrows must point forward
+    // (allow the merge tool's documented 1 ms estimate slack).
+    EXPECT_GE(s.min_flow_delta_us, -1000);
   }
   std::filesystem::remove_all(dir);
 }

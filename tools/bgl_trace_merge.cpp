@@ -1,0 +1,70 @@
+// CLI wrapper around obs::merge_traces (DESIGN.md §13).
+//
+//   bgl_trace_merge <trace-dir> [-o merged.json] [--check]
+//
+// Fuses <trace-dir>/trace.rank*.json (per-rank Chrome traces with
+// clockOffsetUs metadata from the world-setup clock sync) into one aligned
+// timeline with send→recv flow arrows. --check exits nonzero unless at
+// least one flow pair matched and every arrow points forward in aligned
+// time (1 ms of slack for residual offset-estimate error) — the SPMD ctest
+// cell runs in this mode.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/error.hpp"
+#include "obs/trace_merge.hpp"
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string out;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "unknown option: " << argv[i] << '\n'
+                << "usage: bgl_trace_merge <trace-dir> [-o merged.json]"
+                   " [--check]\n";
+      return 2;
+    } else {
+      dir = argv[i];
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "usage: bgl_trace_merge <trace-dir> [-o merged.json]"
+                 " [--check]\n";
+    return 2;
+  }
+  if (out.empty()) out = dir + "/merged.json";
+
+  try {
+    const bgl::obs::MergeSummary s = bgl::obs::merge_traces(dir, out);
+    std::cout << "merged " << s.files << " rank traces, " << s.events
+              << " events -> " << out << "\nflow arrows: " << s.flow_pairs
+              << " matched, " << s.unmatched_flows << " unmatched";
+    if (s.flow_pairs > 0)
+      std::cout << ", aligned recv-send delta [" << s.min_flow_delta_us
+                << ", " << s.max_flow_delta_us << "] us";
+    std::cout << '\n';
+    if (check) {
+      if (s.flow_pairs == 0) {
+        std::cerr << "CHECK FAILED: no send->recv flow arrows matched\n";
+        return 1;
+      }
+      if (s.min_flow_delta_us < -1000) {
+        std::cerr << "CHECK FAILED: flow arrow points backward by "
+                  << -s.min_flow_delta_us
+                  << " us in aligned time (clock offsets inconsistent)\n";
+        return 1;
+      }
+      std::cout << "CHECK OK: aligned timeline is consistent\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bgl_trace_merge: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
