@@ -7,25 +7,26 @@
 #include "tensor/ops.hpp"
 
 namespace bgl::model {
-namespace {
 
-/// Samples the next token from one logits row.
-std::int32_t sample_row(std::span<const float> row,
-                        const GenerateOptions& options, Rng& rng) {
+std::int32_t sample_logits_row(std::span<const float> row,
+                               const GenerateOptions& options, Rng& rng) {
   const std::size_t v = row.size();
   if (options.temperature <= 0.0) {
     return static_cast<std::int32_t>(
         std::max_element(row.begin(), row.end()) - row.begin());
   }
-  // Candidate set: all tokens or the top-k.
+  // Candidate set: all tokens or the top-k. Ties order by token id so the
+  // set is unique — with top_k == 1 this is exactly the greedy argmax
+  // (max_element also keeps the first of equal maxima).
   std::vector<std::int32_t> candidates(v);
   std::iota(candidates.begin(), candidates.end(), 0);
   if (options.top_k > 0 && static_cast<std::size_t>(options.top_k) < v) {
     std::partial_sort(candidates.begin(),
                       candidates.begin() + options.top_k, candidates.end(),
                       [&](std::int32_t a, std::int32_t b) {
-                        return row[static_cast<std::size_t>(a)] >
-                               row[static_cast<std::size_t>(b)];
+                        const float pa = row[static_cast<std::size_t>(a)];
+                        const float pb = row[static_cast<std::size_t>(b)];
+                        return pa > pb || (pa == pb && a < b);
                       });
     candidates.resize(static_cast<std::size_t>(options.top_k));
   }
@@ -48,8 +49,6 @@ std::int32_t sample_row(std::span<const float> row,
   }
   return candidates.back();
 }
-
-}  // namespace
 
 std::vector<std::int32_t> generate(MoETransformerLM& lm,
                                    std::span<const std::int32_t> prompt,
@@ -76,7 +75,47 @@ std::vector<std::int32_t> generate(MoETransformerLM& lm,
     const std::span<const float> row(
         all.data() + static_cast<std::int64_t>(len - 1) * vocab,
         static_cast<std::size_t>(vocab));
-    out.push_back(sample_row(row, options, rng));
+    out.push_back(sample_logits_row(row, options, rng));
+  }
+  lm.set_training(true);
+  return out;
+}
+
+std::vector<std::int32_t> generate_incremental(
+    MoETransformerLM& lm, std::span<const std::int32_t> prompt,
+    const GenerateOptions& options, Rng& rng) {
+  const std::int64_t window = lm.config().seq_len;
+  BGL_ENSURE(!prompt.empty(), "generate_incremental() needs a prompt");
+  BGL_ENSURE(static_cast<std::int64_t>(prompt.size()) <= window,
+             "prompt length " << prompt.size() << " exceeds seq_len "
+                              << window);
+  lm.set_training(false);
+
+  DecodeScratch scratch = lm.make_decode_scratch();
+  DecodeState state = lm.make_decode_state();
+  const std::size_t vocab = static_cast<std::size_t>(lm.config().vocab);
+
+  std::vector<std::int32_t> out(prompt.begin(), prompt.end());
+  // Prefill: the last prompt position's logits feed the first sample.
+  Tensor logits;
+  for (const std::int32_t tok : prompt)
+    logits = lm.forward_decode(tok, scratch, state);
+
+  for (std::int64_t step = 0; step < options.max_new_tokens; ++step) {
+    const auto row = logits.f32();
+    out.push_back(sample_logits_row({row.data(), vocab}, options, rng));
+    if (step + 1 == options.max_new_tokens) break;
+    if (state.len == window) {
+      // The window slides: every surviving token shifts one position, so
+      // the cached K/V and expert loads are stale. Re-prefill from the
+      // last window's worth of tokens — the oracle's window content.
+      scratch.zero();
+      state.reset();
+      for (auto it = out.end() - static_cast<std::ptrdiff_t>(window);
+           it != out.end() - 1; ++it)
+        lm.forward_decode(*it, scratch, state);
+    }
+    logits = lm.forward_decode(out.back(), scratch, state);
   }
   lm.set_training(true);
   return out;

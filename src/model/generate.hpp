@@ -12,9 +12,18 @@ struct GenerateOptions {
   std::int64_t max_new_tokens = 16;
   /// Softmax temperature; <= 0 means greedy argmax decoding.
   double temperature = 1.0;
-  /// Restrict sampling to the k most likely tokens (0 = no restriction).
+  /// Restrict sampling to the k most likely tokens. <= 0 or >= vocab means
+  /// unrestricted; 1 always picks the argmax (same token greedy decoding
+  /// would pick — ties break toward the lowest token id on both paths).
   int top_k = 0;
 };
+
+/// Samples the next token from one [vocab] logits row. Deterministic given
+/// the rng state: equal logits are ordered by token id, so the candidate
+/// set of a top-k restriction is unique. Exposed so the serving engine can
+/// sample from incremental-decode logits with the exact generate() policy.
+std::int32_t sample_logits_row(std::span<const float> row,
+                               const GenerateOptions& options, Rng& rng);
 
 /// Generates a continuation of `prompt` (non-empty, at most seq_len
 /// tokens). Uses a sliding window of the model's seq_len; padding beyond
@@ -23,5 +32,15 @@ struct GenerateOptions {
 std::vector<std::int32_t> generate(MoETransformerLM& lm,
                                    std::span<const std::int32_t> prompt,
                                    const GenerateOptions& options, Rng& rng);
+
+/// KV-cached generation: bitwise-identical tokens to generate() on the same
+/// rng stream, but each step runs the model over one position instead of
+/// the whole window (O(1) per token while the output fits in seq_len; the
+/// serving conformance suite in tests/serve_test.cpp pins the equality).
+/// Once the window slides, the cache is re-prefilled from the surviving
+/// tokens, matching the oracle's per-step window re-forward semantics.
+std::vector<std::int32_t> generate_incremental(
+    MoETransformerLM& lm, std::span<const std::int32_t> prompt,
+    const GenerateOptions& options, Rng& rng);
 
 }  // namespace bgl::model

@@ -2,6 +2,17 @@
 
 namespace bgl::model {
 
+void DecodeScratch::zero() {
+  for (Tensor& t : k) ops::zero_(t);
+  for (Tensor& t : v) ops::zero_(t);
+}
+
+void DecodeState::reset() {
+  for (auto& used : moe_used) std::fill(used.begin(), used.end(), 0);
+  len = 0;
+  routed.clear();
+}
+
 MoETransformerLM::MoETransformerLM(const MoEModelConfig& config, Rng& rng)
     : config_(config),
       embedding_(config.vocab, config.d_model, rng, "tok_embedding"),
@@ -50,6 +61,62 @@ Tensor MoETransformerLM::forward(std::span<const std::int32_t> tokens) {
     ops::add_(x, block->attn->forward(block->ln1->forward(x)));
     ops::add_(x, block->moe->forward(block->ln2->forward(x)));
   }
+  return head_.forward(final_ln_.forward(x));
+}
+
+DecodeScratch MoETransformerLM::make_decode_scratch() const {
+  DecodeScratch scratch;
+  for (std::int64_t l = 0; l < config_.n_layers; ++l) {
+    scratch.k.push_back(Tensor::zeros({config_.seq_len, config_.d_model}));
+    scratch.v.push_back(Tensor::zeros({config_.seq_len, config_.d_model}));
+  }
+  return scratch;
+}
+
+DecodeState MoETransformerLM::make_decode_state() const {
+  DecodeState state;
+  state.moe_used.assign(
+      static_cast<std::size_t>(config_.n_layers),
+      std::vector<std::int64_t>(static_cast<std::size_t>(config_.num_experts),
+                                0));
+  return state;
+}
+
+Tensor MoETransformerLM::forward_decode(std::int32_t token,
+                                        DecodeScratch& scratch,
+                                        DecodeState& state) {
+  BGL_ENSURE(state.len < config_.seq_len,
+             "decode session is full (" << state.len << " rows, window "
+                                        << config_.seq_len
+                                        << "); slide/re-prefill instead");
+  BGL_CHECK(static_cast<std::int64_t>(scratch.k.size()) == config_.n_layers &&
+            static_cast<std::int64_t>(state.moe_used.size()) ==
+                config_.n_layers);
+  const std::int64_t pos = state.len;
+
+  Tensor x = embedding_.forward({&token, 1});
+  {
+    auto px = x.f32();
+    auto pp = pos_embedding_.value.f32();
+    const std::int64_t d = config_.d_model;
+    for (std::int64_t c = 0; c < d; ++c) px[c] += pp[pos * d + c];
+  }
+  state.routed.clear();
+  std::vector<int> executed;
+  int l = 0;
+  for (const auto& block : blocks_) {
+    const std::size_t sl = static_cast<std::size_t>(l);
+    ops::add_(x, block->attn->forward_cached(block->ln1->forward(x),
+                                             scratch.k[sl], scratch.v[sl],
+                                             pos));
+    executed.clear();
+    ops::add_(x, block->moe->forward_decode(block->ln2->forward(x),
+                                            config_.seq_len,
+                                            state.moe_used[sl], &executed));
+    for (const int e : executed) state.routed.emplace_back(l, e);
+    ++l;
+  }
+  state.len = pos + 1;
   return head_.forward(final_ln_.forward(x));
 }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <span>
+#include <utility>
 
 #include "model/config.hpp"
 #include "moe/moe_layer.hpp"
@@ -19,6 +20,31 @@
 
 namespace bgl::model {
 
+/// Per-layer K/V scratch for the incremental decode path (DESIGN.md §14):
+/// [seq_len, d_model] tensors per layer, rows >= the session length zeroed.
+/// The serving engine re-materializes these from its paged block pool
+/// before every step and shares one scratch across all sequences; the
+/// simple in-process path lets the rows simply accumulate.
+struct DecodeScratch {
+  std::vector<Tensor> k;  // n_layers x [seq_len, d_model]
+  std::vector<Tensor> v;
+
+  void zero();
+};
+
+/// Per-sequence incremental decode state: how many window rows are cached
+/// and the per-layer expert loads those rows consumed (the counters that
+/// make single-row MoE routing bitwise-equal to the batched plan).
+struct DecodeState {
+  std::vector<std::vector<std::int64_t>> moe_used;  // n_layers x num_experts
+  std::int64_t len = 0;  // cached rows == next window position
+  /// (layer, expert) pairs executed by the last forward_decode, in
+  /// execution order — the serving expert-weight cache consumes this.
+  std::vector<std::pair<int, int>> routed;
+
+  void reset();
+};
+
 class MoETransformerLM {
  public:
   MoETransformerLM(const MoEModelConfig& config, Rng& rng);
@@ -26,6 +52,18 @@ class MoETransformerLM {
   /// tokens.size() must be a multiple of config.seq_len. Returns logits
   /// [tokens, vocab].
   Tensor forward(std::span<const std::int32_t> tokens);
+
+  /// Incremental (KV-cached) decode of one token at window position
+  /// state.len: O(1) layer passes instead of re-running the whole window.
+  /// Returns the [1, vocab] logits row — bitwise-identical to the
+  /// corresponding row of forward() over the end-padded window (see
+  /// DESIGN.md §14 for the argument). Eval-mode serving path: overwrites
+  /// activation caches, so never interleave with a pending backward().
+  Tensor forward_decode(std::int32_t token, DecodeScratch& scratch,
+                        DecodeState& state);
+
+  [[nodiscard]] DecodeScratch make_decode_scratch() const;
+  [[nodiscard]] DecodeState make_decode_state() const;
 
   /// Backpropagates dL/dlogits through the whole stack, accumulating all
   /// parameter gradients.

@@ -82,6 +82,74 @@ std::vector<std::int64_t> DispatchPlan::actual_load() const {
   return load;
 }
 
+std::int64_t plan_capacity(std::int64_t n_tokens, const GateConfig& config) {
+  // capacity = max(1, ceil(cf * N * k / E)).
+  return static_cast<std::int64_t>(std::max(
+      1.0, std::ceil(config.capacity_factor * static_cast<double>(n_tokens) *
+                     config.top_k / static_cast<double>(config.num_experts))));
+}
+
+std::int64_t route_token_row(std::span<const float> row,
+                             const GateConfig& config, std::int64_t capacity,
+                             std::int32_t token, std::span<std::int64_t> used,
+                             std::span<std::int64_t> demanded_load,
+                             std::vector<std::int32_t>& order_scratch,
+                             std::vector<Assignment>& out) {
+  BGL_CHECK(static_cast<int>(row.size()) == config.num_experts);
+  BGL_CHECK(used.size() == row.size() && demanded_load.size() == row.size());
+  order_scratch.resize(row.size());
+  std::iota(order_scratch.begin(), order_scratch.end(), 0);
+  std::stable_sort(order_scratch.begin(), order_scratch.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return row[static_cast<std::size_t>(a)] >
+                            row[static_cast<std::size_t>(b)];
+                   });
+  // Demanded load counts the un-capacitated top-k routing.
+  for (int k = 0; k < config.top_k; ++k)
+    ++demanded_load[static_cast<std::size_t>(
+        order_scratch[static_cast<std::size_t>(k)])];
+
+  // Combine weights over the selected experts.
+  float norm = 1.0f;
+  if (config.normalize_topk && config.top_k > 1) {
+    float s = 0.0f;
+    for (int k = 0; k < config.top_k; ++k)
+      s += row[static_cast<std::size_t>(
+          order_scratch[static_cast<std::size_t>(k)])];
+    norm = s > 0.0f ? 1.0f / s : 1.0f;
+  }
+
+  std::int64_t dropped = 0;
+  for (int k = 0; k < config.top_k; ++k) {
+    const std::int32_t expert = order_scratch[static_cast<std::size_t>(k)];
+    if (used[static_cast<std::size_t>(expert)] < capacity) {
+      ++used[static_cast<std::size_t>(expert)];
+      out.push_back(
+          {token, expert, row[static_cast<std::size_t>(expert)] * norm});
+      continue;
+    }
+    if (config.balanced_redispatch) {
+      // BaGuaLu-style bounded load: walk the remaining experts in
+      // preference order and take the first with free capacity.
+      bool placed = false;
+      for (std::size_t j = static_cast<std::size_t>(config.top_k);
+           j < order_scratch.size(); ++j) {
+        const std::int32_t alt = order_scratch[j];
+        if (used[static_cast<std::size_t>(alt)] < capacity) {
+          ++used[static_cast<std::size_t>(alt)];
+          out.push_back(
+              {token, alt, row[static_cast<std::size_t>(alt)] * norm});
+          placed = true;
+          break;
+        }
+      }
+      if (placed) continue;
+    }
+    ++dropped;
+  }
+  return dropped;
+}
+
 DispatchPlan build_dispatch_plan(const Tensor& probs,
                                  const GateConfig& config) {
   config.validate();
@@ -94,64 +162,26 @@ DispatchPlan build_dispatch_plan(const Tensor& probs,
 
   DispatchPlan plan;
   plan.demanded_load.assign(static_cast<std::size_t>(e_count), 0);
-  // capacity = max(1, ceil(cf * N * k / E)).
-  plan.capacity = static_cast<std::int64_t>(
-      std::max(1.0, std::ceil(config.capacity_factor * static_cast<double>(n) *
-                              config.top_k / static_cast<double>(e_count))));
+  plan.capacity = plan_capacity(n, config);
 
   auto pp = probs.f32();
   std::vector<std::int64_t> used(static_cast<std::size_t>(e_count), 0);
   std::vector<std::vector<Assignment>> per_expert(
       static_cast<std::size_t>(e_count));
-  std::vector<std::int32_t> order(static_cast<std::size_t>(e_count));
+  std::vector<std::int32_t> order;
+  std::vector<Assignment> row_out;
 
   for (std::int64_t t = 0; t < n; ++t) {
     const float* row = pp.data() + t * e_count;
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::int32_t a, std::int32_t b) {
-                       return row[a] > row[b];
-                     });
-    // Demanded load counts the un-capacitated top-k routing.
-    for (int k = 0; k < config.top_k; ++k)
-      ++plan.demanded_load[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])];
-
-    // Combine weights over the selected experts.
-    float norm = 1.0f;
-    if (config.normalize_topk && config.top_k > 1) {
-      float s = 0.0f;
-      for (int k = 0; k < config.top_k; ++k)
-        s += row[order[static_cast<std::size_t>(k)]];
-      norm = s > 0.0f ? 1.0f / s : 1.0f;
-    }
-
-    for (int k = 0; k < config.top_k; ++k) {
-      const std::int32_t expert = order[static_cast<std::size_t>(k)];
-      if (used[static_cast<std::size_t>(expert)] < plan.capacity) {
-        ++used[static_cast<std::size_t>(expert)];
-        per_expert[static_cast<std::size_t>(expert)].push_back(
-            {static_cast<std::int32_t>(t), expert, row[expert] * norm});
-        continue;
-      }
-      if (config.balanced_redispatch) {
-        // BaGuaLu-style bounded load: walk the remaining experts in
-        // preference order and take the first with free capacity.
-        bool placed = false;
-        for (std::size_t j = static_cast<std::size_t>(config.top_k);
-             j < order.size(); ++j) {
-          const std::int32_t alt = order[j];
-          if (used[static_cast<std::size_t>(alt)] < plan.capacity) {
-            ++used[static_cast<std::size_t>(alt)];
-            per_expert[static_cast<std::size_t>(alt)].push_back(
-                {static_cast<std::int32_t>(t), alt, row[alt] * norm});
-            placed = true;
-            break;
-          }
-        }
-        if (placed) continue;
-      }
-      ++plan.dropped;
-    }
+    row_out.clear();
+    plan.dropped += route_token_row(
+        {row, static_cast<std::size_t>(e_count)}, config, plan.capacity,
+        static_cast<std::int32_t>(t), used, plan.demanded_load, order,
+        row_out);
+    // Regroup by expert: each token contributes at most one assignment per
+    // expert, so appending in token order reproduces the grouped layout.
+    for (const Assignment& a : row_out)
+      per_expert[static_cast<std::size_t>(a.expert)].push_back(a);
   }
 
   plan.expert_offsets.assign(static_cast<std::size_t>(e_count) + 1, 0);

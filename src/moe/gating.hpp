@@ -97,6 +97,29 @@ void record_dispatch_metrics(const DispatchPlan& plan);
 /// deterministic tie-breaking extensions.
 DispatchPlan build_dispatch_plan(const Tensor& probs, const GateConfig& config);
 
+/// Plan-wide capacity for a batch of `n_tokens` rows:
+/// max(1, ceil(cf * N * k / E)). Shared by build_dispatch_plan and the
+/// serving decode path, which must agree on the slot budget bitwise.
+[[nodiscard]] std::int64_t plan_capacity(std::int64_t n_tokens,
+                                         const GateConfig& config);
+
+/// Routes one token row under shared capacity counters — the per-token body
+/// of build_dispatch_plan, exposed so the serving decode path (DESIGN.md
+/// §14) can reproduce a window-sized batch's routing one row at a time.
+/// Slots are granted in strict row order, so a row's outcome depends only
+/// on the loads its predecessors left in `used`.
+///
+/// Appends the row's surviving assignments to `out` in selection order,
+/// increments `used` for accepted experts and `demanded_load` for the
+/// uncapacitated top-k, and returns the number of assignments lost to
+/// capacity. `order_scratch` is caller-owned scratch (resized to E).
+std::int64_t route_token_row(std::span<const float> row,
+                             const GateConfig& config, std::int64_t capacity,
+                             std::int32_t token, std::span<std::int64_t> used,
+                             std::span<std::int64_t> demanded_load,
+                             std::vector<std::int32_t>& order_scratch,
+                             std::vector<Assignment>& out);
+
 /// The GShard/Switch auxiliary balance loss: E * Σ_e f_e * P_e, where f_e is
 /// the fraction of tokens whose top-1 expert is e and P_e the mean gate
 /// probability of e. Returns the unweighted value.

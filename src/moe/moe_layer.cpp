@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace bgl::moe {
@@ -82,6 +83,53 @@ Tensor MoELayer::forward(const Tensor& x) {
       continue;
     ops::scatter_add_rows(y, expert_rows_[e], expert_outputs_[e],
                           expert_weights_[e]);
+  }
+  return y;
+}
+
+Tensor MoELayer::forward_decode(const Tensor& x_row,
+                                std::int64_t window_tokens,
+                                std::span<std::int64_t> used,
+                                std::vector<int>* executed) {
+  BGL_CHECK(x_row.ndim() == 2 && x_row.dim(0) == 1);
+  BGL_ENSURE(!training(), "forward_decode is an eval-mode (serving) path");
+  BGL_CHECK(static_cast<int>(used.size()) == config_.num_experts);
+
+  // Gate probabilities for the one row: both gates are row-local, so the
+  // single-row forward matches the row's slice of the batch forward bitwise.
+  Tensor probs = two_gate_ ? two_gate_->forward(x_row)
+                           : ops::row_softmax(gate_.forward(x_row));
+  auto prow = probs.f32();
+
+  // Route as the last row of the oracle's padded window: same plan-wide
+  // capacity, predecessor loads supplied by the caller.
+  const std::int64_t capacity = plan_capacity(window_tokens, config_);
+  std::vector<std::int64_t> demanded(
+      static_cast<std::size_t>(config_.num_experts), 0);
+  std::vector<std::int32_t> order;
+  std::vector<Assignment> routed;
+  const std::int64_t dropped = route_token_row(
+      {prow.data(), static_cast<std::size_t>(config_.num_experts)}, config_,
+      capacity, /*token=*/0, used, demanded, order, routed);
+
+  // Combine in ascending expert order — the order the batch forward's
+  // serial phase-2 loop accumulates partial outputs in.
+  std::sort(routed.begin(), routed.end(),
+            [](const Assignment& a, const Assignment& b) {
+              return a.expert < b.expert;
+            });
+  Tensor y = Tensor::zeros(x_row.shape());
+  static const std::int32_t kRow0[] = {0};
+  for (const Assignment& a : routed) {
+    const Tensor out =
+        experts_[static_cast<std::size_t>(a.expert)]->forward(x_row);
+    ops::scatter_add_rows(y, kRow0, out, {&a.gate_weight, 1});
+    if (executed != nullptr) executed->push_back(a.expert);
+  }
+  if (obs::metrics_enabled()) {
+    obs::count("moe.decode.tokens");
+    obs::count("moe.decode.routed", static_cast<std::int64_t>(routed.size()));
+    obs::count("moe.decode.dropped", dropped);
   }
   return y;
 }

@@ -31,6 +31,21 @@ class MoELayer : public nn::Layer {
 
   Tensor backward(const Tensor& dy) override;
 
+  /// Serving decode path (DESIGN.md §14): routes a single row exactly as it
+  /// would route as the *last* row of a `window_tokens`-sized batch whose
+  /// earlier rows already consumed the slots in `used`. Because
+  /// build_dispatch_plan grants capacity in strict row order, the result is
+  /// bitwise-identical to that row of the batch forward. `used` carries the
+  /// per-expert loads of the window's earlier rows and is bumped by this
+  /// row's acceptances; `executed` (optional) collects the experts that ran,
+  /// in ascending index order (the batch combine order). Eval-mode only —
+  /// noisy gating would consume the noise stream differently than the batch
+  /// forward — and, like forward(), it overwrites the layer's activation
+  /// caches: never interleave it between a training forward and backward.
+  Tensor forward_decode(const Tensor& x_row, std::int64_t window_tokens,
+                        std::span<std::int64_t> used,
+                        std::vector<int>* executed = nullptr);
+
   std::vector<nn::Parameter*> parameters() override;
 
   /// Routing of the last forward (for load statistics / tests).

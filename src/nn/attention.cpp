@@ -93,6 +93,45 @@ Tensor MultiHeadAttention::forward(const Tensor& x) {
   return wo_.forward(concat);
 }
 
+Tensor MultiHeadAttention::forward_cached(const Tensor& x_row, Tensor& k_cache,
+                                          Tensor& v_cache, std::int64_t pos) {
+  BGL_ENSURE(x_row.ndim() == 2 && x_row.dim(0) == 1 && x_row.dim(1) == d_model_,
+             "forward_cached expects one [1, " << d_model_ << "] row");
+  BGL_CHECK(pos >= 0 && pos < seq_len_);
+  BGL_CHECK(k_cache.ndim() == 2 && k_cache.dim(0) == seq_len_ &&
+            k_cache.dim(1) == d_model_);
+  BGL_CHECK(v_cache.same_shape(k_cache));
+
+  const Tensor q = wq_.forward(x_row);
+  {
+    // Append this position's projections to the cache.
+    const Tensor k = wk_.forward(x_row);
+    const Tensor v = wv_.forward(x_row);
+    auto pk = k.f32();
+    auto pv = v.f32();
+    std::copy(pk.begin(), pk.end(), k_cache.f32().data() + pos * d_model_);
+    std::copy(pv.begin(), pv.end(), v_cache.f32().data() + pos * d_model_);
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Tensor concat = Tensor::zeros({1, d_model_});
+  for (std::int64_t h = 0; h < heads_; ++h) {
+    const std::int64_t col0 = h * d_head_;
+    const Tensor qh = extract_block(q, 0, 1, col0, d_head_);
+    const Tensor kh = extract_block(k_cache, 0, seq_len_, col0, d_head_);
+    const Tensor vh = extract_block(v_cache, 0, seq_len_, col0, d_head_);
+    Tensor scores = ops::matmul_nt(qh, kh);  // [1, seq_len]
+    ops::scale_(scores, scale);
+    auto ps = scores.f32();
+    for (std::int64_t j = pos + 1; j < seq_len_; ++j)
+      ps[j] = -std::numeric_limits<float>::infinity();
+    const Tensor probs = ops::row_softmax(scores);
+    const Tensor out = ops::matmul(probs, vh);  // [1, d_head]
+    add_block(concat, 0, col0, out);
+  }
+  return wo_.forward(concat);
+}
+
 Tensor MultiHeadAttention::backward(const Tensor& dy) {
   BGL_CHECK(cached_batch_ > 0);
   const Tensor dconcat = wo_.backward(dy);

@@ -19,6 +19,19 @@ class MultiHeadAttention : public Layer {
   Tensor backward(const Tensor& dy) override;
   std::vector<Parameter*> parameters() override;
 
+  /// KV-cached single-position forward (serving decode; DESIGN.md §14).
+  /// `x_row` is the [1, d_model] input at window position `pos`; `k_cache` /
+  /// `v_cache` are caller-owned [seq_len, d_model] tensors holding the
+  /// projected K/V of positions [0, pos) with rows >= pos zeroed. The new
+  /// position's projections are written into row `pos`, then the row
+  /// attends over the cache. Bitwise-identical to row `pos` of forward()
+  /// over the padded window: the causal -inf mask covers exactly the
+  /// positions whose K differ from the oracle's padding, and the masked
+  /// probabilities are exact zeros, so the zero V rows contribute the same
+  /// +0.0 terms. Overwrites the attention activation caches like forward().
+  Tensor forward_cached(const Tensor& x_row, Tensor& k_cache, Tensor& v_cache,
+                        std::int64_t pos);
+
   [[nodiscard]] std::int64_t num_heads() const { return heads_; }
 
  private:

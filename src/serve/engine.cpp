@@ -1,0 +1,287 @@
+#include "serve/engine.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace bgl::serve {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Optional strict integer env override: unset keeps `fallback`, anything
+/// malformed or out of range fails loudly (transport.cpp discipline — a
+/// typo in a serving knob must never silently become a wrong deployment).
+std::int64_t env_or(const char* name, std::int64_t lo, std::int64_t hi,
+                    std::int64_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  BGL_ENSURE(errno != ERANGE, name << "='" << text << "' overflows");
+  BGL_ENSURE(end != text && *end == '\0',
+             name << "='" << text << "' is not an integer");
+  BGL_ENSURE(v >= lo && v <= hi, name << "=" << v << " out of range ["
+                                      << lo << ", " << hi << "]");
+  return v;
+}
+
+/// Nearest-rank percentile of an unsorted sample (deterministic; 0 when
+/// empty).
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  auto rank = static_cast<std::size_t>(std::max(1.0, std::ceil(q * n)));
+  rank = std::min(rank, xs.size());
+  return xs[rank - 1];
+}
+
+}  // namespace
+
+EngineOptions EngineOptions::from_env() {
+  EngineOptions o;
+  o.max_batch = env_or("BGL_SERVE_MAX_BATCH", 1, 4096, o.max_batch);
+  o.block_tokens = env_or("BGL_SERVE_BLOCK_TOKENS", 1, 1 << 20,
+                          o.block_tokens);
+  o.num_blocks = env_or("BGL_SERVE_BLOCKS", 0, 1 << 30, o.num_blocks);
+  o.expert_cache_capacity =
+      env_or("BGL_SERVE_EXPERT_CACHE", 0, 1 << 20, o.expert_cache_capacity);
+  o.expert_cache_prefetch =
+      env_or("BGL_SERVE_PREFETCH", 0, 1 << 20, o.expert_cache_prefetch);
+  return o;
+}
+
+Engine::Engine(model::MoETransformerLM& lm, const EngineOptions& options)
+    : lm_(lm),
+      options_(options),
+      kv_([&] {
+        BGL_ENSURE(options.max_batch > 0, "max_batch must be positive");
+        BGL_ENSURE(options.block_tokens > 0, "block_tokens must be positive");
+        PagedKvCache::Config c;
+        c.n_layers = lm.config().n_layers;
+        c.d_model = lm.config().d_model;
+        c.seq_len = lm.config().seq_len;
+        c.block_tokens = options.block_tokens;
+        const std::int64_t per_window =
+            (c.seq_len + c.block_tokens - 1) / c.block_tokens;
+        c.num_blocks = options.num_blocks > 0
+                           ? options.num_blocks
+                           : options.max_batch * per_window;
+        return c;
+      }()),
+      scratch_(lm.make_decode_scratch()) {
+  if (options_.expert_cache_capacity > 0) {
+    ExpertCacheOptions eco;
+    eco.capacity = options_.expert_cache_capacity;
+    eco.history = options_.expert_cache_history;
+    eco.prefetch = options_.expert_cache_prefetch;
+    expert_cache_ = std::make_unique<ExpertCache>(eco);
+  }
+  // Serving is an eval-mode loop: decode must not see gate noise, and it
+  // overwrites the activation caches a pending backward() would need.
+  lm_.set_training(false);
+  restore_training_ = true;
+}
+
+Engine::~Engine() {
+  if (restore_training_) lm_.set_training(true);
+}
+
+std::int64_t Engine::max_rows(const Request& request) const {
+  // Prefill feeds |prompt| rows and each further token one more, except
+  // the last sample which is never fed back; a slide re-feeds within the
+  // same bound. This is the worst-case page footprint reserved at
+  // admission.
+  const std::int64_t rows =
+      static_cast<std::int64_t>(request.prompt.size()) +
+      request.options.max_new_tokens - 1;
+  return std::min(rows, lm_.config().seq_len);
+}
+
+void Engine::submit(Request request) {
+  BGL_ENSURE(!request.prompt.empty(), "request needs a non-empty prompt");
+  BGL_ENSURE(static_cast<std::int64_t>(request.prompt.size()) <=
+                 lm_.config().seq_len,
+             "prompt length " << request.prompt.size() << " exceeds seq_len "
+                              << lm_.config().seq_len);
+  BGL_ENSURE(request.options.max_new_tokens >= 1,
+             "request must ask for at least one token");
+  BGL_ENSURE(kv_.blocks_for(max_rows(request)) <=
+                 kv_.config().num_blocks,
+             "request " << request.id << " needs "
+                        << kv_.blocks_for(max_rows(request))
+                        << " KV blocks but the pool only has "
+                        << kv_.config().num_blocks
+                        << " — it could never be admitted");
+  for (const std::int32_t t : request.prompt)
+    BGL_CHECK(t >= 0 && t < lm_.config().vocab);
+  obs::count("serve.submitted");
+  queue_.push_back(std::move(request));
+}
+
+void Engine::admit_ready() {
+  while (!queue_.empty() &&
+         queue_.front().arrival_step <= step_ &&
+         static_cast<std::int64_t>(active_.size()) < options_.max_batch) {
+    Request& head = queue_.front();
+    auto a = std::make_unique<Active>();
+    if (!kv_.try_reserve(a->pages, max_rows(head))) break;  // backpressure
+    a->request = std::move(head);
+    queue_.pop_front();
+    a->state = lm_.make_decode_state();
+    a->tokens = a->request.prompt;
+    a->rng = Rng(a->request.seed);
+    a->admit_step = step_;
+    a->arrival_wall = now_seconds();
+    obs::count("serve.admitted");
+    obs::observe("serve.queue_wait_steps",
+                 static_cast<double>(step_ - a->request.arrival_step));
+    active_.push_back(std::move(a));
+  }
+}
+
+void Engine::feed(Active& a, std::int32_t token) {
+  const std::int64_t pos = a.state.len;
+  a.logits = lm_.forward_decode(token, scratch_, a.state);
+  // Persist the position's K/V projections into the sequence's pages so
+  // the shared scratch can be handed to the next sequence.
+  const std::int64_t d = kv_.config().d_model;
+  for (std::int64_t l = 0; l < kv_.config().n_layers; ++l) {
+    const auto pk = scratch_.k[static_cast<std::size_t>(l)].f32();
+    const auto pv = scratch_.v[static_cast<std::size_t>(l)].f32();
+    kv_.write_row(a.pages, l, pos,
+                  {pk.data() + pos * d, static_cast<std::size_t>(d)},
+                  {pv.data() + pos * d, static_cast<std::size_t>(d)});
+  }
+  a.pages.len = a.state.len;
+  if (expert_cache_) {
+    for (const auto& [layer, expert] : a.state.routed)
+      expert_cache_->on_execute(layer, expert);
+  }
+}
+
+void Engine::retire(Active& a) {
+  RequestResult r;
+  r.id = a.request.id;
+  r.tokens = std::move(a.tokens);
+  r.arrival_step = a.request.arrival_step;
+  r.admit_step = a.admit_step;
+  r.finish_step = step_;
+  kv_.release(a.pages);
+  obs::count("serve.completed");
+  obs::observe("serve.e2e_steps",
+               static_cast<double>(r.finish_step - r.arrival_step + 1));
+  results_.push_back(std::move(r));
+}
+
+bool Engine::step() {
+  if (queue_.empty() && active_.empty()) return false;
+  admit_ready();
+  occupancy_steps_ += static_cast<std::int64_t>(active_.size());
+  obs::set_gauge("serve.active", static_cast<double>(active_.size()));
+  obs::count("serve.steps");
+  if (expert_cache_) expert_cache_->begin_step();
+
+  const std::int64_t window = lm_.config().seq_len;
+  for (auto& ap : active_) {
+    Active& a = *ap;
+    const double t0 = now_seconds();
+    if (a.generated == 0) {
+      // Fresh admission: prefill the whole prompt this step. Pages are
+      // empty, so materializing hands forward_decode an all-zero cache.
+      for (std::int64_t l = 0; l < kv_.config().n_layers; ++l)
+        kv_.materialize(a.pages, l, scratch_.k[static_cast<std::size_t>(l)],
+                        scratch_.v[static_cast<std::size_t>(l)]);
+      for (const std::int32_t t : a.request.prompt) feed(a, t);
+    } else if (a.state.len == window) {
+      // Window slide: every surviving position shifts, so the pages are
+      // stale — re-prefill from the last window of tokens, exactly like
+      // generate_incremental.
+      a.state.reset();
+      a.pages.len = 0;
+      for (std::int64_t l = 0; l < kv_.config().n_layers; ++l)
+        kv_.materialize(a.pages, l, scratch_.k[static_cast<std::size_t>(l)],
+                        scratch_.v[static_cast<std::size_t>(l)]);
+      for (auto it = a.tokens.end() - static_cast<std::ptrdiff_t>(window);
+           it != a.tokens.end(); ++it)
+        feed(a, *it);
+    } else {
+      // Steady-state decode: restore this sequence's rows into the shared
+      // scratch and advance one position — O(1) model work per token.
+      for (std::int64_t l = 0; l < kv_.config().n_layers; ++l)
+        kv_.materialize(a.pages, l, scratch_.k[static_cast<std::size_t>(l)],
+                        scratch_.v[static_cast<std::size_t>(l)]);
+      feed(a, a.tokens.back());
+    }
+
+    const auto row = a.logits.f32();
+    a.tokens.push_back(model::sample_logits_row(
+        {row.data(), static_cast<std::size_t>(lm_.config().vocab)},
+        a.request.options, a.rng));
+    ++a.generated;
+    const double dt = now_seconds() - t0;
+    if (a.generated == 1) {
+      obs::observe("serve.ttft_seconds", now_seconds() - a.arrival_wall);
+      obs::observe("serve.ttft_steps",
+                   static_cast<double>(step_ - a.request.arrival_step + 1));
+    } else {
+      obs::observe("serve.token_seconds", dt);
+    }
+  }
+
+  // Retire finished sequences (eviction on completion frees their pages
+  // for the queue).
+  for (auto& ap : active_) {
+    if (ap->generated >= ap->request.options.max_new_tokens) retire(*ap);
+  }
+  std::erase_if(active_, [](const std::unique_ptr<Active>& ap) {
+    return ap->generated >= ap->request.options.max_new_tokens;
+  });
+
+  ++step_;
+  return !(queue_.empty() && active_.empty());
+}
+
+std::int64_t Engine::run() {
+  while (step()) {
+  }
+  return step_;
+}
+
+SloSummary Engine::slo_summary() const {
+  SloSummary s;
+  s.completed = static_cast<std::int64_t>(results_.size());
+  s.steps = step_;
+  std::vector<double> ttft;
+  std::vector<double> e2e;
+  double queue_sum = 0.0;
+  ttft.reserve(results_.size());
+  e2e.reserve(results_.size());
+  for (const RequestResult& r : results_) {
+    ttft.push_back(static_cast<double>(r.admit_step - r.arrival_step + 1));
+    e2e.push_back(static_cast<double>(r.finish_step - r.arrival_step + 1));
+    queue_sum += static_cast<double>(r.admit_step - r.arrival_step);
+  }
+  s.p50_ttft_steps = percentile(ttft, 0.50);
+  s.p99_ttft_steps = percentile(ttft, 0.99);
+  s.p50_e2e_steps = percentile(e2e, 0.50);
+  s.p99_e2e_steps = percentile(e2e, 0.99);
+  if (!results_.empty())
+    s.mean_queue_steps = queue_sum / static_cast<double>(results_.size());
+  if (step_ > 0)
+    s.mean_batch_occupancy = static_cast<double>(occupancy_steps_) /
+                             static_cast<double>(step_);
+  return s;
+}
+
+}  // namespace bgl::serve

@@ -1,0 +1,144 @@
+// Continuous-batching serving engine (DESIGN.md §14).
+//
+// The engine advances in discrete *steps*. Each step it (1) admits queued
+// requests — FIFO, gated by batch slots and a worst-case KV block
+// reservation (commitment-based admission: a sequence that starts can
+// always finish) — (2) runs every active sequence one decode position
+// forward through the model's KV-cached forward_decode, and (3) retires
+// finished sequences, releasing their pages. New requests join and old
+// ones leave the batch between any two steps (in-flight batching).
+//
+// The contract the conformance suite pins: every request's token stream is
+// bitwise-identical to model::generate() run alone on the same prompt,
+// options and seed, regardless of what else shares the batch. That holds
+// because each sequence's step consumes only its own pages, its own
+// DecodeState and its own Rng — batching is a scheduling construct, never
+// a numeric one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "model/generate.hpp"
+#include "serve/expert_cache.hpp"
+#include "serve/kv_cache.hpp"
+
+namespace bgl::serve {
+
+/// One generation request.
+struct Request {
+  std::int64_t id = 0;
+  std::vector<std::int32_t> prompt;
+  model::GenerateOptions options;
+  std::uint64_t seed = 0;        // seeds the request's private sampler Rng
+  std::int64_t arrival_step = 0; // engine step the request becomes visible
+};
+
+/// A finished request.
+struct RequestResult {
+  std::int64_t id = 0;
+  std::vector<std::int32_t> tokens;  // prompt + completion
+  std::int64_t arrival_step = 0;
+  std::int64_t admit_step = -1;   // step the prompt ran (first token step)
+  std::int64_t finish_step = -1;  // step the last token was produced
+};
+
+/// Deterministic virtual-time SLO digest: identical across runs with the
+/// same requests, options and model — wall-clock latency histograms go to
+/// obs (serve.ttft_seconds / serve.token_seconds) instead.
+struct SloSummary {
+  std::int64_t completed = 0;
+  std::int64_t steps = 0;          // engine steps taken
+  double p50_ttft_steps = 0.0;     // steps from arrival to first token, incl.
+  double p99_ttft_steps = 0.0;
+  double p50_e2e_steps = 0.0;      // steps from arrival to last token, incl.
+  double p99_e2e_steps = 0.0;
+  double mean_queue_steps = 0.0;   // admit_step - arrival_step
+  double mean_batch_occupancy = 0.0;  // active sequences per step
+};
+
+struct EngineOptions {
+  std::int64_t max_batch = 4;     // concurrently decoding sequences
+  std::int64_t block_tokens = 16; // KV block granularity
+  std::int64_t num_blocks = 0;    // KV pool size; 0 = max_batch full windows
+  std::int64_t expert_cache_capacity = 0;  // 0 = expert cache off
+  std::int64_t expert_cache_history = 64;
+  std::int64_t expert_cache_prefetch = 0;
+
+  /// Reads BGL_SERVE_MAX_BATCH, BGL_SERVE_BLOCK_TOKENS, BGL_SERVE_BLOCKS,
+  /// BGL_SERVE_EXPERT_CACHE and BGL_SERVE_PREFETCH over the defaults.
+  /// Malformed values fail loudly.
+  [[nodiscard]] static EngineOptions from_env();
+};
+
+class Engine {
+ public:
+  Engine(model::MoETransformerLM& lm, const EngineOptions& options);
+  ~Engine();
+
+  /// Enqueues a request. arrival_steps must be non-decreasing in submit
+  /// order (the traffic generator emits them sorted).
+  void submit(Request request);
+
+  /// Advances one step: admit, decode every active sequence one token,
+  /// retire. Returns true while any request is queued or active.
+  bool step();
+
+  /// Steps until every submitted request completed. Returns steps taken.
+  std::int64_t run();
+
+  [[nodiscard]] const std::vector<RequestResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] SloSummary slo_summary() const;
+
+  [[nodiscard]] std::int64_t active() const {
+    return static_cast<std::int64_t>(active_.size());
+  }
+  [[nodiscard]] std::int64_t queued() const {
+    return static_cast<std::int64_t>(queue_.size());
+  }
+  [[nodiscard]] std::int64_t current_step() const { return step_; }
+  [[nodiscard]] const PagedKvCache& kv() const { return kv_; }
+  [[nodiscard]] const ExpertCache* expert_cache() const {
+    return expert_cache_.get();
+  }
+
+ private:
+  struct Active {
+    Request request;
+    PagedKvCache::Sequence pages;
+    model::DecodeState state;
+    std::vector<std::int32_t> tokens;   // prompt + generated so far
+    std::int64_t generated = 0;
+    Rng rng;
+    Tensor logits;                      // last position's logits
+    double arrival_wall = 0.0;          // seconds, for the obs TTFT histogram
+    std::int64_t admit_step = -1;
+  };
+
+  /// Worst-case cached rows of a request: min(prompt + new - 1, window).
+  [[nodiscard]] std::int64_t max_rows(const Request& request) const;
+  void admit_ready();
+  /// Feeds one token through forward_decode against the sequence's pages
+  /// and writes the new K/V row back.
+  void feed(Active& a, std::int32_t token);
+  void retire(Active& a);
+
+  model::MoETransformerLM& lm_;
+  EngineOptions options_;
+  PagedKvCache kv_;
+  std::unique_ptr<ExpertCache> expert_cache_;
+  model::DecodeScratch scratch_;
+
+  std::deque<Request> queue_;
+  std::vector<std::unique_ptr<Active>> active_;
+  std::vector<RequestResult> results_;
+  std::int64_t step_ = 0;
+  std::int64_t occupancy_steps_ = 0;  // Σ active per step, for the summary
+  bool restore_training_ = false;
+};
+
+}  // namespace bgl::serve

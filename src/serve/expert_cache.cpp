@@ -1,0 +1,103 @@
+#include "serve/expert_cache.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace bgl::serve {
+
+ExpertCache::ExpertCache(const ExpertCacheOptions& options)
+    : options_(options) {
+  BGL_ENSURE(options_.capacity > 0, "expert cache capacity must be positive");
+  BGL_ENSURE(options_.history >= 0 && options_.prefetch >= 0,
+             "history/prefetch must be non-negative");
+  BGL_ENSURE(options_.prefetch < options_.capacity,
+             "prefetch set " << options_.prefetch
+                             << " must leave room in capacity "
+                             << options_.capacity
+                             << " for demand misses");
+}
+
+void ExpertCache::touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void ExpertCache::load(const Key& key, bool pinned) {
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    touch(found->second);
+    found->second->pinned = found->second->pinned || pinned;
+    return;
+  }
+  if (static_cast<std::int64_t>(lru_.size()) >=
+      options_.capacity) {
+    // Evict the least-recently-used unpinned entry. The constructor
+    // guarantees prefetch < capacity, so one always exists.
+    auto victim = std::prev(lru_.end());
+    while (victim->pinned) {
+      BGL_CHECK(victim != lru_.begin());
+      --victim;
+    }
+    index_.erase(victim->key);
+    lru_.erase(victim);
+    ++evictions_;
+    obs::count("serve.expert_cache.evict");
+  }
+  lru_.push_front({key, pinned});
+  index_[key] = lru_.begin();
+}
+
+void ExpertCache::begin_step() {
+  for (Entry& e : lru_) e.pinned = false;
+  if (options_.prefetch == 0 || history_.empty()) return;
+
+  // Rank the history window by routing frequency, ties toward the lower
+  // (layer, expert) key so the prefetch set is unique.
+  std::map<Key, std::int64_t> freq;
+  for (const Key& k : history_) ++freq[k];
+  std::vector<std::pair<Key, std::int64_t>> ranked(freq.begin(), freq.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const std::size_t take = std::min<std::size_t>(
+      ranked.size(), static_cast<std::size_t>(options_.prefetch));
+  for (std::size_t i = 0; i < take; ++i) {
+    const Key& key = ranked[i].first;
+    if (index_.find(key) == index_.end()) {
+      ++prefetch_loads_;
+      obs::count("serve.expert_cache.prefetch");
+    }
+    load(key, /*pinned=*/true);
+  }
+}
+
+void ExpertCache::on_execute(int layer, int expert) {
+  const Key key{layer, expert};
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    ++hits_;
+    obs::count("serve.expert_cache.hit");
+    touch(found->second);
+  } else {
+    ++misses_;
+    obs::count("serve.expert_cache.miss");
+    load(key, /*pinned=*/false);
+  }
+  if (options_.history > 0) {
+    history_.push_back(key);
+    while (static_cast<std::int64_t>(history_.size()) > options_.history)
+      history_.pop_front();
+  }
+}
+
+std::vector<ExpertCache::Key> ExpertCache::resident() const {
+  std::vector<Key> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e.key);
+  return out;
+}
+
+}  // namespace bgl::serve

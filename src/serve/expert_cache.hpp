@@ -1,0 +1,83 @@
+// LRU expert-weight cache with gating-history prefetch (DESIGN.md §14).
+//
+// A serving node can hold only a few experts' weights in fast memory; the
+// rest page in on demand. This models that tier as an LRU cache keyed by
+// (layer, expert) with a prefetcher driven by recent gating history: at the
+// start of every engine step the most-frequently-routed keys of the last
+// `history` routings are loaded ahead of time and *pinned* for the step, so
+// a burst of cold tail experts cannot evict the hot head — the failure mode
+// plain LRU has on the Zipf-skewed routing real MoE traffic shows.
+//
+// The cache is bookkeeping only: it never feeds back into routing or
+// numerics (determinism-neutral, like obs). Hit/miss/eviction/prefetch
+// counts are exported through obs as serve.expert_cache.*.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace bgl::serve {
+
+struct ExpertCacheOptions {
+  std::int64_t capacity = 8;   // resident (layer, expert) entries
+  std::int64_t history = 64;   // routings remembered for prefetch ranking
+  std::int64_t prefetch = 0;   // keys pinned per step (0 = prefetch off)
+};
+
+class ExpertCache {
+ public:
+  using Key = std::pair<int, int>;  // (layer, expert)
+
+  explicit ExpertCache(const ExpertCacheOptions& options);
+
+  /// Starts an engine step: unpins the previous step's prefetch set, ranks
+  /// the history by frequency (ties toward the lower key) and loads + pins
+  /// the top `prefetch` keys.
+  void begin_step();
+
+  /// Records that layer `layer` routed a token to `expert`. Resident key:
+  /// hit (refreshed to most-recently-used). Absent: miss, loaded, evicting
+  /// the least-recently-used unpinned entry if full.
+  void on_execute(int layer, int expert);
+
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+  [[nodiscard]] std::int64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::int64_t prefetch_loads() const { return prefetch_loads_; }
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t n = hits_ + misses_;
+    return n == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(n);
+  }
+
+  /// Resident keys, most-recently-used first (tests pin LRU order on this).
+  [[nodiscard]] std::vector<Key> resident() const;
+
+  [[nodiscard]] const ExpertCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    Key key;
+    bool pinned = false;
+  };
+
+  /// Inserts `key` at MRU, evicting the LRU unpinned entry when full.
+  /// No-op if already resident (refreshes recency instead).
+  void load(const Key& key, bool pinned);
+  void touch(std::list<Entry>::iterator it);
+
+  ExpertCacheOptions options_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  std::deque<Key> history_;
+
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t prefetch_loads_ = 0;
+};
+
+}  // namespace bgl::serve

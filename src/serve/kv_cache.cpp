@@ -1,0 +1,138 @@
+#include "serve/kv_cache.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "tensor/ops.hpp"
+
+namespace bgl::serve {
+
+BlockAllocator::BlockAllocator(std::int64_t num_blocks)
+    : num_blocks_(num_blocks),
+      in_use_(static_cast<std::size_t>(num_blocks), 0) {
+  BGL_ENSURE(num_blocks > 0, "block pool needs at least one block");
+  free_.reserve(static_cast<std::size_t>(num_blocks));
+  // Push descending so the first allocations hand out 0, 1, 2, ...
+  for (std::int64_t id = num_blocks - 1; id >= 0; --id) free_.push_back(id);
+}
+
+std::optional<std::int64_t> BlockAllocator::try_alloc() {
+  if (free_.empty()) return std::nullopt;
+  const std::int64_t id = free_.back();
+  free_.pop_back();
+  in_use_[static_cast<std::size_t>(id)] = 1;
+  ++total_allocs_;
+  return id;
+}
+
+void BlockAllocator::free(std::int64_t id) {
+  BGL_ENSURE(id >= 0 && id < num_blocks_,
+             "freeing foreign block id " << id << " (pool of "
+                                         << num_blocks_ << ")");
+  BGL_ENSURE(in_use_[static_cast<std::size_t>(id)] != 0,
+             "double free of block " << id);
+  in_use_[static_cast<std::size_t>(id)] = 0;
+  free_.push_back(id);
+}
+
+PagedKvCache::PagedKvCache(const Config& config)
+    : config_(config), allocator_(config.num_blocks) {
+  BGL_ENSURE(config_.n_layers > 0 && config_.d_model > 0 &&
+                 config_.seq_len > 0,
+             "paged KV cache needs a model shape");
+  BGL_ENSURE(config_.block_tokens > 0, "block_tokens must be positive");
+  block_floats_ =
+      config_.n_layers * 2 * config_.block_tokens * config_.d_model;
+  pool_.assign(
+      static_cast<std::size_t>(config_.num_blocks * block_floats_), 0.0f);
+}
+
+std::int64_t PagedKvCache::blocks_for(std::int64_t tokens) const {
+  return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+}
+
+bool PagedKvCache::try_reserve(Sequence& seq, std::int64_t total_tokens) {
+  BGL_CHECK(total_tokens >= 0 && total_tokens <= config_.seq_len *
+                                                     config_.num_blocks + 1);
+  const std::int64_t want = blocks_for(total_tokens);
+  std::vector<std::int64_t> taken;
+  while (static_cast<std::int64_t>(seq.blocks.size()) +
+             static_cast<std::int64_t>(taken.size()) < want) {
+    const auto id = allocator_.try_alloc();
+    if (!id.has_value()) {
+      for (const std::int64_t t : taken) allocator_.free(t);
+      obs::count("serve.kv.reserve_backpressure");
+      return false;
+    }
+    taken.push_back(*id);
+  }
+  for (const std::int64_t t : taken) seq.blocks.push_back(t);
+  obs::count("serve.kv.blocks_allocated",
+             static_cast<std::int64_t>(taken.size()));
+  obs::set_gauge("serve.kv.blocks_in_use",
+                 static_cast<double>(allocator_.in_use()));
+  return true;
+}
+
+float* PagedKvCache::row_ptr(const Sequence& seq, std::int64_t layer,
+                             std::int64_t kv, std::int64_t pos) {
+  return const_cast<float*>(
+      static_cast<const PagedKvCache*>(this)->row_ptr(seq, layer, kv, pos));
+}
+
+const float* PagedKvCache::row_ptr(const Sequence& seq, std::int64_t layer,
+                                   std::int64_t kv, std::int64_t pos) const {
+  BGL_CHECK(layer >= 0 && layer < config_.n_layers && (kv == 0 || kv == 1));
+  BGL_ENSURE(pos >= 0 && pos < seq.capacity_tokens(config_.block_tokens),
+             "position " << pos << " beyond the sequence's reserved "
+                         << seq.blocks.size() << " blocks");
+  const std::int64_t block =
+      seq.blocks[static_cast<std::size_t>(pos / config_.block_tokens)];
+  const std::int64_t slot = pos % config_.block_tokens;
+  const std::int64_t off =
+      block * block_floats_ +
+      ((layer * 2 + kv) * config_.block_tokens + slot) * config_.d_model;
+  return pool_.data() + off;
+}
+
+void PagedKvCache::write_row(Sequence& seq, std::int64_t layer,
+                             std::int64_t pos, std::span<const float> k_row,
+                             std::span<const float> v_row) {
+  BGL_CHECK(static_cast<std::int64_t>(k_row.size()) == config_.d_model &&
+            static_cast<std::int64_t>(v_row.size()) == config_.d_model);
+  std::copy(k_row.begin(), k_row.end(), row_ptr(seq, layer, 0, pos));
+  std::copy(v_row.begin(), v_row.end(), row_ptr(seq, layer, 1, pos));
+}
+
+void PagedKvCache::materialize(const Sequence& seq, std::int64_t layer,
+                               Tensor& k_out, Tensor& v_out) const {
+  BGL_CHECK(k_out.ndim() == 2 && k_out.dim(0) == config_.seq_len &&
+            k_out.dim(1) == config_.d_model);
+  BGL_CHECK(v_out.same_shape(k_out));
+  BGL_CHECK(seq.len <= config_.seq_len);
+  auto pk = k_out.f32();
+  auto pv = v_out.f32();
+  const std::int64_t d = config_.d_model;
+  for (std::int64_t pos = 0; pos < seq.len; ++pos) {
+    const float* k = row_ptr(seq, layer, 0, pos);
+    const float* v = row_ptr(seq, layer, 1, pos);
+    std::copy(k, k + d, pk.data() + pos * d);
+    std::copy(v, v + d, pv.data() + pos * d);
+  }
+  std::fill(pk.begin() + static_cast<std::ptrdiff_t>(seq.len * d), pk.end(),
+            0.0f);
+  std::fill(pv.begin() + static_cast<std::ptrdiff_t>(seq.len * d), pv.end(),
+            0.0f);
+}
+
+void PagedKvCache::release(Sequence& seq) {
+  obs::count("serve.kv.blocks_freed",
+             static_cast<std::int64_t>(seq.blocks.size()));
+  for (const std::int64_t id : seq.blocks) allocator_.free(id);
+  seq.blocks.clear();
+  seq.len = 0;
+  obs::set_gauge("serve.kv.blocks_in_use",
+                 static_cast<double>(allocator_.in_use()));
+}
+
+}  // namespace bgl::serve

@@ -1,0 +1,116 @@
+// Paged per-sequence KV storage for the serving engine (DESIGN.md §14).
+//
+// Decode needs every sequence's per-layer K/V rows to survive between
+// engine steps without reserving a dense [seq_len, d_model] pair per layer
+// per sequence up front. Storage is split into fixed-size *blocks* — all
+// layers' K and V for `block_tokens` consecutive window positions — handed
+// out by a free-list allocator. A sequence owns a vector of block ids; the
+// engine reserves its worst-case block count at admission (commitment-based
+// admission), so a sequence can never run out of pages mid-flight and
+// "out of blocks" is pure admission backpressure, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bgl::serve {
+
+/// Fixed-pool free-list block allocator. Free ids are recycled LIFO, so
+/// allocation order is deterministic. Double frees and out-of-range ids
+/// throw — a serving engine must never silently corrupt another
+/// sequence's pages.
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(std::int64_t num_blocks);
+
+  /// One free block id, or nullopt when the pool is exhausted.
+  [[nodiscard]] std::optional<std::int64_t> try_alloc();
+  /// Returns `id` to the pool. Throws on double free or foreign id.
+  void free(std::int64_t id);
+
+  [[nodiscard]] std::int64_t num_blocks() const { return num_blocks_; }
+  [[nodiscard]] std::int64_t free_blocks() const {
+    return static_cast<std::int64_t>(free_.size());
+  }
+  [[nodiscard]] std::int64_t in_use() const {
+    return num_blocks_ - free_blocks();
+  }
+  [[nodiscard]] std::int64_t total_allocs() const { return total_allocs_; }
+
+ private:
+  std::int64_t num_blocks_;
+  std::int64_t total_allocs_ = 0;
+  std::vector<std::int64_t> free_;     // LIFO free list
+  std::vector<std::uint8_t> in_use_;   // per-id double-free guard
+};
+
+/// Block-pooled K/V store. One block holds every layer's K and V rows for
+/// `block_tokens` consecutive positions of one sequence:
+///   [n_layers][2 (k,v)][block_tokens][d_model] floats.
+class PagedKvCache {
+ public:
+  struct Config {
+    std::int64_t n_layers = 0;
+    std::int64_t d_model = 0;
+    std::int64_t seq_len = 0;       // model window (materialized extent)
+    std::int64_t block_tokens = 16; // positions per block
+    std::int64_t num_blocks = 0;    // pool size
+  };
+
+  /// Pages owned by one sequence. `len` rows are valid; a handle with no
+  /// blocks is idle. Move-only bookkeeping lives with the engine.
+  struct Sequence {
+    std::vector<std::int64_t> blocks;
+    std::int64_t len = 0;  // valid rows (== DecodeState::len)
+
+    [[nodiscard]] std::int64_t capacity_tokens(
+        std::int64_t block_tokens) const {
+      return static_cast<std::int64_t>(blocks.size()) * block_tokens;
+    }
+  };
+
+  explicit PagedKvCache(const Config& config);
+
+  /// Blocks needed to hold `tokens` rows.
+  [[nodiscard]] std::int64_t blocks_for(std::int64_t tokens) const;
+
+  /// Grows `seq` until it can hold `total_tokens` rows. All-or-nothing: on
+  /// pool exhaustion every block taken by this call is returned and the
+  /// sequence is unchanged (the caller queues the request — backpressure).
+  [[nodiscard]] bool try_reserve(Sequence& seq, std::int64_t total_tokens);
+
+  /// Copies one position's K and V rows (written by the decode step into
+  /// the shared scratch) into the sequence's pages. `pos` must be inside
+  /// the reserved capacity.
+  void write_row(Sequence& seq, std::int64_t layer, std::int64_t pos,
+                 std::span<const float> k_row, std::span<const float> v_row);
+
+  /// Rebuilds the dense decode scratch for one layer: rows [0, seq.len)
+  /// copied from the pages, rows [seq.len, seq_len) zeroed — exactly the
+  /// cache state MultiHeadAttention::forward_cached expects.
+  void materialize(const Sequence& seq, std::int64_t layer, Tensor& k_out,
+                   Tensor& v_out) const;
+
+  /// Frees every block of `seq` (eviction on completion) and resets it.
+  void release(Sequence& seq);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const BlockAllocator& allocator() const { return allocator_; }
+
+ private:
+  [[nodiscard]] float* row_ptr(const Sequence& seq, std::int64_t layer,
+                               std::int64_t kv, std::int64_t pos);
+  [[nodiscard]] const float* row_ptr(const Sequence& seq, std::int64_t layer,
+                                     std::int64_t kv, std::int64_t pos) const;
+
+  Config config_;
+  BlockAllocator allocator_;
+  std::int64_t block_floats_ = 0;  // floats per block
+  std::vector<float> pool_;
+};
+
+}  // namespace bgl::serve

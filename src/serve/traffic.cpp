@@ -1,0 +1,61 @@
+#include "serve/traffic.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace bgl::serve {
+namespace {
+
+std::int64_t uniform_in(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  BGL_CHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  rng.uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace
+
+std::vector<Request> make_traffic(const TrafficConfig& config) {
+  BGL_ENSURE(config.num_requests >= 0, "num_requests must be >= 0");
+  BGL_ENSURE(config.arrivals_per_step > 0.0,
+             "arrivals_per_step must be positive");
+  BGL_ENSURE(config.vocab > 0, "vocab must be positive");
+  BGL_ENSURE(config.prompt_min >= 1 && config.prompt_min <= config.prompt_max,
+             "bad short prompt range");
+  BGL_ENSURE(config.long_min >= 1 && config.long_min <= config.long_max,
+             "bad long prompt range");
+  BGL_ENSURE(config.long_frac >= 0.0 && config.long_frac <= 1.0,
+             "long_frac must be in [0, 1]");
+  BGL_ENSURE(config.out_min >= 1 && config.out_min <= config.out_max,
+             "bad output length range");
+
+  Rng rng(config.seed);
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(config.num_requests));
+  double clock = 0.0;
+  for (std::int64_t i = 0; i < config.num_requests; ++i) {
+    // Exponential inter-arrival with mean 1/rate steps.
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    clock += -std::log(u) / config.arrivals_per_step;
+
+    Request r;
+    r.id = i;
+    r.arrival_step = static_cast<std::int64_t>(clock);
+    const bool long_prompt = rng.bernoulli(config.long_frac);
+    const std::int64_t len =
+        long_prompt ? uniform_in(rng, config.long_min, config.long_max)
+                    : uniform_in(rng, config.prompt_min, config.prompt_max);
+    r.prompt.reserve(static_cast<std::size_t>(len));
+    for (std::int64_t t = 0; t < len; ++t)
+      r.prompt.push_back(static_cast<std::int32_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(config.vocab))));
+    r.options = config.base_options;
+    r.options.max_new_tokens = uniform_in(rng, config.out_min, config.out_max);
+    r.seed = rng.next_u64();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace bgl::serve

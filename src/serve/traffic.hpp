@@ -1,0 +1,38 @@
+// Synthetic serving traffic: seeded Poisson arrivals with a bimodal prompt
+// length mix — the workload bench_serve and the determinism tests run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace bgl::serve {
+
+struct TrafficConfig {
+  std::uint64_t seed = 0xBA97;
+  std::int64_t num_requests = 32;
+  /// Mean arrivals per engine step (Poisson process: exponential
+  /// inter-arrival times, accumulated and floored to a step index).
+  double arrivals_per_step = 0.5;
+  std::int64_t vocab = 64;           // prompt tokens drawn uniformly
+  /// Bimodal prompt lengths: short [prompt_min, prompt_max] with
+  /// probability 1 - long_frac, long [long_min, long_max] otherwise.
+  std::int64_t prompt_min = 1;
+  std::int64_t prompt_max = 3;
+  double long_frac = 0.25;
+  std::int64_t long_min = 4;
+  std::int64_t long_max = 8;
+  /// Output lengths drawn uniformly from [out_min, out_max].
+  std::int64_t out_min = 2;
+  std::int64_t out_max = 8;
+  /// Sampling policy template; max_new_tokens is overwritten per request.
+  model::GenerateOptions base_options;
+};
+
+/// Generates the request stream: ids 0..n-1 with non-decreasing
+/// arrival_step and per-request sampler seeds forked from `seed`. Equal
+/// configs produce identical streams (pinned by tests/serve_test.cpp).
+std::vector<Request> make_traffic(const TrafficConfig& config);
+
+}  // namespace bgl::serve

@@ -7,6 +7,7 @@
 
 #include "core/rng.hpp"
 #include "model/config.hpp"
+#include "model/generate.hpp"
 #include "model/trainer.hpp"
 #include "model/transformer.hpp"
 #include "nn/loss.hpp"
@@ -216,6 +217,80 @@ TEST(Trainer, EvaluateRunsInEvalMode) {
   const double l2 = trainer.evaluate(batch);
   EXPECT_EQ(l1, l2);
   EXPECT_GT(l1, 0.0);
+}
+
+TEST(GenerateTopK, TopKOneIsGreedyIncludingTies) {
+  // top_k == 1 must pick the greedy argmax no matter the rng, and the
+  // candidate selection must break logit ties toward the lower token id
+  // exactly like greedy argmax does.
+  const std::vector<float> tied{0.5f, 3.0f, 3.0f, 3.0f, -1.0f};
+  GenerateOptions greedy;
+  greedy.temperature = 0.0;
+  GenerateOptions top1;
+  top1.temperature = 1.0;
+  top1.top_k = 1;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Rng g(seed), t(seed);
+    EXPECT_EQ(sample_logits_row(tied, greedy, g), 1);
+    EXPECT_EQ(sample_logits_row(tied, top1, t), 1) << "seed " << seed;
+  }
+}
+
+TEST(GenerateTopK, TopKAtOrAboveVocabIsUnrestricted) {
+  const std::vector<float> row{0.1f, 1.4f, -0.3f, 0.9f};
+  GenerateOptions unrestricted;
+  unrestricted.temperature = 0.7;
+  unrestricted.top_k = 0;
+  for (const int k : {4, 7, 1000}) {
+    GenerateOptions capped = unrestricted;
+    capped.top_k = k;
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+      Rng a(seed), b(seed);
+      EXPECT_EQ(sample_logits_row(row, unrestricted, a),
+                sample_logits_row(row, capped, b))
+          << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(GenerateTopK, TopKRestrictsSupport) {
+  const std::vector<float> row{10.0f, 0.0f, 9.0f, 8.0f};
+  GenerateOptions options;
+  options.temperature = 2.0;  // flat enough that every candidate is likely
+  options.top_k = 2;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const std::int32_t t = sample_logits_row(row, options, rng);
+    EXPECT_TRUE(t == 0 || t == 2) << "sampled " << t;
+  }
+}
+
+TEST(GenerateTopK, ModelLevelTopKEdgeEquivalences) {
+  const MoEModelConfig config = MoEModelConfig::tiny();
+  Rng rng(96);
+  MoETransformerLM lm(config, rng);
+  const std::vector<std::int32_t> prompt{2, 4};
+
+  // top_k >= vocab generates exactly the unrestricted stream.
+  GenerateOptions unrestricted;
+  unrestricted.temperature = 1.0;
+  unrestricted.max_new_tokens = 6;
+  GenerateOptions capped = unrestricted;
+  capped.top_k = static_cast<int>(config.vocab);
+  Rng a(5), b(5);
+  EXPECT_EQ(generate(lm, prompt, unrestricted, a),
+            generate(lm, prompt, capped, b));
+
+  // top_k == 1 generates exactly the greedy stream.
+  GenerateOptions top1;
+  top1.temperature = 1.0;
+  top1.top_k = 1;
+  top1.max_new_tokens = 6;
+  GenerateOptions greedy = top1;
+  greedy.temperature = 0.0;
+  greedy.top_k = 0;
+  Rng c(6), d(7);  // seeds must not matter for either policy
+  EXPECT_EQ(generate(lm, prompt, top1, c), generate(lm, prompt, greedy, d));
 }
 
 }  // namespace
